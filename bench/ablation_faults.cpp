@@ -1,0 +1,88 @@
+// Ablation — fault density: sweep the number of injected faults and show
+// how each scheme's overhead scales (research question 5 at experiment
+// scale). RD stays flat; FW and CR overheads grow roughly linearly with
+// the fault count; the new multi-level CR-2L tracks CR-M when L1 copies
+// survive and degrades gracefully toward CR-D as they are lost.
+
+#include <iostream>
+
+#include "core/csv.hpp"
+#include "core/env.hpp"
+#include "core/options.hpp"
+#include "core/table.hpp"
+#include "harness/experiment.hpp"
+#include "harness/scheme_factory.hpp"
+#include "sparse/roster.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rsls;
+  const Options options(argc, argv);
+  const bool quick = quick_mode() || options.get_bool("quick", false);
+
+  const auto& entry = sparse::roster_entry("crystm02");
+  const sparse::Csr a = entry.make(quick);
+  const Index processes = options.get_index("processes", quick ? 24 : 48);
+  const auto workload = harness::Workload::create(a, processes);
+
+  std::cout << "Ablation: overhead vs fault count (" << entry.name << ", "
+            << processes << " processes)\n\n";
+
+  const std::vector<std::string> schemes = {"RD", "LI", "CR-M", "CR-2L",
+                                            "CR-D"};
+  std::vector<std::string> header = {"faults"};
+  for (const auto& s : schemes) {
+    header.push_back(s + " time x");
+  }
+  TablePrinter table(header);
+  std::vector<std::vector<std::string>> csv_rows;
+
+  // per scheme: overheads at min and max fault count for the shape check.
+  std::vector<double> first_overhead(schemes.size(), 0.0);
+  std::vector<double> last_overhead(schemes.size(), 0.0);
+
+  const IndexVec fault_counts = quick ? IndexVec{2, 10} : IndexVec{1, 5, 10,
+                                                                   20, 40};
+  harness::ExperimentConfig base_config;
+  base_config.processes = processes;
+  const auto ff = harness::run_fault_free(workload, base_config);
+
+  for (std::size_t fi = 0; fi < fault_counts.size(); ++fi) {
+    harness::ExperimentConfig config = base_config;
+    config.faults = fault_counts[fi];
+    config.cr_interval_iterations = 100;
+    std::vector<std::string> row = {std::to_string(config.faults)};
+    std::vector<std::string> csv_row = row;
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+      const auto run = harness::run_scheme(workload, schemes[s], config, ff);
+      row.push_back(TablePrinter::num(run.time_ratio));
+      csv_row.push_back(TablePrinter::num(run.time_ratio, 4));
+      if (fi == 0) {
+        first_overhead[s] = run.time_ratio - 1.0;
+      }
+      if (fi + 1 == fault_counts.size()) {
+        last_overhead[s] = run.time_ratio - 1.0;
+      }
+    }
+    table.add_row(row);
+    csv_rows.push_back(csv_row);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nCSV:\n";
+  header[0] = "faults";
+  CsvWriter csv(std::cout, header);
+  for (const auto& row : csv_rows) {
+    csv.add_row(row);
+  }
+
+  const bool rd_flat = last_overhead[0] < 0.05;
+  bool others_grow = true;
+  for (std::size_t s = 1; s < schemes.size(); ++s) {
+    others_grow = others_grow && last_overhead[s] > first_overhead[s];
+  }
+  std::cout << "\nshape-check: RD flat in fault count "
+            << (rd_flat ? "PASS" : "FAIL")
+            << "; FW/CR overheads grow with faults "
+            << (others_grow ? "PASS" : "FAIL") << "\n";
+  return rd_flat && others_grow ? 0 : 1;
+}

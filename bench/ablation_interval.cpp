@@ -1,0 +1,87 @@
+// Ablation — checkpoint cadence: sweep the CR interval around Young's
+// prediction and show the time cost is U-shaped with its minimum near the
+// Young value (the §3.2/§5.3 design choice). Too-frequent checkpoints pay
+// t_C; too-rare ones pay rollback recomputation.
+
+#include <iostream>
+
+#include "core/csv.hpp"
+#include "core/env.hpp"
+#include "core/options.hpp"
+#include "core/table.hpp"
+#include "harness/experiment.hpp"
+#include "harness/scheme_factory.hpp"
+#include "model/young_daly.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/fault.hpp"
+#include "sparse/roster.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rsls;
+  const Options options(argc, argv);
+  const bool quick = quick_mode() || options.get_bool("quick", false);
+
+  harness::ExperimentConfig config;
+  config.processes = options.get_index("processes", quick ? 24 : 48);
+  config.faults = options.get_index("faults", 10);
+
+  const auto& entry = sparse::roster_entry("crystm02");
+  const auto workload =
+      harness::Workload::create(entry.make(quick), config.processes);
+  const auto ff = harness::run_fault_free(workload, config);
+
+  // Young's prediction for the disk level at the §5.2 fault density.
+  const Seconds mtbf =
+      ff.time / static_cast<double>(config.faults + 1);
+  const Seconds t_c = harness::estimate_checkpoint_seconds(
+      workload, harness::machine_for(config.processes), /*to_disk=*/true);
+  const Index young_iters = std::max<Index>(
+      1, static_cast<Index>(model::young_interval(t_c, mtbf) /
+                            ff.iteration_seconds));
+
+  std::cout << "Ablation: CR-D cost vs checkpoint interval (" << entry.name
+            << "); Young's formula predicts ~" << young_iters
+            << " iterations\n\n";
+
+  TablePrinter table({"interval (iters)", "time x", "energy x",
+                      "checkpoints", "note"});
+  std::vector<std::pair<Index, double>> sweep;
+  const IndexVec intervals = {
+      std::max<Index>(young_iters / 8, 1), std::max<Index>(young_iters / 3, 1),
+      young_iters, young_iters * 3, young_iters * 8, young_iters * 24};
+  for (const Index interval : intervals) {
+    harness::ExperimentConfig run_config = config;
+    run_config.cr_interval_iterations = interval;
+    const auto run = harness::run_scheme(workload, "CR-D", run_config, ff);
+    table.add_row({std::to_string(interval),
+                   TablePrinter::num(run.time_ratio),
+                   TablePrinter::num(run.energy_ratio),
+                   std::to_string(run.checkpoints),
+                   interval == young_iters ? "<- Young" : ""});
+    sweep.emplace_back(interval, run.time_ratio);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nCSV:\n";
+  CsvWriter csv(std::cout, {"interval_iters", "time_ratio"});
+  for (const auto& [interval, time_ratio] : sweep) {
+    csv.add_row({std::to_string(interval), TablePrinter::num(time_ratio, 4)});
+  }
+
+  // Shape: the extremes cost more than the Young-neighbourhood minimum.
+  double young_cost = 0.0, best = 1e18;
+  for (const auto& [interval, time_ratio] : sweep) {
+    if (interval == young_iters) {
+      young_cost = time_ratio;
+    }
+    best = std::min(best, time_ratio);
+  }
+  const bool young_near_optimal = young_cost <= best * 1.15;
+  const bool extremes_worse = sweep.front().second > best * 1.05 &&
+                              sweep.back().second > best * 1.05;
+  std::cout << "\nshape-check: Young within 15% of the sweep optimum "
+            << (young_near_optimal ? "PASS" : "FAIL")
+            << "; extremes cost more " << (extremes_worse ? "PASS" : "FAIL")
+            << "\n";
+  return young_near_optimal && extremes_worse ? 0 : 1;
+}

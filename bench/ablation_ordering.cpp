@@ -1,0 +1,146 @@
+// Ablation — row ordering, halo volume, and forward-recovery accuracy.
+//
+// The paper attributes LI/LSI's weakness on "irregular" matrices to
+// structure (§5.2). This ablation separates two distinct mechanisms:
+//   1. *communication locality* — a banded matrix whose rows were
+//      randomly permuted keeps its spectrum but its halos explode
+//      (~90 % off-block coupling); reverse Cuthill–McKee fully recovers
+//      the band, and with it the SpMV halo volume and the gather cost of
+//      every reconstruction.
+//   2. *reconstruction accuracy* — measured here to be ordering-
+//      INSENSITIVE on diagonally dominant matrices: LI's error gain is
+//      governed by the block's diagonal dominance, which permutations
+//      preserve. The LI ≈ F0 degradation the paper observes on irregular
+//      matrices therefore stems from weak/ill-scaled rows (inherent), not
+//      from the ordering — an expander stays F0-grade under any ordering.
+// Consequence for practitioners: reorder to cut communication (large,
+// free win); do not expect reordering to rescue reconstruction accuracy.
+
+#include <iostream>
+
+#include "core/csv.hpp"
+#include "core/env.hpp"
+#include "core/options.hpp"
+#include "core/rng.hpp"
+#include "core/table.hpp"
+#include "harness/experiment.hpp"
+#include "harness/scheme_factory.hpp"
+#include "sparse/matrix_stats.hpp"
+#include "sparse/ordering.hpp"
+#include "sparse/roster.hpp"
+
+namespace {
+
+using namespace rsls;
+
+/// Random symmetric permutation of a matrix (destroys any ordering-based
+/// locality without changing the spectrum).
+sparse::Csr shuffle_matrix(const sparse::Csr& a, std::uint64_t seed) {
+  Rng rng(seed);
+  IndexVec perm(static_cast<std::size_t>(a.rows));
+  for (Index i = 0; i < a.rows; ++i) {
+    perm[static_cast<std::size_t>(i)] = i;
+  }
+  for (Index i = a.rows - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_index(static_cast<std::uint64_t>(i) + 1));
+    std::swap(perm[static_cast<std::size_t>(i)], perm[j]);
+  }
+  return sparse::permute_symmetric(a, perm);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options(argc, argv);
+  const bool quick = quick_mode() || options.get_bool("quick", false);
+
+  harness::ExperimentConfig config;
+  config.processes = options.get_index("processes", quick ? 24 : 48);
+  config.faults = options.get_index("faults", 10);
+
+  std::cout << "Ablation: ordering vs LI accuracy (" << config.processes
+            << " processes, " << config.faults << " faults)\n\n";
+  TablePrinter table({"case", "bandwidth", "off-block %", "halo (KiB)",
+                      "FF time (ms)", "LI iter x", "F0 iter x"});
+  std::vector<std::vector<std::string>> csv_rows;
+
+  struct Measured {
+    double li_ratio = 0.0;
+    double halo_bytes = 0.0;
+    double ff_time = 0.0;
+  };
+  const auto measure = [&](const std::string& label, const sparse::Csr& a) {
+    const auto stats = sparse::compute_stats(a);
+    const double coupling = sparse::off_block_coupling(a, config.processes);
+    const auto workload = harness::Workload::create(a, config.processes);
+    double halo_total = 0.0;
+    for (const Bytes bytes : workload.a.halo_bytes()) {
+      halo_total += bytes;
+    }
+    const auto ff = harness::run_fault_free(workload, config);
+    const auto li = harness::run_scheme(workload, "LI", config, ff);
+    const auto f0 = harness::run_scheme(workload, "F0", config, ff);
+    table.add_row({label, std::to_string(stats.bandwidth),
+                   TablePrinter::num(100.0 * coupling, 1),
+                   TablePrinter::num(halo_total / 1024.0, 1),
+                   TablePrinter::num(ff.time * 1e3, 2),
+                   TablePrinter::num(li.iteration_ratio),
+                   TablePrinter::num(f0.iteration_ratio)});
+    csv_rows.push_back({label, std::to_string(stats.bandwidth),
+                        TablePrinter::num(coupling, 4),
+                        TablePrinter::num(halo_total, 0),
+                        TablePrinter::num(li.iteration_ratio, 4),
+                        TablePrinter::num(f0.iteration_ratio, 4)});
+    return Measured{li.iteration_ratio, halo_total, ff.time};
+  };
+
+  // Hidden locality: a banded matrix, shuffled, then RCM-recovered.
+  const sparse::Csr banded =
+      sparse::roster_entry("crystm02").make(/*quick=*/true);
+  const sparse::Csr shuffled = shuffle_matrix(banded, 313);
+  const sparse::Csr recovered =
+      sparse::permute_symmetric(shuffled, sparse::rcm_ordering(shuffled));
+  const auto natural = measure("banded (natural)", banded);
+  const auto shuffled_m = measure("banded (shuffled)", shuffled);
+  const auto recovered_m = measure("banded (shuffled + RCM)", recovered);
+
+  // Inherent coupling: an expander; RCM has nothing to recover.
+  const sparse::Csr expander =
+      sparse::roster_entry("Andrews").make(/*quick=*/true);
+  const sparse::Csr expander_rcm =
+      sparse::permute_symmetric(expander, sparse::rcm_ordering(expander));
+  const auto expander_m = measure("expander (natural)", expander);
+  const auto expander_rcm_m = measure("expander (RCM)", expander_rcm);
+
+  table.print(std::cout);
+  std::cout << "\nCSV:\n";
+  CsvWriter csv(std::cout, {"case", "bandwidth", "off_block_coupling",
+                            "halo_bytes", "li_iter_ratio", "f0_iter_ratio"});
+  for (const auto& row : csv_rows) {
+    csv.add_row(row);
+  }
+
+  // 1. RCM fully recovers the shuffled band's halo volume.
+  const bool halo_explodes = shuffled_m.halo_bytes > 5.0 * natural.halo_bytes;
+  const bool rcm_recovers_halo =
+      recovered_m.halo_bytes < 1.2 * natural.halo_bytes;
+  // 2. LI accuracy is ordering-insensitive on dominant matrices, and an
+  //    expander's LI stays F0-grade under any ordering.
+  const bool li_ordering_insensitive =
+      std::abs(shuffled_m.li_ratio - natural.li_ratio) < 0.15 &&
+      std::abs(recovered_m.li_ratio - natural.li_ratio) < 0.15;
+  const bool expander_immune =
+      std::abs(expander_rcm_m.li_ratio - expander_m.li_ratio) < 0.15;
+  std::cout << "\nshape-check: shuffling explodes the halo "
+            << (halo_explodes ? "PASS" : "FAIL") << "; RCM recovers it "
+            << (rcm_recovers_halo ? "PASS" : "FAIL")
+            << "; LI accuracy is ordering-insensitive "
+            << (li_ordering_insensitive ? "PASS" : "FAIL")
+            << "; expander LI immune to reordering "
+            << (expander_immune ? "PASS" : "FAIL") << "\n";
+  return halo_explodes && rcm_recovers_halo && li_ordering_insensitive &&
+                 expander_immune
+             ? 0
+             : 1;
+}

@@ -1,0 +1,107 @@
+// Ablation — experimental weak scaling: Fig. 9 is a *model* projection;
+// this bench runs the same weak-scaling protocol as an actual simulated
+// experiment at reachable sizes (fixed work and fixed per-process MTBF,
+// so the fault count grows linearly with the process count) and checks
+// that the measured trends agree with the projected ones: RD flat, CR-D
+// growing fastest (shared-disk t_C grows with total size), CR-M nearly
+// flat, FW in between.
+
+#include <iostream>
+
+#include "core/csv.hpp"
+#include "core/env.hpp"
+#include "core/options.hpp"
+#include "core/table.hpp"
+#include "harness/experiment.hpp"
+#include "harness/scheme_factory.hpp"
+#include "sparse/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rsls;
+  const Options options(argc, argv);
+  const bool quick = quick_mode() || options.get_bool("quick", false);
+
+  // Fixed-work weak scaling: rows and nnz per process constant.
+  const Index rows_per_process = options.get_index("rows-per-process", 160);
+  const Index faults_per_kproc =
+      options.get_index("faults-per-24proc", 4);  // per-process MTBF const.
+  const IndexVec process_counts =
+      quick ? IndexVec{12, 48} : IndexVec{12, 24, 48, 96, 192};
+
+  std::cout << "Ablation: experimental weak scaling ("
+            << rows_per_process << " rows/process, fault count grows "
+            << "linearly with processes)\n\n";
+
+  const std::vector<std::string> schemes = {"RD", "LI", "CR-M", "CR-D"};
+  std::vector<std::string> header = {"procs", "rows", "faults", "FF ms"};
+  for (const auto& s : schemes) {
+    header.push_back(s + " T_res");
+  }
+  TablePrinter table(header);
+  std::vector<std::vector<std::string>> csv_rows;
+
+  std::vector<double> first(schemes.size(), 0.0);
+  std::vector<double> last(schemes.size(), 0.0);
+
+  for (std::size_t pi = 0; pi < process_counts.size(); ++pi) {
+    const Index p = process_counts[pi];
+    sparse::BandedSpdConfig matrix_config;
+    matrix_config.n = p * rows_per_process;
+    matrix_config.half_bandwidth = 11;
+    matrix_config.diag_excess = sparse::diag_excess_for_iterations(450.0);
+    matrix_config.scale_decades = 1.0;
+    matrix_config.seed = 500 + static_cast<std::uint64_t>(p);
+
+    harness::ExperimentConfig config;
+    config.processes = p;
+    config.faults = std::max<Index>(1, p * faults_per_kproc / 24);
+    config.use_young_interval = true;
+
+    const auto workload =
+        harness::Workload::create(sparse::banded_spd(matrix_config), p);
+    const auto ff = harness::run_fault_free(workload, config);
+
+    std::vector<std::string> row = {
+        std::to_string(p), std::to_string(matrix_config.n),
+        std::to_string(config.faults), TablePrinter::num(ff.time * 1e3, 2)};
+    std::vector<std::string> csv_row = row;
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+      const auto run = harness::run_scheme(workload, schemes[s], config, ff);
+      const double t_res = run.time_ratio - 1.0;
+      row.push_back(TablePrinter::num(t_res));
+      csv_row.push_back(TablePrinter::num(t_res, 4));
+      if (pi == 0) {
+        first[s] = t_res;
+      }
+      if (pi + 1 == process_counts.size()) {
+        last[s] = t_res;
+      }
+    }
+    table.add_row(row);
+    csv_rows.push_back(csv_row);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nCSV:\n";
+  CsvWriter csv(std::cout, header);
+  for (const auto& row : csv_rows) {
+    csv.add_row(row);
+  }
+
+  // Shapes mirroring the Fig. 9 projection, now measured:
+  const double rd_growth = last[0] - first[0];
+  const double li_growth = last[1] - first[1];
+  const double crm_growth = last[2] - first[2];
+  const double crd_growth = last[3] - first[3];
+  const bool rd_flat = std::abs(rd_growth) < 0.05;
+  const bool crd_grows = crd_growth > 0.1;
+  const bool crd_fastest = crd_growth >= li_growth - 0.05 &&
+                           crd_growth >= crm_growth - 0.05;
+  const bool fw_grows = li_growth > 0.0;
+  std::cout << "\nshape-check: RD flat " << (rd_flat ? "PASS" : "FAIL")
+            << "; CR-D overhead grows " << (crd_grows ? "PASS" : "FAIL")
+            << "; CR-D grows fastest " << (crd_fastest ? "PASS" : "FAIL")
+            << "; FW overhead grows " << (fw_grows ? "PASS" : "FAIL")
+            << "\n";
+  return rd_flat && crd_grows ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+// Figure 1 — estimated MTBF for exascale systems projected from petascale
+// systems, per fault class (DCE, DUE, SDC, SWO, SNF, LNF).
+//
+// Paper: a 20K-node petascale machine with today's technology vs a
+// 1M-node exascale machine at 11 nm; MTBF per class scales with node
+// count and node technology. Expected shape: exascale MTBF within an
+// hour for the frequent classes.
+
+#include <iostream>
+
+#include "core/csv.hpp"
+#include "core/table.hpp"
+#include "model/mtbf.hpp"
+
+int main() {
+  using namespace rsls;
+  const model::NodeTechnology peta = model::petascale_node();
+  const model::NodeTechnology exa = model::exascale_node();
+  const Index peta_nodes = 20000;
+  const Index exa_nodes = 1000000;
+
+  std::cout << "Figure 1: estimated system MTBF (hours) by fault class\n"
+            << "  petascale: " << peta_nodes << " nodes (" << peta.name
+            << ")\n  exascale:  " << exa_nodes << " nodes (" << exa.name
+            << ")\n\n";
+
+  TablePrinter table(
+      {"class", "soft/hard", "petascale MTBF (h)", "exascale MTBF (h)"});
+  for (const auto fc : model::all_fault_classes()) {
+    table.add_row({model::to_string(fc), model::is_soft(fc) ? "soft" : "hard",
+                   TablePrinter::num(model::system_mtbf_hours(peta, peta_nodes, fc), 3),
+                   TablePrinter::num(model::system_mtbf_hours(exa, exa_nodes, fc), 4)});
+  }
+  table.add_row({"combined", "-",
+                 TablePrinter::num(model::combined_mtbf_hours(peta, peta_nodes), 3),
+                 TablePrinter::num(model::combined_mtbf_hours(exa, exa_nodes), 4)});
+  table.print(std::cout);
+
+  std::cout << "\nCSV:\n";
+  CsvWriter csv(std::cout, {"class", "petascale_mtbf_h", "exascale_mtbf_h"});
+  for (const auto fc : model::all_fault_classes()) {
+    csv.add_row({model::to_string(fc),
+                 TablePrinter::num(model::system_mtbf_hours(peta, peta_nodes, fc), 6),
+                 TablePrinter::num(model::system_mtbf_hours(exa, exa_nodes, fc), 6)});
+  }
+
+  const bool within_hour = model::combined_mtbf_hours(exa, exa_nodes) < 1.0;
+  std::cout << "\nshape-check: exascale combined MTBF < 1 hour "
+            << (within_hour ? "PASS" : "FAIL") << "\n";
+  return within_hour ? 0 : 1;
+}

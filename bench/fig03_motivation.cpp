@@ -1,0 +1,84 @@
+// Figure 3 — accuracy and cost of different recovery mechanisms (the §2
+// motivation experiment).
+//
+// Paper: matrix Andrews, MTBF = 0.1 h, CR checkpoints x to disk, 192-core
+// cluster. Because the roster is miniaturized, absolute MTBF is expressed
+// through the paper's own §5.2 protocol — the same fault density (10
+// faults over the fault-free run) that 0.1 h produced on the full-size
+// problem. Expected shape: every scheme ≤ ~2× overhead; FW incurs the
+// least energy overhead; RD has no time overhead but doubles energy.
+
+#include <iostream>
+
+#include "core/csv.hpp"
+#include "core/env.hpp"
+#include "core/options.hpp"
+#include "core/table.hpp"
+#include "harness/experiment.hpp"
+#include "sparse/roster.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rsls;
+  const Options options(argc, argv);
+  const bool quick = quick_mode() || options.get_bool("quick", false);
+
+  harness::ExperimentConfig config;
+  config.processes = options.get_index("processes", quick ? 48 : 192);
+  config.faults = options.get_index("faults", 10);
+  config.cr_interval_iterations = 100;
+
+  const auto& entry = sparse::roster_entry("Andrews");
+  const auto workload =
+      harness::Workload::create(entry.make(quick), config.processes);
+  const auto ff = harness::run_fault_free(workload, config);
+
+  std::cout << "Figure 3: accuracy and cost of recovery mechanisms ("
+            << entry.name << ", " << config.faults
+            << " faults ~ MTBF 0.1h at paper scale, CR to disk)\n\n";
+
+  TablePrinter table({"scheme", "rel residual", "time overhead %",
+                      "energy overhead %", "power x"});
+  table.add_row({"FF", TablePrinter::num(0.0, 2), "0", "0", "1.00"});
+
+  struct Row {
+    std::string scheme;
+    double time_pct;
+    double energy_pct;
+  };
+  std::vector<Row> rows;
+  CsvWriter* csv = nullptr;
+  (void)csv;
+  for (const std::string name : {"RD", "CR-D", "LI"}) {
+    const auto run = harness::run_scheme(workload, name, config, ff);
+    table.add_row({name == "LI" ? "FW(LI)" : name,
+                   TablePrinter::num(run.report.cg.relative_residual, 2),
+                   TablePrinter::num(100.0 * (run.time_ratio - 1.0), 1),
+                   TablePrinter::num(100.0 * (run.energy_ratio - 1.0), 1),
+                   TablePrinter::num(run.power_ratio)});
+    rows.push_back({name, 100.0 * (run.time_ratio - 1.0),
+                    100.0 * (run.energy_ratio - 1.0)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nCSV:\n";
+  CsvWriter out(std::cout, {"scheme", "time_overhead_pct",
+                            "energy_overhead_pct"});
+  out.add_row({"FF", "0", "0"});
+  for (const auto& row : rows) {
+    out.add_row({row.scheme, TablePrinter::num(row.time_pct, 2),
+                 TablePrinter::num(row.energy_pct, 2)});
+  }
+
+  const double rd_time = rows[0].time_pct;
+  const double rd_energy = rows[0].energy_pct;
+  const double cr_energy = rows[1].energy_pct;
+  const double fw_energy = rows[2].energy_pct;
+  const bool rd_no_time = rd_time < 5.0;
+  const bool rd_doubles = rd_energy > 80.0;
+  const bool fw_least_energy = fw_energy < cr_energy && fw_energy < rd_energy;
+  std::cout << "\nshape-check: RD no time overhead "
+            << (rd_no_time ? "PASS" : "FAIL") << "; RD ~2x energy "
+            << (rd_doubles ? "PASS" : "FAIL") << "; FW least energy "
+            << (fw_least_energy ? "PASS" : "FAIL") << "\n";
+  return rd_no_time && rd_doubles && fw_least_energy ? 0 : 1;
+}

@@ -1,0 +1,101 @@
+// Figure 5 — iterations to convergence for the matrix roster under 10
+// faults, normalized to the fault-free execution.
+//
+// Paper protocol (§5.2): 256 processes, 10 faults evenly spaced over the
+// fault-free iterations, tolerance 1e-12, CR checkpointing every 100
+// iterations to disk. Expected shape: F0/FI worst (~2.5× on average), RD
+// exactly 1×, LI/LSI at or below CR on regular matrices, degrading toward
+// F0/FI on small-block and irregular matrices.
+
+#include <iostream>
+#include <sstream>
+
+#include "core/csv.hpp"
+#include "core/env.hpp"
+#include "core/error.hpp"
+#include "core/options.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "harness/scheme_factory.hpp"
+#include "harness/sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rsls;
+  const Options options(argc, argv);
+  const bool quick = quick_mode() || options.get_bool("quick", false);
+
+  harness::ExperimentConfig config;
+  config.processes = options.get_index("processes", quick ? 48 : 192);
+  config.faults = options.get_index("faults", 10);
+  config.cr_interval_iterations = options.get_index("cr-interval", 100);
+
+  const auto schemes = harness::iteration_scheme_names();
+
+  std::vector<harness::MatrixResult> results;
+  if (options.has("matrices")) {
+    std::vector<std::string> names;
+    std::stringstream ss(options.get_string("matrices", ""));
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      names.push_back(item);
+    }
+    results = harness::sweep_matrices(names, schemes, config, quick);
+  } else {
+    results = harness::sweep_roster(schemes, config, quick);
+  }
+
+  std::cout << "Figure 5: iterations to convergence, normalized to the "
+               "fault-free case (" << config.processes << " processes, "
+            << config.faults << " faults)\n\n";
+  std::vector<std::string> header = {"matrix", "FF iters"};
+  for (const auto& s : schemes) {
+    header.push_back(s);
+  }
+  TablePrinter table(header);
+  for (const auto& r : results) {
+    std::vector<std::string> row = {r.matrix, std::to_string(r.ff.iterations)};
+    for (const auto& run : r.runs) {
+      row.push_back(TablePrinter::num(run.iteration_ratio));
+    }
+    table.add_row(row);
+  }
+  // Average row (geometric mean, as scheme overheads are ratios).
+  {
+    std::vector<std::string> row = {"geo-mean", "-"};
+    for (const auto& avg : harness::average_over_matrices(results)) {
+      row.push_back(TablePrinter::num(avg.iteration_ratio));
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nCSV:\n";
+  header[1] = "ff_iters";
+  CsvWriter csv(std::cout, header);
+  for (const auto& r : results) {
+    std::vector<std::string> row = {r.matrix, std::to_string(r.ff.iterations)};
+    for (const auto& run : r.runs) {
+      row.push_back(TablePrinter::num(run.iteration_ratio, 4));
+    }
+    csv.add_row(row);
+  }
+
+  // Shape expectations (DESIGN.md §4).
+  const auto averages = harness::average_over_matrices(results);
+  const auto ratio_of = [&](const std::string& name) {
+    for (const auto& avg : averages) {
+      if (avg.scheme == name) {
+        return avg.iteration_ratio;
+      }
+    }
+    throw Error("scheme missing from sweep: " + name);
+  };
+  const bool rd_flat = ratio_of("RD") < 1.02;
+  const bool f0_worst = ratio_of("F0") >= ratio_of("LI") &&
+                        ratio_of("FI") >= ratio_of("LSI");
+  const bool li_beats_cr = ratio_of("LI") <= ratio_of("CR-D") * 1.05;
+  std::cout << "\nshape-check: RD==FF " << (rd_flat ? "PASS" : "FAIL")
+            << "; F0/FI worst " << (f0_worst ? "PASS" : "FAIL")
+            << "; LI<=CR " << (li_beats_cr ? "PASS" : "FAIL") << "\n";
+  return rd_flat && f0_worst ? 0 : 1;
+}

@@ -1,0 +1,164 @@
+// Figure 6 — residual vs iteration histories under faults and recovery.
+//
+// Paper: (a) a single fault at iteration 200 — the residual jumps for
+// every scheme except RD (which overlaps FF); F0/FI jump highest, LI/LSI
+// least, CR rolls back to the checkpointed residual level. (b) 10 faults
+// on a 5-point stencil matrix.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "core/csv.hpp"
+#include "core/env.hpp"
+#include "core/error.hpp"
+#include "core/options.hpp"
+#include "core/table.hpp"
+#include "harness/experiment.hpp"
+#include "harness/scheme_factory.hpp"
+#include "resilience/fault.hpp"
+#include "sparse/roster.hpp"
+
+namespace {
+
+using namespace rsls;
+
+struct History {
+  std::string scheme;
+  RealVec residuals;
+};
+
+std::vector<History> run_histories(const harness::Workload& workload,
+                                   const harness::ExperimentConfig& config,
+                                   const harness::FfBaseline& ff,
+                                   const IndexVec& fault_iterations) {
+  std::vector<History> histories;
+  // Fault-free reference history.
+  {
+    harness::ExperimentConfig ff_config = config;
+    ff_config.record_residuals = true;
+    simrt::VirtualCluster cluster(harness::machine_for(config.processes),
+                                  config.processes);
+    harness::SchemeFactoryConfig factory;
+    factory.cr_interval_iterations = config.cr_interval_iterations;
+    const auto scheme = harness::make_scheme("RD", factory, workload.x0);
+    // RD with no faults tracks FF exactly; reuse it as the FF curve
+    // (replica factor only changes energy, not the residual path).
+    simrt::VirtualCluster rd_cluster(harness::machine_for(config.processes),
+                                     config.processes,
+                                     scheme->replica_factor());
+    auto injector = resilience::FaultInjector::none();
+    const auto run = harness::run_scheme_on_cluster(
+        workload, "FF", *scheme, injector, rd_cluster, ff_config, ff);
+    histories.push_back({"FF", run.report.cg.residual_history});
+  }
+  for (const auto& name : harness::iteration_scheme_names()) {
+    harness::ExperimentConfig scheme_config = config;
+    scheme_config.record_residuals = true;
+    harness::SchemeFactoryConfig factory;
+    factory.fw_cg_tolerance = config.fw_cg_tolerance;
+    factory.cr_interval_iterations = config.cr_interval_iterations;
+    const auto scheme = harness::make_scheme(name, factory, workload.x0);
+    simrt::VirtualCluster cluster(harness::machine_for(config.processes),
+                                  config.processes, scheme->replica_factor());
+    auto injector = resilience::FaultInjector::at_iterations(
+        fault_iterations, config.processes, config.fault_seed);
+    const auto run = harness::run_scheme_on_cluster(
+        workload, name, *scheme, injector, cluster, scheme_config, ff);
+    histories.push_back({name, run.report.cg.residual_history});
+  }
+  return histories;
+}
+
+void print_histories(const std::string& title,
+                     const std::vector<History>& histories,
+                     Index stride) {
+  std::cout << title << "\nCSV:\n";
+  std::vector<std::string> header = {"iteration"};
+  std::size_t longest = 0;
+  for (const auto& h : histories) {
+    header.push_back(h.scheme);
+    longest = std::max(longest, h.residuals.size());
+  }
+  CsvWriter csv(std::cout, header);
+  for (std::size_t i = 0; i < longest;
+       i += static_cast<std::size_t>(stride)) {
+    std::vector<std::string> row = {std::to_string(i)};
+    for (const auto& h : histories) {
+      if (i < h.residuals.size()) {
+        row.push_back(TablePrinter::num(std::log10(h.residuals[i]), 3));
+      } else {
+        row.push_back("");
+      }
+    }
+    csv.add_row(row);
+  }
+  std::cout << "(values are log10 of the relative residual)\n\n";
+}
+
+/// Residual right after the fault iteration, for the jump comparison.
+double post_fault_residual(const History& h, Index fault_iteration) {
+  const auto idx = static_cast<std::size_t>(fault_iteration);
+  RSLS_CHECK(idx < h.residuals.size());
+  return h.residuals[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options(argc, argv);
+  const bool quick = quick_mode() || options.get_bool("quick", false);
+
+  harness::ExperimentConfig config;
+  config.processes = options.get_index("processes", quick ? 48 : 192);
+  config.cr_interval_iterations = 100;
+
+  // (a) one fault at iteration 200 on crystm02.
+  bool shapes_ok = true;
+  {
+    const auto& entry = sparse::roster_entry("crystm02");
+    const auto workload =
+        harness::Workload::create(entry.make(quick), config.processes);
+    const auto ff = harness::run_fault_free(workload, config);
+    const Index fault_at = std::min<Index>(200, ff.iterations / 2);
+    const auto histories =
+        run_histories(workload, config, ff, IndexVec{fault_at});
+    print_histories("Figure 6(a): single fault at iteration " +
+                        std::to_string(fault_at) + " (" + entry.name + ")",
+                    histories, 10);
+
+    // Shape: residual jump F0 >= LI; RD overlaps FF at the fault.
+    double ff_r = 0, rd_r = 0, f0_r = 0, li_r = 0;
+    for (const auto& h : histories) {
+      const double r = post_fault_residual(h, fault_at);
+      if (h.scheme == "FF") ff_r = r;
+      if (h.scheme == "RD") rd_r = r;
+      if (h.scheme == "F0") f0_r = r;
+      if (h.scheme == "LI") li_r = r;
+    }
+    const bool rd_overlaps = std::abs(std::log10(rd_r / ff_r)) < 0.1;
+    const bool f0_jumps_most = f0_r >= li_r;
+    std::cout << "shape-check(a): RD overlaps FF "
+              << (rd_overlaps ? "PASS" : "FAIL") << "; F0 jump >= LI jump "
+              << (f0_jumps_most ? "PASS" : "FAIL") << "\n\n";
+    shapes_ok = shapes_ok && rd_overlaps && f0_jumps_most;
+  }
+
+  // (b) 10 faults on the 5-point stencil.
+  {
+    const auto& entry = sparse::roster_entry("stencil5");
+    const auto workload =
+        harness::Workload::create(entry.make(quick), config.processes);
+    const auto ff = harness::run_fault_free(workload, config);
+    IndexVec faults;
+    for (Index j = 1; j <= 10; ++j) {
+      faults.push_back((j * ff.iterations) / 11);
+    }
+    const auto histories = run_histories(workload, config, ff, faults);
+    print_histories("Figure 6(b): 10 faults on the 5-point stencil (" +
+                        entry.name + ")",
+                    histories, 20);
+  }
+  std::cout << "shape-check: " << (shapes_ok ? "PASS" : "FAIL") << "\n";
+  return shapes_ok ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+// Figure 9 — projected normalized resilience overhead under weak scaling
+// (50 K nnz per process) with a decreasing system MTBF (constant
+// per-processor MTBF of 6 K hours), for RD, CR-D, CR-M and the best FW.
+//
+// Expected shape: RD flat at the fault-free levels (2× power); FW's
+// T_res/E_res grow roughly linearly (t_const grows, t_lost per fault
+// fixed); CR-D grows fastest (t_C linear in N and checkpointing more
+// frequent) and eventually dominates; CR-M stays smallest; average power
+// of FW and CR-D drops as recovery time dominates.
+
+#include <iostream>
+
+#include "core/csv.hpp"
+#include "core/table.hpp"
+#include "model/projection.hpp"
+
+int main() {
+  using namespace rsls;
+
+  model::ProjectionInputs inputs;  // documented defaults (paper §6 regime)
+  const IndexVec counts = model::default_process_counts();
+  const auto points = model::project(inputs, counts);
+
+  std::cout << "Figure 9: projected resilience overhead, weak scaling at "
+               "50K nnz/process, per-processor MTBF 6K hours\n\n";
+  TablePrinter table({"procs", "MTBF (h)", "T_base (s)",
+                      "RD T_res", "CR-D T_res", "CR-M T_res", "FW T_res",
+                      "RD E_res", "CR-D E_res", "CR-M E_res", "FW E_res",
+                      "CR-D P", "CR-M P", "FW P"});
+  for (const auto& p : points) {
+    table.add_row({std::to_string(p.processes),
+                   TablePrinter::num(p.system_mtbf / 3600.0, 2),
+                   TablePrinter::num(p.t_base, 1),
+                   TablePrinter::num(p.rd.t_res_ratio),
+                   TablePrinter::num(p.cr_disk.t_res_ratio),
+                   TablePrinter::num(p.cr_memory.t_res_ratio),
+                   TablePrinter::num(p.fw.t_res_ratio),
+                   TablePrinter::num(p.rd.e_res_ratio),
+                   TablePrinter::num(p.cr_disk.e_res_ratio),
+                   TablePrinter::num(p.cr_memory.e_res_ratio),
+                   TablePrinter::num(p.fw.e_res_ratio),
+                   TablePrinter::num(p.cr_disk.power_ratio),
+                   TablePrinter::num(p.cr_memory.power_ratio),
+                   TablePrinter::num(p.fw.power_ratio)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nCSV:\n";
+  CsvWriter csv(std::cout,
+                {"procs", "mtbf_h", "scheme", "t_res_ratio", "e_res_ratio",
+                 "power_ratio"});
+  for (const auto& p : points) {
+    const auto emit = [&](const char* name, const model::SchemeCosts& c) {
+      csv.add_row({std::to_string(p.processes),
+                   TablePrinter::num(p.system_mtbf / 3600.0, 4), name,
+                   TablePrinter::num(c.t_res_ratio, 4),
+                   TablePrinter::num(c.e_res_ratio, 4),
+                   TablePrinter::num(c.power_ratio, 4)});
+    };
+    emit("RD", p.rd);
+    emit("CR-D", p.cr_disk);
+    emit("CR-M", p.cr_memory);
+    emit("FW", p.fw);
+  }
+
+  // Shape checks (DESIGN.md §4).
+  const auto& first = points.front();
+  const auto& last = points.back();
+  const bool rd_flat = first.rd.t_res_ratio == 0.0 && last.rd.t_res_ratio == 0.0;
+  const bool fw_grows = last.fw.t_res_ratio > first.fw.t_res_ratio;
+  const bool crd_grows_fastest =
+      (last.cr_disk.t_res_ratio - first.cr_disk.t_res_ratio) >
+      (last.fw.t_res_ratio - first.fw.t_res_ratio);
+  const bool crm_smallest_at_scale =
+      last.cr_memory.t_res_ratio < last.fw.t_res_ratio &&
+      last.cr_memory.t_res_ratio < last.cr_disk.t_res_ratio;
+  const bool crd_dominates = last.cr_disk.t_res_ratio > 1.0;
+  const bool power_drops =
+      last.cr_disk.power_ratio < first.cr_disk.power_ratio &&
+      last.fw.power_ratio < first.fw.power_ratio;
+  std::cout << "\nshape-check: RD flat " << (rd_flat ? "PASS" : "FAIL")
+            << "; FW grows " << (fw_grows ? "PASS" : "FAIL")
+            << "; CR-D fastest growth " << (crd_grows_fastest ? "PASS" : "FAIL")
+            << "; CR-M best at 1M " << (crm_smallest_at_scale ? "PASS" : "FAIL")
+            << "; CR-D overhead dominates FF " << (crd_dominates ? "PASS" : "FAIL")
+            << "; FW/CR-D power drops " << (power_drops ? "PASS" : "FAIL")
+            << "\n";
+  return rd_flat && fw_grows && crd_grows_fastest && crm_smallest_at_scale
+             ? 0
+             : 1;
+}

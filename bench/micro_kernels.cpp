@@ -1,0 +1,248 @@
+// Micro-benchmarks (google-benchmark) for the numerical kernels the
+// recovery schemes execute: SpMV (the CG inner loop), BLAS-1 ops, the
+// dense factorizations behind the exact LI/LSI baselines, and the local
+// CG construction solves of §4.1. These measure real wall time of this
+// library's kernels, complementing the virtual-time experiment benches.
+
+#include <benchmark/benchmark.h>
+
+#include "core/rng.hpp"
+#include "la/factor.hpp"
+#include "la/local_cg.hpp"
+#include "la/qr.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/ordering.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace {
+
+using namespace rsls;
+
+sparse::Csr make_matrix(Index n, Index hb) {
+  sparse::BandedSpdConfig config;
+  config.n = n;
+  config.half_bandwidth = hb;
+  config.diag_excess = 1e-2;
+  config.seed = 42;
+  return sparse::banded_spd(config);
+}
+
+void BM_Spmv(benchmark::State& state) {
+  const Index n = state.range(0);
+  const sparse::Csr a = make_matrix(n, 11);
+  RealVec x(static_cast<std::size_t>(n), 1.0);
+  RealVec y(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    sparse::spmv(a, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_Spmv)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_SpmvTranspose(benchmark::State& state) {
+  const Index n = state.range(0);
+  const sparse::Csr a = make_matrix(n, 11);
+  RealVec x(static_cast<std::size_t>(n), 1.0);
+  RealVec y(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    sparse::spmv_transpose(a, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_SpmvTranspose)->Arg(8192);
+
+void BM_Dot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  RealVec x(n, 1.5);
+  RealVec y(n, 2.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::dot(x, y));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Dot)->Arg(4096)->Arg(262144);
+
+void BM_Axpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  RealVec x(n, 1.5);
+  RealVec y(n, 2.5);
+  for (auto _ : state) {
+    sparse::axpy(0.999, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Axpy)->Arg(4096)->Arg(262144);
+
+void BM_LuFactor(benchmark::State& state) {
+  const Index m = state.range(0);
+  const sparse::Dense dense = sparse::to_dense(make_matrix(m, 8));
+  for (auto _ : state) {
+    la::Lu lu(dense);
+    benchmark::DoNotOptimize(&lu);
+  }
+}
+BENCHMARK(BM_LuFactor)->Arg(64)->Arg(256);
+
+void BM_CholeskyFactor(benchmark::State& state) {
+  const Index m = state.range(0);
+  const sparse::Dense dense = sparse::to_dense(make_matrix(m, 8));
+  for (auto _ : state) {
+    la::Cholesky chol(dense);
+    benchmark::DoNotOptimize(&chol);
+  }
+}
+BENCHMARK(BM_CholeskyFactor)->Arg(64)->Arg(256);
+
+void BM_QrLeastSquares(benchmark::State& state) {
+  const Index m = state.range(0);
+  // Tall least-squares problem, like the LSI column slice.
+  const Index rows = m * 8;
+  sparse::Dense a(rows, m);
+  Rng rng(7);
+  for (Index i = 0; i < rows; ++i) {
+    for (Index j = 0; j < m; ++j) {
+      a(i, j) = rng.uniform(-1.0, 1.0);
+    }
+    a(i, i % m) += 4.0;
+  }
+  RealVec b(static_cast<std::size_t>(rows), 1.0);
+  for (auto _ : state) {
+    la::Qr qr(a);
+    benchmark::DoNotOptimize(qr.solve_least_squares(b));
+  }
+}
+BENCHMARK(BM_QrLeastSquares)->Arg(32)->Arg(96);
+
+void BM_LocalCgConstructionLi(benchmark::State& state) {
+  // The §4.1 LI construction: local CG on a diagonal block.
+  const Index m = state.range(0);
+  const sparse::Csr block = make_matrix(m, 8);
+  RealVec y(static_cast<std::size_t>(m), 1.0);
+  la::LocalCgOptions options;
+  options.tolerance = 1e-6;
+  for (auto _ : state) {
+    RealVec z(static_cast<std::size_t>(m), 0.0);
+    const auto result = la::local_cg(
+        [&block](std::span<const Real> in, std::span<Real> out) {
+          sparse::spmv(block, in, out);
+        },
+        y, z, options);
+    benchmark::DoNotOptimize(result.iterations);
+  }
+}
+BENCHMARK(BM_LocalCgConstructionLi)->Arg(64)->Arg(512);
+
+void BM_LocalCgConstructionLsi(benchmark::State& state) {
+  // The §4.1 LSI construction: local CG on A_rows·A_rowsᵀ (Eq. 21).
+  const Index n = 4096;
+  const Index m = state.range(0);
+  const sparse::Csr a = make_matrix(n, 11);
+  const sparse::Csr rows = sparse::extract_rows(a, 0, m);
+  RealVec beta(static_cast<std::size_t>(n), 1.0);
+  RealVec rhs(static_cast<std::size_t>(m));
+  sparse::spmv(rows, beta, rhs);
+  RealVec t(static_cast<std::size_t>(n));
+  la::LocalCgOptions options;
+  options.tolerance = 1e-6;
+  for (auto _ : state) {
+    RealVec z(static_cast<std::size_t>(m), 0.0);
+    const auto result = la::local_cg(
+        [&rows, &t](std::span<const Real> in, std::span<Real> out) {
+          sparse::spmv_transpose(rows, in, t);
+          sparse::spmv(rows, t, out);
+        },
+        rhs, z, options);
+    benchmark::DoNotOptimize(result.iterations);
+  }
+}
+BENCHMARK(BM_LocalCgConstructionLsi)->Arg(64)->Arg(256);
+
+void BM_AssembleBanded(benchmark::State& state) {
+  const Index n = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_matrix(n, 11).nnz());
+  }
+}
+BENCHMARK(BM_AssembleBanded)->Arg(4096);
+
+void BM_ExtractDiagonalBlock(benchmark::State& state) {
+  const sparse::Csr a = make_matrix(16384, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sparse::extract_block(a, 8000, 8200, 8000, 8200).nnz());
+  }
+}
+BENCHMARK(BM_ExtractDiagonalBlock);
+
+void BM_Transpose(benchmark::State& state) {
+  const sparse::Csr a = make_matrix(8192, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::transpose(a).nnz());
+  }
+}
+BENCHMARK(BM_Transpose);
+
+void BM_RcmOrdering(benchmark::State& state) {
+  const Index n = state.range(0);
+  const sparse::Csr a = make_matrix(n, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::rcm_ordering(a).size());
+  }
+}
+BENCHMARK(BM_RcmOrdering)->Arg(4096)->Arg(32768);
+
+void BM_PermuteSymmetric(benchmark::State& state) {
+  const Index n = state.range(0);
+  const sparse::Csr a = make_matrix(n, 8);
+  const IndexVec perm = sparse::rcm_ordering(a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::permute_symmetric(a, perm).nnz());
+  }
+}
+BENCHMARK(BM_PermuteSymmetric)->Arg(8192);
+
+void BM_CompressColumns(benchmark::State& state) {
+  const sparse::Csr a = make_matrix(16384, 8);
+  const sparse::Csr rows = sparse::extract_rows(a, 8000, 8400);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::compress_columns(rows).matrix.nnz());
+  }
+}
+BENCHMARK(BM_CompressColumns);
+
+void BM_LocalPcgConstruction(benchmark::State& state) {
+  // The Jacobi-preconditioned LSI construction on a scaled block.
+  const Index m = state.range(0);
+  sparse::BandedSpdConfig config;
+  config.n = m;
+  config.half_bandwidth = 8;
+  config.diag_excess = 1e-2;
+  config.scale_decades = 1.5;
+  config.seed = 42;
+  const sparse::Csr block = sparse::banded_spd(config);
+  RealVec inv_diag = sparse::diagonal(block);
+  for (Real& v : inv_diag) {
+    v = 1.0 / v;
+  }
+  RealVec y(static_cast<std::size_t>(m), 1.0);
+  la::LocalCgOptions options;
+  options.tolerance = 1e-8;
+  for (auto _ : state) {
+    RealVec z(static_cast<std::size_t>(m), 0.0);
+    const auto result = la::local_pcg(
+        [&block](std::span<const Real> in, std::span<Real> out) {
+          sparse::spmv(block, in, out);
+        },
+        inv_diag, y, z, options);
+    benchmark::DoNotOptimize(result.iterations);
+  }
+}
+BENCHMARK(BM_LocalPcgConstruction)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

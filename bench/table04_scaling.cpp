@@ -1,0 +1,88 @@
+// Table 4 — normalized iterations to converge under various parallel
+// settings for matrix crystm02.
+//
+// Paper: a fixed-size problem solved with 4, 16, 64 and 256 MPI processes
+// under 10 faults. Each recovery mechanism's normalized iteration count is
+// essentially constant in the process count, with the ordering
+// RD (1) < LI ≈ LSI < CR < F0 ≈ FI.
+
+#include <iostream>
+
+#include "core/csv.hpp"
+#include "core/env.hpp"
+#include "core/options.hpp"
+#include "core/table.hpp"
+#include "harness/experiment.hpp"
+#include "harness/scheme_factory.hpp"
+#include "sparse/roster.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rsls;
+  const Options options(argc, argv);
+  const bool quick = quick_mode() || options.get_bool("quick", false);
+
+  const auto& entry = sparse::roster_entry("crystm02");
+  const sparse::Csr matrix = entry.make(quick);
+  const auto schemes = harness::iteration_scheme_names();
+
+  const IndexVec process_counts =
+      quick ? IndexVec{4, 16, 64} : IndexVec{4, 16, 64, 256};
+
+  std::cout << "Table 4: normalized iterations to converge vs process "
+               "count (" << entry.name << ", 10 faults)\n\n";
+  std::vector<std::string> header = {"#p", "FF iters"};
+  for (const auto& s : schemes) {
+    header.push_back(s);
+  }
+  TablePrinter table(header);
+  std::vector<std::vector<std::string>> csv_rows;
+
+  // Per-scheme min/max across process counts, for the invariance check.
+  std::vector<double> min_ratio(schemes.size(), 1e9);
+  std::vector<double> max_ratio(schemes.size(), 0.0);
+
+  for (const Index p : process_counts) {
+    harness::ExperimentConfig config;
+    config.processes = p;
+    config.faults = 10;
+    config.cr_interval_iterations = 100;
+    config.fw_cg_tolerance = options.get_double("fw-tol", 1e-10);
+    const auto workload = harness::Workload::create(matrix, p);
+    const auto ff = harness::run_fault_free(workload, config);
+    std::vector<std::string> row = {std::to_string(p),
+                                    std::to_string(ff.iterations)};
+    std::vector<std::string> csv_row = row;
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+      const auto run = harness::run_scheme(workload, schemes[s], config, ff);
+      row.push_back(TablePrinter::num(run.iteration_ratio));
+      csv_row.push_back(TablePrinter::num(run.iteration_ratio, 4));
+      min_ratio[s] = std::min(min_ratio[s], run.iteration_ratio);
+      max_ratio[s] = std::max(max_ratio[s], run.iteration_ratio);
+    }
+    table.add_row(row);
+    csv_rows.push_back(csv_row);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nCSV:\n";
+  header[1] = "ff_iters";
+  CsvWriter csv(std::cout, header);
+  for (const auto& row : csv_rows) {
+    csv.add_row(row);
+  }
+
+  // Shape: each scheme's normalized iterations roughly constant in p
+  // (allow 25% spread; fault placement is randomized per run).
+  bool invariant = true;
+  for (std::size_t s = 0; s < schemes.size(); ++s) {
+    if (max_ratio[s] > 1.25 * min_ratio[s]) {
+      invariant = false;
+      std::cout << "  note: " << schemes[s] << " spread "
+                << TablePrinter::num(min_ratio[s]) << " - "
+                << TablePrinter::num(max_ratio[s]) << "\n";
+    }
+  }
+  std::cout << "\nshape-check: iteration ratios ~constant in #p "
+            << (invariant ? "PASS" : "FAIL") << "\n";
+  return invariant ? 0 : 1;
+}

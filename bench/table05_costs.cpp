@@ -1,0 +1,91 @@
+// Table 5 — normalized time, power, and energy cost of resilience,
+// averaged over the matrix roster. CR cadence from Young's formula
+// (§5.3); FF is the normalization base.
+//
+// Expected shape: RD — no time overhead, 2× power and energy; LI-DVFS —
+// least energy overhead among the non-RD schemes; CR-M — least time
+// overhead after RD; CR-D — the most time and energy; RD — the most
+// power.
+
+#include <iostream>
+
+#include "core/csv.hpp"
+#include "core/env.hpp"
+#include "core/error.hpp"
+#include "core/options.hpp"
+#include "core/table.hpp"
+#include "harness/scheme_factory.hpp"
+#include "harness/sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rsls;
+  const Options options(argc, argv);
+  const bool quick = quick_mode() || options.get_bool("quick", false);
+
+  harness::ExperimentConfig config;
+  // 48 processes keeps per-process work near the paper's 50K-nnz
+  // regime (DESIGN.md §2): reconstruction windows stay a realistic
+  // fraction of the run, as on the authors' cluster.
+  config.processes = options.get_index("processes", quick ? 24 : 48);
+  config.faults = options.get_index("faults", 10);
+  config.use_young_interval = true;
+
+  const auto schemes = harness::cost_scheme_names();
+  const auto results = harness::sweep_roster(schemes, config, quick);
+  const auto averages = harness::average_over_matrices(results);
+
+  std::cout << "Table 5: normalized time/power/energy of resilience, "
+               "averaged over the roster (Young-interval CR, "
+            << config.faults << " faults)\n\n";
+  TablePrinter table({"scheme", "Time", "Power", "Energy"});
+  table.add_row({"FF", "1", "1", "1"});
+  for (const auto& avg : averages) {
+    table.add_row({avg.scheme, TablePrinter::num(avg.time_ratio),
+                   TablePrinter::num(avg.power_ratio),
+                   TablePrinter::num(avg.energy_ratio)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nCSV:\n";
+  CsvWriter csv(std::cout, {"scheme", "time_ratio", "power_ratio",
+                            "energy_ratio"});
+  csv.add_row({"FF", "1", "1", "1"});
+  for (const auto& avg : averages) {
+    csv.add_row({avg.scheme, TablePrinter::num(avg.time_ratio, 4),
+                 TablePrinter::num(avg.power_ratio, 4),
+                 TablePrinter::num(avg.energy_ratio, 4)});
+  }
+
+  const auto find = [&](const std::string& name) -> const harness::SchemeAverages& {
+    for (const auto& avg : averages) {
+      if (avg.scheme == name) {
+        return avg;
+      }
+    }
+    throw Error("missing scheme " + name);
+  };
+  const auto& rd = find("RD");
+  const auto& li = find("LI-DVFS");
+  const auto& lsi = find("LSI-DVFS");
+  const auto& crm = find("CR-M");
+  const auto& crd = find("CR-D");
+
+  const bool rd_shape = rd.time_ratio < 1.05 && rd.power_ratio > 1.9 &&
+                        rd.energy_ratio > 1.9;
+  const bool rd_most_power = rd.power_ratio > li.power_ratio &&
+                             rd.power_ratio > crd.power_ratio;
+  const bool crm_fast = crm.time_ratio <= li.time_ratio &&
+                        crm.time_ratio <= crd.time_ratio;
+  const bool crd_worst = crd.time_ratio >= crm.time_ratio &&
+                         crd.energy_ratio >= crm.energy_ratio;
+  const bool li_efficient = li.energy_ratio <= crd.energy_ratio &&
+                            li.energy_ratio <= lsi.energy_ratio * 1.1;
+  std::cout << "\nshape-check: RD {T~1, P~2, E~2} "
+            << (rd_shape ? "PASS" : "FAIL") << "; RD most power "
+            << (rd_most_power ? "PASS" : "FAIL")
+            << "; CR-M least time (after RD) " << (crm_fast ? "PASS" : "FAIL")
+            << "; CR-D most time+energy " << (crd_worst ? "PASS" : "FAIL")
+            << "; LI-DVFS energy-efficient " << (li_efficient ? "PASS" : "FAIL")
+            << "\n";
+  return rd_shape && rd_most_power && crd_worst ? 0 : 1;
+}

@@ -1,0 +1,158 @@
+// Table 6 — validation of the §3 analytical models against the
+// (simulated) experiment for matrix x104, normalized to fault-free.
+//
+// The models are parameterized only from measured scalars — per-
+// checkpoint cost t_C, per-reconstruction cost t_const, the extra-
+// iteration fraction, and the power-model phase ratios — mirroring how
+// the paper fits its models from experimental data. Expected shape:
+// FF/RD match exactly; for the other schemes the model preserves the
+// relative ordering, with some overestimation of the FW costs.
+
+#include <cmath>
+#include <iostream>
+
+#include "core/csv.hpp"
+#include "core/env.hpp"
+#include "core/options.hpp"
+#include "core/table.hpp"
+#include "harness/experiment.hpp"
+#include "model/cost_models.hpp"
+#include "power/power_model.hpp"
+#include "sparse/roster.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rsls;
+  const Options options(argc, argv);
+  const bool quick = quick_mode() || options.get_bool("quick", false);
+
+  harness::ExperimentConfig config;
+  config.processes = options.get_index("processes", quick ? 48 : 192);
+  config.faults = options.get_index("faults", 10);
+  config.use_young_interval = true;
+
+  const auto& entry = sparse::roster_entry("x104");
+  const auto workload =
+      harness::Workload::create(entry.make(quick), config.processes);
+  const auto ff = harness::run_fault_free(workload, config);
+
+  const auto machine = harness::machine_for(config.processes);
+  const power::PowerModel power_model(machine.power);
+  const Watts p1 = power_model.core_power(machine.power.freq.max_hz,
+                                          power::Activity::kActive);
+
+  model::BaseCase base;
+  base.t_base = ff.time;
+  base.n_cores = config.processes;
+  base.p1 = ff.power / static_cast<double>(config.processes);
+  const PerSecond lambda = static_cast<double>(config.faults) / ff.time;
+
+  // Node-level power ratio of a storage phase vs computation, from the
+  // power model (the paper's 0.4/0.9 constants, here derived).
+  const auto phase_power_factor = [&](power::Activity activity) {
+    const double cores = static_cast<double>(machine.cores_per_node());
+    const Watts constant =
+        power_model.node_constant_power(machine.sockets_per_node);
+    const Watts active =
+        cores * power_model.core_power(machine.power.freq.max_hz,
+                                       power::Activity::kActive) +
+        constant;
+    const Watts phase =
+        cores * power_model.core_power(machine.power.freq.max_hz, activity) +
+        constant;
+    return phase / active;
+  };
+
+  std::cout << "Table 6: model vs experiment for " << entry.name
+            << " (normalized to FF)\n\n";
+  TablePrinter table({"scheme", "model T_res", "model P", "model E_res",
+                      "exp T_res", "exp P", "exp E_res"});
+  table.add_row({"FF", "0", "1", "0", "0", "1", "0"});
+
+  struct Pair {
+    std::string scheme;
+    model::SchemeCosts model_costs;
+    double exp_t_res, exp_p, exp_e_res;
+  };
+  std::vector<Pair> pairs;
+
+  for (const std::string name :
+       {"RD", "LI-DVFS", "LSI-DVFS", "CR-M", "CR-D"}) {
+    const auto run = harness::run_scheme(workload, name, config, ff);
+    model::SchemeCosts costs;
+    if (name == "RD") {
+      costs = model::redundancy(base);
+    } else if (name == "CR-M" || name == "CR-D") {
+      model::CrModelParams params;
+      params.t_c = run.t_c_mean;
+      params.interval =
+          static_cast<double>(run.cr_interval_used) * ff.iteration_seconds;
+      params.lambda = lambda;
+      // Measured per-fault recomputation time (captures the rollback
+      // distance and the post-restart re-convergence penalty), as the
+      // paper measures unit times for its Table 6 parameterization.
+      params.t_lost = (run.iteration_ratio - 1.0) * ff.time /
+                      static_cast<double>(config.faults);
+      params.checkpoint_power_factor = phase_power_factor(
+          name == "CR-D" ? power::Activity::kDiskWait
+                         : power::Activity::kMemCopy);
+      costs = model::checkpoint_restart(base, params);
+    } else {
+      model::FwModelParams params;
+      params.t_const = run.t_const_mean;
+      params.extra_time_fraction = run.iteration_ratio - 1.0;
+      params.lambda = lambda;
+      params.active_ranks = 1;
+      // Idle ranks are pinned to f_min while waiting (§4.2).
+      params.idle_power = power_model.core_power(
+          machine.power.freq.min_hz, power::Activity::kWaiting);
+      costs = model::forward_recovery(base, params);
+    }
+    pairs.push_back({name, costs, run.time_ratio - 1.0, run.power_ratio,
+                     run.energy_ratio - 1.0});
+    table.add_row({name, TablePrinter::num(costs.t_res_ratio),
+                   TablePrinter::num(costs.power_ratio),
+                   TablePrinter::num(costs.e_res_ratio),
+                   TablePrinter::num(run.time_ratio - 1.0),
+                   TablePrinter::num(run.power_ratio),
+                   TablePrinter::num(run.energy_ratio - 1.0)});
+  }
+  table.print(std::cout);
+  (void)p1;
+
+  std::cout << "\nCSV:\n";
+  CsvWriter csv(std::cout, {"scheme", "model_t_res", "model_p", "model_e_res",
+                            "exp_t_res", "exp_p", "exp_e_res"});
+  for (const auto& p : pairs) {
+    csv.add_row({p.scheme, TablePrinter::num(p.model_costs.t_res_ratio, 4),
+                 TablePrinter::num(p.model_costs.power_ratio, 4),
+                 TablePrinter::num(p.model_costs.e_res_ratio, 4),
+                 TablePrinter::num(p.exp_t_res, 4),
+                 TablePrinter::num(p.exp_p, 4),
+                 TablePrinter::num(p.exp_e_res, 4)});
+  }
+
+  // Shape: RD exact; pairwise T_res ordering preserved between model and
+  // experiment for the schemes with nonzero overhead.
+  bool rd_exact = false;
+  for (const auto& p : pairs) {
+    if (p.scheme == "RD") {
+      rd_exact = std::abs(p.model_costs.t_res_ratio - p.exp_t_res) < 0.01 &&
+                 std::abs(p.model_costs.power_ratio - p.exp_p) < 0.05;
+    }
+  }
+  Index agreements = 0, comparisons = 0;
+  for (std::size_t i = 1; i < pairs.size(); ++i) {
+    for (std::size_t j = i + 1; j < pairs.size(); ++j) {
+      const bool model_order =
+          pairs[i].model_costs.t_res_ratio < pairs[j].model_costs.t_res_ratio;
+      const bool exp_order = pairs[i].exp_t_res < pairs[j].exp_t_res;
+      agreements += model_order == exp_order ? 1 : 0;
+      ++comparisons;
+    }
+  }
+  const bool order_ok = agreements * 3 >= comparisons * 2;  // >= 2/3 agree
+  std::cout << "\nshape-check: RD exact " << (rd_exact ? "PASS" : "FAIL")
+            << "; model preserves T_res ordering (" << agreements << "/"
+            << comparisons << ") " << (order_ok ? "PASS" : "FAIL") << "\n";
+  return rd_exact && order_ok ? 0 : 1;
+}

@@ -1,0 +1,103 @@
+// Exascale what-if: measure a workload's resilience parameters at small
+// scale, then project its recovery costs to large systems with the §6
+// weak-scaling models — the paper's Fig. 9 workflow applied to a
+// user-chosen configuration.
+//
+//   ./build/examples/exascale_projection [--matrix=crystm02]
+//       [--per-process-mtbf-hours=6000] [--max-procs=1048576]
+
+#include <iostream>
+
+#include "core/options.hpp"
+#include "core/table.hpp"
+#include "harness/experiment.hpp"
+#include "harness/scheme_factory.hpp"
+#include "model/projection.hpp"
+#include "sparse/roster.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rsls;
+  const Options options(argc, argv);
+  const std::string matrix_name = options.get_string("matrix", "crystm02");
+  const double mtbf_hours =
+      options.get_double("per-process-mtbf-hours", 6000.0);
+  const Index max_procs = options.get_index("max-procs", 1048576);
+
+  // 1. Measure at small scale: FF baseline + LI-DVFS construction cost +
+  //    extra-iteration overhead.
+  harness::ExperimentConfig config;
+  config.processes = 48;
+  config.faults = 10;
+  const auto& entry = sparse::roster_entry(matrix_name);
+  const auto workload =
+      harness::Workload::create(entry.make(/*quick=*/true), config.processes);
+  const auto ff = harness::run_fault_free(workload, config);
+  const auto fw = harness::run_scheme(workload, "LI-DVFS", config, ff);
+
+  std::cout << "Measured on " << entry.name << " at " << config.processes
+            << " ranks: t_const = "
+            << TablePrinter::num(fw.t_const_mean * 1e6, 1)
+            << " us/reconstruction, extra-iteration overhead = "
+            << TablePrinter::num(100.0 * (fw.iteration_ratio - 1.0), 1)
+            << "%\n\n";
+
+  // 2. Feed the measurements into the §6 projection.
+  model::ProjectionInputs inputs;
+  inputs.t_solve = ff.time;
+  inputs.iterations = ff.iterations;
+  inputs.p1 = ff.power / static_cast<double>(config.processes);
+  inputs.per_process_mtbf = mtbf_hours * 3600.0;
+  inputs.fw_extra_fraction = fw.iteration_ratio - 1.0;
+  inputs.fw_tconst_base = fw.t_const_mean;
+  inputs.fw_tconst_per_process =
+      fw.t_const_mean / static_cast<double>(config.processes) * 0.1;
+  const auto machine = harness::machine_for(config.processes);
+  inputs.crm_tc =
+      harness::estimate_checkpoint_seconds(workload, machine, false);
+  inputs.crd_tc_per_process =
+      harness::estimate_checkpoint_seconds(workload, machine, true) /
+      static_cast<double>(config.processes);
+
+  IndexVec counts;
+  for (Index p = 1024; p <= max_procs; p *= 4) {
+    counts.push_back(p);
+  }
+  const auto points = model::project(inputs, counts);
+
+  // 3. Report normalized T_res per scheme per scale.
+  TablePrinter table({"procs", "MTBF (min)", "RD T_res", "CR-D T_res",
+                      "CR-M T_res", "FW T_res", "best"});
+  for (const auto& point : points) {
+    const struct {
+      const char* name;
+      double value;
+      bool halted;
+    } schemes[] = {
+        {"RD", point.rd.e_res_ratio, false},
+        {"CR-D", point.cr_disk.e_res_ratio, point.cr_disk.halted},
+        {"CR-M", point.cr_memory.e_res_ratio, point.cr_memory.halted},
+        {"FW", point.fw.e_res_ratio, point.fw.halted},
+    };
+    const char* best = "-";
+    double best_value = 0.0;
+    for (const auto& s : schemes) {
+      if (!s.halted && (best[0] == '-' || s.value < best_value)) {
+        best = s.name;
+        best_value = s.value;
+      }
+    }
+    table.add_row({std::to_string(point.processes),
+                   TablePrinter::num(point.system_mtbf / 60.0, 1),
+                   TablePrinter::num(point.rd.t_res_ratio),
+                   point.cr_disk.halted
+                       ? "halt"
+                       : TablePrinter::num(point.cr_disk.t_res_ratio),
+                   TablePrinter::num(point.cr_memory.t_res_ratio),
+                   TablePrinter::num(point.fw.t_res_ratio), best});
+  }
+  table.print(std::cout);
+  std::cout << "\n(best = least resilience energy among schemes that still "
+               "make progress; 'halt' = overhead reaches 100%, the paper's "
+               "§6 warning for CR-D at exascale)\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "core/csv.hpp"
+
+#include "core/error.hpp"
+
+namespace rsls {
+
+CsvWriter::CsvWriter(std::ostream& os, const std::vector<std::string>& header)
+    : os_(os), width_(header.size()) {
+  RSLS_CHECK(width_ > 0);
+  add_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  RSLS_CHECK_MSG(cells.size() == width_, "CSV row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) {
+      os_ << ',';
+    }
+    os_ << escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) {
+    return field;
+  }
+  std::string quoted = "\"";
+  for (const char ch : field) {
+    if (ch == '"') {
+      quoted += "\"\"";
+    } else {
+      quoted += ch;
+    }
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace rsls

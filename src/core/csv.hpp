@@ -1,0 +1,26 @@
+#pragma once
+// CSV emitter companion to TablePrinter; writes RFC-4180-ish CSV so bench
+// output can be piped straight into plotting scripts.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rsls {
+
+class CsvWriter {
+ public:
+  /// Write the header row immediately.
+  CsvWriter(std::ostream& os, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Quote a field if it contains separators/quotes/newlines.
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ostream& os_;
+  std::size_t width_;
+};
+
+}  // namespace rsls

@@ -1,0 +1,29 @@
+#include "core/env.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace rsls {
+
+std::optional<std::string> env_string(const std::string& name) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr) {
+    return std::nullopt;
+  }
+  return std::string(value);
+}
+
+bool quick_mode() {
+  const auto value = env_string("RSLS_QUICK");
+  if (!value.has_value()) {
+    return false;
+  }
+  return *value != "0" && !value->empty();
+}
+
+long long quick_scaled(long long full, long long quick, long long min_value) {
+  const long long chosen = quick_mode() ? quick : full;
+  return std::max(chosen, min_value);
+}
+
+}  // namespace rsls

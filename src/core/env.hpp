@@ -1,0 +1,19 @@
+#pragma once
+// Process environment queries shared by benches and tests.
+
+#include <optional>
+#include <string>
+
+namespace rsls {
+
+/// Value of an environment variable, if set.
+std::optional<std::string> env_string(const std::string& name);
+
+/// True when RSLS_QUICK is set to a truthy value; benches shrink their
+/// workloads so the whole suite smoke-runs in seconds.
+bool quick_mode();
+
+/// Scale a problem dimension down in quick mode (floor at `min_value`).
+long long quick_scaled(long long full, long long quick, long long min_value = 1);
+
+}  // namespace rsls

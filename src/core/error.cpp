@@ -1,0 +1,17 @@
+#include "core/error.hpp"
+
+#include <sstream>
+
+namespace rsls::detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& msg) {
+  std::ostringstream os;
+  os << "RSLS_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw Error(os.str());
+}
+
+}  // namespace rsls::detail

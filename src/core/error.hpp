@@ -1,0 +1,45 @@
+#pragma once
+// Error handling: a project exception type plus CHECK macros.
+//
+// RSLS_CHECK is for precondition/invariant violations that indicate a
+// programming error or corrupt input; it throws rsls::Error with file/line
+// context. RSLS_ASSERT compiles away in release-like builds and guards
+// hot-path invariants.
+
+#include <stdexcept>
+#include <string>
+
+namespace rsls {
+
+/// Exception thrown on contract violations and unrecoverable errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace rsls
+
+#define RSLS_CHECK(expr)                                                     \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::rsls::detail::throw_check_failure(#expr, __FILE__, __LINE__, "");    \
+    }                                                                        \
+  } while (false)
+
+#define RSLS_CHECK_MSG(expr, msg)                                            \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::rsls::detail::throw_check_failure(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                        \
+  } while (false)
+
+#ifdef NDEBUG
+#define RSLS_ASSERT(expr) ((void)0)
+#else
+#define RSLS_ASSERT(expr) RSLS_CHECK(expr)
+#endif

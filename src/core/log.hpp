@@ -1,0 +1,52 @@
+#pragma once
+// Minimal leveled logger writing to stderr.
+//
+// Logging is intentionally tiny: benches and examples print their results
+// to stdout through the table/CSV emitters; the logger is for diagnostics
+// only, so it must never interleave with result output.
+
+#include <sstream>
+#include <string>
+
+namespace rsls {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line (appends '\n'); thread-compatible, not thread-safe.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace rsls
+
+#define RSLS_LOG(level)                          \
+  if (::rsls::log_level() > (level)) {           \
+  } else                                         \
+    ::rsls::detail::LogLine(level)
+
+#define RSLS_DEBUG RSLS_LOG(::rsls::LogLevel::kDebug)
+#define RSLS_INFO RSLS_LOG(::rsls::LogLevel::kInfo)
+#define RSLS_WARN RSLS_LOG(::rsls::LogLevel::kWarn)
+#define RSLS_ERROR RSLS_LOG(::rsls::LogLevel::kError)

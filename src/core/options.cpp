@@ -1,0 +1,112 @@
+#include "core/options.hpp"
+
+#include <cstdlib>
+
+#include "core/error.hpp"
+
+namespace rsls {
+
+Options::Options(int argc, const char* const* argv) {
+  std::vector<std::string> tokens;
+  tokens.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) {
+    tokens.emplace_back(argv[i]);
+  }
+  parse(tokens);
+}
+
+Options::Options(const std::vector<std::string>& tokens) { parse(tokens); }
+
+void Options::parse(const std::vector<std::string>& tokens) {
+  for (const auto& token : tokens) {
+    RSLS_CHECK_MSG(token.rfind("--", 0) == 0,
+                   "option must start with --: " + token);
+    const std::string body = token.substr(2);
+    RSLS_CHECK_MSG(!body.empty(), "empty option: " + token);
+    const auto eq = body.find('=');
+    if (eq == std::string::npos) {
+      values_[body] = "true";
+    } else {
+      const std::string key = body.substr(0, eq);
+      RSLS_CHECK_MSG(!key.empty(), "empty option key: " + token);
+      values_[key] = body.substr(eq + 1);
+    }
+  }
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    used_[key] = false;
+  }
+}
+
+bool Options::has(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it != values_.end()) {
+    used_[key] = true;
+    return true;
+  }
+  return false;
+}
+
+std::string Options::get_string(const std::string& key,
+                                const std::string& fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  used_[key] = true;
+  return it->second;
+}
+
+double Options::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  used_[key] = true;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  RSLS_CHECK_MSG(end != nullptr && *end == '\0' && end != it->second.c_str(),
+                 "not a number for --" + key + ": " + it->second);
+  return value;
+}
+
+Index Options::get_index(const std::string& key, Index fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  used_[key] = true;
+  char* end = nullptr;
+  const long long value = std::strtoll(it->second.c_str(), &end, 10);
+  RSLS_CHECK_MSG(end != nullptr && *end == '\0' && end != it->second.c_str(),
+                 "not an integer for --" + key + ": " + it->second);
+  return static_cast<Index>(value);
+}
+
+bool Options::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  used_[key] = true;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "false" || v == "0" || v == "no" || v == "off") {
+    return false;
+  }
+  throw Error("not a boolean for --" + key + ": " + v);
+}
+
+std::vector<std::string> Options::unused_keys() const {
+  std::vector<std::string> unused;
+  for (const auto& [key, was_used] : used_) {
+    if (!was_used) {
+      unused.push_back(key);
+    }
+  }
+  return unused;
+}
+
+}  // namespace rsls

@@ -1,0 +1,46 @@
+#pragma once
+// Tiny command-line option parser used by benches and examples.
+//
+// Accepts "--key=value" and "--flag" tokens. Unknown keys are an error so
+// typos in experiment sweeps fail loudly instead of silently running the
+// default configuration.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rsls {
+
+class Options {
+ public:
+  /// Parse argv; throws rsls::Error on malformed tokens.
+  Options(int argc, const char* const* argv);
+
+  /// Construct from pre-split tokens (for tests).
+  explicit Options(const std::vector<std::string>& tokens);
+
+  bool has(const std::string& key) const;
+
+  /// Typed getters with defaults. Throw rsls::Error if present but
+  /// unparsable.
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  Index get_index(const std::string& key, Index fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Keys that were provided but never queried; benches call this last to
+  /// reject typos.
+  std::vector<std::string> unused_keys() const;
+
+ private:
+  void parse(const std::vector<std::string>& tokens);
+
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> used_;
+};
+
+}  // namespace rsls

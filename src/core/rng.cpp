@@ -1,0 +1,99 @@
+#include "core/rng.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace rsls {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) {
+    word = splitmix64(s);
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits → double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  RSLS_CHECK(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  RSLS_CHECK(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+  std::uint64_t value = next_u64();
+  while (value >= limit) {
+    value = next_u64();
+  }
+  return value % n;
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 must be > 0.
+  double u1 = uniform();
+  while (u1 <= 0.0) {
+    u1 = uniform();
+  }
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double stddev) {
+  RSLS_CHECK(stddev >= 0.0);
+  return mean + stddev * normal();
+}
+
+double Rng::exponential(double rate) {
+  RSLS_CHECK(rate > 0.0);
+  double u = uniform();
+  while (u <= 0.0) {
+    u = uniform();
+  }
+  return -std::log(u) / rate;
+}
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+}  // namespace rsls

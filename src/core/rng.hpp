@@ -1,0 +1,53 @@
+#pragma once
+// Deterministic random number generation.
+//
+// We implement xoshiro256** seeded via SplitMix64 instead of relying on
+// <random> distributions: the standard distributions are not guaranteed to
+// produce identical streams across library implementations, and bit-exact
+// reproducibility of every experiment is a design requirement (DESIGN.md §6).
+
+#include <array>
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace rsls {
+
+/// xoshiro256** PRNG with SplitMix64 seeding. Deterministic across
+/// platforms for a given seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n); requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal via Box–Muller (deterministic; caches the pair).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Exponential with the given rate (mean 1/rate); used for Poisson
+  /// fault inter-arrival times.
+  double exponential(double rate);
+
+  /// Derive an independent child stream (e.g. one per simulated rank).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace rsls

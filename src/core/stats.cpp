@@ -1,0 +1,85 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace rsls {
+
+double mean(std::span<const double> values) {
+  RSLS_CHECK(!values.empty());
+  double sum = 0.0;
+  for (const double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double geometric_mean(std::span<const double> values) {
+  RSLS_CHECK(!values.empty());
+  double log_sum = 0.0;
+  for (const double v : values) {
+    RSLS_CHECK_MSG(v > 0.0, "geometric mean requires positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double sample_stddev(std::span<const double> values) {
+  RSLS_CHECK(!values.empty());
+  if (values.size() == 1) {
+    return 0.0;
+  }
+  const double m = mean(values);
+  double sum_sq = 0.0;
+  for (const double v : values) {
+    sum_sq += (v - m) * (v - m);
+  }
+  return std::sqrt(sum_sq / static_cast<double>(values.size() - 1));
+}
+
+double min_value(std::span<const double> values) {
+  RSLS_CHECK(!values.empty());
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_value(std::span<const double> values) {
+  RSLS_CHECK(!values.empty());
+  return *std::max_element(values.begin(), values.end());
+}
+
+LineFit fit_line(std::span<const double> x, std::span<const double> y) {
+  RSLS_CHECK(x.size() == y.size());
+  RSLS_CHECK(x.size() >= 2);
+  const double n = static_cast<double>(x.size());
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  RSLS_CHECK_MSG(sxx > 0.0, "line fit requires non-constant x");
+  LineFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  if (syy > 0.0) {
+    fit.r_squared = (sxy * sxy) / (sxx * syy);
+  } else {
+    fit.r_squared = 1.0;  // perfectly flat data is perfectly fit
+  }
+  (void)n;
+  return fit;
+}
+
+double evaluate(const LineFit& fit, double x) {
+  return fit.slope * x + fit.intercept;
+}
+
+}  // namespace rsls

@@ -1,0 +1,39 @@
+#pragma once
+// Small statistics helpers used for model fitting (§3 parameterization)
+// and result aggregation (averages over the 14-matrix roster).
+
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rsls {
+
+/// Arithmetic mean; requires a non-empty range.
+double mean(std::span<const double> values);
+
+/// Geometric mean; requires non-empty range of positive values. Used for
+/// normalized-overhead averaging across matrices.
+double geometric_mean(std::span<const double> values);
+
+/// Sample standard deviation (n-1 denominator); 0 for size-1 ranges.
+double sample_stddev(std::span<const double> values);
+
+double min_value(std::span<const double> values);
+double max_value(std::span<const double> values);
+
+/// Least-squares line fit y ≈ slope·x + intercept; requires ≥ 2 points
+/// and non-constant x. Used to fit t_C and t_const scaling trends (§6).
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0, 1].
+  double r_squared = 0.0;
+};
+
+LineFit fit_line(std::span<const double> x, std::span<const double> y);
+
+/// Evaluate a fitted line.
+double evaluate(const LineFit& fit, double x);
+
+}  // namespace rsls

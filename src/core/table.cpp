@@ -1,0 +1,57 @@
+#include "core/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace rsls {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  RSLS_CHECK(!headers_.empty());
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  RSLS_CHECK_MSG(cells.size() == headers_.size(),
+                 "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << cells[c];
+      if (c + 1 < cells.size()) {
+        os << "  ";
+      }
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (const auto w : widths) {
+    total += w;
+  }
+  total += 2 * (widths.size() - 1);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+}  // namespace rsls

@@ -1,0 +1,34 @@
+#pragma once
+// Aligned plain-text table emitter for bench/table output.
+//
+// Benches print the paper's tables as monospace-aligned text (for humans)
+// followed by CSV (for plotting). TablePrinter handles the former.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rsls {
+
+class TablePrinter {
+ public:
+  /// Create a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append a row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles to the given precision.
+  static std::string num(double value, int precision = 2);
+
+  /// Render with a header underline and 2-space column gaps.
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rsls

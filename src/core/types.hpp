@@ -1,0 +1,26 @@
+#pragma once
+// Fundamental scalar and index types used across RSLS.
+//
+// All matrix/vector dimensions use a signed 64-bit index so that
+// partition arithmetic (differences of offsets) never needs casts,
+// following the C++ Core Guidelines advice (ES.100-107) to prefer
+// signed arithmetic for quantities that participate in subtraction.
+
+#include <cstdint>
+#include <vector>
+
+namespace rsls {
+
+/// Row/column/entry index for matrices and vectors.
+using Index = std::int64_t;
+
+/// Floating point scalar for all numerics.
+using Real = double;
+
+/// Dense value buffer.
+using RealVec = std::vector<Real>;
+
+/// Index buffer (CSR pointers, column indices, permutations).
+using IndexVec = std::vector<Index>;
+
+}  // namespace rsls

@@ -1,0 +1,39 @@
+#pragma once
+// Physical unit conventions and conversion helpers.
+//
+// Quantities are plain doubles in SI base units throughout the codebase:
+//   time    — seconds
+//   power   — watts
+//   energy  — joules
+//   freq    — hertz
+//   rate    — events per second (failure rate λ)
+//   data    — bytes
+// These aliases document intent at API boundaries; the helpers convert
+// the non-SI units the paper uses (hours for MTBF, GHz for DVFS states).
+
+namespace rsls {
+
+using Seconds = double;
+using Watts = double;
+using Joules = double;
+using Hertz = double;
+using PerSecond = double;
+using Bytes = double;
+
+inline constexpr Seconds kSecondsPerHour = 3600.0;
+inline constexpr Hertz kGigahertz = 1e9;
+inline constexpr Bytes kMebibyte = 1024.0 * 1024.0;
+inline constexpr Bytes kGibibyte = 1024.0 * 1024.0 * 1024.0;
+
+constexpr Seconds hours(double h) { return h * kSecondsPerHour; }
+constexpr double to_hours(Seconds s) { return s / kSecondsPerHour; }
+constexpr Hertz gigahertz(double ghz) { return ghz * kGigahertz; }
+constexpr double to_gigahertz(Hertz hz) { return hz / kGigahertz; }
+
+/// Failure rate λ (per second) from mean time between failures.
+constexpr PerSecond rate_from_mtbf(Seconds mtbf) { return 1.0 / mtbf; }
+
+/// MTBF from a failure rate.
+constexpr Seconds mtbf_from_rate(PerSecond lambda) { return 1.0 / lambda; }
+
+}  // namespace rsls

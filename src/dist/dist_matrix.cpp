@@ -1,0 +1,68 @@
+#include "dist/dist_matrix.hpp"
+
+#include <set>
+
+#include "core/error.hpp"
+
+namespace rsls::dist {
+
+DistMatrix::DistMatrix(sparse::Csr a, Index parts)
+    : global_(std::move(a)), part_(global_.rows, parts) {
+  RSLS_CHECK_MSG(global_.rows == global_.cols,
+                 "distributed matrices must be square");
+  sparse::validate(global_);
+
+  const auto p = static_cast<std::size_t>(parts);
+  local_nnz_.assign(p, 0);
+  halo_bytes_.assign(p, 0.0);
+  halo_msgs_.assign(p, 0);
+
+  for (Index rank = 0; rank < parts; ++rank) {
+    const Index row_begin = part_.begin(rank);
+    const Index row_end = part_.end(rank);
+    std::set<Index> remote_cols;
+    std::set<Index> neighbours;
+    Index nnz = 0;
+    for (Index r = row_begin; r < row_end; ++r) {
+      const auto cols = global_.row_cols(r);
+      nnz += static_cast<Index>(cols.size());
+      for (const Index c : cols) {
+        if (c < row_begin || c >= row_end) {
+          remote_cols.insert(c);
+          neighbours.insert(part_.owner(c));
+        }
+      }
+    }
+    const auto i = static_cast<std::size_t>(rank);
+    local_nnz_[i] = nnz;
+    halo_bytes_[i] =
+        static_cast<double>(remote_cols.size()) * static_cast<double>(sizeof(Real));
+    halo_msgs_[i] = static_cast<Index>(neighbours.size());
+  }
+}
+
+Index DistMatrix::local_nnz(Index rank) const {
+  RSLS_CHECK(rank >= 0 && rank < parts());
+  return local_nnz_[static_cast<std::size_t>(rank)];
+}
+
+sparse::Csr DistMatrix::diagonal_block(Index rank) const {
+  const Index b = part_.begin(rank);
+  const Index e = part_.end(rank);
+  return sparse::extract_block(global_, b, e, b, e);
+}
+
+sparse::Csr DistMatrix::row_block(Index rank) const {
+  return sparse::extract_rows(global_, part_.begin(rank), part_.end(rank));
+}
+
+Bytes DistMatrix::block_bytes(Index rank) const {
+  return static_cast<double>(part_.block_rows(rank)) *
+         static_cast<double>(sizeof(Real));
+}
+
+Bytes DistMatrix::vector_bytes() const {
+  return static_cast<double>(global_.rows) * static_cast<double>(sizeof(Real));
+}
+
+}  // namespace rsls::dist

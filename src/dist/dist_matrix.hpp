@@ -1,0 +1,61 @@
+#pragma once
+// Block-row distributed sparse matrix.
+//
+// The simulation keeps one copy of the global CSR (real numerics execute
+// on it directly) and precomputes, per rank, the structure the virtual
+// cluster needs to charge communication: local nnz, the number of distinct
+// off-block columns each rank must receive (halo volume), and the number
+// of neighbour ranks it exchanges with (message count).
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "core/units.hpp"
+#include "dist/partition.hpp"
+#include "sparse/csr.hpp"
+
+namespace rsls::dist {
+
+class DistMatrix {
+ public:
+  /// Partition `a` (square) into `parts` block rows.
+  DistMatrix(sparse::Csr a, Index parts);
+
+  const sparse::Csr& global() const { return global_; }
+  const Partition& partition() const { return part_; }
+  Index parts() const { return part_.parts(); }
+  Index rows() const { return global_.rows; }
+
+  /// nnz stored in rank r's row block.
+  Index local_nnz(Index rank) const;
+
+  /// Bytes of x entries rank r must receive for one SpMV.
+  const std::vector<Bytes>& halo_bytes() const { return halo_bytes_; }
+
+  /// Distinct neighbour ranks r receives from for one SpMV.
+  const IndexVec& halo_messages() const { return halo_msgs_; }
+
+  /// Diagonal block A_{p,p} with indices rebased to the block (the LI
+  /// reconstruction operator, Eq. 19).
+  sparse::Csr diagonal_block(Index rank) const;
+
+  /// Row slice A_{p,:} with global column indices (the LSI reconstruction
+  /// operator after the SPD transform, Eq. 21).
+  sparse::Csr row_block(Index rank) const;
+
+  /// Bytes of one process's share of a distributed vector (for
+  /// checkpoint/recovery transfer sizing).
+  Bytes block_bytes(Index rank) const;
+
+  /// Bytes of a full distributed vector.
+  Bytes vector_bytes() const;
+
+ private:
+  sparse::Csr global_;
+  Partition part_;
+  IndexVec local_nnz_;
+  std::vector<Bytes> halo_bytes_;
+  IndexVec halo_msgs_;
+};
+
+}  // namespace rsls::dist

@@ -1,0 +1,63 @@
+#include "dist/dist_ops.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "la/flops.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace rsls::dist {
+
+using power::PhaseTag;
+
+void dist_spmv(const DistMatrix& a, simrt::VirtualCluster& cluster,
+               std::span<const Real> x, std::span<Real> y,
+               PhaseTag compute_tag) {
+  RSLS_CHECK(cluster.num_ranks() == a.parts());
+  cluster.halo_exchange(a.halo_bytes(), a.halo_messages(), PhaseTag::kComm);
+  for (Index r = 0; r < a.parts(); ++r) {
+    cluster.charge_compute(r, la::spmv_flops(a.local_nnz(r)), compute_tag);
+  }
+  sparse::spmv(a.global(), x, y);
+}
+
+Real dist_dot(const Partition& part, simrt::VirtualCluster& cluster,
+              std::span<const Real> x, std::span<const Real> y,
+              PhaseTag compute_tag) {
+  RSLS_CHECK(cluster.num_ranks() == part.parts());
+  for (Index r = 0; r < part.parts(); ++r) {
+    cluster.charge_compute(r, 2.0 * static_cast<double>(part.block_rows(r)),
+                           compute_tag);
+  }
+  cluster.allreduce(sizeof(Real), PhaseTag::kComm);
+  return sparse::dot(x, y);
+}
+
+Real dist_norm2(const Partition& part, simrt::VirtualCluster& cluster,
+                std::span<const Real> x, PhaseTag compute_tag) {
+  return std::sqrt(dist_dot(part, cluster, x, x, compute_tag));
+}
+
+void dist_axpy(const Partition& part, simrt::VirtualCluster& cluster,
+               Real alpha, std::span<const Real> x, std::span<Real> y,
+               PhaseTag compute_tag) {
+  RSLS_CHECK(cluster.num_ranks() == part.parts());
+  for (Index r = 0; r < part.parts(); ++r) {
+    cluster.charge_compute(r, 2.0 * static_cast<double>(part.block_rows(r)),
+                           compute_tag);
+  }
+  sparse::axpy(alpha, x, y);
+}
+
+void dist_xpby(const Partition& part, simrt::VirtualCluster& cluster,
+               std::span<const Real> x, Real beta, std::span<Real> y,
+               PhaseTag compute_tag) {
+  RSLS_CHECK(cluster.num_ranks() == part.parts());
+  for (Index r = 0; r < part.parts(); ++r) {
+    cluster.charge_compute(r, 2.0 * static_cast<double>(part.block_rows(r)),
+                           compute_tag);
+  }
+  sparse::xpby(x, beta, y);
+}
+
+}  // namespace rsls::dist

@@ -1,0 +1,41 @@
+#pragma once
+// Distributed numerical kernels: each executes the exact arithmetic on the
+// global data AND charges every rank's compute/communication cost to the
+// virtual cluster (DESIGN.md §6.2 "real numerics, modeled cost").
+
+#include <span>
+
+#include "core/types.hpp"
+#include "dist/dist_matrix.hpp"
+#include "power/rapl.hpp"
+#include "simrt/cluster.hpp"
+
+namespace rsls::dist {
+
+/// y = A x. Charges the SpMV halo exchange (kComm) plus per-rank local
+/// multiply flops (compute_tag).
+void dist_spmv(const DistMatrix& a, simrt::VirtualCluster& cluster,
+               std::span<const Real> x, std::span<Real> y,
+               power::PhaseTag compute_tag);
+
+/// Global dot product: per-rank partial dot (compute_tag) + an 8-byte
+/// allreduce (kComm, synchronizing).
+Real dist_dot(const Partition& part, simrt::VirtualCluster& cluster,
+              std::span<const Real> x, std::span<const Real> y,
+              power::PhaseTag compute_tag);
+
+/// ‖x‖₂ via dist_dot.
+Real dist_norm2(const Partition& part, simrt::VirtualCluster& cluster,
+                std::span<const Real> x, power::PhaseTag compute_tag);
+
+/// y += alpha x; local only.
+void dist_axpy(const Partition& part, simrt::VirtualCluster& cluster,
+               Real alpha, std::span<const Real> x, std::span<Real> y,
+               power::PhaseTag compute_tag);
+
+/// p = r + beta p; local only.
+void dist_xpby(const Partition& part, simrt::VirtualCluster& cluster,
+               std::span<const Real> x, Real beta, std::span<Real> y,
+               power::PhaseTag compute_tag);
+
+}  // namespace rsls::dist

@@ -1,0 +1,39 @@
+#include "dist/partition.hpp"
+
+#include "core/error.hpp"
+
+namespace rsls::dist {
+
+Partition::Partition(Index n, Index parts)
+    : n_(n), parts_(parts), base_(0), extra_(0) {
+  RSLS_CHECK(n >= 0);
+  RSLS_CHECK_MSG(parts >= 1, "partition needs at least one part");
+  RSLS_CHECK_MSG(parts <= n || n == 0,
+                 "more parts than rows leaves empty processes");
+  base_ = n / parts;
+  extra_ = n % parts;
+}
+
+Index Partition::begin(Index p) const {
+  RSLS_ASSERT(p >= 0 && p <= parts_);
+  if (p <= extra_) {
+    return p * (base_ + 1);
+  }
+  return extra_ * (base_ + 1) + (p - extra_) * base_;
+}
+
+Index Partition::end(Index p) const {
+  RSLS_ASSERT(p >= 0 && p < parts_);
+  return begin(p + 1);
+}
+
+Index Partition::owner(Index i) const {
+  RSLS_ASSERT(i >= 0 && i < n_);
+  const Index pivot = extra_ * (base_ + 1);
+  if (i < pivot) {
+    return i / (base_ + 1);
+  }
+  return extra_ + (i - pivot) / base_;
+}
+
+}  // namespace rsls::dist

@@ -1,0 +1,33 @@
+#pragma once
+// Contiguous block-row partition of n rows over p processes (the paper's
+// Figure 2 layout). The remainder is spread over the first (n mod p)
+// blocks so sizes differ by at most one.
+
+#include "core/types.hpp"
+
+namespace rsls::dist {
+
+class Partition {
+ public:
+  Partition(Index n, Index parts);
+
+  Index size() const { return n_; }
+  Index parts() const { return parts_; }
+
+  /// First row of block p.
+  Index begin(Index p) const;
+  /// One past the last row of block p.
+  Index end(Index p) const;
+  Index block_rows(Index p) const { return end(p) - begin(p); }
+
+  /// Owner block of row i.
+  Index owner(Index i) const;
+
+ private:
+  Index n_;
+  Index parts_;
+  Index base_;
+  Index extra_;
+};
+
+}  // namespace rsls::dist

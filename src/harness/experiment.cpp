@@ -1,0 +1,160 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "harness/scheme_factory.hpp"
+#include "model/young_daly.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/forward.hpp"
+#include "sparse/roster.hpp"
+
+namespace rsls::harness {
+
+namespace {
+
+/// Fault-free "scheme": recover() must never be reached.
+class NoRecovery final : public resilience::RecoveryScheme {
+ public:
+  std::string name() const override { return "FF"; }
+  solver::HookAction recover(resilience::RecoveryContext&, Index, Index,
+                             std::span<Real>) override {
+    throw Error("fault injected into a fault-free run");
+  }
+};
+
+solver::CgOptions cg_options_for(const ExperimentConfig& config,
+                                 Index ff_iterations) {
+  solver::CgOptions options;
+  options.tolerance = config.tolerance;
+  options.max_iterations = config.max_iterations;
+  options.record_residual_history = config.record_residuals;
+  options.ff_iterations = ff_iterations;
+  options.kind = config.solver_kind;
+  return options;
+}
+
+}  // namespace
+
+simrt::MachineConfig machine_for(Index processes) {
+  RSLS_CHECK(processes >= 1);
+  simrt::MachineConfig machine = simrt::paper_cluster();
+  if (processes > machine.total_cores()) {
+    // 2-way hyperthreading, as the paper enables for resilience runs.
+    machine.cores_per_socket *= 2;
+  }
+  while (processes > machine.total_cores()) {
+    machine.nodes *= 2;
+  }
+  return machine;
+}
+
+Workload Workload::create(sparse::Csr matrix, Index processes) {
+  RealVec b = sparse::make_rhs(matrix);
+  const auto n = static_cast<std::size_t>(matrix.rows);
+  return Workload{dist::DistMatrix(std::move(matrix), processes), std::move(b),
+                  RealVec(n, 0.0)};
+}
+
+FfBaseline run_fault_free(const Workload& workload,
+                          const ExperimentConfig& config) {
+  simrt::VirtualCluster cluster(machine_for(config.processes),
+                                config.processes);
+  NoRecovery scheme;
+  auto injector = resilience::FaultInjector::none();
+  RealVec x = workload.x0;
+  const auto report = resilience::resilient_solve(
+      workload.a, cluster, workload.b, x, scheme, injector,
+      cg_options_for(config, 0));
+  RSLS_CHECK_MSG(report.cg.converged, "fault-free CG did not converge");
+  FfBaseline ff;
+  ff.iterations = report.cg.iterations;
+  ff.time = report.time;
+  ff.energy = report.energy;
+  ff.power = report.average_power;
+  ff.iteration_seconds =
+      report.time / static_cast<double>(std::max<Index>(ff.iterations, 1));
+  return ff;
+}
+
+Seconds estimate_checkpoint_seconds(const Workload& workload,
+                                    const simrt::MachineConfig& machine,
+                                    bool to_disk) {
+  const Bytes bytes = workload.a.vector_bytes();
+  if (to_disk) {
+    return machine.disk_latency + bytes / machine.disk_bandwidth;
+  }
+  const Index nodes_used =
+      std::min<Index>(machine.nodes, (workload.a.parts() +
+                                      machine.cores_per_node() - 1) /
+                                         machine.cores_per_node());
+  return machine.mem_latency +
+         bytes / static_cast<double>(std::max<Index>(nodes_used, 1)) /
+             machine.mem_bandwidth;
+}
+
+SchemeRun run_scheme(const Workload& workload, const std::string& scheme_name,
+                     const ExperimentConfig& config, const FfBaseline& ff) {
+  SchemeFactoryConfig factory;
+  factory.fw_cg_tolerance = config.fw_cg_tolerance;
+  factory.cr_interval_iterations = config.cr_interval_iterations;
+  if (config.use_young_interval &&
+      (scheme_name == "CR-D" || scheme_name == "CR-M")) {
+    // Effective MTBF under the §5.2 fault density; Young's I_C converted
+    // from virtual seconds to an iteration cadence.
+    const Seconds mtbf =
+        ff.time / static_cast<double>(std::max<Index>(config.faults, 1) + 1);
+    const Seconds t_c = estimate_checkpoint_seconds(
+        workload, machine_for(config.processes), scheme_name == "CR-D");
+    const Seconds interval = model::young_interval(t_c, mtbf);
+    factory.cr_interval_iterations = std::max<Index>(
+        1, static_cast<Index>(std::llround(interval / ff.iteration_seconds)));
+  }
+  const auto scheme = make_scheme(scheme_name, factory, workload.x0);
+
+  simrt::VirtualCluster cluster(machine_for(config.processes),
+                                config.processes, scheme->replica_factor());
+  auto injector = resilience::FaultInjector::evenly_spaced(
+      config.faults, ff.iterations, config.processes, config.fault_seed);
+  SchemeRun run = run_scheme_on_cluster(workload, scheme_name, *scheme,
+                                        injector, cluster, config, ff);
+  run.cr_interval_used = factory.cr_interval_iterations;
+  return run;
+}
+
+SchemeRun run_scheme_on_cluster(const Workload& workload,
+                                const std::string& scheme_name,
+                                resilience::RecoveryScheme& scheme,
+                                resilience::FaultInjector& injector,
+                                simrt::VirtualCluster& cluster,
+                                const ExperimentConfig& config,
+                                const FfBaseline& ff) {
+  RealVec x = workload.x0;
+  SchemeRun run;
+  run.scheme = scheme_name;
+  run.report = resilience::resilient_solve(
+      workload.a, cluster, workload.b, x, scheme, injector,
+      cg_options_for(config, ff.iterations));
+  RSLS_CHECK_MSG(run.report.cg.converged,
+                 "resilient CG did not converge for scheme " + scheme_name);
+
+  run.iteration_ratio = static_cast<double>(run.report.cg.iterations) /
+                        static_cast<double>(std::max<Index>(ff.iterations, 1));
+  run.time_ratio = run.report.time / ff.time;
+  run.energy_ratio = run.report.energy / ff.energy;
+  run.power_ratio = run.report.average_power / ff.power;
+
+  if (const auto* fw =
+          dynamic_cast<const resilience::ForwardRecovery*>(&scheme)) {
+    run.t_const_mean = fw->mean_construction_seconds();
+  }
+  if (const auto* cr =
+          dynamic_cast<const resilience::CheckpointRestart*>(&scheme)) {
+    run.t_c_mean = cr->mean_checkpoint_seconds();
+    run.checkpoints = cr->checkpoints_taken();
+  }
+  return run;
+}
+
+}  // namespace rsls::harness

@@ -1,0 +1,106 @@
+#pragma once
+// Experiment runner: one (matrix × scheme × fault plan × process count)
+// resilient solve with its fault-free baseline and normalized metrics.
+// All benches are thin layers over these functions.
+
+#include <memory>
+#include <string>
+
+#include "core/types.hpp"
+#include "core/units.hpp"
+#include "dist/dist_matrix.hpp"
+#include "resilience/fault.hpp"
+#include "resilience/resilient_solve.hpp"
+#include "simrt/cluster.hpp"
+#include "simrt/machine.hpp"
+#include "sparse/csr.hpp"
+
+namespace rsls::harness {
+
+struct ExperimentConfig {
+  Index processes = 192;
+  /// Faults injected evenly over the fault-free iterations (§5.2).
+  Index faults = 10;
+  Real tolerance = 1e-12;
+  Index max_iterations = 500000;
+  std::uint64_t fault_seed = 2024;
+  /// Local CG construction tolerance for LI/LSI. Tight enough that the
+  /// reconstruction accuracy — not the inner solve — limits recovery
+  /// quality even for large lost blocks (small process counts); Fig. 4
+  /// sweeps this explicitly.
+  Real fw_cg_tolerance = 1e-10;
+  /// CR cadence. When use_young_interval is set the cadence is derived
+  /// from Young's formula with t_C from the machine model and an
+  /// effective MTBF of T_FF / (faults + 1) — the §5.2 fault density.
+  Index cr_interval_iterations = 100;
+  bool use_young_interval = false;
+  bool record_residuals = false;
+  /// Solver variant; schemes work unchanged under either.
+  solver::SolverKind solver_kind = solver::SolverKind::kCg;
+};
+
+/// Machine sized for the process count: the paper's 8-node cluster, with
+/// 2-way hyperthreading enabled when more ranks than physical cores are
+/// requested (as the paper does for resilience-only evaluation) and node
+/// count scaled as a last resort.
+simrt::MachineConfig machine_for(Index processes);
+
+/// A matrix bound to its partition, right-hand side (b = A·1) and initial
+/// guess (x₀ = 0).
+struct Workload {
+  dist::DistMatrix a;
+  RealVec b;
+  RealVec x0;
+
+  static Workload create(sparse::Csr matrix, Index processes);
+};
+
+struct FfBaseline {
+  Index iterations = 0;
+  Seconds time = 0.0;
+  Joules energy = 0.0;
+  Watts power = 0.0;
+  /// Mean virtual time of one CG iteration (for Young's formula).
+  Seconds iteration_seconds = 0.0;
+};
+
+/// Fault-free run (the normalization base of every figure).
+FfBaseline run_fault_free(const Workload& workload,
+                          const ExperimentConfig& config);
+
+struct SchemeRun {
+  std::string scheme;
+  resilience::ResilientSolveReport report;
+  // Ratios to the fault-free baseline.
+  double iteration_ratio = 1.0;
+  double time_ratio = 1.0;
+  double energy_ratio = 1.0;
+  double power_ratio = 1.0;
+  // Measured model parameters (0 when not applicable).
+  Seconds t_const_mean = 0.0;   // FW per-reconstruction cost
+  Seconds t_c_mean = 0.0;       // CR per-checkpoint cost
+  Index checkpoints = 0;
+  Index cr_interval_used = 0;
+};
+
+/// Run one named scheme against the baseline (convenience wrapper that
+/// builds the cluster and the §5.2 evenly-spaced injector).
+SchemeRun run_scheme(const Workload& workload, const std::string& scheme_name,
+                     const ExperimentConfig& config, const FfBaseline& ff);
+
+/// Lower-level entry point for benches that need a customized cluster
+/// (power traces, governors): the scheme and injector are caller-owned.
+SchemeRun run_scheme_on_cluster(const Workload& workload,
+                                const std::string& scheme_name,
+                                resilience::RecoveryScheme& scheme,
+                                resilience::FaultInjector& injector,
+                                simrt::VirtualCluster& cluster,
+                                const ExperimentConfig& config,
+                                const FfBaseline& ff);
+
+/// CR per-checkpoint cost predicted by the machine model (no run needed).
+Seconds estimate_checkpoint_seconds(const Workload& workload,
+                                    const simrt::MachineConfig& machine,
+                                    bool to_disk);
+
+}  // namespace rsls::harness

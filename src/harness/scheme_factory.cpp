@@ -1,0 +1,82 @@
+#include "harness/scheme_factory.hpp"
+
+#include "core/error.hpp"
+#include "resilience/dmr.hpp"
+#include "resilience/multilevel.hpp"
+#include "resilience/tmr.hpp"
+#include "resilience/forward.hpp"
+
+namespace rsls::harness {
+
+using resilience::CheckpointOptions;
+using resilience::CheckpointRestart;
+using resilience::CheckpointTarget;
+using resilience::Dmr;
+using resilience::ForwardRecovery;
+
+std::unique_ptr<resilience::RecoveryScheme> make_scheme(
+    const std::string& name, const SchemeFactoryConfig& config,
+    const RealVec& initial_guess) {
+  if (name == "RD") {
+    return std::make_unique<Dmr>();
+  }
+  if (name == "TMR") {
+    return std::make_unique<resilience::Tmr>();
+  }
+  if (name == "CR-2L") {
+    resilience::MultiLevelOptions options;
+    options.l1_interval_iterations =
+        std::max<Index>(1, config.cr_interval_iterations / 4);
+    options.l2_interval_iterations = options.l1_interval_iterations * 8;
+    return std::make_unique<resilience::MultiLevelCheckpoint>(options,
+                                                              initial_guess);
+  }
+  if (name == "F0") {
+    return ForwardRecovery::f0();
+  }
+  if (name == "FI") {
+    return ForwardRecovery::fi(initial_guess);
+  }
+  if (name == "LI") {
+    return ForwardRecovery::li_cg(config.fw_cg_tolerance, /*dvfs=*/false);
+  }
+  if (name == "LI-DVFS") {
+    return ForwardRecovery::li_cg(config.fw_cg_tolerance, /*dvfs=*/true);
+  }
+  if (name == "LI(LU)") {
+    return ForwardRecovery::li_lu();
+  }
+  if (name == "LSI") {
+    return ForwardRecovery::lsi_cg(config.fw_cg_tolerance, /*dvfs=*/false);
+  }
+  if (name == "LSI-DVFS") {
+    return ForwardRecovery::lsi_cg(config.fw_cg_tolerance, /*dvfs=*/true);
+  }
+  if (name == "LSI(QR)") {
+    return ForwardRecovery::lsi_qr();
+  }
+  if (name == "CR-D" || name == "CR-M") {
+    CheckpointOptions options;
+    options.target =
+        name == "CR-D" ? CheckpointTarget::kDisk : CheckpointTarget::kMemory;
+    options.interval_iterations = config.cr_interval_iterations;
+    return std::make_unique<CheckpointRestart>(options, initial_guess);
+  }
+  throw Error("unknown recovery scheme: " + name);
+}
+
+std::vector<std::string> iteration_scheme_names() {
+  return {"RD", "F0", "FI", "LI", "LSI", "CR-D"};
+}
+
+std::vector<std::string> cost_scheme_names() {
+  return {"RD", "LI-DVFS", "LSI-DVFS", "CR-M", "CR-D"};
+}
+
+std::vector<std::string> all_scheme_names() {
+  return {"RD",      "TMR",      "F0",      "FI",   "LI",    "LI-DVFS",
+          "LI(LU)",  "LSI",      "LSI-DVFS", "LSI(QR)", "CR-D", "CR-M",
+          "CR-2L"};
+}
+
+}  // namespace rsls::harness

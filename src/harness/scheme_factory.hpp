@@ -1,0 +1,39 @@
+#pragma once
+// Recovery scheme construction by paper name, plus the standard scheme
+// sets each experiment section uses.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/scheme.hpp"
+
+namespace rsls::harness {
+
+struct SchemeFactoryConfig {
+  /// CR checkpoint cadence in iterations.
+  Index cr_interval_iterations = 100;
+  /// Local CG construction tolerance for LI/LSI.
+  Real fw_cg_tolerance = 1e-6;
+};
+
+/// Names: "RD", "TMR", "F0", "FI", "LI", "LSI", "LI-DVFS",
+/// "LSI-DVFS", "LI(LU)", "LSI(QR)", "CR-D", "CR-M", "CR-2L". Throws on
+/// unknown names.
+/// `initial_guess` seeds FI and CR's pre-checkpoint rollback target.
+std::unique_ptr<resilience::RecoveryScheme> make_scheme(
+    const std::string& name, const SchemeFactoryConfig& config,
+    const RealVec& initial_guess);
+
+/// §5.2 resilience-by-iterations set (Fig. 5, Table 4, Fig. 6).
+std::vector<std::string> iteration_scheme_names();
+
+/// §5.3 time/power/energy set (Table 5, Fig. 8).
+std::vector<std::string> cost_scheme_names();
+
+/// Every implemented scheme.
+std::vector<std::string> all_scheme_names();
+
+}  // namespace rsls::harness

@@ -1,0 +1,77 @@
+#include "harness/sweep.hpp"
+
+#include <map>
+
+#include "core/error.hpp"
+#include "core/stats.hpp"
+#include "sparse/roster.hpp"
+
+namespace rsls::harness {
+
+std::vector<MatrixResult> sweep_matrices(
+    const std::vector<std::string>& names,
+    const std::vector<std::string>& schemes, const ExperimentConfig& config,
+    bool quick) {
+  std::vector<MatrixResult> results;
+  results.reserve(names.size());
+  for (const auto& name : names) {
+    const auto& entry = sparse::roster_entry(name);
+    const Workload workload =
+        Workload::create(entry.make(quick), config.processes);
+    MatrixResult result;
+    result.matrix = entry.name;
+    result.ff = run_fault_free(workload, config);
+    for (const auto& scheme : schemes) {
+      result.runs.push_back(run_scheme(workload, scheme, config, result.ff));
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+std::vector<MatrixResult> sweep_roster(const std::vector<std::string>& schemes,
+                                       const ExperimentConfig& config,
+                                       bool quick) {
+  std::vector<std::string> names;
+  for (const auto& entry : sparse::roster()) {
+    names.push_back(entry.name);
+  }
+  return sweep_matrices(names, schemes, config, quick);
+}
+
+std::vector<SchemeAverages> average_over_matrices(
+    const std::vector<MatrixResult>& results) {
+  RSLS_CHECK(!results.empty());
+  // scheme → per-matrix ratio samples, in first-seen scheme order.
+  std::vector<std::string> order;
+  std::map<std::string, std::vector<double>> iters, times, energies, powers,
+      res_ratios;
+  for (const auto& result : results) {
+    const Joules e_solve = result.ff.energy;
+    for (const auto& run : result.runs) {
+      if (iters.find(run.scheme) == iters.end()) {
+        order.push_back(run.scheme);
+      }
+      iters[run.scheme].push_back(run.iteration_ratio);
+      times[run.scheme].push_back(run.time_ratio);
+      energies[run.scheme].push_back(run.energy_ratio);
+      powers[run.scheme].push_back(run.power_ratio);
+      res_ratios[run.scheme].push_back(
+          (run.report.energy - e_solve) / e_solve);
+    }
+  }
+  std::vector<SchemeAverages> averages;
+  for (const auto& scheme : order) {
+    SchemeAverages avg;
+    avg.scheme = scheme;
+    avg.iteration_ratio = geometric_mean(iters[scheme]);
+    avg.time_ratio = geometric_mean(times[scheme]);
+    avg.energy_ratio = geometric_mean(energies[scheme]);
+    avg.power_ratio = geometric_mean(powers[scheme]);
+    avg.e_res_over_e_solve = mean(res_ratios[scheme]);
+    averages.push_back(avg);
+  }
+  return averages;
+}
+
+}  // namespace rsls::harness

@@ -1,0 +1,45 @@
+#pragma once
+// Roster-wide sweeps: run a scheme set over the 14-matrix roster sharing
+// one fault-free baseline per matrix, plus aggregation helpers for the
+// "averaged over all matrices" rows of Table 5 and Fig. 7b.
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace rsls::harness {
+
+struct MatrixResult {
+  std::string matrix;
+  FfBaseline ff;
+  std::vector<SchemeRun> runs;
+};
+
+/// Run `schemes` over every roster matrix. `quick` selects the shrunken
+/// generator variants (RSLS_QUICK).
+std::vector<MatrixResult> sweep_roster(const std::vector<std::string>& schemes,
+                                       const ExperimentConfig& config,
+                                       bool quick);
+
+/// Run `schemes` over the named roster matrices only.
+std::vector<MatrixResult> sweep_matrices(
+    const std::vector<std::string>& names,
+    const std::vector<std::string>& schemes, const ExperimentConfig& config,
+    bool quick);
+
+struct SchemeAverages {
+  std::string scheme;
+  double iteration_ratio = 0.0;
+  double time_ratio = 0.0;
+  double energy_ratio = 0.0;
+  double power_ratio = 0.0;
+  /// Mean E_res/E_solve across matrices (Fig. 7b's right axis).
+  double e_res_over_e_solve = 0.0;
+};
+
+/// Geometric-mean ratios per scheme across all matrices in `results`.
+std::vector<SchemeAverages> average_over_matrices(
+    const std::vector<MatrixResult>& results);
+
+}  // namespace rsls::harness

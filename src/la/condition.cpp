@@ -1,0 +1,69 @@
+#include "la/condition.hpp"
+
+#include <cmath>
+#include <functional>
+#include <span>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace rsls::la {
+
+namespace {
+
+using ApplyFn = std::function<void(std::span<const Real>, std::span<Real>)>;
+
+/// Rayleigh quotient after `iterations` normalized power steps of op.
+Real power_iteration(const ApplyFn& op, Index n, Index iterations, Rng& rng) {
+  RealVec v(static_cast<std::size_t>(n));
+  RealVec av(static_cast<std::size_t>(n));
+  for (Real& value : v) {
+    value = rng.uniform(-1.0, 1.0);
+  }
+  Real norm = sparse::norm2(v);
+  RSLS_CHECK(norm > 0.0);
+  sparse::scale(1.0 / norm, v);
+  Real rayleigh = 0.0;
+  for (Index k = 0; k < iterations; ++k) {
+    op(v, av);
+    rayleigh = sparse::dot(v, av);
+    norm = sparse::norm2(av);
+    if (norm == 0.0) {
+      return 0.0;
+    }
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      v[i] = av[i] / norm;
+    }
+  }
+  return rayleigh;
+}
+
+}  // namespace
+
+SpectrumEstimate estimate_spectrum(const sparse::Csr& a, Index iterations,
+                                   std::uint64_t seed) {
+  RSLS_CHECK(a.rows == a.cols);
+  RSLS_CHECK(a.rows > 0);
+  Rng rng(seed);
+  SpectrumEstimate est;
+  est.lambda_max = power_iteration(
+      [&a](std::span<const Real> x, std::span<Real> y) {
+        sparse::spmv(a, x, y);
+      },
+      a.rows, iterations, rng);
+  // λ_min(A) = λ_max(σI - A) shifted back, with σ slightly above λ_max.
+  const Real sigma = est.lambda_max * 1.01;
+  const Real shifted_max = power_iteration(
+      [&a, sigma](std::span<const Real> x, std::span<Real> y) {
+        sparse::spmv(a, x, y);
+        for (std::size_t i = 0; i < y.size(); ++i) {
+          y[i] = sigma * x[i] - y[i];
+        }
+      },
+      a.rows, iterations, rng);
+  est.lambda_min = sigma - shifted_max;
+  return est;
+}
+
+}  // namespace rsls::la

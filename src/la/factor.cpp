@@ -1,0 +1,134 @@
+#include "la/factor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace rsls::la {
+
+Cholesky::Cholesky(const sparse::Dense& a) : l_(a.rows(), a.cols()) {
+  RSLS_CHECK_MSG(a.rows() == a.cols(), "Cholesky requires a square matrix");
+  const Index n = a.rows();
+  for (Index j = 0; j < n; ++j) {
+    Real diag = a(j, j);
+    for (Index k = 0; k < j; ++k) {
+      diag -= l_(j, k) * l_(j, k);
+    }
+    RSLS_CHECK_MSG(diag > 0.0, "matrix is not positive definite");
+    const Real ljj = std::sqrt(diag);
+    l_(j, j) = ljj;
+    for (Index i = j + 1; i < n; ++i) {
+      Real sum = a(i, j);
+      for (Index k = 0; k < j; ++k) {
+        sum -= l_(i, k) * l_(j, k);
+      }
+      l_(i, j) = sum / ljj;
+    }
+  }
+}
+
+void Cholesky::solve(std::span<Real> x) const {
+  RSLS_CHECK(x.size() == static_cast<std::size_t>(l_.rows()));
+  solve_lower(l_, x, /*unit_diag=*/false);
+  solve_lower_transpose(l_, x);
+}
+
+Lu::Lu(const sparse::Dense& a) : lu_(a), perm_(static_cast<std::size_t>(a.rows())) {
+  RSLS_CHECK_MSG(a.rows() == a.cols(), "LU requires a square matrix");
+  const Index n = lu_.rows();
+  for (Index i = 0; i < n; ++i) {
+    perm_[static_cast<std::size_t>(i)] = i;
+  }
+  for (Index k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest magnitude in column k.
+    Index pivot = k;
+    Real best = std::abs(lu_(k, k));
+    for (Index i = k + 1; i < n; ++i) {
+      const Real mag = std::abs(lu_(i, k));
+      if (mag > best) {
+        best = mag;
+        pivot = i;
+      }
+    }
+    RSLS_CHECK_MSG(best > 0.0, "LU pivot is zero: matrix is singular");
+    if (pivot != k) {
+      for (Index c = 0; c < n; ++c) {
+        std::swap(lu_(k, c), lu_(pivot, c));
+      }
+      std::swap(perm_[static_cast<std::size_t>(k)],
+                perm_[static_cast<std::size_t>(pivot)]);
+    }
+    const Real pivot_value = lu_(k, k);
+    for (Index i = k + 1; i < n; ++i) {
+      const Real factor = lu_(i, k) / pivot_value;
+      lu_(i, k) = factor;
+      for (Index c = k + 1; c < n; ++c) {
+        lu_(i, c) -= factor * lu_(k, c);
+      }
+    }
+  }
+}
+
+void Lu::solve(std::span<Real> x) const {
+  const Index n = lu_.rows();
+  RSLS_CHECK(x.size() == static_cast<std::size_t>(n));
+  RealVec permuted(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    permuted[static_cast<std::size_t>(i)] =
+        x[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])];
+  }
+  std::copy(permuted.begin(), permuted.end(), x.begin());
+  solve_lower(lu_, x, /*unit_diag=*/true);
+  solve_upper(lu_, x);
+}
+
+Real Lu::pivot_ratio() const {
+  const Index n = lu_.rows();
+  Real max_u = 0.0;
+  Real min_u = std::abs(lu_(0, 0));
+  for (Index i = 0; i < n; ++i) {
+    const Real mag = std::abs(lu_(i, i));
+    max_u = std::max(max_u, mag);
+    min_u = std::min(min_u, mag);
+  }
+  return min_u > 0.0 ? max_u / min_u : std::numeric_limits<Real>::infinity();
+}
+
+void solve_lower(const sparse::Dense& l, std::span<Real> x, bool unit_diag) {
+  const Index n = l.rows();
+  RSLS_CHECK(x.size() == static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    Real sum = x[static_cast<std::size_t>(i)];
+    for (Index j = 0; j < i; ++j) {
+      sum -= l(i, j) * x[static_cast<std::size_t>(j)];
+    }
+    x[static_cast<std::size_t>(i)] = unit_diag ? sum : sum / l(i, i);
+  }
+}
+
+void solve_upper(const sparse::Dense& u, std::span<Real> x) {
+  const Index n = u.rows();
+  RSLS_CHECK(x.size() == static_cast<std::size_t>(n));
+  for (Index i = n - 1; i >= 0; --i) {
+    Real sum = x[static_cast<std::size_t>(i)];
+    for (Index j = i + 1; j < n; ++j) {
+      sum -= u(i, j) * x[static_cast<std::size_t>(j)];
+    }
+    x[static_cast<std::size_t>(i)] = sum / u(i, i);
+  }
+}
+
+void solve_lower_transpose(const sparse::Dense& l, std::span<Real> x) {
+  const Index n = l.rows();
+  RSLS_CHECK(x.size() == static_cast<std::size_t>(n));
+  for (Index i = n - 1; i >= 0; --i) {
+    Real sum = x[static_cast<std::size_t>(i)];
+    for (Index j = i + 1; j < n; ++j) {
+      sum -= l(j, i) * x[static_cast<std::size_t>(j)];
+    }
+    x[static_cast<std::size_t>(i)] = sum / l(i, i);
+  }
+}
+
+}  // namespace rsls::la

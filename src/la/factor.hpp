@@ -1,0 +1,64 @@
+#pragma once
+// Dense factorizations: Cholesky and LU with partial pivoting.
+//
+// These implement the *exact* local solves of the prior-work construction
+// baselines: Agullo et al. [2] recover the LI interpolation by LU-factoring
+// the diagonal block A_{p_i,p_i} (paper §4.1). The factor objects own their
+// data and expose solve(); sizes here are one process's block, i.e. small.
+
+#include <span>
+
+#include "core/types.hpp"
+#include "sparse/dense.hpp"
+
+namespace rsls::la {
+
+/// Cholesky factorization A = L Lᵀ of an SPD matrix.
+class Cholesky {
+ public:
+  /// Factor a dense SPD matrix; throws rsls::Error if a non-positive
+  /// pivot is met (matrix not SPD to working precision).
+  explicit Cholesky(const sparse::Dense& a);
+
+  Index size() const { return l_.rows(); }
+
+  /// Solve A x = b in place.
+  void solve(std::span<Real> x) const;
+
+  /// Lower factor (for tests).
+  const sparse::Dense& lower() const { return l_; }
+
+ private:
+  sparse::Dense l_;
+};
+
+/// LU factorization with partial pivoting, P A = L U.
+class Lu {
+ public:
+  /// Factor a square dense matrix; throws rsls::Error on singularity.
+  explicit Lu(const sparse::Dense& a);
+
+  Index size() const { return lu_.rows(); }
+
+  /// Solve A x = b in place.
+  void solve(std::span<Real> x) const;
+
+  /// Determinant sign-sensitive magnitude estimate is not needed; expose
+  /// the max |U_ii| / min |U_ii| growth ratio as a conditioning hint.
+  Real pivot_ratio() const;
+
+ private:
+  sparse::Dense lu_;
+  IndexVec perm_;
+};
+
+/// x := L⁻¹ x for lower-triangular L (unit_diag selects implicit 1s).
+void solve_lower(const sparse::Dense& l, std::span<Real> x, bool unit_diag);
+
+/// x := U⁻¹ x for upper-triangular U.
+void solve_upper(const sparse::Dense& u, std::span<Real> x);
+
+/// x := L⁻ᵀ x for lower-triangular L (used by Cholesky).
+void solve_lower_transpose(const sparse::Dense& l, std::span<Real> x);
+
+}  // namespace rsls::la

@@ -1,0 +1,31 @@
+#include "la/flops.hpp"
+
+namespace rsls::la {
+
+namespace {
+double d(Index v) { return static_cast<double>(v); }
+}  // namespace
+
+double lu_factor_flops(Index n) { return 2.0 / 3.0 * d(n) * d(n) * d(n); }
+
+double lu_solve_flops(Index n) { return 2.0 * d(n) * d(n); }
+
+double cholesky_flops(Index n) { return 1.0 / 3.0 * d(n) * d(n) * d(n); }
+
+double qr_factor_flops(Index m, Index n) {
+  return 2.0 * d(n) * d(n) * (d(m) - d(n) / 3.0);
+}
+
+double qr_solve_flops(Index m, Index n) { return 4.0 * d(m) * d(n); }
+
+double spmv_flops(Index nnz) { return 2.0 * d(nnz); }
+
+double cg_iteration_flops(Index nnz, Index n) {
+  return 2.0 * d(nnz) + 10.0 * d(n);
+}
+
+double lsi_cg_iteration_flops(Index nnz, Index m, Index n) {
+  return 4.0 * d(nnz) + 10.0 * d(m) + 2.0 * d(n);
+}
+
+}  // namespace rsls::la

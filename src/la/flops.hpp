@@ -1,0 +1,38 @@
+#pragma once
+// Floating-point operation counts for the kernels the recovery schemes
+// execute. The virtual cluster charges time as flops / (rate × frequency),
+// so these closed forms are the bridge between the real numerics and the
+// simulated clock (DESIGN.md §6.2). Counts are the standard leading-order
+// terms (Golub & Van Loan).
+
+#include "core/types.hpp"
+
+namespace rsls::la {
+
+/// Dense LU with partial pivoting on an n × n block: (2/3)n³.
+double lu_factor_flops(Index n);
+
+/// Two triangular solves after LU/Cholesky: 2n².
+double lu_solve_flops(Index n);
+
+/// Dense Cholesky: (1/3)n³.
+double cholesky_flops(Index n);
+
+/// Householder QR of m × n (m ≥ n): 2n²(m - n/3).
+double qr_factor_flops(Index m, Index n);
+
+/// Least-squares solve given QR (apply Qᵀ + back-substitution): 4mn.
+double qr_solve_flops(Index m, Index n);
+
+/// One sparse mat-vec: 2·nnz.
+double spmv_flops(Index nnz);
+
+/// One CG iteration on a system with `nnz` stored entries and `n`
+/// unknowns: one SpMV + 3 axpy-class updates + 2 dots ≈ 2·nnz + 10n.
+double cg_iteration_flops(Index nnz, Index n);
+
+/// One CG iteration on the LSI normal-equations operator (Eq. 21):
+/// two SpMVs through the m × n row slice with `nnz` entries + vector work.
+double lsi_cg_iteration_flops(Index nnz, Index m, Index n);
+
+}  // namespace rsls::la

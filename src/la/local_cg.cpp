@@ -1,0 +1,134 @@
+#include "la/local_cg.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace rsls::la {
+
+LocalCgResult local_pcg(const SpdOperator& op,
+                        std::span<const Real> inverse_diagonal,
+                        std::span<const Real> b, std::span<Real> x,
+                        const LocalCgOptions& options) {
+  using sparse::axpy;
+  using sparse::dot;
+  using sparse::norm2;
+
+  RSLS_CHECK(b.size() == x.size());
+  RSLS_CHECK(inverse_diagonal.size() == x.size());
+  RSLS_CHECK(options.tolerance > 0.0);
+  const std::size_t n = b.size();
+
+  LocalCgResult result;
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+  for (const Real d : inverse_diagonal) {
+    RSLS_CHECK_MSG(d > 0.0, "Jacobi preconditioner must be positive");
+  }
+
+  RealVec r(n), z(n), p(n), ap(n);
+  op(x, ap);
+  result.operator_applications = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = b[i] - ap[i];
+    z[i] = inverse_diagonal[i] * r[i];
+  }
+  const Real b_norm = norm2(b);
+  const Real threshold = options.tolerance * (b_norm > 0.0 ? b_norm : 1.0);
+  Real r_norm = norm2(r);
+  if (r_norm <= threshold) {
+    result.converged = true;
+    result.relative_residual = b_norm > 0.0 ? r_norm / b_norm : 0.0;
+    return result;
+  }
+  sparse::copy(z, p);
+  Real rz = dot(r, z);
+  for (Index k = 0; k < options.max_iterations; ++k) {
+    op(p, ap);
+    ++result.operator_applications;
+    const Real p_ap = dot(p, ap);
+    RSLS_CHECK_MSG(p_ap > 0.0, "operator is not positive definite");
+    const Real alpha = rz / p_ap;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+    for (std::size_t i = 0; i < n; ++i) {
+      z[i] = inverse_diagonal[i] * r[i];
+    }
+    const Real rz_next = dot(r, z);
+    ++result.iterations;
+    r_norm = norm2(r);
+    if (r_norm <= threshold) {
+      result.converged = true;
+      break;
+    }
+    const Real beta = rz_next / rz;
+    rz = rz_next;
+    sparse::xpby(z, beta, p);
+  }
+  result.relative_residual = b_norm > 0.0 ? r_norm / b_norm : r_norm;
+  return result;
+}
+
+LocalCgResult local_cg(const SpdOperator& op, std::span<const Real> b,
+                       std::span<Real> x, const LocalCgOptions& options) {
+  using sparse::axpy;
+  using sparse::dot;
+  using sparse::norm2;
+  using sparse::xpby;
+
+  RSLS_CHECK(b.size() == x.size());
+  RSLS_CHECK(options.tolerance > 0.0);
+  const std::size_t n = b.size();
+
+  LocalCgResult result;
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  RealVec r(n), p(n), ap(n);
+  // r = b - Op(x)
+  op(x, ap);
+  result.operator_applications = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = b[i] - ap[i];
+  }
+  const Real b_norm = norm2(b);
+  const Real threshold = options.tolerance * (b_norm > 0.0 ? b_norm : 1.0);
+
+  Real r_norm = norm2(r);
+  if (r_norm <= threshold) {
+    result.converged = true;
+    result.relative_residual = b_norm > 0.0 ? r_norm / b_norm : 0.0;
+    return result;
+  }
+
+  sparse::copy(r, p);
+  Real rr = dot(r, r);
+  for (Index k = 0; k < options.max_iterations; ++k) {
+    op(p, ap);
+    ++result.operator_applications;
+    const Real p_ap = dot(p, ap);
+    RSLS_CHECK_MSG(p_ap > 0.0, "operator is not positive definite");
+    const Real alpha = rr / p_ap;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+    const Real rr_next = dot(r, r);
+    ++result.iterations;
+    r_norm = std::sqrt(rr_next);
+    if (r_norm <= threshold) {
+      result.converged = true;
+      break;
+    }
+    const Real beta = rr_next / rr;
+    rr = rr_next;
+    xpby(r, beta, p);
+  }
+  result.relative_residual = b_norm > 0.0 ? r_norm / b_norm : r_norm;
+  return result;
+}
+
+}  // namespace rsls::la

@@ -1,0 +1,50 @@
+#pragma once
+// Local (single-process) conjugate gradient over an abstract SPD operator.
+//
+// This is the paper's §4.1 contribution vehicle: the LI and LSI
+// reconstructions are solved *locally and inexactly* with CG instead of
+// exact LU/QR. The operator is a callback so the same driver serves
+//   * LI  — y = A_{p_i,p_i} x              (one local SpMV), and
+//   * LSI — y = A_{p_i,:} (A_{p_i,:}ᵀ x)   (two local SpMVs, Eq. 21).
+
+#include <functional>
+#include <span>
+
+#include "core/types.hpp"
+
+namespace rsls::la {
+
+/// Applies an SPD operator: y = Op(x). x and y have the same length and
+/// never alias.
+using SpdOperator =
+    std::function<void(std::span<const Real> x, std::span<Real> y)>;
+
+struct LocalCgOptions {
+  /// Relative residual tolerance ‖r‖/‖b‖.
+  Real tolerance = 1e-8;
+  Index max_iterations = 10000;
+};
+
+struct LocalCgResult {
+  Index iterations = 0;
+  Real relative_residual = 0.0;
+  bool converged = false;
+  /// Total operator applications (== iterations + 1); callers translate
+  /// this into flop/time charges.
+  Index operator_applications = 0;
+};
+
+/// Solve Op(x) = b starting from the provided x (commonly zero).
+LocalCgResult local_cg(const SpdOperator& op, std::span<const Real> b,
+                       std::span<Real> x, const LocalCgOptions& options);
+
+/// Jacobi-preconditioned variant: `inverse_diagonal` holds 1/diag(Op).
+/// Used by the LSI construction, whose normal-equations operator (Eq. 21)
+/// squares the conditioning — the diagonal is cheap to form locally
+/// (squared row norms of A_{p_i,:}) and recovers most of the loss.
+LocalCgResult local_pcg(const SpdOperator& op,
+                        std::span<const Real> inverse_diagonal,
+                        std::span<const Real> b, std::span<Real> x,
+                        const LocalCgOptions& options);
+
+}  // namespace rsls::la

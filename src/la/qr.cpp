@@ -1,0 +1,82 @@
+#include "la/qr.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "la/factor.hpp"
+
+namespace rsls::la {
+
+Qr::Qr(const sparse::Dense& a)
+    : qr_(a), tau_(static_cast<std::size_t>(a.cols()), 0.0) {
+  const Index m = qr_.rows();
+  const Index n = qr_.cols();
+  RSLS_CHECK_MSG(m >= n, "QR requires rows >= cols");
+  for (Index k = 0; k < n; ++k) {
+    // Householder vector for column k: v = x ± ‖x‖ e₁ on rows [k, m).
+    Real norm_sq = 0.0;
+    for (Index i = k; i < m; ++i) {
+      norm_sq += qr_(i, k) * qr_(i, k);
+    }
+    const Real norm = std::sqrt(norm_sq);
+    RSLS_CHECK_MSG(norm > 0.0, "QR met a rank-deficient column");
+    const Real x0 = qr_(k, k);
+    const Real alpha = x0 >= 0.0 ? -norm : norm;
+    // v₀ = x₀ - α; store v (scaled so v₀ = 1) below the diagonal.
+    const Real v0 = x0 - alpha;
+    for (Index i = k + 1; i < m; ++i) {
+      qr_(i, k) /= v0;
+    }
+    tau_[static_cast<std::size_t>(k)] = -v0 / alpha;
+    qr_(k, k) = alpha;
+    // Apply H = I - τ v vᵀ to the trailing columns.
+    for (Index j = k + 1; j < n; ++j) {
+      Real dot_vx = qr_(k, j);
+      for (Index i = k + 1; i < m; ++i) {
+        dot_vx += qr_(i, k) * qr_(i, j);
+      }
+      const Real scale = tau_[static_cast<std::size_t>(k)] * dot_vx;
+      qr_(k, j) -= scale;
+      for (Index i = k + 1; i < m; ++i) {
+        qr_(i, j) -= scale * qr_(i, k);
+      }
+    }
+  }
+}
+
+void Qr::apply_q_transpose(std::span<Real> v) const {
+  const Index m = qr_.rows();
+  const Index n = qr_.cols();
+  RSLS_CHECK(v.size() == static_cast<std::size_t>(m));
+  for (Index k = 0; k < n; ++k) {
+    Real dot_vx = v[static_cast<std::size_t>(k)];
+    for (Index i = k + 1; i < m; ++i) {
+      dot_vx += qr_(i, k) * v[static_cast<std::size_t>(i)];
+    }
+    const Real scale = tau_[static_cast<std::size_t>(k)] * dot_vx;
+    v[static_cast<std::size_t>(k)] -= scale;
+    for (Index i = k + 1; i < m; ++i) {
+      v[static_cast<std::size_t>(i)] -= scale * qr_(i, k);
+    }
+  }
+}
+
+RealVec Qr::solve_least_squares(std::span<const Real> b) const {
+  const Index m = qr_.rows();
+  const Index n = qr_.cols();
+  RSLS_CHECK(b.size() == static_cast<std::size_t>(m));
+  RealVec work(b.begin(), b.end());
+  apply_q_transpose(work);
+  // Back-substitute R x = (Qᵀ b)[0:n].
+  RealVec x(work.begin(), work.begin() + static_cast<std::ptrdiff_t>(n));
+  for (Index i = n - 1; i >= 0; --i) {
+    Real sum = x[static_cast<std::size_t>(i)];
+    for (Index j = i + 1; j < n; ++j) {
+      sum -= qr_(i, j) * x[static_cast<std::size_t>(j)];
+    }
+    x[static_cast<std::size_t>(i)] = sum / qr_(i, i);
+  }
+  return x;
+}
+
+}  // namespace rsls::la

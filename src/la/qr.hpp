@@ -1,0 +1,37 @@
+#pragma once
+// Householder QR and dense least squares.
+//
+// This is the exact construction baseline for the LSI scheme: prior work
+// [2] solves min ‖β - A_{:,p_i} x‖ with a (parallel) sparse QR; we provide
+// a dense Householder QR over the gathered column slice, which is exact
+// and serves as the reference the paper's CG-based LSI is compared against
+// (Fig. 4).
+
+#include <span>
+
+#include "core/types.hpp"
+#include "sparse/dense.hpp"
+
+namespace rsls::la {
+
+/// Householder QR of an m × n matrix with m ≥ n.
+class Qr {
+ public:
+  explicit Qr(const sparse::Dense& a);
+
+  Index rows() const { return qr_.rows(); }
+  Index cols() const { return qr_.cols(); }
+
+  /// Least-squares solution of min ‖b - A x‖₂; b has m entries, the
+  /// result has n entries.
+  RealVec solve_least_squares(std::span<const Real> b) const;
+
+  /// Apply Qᵀ to a vector of m entries, in place (for tests).
+  void apply_q_transpose(std::span<Real> v) const;
+
+ private:
+  sparse::Dense qr_;   // Householder vectors below the diagonal, R above
+  RealVec tau_;        // Householder coefficients
+};
+
+}  // namespace rsls::la

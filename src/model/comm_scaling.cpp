@@ -1,0 +1,69 @@
+#include "model/comm_scaling.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace rsls::model {
+
+CommScalingTable::CommScalingTable()
+    : CommScalingTable(std::vector<Point>{{1024, 280e-6},
+                                          {4096, 360e-6},
+                                          {16384, 470e-6},
+                                          {65536, 620e-6}}) {}
+
+CommScalingTable::CommScalingTable(std::vector<Point> points)
+    : points_(std::move(points)) {
+  RSLS_CHECK_MSG(points_.size() >= 2, "need at least two scaling points");
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    RSLS_CHECK(points_[i].processes >= 1);
+    RSLS_CHECK(points_[i].spmv_comm > 0.0);
+    if (i > 0) {
+      RSLS_CHECK_MSG(points_[i].processes > points_[i - 1].processes,
+                     "scaling points must be strictly increasing");
+    }
+  }
+}
+
+Seconds CommScalingTable::spmv_comm_seconds(Index processes) const {
+  RSLS_CHECK(processes >= 1);
+  const double lx = std::log2(static_cast<double>(processes));
+  const auto lp = [](const Point& p) {
+    return std::log2(static_cast<double>(p.processes));
+  };
+  // Clamped/extrapolated piecewise-linear in (log2 p, t).
+  const Point* lo = &points_.front();
+  const Point* hi = &points_[1];
+  if (processes >= points_.back().processes) {
+    lo = &points_[points_.size() - 2];
+    hi = &points_.back();
+  } else {
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+      if (static_cast<double>(points_[i].processes) >=
+          static_cast<double>(processes)) {
+        lo = &points_[i - 1];
+        hi = &points_[i];
+        break;
+      }
+    }
+  }
+  const double t = (lx - lp(*lo)) / (lp(*hi) - lp(*lo));
+  const Seconds value = lo->spmv_comm + t * (hi->spmv_comm - lo->spmv_comm);
+  // Extrapolation below the first point could go negative; floor at a
+  // fraction of the smallest measured value.
+  return std::max(value, 0.25 * points_.front().spmv_comm);
+}
+
+Seconds CommScalingTable::allreduce_seconds(Index processes, Seconds latency) {
+  RSLS_CHECK(processes >= 1);
+  RSLS_CHECK(latency >= 0.0);
+  const double stages =
+      std::ceil(std::log2(static_cast<double>(std::max<Index>(processes, 2))));
+  return stages * latency;
+}
+
+Seconds CommScalingTable::cg_iteration_overhead(Index processes) const {
+  return spmv_comm_seconds(processes) + 2.0 * allreduce_seconds(processes);
+}
+
+}  // namespace rsls::model

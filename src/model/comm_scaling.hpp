@@ -1,0 +1,50 @@
+#pragma once
+// Large-system communication scaling (§6's T_O projection).
+//
+// The paper projects parallel overhead using (a) measured weak-scaling
+// SpMV communication times from Bienz et al. [8] — matrices with 50 K nnz
+// per process, 1 K to 60 K processes — and (b) a latency-dominated model
+// for vector inner products [40]. That dataset is not redistributable, so
+// CommScalingTable ships a fit with the same qualitative behaviour
+// (slow, roughly logarithmic growth of per-SpMV communication with
+// process count) and supports substituting measured points.
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "core/units.hpp"
+
+namespace rsls::model {
+
+class CommScalingTable {
+ public:
+  struct Point {
+    Index processes = 0;
+    Seconds spmv_comm = 0.0;  // per SpMV
+  };
+
+  /// Default table: node-aware SpMV at 50 K nnz/process, in the hundreds
+  /// of microseconds, growing ~1.6× per 16× processes.
+  CommScalingTable();
+
+  /// Custom measured points (must be ≥ 2, strictly increasing processes).
+  explicit CommScalingTable(std::vector<Point> points);
+
+  /// Per-SpMV communication time at `processes` (log-linear interpolation,
+  /// linear-in-log extrapolation beyond the table).
+  Seconds spmv_comm_seconds(Index processes) const;
+
+  /// Per-allreduce (inner product) time: stages·α with α from the
+  /// machine's latency; log₂ growth per [40]'s SP2-style model.
+  static Seconds allreduce_seconds(Index processes,
+                                   Seconds latency = 2e-6);
+
+  /// Per-iteration parallel overhead for CG: one SpMV exchange + two
+  /// inner-product reductions.
+  Seconds cg_iteration_overhead(Index processes) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace rsls::model

@@ -1,0 +1,145 @@
+#include "model/cost_models.hpp"
+
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace rsls::model {
+
+namespace {
+
+/// The scheme cannot make progress: everything diverges.
+SchemeCosts halted_costs() {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  SchemeCosts costs;
+  costs.total_time = inf;
+  costs.t_res = inf;
+  costs.total_energy = inf;
+  costs.e_res = inf;
+  costs.p_avg = 0.0;
+  costs.time_ratio = inf;
+  costs.t_res_ratio = inf;
+  costs.energy_ratio = inf;
+  costs.e_res_ratio = inf;
+  costs.power_ratio = 0.0;
+  costs.halted = true;
+  return costs;
+}
+
+/// Fill the normalized ratios from the absolute fields.
+void normalize(SchemeCosts& costs, const BaseCase& base) {
+  RSLS_CHECK(base.t_base > 0.0);
+  const Watts p_base = static_cast<double>(base.n_cores) * base.p1;
+  const Joules e_base = p_base * base.t_base;
+  costs.time_ratio = costs.total_time / base.t_base;
+  costs.t_res_ratio = costs.t_res / base.t_base;
+  costs.energy_ratio = costs.total_energy / e_base;
+  costs.e_res_ratio = costs.e_res / e_base;
+  costs.power_ratio = costs.p_avg / p_base;
+}
+
+}  // namespace
+
+SchemeCosts fault_free(const BaseCase& base) {
+  RSLS_CHECK(base.t_base > 0.0 && base.n_cores >= 1 && base.p1 > 0.0);
+  SchemeCosts costs;
+  costs.total_time = base.t_base;
+  costs.t_res = 0.0;
+  costs.p_avg = static_cast<double>(base.n_cores) * base.p1;
+  costs.total_energy = costs.p_avg * costs.total_time;
+  costs.e_res = 0.0;
+  normalize(costs, base);
+  return costs;
+}
+
+SchemeCosts redundancy(const BaseCase& base) {
+  SchemeCosts costs = fault_free(base);
+  // Eq. 12: the replica set adds N·P₁ for the whole run.
+  costs.p_avg *= 2.0;
+  costs.total_energy *= 2.0;
+  costs.e_res = costs.total_energy / 2.0;
+  normalize(costs, base);
+  return costs;
+}
+
+SchemeCosts checkpoint_restart(const BaseCase& base,
+                               const CrModelParams& params) {
+  RSLS_CHECK(base.t_base > 0.0);
+  RSLS_CHECK(params.t_c > 0.0);
+  RSLS_CHECK(params.interval > 0.0);
+  RSLS_CHECK(params.lambda >= 0.0);
+  RSLS_CHECK(params.checkpoint_power_factor > 0.0 &&
+             params.checkpoint_power_factor <= 1.0);
+
+  // Eq. 9–11. With the a-priori approximation t_lost ≈ I_C/2 the lost
+  // time scales with T_N (faults strike recomputation too):
+  //   T_N = T_base + (t_C/I_C)·T_N + λ·(I_C/2)·T_N.
+  // With a *measured* per-fault recomputation time, faults are counted
+  // against the base progress period (they were measured that way):
+  //   T_N = T_base·(1 + λ·t_lost) / (1 − t_C/I_C).
+  const double chkpt_fraction = params.t_c / params.interval;
+  double lost_fraction = 0.0;   // of T_N
+  Seconds lost_base = 0.0;      // absolute, when measured
+  if (params.t_lost >= 0.0) {
+    lost_base = params.lambda * params.t_lost * base.t_base;
+  } else {
+    lost_fraction = params.lambda * params.interval / 2.0;
+  }
+  if (chkpt_fraction + lost_fraction >= 1.0) {
+    return halted_costs();
+  }
+  SchemeCosts costs;
+  costs.total_time =
+      (base.t_base + lost_base) / (1.0 - chkpt_fraction - lost_fraction);
+  costs.t_res = costs.total_time - base.t_base;
+
+  const Seconds t_chkpt = chkpt_fraction * costs.total_time;
+  const Seconds t_lost = lost_base + lost_fraction * costs.total_time;
+  const Watts p_normal = static_cast<double>(base.n_cores) * base.p1;
+  const Watts p_chkpt = params.checkpoint_power_factor * p_normal;
+  // Recomputation runs at normal power; checkpoint phases at p_chkpt.
+  costs.total_energy =
+      p_normal * (base.t_base + t_lost) + p_chkpt * t_chkpt;
+  costs.e_res = costs.total_energy - p_normal * base.t_base;
+  costs.p_avg = costs.total_energy / costs.total_time;
+  normalize(costs, base);
+  return costs;
+}
+
+SchemeCosts forward_recovery(const BaseCase& base,
+                             const FwModelParams& params) {
+  RSLS_CHECK(base.t_base > 0.0);
+  RSLS_CHECK(params.t_const >= 0.0);
+  RSLS_CHECK(params.extra_time_fraction >= 0.0);
+  RSLS_CHECK(params.lambda >= 0.0);
+  RSLS_CHECK(params.active_ranks >= 1 &&
+             params.active_ranks <= base.n_cores);
+  RSLS_CHECK(params.idle_power >= 0.0);
+
+  // T_N = T_base + T_extra + λ·T_N·t_const with T_extra = frac·T_base.
+  const double const_fraction = params.lambda * params.t_const;
+  if (const_fraction >= 1.0) {
+    return halted_costs();
+  }
+  SchemeCosts costs;
+  const Seconds t_extra = params.extra_time_fraction * base.t_base;
+  costs.total_time = (base.t_base + t_extra) / (1.0 - const_fraction);
+  costs.t_res = costs.total_time - base.t_base;
+  const Seconds t_const_total = const_fraction * costs.total_time;
+
+  const Watts p_normal = static_cast<double>(base.n_cores) * base.p1;
+  // Eq. 15: Ñ cores at P₁, the rest at P_idle during construction.
+  const Watts p_const =
+      static_cast<double>(params.active_ranks) * base.p1 +
+      static_cast<double>(base.n_cores - params.active_ranks) *
+          params.idle_power;
+  // Eq. 16 plus the base progress term.
+  costs.total_energy =
+      p_normal * (base.t_base + t_extra) + p_const * t_const_total;
+  costs.e_res = costs.total_energy - p_normal * base.t_base;
+  costs.p_avg = costs.total_energy / costs.total_time;
+  normalize(costs, base);
+  return costs;
+}
+
+}  // namespace rsls::model

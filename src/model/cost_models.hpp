@@ -1,0 +1,96 @@
+#pragma once
+// Analytical time/power/energy models of paper §3.
+//
+// Generalized model (Eq. 1–8): a workload scaled to N cores takes
+// T_N = T_solve + T_O(N) + T_res(w', N, λ), draws phase-dependent power
+// (Eq. 5), and consumes E_N = P_avg · T_N (Eq. 8). The per-scheme
+// refinements below give closed forms for T_res and the recovery-phase
+// power:
+//   CR (Eq. 9–11): T_chkpt = t_C · T_N / I_C,  T_lost = (I_C/2) · λ · T_N,
+//     so T_N = T_base / (1 − t_C/I_C − λ·I_C/2).
+//   RD (Eq. 12):   T_res = 0, P_{N,res} = N·P₁ (power doubles).
+//   FW (Eq. 13–16): T_const = λ·T_N·t_const, T_extra measured as a
+//     fraction of T_base, so T_N = T_base(1 + extra)/(1 − λ·t_const);
+//     construction power is Ñ·P₁ + (N−Ñ)·P_idle (Eq. 15).
+
+#include "core/types.hpp"
+#include "core/units.hpp"
+
+namespace rsls::model {
+
+/// Fault-free operating point the scheme models perturb.
+struct BaseCase {
+  /// T_solve + T_O(N): fault-free time-to-solution on N cores.
+  Seconds t_base = 0.0;
+  Index n_cores = 1;
+  /// Per-core power during normal execution (P₁(w)).
+  Watts p1 = 8.0;
+};
+
+/// A scheme's modeled costs, absolute and relative to the base case.
+struct SchemeCosts {
+  Seconds total_time = 0.0;
+  Seconds t_res = 0.0;
+  Joules total_energy = 0.0;
+  Joules e_res = 0.0;
+  Watts p_avg = 0.0;
+
+  // Normalized to the fault-free case (Table 6's columns).
+  double time_ratio = 1.0;    // total_time / t_base
+  double t_res_ratio = 0.0;   // t_res / t_base
+  double energy_ratio = 1.0;  // total_energy / e_base
+  double e_res_ratio = 0.0;   // e_res / e_base
+  double power_ratio = 1.0;   // p_avg / (N·P₁)
+
+  /// True when the modeled overhead reaches 100 % — no forward progress
+  /// (the paper's §6: "if MTBF continues to decrease, workload progress
+  /// can possibly halt"). Times/energies are +inf in that case.
+  bool halted = false;
+};
+
+/// Eq. 7: the fault-free case itself.
+SchemeCosts fault_free(const BaseCase& base);
+
+/// Eq. 12: dual redundancy — no time overhead, double power/energy.
+SchemeCosts redundancy(const BaseCase& base);
+
+struct CrModelParams {
+  /// Per-checkpoint cost (measured; storage-dependent).
+  Seconds t_c = 0.0;
+  /// Checkpoint interval I_C (e.g. from young_interval).
+  Seconds interval = 0.0;
+  /// Failure rate λ.
+  PerSecond lambda = 0.0;
+  /// Per-fault recomputation time t_lost (Eq. 11). Negative selects the
+  /// paper's a-priori approximation t_lost ≈ I_C/2; a measured value
+  /// (which also captures the post-rollback re-convergence penalty)
+  /// parameterizes the model the way Table 6 does for t_C/t_const.
+  Seconds t_lost = -1.0;
+  /// Power during checkpointing relative to N·P₁ (CPUs are under-utilized
+  /// while writing; paper §3.2 / §6 uses ≈0.4 for disk).
+  double checkpoint_power_factor = 0.5;
+};
+
+/// Eq. 9–11 with the implicit T_N solved in closed form. Throws if the
+/// configuration cannot make progress (overheads ≥ 100 %).
+SchemeCosts checkpoint_restart(const BaseCase& base,
+                               const CrModelParams& params);
+
+struct FwModelParams {
+  /// Per-reconstruction cost t_const (measured).
+  Seconds t_const = 0.0;
+  /// T_extra as a fraction of T_base (measured average normalized
+  /// extra-iteration overhead).
+  double extra_time_fraction = 0.0;
+  PerSecond lambda = 0.0;
+  /// Ñ of Eq. 15: ranks active during construction (1 for local CG).
+  Index active_ranks = 1;
+  /// Per-core power of the idle/waiting ranks during construction
+  /// (≈0.45·P₁ with DVFS, §6).
+  Watts idle_power = 0.0;
+};
+
+/// Eq. 13–16.
+SchemeCosts forward_recovery(const BaseCase& base, const FwModelParams& params);
+
+}  // namespace rsls::model

@@ -1,0 +1,63 @@
+#pragma once
+// System MTBF estimation by fault class (paper Fig. 1).
+//
+// The paper projects exascale MTBF from petascale failure data
+// (Di Martino et al.'s Blue Waters study [19], Snir et al. [38]): a
+// petascale machine is 20 K nodes of today's technology, an exascale
+// machine 1 M nodes at 11 nm, and system MTBF for each fault class scales
+// as per-node MTBF / node count, with node-level rates worsened by the
+// smaller feature size. Per-node rates below are order-of-magnitude
+// estimates consistent with those sources; the bench prints the resulting
+// whole-system MTBF per class, which lands within an hour at exascale.
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "core/units.hpp"
+
+namespace rsls::model {
+
+/// Paper §2.1 fault classes.
+enum class FaultClass {
+  kDce,  // detected and corrected error (soft)
+  kDue,  // detected but uncorrected error (soft)
+  kSdc,  // silent data corruption (soft)
+  kSwo,  // system-wide outage (hard)
+  kSnf,  // single node failure (hard)
+  kLnf   // link and node failure (hard)
+};
+
+const char* to_string(FaultClass fault_class);
+bool is_soft(FaultClass fault_class);
+
+struct NodeTechnology {
+  std::string name;
+  /// Failures per node per hour, by class. SWO is machine-level and
+  /// stored as failures per system per hour.
+  double dce_per_node_hour;
+  double due_per_node_hour;
+  double sdc_per_node_hour;
+  double swo_per_system_hour;
+  double snf_per_node_hour;
+  double lnf_per_node_hour;
+};
+
+/// Today's technology (petascale-era node).
+NodeTechnology petascale_node();
+
+/// 11 nm technology: soft-error rates degrade with feature size and
+/// near-threshold operation [4, 38].
+NodeTechnology exascale_node();
+
+/// System MTBF (hours) for one fault class on `nodes` nodes.
+double system_mtbf_hours(const NodeTechnology& tech, Index nodes,
+                         FaultClass fault_class);
+
+/// MTBF across all classes combined (rates add).
+double combined_mtbf_hours(const NodeTechnology& tech, Index nodes);
+
+/// All classes, in enum order (for the Fig. 1 bench).
+std::vector<FaultClass> all_fault_classes();
+
+}  // namespace rsls::model

@@ -1,0 +1,72 @@
+#include "model/projection.hpp"
+
+#include "core/error.hpp"
+#include "model/young_daly.hpp"
+
+namespace rsls::model {
+
+std::vector<ProjectionPoint> project(const ProjectionInputs& inputs,
+                                     const IndexVec& process_counts) {
+  RSLS_CHECK(inputs.t_solve > 0.0);
+  RSLS_CHECK(inputs.iterations >= 1);
+  RSLS_CHECK(inputs.per_process_mtbf > 0.0);
+  std::vector<ProjectionPoint> points;
+  points.reserve(process_counts.size());
+
+  for (const Index n : process_counts) {
+    RSLS_CHECK(n >= 1);
+    ProjectionPoint point;
+    point.processes = n;
+    // Constant per-processor MTBF ⇒ system MTBF decreases linearly.
+    point.system_mtbf = inputs.per_process_mtbf / static_cast<double>(n);
+    const PerSecond lambda = 1.0 / point.system_mtbf;
+
+    // Fixed-time weak scaling: T_solve constant, T_O(N) from the comm
+    // table accumulated over the iterations.
+    point.t_base =
+        inputs.t_solve + static_cast<double>(inputs.iterations) *
+                             inputs.comm.cg_iteration_overhead(n);
+
+    BaseCase base;
+    base.t_base = point.t_base;
+    base.n_cores = n;
+    base.p1 = inputs.p1;
+
+    point.rd = redundancy(base);
+
+    {
+      CrModelParams params;
+      params.t_c = inputs.crd_tc_per_process * static_cast<double>(n);
+      params.interval = young_interval(params.t_c, point.system_mtbf);
+      params.lambda = lambda;
+      params.checkpoint_power_factor = inputs.crd_checkpoint_power_factor;
+      point.cr_disk = checkpoint_restart(base, params);
+    }
+    {
+      CrModelParams params;
+      params.t_c = inputs.crm_tc;
+      params.interval = young_interval(params.t_c, point.system_mtbf);
+      params.lambda = lambda;
+      params.checkpoint_power_factor = inputs.crm_checkpoint_power_factor;
+      point.cr_memory = checkpoint_restart(base, params);
+    }
+    {
+      FwModelParams params;
+      params.t_const = inputs.fw_tconst_base +
+                       inputs.fw_tconst_per_process * static_cast<double>(n);
+      params.extra_time_fraction = inputs.fw_extra_fraction;
+      params.lambda = lambda;
+      params.active_ranks = 1;
+      params.idle_power = inputs.fw_idle_power_ratio * inputs.p1;
+      point.fw = forward_recovery(base, params);
+    }
+    points.push_back(point);
+  }
+  return points;
+}
+
+IndexVec default_process_counts() {
+  return {1024, 4096, 16384, 65536, 262144, 1048576};
+}
+
+}  // namespace rsls::model

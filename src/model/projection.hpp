@@ -1,0 +1,75 @@
+#pragma once
+// §6 cost projection: how resilience overhead scales with system size
+// under weak scaling (50 K nnz per process) and a decreasing system MTBF
+// (constant per-processor MTBF of 6 K hours).
+//
+// Inputs are the scalars the paper measures on the 8-node cluster and
+// extrapolates:
+//   t_C of CR-D grows linearly with system size (shared filesystem),
+//   t_C of CR-M is constant (node-local copies),
+//   t_const of FW grows linearly with system size,
+//   FW's extra-iteration overhead is a constant fraction of T_base,
+//   P_idle = 0.45 P₁ for FW, 0.4 P₁ for CR-D.
+// T_base(N) = T_solve + iterations · per-iteration T_O(N) from the comm
+// scaling table. Checkpoint intervals follow Young's formula at each N.
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "core/units.hpp"
+#include "model/comm_scaling.hpp"
+#include "model/cost_models.hpp"
+
+namespace rsls::model {
+
+struct ProjectionInputs {
+  /// Fault-free solve time (compute only) of the fixed-time workload.
+  Seconds t_solve = 100.0;
+  /// CG iterations of the workload (for T_O accumulation).
+  Index iterations = 1000;
+  /// Per-core power during computation.
+  Watts p1 = 8.0;
+
+  /// Measured scaling of the per-checkpoint/reconstruction costs:
+  ///   t_C(CR-D) = crd_tc_per_process · N      (shared filesystem)
+  ///   t_C(CR-M) = crm_tc (constant)           (node-local copies)
+  ///   t_const(FW) = fw_tconst_base + fw_tconst_per_process · N
+  /// The FW base term is the local solve (constant under weak scaling);
+  /// the linear term is the gather of remote values.
+  Seconds crd_tc_per_process = 1e-5;
+  Seconds crm_tc = 5e-3;
+  Seconds fw_tconst_base = 2.0;
+  Seconds fw_tconst_per_process = 2e-7;
+
+  /// FW extra-iteration overhead as a fraction of T_base (measured avg).
+  double fw_extra_fraction = 0.4;
+
+  /// Per-processor MTBF (paper: 6 K hours).
+  Seconds per_process_mtbf = 6000.0 * 3600.0;
+
+  /// Power ratios during recovery phases (§6).
+  double fw_idle_power_ratio = 0.45;
+  double crd_checkpoint_power_factor = 0.4;
+  double crm_checkpoint_power_factor = 0.9;
+
+  CommScalingTable comm;
+};
+
+struct ProjectionPoint {
+  Index processes = 0;
+  Seconds system_mtbf = 0.0;
+  Seconds t_base = 0.0;
+  SchemeCosts rd;
+  SchemeCosts cr_disk;
+  SchemeCosts cr_memory;
+  SchemeCosts fw;
+};
+
+/// Project every scheme at each process count (Fig. 9's x-axis).
+std::vector<ProjectionPoint> project(const ProjectionInputs& inputs,
+                                     const IndexVec& process_counts);
+
+/// The paper's sweep: 1 K → 1 M processes in 4× steps.
+IndexVec default_process_counts();
+
+}  // namespace rsls::model

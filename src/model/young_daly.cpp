@@ -1,0 +1,27 @@
+#include "model/young_daly.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace rsls::model {
+
+Seconds young_interval(Seconds checkpoint_cost, Seconds mtbf) {
+  RSLS_CHECK(checkpoint_cost > 0.0);
+  RSLS_CHECK(mtbf > 0.0);
+  return std::sqrt(2.0 * checkpoint_cost * mtbf);
+}
+
+Seconds daly_interval(Seconds checkpoint_cost, Seconds mtbf) {
+  RSLS_CHECK(checkpoint_cost > 0.0);
+  RSLS_CHECK(mtbf > 0.0);
+  if (checkpoint_cost >= 2.0 * mtbf) {
+    return mtbf;
+  }
+  const double ratio = checkpoint_cost / (2.0 * mtbf);
+  const double base = std::sqrt(2.0 * checkpoint_cost * mtbf);
+  return base * (1.0 + std::sqrt(ratio) / 3.0 + ratio / 9.0) -
+         checkpoint_cost;
+}
+
+}  // namespace rsls::model

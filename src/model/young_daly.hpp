@@ -1,0 +1,21 @@
+#pragma once
+// Optimal checkpoint interval approximations.
+//
+// Young's first-order formula [41] and Daly's higher-order estimate [16],
+// both as used by the paper (§3.2: "The optimal checkpointing interval
+// I_C is a function of failure rate and commonly approximated with
+// Young's and Daly's approaches"; §5.3 computes CR cadence via Young).
+
+#include "core/units.hpp"
+
+namespace rsls::model {
+
+/// Young: I_C = √(2 · t_C · MTBF). Requires t_C > 0, mtbf > 0.
+Seconds young_interval(Seconds checkpoint_cost, Seconds mtbf);
+
+/// Daly's higher-order estimate:
+///   I_C = √(2 t_C M) · [1 + (1/3)√(t_C / 2M) + (1/9)(t_C / 2M)] − t_C
+/// for t_C < 2M, else I_C = M (Daly 2006, Eq. 20).
+Seconds daly_interval(Seconds checkpoint_cost, Seconds mtbf);
+
+}  // namespace rsls::model

@@ -1,0 +1,98 @@
+#include "power/governor.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace rsls::power {
+
+double observed_utilization(Activity activity) {
+  switch (activity) {
+    case Activity::kActive:
+      return 1.0;
+    case Activity::kWaiting:
+      // Busy-poll: the core retires pause/spin instructions continuously,
+      // so /proc-style accounting reports it busy.
+      return 1.0;
+    case Activity::kSleep:
+      return 0.0;
+    case Activity::kMemCopy:
+      return 1.0;
+    case Activity::kDiskWait:
+      // Blocked in the kernel on I/O: idle from the scheduler's view.
+      return 0.05;
+  }
+  return 0.0;
+}
+
+namespace {
+
+class PerformanceGovernor final : public Governor {
+ public:
+  Hertz next_frequency(const FrequencyTable& table, Hertz /*current*/,
+                       double /*utilization*/) const override {
+    return table.max_hz;
+  }
+  std::string name() const override { return "performance"; }
+};
+
+class PowersaveGovernor final : public Governor {
+ public:
+  Hertz next_frequency(const FrequencyTable& table, Hertz /*current*/,
+                       double /*utilization*/) const override {
+    return table.min_hz;
+  }
+  std::string name() const override { return "powersave"; }
+};
+
+class OndemandGovernor final : public Governor {
+ public:
+  explicit OndemandGovernor(OndemandConfig config) : config_(config) {
+    RSLS_CHECK(config.up_threshold > 0.0 && config.up_threshold <= 1.0);
+  }
+
+  Hertz next_frequency(const FrequencyTable& table, Hertz /*current*/,
+                       double utilization) const override {
+    RSLS_CHECK(utilization >= 0.0 && utilization <= 1.0);
+    if (utilization >= config_.up_threshold) {
+      return table.max_hz;
+    }
+    // Proportional scaling, as the kernel's ondemand does below the
+    // threshold: f = max_f * util / up_threshold, snapped to the grid.
+    const Hertz target = table.max_hz * (utilization / config_.up_threshold);
+    return table.snap(std::max(target, table.min_hz));
+  }
+  std::string name() const override { return "ondemand"; }
+
+ private:
+  OndemandConfig config_;
+};
+
+class UserspaceGovernor final : public Governor {
+ public:
+  Hertz next_frequency(const FrequencyTable& table, Hertz current,
+                       double /*utilization*/) const override {
+    return table.snap(current);
+  }
+  std::string name() const override { return "userspace"; }
+};
+
+}  // namespace
+
+std::unique_ptr<Governor> make_performance_governor() {
+  return std::make_unique<PerformanceGovernor>();
+}
+
+std::unique_ptr<Governor> make_powersave_governor() {
+  return std::make_unique<PowersaveGovernor>();
+}
+
+std::unique_ptr<Governor> make_ondemand_governor(OndemandConfig config) {
+  return std::make_unique<OndemandGovernor>(config);
+}
+
+std::unique_ptr<Governor> make_userspace_governor() {
+  return std::make_unique<UserspaceGovernor>();
+}
+
+}  // namespace rsls::power

@@ -1,0 +1,57 @@
+#pragma once
+// CPUfreq governor policies over the simulated cores.
+//
+// The paper controls DVFS through the CPUfreq interface: the baseline uses
+// the kernel "ondemand" governor; the proposed LI-DVFS/LSI-DVFS run
+// "userspace" and set frequencies explicitly around reconstruction phases
+// (§4.2, §5.3). Governors here are pure policies: given the utilization a
+// core exhibited over the last sampling window, pick the next frequency.
+// The virtual cluster consults the governor at phase boundaries.
+//
+// The key real-world behaviour reproduced: an MPI rank blocked in a
+// busy-poll wait presents ~100 % utilization, so "ondemand" does NOT
+// down-clock it — which is exactly why explicit userspace scheduling wins
+// in Fig. 7(a).
+
+#include <memory>
+#include <string>
+
+#include "core/types.hpp"
+#include "core/units.hpp"
+#include "power/power_model.hpp"
+
+namespace rsls::power {
+
+/// Utilization as "ondemand" sees it: fraction of the window the core ran
+/// non-halted. Busy-polling counts as busy.
+double observed_utilization(Activity activity);
+
+class Governor {
+ public:
+  virtual ~Governor() = default;
+
+  /// Next frequency for a core, given the table, its current frequency,
+  /// and the utilization observed over the last sampling window.
+  virtual Hertz next_frequency(const FrequencyTable& table, Hertz current,
+                               double utilization) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Always max frequency (the cluster default for HPC runs).
+std::unique_ptr<Governor> make_performance_governor();
+
+/// Always min frequency.
+std::unique_ptr<Governor> make_powersave_governor();
+
+/// Kernel-style ondemand: jump to max above the up-threshold, otherwise
+/// scale proportionally to utilization (never below min).
+struct OndemandConfig {
+  double up_threshold = 0.95;
+};
+std::unique_ptr<Governor> make_ondemand_governor(OndemandConfig config = {});
+
+/// Userspace: hold whatever was explicitly set (next == current).
+std::unique_ptr<Governor> make_userspace_governor();
+
+}  // namespace rsls::power

@@ -1,0 +1,69 @@
+#include "power/power_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace rsls::power {
+
+Hertz FrequencyTable::snap(Hertz requested) const {
+  const Hertz clamped = std::clamp(requested, min_hz, max_hz);
+  const double steps = std::round((clamped - min_hz) / step_hz);
+  return std::min(max_hz, min_hz + steps * step_hz);
+}
+
+Index FrequencyTable::state_count() const {
+  return static_cast<Index>(std::round((max_hz - min_hz) / step_hz)) + 1;
+}
+
+PowerModel::PowerModel(const PowerModelConfig& config) : config_(config) {
+  RSLS_CHECK(config.freq.min_hz > 0.0);
+  RSLS_CHECK(config.freq.max_hz >= config.freq.min_hz);
+  RSLS_CHECK(config.freq.step_hz > 0.0);
+  RSLS_CHECK(config.core_static >= 0.0);
+  RSLS_CHECK(config.core_dynamic_max > 0.0);
+  RSLS_CHECK(config.volt_at_min > 0.0 &&
+             config.volt_at_max >= config.volt_at_min);
+}
+
+double PowerModel::voltage(Hertz f) const {
+  const auto& table = config_.freq;
+  if (table.max_hz == table.min_hz) {
+    return config_.volt_at_max;
+  }
+  const double t =
+      std::clamp((f - table.min_hz) / (table.max_hz - table.min_hz), 0.0, 1.0);
+  return config_.volt_at_min + t * (config_.volt_at_max - config_.volt_at_min);
+}
+
+double PowerModel::dynamic_scale(Hertz f) const {
+  const Hertz f_max = config_.freq.max_hz;
+  const double v = voltage(f);
+  const double v_max = config_.volt_at_max;
+  return (f * v * v) / (f_max * v_max * v_max);
+}
+
+Watts PowerModel::core_power(Hertz f, Activity activity) const {
+  const Watts dynamic = config_.core_dynamic_max * dynamic_scale(f);
+  switch (activity) {
+    case Activity::kActive:
+      return config_.core_static + dynamic;
+    case Activity::kWaiting:
+      return config_.core_static + config_.wait_utilization * dynamic;
+    case Activity::kSleep:
+      return config_.core_sleep;
+    case Activity::kMemCopy:
+      return config_.core_static + config_.memcopy_utilization * dynamic;
+    case Activity::kDiskWait:
+      return config_.core_static + config_.diskwait_utilization * dynamic;
+  }
+  return config_.core_static;
+}
+
+Watts PowerModel::node_constant_power(Index sockets) const {
+  return static_cast<double>(sockets) *
+         (config_.socket_uncore + config_.socket_dram);
+}
+
+}  // namespace rsls::power

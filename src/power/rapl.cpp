@@ -1,0 +1,74 @@
+#include "power/rapl.hpp"
+
+#include "core/error.hpp"
+
+namespace rsls::power {
+
+const char* to_string(PhaseTag tag) {
+  switch (tag) {
+    case PhaseTag::kSolve:
+      return "solve";
+    case PhaseTag::kExtraIter:
+      return "extra-iter";
+    case PhaseTag::kComm:
+      return "comm";
+    case PhaseTag::kCheckpoint:
+      return "checkpoint";
+    case PhaseTag::kRollback:
+      return "rollback";
+    case PhaseTag::kReconstruct:
+      return "reconstruct";
+    case PhaseTag::kIdleWait:
+      return "idle-wait";
+    case PhaseTag::kCount:
+      break;
+  }
+  return "?";
+}
+
+void EnergyAccount::charge_core(PhaseTag tag, Joules joules) {
+  RSLS_CHECK(tag != PhaseTag::kCount);
+  RSLS_CHECK(joules >= 0.0);
+  core_by_tag_[static_cast<std::size_t>(tag)] += joules;
+}
+
+void EnergyAccount::charge_node_constant(Joules joules) {
+  RSLS_CHECK(joules >= 0.0);
+  node_constant_ += joules;
+}
+
+Joules EnergyAccount::core_energy(PhaseTag tag) const {
+  RSLS_CHECK(tag != PhaseTag::kCount);
+  return core_by_tag_[static_cast<std::size_t>(tag)];
+}
+
+Joules EnergyAccount::core_energy_total() const {
+  Joules sum = 0.0;
+  for (const Joules j : core_by_tag_) {
+    sum += j;
+  }
+  return sum;
+}
+
+Joules EnergyAccount::total() const {
+  return core_energy_total() + node_constant_;
+}
+
+Joules EnergyAccount::resilience_energy() const {
+  Joules sum = 0.0;
+  sum += core_energy(PhaseTag::kExtraIter);
+  sum += core_energy(PhaseTag::kCheckpoint);
+  sum += core_energy(PhaseTag::kRollback);
+  sum += core_energy(PhaseTag::kReconstruct);
+  sum += core_energy(PhaseTag::kIdleWait);
+  return sum;
+}
+
+void EnergyAccount::merge(const EnergyAccount& other) {
+  for (std::size_t i = 0; i < kPhaseTagCount; ++i) {
+    core_by_tag_[i] += other.core_by_tag_[i];
+  }
+  node_constant_ += other.node_constant_;
+}
+
+}  // namespace rsls::power

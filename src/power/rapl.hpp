@@ -1,0 +1,61 @@
+#pragma once
+// RAPL-style energy accounting.
+//
+// The paper reads processor energy through Intel RAPL's package and DRAM
+// domains. EnergyAccount is the simulated equivalent: charges are
+// accumulated per phase tag (so benches can split E_res from E_solve and
+// plot checkpoint/reconstruction energy separately) and per RAPL domain.
+
+#include <array>
+#include <string>
+
+#include "core/types.hpp"
+#include "core/units.hpp"
+
+namespace rsls::power {
+
+/// What a charged interval was doing, from the application's viewpoint.
+/// Used to attribute energy (Fig. 7b's E_res/E_solve split) and to label
+/// the power profile (Fig. 7a).
+enum class PhaseTag {
+  kSolve,        // CG iterations that fault-free execution would also run
+  kExtraIter,    // additional iterations caused by a recovery scheme
+  kComm,         // parallel overhead (halo exchange, allreduce waits)
+  kCheckpoint,   // writing checkpoints
+  kRollback,     // restoring state from a checkpoint
+  kReconstruct,  // FW construction of the lost block
+  kIdleWait,     // waiting while another rank reconstructs
+  kCount
+};
+
+constexpr std::size_t kPhaseTagCount = static_cast<std::size_t>(PhaseTag::kCount);
+
+const char* to_string(PhaseTag tag);
+
+class EnergyAccount {
+ public:
+  /// Add `joules` of core energy attributed to `tag`.
+  void charge_core(PhaseTag tag, Joules joules);
+
+  /// Add node-constant (uncore + DRAM) energy; not phase-attributed
+  /// because it accrues with wall time, not activity.
+  void charge_node_constant(Joules joules);
+
+  Joules core_energy(PhaseTag tag) const;
+  Joules core_energy_total() const;
+  Joules node_constant_energy() const { return node_constant_; }
+
+  /// Package-style total: cores + uncore + DRAM.
+  Joules total() const;
+
+  /// Energy charged to resilience phases (everything except kSolve/kComm).
+  Joules resilience_energy() const;
+
+  void merge(const EnergyAccount& other);
+
+ private:
+  std::array<Joules, kPhaseTagCount> core_by_tag_{};
+  Joules node_constant_ = 0.0;
+};
+
+}  // namespace rsls::power

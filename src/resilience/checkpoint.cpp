@@ -1,0 +1,76 @@
+#include "resilience/checkpoint.hpp"
+
+#include "core/error.hpp"
+
+namespace rsls::resilience {
+
+using power::PhaseTag;
+
+CheckpointRestart::CheckpointRestart(CheckpointOptions options,
+                                     RealVec initial_guess)
+    : options_(options), initial_guess_(std::move(initial_guess)) {
+  RSLS_CHECK(options.interval_iterations >= 1);
+}
+
+std::string CheckpointRestart::name() const {
+  return options_.target == CheckpointTarget::kDisk ? "CR-D" : "CR-M";
+}
+
+void CheckpointRestart::on_iteration(RecoveryContext& ctx, Index iteration,
+                                     std::span<const Real> x) {
+  if (iteration % options_.interval_iterations != 0) {
+    return;
+  }
+  const Seconds before = ctx.cluster.elapsed();
+  const Bytes bytes = ctx.a.vector_bytes();
+  if (options_.target == CheckpointTarget::kDisk) {
+    ctx.cluster.write_disk(bytes, PhaseTag::kCheckpoint);
+  } else {
+    ctx.cluster.write_memory(bytes, PhaseTag::kCheckpoint);
+  }
+  saved_x_ = RealVec(x.begin(), x.end());
+  saved_iteration_ = iteration;
+  ++checkpoints_taken_;
+  checkpoint_seconds_ += ctx.cluster.elapsed() - before;
+}
+
+solver::HookAction CheckpointRestart::recover(RecoveryContext& ctx,
+                                              Index iteration,
+                                              Index /*failed_rank*/,
+                                              std::span<Real> x) {
+  count_recovery();
+  const Bytes bytes = ctx.a.vector_bytes();
+  if (options_.target == CheckpointTarget::kDisk) {
+    ctx.cluster.read_disk(bytes, PhaseTag::kRollback);
+  } else {
+    ctx.cluster.read_memory(bytes, PhaseTag::kRollback);
+  }
+  if (saved_x_.has_value()) {
+    RSLS_CHECK(saved_x_->size() == x.size());
+    std::copy(saved_x_->begin(), saved_x_->end(), x.begin());
+    iterations_rolled_back_ += iteration - saved_iteration_;
+  } else {
+    // No checkpoint yet: global restart from the initial guess.
+    RSLS_CHECK(initial_guess_.size() == x.size());
+    std::copy(initial_guess_.begin(), initial_guess_.end(), x.begin());
+    iterations_rolled_back_ += iteration;
+  }
+  return solver::HookAction::kRestart;
+}
+
+solver::HookAction CheckpointRestart::recover_multi(
+    RecoveryContext& ctx, Index iteration, const IndexVec& failed_ranks,
+    std::span<Real> x) {
+  RSLS_CHECK(!failed_ranks.empty());
+  // Classical CR performs one global restart regardless of how many
+  // processes the event took out.
+  return recover(ctx, iteration, failed_ranks.front(), x);
+}
+
+Seconds CheckpointRestart::mean_checkpoint_seconds() const {
+  return checkpoints_taken_ > 0
+             ? checkpoint_seconds_ / static_cast<double>(checkpoints_taken_)
+             : 0.0;
+}
+
+}  // namespace rsls::resilience

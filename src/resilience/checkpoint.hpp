@@ -1,0 +1,69 @@
+#pragma once
+// Checkpoint/restart recovery (paper Table 2: CR-D and CR-M).
+//
+// The solution vector x is checkpointed every `interval_iterations`
+// iterations to the shared disk (CR-D) or node-local memory (CR-M). On a
+// fault the *entire* iterate rolls back to the most recent checkpoint
+// (classical CR performs a global restart even when one process fails)
+// and CG restarts; the recomputation of lost iterations is T_lost.
+
+#include <memory>
+#include <optional>
+
+#include "core/units.hpp"
+#include "resilience/scheme.hpp"
+
+namespace rsls::resilience {
+
+enum class CheckpointTarget { kMemory, kDisk };
+
+struct CheckpointOptions {
+  CheckpointTarget target = CheckpointTarget::kDisk;
+  /// Checkpoint cadence in iterations. §5.2 fixes this at 100; §5.3
+  /// derives it from Young's formula via model::young_interval and the
+  /// measured iteration time.
+  Index interval_iterations = 100;
+};
+
+class CheckpointRestart final : public RecoveryScheme {
+ public:
+  explicit CheckpointRestart(CheckpointOptions options,
+                             RealVec initial_guess);
+
+  std::string name() const override;
+
+  void on_iteration(RecoveryContext& ctx, Index iteration,
+                    std::span<const Real> x) override;
+
+  solver::HookAction recover(RecoveryContext& ctx, Index iteration,
+                             Index failed_rank, std::span<Real> x) override;
+
+  /// A multi-rank fault needs only one global rollback.
+  solver::HookAction recover_multi(RecoveryContext& ctx, Index iteration,
+                                   const IndexVec& failed_ranks,
+                                   std::span<Real> x) override;
+
+  Index checkpoints_taken() const { return checkpoints_taken_; }
+
+  /// Measured per-checkpoint cost t_C (virtual seconds), input for the
+  /// §3.2 CR model and Table 6.
+  Seconds checkpoint_seconds_total() const { return checkpoint_seconds_; }
+  Seconds mean_checkpoint_seconds() const;
+
+  /// Iterations of progress discarded by rollbacks (Σ over faults);
+  /// the experimental analogue of T_lost's iteration count.
+  Index iterations_rolled_back() const { return iterations_rolled_back_; }
+
+  const CheckpointOptions& options() const { return options_; }
+
+ private:
+  CheckpointOptions options_;
+  RealVec initial_guess_;
+  std::optional<RealVec> saved_x_;
+  Index saved_iteration_ = 0;
+  Index checkpoints_taken_ = 0;
+  Seconds checkpoint_seconds_ = 0.0;
+  Index iterations_rolled_back_ = 0;
+};
+
+}  // namespace rsls::resilience

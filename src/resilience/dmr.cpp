@@ -1,0 +1,36 @@
+#include "resilience/dmr.hpp"
+
+#include "core/error.hpp"
+
+namespace rsls::resilience {
+
+using power::Activity;
+using power::PhaseTag;
+
+void Dmr::on_iteration(RecoveryContext& /*ctx*/, Index /*iteration*/,
+                       std::span<const Real> x) {
+  replica_x_.assign(x.begin(), x.end());
+}
+
+solver::HookAction Dmr::recover(RecoveryContext& ctx, Index /*iteration*/,
+                                Index failed_rank, std::span<Real> x) {
+  count_recovery();
+  RSLS_CHECK_MSG(replica_x_.size() == x.size(),
+                 "DMR fault before the first replicated iteration");
+  const auto& part = ctx.a.partition();
+  const Index begin = part.begin(failed_rank);
+  const Index end = part.end(failed_rank);
+  for (Index i = begin; i < end; ++i) {
+    x[static_cast<std::size_t>(i)] = replica_x_[static_cast<std::size_t>(i)];
+  }
+  // Transfer of the lost block from the replica partner.
+  ctx.cluster.charge_duration(
+      failed_rank, ctx.cluster.p2p_seconds(ctx.a.block_bytes(failed_rank)),
+      Activity::kWaiting, PhaseTag::kReconstruct);
+  ctx.cluster.sync(PhaseTag::kIdleWait);
+  // The replica also restores the solver's internal vectors exactly, so
+  // no restart is needed — RD tracks the fault-free trajectory.
+  return solver::HookAction::kContinue;
+}
+
+}  // namespace rsls::resilience

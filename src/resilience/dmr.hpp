@@ -1,0 +1,35 @@
+#pragma once
+// Dual modular redundancy (paper Table 2: RD / DMR).
+//
+// A full replica of the computation runs on a second set of N cores
+// (replica_factor() == 2: the virtual cluster doubles the energy account,
+// Eq. 12, while time is unchanged). On a fault the failed process's state
+// is copied from its replica partner; recovery is exact, so the solver
+// continues without restarting — RD matches the fault-free iteration
+// count (Table 4 / Fig. 5).
+
+#include "resilience/scheme.hpp"
+
+namespace rsls::resilience {
+
+class Dmr final : public RecoveryScheme {
+ public:
+  Dmr() = default;
+
+  std::string name() const override { return "RD"; }
+  Index replica_factor() const override { return 2; }
+
+  void on_iteration(RecoveryContext& ctx, Index iteration,
+                    std::span<const Real> x) override;
+
+  solver::HookAction recover(RecoveryContext& ctx, Index iteration,
+                             Index failed_rank, std::span<Real> x) override;
+
+ private:
+  /// The replica's copy of the iterate. Maintained for free: the replica
+  /// genuinely computes it, so no extra time/energy is charged here
+  /// beyond what replica_factor already doubles.
+  RealVec replica_x_;
+};
+
+}  // namespace rsls::resilience

@@ -1,0 +1,145 @@
+#include "resilience/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace rsls::resilience {
+
+FaultInjector::FaultInjector(Mode mode, Index num_ranks, std::uint64_t seed)
+    : mode_(mode), num_ranks_(num_ranks), rng_(seed) {
+  RSLS_CHECK(num_ranks >= 1);
+}
+
+FaultInjector FaultInjector::evenly_spaced(Index count, Index ff_iterations,
+                                           Index num_ranks,
+                                           std::uint64_t seed) {
+  RSLS_CHECK(count >= 0);
+  RSLS_CHECK(ff_iterations >= 1);
+  FaultInjector injector(Mode::kEvenlySpaced, num_ranks, seed);
+  for (Index j = 1; j <= count; ++j) {
+    const Index at = (j * ff_iterations) / (count + 1);
+    if (at >= 1 && at < ff_iterations) {
+      injector.fault_iterations_.push_back(at);
+    }
+  }
+  return injector;
+}
+
+FaultInjector FaultInjector::evenly_spaced_multi(Index count,
+                                                 Index ff_iterations,
+                                                 Index ranks_per_fault,
+                                                 Index num_ranks,
+                                                 std::uint64_t seed) {
+  RSLS_CHECK(ranks_per_fault >= 1 && ranks_per_fault <= num_ranks);
+  FaultInjector injector =
+      evenly_spaced(count, ff_iterations, num_ranks, seed);
+  injector.ranks_per_fault_ = ranks_per_fault;
+  return injector;
+}
+
+FaultInjector FaultInjector::at_iterations(IndexVec iterations,
+                                           Index num_ranks,
+                                           std::uint64_t seed) {
+  FaultInjector injector(Mode::kEvenlySpaced, num_ranks, seed);
+  for (std::size_t i = 0; i < iterations.size(); ++i) {
+    RSLS_CHECK(iterations[i] >= 1);
+    if (i > 0) {
+      RSLS_CHECK_MSG(iterations[i] > iterations[i - 1],
+                     "fault iterations must be ascending");
+    }
+  }
+  injector.fault_iterations_ = std::move(iterations);
+  return injector;
+}
+
+FaultInjector FaultInjector::poisson(PerSecond lambda, Index num_ranks,
+                                     std::uint64_t seed) {
+  RSLS_CHECK(lambda > 0.0);
+  FaultInjector injector(Mode::kPoisson, num_ranks, seed);
+  injector.lambda_ = lambda;
+  injector.next_arrival_ = injector.rng_.exponential(lambda);
+  return injector;
+}
+
+FaultInjector FaultInjector::none() {
+  return FaultInjector(Mode::kNone, 1, 0);
+}
+
+std::optional<Index> FaultInjector::check(Index iteration, Seconds now) {
+  switch (mode_) {
+    case Mode::kNone:
+      return std::nullopt;
+    case Mode::kEvenlySpaced: {
+      if (next_fault_ < fault_iterations_.size() &&
+          iteration >= fault_iterations_[next_fault_]) {
+        ++next_fault_;
+        ++injected_;
+        return static_cast<Index>(
+            rng_.uniform_index(static_cast<std::uint64_t>(num_ranks_)));
+      }
+      return std::nullopt;
+    }
+    case Mode::kPoisson: {
+      if (now >= next_arrival_) {
+        next_arrival_ += rng_.exponential(lambda_);
+        ++injected_;
+        return static_cast<Index>(
+            rng_.uniform_index(static_cast<std::uint64_t>(num_ranks_)));
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+IndexVec FaultInjector::check_multi(Index iteration, Seconds now) {
+  IndexVec failed;
+  const auto first = check(iteration, now);
+  if (!first.has_value()) {
+    return failed;
+  }
+  failed.push_back(*first);
+  // Draw the remaining distinct victims of this fault event.
+  while (static_cast<Index>(failed.size()) < ranks_per_fault_) {
+    const auto candidate = static_cast<Index>(
+        rng_.uniform_index(static_cast<std::uint64_t>(num_ranks_)));
+    if (std::find(failed.begin(), failed.end(), candidate) == failed.end()) {
+      failed.push_back(candidate);
+    }
+  }
+  injected_ += static_cast<Index>(failed.size()) - 1;
+  return failed;
+}
+
+void FaultInjector::corrupt_block(const dist::Partition& part,
+                                  Index failed_rank, std::span<Real> x) {
+  RSLS_CHECK(failed_rank >= 0 && failed_rank < part.parts());
+  RSLS_CHECK(x.size() == static_cast<std::size_t>(part.size()));
+  const Index begin = part.begin(failed_rank);
+  const Index end = part.end(failed_rank);
+  for (Index i = begin; i < end; ++i) {
+    x[static_cast<std::size_t>(i)] =
+        std::numeric_limits<Real>::quiet_NaN();
+  }
+}
+
+void FaultInjector::corrupt_block_sdc(const dist::Partition& part,
+                                      Index failed_rank, std::span<Real> x,
+                                      std::uint64_t seed) {
+  RSLS_CHECK(failed_rank >= 0 && failed_rank < part.parts());
+  RSLS_CHECK(x.size() == static_cast<std::size_t>(part.size()));
+  Rng rng(seed);
+  const Index begin = part.begin(failed_rank);
+  const Index end = part.end(failed_rank);
+  for (Index i = begin; i < end; ++i) {
+    // Bit-flip-like damage: wildly rescaled and sign-flipped values.
+    const double magnitude = std::pow(10.0, rng.uniform(-8.0, 8.0));
+    x[static_cast<std::size_t>(i)] =
+        (rng.uniform() < 0.5 ? -1.0 : 1.0) * magnitude;
+  }
+}
+
+}  // namespace rsls::resilience

@@ -1,0 +1,97 @@
+#pragma once
+// Fault injection.
+//
+// Reproduces the paper's protocol (§5.2): a fixed number of faults spread
+// evenly over the iterations the fault-free execution needs, with no
+// faults after the fault-free run would have converged. A Poisson mode
+// fires faults from exponential inter-arrival times against the virtual
+// clock (rate λ = 1/MTBF), for the MTBF-driven experiments (Fig. 3).
+//
+// A fault destroys the failed process's block of the iterate x. The block
+// is overwritten with NaNs so that any scheme that wrongly reads lost data
+// poisons its result and fails tests, instead of silently "recovering"
+// from data it could not have had.
+
+#include <optional>
+#include <span>
+
+#include "core/rng.hpp"
+#include "core/types.hpp"
+#include "core/units.hpp"
+#include "dist/partition.hpp"
+
+namespace rsls::resilience {
+
+class FaultInjector {
+ public:
+  /// `count` faults at iterations round(j·ff/(count+1)), j = 1..count —
+  /// all strictly before the fault-free iteration count. Failed ranks
+  /// are drawn uniformly with the given seed.
+  static FaultInjector evenly_spaced(Index count, Index ff_iterations,
+                                     Index num_ranks, std::uint64_t seed);
+
+  /// Link-and-node-failure flavour (paper §2.1's LNF class): each fault
+  /// event takes out `ranks_per_fault` distinct processes at once.
+  static FaultInjector evenly_spaced_multi(Index count, Index ff_iterations,
+                                           Index ranks_per_fault,
+                                           Index num_ranks,
+                                           std::uint64_t seed);
+
+  /// Faults at exactly the given iterations (e.g. Fig. 6a's single fault
+  /// at iteration 200). Must be ascending.
+  static FaultInjector at_iterations(IndexVec iterations, Index num_ranks,
+                                     std::uint64_t seed);
+
+  /// Exponential inter-arrival times with rate λ (per second of virtual
+  /// time), checked at iteration boundaries.
+  static FaultInjector poisson(PerSecond lambda, Index num_ranks,
+                               std::uint64_t seed);
+
+  /// No faults (fault-free baseline).
+  static FaultInjector none();
+
+  /// If a fault fires at this iteration boundary, returns the failed
+  /// rank. `now` is the virtual cluster time (used by Poisson mode).
+  std::optional<Index> check(Index iteration, Seconds now);
+
+  /// Multi-rank variant: all processes lost by the fault event (empty =
+  /// no fault). For single-failure injectors this is check() in a vector.
+  IndexVec check_multi(Index iteration, Seconds now);
+
+  Index faults_injected() const { return injected_; }
+
+  /// Overwrite the failed rank's block of x with NaNs (hard fault /
+  /// process loss: the data is gone, and any scheme that reads it
+  /// poisons its result).
+  static void corrupt_block(const dist::Partition& part, Index failed_rank,
+                            std::span<Real> x);
+
+  /// Silent-data-corruption flavour (paper §2.1's SDC class): the block
+  /// survives but its values are garbled into large finite garbage —
+  /// detected (as the paper assumes, [10]) but plausible-looking. The
+  /// recovery path is identical; this variant exists so tests can verify
+  /// schemes never *trust* the corrupted values.
+  static void corrupt_block_sdc(const dist::Partition& part,
+                                Index failed_rank, std::span<Real> x,
+                                std::uint64_t seed);
+
+ private:
+  enum class Mode { kNone, kEvenlySpaced, kPoisson };
+
+  FaultInjector(Mode mode, Index num_ranks, std::uint64_t seed);
+
+  Mode mode_;
+  Index num_ranks_;
+  Rng rng_;
+  Index injected_ = 0;
+  // Evenly-spaced state.
+  IndexVec fault_iterations_;
+  std::size_t next_fault_ = 0;
+  // Poisson state.
+  PerSecond lambda_ = 0.0;
+  Seconds next_arrival_ = 0.0;
+  // Ranks lost per fault event (LNF mode).
+  Index ranks_per_fault_ = 1;
+};
+
+}  // namespace rsls::resilience

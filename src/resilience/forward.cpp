@@ -1,0 +1,397 @@
+#include "resilience/forward.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "la/factor.hpp"
+#include "la/flops.hpp"
+#include "la/local_cg.hpp"
+#include "la/qr.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace rsls::resilience {
+
+using power::Activity;
+using power::PhaseTag;
+
+namespace {
+
+/// x with the failed block zeroed — the "Σ_{j≠i}" masking of Eq. 17/18.
+/// Any other NaN entries (blocks lost in the SAME multi-rank fault event,
+/// the paper's LNF class, that have not been reconstructed yet) are also
+/// zeroed: concurrent losses contribute a zero guess to this block's
+/// interpolation, as in the multiple-failure treatment of Agullo et al.
+RealVec mask_failed_block(const dist::Partition& part, Index failed_rank,
+                          std::span<const Real> x) {
+  RealVec masked(x.begin(), x.end());
+  const Index begin = part.begin(failed_rank);
+  const Index end = part.end(failed_rank);
+  for (Index i = begin; i < end; ++i) {
+    masked[static_cast<std::size_t>(i)] = 0.0;
+  }
+  for (Real& v : masked) {
+    if (std::isnan(v)) {
+      v = 0.0;
+    }
+  }
+  return masked;
+}
+
+/// Charge the failed rank for gathering the x entries its row block
+/// references from neighbouring ranks.
+void charge_gather(RecoveryContext& ctx, Index failed_rank) {
+  const auto i = static_cast<std::size_t>(failed_rank);
+  const Bytes bytes = ctx.a.halo_bytes()[i];
+  const double msgs = static_cast<double>(ctx.a.halo_messages()[i]);
+  const Seconds duration = msgs * ctx.cluster.config().net_latency +
+                           bytes / ctx.cluster.config().net_bandwidth;
+  ctx.cluster.charge_duration(failed_rank, duration, Activity::kWaiting,
+                              PhaseTag::kReconstruct);
+}
+
+}  // namespace
+
+ForwardRecovery::ForwardRecovery(ForwardRecoveryOptions options,
+                                 RealVec initial_guess)
+    : options_(options), initial_guess_(std::move(initial_guess)) {
+  if (options_.kind == FwKind::kZero ||
+      options_.kind == FwKind::kInitialGuess) {
+    RSLS_CHECK_MSG(options_.method == ConstructionMethod::kAssignment,
+                   "F0/FI are assignment-based");
+  } else {
+    RSLS_CHECK_MSG(options_.method != ConstructionMethod::kAssignment,
+                   "LI/LSI require a construction method");
+    RSLS_CHECK(options_.cg_tolerance > 0.0);
+  }
+}
+
+std::string ForwardRecovery::name() const {
+  switch (options_.kind) {
+    case FwKind::kZero:
+      return "F0";
+    case FwKind::kInitialGuess:
+      return "FI";
+    case FwKind::kLinear:
+      if (options_.method == ConstructionMethod::kExactFactorization) {
+        return "LI(LU)";
+      }
+      return options_.dvfs ? "LI-DVFS" : "LI";
+    case FwKind::kLeastSquares:
+      if (options_.method == ConstructionMethod::kExactFactorization) {
+        return "LSI(QR)";
+      }
+      return options_.dvfs ? "LSI-DVFS" : "LSI";
+  }
+  return "FW";
+}
+
+solver::HookAction ForwardRecovery::recover(RecoveryContext& ctx,
+                                            Index /*iteration*/,
+                                            Index failed_rank,
+                                            std::span<Real> x) {
+  count_recovery();
+  switch (options_.kind) {
+    case FwKind::kZero:
+    case FwKind::kInitialGuess:
+      recover_assignment(ctx, failed_rank, x);
+      break;
+    case FwKind::kLinear: {
+      const Seconds start = ctx.cluster.now(failed_rank);
+      recover_linear(ctx, failed_rank, x);
+      const Seconds end = ctx.cluster.now(failed_rank);
+      construction_seconds_ += end - start;
+      windows_.push_back(Window{start, end});
+      ++constructions_;
+      break;
+    }
+    case FwKind::kLeastSquares: {
+      const Seconds start = ctx.cluster.now(failed_rank);
+      recover_least_squares(ctx, failed_rank, x);
+      const Seconds end = ctx.cluster.now(failed_rank);
+      construction_seconds_ += end - start;
+      windows_.push_back(Window{start, end});
+      ++constructions_;
+      break;
+    }
+  }
+  // Every FW scheme loses the solver's internal vectors with the failed
+  // process; CG restarts from the reconstructed iterate.
+  return solver::HookAction::kRestart;
+}
+
+void ForwardRecovery::recover_assignment(RecoveryContext& ctx,
+                                         Index failed_rank,
+                                         std::span<Real> x) const {
+  const auto& part = ctx.a.partition();
+  const Index begin = part.begin(failed_rank);
+  const Index end = part.end(failed_rank);
+  for (Index i = begin; i < end; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    x[idx] = options_.kind == FwKind::kZero ? 0.0 : initial_guess_.at(idx);
+  }
+  // T_const = 0 for assignment schemes (paper §3.2); no charge.
+}
+
+void ForwardRecovery::recover_linear(RecoveryContext& ctx, Index failed_rank,
+                                     std::span<Real> x) {
+  const auto& part = ctx.a.partition();
+  auto& cluster = ctx.cluster;
+  const Index begin = part.begin(failed_rank);
+  const Index m = part.block_rows(failed_rank);
+  const auto freq_min = cluster.config().power.freq.min_hz;
+  const auto freq_max = cluster.config().power.freq.max_hz;
+
+  if (options_.dvfs) {
+    cluster.set_frequency_all_except(failed_rank, freq_min);
+  }
+
+  // y = b_i - Σ_{j≠i} A_{i,j} x_j  (Eq. 19's right-hand side): one local
+  // row-block SpMV on the failed process after gathering remote x values.
+  charge_gather(ctx, failed_rank);
+  const sparse::Csr row_block = ctx.a.row_block(failed_rank);
+  const RealVec masked = mask_failed_block(part, failed_rank, x);
+  RealVec y(static_cast<std::size_t>(m));
+  sparse::spmv(row_block, masked, y);
+  for (Index i = 0; i < m; ++i) {
+    y[static_cast<std::size_t>(i)] =
+        ctx.b[static_cast<std::size_t>(begin + i)] -
+        y[static_cast<std::size_t>(i)];
+  }
+  cluster.charge_compute(failed_rank, la::spmv_flops(row_block.nnz()),
+                         PhaseTag::kReconstruct);
+
+  const sparse::Csr diag_block = ctx.a.diagonal_block(failed_rank);
+  RealVec z(static_cast<std::size_t>(m), 0.0);
+  if (options_.method == ConstructionMethod::kExactFactorization) {
+    // Prior-work baseline: sequential dense LU of the diagonal block.
+    const sparse::Dense dense = sparse::to_dense(diag_block);
+    const la::Lu lu(dense);
+    z = y;
+    lu.solve(z);
+    cluster.charge_compute(failed_rank,
+                           la::lu_factor_flops(m) + la::lu_solve_flops(m),
+                           PhaseTag::kReconstruct);
+  } else {
+    // §4.1: local inexact CG on the SPD diagonal block.
+    la::LocalCgOptions cg_options;
+    cg_options.tolerance = options_.cg_tolerance;
+    // CG on an m-dimensional SPD operator converges in at most m exact
+    // steps; beyond a small multiple it only fights rounding, so the
+    // construction cost is bounded by the block dimension.
+    cg_options.max_iterations =
+        std::min(options_.cg_max_iterations, 3 * m);
+    const la::LocalCgResult result = la::local_cg(
+        [&diag_block](std::span<const Real> in, std::span<Real> out) {
+          sparse::spmv(diag_block, in, out);
+        },
+        y, z, cg_options);
+    cluster.charge_compute(
+        failed_rank,
+        static_cast<double>(result.operator_applications) *
+            la::cg_iteration_flops(diag_block.nnz(), m),
+        PhaseTag::kReconstruct);
+  }
+  for (Index i = 0; i < m; ++i) {
+    x[static_cast<std::size_t>(begin + i)] = z[static_cast<std::size_t>(i)];
+  }
+
+  // Other ranks idled while p_i constructed (at low frequency when the
+  // DVFS policy is active).
+  cluster.sync(PhaseTag::kIdleWait);
+  if (options_.dvfs) {
+    cluster.set_frequency_all(freq_max);
+  }
+}
+
+void ForwardRecovery::recover_least_squares(RecoveryContext& ctx,
+                                            Index failed_rank,
+                                            std::span<Real> x) {
+  const auto& part = ctx.a.partition();
+  auto& cluster = ctx.cluster;
+  const Index n = ctx.a.rows();
+  const Index begin = part.begin(failed_rank);
+  const Index m = part.block_rows(failed_rank);
+  const Index parts = part.parts();
+  const auto freq_min = cluster.config().power.freq.min_hz;
+  const auto freq_max = cluster.config().power.freq.max_hz;
+
+  // β = b - Σ_{j≠i} A_{:,p_j} x_j: one distributed SpMV — every rank
+  // computes its own rows of β.
+  const RealVec masked = mask_failed_block(part, failed_rank, x);
+  RealVec beta(static_cast<std::size_t>(n));
+  sparse::spmv(ctx.a.global(), masked, beta);
+  for (Index i = 0; i < n; ++i) {
+    beta[static_cast<std::size_t>(i)] =
+        ctx.b[static_cast<std::size_t>(i)] - beta[static_cast<std::size_t>(i)];
+  }
+  for (Index r = 0; r < parts; ++r) {
+    cluster.charge_compute(r,
+                           la::spmv_flops(ctx.a.local_nnz(r)) +
+                               static_cast<double>(part.block_rows(r)),
+                           PhaseTag::kReconstruct);
+  }
+
+  const sparse::Csr row_block = ctx.a.row_block(failed_rank);
+
+  if (options_.method == ConstructionMethod::kExactFactorization) {
+    // Prior-work baseline: parallel QR of the n × m column slice A_{:,p_i}
+    // = (A_{p_i,:})ᵀ. All ranks participate: flops are spread evenly and a
+    // TSQR-style reduction of m × m R factors runs over log₂(p) stages.
+    const sparse::Csr col_slice = sparse::transpose(row_block);
+    const sparse::Dense dense = sparse::to_dense(col_slice);
+    const la::Qr qr(dense);
+    const RealVec z = qr.solve_least_squares(beta);
+    const double flops_total =
+        la::qr_factor_flops(n, m) + la::qr_solve_flops(n, m);
+    for (Index r = 0; r < parts; ++r) {
+      cluster.charge_compute(r, flops_total / static_cast<double>(parts),
+                             PhaseTag::kReconstruct);
+    }
+    const double stages = std::ceil(
+        std::log2(static_cast<double>(std::max<Index>(parts, 2))));
+    const Bytes r_factor_bytes =
+        static_cast<double>(m) * static_cast<double>(m) * sizeof(Real);
+    const Seconds comm =
+        stages * (cluster.config().net_latency +
+                  r_factor_bytes / cluster.config().net_bandwidth);
+    for (Index r = 0; r < parts; ++r) {
+      cluster.charge_duration(r, comm, Activity::kWaiting,
+                              PhaseTag::kReconstruct);
+    }
+    for (Index i = 0; i < m; ++i) {
+      x[static_cast<std::size_t>(begin + i)] = z[static_cast<std::size_t>(i)];
+    }
+    cluster.sync(PhaseTag::kIdleWait);
+    return;
+  }
+
+  // §4.1: local CG on the SPD transform (Eq. 21):
+  //   (A_{p_i,:} A_{p_i,:}ᵀ) z = A_{p_i,:} β.
+  if (options_.dvfs) {
+    cluster.set_frequency_all_except(failed_rank, freq_min);
+  }
+  // Gather β entries referenced by the local rows (block + halo).
+  const auto i = static_cast<std::size_t>(failed_rank);
+  const Bytes gather_bytes = ctx.a.halo_bytes()[i];
+  const double msgs = static_cast<double>(ctx.a.halo_messages()[i]);
+  cluster.charge_duration(
+      failed_rank,
+      msgs * cluster.config().net_latency +
+          gather_bytes / cluster.config().net_bandwidth,
+      Activity::kWaiting, PhaseTag::kReconstruct);
+
+  // The local rows reference only their block + halo columns; compress to
+  // that support so the normal-equations operator works in vectors of the
+  // local width (the failed process only holds those β entries anyway).
+  const sparse::ColumnCompressed local = sparse::compress_columns(row_block);
+  const Index n_local = local.matrix.cols;
+  RealVec beta_local(static_cast<std::size_t>(n_local));
+  for (Index j = 0; j < n_local; ++j) {
+    beta_local[static_cast<std::size_t>(j)] =
+        beta[static_cast<std::size_t>(local.support[static_cast<std::size_t>(j)])];
+  }
+  RealVec rhs(static_cast<std::size_t>(m));
+  sparse::spmv(local.matrix, beta_local, rhs);
+  cluster.charge_compute(failed_rank, la::spmv_flops(local.matrix.nnz()),
+                         PhaseTag::kReconstruct);
+
+  // Jacobi preconditioner for the normal equations: diag(A_r A_rᵀ)_jj is
+  // the squared norm of local row j — formed in one pass over the block.
+  RealVec inv_diag(static_cast<std::size_t>(m));
+  for (Index j = 0; j < m; ++j) {
+    Real sum = 0.0;
+    for (const Real v : row_block.row_vals(j)) {
+      sum += v * v;
+    }
+    RSLS_CHECK_MSG(sum > 0.0, "empty local row in LSI reconstruction");
+    inv_diag[static_cast<std::size_t>(j)] = 1.0 / sum;
+  }
+  cluster.charge_compute(failed_rank, la::spmv_flops(row_block.nnz()),
+                         PhaseTag::kReconstruct);
+
+  RealVec z(static_cast<std::size_t>(m), 0.0);
+  RealVec t(static_cast<std::size_t>(n_local));
+  la::LocalCgOptions cg_options;
+  cg_options.tolerance = options_.cg_tolerance;
+  // Same dimension-bounded cap as LI: the normal-equations operator is
+  // m-dimensional, so stop once rounding dominates.
+  cg_options.max_iterations = std::min(options_.cg_max_iterations, 3 * m);
+  const la::LocalCgResult result = la::local_pcg(
+      [&local, &t](std::span<const Real> in, std::span<Real> out) {
+        sparse::spmv_transpose(local.matrix, in, t);
+        sparse::spmv(local.matrix, t, out);
+      },
+      inv_diag, rhs, z, cg_options);
+  cluster.charge_compute(
+      failed_rank,
+      static_cast<double>(result.operator_applications) *
+          (la::lsi_cg_iteration_flops(local.matrix.nnz(), m, n_local) +
+           2.0 * static_cast<double>(m)),
+      PhaseTag::kReconstruct);
+
+  for (Index k = 0; k < m; ++k) {
+    x[static_cast<std::size_t>(begin + k)] = z[static_cast<std::size_t>(k)];
+  }
+  cluster.sync(PhaseTag::kIdleWait);
+  if (options_.dvfs) {
+    cluster.set_frequency_all(freq_max);
+  }
+}
+
+Seconds ForwardRecovery::mean_construction_seconds() const {
+  return constructions_ > 0
+             ? construction_seconds_ / static_cast<double>(constructions_)
+             : 0.0;
+}
+
+std::unique_ptr<ForwardRecovery> ForwardRecovery::f0() {
+  ForwardRecoveryOptions options;
+  options.kind = FwKind::kZero;
+  options.method = ConstructionMethod::kAssignment;
+  return std::make_unique<ForwardRecovery>(options);
+}
+
+std::unique_ptr<ForwardRecovery> ForwardRecovery::fi(RealVec initial_guess) {
+  ForwardRecoveryOptions options;
+  options.kind = FwKind::kInitialGuess;
+  options.method = ConstructionMethod::kAssignment;
+  return std::make_unique<ForwardRecovery>(options, std::move(initial_guess));
+}
+
+std::unique_ptr<ForwardRecovery> ForwardRecovery::li_lu() {
+  ForwardRecoveryOptions options;
+  options.kind = FwKind::kLinear;
+  options.method = ConstructionMethod::kExactFactorization;
+  return std::make_unique<ForwardRecovery>(options);
+}
+
+std::unique_ptr<ForwardRecovery> ForwardRecovery::li_cg(Real tolerance,
+                                                        bool dvfs) {
+  ForwardRecoveryOptions options;
+  options.kind = FwKind::kLinear;
+  options.method = ConstructionMethod::kLocalCg;
+  options.cg_tolerance = tolerance;
+  options.dvfs = dvfs;
+  return std::make_unique<ForwardRecovery>(options);
+}
+
+std::unique_ptr<ForwardRecovery> ForwardRecovery::lsi_qr() {
+  ForwardRecoveryOptions options;
+  options.kind = FwKind::kLeastSquares;
+  options.method = ConstructionMethod::kExactFactorization;
+  return std::make_unique<ForwardRecovery>(options);
+}
+
+std::unique_ptr<ForwardRecovery> ForwardRecovery::lsi_cg(Real tolerance,
+                                                         bool dvfs) {
+  ForwardRecoveryOptions options;
+  options.kind = FwKind::kLeastSquares;
+  options.method = ConstructionMethod::kLocalCg;
+  options.cg_tolerance = tolerance;
+  options.dvfs = dvfs;
+  return std::make_unique<ForwardRecovery>(options);
+}
+
+}  // namespace rsls::resilience

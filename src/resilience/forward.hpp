@@ -1,0 +1,99 @@
+#pragma once
+// Forward recovery schemes (paper Table 2, §3.2, §4).
+//
+// Four approximations of the lost block x_{p_i}:
+//   F0  — zeros                          (assignment, T_const = 0)
+//   FI  — the initial guess              (assignment, T_const = 0)
+//   LI  — linear interpolation, Eq. 17:  solve A_{ii} z = b_i - Σ_{j≠i} A_{ij} x_j
+//   LSI — least squares interpolation, Eq. 18: min ‖b - Σ_{j≠i} A_{:,j} x_j - A_{:,i} z‖
+//
+// Construction methods for LI/LSI:
+//   kExactFactorization — the prior-work baselines [2]: sequential dense
+//     LU of the diagonal block (LI) / parallel QR of the column slice
+//     (LSI). Exact, expensive, and for QR necessarily parallel (no DVFS
+//     opportunity).
+//   kLocalCg — the paper's §4.1 contribution: solve the interpolation
+//     system *inexactly and locally* on the failed process with CG (for
+//     LSI via the SPD transform of Eq. 21), freeing every other core.
+//
+// The dvfs flag enables §4.2's power management: while the failed process
+// reconstructs, all other cores are pinned to the lowest frequency
+// (userspace governor semantics) and restored afterwards.
+
+#include <memory>
+#include <vector>
+
+#include "core/units.hpp"
+#include "resilience/scheme.hpp"
+
+namespace rsls::resilience {
+
+enum class FwKind { kZero, kInitialGuess, kLinear, kLeastSquares };
+enum class ConstructionMethod { kAssignment, kExactFactorization, kLocalCg };
+
+struct ForwardRecoveryOptions {
+  FwKind kind = FwKind::kLinear;
+  ConstructionMethod method = ConstructionMethod::kLocalCg;
+  /// Relative tolerance of the local CG construction (Fig. 4 sweeps this).
+  Real cg_tolerance = 1e-6;
+  Index cg_max_iterations = 50000;
+  /// §4.2 DVFS power management during construction.
+  bool dvfs = false;
+};
+
+class ForwardRecovery final : public RecoveryScheme {
+ public:
+  /// `initial_guess` is retained for FI (and as the local CG starting
+  /// point being zero, it is not otherwise used).
+  ForwardRecovery(ForwardRecoveryOptions options, RealVec initial_guess = {});
+
+  std::string name() const override;
+
+  solver::HookAction recover(RecoveryContext& ctx, Index iteration,
+                             Index failed_rank, std::span<Real> x) override;
+
+  /// Total virtual time the failed ranks spent constructing (Σ t_const);
+  /// measured input for the §3.2 FW model and the §6 projection.
+  Seconds construction_seconds() const { return construction_seconds_; }
+
+  /// Mean t_const per recovery (0 when no recovery happened).
+  Seconds mean_construction_seconds() const;
+
+  /// Virtual-time window of each construction (start, end) on the failed
+  /// rank's clock; lets benches measure in-construction power (Fig. 7a).
+  struct Window {
+    Seconds begin = 0.0;
+    Seconds end = 0.0;
+  };
+  const std::vector<Window>& construction_windows() const {
+    return windows_;
+  }
+
+  const ForwardRecoveryOptions& options() const { return options_; }
+
+  // Factory helpers (paper scheme names).
+  static std::unique_ptr<ForwardRecovery> f0();
+  static std::unique_ptr<ForwardRecovery> fi(RealVec initial_guess);
+  static std::unique_ptr<ForwardRecovery> li_lu();
+  static std::unique_ptr<ForwardRecovery> li_cg(Real tolerance = 1e-6,
+                                                bool dvfs = false);
+  static std::unique_ptr<ForwardRecovery> lsi_qr();
+  static std::unique_ptr<ForwardRecovery> lsi_cg(Real tolerance = 1e-6,
+                                                 bool dvfs = false);
+
+ private:
+  void recover_assignment(RecoveryContext& ctx, Index failed_rank,
+                          std::span<Real> x) const;
+  void recover_linear(RecoveryContext& ctx, Index failed_rank,
+                      std::span<Real> x);
+  void recover_least_squares(RecoveryContext& ctx, Index failed_rank,
+                             std::span<Real> x);
+
+  ForwardRecoveryOptions options_;
+  RealVec initial_guess_;
+  Seconds construction_seconds_ = 0.0;
+  Index constructions_ = 0;
+  std::vector<Window> windows_;
+};
+
+}  // namespace rsls::resilience

@@ -1,0 +1,75 @@
+#include "resilience/multilevel.hpp"
+
+#include "core/error.hpp"
+
+namespace rsls::resilience {
+
+using power::PhaseTag;
+
+MultiLevelCheckpoint::MultiLevelCheckpoint(MultiLevelOptions options,
+                                           RealVec initial_guess)
+    : options_(options),
+      initial_guess_(std::move(initial_guess)),
+      rng_(options.seed) {
+  RSLS_CHECK(options.l1_interval_iterations >= 1);
+  RSLS_CHECK_MSG(
+      options.l2_interval_iterations % options.l1_interval_iterations == 0,
+      "L2 cadence must be a multiple of the L1 cadence");
+  RSLS_CHECK(options.l1_loss_probability >= 0.0 &&
+             options.l1_loss_probability <= 1.0);
+}
+
+void MultiLevelCheckpoint::on_iteration(RecoveryContext& ctx, Index iteration,
+                                        std::span<const Real> x) {
+  if (iteration % options_.l1_interval_iterations != 0) {
+    return;
+  }
+  const Bytes bytes = ctx.a.vector_bytes();
+  if (iteration % options_.l2_interval_iterations == 0) {
+    ctx.cluster.write_disk(bytes, PhaseTag::kCheckpoint);
+    l2_ = Saved{RealVec(x.begin(), x.end()), iteration};
+    ++l2_checkpoints_;
+    // The L2 write supersedes this slot's L1 copy.
+    return;
+  }
+  ctx.cluster.write_memory(bytes, PhaseTag::kCheckpoint);
+  l1_ = Saved{RealVec(x.begin(), x.end()), iteration};
+  ++l1_checkpoints_;
+}
+
+solver::HookAction MultiLevelCheckpoint::recover(RecoveryContext& ctx,
+                                                 Index iteration,
+                                                 Index /*failed_rank*/,
+                                                 std::span<Real> x) {
+  count_recovery();
+  const Bytes bytes = ctx.a.vector_bytes();
+  // The fault may have destroyed the node-local L1 copy.
+  const bool l1_lost = rng_.uniform() < options_.l1_loss_probability;
+  const Saved* source = nullptr;
+  if (!l1_lost && l1_.has_value() &&
+      (!l2_.has_value() || l1_->iteration >= l2_->iteration)) {
+    ctx.cluster.read_memory(bytes, PhaseTag::kRollback);
+    source = &*l1_;
+  } else if (l2_.has_value()) {
+    ctx.cluster.read_disk(bytes, PhaseTag::kRollback);
+    source = &*l2_;
+    ++l2_rollbacks_;
+  }
+  if (source != nullptr) {
+    RSLS_CHECK(source->x.size() == x.size());
+    std::copy(source->x.begin(), source->x.end(), x.begin());
+    iterations_rolled_back_ += iteration - source->iteration;
+  } else {
+    RSLS_CHECK(initial_guess_.size() == x.size());
+    std::copy(initial_guess_.begin(), initial_guess_.end(), x.begin());
+    iterations_rolled_back_ += iteration;
+  }
+  // An L1 copy that predates the fault is stale for the next fault only
+  // if it was destroyed.
+  if (l1_lost) {
+    l1_.reset();
+  }
+  return solver::HookAction::kRestart;
+}
+
+}  // namespace rsls::resilience

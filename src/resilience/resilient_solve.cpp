@@ -1,0 +1,45 @@
+#include "resilience/resilient_solve.hpp"
+
+#include "core/error.hpp"
+
+namespace rsls::resilience {
+
+ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
+                                     simrt::VirtualCluster& cluster,
+                                     std::span<const Real> b, RealVec& x,
+                                     RecoveryScheme& scheme,
+                                     FaultInjector& injector,
+                                     const solver::CgOptions& options) {
+  RSLS_CHECK_MSG(cluster.replica_factor() == scheme.replica_factor(),
+                 "cluster replica factor must match the scheme (DMR = 2)");
+  RecoveryContext ctx{a, b, cluster};
+
+  const solver::IterationHook hook =
+      [&](const solver::CgIterationView& view) -> solver::HookAction {
+    scheme.on_iteration(ctx, view.iteration, view.x);
+    const IndexVec failed =
+        injector.check_multi(view.iteration, cluster.elapsed());
+    if (failed.empty()) {
+      return solver::HookAction::kContinue;
+    }
+    for (const Index rank : failed) {
+      FaultInjector::corrupt_block(a.partition(), rank, view.x);
+    }
+    if (failed.size() == 1) {
+      return scheme.recover(ctx, view.iteration, failed.front(), view.x);
+    }
+    return scheme.recover_multi(ctx, view.iteration, failed, view.x);
+  };
+
+  ResilientSolveReport report;
+  report.cg = solver::cg_solve(a, cluster, b, x, options, hook);
+  report.faults = injector.faults_injected();
+  report.recoveries = scheme.recoveries();
+  report.time = cluster.elapsed();
+  report.energy = cluster.total_energy();
+  report.average_power = cluster.average_power();
+  report.account = cluster.energy();
+  return report;
+}
+
+}  // namespace rsls::resilience

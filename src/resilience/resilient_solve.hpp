@@ -1,0 +1,41 @@
+#pragma once
+// Orchestration of one resilient solve: CG + fault injection + recovery,
+// with the full time/power/energy report the benches consume.
+
+#include <span>
+
+#include "core/types.hpp"
+#include "core/units.hpp"
+#include "dist/dist_matrix.hpp"
+#include "power/rapl.hpp"
+#include "resilience/fault.hpp"
+#include "resilience/scheme.hpp"
+#include "simrt/cluster.hpp"
+#include "solver/cg.hpp"
+
+namespace rsls::resilience {
+
+struct ResilientSolveReport {
+  solver::CgResult cg;
+  Index faults = 0;
+  Index recoveries = 0;
+  /// Virtual makespan of the run.
+  Seconds time = 0.0;
+  /// Total energy (cores + uncore/DRAM, replica-scaled).
+  Joules energy = 0.0;
+  /// energy / time.
+  Watts average_power = 0.0;
+  /// Core energy per phase tag (replica-scaled), for E_res splits.
+  power::EnergyAccount account;
+};
+
+/// Run CG on (a, b) from x0 under the given scheme and injector, charging
+/// everything to `cluster`. On return x holds the final iterate.
+ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
+                                     simrt::VirtualCluster& cluster,
+                                     std::span<const Real> b, RealVec& x,
+                                     RecoveryScheme& scheme,
+                                     FaultInjector& injector,
+                                     const solver::CgOptions& options);
+
+}  // namespace rsls::resilience

@@ -1,0 +1,21 @@
+#include "resilience/scheme.hpp"
+
+#include "core/error.hpp"
+
+namespace rsls::resilience {
+
+solver::HookAction RecoveryScheme::recover_multi(RecoveryContext& ctx,
+                                                 Index iteration,
+                                                 const IndexVec& failed_ranks,
+                                                 std::span<Real> x) {
+  RSLS_CHECK(!failed_ranks.empty());
+  solver::HookAction action = solver::HookAction::kContinue;
+  for (const Index failed : failed_ranks) {
+    if (recover(ctx, iteration, failed, x) == solver::HookAction::kRestart) {
+      action = solver::HookAction::kRestart;
+    }
+  }
+  return action;
+}
+
+}  // namespace rsls::resilience

@@ -1,0 +1,68 @@
+#pragma once
+// Recovery scheme interface (paper Table 2).
+//
+// A scheme is a strategy object attached to one resilient solve. It sees
+// every iteration boundary (to take checkpoints) and is asked to recover
+// when a fault has destroyed one process's block of the iterate. Schemes
+// charge every cost of their actions — construction flops, checkpoint
+// I/O, DVFS transitions, idle waiting of non-participating ranks — to the
+// virtual cluster.
+
+#include <span>
+#include <string>
+
+#include "core/types.hpp"
+#include "dist/dist_matrix.hpp"
+#include "simrt/cluster.hpp"
+#include "solver/cg.hpp"
+
+namespace rsls::resilience {
+
+struct RecoveryContext {
+  const dist::DistMatrix& a;
+  std::span<const Real> b;
+  simrt::VirtualCluster& cluster;
+};
+
+class RecoveryScheme {
+ public:
+  virtual ~RecoveryScheme() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called after every completed CG iteration (before fault injection).
+  /// Checkpointing schemes act here.
+  virtual void on_iteration(RecoveryContext& /*ctx*/, Index /*iteration*/,
+                            std::span<const Real> /*x*/) {}
+
+  /// A fault destroyed `failed_rank`'s block of x (now NaN). Restore or
+  /// approximate it in place. Return kRestart if the solver must rebuild
+  /// its internal vectors from the recovered x (every scheme except exact
+  /// redundancy), kContinue if the full solver state was restored exactly.
+  virtual solver::HookAction recover(RecoveryContext& ctx, Index iteration,
+                                     Index failed_rank,
+                                     std::span<Real> x) = 0;
+
+  /// A multi-rank fault event (the paper's LNF class) destroyed several
+  /// blocks at once. The default recovers each block in turn — correct
+  /// for forward recovery and redundancy; checkpoint schemes override it
+  /// to roll back once. Returns kRestart if any recovery requires it.
+  virtual solver::HookAction recover_multi(RecoveryContext& ctx,
+                                           Index iteration,
+                                           const IndexVec& failed_ranks,
+                                           std::span<Real> x);
+
+  /// Cluster replication this scheme requires (2 for DMR, 1 otherwise).
+  virtual Index replica_factor() const { return 1; }
+
+  /// Number of recoveries performed (for reporting).
+  Index recoveries() const { return recoveries_; }
+
+ protected:
+  void count_recovery() { ++recoveries_; }
+
+ private:
+  Index recoveries_ = 0;
+};
+
+}  // namespace rsls::resilience

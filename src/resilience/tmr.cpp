@@ -1,0 +1,37 @@
+#include "resilience/tmr.hpp"
+
+#include "core/error.hpp"
+
+namespace rsls::resilience {
+
+using power::Activity;
+using power::PhaseTag;
+
+void Tmr::on_iteration(RecoveryContext& /*ctx*/, Index /*iteration*/,
+                       std::span<const Real> x) {
+  replica_x_.assign(x.begin(), x.end());
+}
+
+solver::HookAction Tmr::recover(RecoveryContext& ctx, Index /*iteration*/,
+                                Index failed_rank, std::span<Real> x) {
+  count_recovery();
+  ++votes_;
+  RSLS_CHECK_MSG(replica_x_.size() == x.size(),
+                 "TMR fault before the first replicated iteration");
+  const auto& part = ctx.a.partition();
+  const Index begin = part.begin(failed_rank);
+  const Index end = part.end(failed_rank);
+  for (Index i = begin; i < end; ++i) {
+    x[static_cast<std::size_t>(i)] = replica_x_[static_cast<std::size_t>(i)];
+  }
+  // The vote: the failed rank compares its block against both replicas —
+  // two block transfers — and adopts the majority value.
+  const Seconds transfer =
+      2.0 * ctx.cluster.p2p_seconds(ctx.a.block_bytes(failed_rank));
+  ctx.cluster.charge_duration(failed_rank, transfer, Activity::kWaiting,
+                              PhaseTag::kReconstruct);
+  ctx.cluster.sync(PhaseTag::kIdleWait);
+  return solver::HookAction::kContinue;
+}
+
+}  // namespace rsls::resilience

@@ -1,0 +1,39 @@
+#pragma once
+// Triple modular redundancy (paper §1: "triple modular redundancy
+// consumes 3× the power to provide error detection and correction").
+//
+// TMR is the paper's future-work extension of the RD scheme: with three
+// replicas, majority voting both *detects* and *corrects* silent data
+// corruption without any external detector — unlike every other scheme
+// here, which assumes detection is provided (§3, [10]). Time is
+// unchanged; power and energy triple (replica_factor() == 3).
+
+#include "resilience/scheme.hpp"
+
+namespace rsls::resilience {
+
+class Tmr final : public RecoveryScheme {
+ public:
+  Tmr() = default;
+
+  std::string name() const override { return "TMR"; }
+  Index replica_factor() const override { return 3; }
+
+  void on_iteration(RecoveryContext& ctx, Index iteration,
+                    std::span<const Real> x) override;
+
+  /// Majority vote: two healthy replicas outvote the corrupted one; the
+  /// failed process's state is restored exactly and the solver continues
+  /// on the fault-free trajectory.
+  solver::HookAction recover(RecoveryContext& ctx, Index iteration,
+                             Index failed_rank, std::span<Real> x) override;
+
+  /// Corrections performed via voting (== recoveries()).
+  Index votes() const { return votes_; }
+
+ private:
+  RealVec replica_x_;
+  Index votes_ = 0;
+};
+
+}  // namespace rsls::resilience

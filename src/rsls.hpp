@@ -1,0 +1,80 @@
+#pragma once
+// Umbrella header: the public API of RSLS in one include.
+//
+//   #include "rsls.hpp"
+//
+// Layering (bottom-up): core → sparse/la → power → simrt → dist → solver
+// → resilience → model → harness. Include individual headers instead when
+// compile time matters.
+
+// Core utilities
+#include "core/csv.hpp"      // IWYU pragma: export
+#include "core/env.hpp"      // IWYU pragma: export
+#include "core/error.hpp"    // IWYU pragma: export
+#include "core/log.hpp"      // IWYU pragma: export
+#include "core/options.hpp"  // IWYU pragma: export
+#include "core/rng.hpp"      // IWYU pragma: export
+#include "core/stats.hpp"    // IWYU pragma: export
+#include "core/table.hpp"    // IWYU pragma: export
+#include "core/types.hpp"    // IWYU pragma: export
+#include "core/units.hpp"    // IWYU pragma: export
+
+// Sparse matrices and generators
+#include "sparse/coo.hpp"           // IWYU pragma: export
+#include "sparse/csr.hpp"           // IWYU pragma: export
+#include "sparse/dense.hpp"         // IWYU pragma: export
+#include "sparse/generators.hpp"    // IWYU pragma: export
+#include "sparse/matrix_stats.hpp"  // IWYU pragma: export
+#include "sparse/mmio.hpp"          // IWYU pragma: export
+#include "sparse/ordering.hpp"      // IWYU pragma: export
+#include "sparse/roster.hpp"        // IWYU pragma: export
+#include "sparse/vector_ops.hpp"    // IWYU pragma: export
+
+// Dense and local iterative linear algebra
+#include "la/condition.hpp"  // IWYU pragma: export
+#include "la/factor.hpp"     // IWYU pragma: export
+#include "la/flops.hpp"      // IWYU pragma: export
+#include "la/local_cg.hpp"   // IWYU pragma: export
+#include "la/qr.hpp"         // IWYU pragma: export
+
+// Power model and governors
+#include "power/governor.hpp"     // IWYU pragma: export
+#include "power/power_model.hpp"  // IWYU pragma: export
+#include "power/rapl.hpp"         // IWYU pragma: export
+
+// Virtual cluster
+#include "simrt/cluster.hpp"    // IWYU pragma: export
+#include "simrt/event_log.hpp"  // IWYU pragma: export
+#include "simrt/machine.hpp"    // IWYU pragma: export
+#include "simrt/trace.hpp"      // IWYU pragma: export
+
+// Distributed data structures and kernels
+#include "dist/dist_matrix.hpp"  // IWYU pragma: export
+#include "dist/dist_ops.hpp"     // IWYU pragma: export
+#include "dist/partition.hpp"    // IWYU pragma: export
+
+// Solvers
+#include "solver/cg.hpp"            // IWYU pragma: export
+#include "solver/reference_cg.hpp"  // IWYU pragma: export
+
+// Resilience
+#include "resilience/checkpoint.hpp"       // IWYU pragma: export
+#include "resilience/dmr.hpp"              // IWYU pragma: export
+#include "resilience/fault.hpp"            // IWYU pragma: export
+#include "resilience/forward.hpp"          // IWYU pragma: export
+#include "resilience/multilevel.hpp"       // IWYU pragma: export
+#include "resilience/resilient_solve.hpp"  // IWYU pragma: export
+#include "resilience/scheme.hpp"           // IWYU pragma: export
+#include "resilience/tmr.hpp"              // IWYU pragma: export
+
+// Analytical models and projection
+#include "model/comm_scaling.hpp"  // IWYU pragma: export
+#include "model/cost_models.hpp"   // IWYU pragma: export
+#include "model/mtbf.hpp"          // IWYU pragma: export
+#include "model/projection.hpp"    // IWYU pragma: export
+#include "model/young_daly.hpp"    // IWYU pragma: export
+
+// Experiment harness
+#include "harness/experiment.hpp"      // IWYU pragma: export
+#include "harness/scheme_factory.hpp"  // IWYU pragma: export
+#include "harness/sweep.hpp"           // IWYU pragma: export

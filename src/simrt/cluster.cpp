@@ -1,0 +1,301 @@
+#include "simrt/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace rsls::simrt {
+
+using power::Activity;
+using power::PhaseTag;
+
+VirtualCluster::VirtualCluster(const MachineConfig& config, Index num_ranks,
+                               Index replica_factor)
+    : config_(config),
+      power_model_(config.power),
+      num_ranks_(num_ranks),
+      replica_factor_(replica_factor),
+      governor_(power::make_performance_governor()),
+      clock_(static_cast<std::size_t>(num_ranks), 0.0),
+      freq_(static_cast<std::size_t>(num_ranks), config.power.freq.max_hz) {
+  validate(config);
+  RSLS_CHECK_MSG(num_ranks >= 1, "cluster needs at least one rank");
+  RSLS_CHECK_MSG(num_ranks <= config.total_cores(),
+                 "more ranks than cores (the paper binds 1:1)");
+  RSLS_CHECK(replica_factor >= 1);
+}
+
+Index VirtualCluster::node_of(Index rank) const {
+  RSLS_ASSERT(rank >= 0 && rank < num_ranks_);
+  return rank / config_.cores_per_node();
+}
+
+Index VirtualCluster::nodes_used() const {
+  return (num_ranks_ + config_.cores_per_node() - 1) /
+         config_.cores_per_node();
+}
+
+void VirtualCluster::set_governor(std::unique_ptr<power::Governor> governor) {
+  RSLS_CHECK(governor != nullptr);
+  governor_ = std::move(governor);
+}
+
+void VirtualCluster::set_frequency(Index rank, Hertz hz) {
+  RSLS_CHECK(rank >= 0 && rank < num_ranks_);
+  const Hertz snapped = config_.power.freq.snap(hz);
+  auto& current = freq_[static_cast<std::size_t>(rank)];
+  if (snapped != current) {
+    // The transition stalls the core briefly at the old operating point.
+    charge_interval(rank, config_.dvfs_transition_latency, Activity::kWaiting,
+                    PhaseTag::kComm);
+    current = snapped;
+  }
+}
+
+void VirtualCluster::set_frequency_all(Hertz hz) {
+  for (Index r = 0; r < num_ranks_; ++r) {
+    set_frequency(r, hz);
+  }
+}
+
+void VirtualCluster::set_frequency_all_except(Index rank, Hertz hz) {
+  for (Index r = 0; r < num_ranks_; ++r) {
+    if (r != rank) {
+      set_frequency(r, hz);
+    }
+  }
+}
+
+Hertz VirtualCluster::frequency(Index rank) const {
+  RSLS_CHECK(rank >= 0 && rank < num_ranks_);
+  return freq_[static_cast<std::size_t>(rank)];
+}
+
+Seconds VirtualCluster::compute_seconds(Index rank, double flops) const {
+  RSLS_CHECK(flops >= 0.0);
+  const Hertz f = frequency(rank);
+  return flops / (config_.flops_per_cycle * f);
+}
+
+void VirtualCluster::charge_compute(Index rank, double flops, PhaseTag tag) {
+  charge_interval(rank, compute_seconds(rank, flops), Activity::kActive, tag);
+}
+
+void VirtualCluster::charge_duration(Index rank, Seconds duration,
+                                     Activity activity, PhaseTag tag) {
+  charge_interval(rank, duration, activity, tag);
+}
+
+void VirtualCluster::advance_all(Seconds duration, Activity activity,
+                                 PhaseTag tag) {
+  for (Index r = 0; r < num_ranks_; ++r) {
+    charge_interval(r, duration, activity, tag);
+  }
+}
+
+void VirtualCluster::sync(PhaseTag tag) {
+  const Seconds target = elapsed();
+  for (Index r = 0; r < num_ranks_; ++r) {
+    const Seconds gap = target - clock_[static_cast<std::size_t>(r)];
+    if (gap > 0.0) {
+      charge_interval(r, gap, Activity::kWaiting, tag);
+    }
+  }
+}
+
+Seconds VirtualCluster::p2p_seconds(Bytes bytes) const {
+  RSLS_CHECK(bytes >= 0.0);
+  return config_.net_latency + bytes / config_.net_bandwidth;
+}
+
+Seconds VirtualCluster::allreduce_seconds(Bytes bytes) const {
+  RSLS_CHECK(bytes >= 0.0);
+  const double stages =
+      std::ceil(std::log2(static_cast<double>(std::max<Index>(num_ranks_, 2))));
+  return stages * (config_.net_latency + bytes / config_.net_bandwidth);
+}
+
+void VirtualCluster::allreduce(Bytes bytes, PhaseTag tag) {
+  // Collectives are synchronizing: first every rank reaches the barrier,
+  // then the recursive-doubling exchange runs.
+  sync(tag);
+  const Seconds duration = allreduce_seconds(bytes);
+  for (Index r = 0; r < num_ranks_; ++r) {
+    charge_interval(r, duration, Activity::kWaiting, tag);
+  }
+}
+
+void VirtualCluster::point_to_point(Index from, Index to, Bytes bytes,
+                                    PhaseTag tag) {
+  RSLS_CHECK(from >= 0 && from < num_ranks_);
+  RSLS_CHECK(to >= 0 && to < num_ranks_);
+  RSLS_CHECK(from != to);
+  // Rendezvous: both ends proceed from the later of the two clocks.
+  const Seconds start = std::max(now(from), now(to));
+  for (const Index r : {from, to}) {
+    const Seconds gap = start - now(r);
+    if (gap > 0.0) {
+      charge_interval(r, gap, Activity::kWaiting, tag);
+    }
+  }
+  const Seconds duration = p2p_seconds(bytes);
+  charge_interval(from, duration, Activity::kWaiting, tag);
+  charge_interval(to, duration, Activity::kWaiting, tag);
+}
+
+void VirtualCluster::halo_exchange(const std::vector<Bytes>& bytes_per_rank,
+                                   const IndexVec& msgs_per_rank,
+                                   PhaseTag tag) {
+  RSLS_CHECK(bytes_per_rank.size() == static_cast<std::size_t>(num_ranks_));
+  RSLS_CHECK(msgs_per_rank.size() == static_cast<std::size_t>(num_ranks_));
+  for (Index r = 0; r < num_ranks_; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    const Seconds duration =
+        static_cast<double>(msgs_per_rank[i]) * config_.net_latency +
+        bytes_per_rank[i] / config_.net_bandwidth;
+    if (duration > 0.0) {
+      charge_interval(r, duration, Activity::kWaiting, tag);
+    }
+  }
+}
+
+void VirtualCluster::write_disk(Bytes total_bytes, PhaseTag tag) {
+  RSLS_CHECK(total_bytes >= 0.0);
+  sync(tag);
+  // Shared filesystem: one bandwidth resource for the whole machine.
+  const Seconds duration =
+      config_.disk_latency + total_bytes / config_.disk_bandwidth;
+  for (Index r = 0; r < num_ranks_; ++r) {
+    charge_interval(r, duration, Activity::kDiskWait, tag);
+  }
+}
+
+void VirtualCluster::read_disk(Bytes total_bytes, PhaseTag tag) {
+  write_disk(total_bytes, tag);  // symmetric read/write cost model
+}
+
+void VirtualCluster::write_memory(Bytes total_bytes, PhaseTag tag) {
+  RSLS_CHECK(total_bytes >= 0.0);
+  sync(tag);
+  // Node-local copies run in parallel: per-node share of the bytes.
+  const Bytes per_node =
+      total_bytes / static_cast<double>(std::max<Index>(nodes_used(), 1));
+  const Seconds duration = config_.mem_latency + per_node / config_.mem_bandwidth;
+  for (Index r = 0; r < num_ranks_; ++r) {
+    charge_interval(r, duration, Activity::kMemCopy, tag);
+  }
+}
+
+void VirtualCluster::read_memory(Bytes total_bytes, PhaseTag tag) {
+  write_memory(total_bytes, tag);
+}
+
+Seconds VirtualCluster::now(Index rank) const {
+  RSLS_CHECK(rank >= 0 && rank < num_ranks_);
+  return clock_[static_cast<std::size_t>(rank)];
+}
+
+Seconds VirtualCluster::elapsed() const {
+  return *std::max_element(clock_.begin(), clock_.end());
+}
+
+Joules VirtualCluster::total_energy() const {
+  const Seconds makespan = elapsed();
+  const double replicas = static_cast<double>(replica_factor_);
+  // Node constant power accrues on every used node for the whole run.
+  const Watts node_constant =
+      power_model_.node_constant_power(config_.sockets_per_node);
+  const Joules constant_energy =
+      node_constant * makespan * static_cast<double>(nodes_used()) * replicas;
+  // Cores on used nodes that host no rank sleep for the whole run.
+  const Index unused_cores =
+      nodes_used() * config_.cores_per_node() - num_ranks_;
+  const Joules sleep_energy = config_.power.core_sleep *
+                              static_cast<double>(unused_cores) * makespan *
+                              replicas;
+  return energy_.core_energy_total() + constant_energy + sleep_energy;
+}
+
+Watts VirtualCluster::average_power() const {
+  const Seconds makespan = elapsed();
+  return makespan > 0.0 ? total_energy() / makespan : 0.0;
+}
+
+void VirtualCluster::enable_event_log() {
+  event_log_ = std::make_unique<EventLog>();
+}
+
+const EventLog& VirtualCluster::event_log() const {
+  RSLS_CHECK_MSG(event_log_ != nullptr, "event log not enabled");
+  return *event_log_;
+}
+
+void VirtualCluster::enable_power_trace(Seconds bin_width) {
+  trace_ = std::make_unique<PowerTrace>(config_.nodes, bin_width);
+}
+
+std::vector<PowerSample> VirtualCluster::node_power_profile(Index node) const {
+  RSLS_CHECK_MSG(trace_ != nullptr, "power trace not enabled");
+  // Sleeping unused cores on this node accrue uniformly, like uncore/DRAM.
+  Index ranks_on_node = 0;
+  for (Index r = 0; r < num_ranks_; ++r) {
+    if (node_of(r) == node) {
+      ++ranks_on_node;
+    }
+  }
+  const Index sleeping = config_.cores_per_node() - ranks_on_node;
+  const Watts constant =
+      power_model_.node_constant_power(config_.sockets_per_node) +
+      config_.power.core_sleep * static_cast<double>(sleeping);
+  return trace_->render(node, elapsed(), constant);
+}
+
+void VirtualCluster::charge_interval(Index rank, Seconds duration,
+                                     Activity activity, PhaseTag tag) {
+  RSLS_CHECK(rank >= 0 && rank < num_ranks_);
+  RSLS_CHECK(duration >= 0.0);
+  if (duration <= 0.0) {
+    return;
+  }
+  const auto i = static_cast<std::size_t>(rank);
+  const Seconds start = clock_[i];
+  const double replicas = static_cast<double>(replica_factor_);
+
+  // The governor may retarget the core for this interval, but its decision
+  // lags by one sampling window: that first slice runs at the old
+  // frequency. This produces the realistic "ondemand" ramp in Fig. 7a.
+  const Hertz old_freq = freq_[i];
+  const Hertz new_freq = governor_->next_frequency(
+      config_.power.freq, old_freq, power::observed_utilization(activity));
+
+  Seconds at_old = duration;
+  Seconds at_new = 0.0;
+  if (new_freq != old_freq) {
+    at_old = std::min(duration, config_.governor_sampling_period);
+    at_new = duration - at_old;
+    freq_[i] = new_freq;
+  }
+
+  const Joules j_old =
+      power_model_.core_power(old_freq, activity) * at_old;
+  const Joules j_new =
+      power_model_.core_power(new_freq, activity) * at_new;
+  energy_.charge_core(tag, (j_old + j_new) * replicas);
+  if (trace_ != nullptr) {
+    const Index node = node_of(rank);
+    if (at_old > 0.0) {
+      trace_->add(node, start, at_old, j_old);
+    }
+    if (at_new > 0.0) {
+      trace_->add(node, start + at_old, at_new, j_new);
+    }
+  }
+  if (event_log_ != nullptr) {
+    event_log_->record(PhaseEvent{rank, start, start + duration, activity,
+                                  tag});
+  }
+  clock_[i] = start + duration;
+}
+
+}  // namespace rsls::simrt

@@ -1,0 +1,153 @@
+#pragma once
+// VirtualCluster: the deterministic substrate that replaces the paper's
+// MPI cluster (DESIGN.md §2).
+//
+// The model is bulk-synchronous virtual time. Each simulated MPI rank is
+// pinned to one core (the paper's process-core binding) and owns a virtual
+// clock. Numerics execute exactly in the caller; this class charges the
+// *costs*: compute time (flops / (flops-per-cycle × frequency)),
+// communication (α–β), storage, DVFS transitions, and the energy of every
+// charged interval through the RAPL-calibrated power model. Barriers
+// advance waiting ranks' clocks to the maximum at busy-poll power.
+//
+// Dual modular redundancy is expressed by replica_factor = 2: the replica
+// executes the same schedule, so time is unchanged while core and node
+// energy double (paper Eq. 12).
+
+#include <memory>
+#include <vector>
+
+#include "core/types.hpp"
+#include "core/units.hpp"
+#include "power/governor.hpp"
+#include "power/power_model.hpp"
+#include "power/rapl.hpp"
+#include "simrt/event_log.hpp"
+#include "simrt/machine.hpp"
+#include "simrt/trace.hpp"
+
+namespace rsls::simrt {
+
+class VirtualCluster {
+ public:
+  /// num_ranks ≤ config.total_cores(); ranks fill nodes in order.
+  VirtualCluster(const MachineConfig& config, Index num_ranks,
+                 Index replica_factor = 1);
+
+  Index num_ranks() const { return num_ranks_; }
+  Index replica_factor() const { return replica_factor_; }
+  const MachineConfig& config() const { return config_; }
+  const power::PowerModel& power_model() const { return power_model_; }
+
+  /// Node hosting a rank.
+  Index node_of(Index rank) const;
+  /// Nodes with at least one rank.
+  Index nodes_used() const;
+
+  // --- DVFS -----------------------------------------------------------
+  /// Governor policy consulted before every charged interval; defaults to
+  /// "performance". Explicit set_frequency calls model the userspace
+  /// governor's interface.
+  void set_governor(std::unique_ptr<power::Governor> governor);
+  const power::Governor& governor() const { return *governor_; }
+
+  /// Pin a core's frequency (snapped to the table). Charges the DVFS
+  /// transition latency when the frequency actually changes.
+  void set_frequency(Index rank, Hertz hz);
+  void set_frequency_all(Hertz hz);
+  void set_frequency_all_except(Index rank, Hertz hz);
+  Hertz frequency(Index rank) const;
+
+  // --- time & energy charging -----------------------------------------
+  /// Seconds to execute `flops` on `rank` at its current frequency.
+  Seconds compute_seconds(Index rank, double flops) const;
+
+  /// Run `flops` of computation on one rank.
+  void charge_compute(Index rank, double flops, power::PhaseTag tag);
+
+  /// Advance one rank by `duration` in the given activity state.
+  void charge_duration(Index rank, Seconds duration, power::Activity activity,
+                       power::PhaseTag tag);
+
+  /// Advance every rank by the same duration/activity.
+  void advance_all(Seconds duration, power::Activity activity,
+                   power::PhaseTag tag);
+
+  /// Barrier: every rank busy-waits up to the max clock.
+  void sync(power::PhaseTag tag = power::PhaseTag::kComm);
+
+  // --- communication (α–β model) ---------------------------------------
+  Seconds p2p_seconds(Bytes bytes) const;
+  /// Recursive-doubling allreduce over num_ranks ranks.
+  Seconds allreduce_seconds(Bytes bytes) const;
+
+  /// Collective allreduce: charges every rank and synchronizes clocks.
+  void allreduce(Bytes bytes, power::PhaseTag tag);
+
+  /// Point-to-point transfer; both endpoints end at the common finish time.
+  void point_to_point(Index from, Index to, Bytes bytes, power::PhaseTag tag);
+
+  /// Per-rank neighbour exchange (SpMV halo): rank r spends
+  /// msgs[r]·α + bytes[r]/β. No global synchronization.
+  void halo_exchange(const std::vector<Bytes>& bytes_per_rank,
+                     const IndexVec& msgs_per_rank, power::PhaseTag tag);
+
+  // --- storage ----------------------------------------------------------
+  /// Synchronous collective checkpoint of `total_bytes` to the shared
+  /// disk; all ranks block for latency + total/bandwidth.
+  void write_disk(Bytes total_bytes, power::PhaseTag tag);
+  void read_disk(Bytes total_bytes, power::PhaseTag tag);
+
+  /// Synchronous collective checkpoint to node-local memory: each node
+  /// copies its share in parallel.
+  void write_memory(Bytes total_bytes, power::PhaseTag tag);
+  void read_memory(Bytes total_bytes, power::PhaseTag tag);
+
+  // --- queries ----------------------------------------------------------
+  Seconds now(Index rank) const;
+  /// Makespan: max over rank clocks.
+  Seconds elapsed() const;
+
+  /// Core-attributed energy per phase (replica-scaled).
+  const power::EnergyAccount& energy() const { return energy_; }
+
+  /// Cores + uncore/DRAM + sleeping unused cores, replica-scaled.
+  Joules total_energy() const;
+
+  /// total_energy() / elapsed().
+  Watts average_power() const;
+
+  // --- event log ---------------------------------------------------------
+  /// Opt-in per-interval phase logging (see EventLog's memory caveat).
+  void enable_event_log();
+  bool event_log_enabled() const { return event_log_ != nullptr; }
+  /// Requires enable_event_log() to have been called.
+  const EventLog& event_log() const;
+
+  // --- power trace -------------------------------------------------------
+  void enable_power_trace(Seconds bin_width);
+  bool power_trace_enabled() const { return trace_ != nullptr; }
+
+  /// Rendered per-node power profile (single replica, i.e. what a RAPL
+  /// sampler on that node would see).
+  std::vector<PowerSample> node_power_profile(Index node) const;
+
+ private:
+  /// Core of the interval charger: applies the governor (with sampling
+  /// lag), advances the clock, accrues energy and the trace.
+  void charge_interval(Index rank, Seconds duration, power::Activity activity,
+                       power::PhaseTag tag);
+
+  MachineConfig config_;
+  power::PowerModel power_model_;
+  Index num_ranks_;
+  Index replica_factor_;
+  std::unique_ptr<power::Governor> governor_;
+  std::vector<Seconds> clock_;
+  std::vector<Hertz> freq_;
+  power::EnergyAccount energy_;
+  std::unique_ptr<PowerTrace> trace_;
+  std::unique_ptr<EventLog> event_log_;
+};
+
+}  // namespace rsls::simrt

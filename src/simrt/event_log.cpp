@@ -1,0 +1,64 @@
+#include "simrt/event_log.hpp"
+
+#include <ostream>
+
+#include "core/error.hpp"
+
+namespace rsls::simrt {
+
+const char* to_string(power::Activity activity) {
+  switch (activity) {
+    case power::Activity::kActive:
+      return "active";
+    case power::Activity::kWaiting:
+      return "waiting";
+    case power::Activity::kSleep:
+      return "sleep";
+    case power::Activity::kMemCopy:
+      return "memcopy";
+    case power::Activity::kDiskWait:
+      return "diskwait";
+  }
+  return "?";
+}
+
+void EventLog::record(const PhaseEvent& event) {
+  RSLS_ASSERT(event.end >= event.begin);
+  events_.push_back(event);
+}
+
+Seconds EventLog::phase_time(power::PhaseTag tag) const {
+  Seconds total = 0.0;
+  for (const auto& event : events_) {
+    if (event.tag == tag) {
+      total += event.end - event.begin;
+    }
+  }
+  return total;
+}
+
+Seconds EventLog::busy_time(Index rank) const {
+  Seconds total = 0.0;
+  for (const auto& event : events_) {
+    if (event.rank == rank &&
+        event.activity == power::Activity::kActive) {
+      total += event.end - event.begin;
+    }
+  }
+  return total;
+}
+
+double EventLog::utilization(Index rank, Seconds makespan) const {
+  return makespan > 0.0 ? busy_time(rank) / makespan : 0.0;
+}
+
+void EventLog::write_csv(std::ostream& os) const {
+  os << "rank,begin,end,activity,tag\n";
+  for (const auto& event : events_) {
+    os << event.rank << ',' << event.begin << ',' << event.end << ','
+       << to_string(event.activity) << ',' << power::to_string(event.tag)
+       << '\n';
+  }
+}
+
+}  // namespace rsls::simrt

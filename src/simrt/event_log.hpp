@@ -1,0 +1,56 @@
+#pragma once
+// Opt-in phase event log: every charged interval as a (rank, time span,
+// activity, phase) record. The virtual-time analogue of an MPI tracing
+// tool (Score-P/Vampir class): where the power trace answers "what did
+// the node draw when", the event log answers "what was each rank doing" —
+// per-phase time breakdowns, rank utilization, and a timeline CSV for
+// external visualization.
+//
+// Recording every interval costs memory proportional to the run
+// (≈48 bytes per charge; a 1000-iteration CG on 192 ranks logs ~1M
+// events), so it is disabled unless explicitly enabled on the cluster.
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/types.hpp"
+#include "core/units.hpp"
+#include "power/power_model.hpp"
+#include "power/rapl.hpp"
+
+namespace rsls::simrt {
+
+struct PhaseEvent {
+  Index rank = 0;
+  Seconds begin = 0.0;
+  Seconds end = 0.0;
+  power::Activity activity = power::Activity::kActive;
+  power::PhaseTag tag = power::PhaseTag::kSolve;
+};
+
+class EventLog {
+ public:
+  void record(const PhaseEvent& event);
+
+  const std::vector<PhaseEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+
+  /// Total time charged to a phase, summed across ranks.
+  Seconds phase_time(power::PhaseTag tag) const;
+
+  /// Time rank spent in compute (kActive) states.
+  Seconds busy_time(Index rank) const;
+
+  /// busy_time / makespan for a rank (0 when makespan is 0).
+  double utilization(Index rank, Seconds makespan) const;
+
+  /// Timeline CSV: rank,begin,end,activity,tag — one row per event.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<PhaseEvent> events_;
+};
+
+const char* to_string(power::Activity activity);
+
+}  // namespace rsls::simrt

@@ -1,0 +1,36 @@
+#include "simrt/machine.hpp"
+
+#include "core/error.hpp"
+
+namespace rsls::simrt {
+
+MachineConfig paper_cluster() {
+  MachineConfig config;
+  config.nodes = 8;
+  config.sockets_per_node = 2;
+  config.cores_per_socket = 12;
+  return config;
+}
+
+MachineConfig paper_node() {
+  MachineConfig config = paper_cluster();
+  config.nodes = 1;
+  return config;
+}
+
+void validate(const MachineConfig& config) {
+  RSLS_CHECK(config.nodes >= 1);
+  RSLS_CHECK(config.sockets_per_node >= 1);
+  RSLS_CHECK(config.cores_per_socket >= 1);
+  RSLS_CHECK(config.flops_per_cycle > 0.0);
+  RSLS_CHECK(config.net_latency >= 0.0);
+  RSLS_CHECK(config.net_bandwidth > 0.0);
+  RSLS_CHECK(config.disk_latency >= 0.0);
+  RSLS_CHECK(config.disk_bandwidth > 0.0);
+  RSLS_CHECK(config.mem_latency >= 0.0);
+  RSLS_CHECK(config.mem_bandwidth > 0.0);
+  RSLS_CHECK(config.dvfs_transition_latency >= 0.0);
+  RSLS_CHECK(config.governor_sampling_period >= 0.0);
+}
+
+}  // namespace rsls::simrt

@@ -1,0 +1,73 @@
+#pragma once
+// Machine description for the virtual cluster.
+//
+// Defaults model the paper's testbed: 8 dual-socket nodes, 12-core Xeon
+// E5-2670v3 per socket (192 cores), DVFS 1.2–2.3 GHz, RAPL-calibrated
+// power model, shared parallel filesystem for disk checkpoints, and
+// node-local DRAM for memory checkpoints.
+
+#include "core/types.hpp"
+#include "core/units.hpp"
+#include "power/power_model.hpp"
+
+namespace rsls::simrt {
+
+struct MachineConfig {
+  Index nodes = 8;
+  Index sockets_per_node = 2;
+  Index cores_per_socket = 12;
+
+  /// Effective floating-point throughput per core cycle for the sparse
+  /// kernels under study (memory-bound SpMV-dominated work retires far
+  /// fewer than peak FMA width).
+  double flops_per_cycle = 2.0;
+
+  /// α–β network model. The latency is at the low end of modern HPC
+  /// fabrics so that the miniaturized roster workloads keep the paper's
+  /// compute-to-communication balance (per-process work shrank with the
+  /// matrices; absolute 2 µs latencies would make every run
+  /// communication-bound, which the paper's runs were not).
+  Seconds net_latency = 0.1e-6;
+  double net_bandwidth = 10e9;  // bytes/s per link
+
+  /// Shared (parallel filesystem) disk for CR-D checkpoints: bandwidth is
+  /// a single shared resource, so total write time grows with total bytes
+  /// — this is what makes t_C of CR-D grow linearly under weak scaling
+  /// (paper §6). The latency/bandwidth are scaled to the miniaturized
+  /// roster workloads so that one disk checkpoint costs on the order of
+  /// 10–15 CG iterations — the regime implied by the paper's Table 5
+  /// (CR-D ≈ 2.4× time at a 100-iteration cadence with 10 faults).
+  Seconds disk_latency = 30e-6;
+  double disk_bandwidth = 2e9;  // bytes/s, shared across the machine
+
+  /// Node-local memory channel for CR-M checkpoints: per-node bandwidth,
+  /// so t_C stays constant under weak scaling (paper §6). The latency
+  /// covers the synchronized buffer pin + copy setup on every node.
+  Seconds mem_latency = 20e-6;
+  double mem_bandwidth = 20e9;  // bytes/s per node
+
+  /// DVFS transition cost (voltage ramp + PLL relock), scaled with the
+  /// miniaturized workloads (reconstruction windows here are 0.1–3 ms
+  /// where the paper's were seconds).
+  Seconds dvfs_transition_latency = 2e-6;
+
+  /// "ondemand" governor sampling period (frequency decisions lag phase
+  /// changes by up to this much); scaled like the DVFS latency.
+  Seconds governor_sampling_period = 100e-6;
+
+  power::PowerModelConfig power;
+
+  Index cores_per_node() const { return sockets_per_node * cores_per_socket; }
+  Index total_cores() const { return nodes * cores_per_node(); }
+};
+
+/// The paper's 192-core cluster.
+MachineConfig paper_cluster();
+
+/// A single dual-socket 24-core node (used by Fig. 7a and §4.2).
+MachineConfig paper_node();
+
+/// Validate invariants; throws rsls::Error on nonsense configurations.
+void validate(const MachineConfig& config);
+
+}  // namespace rsls::simrt

@@ -1,0 +1,67 @@
+#include "simrt/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace rsls::simrt {
+
+PowerTrace::PowerTrace(Index nodes, Seconds bin_width)
+    : nodes_(nodes),
+      bin_width_(bin_width),
+      bins_(static_cast<std::size_t>(nodes)) {
+  RSLS_CHECK(nodes >= 1);
+  RSLS_CHECK(bin_width > 0.0);
+}
+
+void PowerTrace::ensure_bins(std::size_t count) {
+  for (auto& node_bins : bins_) {
+    if (node_bins.size() < count) {
+      node_bins.resize(count, 0.0);
+    }
+  }
+}
+
+void PowerTrace::add(Index node, Seconds start, Seconds duration,
+                     Joules joules) {
+  RSLS_CHECK(node >= 0 && node < nodes_);
+  RSLS_CHECK(start >= 0.0 && duration >= 0.0 && joules >= 0.0);
+  if (duration <= 0.0 || joules <= 0.0) {
+    return;
+  }
+  const auto first_bin = static_cast<std::size_t>(start / bin_width_);
+  const auto last_bin =
+      static_cast<std::size_t>((start + duration) / bin_width_);
+  ensure_bins(last_bin + 1);
+  auto& node_bins = bins_[static_cast<std::size_t>(node)];
+  const Watts mean_power = joules / duration;
+  for (std::size_t b = first_bin; b <= last_bin; ++b) {
+    const Seconds bin_start = static_cast<double>(b) * bin_width_;
+    const Seconds overlap_start = std::max(start, bin_start);
+    const Seconds overlap_end = std::min(start + duration, bin_start + bin_width_);
+    const Seconds overlap = std::max(0.0, overlap_end - overlap_start);
+    node_bins[b] += mean_power * overlap;
+  }
+}
+
+std::vector<PowerSample> PowerTrace::render(Index node, Seconds end_time,
+                                            Watts constant_power) const {
+  RSLS_CHECK(node >= 0 && node < nodes_);
+  RSLS_CHECK(end_time >= 0.0);
+  const auto bin_count =
+      static_cast<std::size_t>(std::ceil(end_time / bin_width_));
+  std::vector<PowerSample> samples;
+  samples.reserve(bin_count);
+  const auto& node_bins = bins_[static_cast<std::size_t>(node)];
+  for (std::size_t b = 0; b < bin_count; ++b) {
+    PowerSample sample;
+    sample.time = static_cast<double>(b) * bin_width_;
+    const Joules binned = b < node_bins.size() ? node_bins[b] : 0.0;
+    sample.power = binned / bin_width_ + constant_power;
+    samples.push_back(sample);
+  }
+  return samples;
+}
+
+}  // namespace rsls::simrt

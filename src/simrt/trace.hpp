@@ -1,0 +1,45 @@
+#pragma once
+// Time-binned power trace, the simulated analogue of sampling RAPL at a
+// fixed rate while the application runs (Fig. 7a).
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "core/units.hpp"
+#include "power/rapl.hpp"
+
+namespace rsls::simrt {
+
+/// One rendered sample of the trace.
+struct PowerSample {
+  Seconds time = 0.0;   // bin start
+  Watts power = 0.0;    // average power over the bin
+};
+
+/// Accumulates per-node core energy into fixed-width time bins. Node
+/// constant power (uncore/DRAM) and sleeping unused cores are added at
+/// render time since they accrue uniformly with wall time.
+class PowerTrace {
+ public:
+  PowerTrace(Index nodes, Seconds bin_width);
+
+  Seconds bin_width() const { return bin_width_; }
+
+  /// Spread `joules` uniformly over [start, start + duration) for `node`.
+  void add(Index node, Seconds start, Seconds duration, Joules joules);
+
+  /// Render node `node`'s power profile up to `end_time`, adding
+  /// `constant_power` to every bin.
+  std::vector<PowerSample> render(Index node, Seconds end_time,
+                                  Watts constant_power) const;
+
+ private:
+  void ensure_bins(std::size_t count);
+
+  Index nodes_;
+  Seconds bin_width_;
+  // bins_[node][bin] = joules
+  std::vector<std::vector<Joules>> bins_;
+};
+
+}  // namespace rsls::simrt

@@ -1,0 +1,28 @@
+#include "solver/reference_cg.hpp"
+
+#include "core/error.hpp"
+#include "la/local_cg.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace rsls::solver {
+
+ReferenceCgResult reference_cg(const sparse::Csr& a, std::span<const Real> b,
+                               RealVec& x, Real tolerance,
+                               Index max_iterations) {
+  RSLS_CHECK(a.rows == a.cols);
+  la::LocalCgOptions options;
+  options.tolerance = tolerance;
+  options.max_iterations = max_iterations;
+  const la::LocalCgResult inner = la::local_cg(
+      [&a](std::span<const Real> in, std::span<Real> out) {
+        sparse::spmv(a, in, out);
+      },
+      b, x, options);
+  ReferenceCgResult result;
+  result.iterations = inner.iterations;
+  result.converged = inner.converged;
+  result.relative_residual = inner.relative_residual;
+  return result;
+}
+
+}  // namespace rsls::solver

@@ -1,0 +1,23 @@
+#pragma once
+// Sequential reference CG (no cluster, no cost model). Used by tests as a
+// numerical oracle for the distributed driver and by the Table 3 bench to
+// report fault-free iteration counts cheaply.
+
+#include <span>
+
+#include "core/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace rsls::solver {
+
+struct ReferenceCgResult {
+  Index iterations = 0;
+  bool converged = false;
+  Real relative_residual = 0.0;
+};
+
+ReferenceCgResult reference_cg(const sparse::Csr& a, std::span<const Real> b,
+                               RealVec& x, Real tolerance = 1e-12,
+                               Index max_iterations = 500000);
+
+}  // namespace rsls::solver

@@ -1,0 +1,62 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace rsls::sparse {
+
+CooBuilder::CooBuilder(Index rows, Index cols) : rows_(rows), cols_(cols) {
+  RSLS_CHECK(rows >= 0 && cols >= 0);
+}
+
+void CooBuilder::add(Index row, Index col, Real value) {
+  RSLS_CHECK_MSG(row >= 0 && row < rows_, "COO row out of range");
+  RSLS_CHECK_MSG(col >= 0 && col < cols_, "COO col out of range");
+  entries_.push_back(Entry{row, col, value});
+}
+
+void CooBuilder::add_symmetric(Index row, Index col, Real value) {
+  add(row, col, value);
+  if (row != col) {
+    add(col, row, value);
+  }
+}
+
+Csr CooBuilder::to_csr() const {
+  std::vector<Entry> sorted = entries_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  Csr out;
+  out.rows = rows_;
+  out.cols = cols_;
+  out.row_ptr.assign(static_cast<std::size_t>(rows_) + 1, 0);
+
+  // Sum duplicates, drop exact zeros.
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    const Index row = sorted[i].row;
+    const Index col = sorted[i].col;
+    Real sum = 0.0;
+    while (i < sorted.size() && sorted[i].row == row &&
+           sorted[i].col == col) {
+      sum += sorted[i].value;
+      ++i;
+    }
+    if (sum != 0.0) {
+      out.col_idx.push_back(col);
+      out.values.push_back(sum);
+      ++out.row_ptr[static_cast<std::size_t>(row) + 1];
+    }
+  }
+  for (std::size_t r = 0; r < static_cast<std::size_t>(rows_); ++r) {
+    out.row_ptr[r + 1] += out.row_ptr[r];
+  }
+  validate(out);
+  return out;
+}
+
+}  // namespace rsls::sparse

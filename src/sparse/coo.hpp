@@ -1,0 +1,47 @@
+#pragma once
+// Coordinate-format sparse matrix builder.
+//
+// COO is the assembly format: generators and Matrix Market readers insert
+// (i, j, v) triplets in any order (duplicates summed), then convert to CSR
+// for compute. This mirrors the assemble-then-compress flow of FEM codes.
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace rsls::sparse {
+
+class CooBuilder {
+ public:
+  /// Create an empty rows × cols builder.
+  CooBuilder(Index rows, Index cols);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+
+  /// Number of triplets inserted so far (before deduplication).
+  Index triplet_count() const { return static_cast<Index>(entries_.size()); }
+
+  /// Insert one triplet; bounds-checked.
+  void add(Index row, Index col, Real value);
+
+  /// Insert v at (i, j) and (j, i); inserts only once on the diagonal.
+  void add_symmetric(Index row, Index col, Real value);
+
+  /// Sort, sum duplicates, drop explicit zeros, and emit CSR.
+  Csr to_csr() const;
+
+ private:
+  struct Entry {
+    Index row;
+    Index col;
+    Real value;
+  };
+
+  Index rows_;
+  Index cols_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace rsls::sparse

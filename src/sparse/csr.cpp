@@ -1,0 +1,226 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace rsls::sparse {
+
+std::span<const Index> Csr::row_cols(Index row) const {
+  RSLS_ASSERT(row >= 0 && row < rows);
+  const auto begin = static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(row)]);
+  const auto end = static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(row) + 1]);
+  return {col_idx.data() + begin, end - begin};
+}
+
+std::span<const Real> Csr::row_vals(Index row) const {
+  RSLS_ASSERT(row >= 0 && row < rows);
+  const auto begin = static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(row)]);
+  const auto end = static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(row) + 1]);
+  return {values.data() + begin, end - begin};
+}
+
+Real Csr::at(Index row, Index col) const {
+  const auto cols_span = row_cols(row);
+  const auto it = std::lower_bound(cols_span.begin(), cols_span.end(), col);
+  if (it == cols_span.end() || *it != col) {
+    return 0.0;
+  }
+  const auto offset = static_cast<std::size_t>(it - cols_span.begin());
+  return row_vals(row)[offset];
+}
+
+void validate(const Csr& a) {
+  RSLS_CHECK(a.rows >= 0 && a.cols >= 0);
+  RSLS_CHECK_MSG(a.row_ptr.size() == static_cast<std::size_t>(a.rows) + 1,
+                 "row_ptr size mismatch");
+  RSLS_CHECK_MSG(a.col_idx.size() == a.values.size(),
+                 "col_idx/values size mismatch");
+  RSLS_CHECK_MSG(a.row_ptr.front() == 0, "row_ptr must start at 0");
+  RSLS_CHECK_MSG(a.row_ptr.back() == a.nnz(), "row_ptr must end at nnz");
+  for (Index r = 0; r < a.rows; ++r) {
+    const auto lo = a.row_ptr[static_cast<std::size_t>(r)];
+    const auto hi = a.row_ptr[static_cast<std::size_t>(r) + 1];
+    RSLS_CHECK_MSG(lo <= hi, "row_ptr must be non-decreasing");
+    for (Index k = lo; k < hi; ++k) {
+      const Index c = a.col_idx[static_cast<std::size_t>(k)];
+      RSLS_CHECK_MSG(c >= 0 && c < a.cols, "column index out of range");
+      if (k > lo) {
+        RSLS_CHECK_MSG(a.col_idx[static_cast<std::size_t>(k) - 1] < c,
+                       "columns must be strictly ascending within a row");
+      }
+    }
+  }
+}
+
+void spmv(const Csr& a, std::span<const Real> x, std::span<Real> y) {
+  RSLS_CHECK(x.size() == static_cast<std::size_t>(a.cols));
+  RSLS_CHECK(y.size() == static_cast<std::size_t>(a.rows));
+  for (Index r = 0; r < a.rows; ++r) {
+    const auto lo = static_cast<std::size_t>(a.row_ptr[static_cast<std::size_t>(r)]);
+    const auto hi = static_cast<std::size_t>(a.row_ptr[static_cast<std::size_t>(r) + 1]);
+    Real sum = 0.0;
+    for (std::size_t k = lo; k < hi; ++k) {
+      sum += a.values[k] * x[static_cast<std::size_t>(a.col_idx[k])];
+    }
+    y[static_cast<std::size_t>(r)] = sum;
+  }
+}
+
+void spmv_add(const Csr& a, Real alpha, std::span<const Real> x,
+              std::span<Real> y) {
+  RSLS_CHECK(x.size() == static_cast<std::size_t>(a.cols));
+  RSLS_CHECK(y.size() == static_cast<std::size_t>(a.rows));
+  for (Index r = 0; r < a.rows; ++r) {
+    const auto lo = static_cast<std::size_t>(a.row_ptr[static_cast<std::size_t>(r)]);
+    const auto hi = static_cast<std::size_t>(a.row_ptr[static_cast<std::size_t>(r) + 1]);
+    Real sum = 0.0;
+    for (std::size_t k = lo; k < hi; ++k) {
+      sum += a.values[k] * x[static_cast<std::size_t>(a.col_idx[k])];
+    }
+    y[static_cast<std::size_t>(r)] += alpha * sum;
+  }
+}
+
+void spmv_transpose(const Csr& a, std::span<const Real> x,
+                    std::span<Real> y) {
+  RSLS_CHECK(x.size() == static_cast<std::size_t>(a.rows));
+  RSLS_CHECK(y.size() == static_cast<std::size_t>(a.cols));
+  std::fill(y.begin(), y.end(), 0.0);
+  for (Index r = 0; r < a.rows; ++r) {
+    const Real xr = x[static_cast<std::size_t>(r)];
+    if (xr == 0.0) {
+      continue;
+    }
+    const auto lo = static_cast<std::size_t>(a.row_ptr[static_cast<std::size_t>(r)]);
+    const auto hi = static_cast<std::size_t>(a.row_ptr[static_cast<std::size_t>(r) + 1]);
+    for (std::size_t k = lo; k < hi; ++k) {
+      y[static_cast<std::size_t>(a.col_idx[k])] += a.values[k] * xr;
+    }
+  }
+}
+
+Csr transpose(const Csr& a) {
+  Csr t;
+  t.rows = a.cols;
+  t.cols = a.rows;
+  t.row_ptr.assign(static_cast<std::size_t>(a.cols) + 1, 0);
+  t.col_idx.resize(static_cast<std::size_t>(a.nnz()));
+  t.values.resize(static_cast<std::size_t>(a.nnz()));
+  // Count entries per column of a.
+  for (const Index c : a.col_idx) {
+    ++t.row_ptr[static_cast<std::size_t>(c) + 1];
+  }
+  for (std::size_t r = 0; r < static_cast<std::size_t>(t.rows); ++r) {
+    t.row_ptr[r + 1] += t.row_ptr[r];
+  }
+  IndexVec cursor(t.row_ptr.begin(), t.row_ptr.end() - 1);
+  for (Index r = 0; r < a.rows; ++r) {
+    const auto lo = a.row_ptr[static_cast<std::size_t>(r)];
+    const auto hi = a.row_ptr[static_cast<std::size_t>(r) + 1];
+    for (Index k = lo; k < hi; ++k) {
+      const Index c = a.col_idx[static_cast<std::size_t>(k)];
+      const auto slot = static_cast<std::size_t>(cursor[static_cast<std::size_t>(c)]++);
+      t.col_idx[slot] = r;
+      t.values[slot] = a.values[static_cast<std::size_t>(k)];
+    }
+  }
+  return t;
+}
+
+Csr extract_block(const Csr& a, Index row_begin, Index row_end,
+                  Index col_begin, Index col_end) {
+  RSLS_CHECK(0 <= row_begin && row_begin <= row_end && row_end <= a.rows);
+  RSLS_CHECK(0 <= col_begin && col_begin <= col_end && col_end <= a.cols);
+  Csr out;
+  out.rows = row_end - row_begin;
+  out.cols = col_end - col_begin;
+  out.row_ptr.assign(static_cast<std::size_t>(out.rows) + 1, 0);
+  for (Index r = row_begin; r < row_end; ++r) {
+    const auto cols_span = a.row_cols(r);
+    const auto vals_span = a.row_vals(r);
+    for (std::size_t k = 0; k < cols_span.size(); ++k) {
+      const Index c = cols_span[k];
+      if (c >= col_begin && c < col_end) {
+        out.col_idx.push_back(c - col_begin);
+        out.values.push_back(vals_span[k]);
+      }
+    }
+    out.row_ptr[static_cast<std::size_t>(r - row_begin) + 1] =
+        static_cast<Index>(out.col_idx.size());
+  }
+  return out;
+}
+
+Csr extract_rows(const Csr& a, Index row_begin, Index row_end) {
+  return extract_block(a, row_begin, row_end, 0, a.cols);
+}
+
+ColumnCompressed compress_columns(const Csr& a) {
+  ColumnCompressed out;
+  // Collect the ascending distinct columns.
+  std::vector<bool> used(static_cast<std::size_t>(a.cols), false);
+  for (const Index c : a.col_idx) {
+    used[static_cast<std::size_t>(c)] = true;
+  }
+  IndexVec remap(static_cast<std::size_t>(a.cols), -1);
+  for (Index c = 0; c < a.cols; ++c) {
+    if (used[static_cast<std::size_t>(c)]) {
+      remap[static_cast<std::size_t>(c)] =
+          static_cast<Index>(out.support.size());
+      out.support.push_back(c);
+    }
+  }
+  out.matrix = a;
+  out.matrix.cols = static_cast<Index>(out.support.size());
+  for (Index& c : out.matrix.col_idx) {
+    c = remap[static_cast<std::size_t>(c)];
+  }
+  return out;
+}
+
+RealVec diagonal(const Csr& a) {
+  const Index n = std::min(a.rows, a.cols);
+  RealVec d(static_cast<std::size_t>(n), 0.0);
+  for (Index i = 0; i < n; ++i) {
+    d[static_cast<std::size_t>(i)] = a.at(i, i);
+  }
+  return d;
+}
+
+bool is_symmetric(const Csr& a, Real tol) {
+  if (a.rows != a.cols) {
+    return false;
+  }
+  Real max_abs = 0.0;
+  for (const Real v : a.values) {
+    max_abs = std::max(max_abs, std::abs(v));
+  }
+  const Real threshold = tol * std::max(max_abs, Real{1.0});
+  for (Index r = 0; r < a.rows; ++r) {
+    const auto cols_span = a.row_cols(r);
+    const auto vals_span = a.row_vals(r);
+    for (std::size_t k = 0; k < cols_span.size(); ++k) {
+      if (std::abs(vals_span[k] - a.at(cols_span[k], r)) > threshold) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Real residual_norm(const Csr& a, std::span<const Real> x,
+                   std::span<const Real> b) {
+  RSLS_CHECK(b.size() == static_cast<std::size_t>(a.rows));
+  RealVec ax(static_cast<std::size_t>(a.rows));
+  spmv(a, x, ax);
+  Real sum = 0.0;
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    const Real d = b[i] - ax[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace rsls::sparse

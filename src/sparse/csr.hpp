@@ -1,0 +1,77 @@
+#pragma once
+// Compressed sparse row matrix and kernels.
+//
+// Csr is the workhorse storage for all solver and resilience code. Kernels
+// are free functions over const references so they compose with the
+// distributed layer, which operates on row slices of a global Csr.
+
+#include <span>
+
+#include "core/types.hpp"
+
+namespace rsls::sparse {
+
+struct Csr {
+  Index rows = 0;
+  Index cols = 0;
+  IndexVec row_ptr;  // size rows + 1
+  IndexVec col_idx;  // size nnz, ascending within each row
+  RealVec values;    // size nnz
+
+  Index nnz() const { return static_cast<Index>(col_idx.size()); }
+
+  /// Entries in one row as spans (structure, values).
+  std::span<const Index> row_cols(Index row) const;
+  std::span<const Real> row_vals(Index row) const;
+
+  /// Value at (row, col) or 0 if not stored. O(log nnz_row).
+  Real at(Index row, Index col) const;
+};
+
+/// Throws rsls::Error if the structure is malformed (bad sizes, column
+/// indices out of range or not strictly ascending within a row).
+void validate(const Csr& a);
+
+/// y = A x.
+void spmv(const Csr& a, std::span<const Real> x, std::span<Real> y);
+
+/// y += alpha * A x.
+void spmv_add(const Csr& a, Real alpha, std::span<const Real> x,
+              std::span<Real> y);
+
+/// y = Aᵀ x (x has a.rows entries, y has a.cols entries).
+void spmv_transpose(const Csr& a, std::span<const Real> x, std::span<Real> y);
+
+/// Explicit transpose.
+Csr transpose(const Csr& a);
+
+/// Submatrix of rows [row_begin, row_end) × cols [col_begin, col_end),
+/// with indices rebased to the block.
+Csr extract_block(const Csr& a, Index row_begin, Index row_end,
+                  Index col_begin, Index col_end);
+
+/// Row slice [row_begin, row_end) keeping global column indices.
+Csr extract_rows(const Csr& a, Index row_begin, Index row_end);
+
+/// A matrix renumbered to its column support plus the support map: the
+/// result's column j corresponds to the input's column support[j]. Lets
+/// local kernels work in vectors sized to the columns a row block
+/// actually references (its block + halo) instead of the global width.
+struct ColumnCompressed {
+  Csr matrix;
+  IndexVec support;  // ascending original column indices
+};
+ColumnCompressed compress_columns(const Csr& a);
+
+/// Main diagonal (missing entries are 0).
+RealVec diagonal(const Csr& a);
+
+/// Structural + numerical symmetry within `tol` (relative to the largest
+/// absolute value in the matrix).
+bool is_symmetric(const Csr& a, Real tol = 1e-12);
+
+/// ||b - A x||₂.
+Real residual_norm(const Csr& a, std::span<const Real> x,
+                   std::span<const Real> b);
+
+}  // namespace rsls::sparse

@@ -1,0 +1,103 @@
+#include "sparse/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "sparse/csr.hpp"
+
+namespace rsls::sparse {
+
+Dense::Dense(Index rows, Index cols)
+    : rows_(rows),
+      cols_(cols),
+      data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+            0.0) {
+  RSLS_CHECK(rows >= 0 && cols >= 0);
+}
+
+Real& Dense::operator()(Index r, Index c) {
+  RSLS_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+               static_cast<std::size_t>(c)];
+}
+
+Real Dense::operator()(Index r, Index c) const {
+  RSLS_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+               static_cast<std::size_t>(c)];
+}
+
+std::span<Real> Dense::row(Index r) {
+  RSLS_ASSERT(r >= 0 && r < rows_);
+  return {data_.data() +
+              static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_),
+          static_cast<std::size_t>(cols_)};
+}
+
+std::span<const Real> Dense::row(Index r) const {
+  RSLS_ASSERT(r >= 0 && r < rows_);
+  return {data_.data() +
+              static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_),
+          static_cast<std::size_t>(cols_)};
+}
+
+void Dense::multiply(std::span<const Real> x, std::span<Real> y) const {
+  RSLS_CHECK(x.size() == static_cast<std::size_t>(cols_));
+  RSLS_CHECK(y.size() == static_cast<std::size_t>(rows_));
+  for (Index r = 0; r < rows_; ++r) {
+    const auto row_span = row(r);
+    Real sum = 0.0;
+    for (std::size_t c = 0; c < row_span.size(); ++c) {
+      sum += row_span[c] * x[c];
+    }
+    y[static_cast<std::size_t>(r)] = sum;
+  }
+}
+
+void Dense::multiply_transpose(std::span<const Real> x,
+                               std::span<Real> y) const {
+  RSLS_CHECK(x.size() == static_cast<std::size_t>(rows_));
+  RSLS_CHECK(y.size() == static_cast<std::size_t>(cols_));
+  std::fill(y.begin(), y.end(), 0.0);
+  for (Index r = 0; r < rows_; ++r) {
+    const auto row_span = row(r);
+    const Real xr = x[static_cast<std::size_t>(r)];
+    for (std::size_t c = 0; c < row_span.size(); ++c) {
+      y[c] += row_span[c] * xr;
+    }
+  }
+}
+
+Dense Dense::identity(Index n) {
+  Dense m(n, n);
+  for (Index i = 0; i < n; ++i) {
+    m(i, i) = 1.0;
+  }
+  return m;
+}
+
+Dense to_dense(const Csr& a) {
+  Dense m(a.rows, a.cols);
+  for (Index r = 0; r < a.rows; ++r) {
+    const auto cols_span = a.row_cols(r);
+    const auto vals_span = a.row_vals(r);
+    for (std::size_t k = 0; k < cols_span.size(); ++k) {
+      m(r, cols_span[k]) = vals_span[k];
+    }
+  }
+  return m;
+}
+
+Real max_abs_diff(const Dense& m, const Dense& n) {
+  RSLS_CHECK(m.rows() == n.rows() && m.cols() == n.cols());
+  Real best = 0.0;
+  const auto md = m.data();
+  const auto nd = n.data();
+  for (std::size_t i = 0; i < md.size(); ++i) {
+    best = std::max(best, std::abs(md[i] - nd[i]));
+  }
+  return best;
+}
+
+}  // namespace rsls::sparse

@@ -1,0 +1,52 @@
+#pragma once
+// Row-major dense matrix used by the local factorizations (LU, QR,
+// Cholesky) that implement the exact LI/LSI construction baselines.
+// Dense blocks in this codebase are small (one process's diagonal block or
+// column slice), so a simple contiguous layout is appropriate.
+
+#include <span>
+
+#include "core/types.hpp"
+
+namespace rsls::sparse {
+
+struct Csr;
+
+class Dense {
+ public:
+  Dense() = default;
+  Dense(Index rows, Index cols);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+
+  Real& operator()(Index r, Index c);
+  Real operator()(Index r, Index c) const;
+
+  std::span<Real> row(Index r);
+  std::span<const Real> row(Index r) const;
+
+  std::span<Real> data() { return data_; }
+  std::span<const Real> data() const { return data_; }
+
+  /// y = M x
+  void multiply(std::span<const Real> x, std::span<Real> y) const;
+
+  /// y = Mᵀ x
+  void multiply_transpose(std::span<const Real> x, std::span<Real> y) const;
+
+  static Dense identity(Index n);
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  RealVec data_;
+};
+
+/// Densify a sparse matrix (for small local blocks only).
+Dense to_dense(const Csr& a);
+
+/// Max |Mᵢⱼ - Nᵢⱼ|; shapes must match.
+Real max_abs_diff(const Dense& m, const Dense& n);
+
+}  // namespace rsls::sparse

@@ -1,0 +1,97 @@
+#pragma once
+// Synthetic SPD matrix generators.
+//
+// The paper evaluates on 14 SuiteSparse matrices (Table 3). Those files are
+// not available offline, so the roster (roster.hpp) is built from these
+// generators, each of which controls the structural properties the paper's
+// conclusions depend on:
+//   * bandwidth / irregularity  — governs LI/LSI reconstruction accuracy,
+//   * nnz per row               — governs reconstruction cost,
+//   * diagonal excess           — governs conditioning, hence CG iteration
+//                                 counts (convergence speed).
+//
+// All generators produce symmetric positive definite matrices: random
+// off-diagonals are negative and the diagonal exceeds the absolute row sum
+// by a relative margin `diag_excess` (a symmetric strictly diagonally
+// dominant matrix with positive diagonal is SPD). Smaller excess means a
+// smaller Gershgorin lower bound on the spectrum, i.e. a harder problem.
+
+#include <cstdint>
+
+#include "core/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace rsls::sparse {
+
+/// 1D Poisson [ -1 2 -1 ] with Dirichlet boundaries; n ≥ 1.
+Csr laplacian_1d(Index n);
+
+/// 2D 5-point Poisson stencil on an nx × ny grid (Dirichlet).
+Csr laplacian_2d(Index nx, Index ny);
+
+/// 2D 9-point stencil (compact, Dirichlet).
+Csr laplacian_2d_9pt(Index nx, Index ny);
+
+/// 3D 7-point Poisson stencil on an nx × ny × nz grid (Dirichlet).
+Csr laplacian_3d(Index nx, Index ny, Index nz);
+
+/// Q1 FEM (stiffness + mass) on an nx × ny quad mesh with a random
+/// per-element coefficient in [0.5, 1.5]; yields a Wathen-class "random
+/// 2D/3D FEM" SPD matrix with ~9 nnz/row and dimension (nx+1)(ny+1).
+/// `mass_weight` scales the mass term against the stiffness term: small
+/// weights leave the (singular) stiffness dominant, i.e. a harder
+/// problem; weights near 1 give a well-conditioned mass-like matrix.
+Csr fem_q1_2d(Index nx, Index ny, std::uint64_t seed,
+              double mass_weight = 1.0);
+
+struct BandedSpdConfig {
+  Index n = 0;
+  /// Off-diagonals are drawn from the band [-half_bandwidth, -1] ∪
+  /// [1, half_bandwidth] around the diagonal.
+  Index half_bandwidth = 1;
+  /// Probability each in-band position is nonzero (1 = dense band).
+  double fill = 1.0;
+  /// Relative diagonal margin; smaller → worse conditioning.
+  double diag_excess = 1e-3;
+  /// Symmetric diagonal scaling D·A·D with dᵢ log-uniform over this many
+  /// decades (0 = none). Spreads the spectrum multiplicatively — the knob
+  /// for very ill-conditioned "structural" matrices.
+  double scale_decades = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Random banded SPD matrix ("structural"/"materials" class: regular,
+/// localized coupling).
+Csr banded_spd(const BandedSpdConfig& config);
+
+struct IrregularSpdConfig {
+  Index n = 0;
+  /// Long-range random couplings added per row (averages; symmetric).
+  Index extra_per_row = 4;
+  /// A thin local band is kept so the graph stays connected.
+  Index band_half_width = 2;
+  double diag_excess = 1e-3;
+  /// Symmetric diagonal scaling decades (see BandedSpdConfig). Random
+  /// graphs are expanders — spectrally well-conditioned — so this is the
+  /// mechanism that makes "irregular" entries converge slowly.
+  double scale_decades = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Random SPD matrix with scattered long-range coupling ("irregular"
+/// class: graphics/optimization graphs). High off-block coupling for any
+/// contiguous partition, which degrades LI/LSI reconstruction accuracy.
+Csr irregular_spd(const IrregularSpdConfig& config);
+
+/// Diagonal SPD matrix with eigenvalues geometrically spaced in
+/// [min_eig, max_eig] and randomly permuted; exact spectrum control for
+/// solver convergence tests.
+Csr diagonal_spd(Index n, Real min_eig, Real max_eig, std::uint64_t seed);
+
+/// Suggested diag_excess to make CG on a random banded/irregular SPD
+/// matrix need roughly `iterations` iterations at tolerance 1e-12.
+/// Derived from the Gershgorin bound κ ≈ 2/excess and the classical CG
+/// error bound; calibrated against the generators in this file.
+double diag_excess_for_iterations(double iterations);
+
+}  // namespace rsls::sparse

@@ -1,0 +1,90 @@
+#include "sparse/matrix_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "sparse/csr.hpp"
+
+namespace rsls::sparse {
+
+MatrixStats compute_stats(const Csr& a) {
+  MatrixStats s;
+  s.rows = a.rows;
+  s.nnz = a.nnz();
+  s.nnz_per_row =
+      a.rows > 0 ? static_cast<double>(s.nnz) / static_cast<double>(a.rows)
+                 : 0.0;
+  s.symmetric = is_symmetric(a);
+
+  double distance_sum = 0.0;
+  double min_dominance = std::numeric_limits<double>::infinity();
+  for (Index r = 0; r < a.rows; ++r) {
+    const auto cols_span = a.row_cols(r);
+    const auto vals_span = a.row_vals(r);
+    s.max_nnz_per_row =
+        std::max(s.max_nnz_per_row, static_cast<Index>(cols_span.size()));
+    Real diag = 0.0;
+    Real off_sum = 0.0;
+    for (std::size_t k = 0; k < cols_span.size(); ++k) {
+      const Index d = std::abs(cols_span[k] - r);
+      s.bandwidth = std::max(s.bandwidth, d);
+      distance_sum += static_cast<double>(d);
+      if (cols_span[k] == r) {
+        diag = vals_span[k];
+      } else {
+        off_sum += std::abs(vals_span[k]);
+      }
+    }
+    const double dominance =
+        off_sum > 0.0 ? diag / off_sum : std::numeric_limits<double>::max();
+    min_dominance = std::min(min_dominance, dominance);
+  }
+  s.mean_index_distance =
+      s.nnz > 0 ? distance_sum / static_cast<double>(s.nnz) : 0.0;
+  s.min_diag_dominance = a.rows > 0 ? min_dominance : 0.0;
+  return s;
+}
+
+double off_block_coupling(const Csr& a, Index parts) {
+  RSLS_CHECK(parts > 0);
+  RSLS_CHECK(a.rows == a.cols);
+  if (a.nnz() == 0) {
+    return 0.0;
+  }
+  const auto block_of = [&](Index i) {
+    // Same arithmetic as dist::Partition: first (rows % parts) blocks get
+    // one extra row.
+    const Index base = a.rows / parts;
+    const Index extra = a.rows % parts;
+    const Index pivot = (base + 1) * extra;
+    if (i < pivot) {
+      return i / (base + 1);
+    }
+    return extra + (i - pivot) / std::max<Index>(base, 1);
+  };
+  Index off_block = 0;
+  for (Index r = 0; r < a.rows; ++r) {
+    const Index rb = block_of(r);
+    for (const Index c : a.row_cols(r)) {
+      if (block_of(c) != rb) {
+        ++off_block;
+      }
+    }
+  }
+  return static_cast<double>(off_block) / static_cast<double>(a.nnz());
+}
+
+std::string to_string(const MatrixStats& stats) {
+  std::ostringstream os;
+  os << "rows=" << stats.rows << " nnz=" << stats.nnz
+     << " nnz/row=" << stats.nnz_per_row << " bw=" << stats.bandwidth
+     << " meanDist=" << stats.mean_index_distance
+     << " minDom=" << stats.min_diag_dominance
+     << " sym=" << (stats.symmetric ? "yes" : "no");
+  return os.str();
+}
+
+}  // namespace rsls::sparse

@@ -1,0 +1,39 @@
+#pragma once
+// Structural/numerical matrix statistics (Table 3 columns, plus the
+// locality measures the paper's §5.3 discussion attributes scheme
+// efficiency to: bandwidth/irregularity and off-block coupling).
+
+#include <string>
+
+#include "core/types.hpp"
+
+namespace rsls::sparse {
+
+struct Csr;
+
+struct MatrixStats {
+  Index rows = 0;
+  Index nnz = 0;
+  double nnz_per_row = 0.0;
+  Index max_nnz_per_row = 0;
+  /// max |i - j| over stored entries.
+  Index bandwidth = 0;
+  /// mean |i - j| over stored entries; low = regular/banded.
+  double mean_index_distance = 0.0;
+  /// min_i a_ii / Σ_{j≠i} |a_ij| (∞-safe: rows with no off-diagonals
+  /// contribute a large sentinel). > 1 means strictly diagonally dominant.
+  double min_diag_dominance = 0.0;
+  bool symmetric = false;
+};
+
+MatrixStats compute_stats(const Csr& a);
+
+/// Fraction of nnz falling outside the block-diagonal when rows/cols are
+/// split into `parts` contiguous blocks. High values mean strong
+/// off-process coupling — the regime where LI/LSI reconstructions are
+/// least accurate (paper §5.2, "irregular structure").
+double off_block_coupling(const Csr& a, Index parts);
+
+std::string to_string(const MatrixStats& stats);
+
+}  // namespace rsls::sparse

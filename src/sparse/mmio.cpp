@@ -1,0 +1,103 @@
+#include "sparse/mmio.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "sparse/coo.hpp"
+
+namespace rsls::sparse {
+
+namespace {
+
+std::string lower(std::string s) {
+  for (char& ch : s) {
+    ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  }
+  return s;
+}
+
+}  // namespace
+
+Csr read_matrix_market(std::istream& is) {
+  std::string line;
+  RSLS_CHECK_MSG(static_cast<bool>(std::getline(is, line)),
+                 "empty Matrix Market stream");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  RSLS_CHECK_MSG(banner == "%%MatrixMarket", "missing MatrixMarket banner");
+  RSLS_CHECK_MSG(lower(object) == "matrix", "unsupported object: " + object);
+  RSLS_CHECK_MSG(lower(format) == "coordinate",
+                 "unsupported format: " + format);
+  const std::string field_l = lower(field);
+  RSLS_CHECK_MSG(field_l == "real" || field_l == "integer",
+                 "unsupported field: " + field);
+  const std::string sym_l = lower(symmetry);
+  RSLS_CHECK_MSG(sym_l == "general" || sym_l == "symmetric",
+                 "unsupported symmetry: " + symmetry);
+  const bool symmetric = sym_l == "symmetric";
+
+  // Skip comments and blank lines up to the size line.
+  while (std::getline(is, line)) {
+    if (!line.empty() && line[0] != '%') {
+      break;
+    }
+  }
+  std::istringstream size_line(line);
+  long long rows = 0, cols = 0, entries = 0;
+  size_line >> rows >> cols >> entries;
+  RSLS_CHECK_MSG(rows > 0 && cols > 0 && entries >= 0,
+                 "bad Matrix Market size line: " + line);
+
+  CooBuilder builder(static_cast<Index>(rows), static_cast<Index>(cols));
+  for (long long k = 0; k < entries; ++k) {
+    long long i = 0, j = 0;
+    double value = 0.0;
+    if (!(is >> i >> j >> value)) {
+      throw Error("Matrix Market stream truncated at entry " +
+                  std::to_string(k));
+    }
+    RSLS_CHECK_MSG(i >= 1 && i <= rows && j >= 1 && j <= cols,
+                   "Matrix Market entry out of range");
+    const auto row = static_cast<Index>(i - 1);
+    const auto col = static_cast<Index>(j - 1);
+    if (symmetric) {
+      builder.add_symmetric(row, col, value);
+    } else {
+      builder.add(row, col, value);
+    }
+  }
+  return builder.to_csr();
+}
+
+Csr read_matrix_market_file(const std::string& path) {
+  std::ifstream is(path);
+  RSLS_CHECK_MSG(is.good(), "cannot open " + path);
+  return read_matrix_market(is);
+}
+
+void write_matrix_market(std::ostream& os, const Csr& a) {
+  os << "%%MatrixMarket matrix coordinate real general\n";
+  os << "% written by rsls\n";
+  os << a.rows << ' ' << a.cols << ' ' << a.nnz() << '\n';
+  os << std::setprecision(17);
+  for (Index r = 0; r < a.rows; ++r) {
+    const auto cols_span = a.row_cols(r);
+    const auto vals_span = a.row_vals(r);
+    for (std::size_t k = 0; k < cols_span.size(); ++k) {
+      os << (r + 1) << ' ' << (cols_span[k] + 1) << ' ' << vals_span[k]
+         << '\n';
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const Csr& a) {
+  std::ofstream os(path);
+  RSLS_CHECK_MSG(os.good(), "cannot open " + path + " for writing");
+  write_matrix_market(os, a);
+  RSLS_CHECK_MSG(os.good(), "write to " + path + " failed");
+}
+
+}  // namespace rsls::sparse

@@ -1,0 +1,29 @@
+#pragma once
+// Matrix Market (coordinate, real) I/O.
+//
+// The paper's matrices come from the SuiteSparse collection, which ships
+// in this format. Users with network access can drop the original .mtx
+// files next to the benches and run them on the genuine matrices; offline
+// we fall back to the synthetic roster.
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace rsls::sparse {
+
+/// Parse a "%%MatrixMarket matrix coordinate real {general|symmetric}"
+/// stream. Symmetric inputs are expanded to full storage. Throws
+/// rsls::Error on malformed input.
+Csr read_matrix_market(std::istream& is);
+
+/// Load from a file path.
+Csr read_matrix_market_file(const std::string& path);
+
+/// Write coordinate/real/general (1-based indices, one triplet per line).
+void write_matrix_market(std::ostream& os, const Csr& a);
+
+void write_matrix_market_file(const std::string& path, const Csr& a);
+
+}  // namespace rsls::sparse

@@ -1,0 +1,115 @@
+#include "sparse/ordering.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/error.hpp"
+#include "sparse/coo.hpp"
+
+namespace rsls::sparse {
+
+namespace {
+
+Index degree(const Csr& a, Index v) {
+  return static_cast<Index>(a.row_cols(v).size());
+}
+
+}  // namespace
+
+IndexVec rcm_ordering(const Csr& a) {
+  RSLS_CHECK_MSG(a.rows == a.cols, "RCM requires a square matrix");
+  const Index n = a.rows;
+  IndexVec order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+
+  // Vertices sorted by degree: component seeds are minimum-degree
+  // unvisited vertices (the classical pseudo-peripheral heuristic's cheap
+  // stand-in, adequate for the banded/irregular graphs here).
+  IndexVec by_degree(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    by_degree[static_cast<std::size_t>(i)] = i;
+  }
+  std::sort(by_degree.begin(), by_degree.end(), [&a](Index u, Index v) {
+    const Index du = degree(a, u);
+    const Index dv = degree(a, v);
+    return du != dv ? du < dv : u < v;
+  });
+
+  IndexVec neighbours;
+  for (const Index seed : by_degree) {
+    if (visited[static_cast<std::size_t>(seed)]) {
+      continue;
+    }
+    // BFS with degree-sorted neighbour expansion (Cuthill–McKee).
+    std::queue<Index> frontier;
+    frontier.push(seed);
+    visited[static_cast<std::size_t>(seed)] = true;
+    while (!frontier.empty()) {
+      const Index v = frontier.front();
+      frontier.pop();
+      order.push_back(v);
+      neighbours.clear();
+      for (const Index w : a.row_cols(v)) {
+        if (w != v && !visited[static_cast<std::size_t>(w)]) {
+          visited[static_cast<std::size_t>(w)] = true;
+          neighbours.push_back(w);
+        }
+      }
+      std::sort(neighbours.begin(), neighbours.end(),
+                [&a](Index u, Index w) {
+                  const Index du = degree(a, u);
+                  const Index dw = degree(a, w);
+                  return du != dw ? du < dw : u < w;
+                });
+      for (const Index w : neighbours) {
+        frontier.push(w);
+      }
+    }
+  }
+  RSLS_CHECK(static_cast<Index>(order.size()) == n);
+  // The "reverse" of RCM.
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+Csr permute_symmetric(const Csr& a, const IndexVec& perm) {
+  RSLS_CHECK(a.rows == a.cols);
+  RSLS_CHECK(perm.size() == static_cast<std::size_t>(a.rows));
+  const IndexVec inverse = invert_permutation(perm);
+  CooBuilder builder(a.rows, a.cols);
+  for (Index new_row = 0; new_row < a.rows; ++new_row) {
+    const Index old_row = perm[static_cast<std::size_t>(new_row)];
+    const auto cols_span = a.row_cols(old_row);
+    const auto vals_span = a.row_vals(old_row);
+    for (std::size_t k = 0; k < cols_span.size(); ++k) {
+      builder.add(new_row, inverse[static_cast<std::size_t>(cols_span[k])],
+                  vals_span[k]);
+    }
+  }
+  return builder.to_csr();
+}
+
+IndexVec invert_permutation(const IndexVec& perm) {
+  IndexVec inverse(perm.size(), -1);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    const Index p = perm[i];
+    RSLS_CHECK_MSG(p >= 0 && static_cast<std::size_t>(p) < perm.size(),
+                   "permutation entry out of range");
+    RSLS_CHECK_MSG(inverse[static_cast<std::size_t>(p)] == -1,
+                   "permutation has a duplicate entry");
+    inverse[static_cast<std::size_t>(p)] = static_cast<Index>(i);
+  }
+  return inverse;
+}
+
+RealVec permute_vector(const RealVec& in, const IndexVec& perm) {
+  RSLS_CHECK(in.size() == perm.size());
+  RealVec out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = in[static_cast<std::size_t>(perm[i])];
+  }
+  return out;
+}
+
+}  // namespace rsls::sparse

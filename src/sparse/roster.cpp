@@ -1,0 +1,144 @@
+#include "sparse/roster.hpp"
+
+#include "core/error.hpp"
+#include "sparse/generators.hpp"
+
+namespace rsls::sparse {
+
+namespace {
+
+// Sizing rule: the §5 experiments run at 192 processes, so block-row
+// blocks hold n/192 rows. Forward-recovery accuracy depends on the ratio
+// of block size to coupling bandwidth (LI/LSI interpolate well only when
+// most coupling is inside the block, paper §5.2), so "regular" entries
+// are sized with block ≥ ~3× half-bandwidth — matching the paper's
+// block-to-bandwidth regime — while the "wide-band"/"irregular" entries
+// deliberately violate it, which is what makes RD/CR win on them (Fig. 8).
+
+Csr make_banded(Index n, Index half_bandwidth, double difficulty_knob,
+                double scale_decades, std::uint64_t seed, bool quick) {
+  BandedSpdConfig config;
+  config.n = quick ? std::max<Index>(n / 4, 256) : n;
+  config.half_bandwidth = half_bandwidth;
+  config.fill = 1.0;
+  config.diag_excess = diag_excess_for_iterations(
+      quick ? difficulty_knob / 2 : difficulty_knob);
+  config.scale_decades = scale_decades;
+  config.seed = seed;
+  return banded_spd(config);
+}
+
+Csr make_irregular(Index n, Index extra_per_row, double scale_decades,
+                   double difficulty_knob, std::uint64_t seed, bool quick) {
+  IrregularSpdConfig config;
+  config.n = quick ? std::max<Index>(n / 4, 256) : n;
+  config.extra_per_row = extra_per_row;
+  config.band_half_width = 2;
+  config.diag_excess = diag_excess_for_iterations(
+      quick ? difficulty_knob / 2 : difficulty_knob);
+  config.scale_decades = scale_decades;
+  config.seed = seed;
+  return irregular_spd(config);
+}
+
+std::vector<RosterEntry> build_roster() {
+  std::vector<RosterEntry> entries;
+
+  // Sizes follow the paper's Table 3 where runnable (bcsstk06, msc01050,
+  // ex10hs, ex15, Kuu, t2dahe, crystm02 are exact or near-exact row
+  // counts); the largest entries are scaled down. The difficulty knob is
+  // an internal generator parameter calibrated so that measured
+  // fault-free iteration counts land in a runnable 200–3,000 band while
+  // preserving the paper's fast/slow ordering. Crucially, the *small*
+  // matrices (bcsstk06, msc01050) keep their tiny per-process blocks —
+  // which is exactly why LI/LSI interpolate poorly on them in the paper.
+  entries.push_back({"syn:bcsstk06", "structural", "banded", 420, 19, 4476,
+                     [](bool quick) {
+                       return make_banded(420, 9, 450.0, 1.2, 101, quick);
+                     }});
+  entries.push_back({"syn:msc01050", "structural", "banded", 1050, 25, 35765,
+                     [](bool quick) {
+                       return make_banded(1050, 12, 2600.0, 1.4, 102, quick);
+                     }});
+  entries.push_back({"syn:ex10hs", "CFD", "banded", 2548, 22, 3217,
+                     [](bool quick) {
+                       return make_banded(2548, 11, 260.0, 1.2, 103, quick);
+                     }});
+  entries.push_back({"syn:bcsstk16", "structural", "banded", 4884, 59, 553,
+                     [](bool quick) {
+                       return make_banded(4884, 29, 162.0, 1.0, 104, quick);
+                     }});
+  entries.push_back({"syn:ex15", "CFD", "banded", 6867, 17, 1074,
+                     [](bool quick) {
+                       return make_banded(6867, 8, 330.0, 1.0, 105, quick);
+                     }});
+  entries.push_back({"syn:Kuu", "structural", "fem", 7102, 24, 849,
+                     [](bool quick) {
+                       const Index nx = quick ? 40 : 83;
+                       return fem_q1_2d(nx, nx, 106, 0.001);
+                     }});
+  entries.push_back({"syn:t2dahe", "model reduction", "banded", 11445, 15,
+                     82098, [](bool quick) {
+                       return make_banded(11445, 7, 900.0, 1.2, 107, quick);
+                     }});
+  entries.push_back({"syn:crystm02", "materials", "banded", 13965, 23, 1154,
+                     [](bool quick) {
+                       return make_banded(13965, 11, 415.0, 1.0, 108, quick);
+                     }});
+  entries.push_back({"syn:wathen100", "random 2D/3D", "fem", 30401, 16, 355,
+                     [](bool quick) {
+                       const Index nx = quick ? 48 : 127;
+                       return fem_q1_2d(nx, nx, 109, 0.008);
+                     }});
+  entries.push_back({"syn:cvxbqp1", "optimization", "banded", 50000, 7, 11863,
+                     [](bool quick) {
+                       return make_banded(12000, 3, 1550.0, 0.0, 110, quick);
+                     }});
+  entries.push_back({"syn:Andrews", "graphics", "irregular", 60000, 13, 216,
+                     [](bool quick) {
+                       return make_irregular(5952, 4, 0.9, 220.0, 111,
+                                             quick);
+                     }});
+  entries.push_back({"syn:nd24k", "2D/3D", "wide-band", 72000, 399, 10019,
+                     [](bool quick) {
+                       return make_banded(5760, 55, 2400.0, 1.1, 112, quick);
+                     }});
+  entries.push_back({"syn:x104", "structure", "irregular", 108384, 80, 96704,
+                     [](bool quick) {
+                       return make_irregular(6912, 26, 2.0, 1800.0, 113,
+                                             quick);
+                     }});
+  entries.push_back({"syn:stencil5", "structure", "stencil", 640000, 5, 3162,
+                     [](bool quick) {
+                       const Index nx = quick ? 64 : 256;
+                       return laplacian_2d(nx, nx);
+                     }});
+  return entries;
+}
+
+}  // namespace
+
+const std::vector<RosterEntry>& roster() {
+  static const std::vector<RosterEntry> entries = build_roster();
+  return entries;
+}
+
+const RosterEntry& roster_entry(const std::string& name) {
+  const std::string wanted =
+      name.rfind("syn:", 0) == 0 ? name : "syn:" + name;
+  for (const auto& entry : roster()) {
+    if (entry.name == wanted) {
+      return entry;
+    }
+  }
+  throw Error("unknown roster matrix: " + name);
+}
+
+RealVec make_rhs(const Csr& a) {
+  RealVec ones(static_cast<std::size_t>(a.cols), 1.0);
+  RealVec b(static_cast<std::size_t>(a.rows), 0.0);
+  spmv(a, ones, b);
+  return b;
+}
+
+}  // namespace rsls::sparse

@@ -1,0 +1,47 @@
+#pragma once
+// The experiment matrix roster.
+//
+// Mirrors the paper's Table 3 (14 SPD matrices from SuiteSparse) with
+// synthetic analogues: each entry preserves the *class* of its namesake —
+// structure (banded / FEM / irregular / stencil), nnz-per-row regime, and
+// relative convergence difficulty — while being scaled down so that the
+// full experiment suite runs in minutes on one core (DESIGN.md §2). The
+// paper's reported properties are carried along for the Table 3 bench.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace rsls::sparse {
+
+struct RosterEntry {
+  /// "syn:" prefix marks the synthetic stand-in (e.g. "syn:Kuu").
+  std::string name;
+  /// Problem kind column of Table 3.
+  std::string problem_kind;
+  /// Structure class driving scheme behaviour: "banded", "fem",
+  /// "irregular", "stencil", "wide-band".
+  std::string structure;
+  /// Paper-reported values (for the Table 3 comparison output).
+  Index paper_rows = 0;
+  Index paper_nnz_per_row = 0;
+  Index paper_iters = 0;
+  /// Build the synthetic matrix (smaller when quick == true).
+  std::function<Csr(bool quick)> make;
+};
+
+/// All 14 entries, in Table 3 order.
+const std::vector<RosterEntry>& roster();
+
+/// Lookup by name (with or without the "syn:" prefix); throws if unknown.
+const RosterEntry& roster_entry(const std::string& name);
+
+/// Right-hand side used across all experiments: b = A·1, so the exact
+/// solution is the all-ones vector and the initial guess x₀ = 0 is far
+/// from it in every component.
+RealVec make_rhs(const Csr& a);
+
+}  // namespace rsls::sparse

@@ -1,0 +1,58 @@
+#include "sparse/vector_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace rsls::sparse {
+
+void axpy(Real alpha, std::span<const Real> x, std::span<Real> y) {
+  RSLS_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+void xpby(std::span<const Real> x, Real beta, std::span<Real> y) {
+  RSLS_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = x[i] + beta * y[i];
+  }
+}
+
+void scale(Real alpha, std::span<Real> x) {
+  for (Real& v : x) {
+    v *= alpha;
+  }
+}
+
+void copy(std::span<const Real> src, std::span<Real> dst) {
+  RSLS_CHECK(src.size() == dst.size());
+  std::copy(src.begin(), src.end(), dst.begin());
+}
+
+Real dot(std::span<const Real> x, std::span<const Real> y) {
+  RSLS_CHECK(x.size() == y.size());
+  Real sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sum += x[i] * y[i];
+  }
+  return sum;
+}
+
+Real norm2(std::span<const Real> x) { return std::sqrt(dot(x, x)); }
+
+Real norm_inf(std::span<const Real> x) {
+  Real best = 0.0;
+  for (const Real v : x) {
+    best = std::max(best, std::abs(v));
+  }
+  return best;
+}
+
+void fill(std::span<Real> x, Real value) {
+  std::fill(x.begin(), x.end(), value);
+}
+
+}  // namespace rsls::sparse

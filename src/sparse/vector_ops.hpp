@@ -1,0 +1,36 @@
+#pragma once
+// BLAS-1 style kernels on spans. These are the per-rank local operations
+// the distributed layer composes; keeping them as free functions lets the
+// solver, the recovery schemes, and the benchmarks share one implementation.
+
+#include <span>
+
+#include "core/types.hpp"
+
+namespace rsls::sparse {
+
+/// y += alpha * x
+void axpy(Real alpha, std::span<const Real> x, std::span<Real> y);
+
+/// y = x + beta * y (the CG "xpby" update for direction vectors)
+void xpby(std::span<const Real> x, Real beta, std::span<Real> y);
+
+/// x *= alpha
+void scale(Real alpha, std::span<Real> x);
+
+/// dst = src
+void copy(std::span<const Real> src, std::span<Real> dst);
+
+/// Σ xᵢ yᵢ
+Real dot(std::span<const Real> x, std::span<const Real> y);
+
+/// ||x||₂
+Real norm2(std::span<const Real> x);
+
+/// max |xᵢ|
+Real norm_inf(std::span<const Real> x);
+
+/// x = value
+void fill(std::span<Real> x, Real value);
+
+}  // namespace rsls::sparse

@@ -1,0 +1,62 @@
+// Unit tests: error handling and logging.
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "core/log.hpp"
+
+namespace rsls {
+namespace {
+
+TEST(ErrorTest, CheckPassesOnTrue) {
+  EXPECT_NO_THROW(RSLS_CHECK(1 + 1 == 2));
+}
+
+TEST(ErrorTest, CheckThrowsOnFalse) {
+  EXPECT_THROW(RSLS_CHECK(1 == 2), Error);
+}
+
+TEST(ErrorTest, CheckMessageContainsExpression) {
+  try {
+    RSLS_CHECK(2 < 1);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("2 < 1"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("core_error_log_test.cpp"),
+              std::string::npos);
+  }
+}
+
+TEST(ErrorTest, CheckMsgAppendsContext) {
+  try {
+    RSLS_CHECK_MSG(false, "the context");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("the context"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, ErrorIsRuntimeError) {
+  // Callers may catch std::runtime_error generically.
+  EXPECT_THROW(RSLS_CHECK(false), std::runtime_error);
+}
+
+TEST(LogTest, LevelFiltering) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Below-threshold messages are discarded without error.
+  RSLS_DEBUG << "discarded";
+  RSLS_INFO << "discarded";
+  set_log_level(original);
+}
+
+TEST(LogTest, StreamingComposesTypes) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  RSLS_WARN << "value=" << 42 << " ratio=" << 1.5;  // filtered, must not throw
+  set_log_level(original);
+}
+
+}  // namespace
+}  // namespace rsls

@@ -1,0 +1,86 @@
+// Unit tests: command-line option parser.
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "core/options.hpp"
+
+namespace rsls {
+namespace {
+
+Options make(std::vector<std::string> tokens) { return Options(tokens); }
+
+TEST(OptionsTest, ParsesKeyValue) {
+  const auto opts = make({"--processes=64", "--name=foo"});
+  EXPECT_EQ(opts.get_index("processes", 0), 64);
+  EXPECT_EQ(opts.get_string("name", ""), "foo");
+}
+
+TEST(OptionsTest, BareFlagIsTrue) {
+  const auto opts = make({"--quick"});
+  EXPECT_TRUE(opts.get_bool("quick", false));
+}
+
+TEST(OptionsTest, FallbacksUsedWhenMissing) {
+  const auto opts = make({});
+  EXPECT_EQ(opts.get_index("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(opts.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(opts.get_string("missing", "dflt"), "dflt");
+  EXPECT_FALSE(opts.get_bool("missing", false));
+}
+
+TEST(OptionsTest, DoubleParsing) {
+  const auto opts = make({"--tol=1e-10"});
+  EXPECT_DOUBLE_EQ(opts.get_double("tol", 0.0), 1e-10);
+}
+
+TEST(OptionsTest, BoolVariants) {
+  EXPECT_TRUE(make({"--f=true"}).get_bool("f", false));
+  EXPECT_TRUE(make({"--f=1"}).get_bool("f", false));
+  EXPECT_TRUE(make({"--f=yes"}).get_bool("f", false));
+  EXPECT_FALSE(make({"--f=false"}).get_bool("f", true));
+  EXPECT_FALSE(make({"--f=0"}).get_bool("f", true));
+  EXPECT_FALSE(make({"--f=off"}).get_bool("f", true));
+}
+
+TEST(OptionsTest, MalformedTokensThrow) {
+  EXPECT_THROW(make({"processes=64"}), Error);  // missing --
+  EXPECT_THROW(make({"--"}), Error);            // empty body
+  EXPECT_THROW(make({"--=5"}), Error);          // empty key
+}
+
+TEST(OptionsTest, BadNumbersThrow) {
+  EXPECT_THROW(make({"--n=abc"}).get_index("n", 0), Error);
+  EXPECT_THROW(make({"--x=1.5z"}).get_double("x", 0.0), Error);
+  EXPECT_THROW(make({"--b=maybe"}).get_bool("b", false), Error);
+}
+
+TEST(OptionsTest, UnusedKeysReported) {
+  const auto opts = make({"--used=1", "--typo=2"});
+  EXPECT_EQ(opts.get_index("used", 0), 1);
+  const auto unused = opts.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(OptionsTest, HasMarksUsed) {
+  const auto opts = make({"--present"});
+  EXPECT_TRUE(opts.has("present"));
+  EXPECT_FALSE(opts.has("absent"));
+  EXPECT_TRUE(opts.unused_keys().empty());
+}
+
+TEST(OptionsTest, ArgcArgvConstructor) {
+  const char* argv[] = {"prog", "--a=1", "--b=two"};
+  const Options opts(3, argv);
+  EXPECT_EQ(opts.get_index("a", 0), 1);
+  EXPECT_EQ(opts.get_string("b", ""), "two");
+}
+
+TEST(OptionsTest, LastValueWins) {
+  const auto opts = make({"--k=1", "--k=2"});
+  EXPECT_EQ(opts.get_index("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace rsls

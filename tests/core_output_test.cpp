@@ -1,0 +1,103 @@
+// Unit tests: table printer, CSV writer, environment helpers.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "core/csv.hpp"
+#include "core/env.hpp"
+#include "core/error.hpp"
+#include "core/table.hpp"
+
+namespace rsls {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"a", "bbbb"});
+  table.add_row({"xxxxx", "y"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  // Header, underline, one row.
+  EXPECT_NE(out.find("a      bbbb"), std::string::npos);
+  EXPECT_NE(out.find("xxxxx  y"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RejectsWrongWidth) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), Error);
+}
+
+TEST(TablePrinterTest, RejectsEmptyHeader) {
+  EXPECT_THROW(TablePrinter({}), Error);
+}
+
+TEST(TablePrinterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::num(1.0, 0), "1");
+  EXPECT_EQ(TablePrinter::num(-0.5, 1), "-0.5");
+}
+
+TEST(TablePrinterTest, RowCount) {
+  TablePrinter table({"a"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(CsvWriterTest, WritesHeaderAndRows) {
+  std::ostringstream os;
+  CsvWriter csv(os, {"x", "y"});
+  csv.add_row({"1", "2"});
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(CsvWriterTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriterTest, RejectsWrongWidth) {
+  std::ostringstream os;
+  CsvWriter csv(os, {"a", "b"});
+  EXPECT_THROW(csv.add_row({"1"}), Error);
+}
+
+TEST(EnvTest, MissingVariableIsNullopt) {
+  EXPECT_FALSE(env_string("RSLS_DEFINITELY_NOT_SET_12345").has_value());
+}
+
+TEST(EnvTest, SetVariableIsReturned) {
+  ::setenv("RSLS_TEST_VAR", "hello", 1);
+  const auto value = env_string("RSLS_TEST_VAR");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, "hello");
+  ::unsetenv("RSLS_TEST_VAR");
+}
+
+TEST(EnvTest, QuickModeFollowsEnv) {
+  ::unsetenv("RSLS_QUICK");
+  EXPECT_FALSE(quick_mode());
+  ::setenv("RSLS_QUICK", "1", 1);
+  EXPECT_TRUE(quick_mode());
+  ::setenv("RSLS_QUICK", "0", 1);
+  EXPECT_FALSE(quick_mode());
+  ::unsetenv("RSLS_QUICK");
+}
+
+TEST(EnvTest, QuickScaledPicksVariant) {
+  ::unsetenv("RSLS_QUICK");
+  EXPECT_EQ(quick_scaled(100, 10), 100);
+  ::setenv("RSLS_QUICK", "1", 1);
+  EXPECT_EQ(quick_scaled(100, 10), 10);
+  EXPECT_EQ(quick_scaled(100, 0, 5), 5);  // floor applies
+  ::unsetenv("RSLS_QUICK");
+}
+
+}  // namespace
+}  // namespace rsls

@@ -1,0 +1,152 @@
+// Unit + property tests: deterministic RNG.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace rsls {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.next_u64() == b.next_u64() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.uniform();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIndexCoversRange) {
+  Rng rng(10);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_index(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIndexOneAlwaysZero) {
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.uniform_index(1), 0u);
+  }
+}
+
+TEST(RngTest, UniformIndexZeroThrows) {
+  Rng rng(12);
+  EXPECT_THROW(rng.uniform_index(0), Error);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(RngTest, NormalShiftScale) {
+  Rng rng(14);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.normal(10.0, 2.0);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(RngTest, NormalRejectsNegativeStddev) {
+  Rng rng(15);
+  EXPECT_THROW(rng.normal(0.0, -1.0), Error);
+}
+
+TEST(RngTest, ExponentialMeanIsInverseRate) {
+  Rng rng(16);
+  const double rate = 4.0;
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.exponential(rate);
+    EXPECT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(RngTest, ExponentialRejectsNonPositiveRate) {
+  Rng rng(17);
+  EXPECT_THROW(rng.exponential(0.0), Error);
+  EXPECT_THROW(rng.exponential(-1.0), Error);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(18);
+  Rng child = parent.split();
+  // The child stream differs from the parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += parent.next_u64() == child.next_u64() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, SplitIsDeterministic) {
+  Rng a(19);
+  Rng b(19);
+  Rng child_a = a.split();
+  Rng child_b = b.split();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(child_a.next_u64(), child_b.next_u64());
+  }
+}
+
+}  // namespace
+}  // namespace rsls

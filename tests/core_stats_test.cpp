@@ -1,0 +1,98 @@
+// Unit tests: statistics helpers used for model fitting and aggregation.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/stats.hpp"
+
+namespace rsls {
+namespace {
+
+TEST(StatsTest, Mean) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(StatsTest, MeanRejectsEmpty) {
+  const std::vector<double> v;
+  EXPECT_THROW(mean(v), Error);
+}
+
+TEST(StatsTest, GeometricMean) {
+  const std::vector<double> v = {1.0, 4.0};
+  EXPECT_DOUBLE_EQ(geometric_mean(v), 2.0);
+}
+
+TEST(StatsTest, GeometricMeanOfEqualValues) {
+  const std::vector<double> v = {3.0, 3.0, 3.0};
+  EXPECT_NEAR(geometric_mean(v), 3.0, 1e-12);
+}
+
+TEST(StatsTest, GeometricMeanRejectsNonPositive) {
+  const std::vector<double> v = {1.0, 0.0};
+  EXPECT_THROW(geometric_mean(v), Error);
+}
+
+TEST(StatsTest, GeometricLeqArithmetic) {
+  const std::vector<double> v = {1.0, 2.0, 9.0};
+  EXPECT_LE(geometric_mean(v), mean(v));
+}
+
+TEST(StatsTest, SampleStddev) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(sample_stddev(v), 2.138, 1e-3);
+}
+
+TEST(StatsTest, StddevOfSingleIsZero) {
+  const std::vector<double> v = {5.0};
+  EXPECT_DOUBLE_EQ(sample_stddev(v), 0.0);
+}
+
+TEST(StatsTest, MinMax) {
+  const std::vector<double> v = {3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min_value(v), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(v), 7.0);
+}
+
+TEST(StatsTest, LineFitExact) {
+  const std::vector<double> x = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> y = {1.0, 3.0, 5.0, 7.0};
+  const LineFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(evaluate(fit, 10.0), 21.0, 1e-12);
+}
+
+TEST(StatsTest, LineFitNoisy) {
+  const std::vector<double> x = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> y = {0.1, 0.9, 2.1, 2.9};
+  const LineFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 1.0, 0.05);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(StatsTest, LineFitFlatData) {
+  const std::vector<double> x = {0.0, 1.0, 2.0};
+  const std::vector<double> y = {5.0, 5.0, 5.0};
+  const LineFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 5.0, 1e-12);
+}
+
+TEST(StatsTest, LineFitRejectsConstantX) {
+  const std::vector<double> x = {1.0, 1.0};
+  const std::vector<double> y = {1.0, 2.0};
+  EXPECT_THROW(fit_line(x, y), Error);
+}
+
+TEST(StatsTest, LineFitRejectsSizeMismatch) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {1.0, 2.0};
+  EXPECT_THROW(fit_line(x, y), Error);
+}
+
+}  // namespace
+}  // namespace rsls

@@ -1,0 +1,168 @@
+// Property tests: bit-for-bit determinism (DESIGN.md §6.1) and
+// energy-conservation invariants of the virtual cluster.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "harness/experiment.hpp"
+#include "harness/scheme_factory.hpp"
+#include "power/rapl.hpp"
+#include "resilience/fault.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/roster.hpp"
+
+namespace rsls {
+namespace {
+
+using power::Activity;
+using power::PhaseTag;
+
+harness::SchemeRun run_once(const std::string& scheme) {
+  const sparse::Csr a = sparse::banded_spd({192, 4, 1.0, 0.02, 1.0, 77});
+  const auto workload = harness::Workload::create(a, 8);
+  harness::ExperimentConfig config;
+  config.processes = 8;
+  config.faults = 6;
+  config.cr_interval_iterations = 25;
+  const auto ff = harness::run_fault_free(workload, config);
+  return harness::run_scheme(workload, scheme, config, ff);
+}
+
+// Determinism over schemes: the entire experiment — numerics, fault
+// placement, virtual time, energy — must reproduce exactly across runs.
+class DeterminismTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DeterminismTest, ExactlyReproducible) {
+  const auto first = run_once(GetParam());
+  const auto second = run_once(GetParam());
+  EXPECT_EQ(first.report.cg.iterations, second.report.cg.iterations);
+  EXPECT_EQ(first.report.cg.relative_residual,
+            second.report.cg.relative_residual);  // bitwise
+  EXPECT_EQ(first.report.time, second.report.time);
+  EXPECT_EQ(first.report.energy, second.report.energy);
+  EXPECT_EQ(first.report.faults, second.report.faults);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, DeterminismTest,
+                         ::testing::Values("RD", "F0", "LI", "LSI", "CR-D",
+                                           "CR-2L"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(
+                                     static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(EnergyConservationTest, TraceIntegralMatchesAccount) {
+  // The binned power trace must conserve the charged core energy: the
+  // integral of every node's profile equals core + sleep + node-constant
+  // energy over the makespan.
+  simrt::MachineConfig config = simrt::paper_node();
+  simrt::VirtualCluster cluster(config, 24);
+  cluster.enable_power_trace(1e-4);
+  cluster.advance_all(0.01, Activity::kActive, PhaseTag::kSolve);
+  cluster.charge_duration(3, 0.005, Activity::kActive, PhaseTag::kSolve);
+  cluster.sync();
+  cluster.write_disk(1e6, PhaseTag::kCheckpoint);
+
+  const auto profile = cluster.node_power_profile(0);
+  Joules integral = 0.0;
+  for (const auto& sample : profile) {
+    integral += sample.power * 1e-4;
+  }
+  // One node hosts all 24 ranks: the profile covers the whole machine.
+  EXPECT_NEAR(integral, cluster.total_energy(),
+              cluster.total_energy() * 0.02);
+}
+
+TEST(EnergyConservationTest, PhaseEnergiesSumToTotalCoreEnergy) {
+  const sparse::Csr a = sparse::banded_spd({96, 3, 1.0, 0.05, 0.0, 3});
+  const auto workload = harness::Workload::create(a, 8);
+  harness::ExperimentConfig config;
+  config.processes = 8;
+  config.faults = 4;
+  const auto ff = harness::run_fault_free(workload, config);
+  const auto run = harness::run_scheme(workload, "LI-DVFS", config, ff);
+  const auto& account = run.report.account;
+  Joules sum = 0.0;
+  for (std::size_t t = 0; t < power::kPhaseTagCount; ++t) {
+    sum += account.core_energy(static_cast<power::PhaseTag>(t));
+  }
+  EXPECT_NEAR(sum, account.core_energy_total(), 1e-12);
+}
+
+TEST(EnergyConservationTest, EnergyBoundedByPowerEnvelope) {
+  // Total energy can never exceed (all cores at max active power +
+  // constants) × makespan, nor fall below the all-sleep floor.
+  const sparse::Csr a = sparse::banded_spd({96, 3, 1.0, 0.05, 0.0, 4});
+  const auto workload = harness::Workload::create(a, 16);
+  harness::ExperimentConfig config;
+  config.processes = 16;
+  config.faults = 4;
+  const auto ff = harness::run_fault_free(workload, config);
+  for (const std::string scheme : {"F0", "LI", "CR-D"}) {
+    const auto run = harness::run_scheme(workload, scheme, config, ff);
+    const auto machine = harness::machine_for(16);
+    const power::PowerModel model(machine.power);
+    const double cores = static_cast<double>(machine.cores_per_node());
+    const Watts node_max =
+        cores * model.core_power(machine.power.freq.max_hz,
+                                 power::Activity::kActive) +
+        model.node_constant_power(machine.sockets_per_node);
+    EXPECT_LE(run.report.energy, node_max * run.report.time * 1.001)
+        << scheme;
+    EXPECT_GT(run.report.energy, 0.0) << scheme;
+  }
+}
+
+TEST(SdcCorruptionTest, ProducesFiniteGarbage) {
+  const dist::Partition part(12, 3);
+  RealVec x(12, 1.0);
+  resilience::FaultInjector::corrupt_block_sdc(part, 1, x, 9);
+  for (Index i = part.begin(1); i < part.end(1); ++i) {
+    const Real v = x[static_cast<std::size_t>(i)];
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_NE(v, 1.0);
+  }
+  // Other blocks untouched.
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[11], 1.0);
+}
+
+TEST(SdcCorruptionTest, RecoverySchemesHandleSdcLikeLoss) {
+  // Detected SDC takes the same recovery path as data loss; every scheme
+  // must converge whether the block is NaN or garbage.
+  const sparse::Csr a = sparse::banded_spd({96, 3, 1.0, 0.05, 0.0, 5});
+  const auto workload = harness::Workload::create(a, 8);
+  harness::SchemeFactoryConfig factory;
+  for (const std::string name : {"LI", "CR-M", "F0"}) {
+    const auto scheme = harness::make_scheme(name, factory, workload.x0);
+    simrt::VirtualCluster cluster(simrt::paper_node(), 8,
+                                  scheme->replica_factor());
+    RealVec x = workload.x0;
+    bool injected = false;
+    solver::CgOptions options;
+    options.tolerance = 1e-12;
+    const auto result = solver::cg_solve(
+        workload.a, cluster, workload.b, x, options,
+        [&](const solver::CgIterationView& view) {
+          if (!injected && view.iteration == 8) {
+            injected = true;
+            resilience::FaultInjector::corrupt_block_sdc(
+                workload.a.partition(), 2, view.x, 11);
+            resilience::RecoveryContext ctx{workload.a, workload.b, cluster};
+            return scheme->recover(ctx, view.iteration, 2, view.x);
+          }
+          return solver::HookAction::kContinue;
+        });
+    EXPECT_TRUE(result.converged) << name;
+  }
+}
+
+}  // namespace
+}  // namespace rsls

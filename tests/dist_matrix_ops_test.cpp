@@ -1,0 +1,167 @@
+// Unit tests: distributed matrix structure (halo accounting) and the
+// cost-charged distributed kernels (numerics must match the sequential
+// kernels exactly; costs must be charged).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "dist/dist_matrix.hpp"
+#include "dist/dist_ops.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/vector_ops.hpp"
+#include "simrt/cluster.hpp"
+
+namespace rsls::dist {
+namespace {
+
+using power::PhaseTag;
+
+simrt::MachineConfig tiny_machine() {
+  simrt::MachineConfig config = simrt::paper_cluster();
+  config.nodes = 1;
+  return config;
+}
+
+TEST(DistMatrixTest, TridiagonalHaloStructure) {
+  // 1D Laplacian on 12 rows, 4 parts: inner parts receive 2 remote values
+  // from 2 neighbours; boundary parts 1 from 1.
+  const DistMatrix a(sparse::laplacian_1d(12), 4);
+  EXPECT_DOUBLE_EQ(a.halo_bytes()[0], 8.0);
+  EXPECT_DOUBLE_EQ(a.halo_bytes()[1], 16.0);
+  EXPECT_DOUBLE_EQ(a.halo_bytes()[2], 16.0);
+  EXPECT_DOUBLE_EQ(a.halo_bytes()[3], 8.0);
+  EXPECT_EQ(a.halo_messages()[0], 1);
+  EXPECT_EQ(a.halo_messages()[1], 2);
+  EXPECT_EQ(a.halo_messages()[3], 1);
+}
+
+TEST(DistMatrixTest, LocalNnzSumsToTotal) {
+  const DistMatrix a(sparse::laplacian_2d(8, 8), 5);
+  Index total = 0;
+  for (Index r = 0; r < 5; ++r) {
+    total += a.local_nnz(r);
+  }
+  EXPECT_EQ(total, a.global().nnz());
+}
+
+TEST(DistMatrixTest, DiagonalBlockIsPrincipalSubmatrix) {
+  const sparse::Csr global = sparse::laplacian_1d(10);
+  const DistMatrix a(global, 3);
+  const sparse::Csr block = a.diagonal_block(1);
+  const Index begin = a.partition().begin(1);
+  EXPECT_EQ(block.rows, a.partition().block_rows(1));
+  for (Index i = 0; i < block.rows; ++i) {
+    for (Index j = 0; j < block.cols; ++j) {
+      EXPECT_DOUBLE_EQ(block.at(i, j), global.at(begin + i, begin + j));
+    }
+  }
+}
+
+TEST(DistMatrixTest, RowBlockKeepsGlobalColumns) {
+  const DistMatrix a(sparse::laplacian_1d(10), 3);
+  const sparse::Csr rows = a.row_block(1);
+  EXPECT_EQ(rows.cols, 10);
+  EXPECT_EQ(rows.rows, a.partition().block_rows(1));
+}
+
+TEST(DistMatrixTest, ByteAccounting) {
+  const DistMatrix a(sparse::laplacian_1d(10), 3);
+  EXPECT_DOUBLE_EQ(a.vector_bytes(), 80.0);
+  EXPECT_DOUBLE_EQ(a.block_bytes(0), 8.0 * 4.0);  // first block has 4 rows
+}
+
+TEST(DistMatrixTest, RejectsNonSquare) {
+  sparse::Csr rect;
+  rect.rows = 2;
+  rect.cols = 3;
+  rect.row_ptr = {0, 0, 0};
+  EXPECT_THROW(DistMatrix(rect, 2), Error);
+}
+
+TEST(DistOpsTest, SpmvMatchesSequential) {
+  const sparse::Csr global = sparse::laplacian_2d(6, 6);
+  const DistMatrix a(global, 6);
+  simrt::VirtualCluster cluster(tiny_machine(), 6);
+  RealVec x(36);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(i) * 0.1;
+  }
+  RealVec y_dist(36), y_seq(36);
+  dist_spmv(a, cluster, x, y_dist, PhaseTag::kSolve);
+  sparse::spmv(global, x, y_seq);
+  EXPECT_EQ(y_dist, y_seq);
+  // Costs were charged: compute plus halo time advanced clocks.
+  EXPECT_GT(cluster.elapsed(), 0.0);
+  EXPECT_GT(cluster.energy().core_energy(PhaseTag::kSolve), 0.0);
+  EXPECT_GT(cluster.energy().core_energy(PhaseTag::kComm), 0.0);
+}
+
+TEST(DistOpsTest, DotMatchesAndSynchronizes) {
+  const DistMatrix a(sparse::laplacian_1d(12), 4);
+  simrt::VirtualCluster cluster(tiny_machine(), 4);
+  RealVec x(12, 2.0), y(12, 3.0);
+  const Real result =
+      dist_dot(a.partition(), cluster, x, y, PhaseTag::kSolve);
+  EXPECT_DOUBLE_EQ(result, 72.0);
+  // Allreduce synchronizes all clocks.
+  const Seconds t0 = cluster.now(0);
+  for (Index r = 1; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(cluster.now(r), t0);
+  }
+}
+
+TEST(DistOpsTest, Norm2Matches) {
+  const DistMatrix a(sparse::laplacian_1d(9), 3);
+  simrt::VirtualCluster cluster(tiny_machine(), 3);
+  RealVec x(9, 2.0);
+  EXPECT_DOUBLE_EQ(dist_norm2(a.partition(), cluster, x, PhaseTag::kSolve),
+                   6.0);
+}
+
+TEST(DistOpsTest, AxpyAndXpbyMatchSequential) {
+  const DistMatrix a(sparse::laplacian_1d(8), 2);
+  simrt::VirtualCluster cluster(tiny_machine(), 2);
+  RealVec x(8, 1.0);
+  RealVec y(8, 2.0);
+  dist_axpy(a.partition(), cluster, 3.0, x, y, PhaseTag::kSolve);
+  for (const Real v : y) {
+    EXPECT_DOUBLE_EQ(v, 5.0);
+  }
+  dist_xpby(a.partition(), cluster, x, 2.0, y, PhaseTag::kSolve);
+  for (const Real v : y) {
+    EXPECT_DOUBLE_EQ(v, 11.0);
+  }
+}
+
+TEST(DistOpsTest, RankCountMustMatch) {
+  const DistMatrix a(sparse::laplacian_1d(8), 2);
+  simrt::VirtualCluster cluster(tiny_machine(), 3);
+  RealVec x(8), y(8);
+  EXPECT_THROW(dist_spmv(a, cluster, x, y, PhaseTag::kSolve), Error);
+}
+
+TEST(DistOpsTest, IrregularMatrixHasLargerHalo) {
+  sparse::IrregularSpdConfig config;
+  config.n = 128;
+  config.extra_per_row = 5;
+  config.diag_excess = 0.1;
+  config.seed = 5;
+  const DistMatrix irregular(sparse::irregular_spd(config), 8);
+  sparse::BandedSpdConfig banded_config;
+  banded_config.n = 128;
+  banded_config.half_bandwidth = 3;
+  banded_config.diag_excess = 0.1;
+  banded_config.seed = 5;
+  const DistMatrix banded(sparse::banded_spd(banded_config), 8);
+  double irregular_halo = 0.0, banded_halo = 0.0;
+  for (Index r = 0; r < 8; ++r) {
+    irregular_halo += irregular.halo_bytes()[static_cast<std::size_t>(r)];
+    banded_halo += banded.halo_bytes()[static_cast<std::size_t>(r)];
+  }
+  EXPECT_GT(irregular_halo, 2.0 * banded_halo);
+}
+
+}  // namespace
+}  // namespace rsls::dist

@@ -1,0 +1,109 @@
+// Unit + property tests: block-row partition arithmetic.
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "dist/partition.hpp"
+
+namespace rsls::dist {
+namespace {
+
+TEST(PartitionTest, EvenSplit) {
+  const Partition part(12, 4);
+  for (Index p = 0; p < 4; ++p) {
+    EXPECT_EQ(part.block_rows(p), 3);
+    EXPECT_EQ(part.begin(p), p * 3);
+  }
+}
+
+TEST(PartitionTest, RemainderSpreadOverFirstBlocks) {
+  const Partition part(10, 3);  // 4, 3, 3
+  EXPECT_EQ(part.block_rows(0), 4);
+  EXPECT_EQ(part.block_rows(1), 3);
+  EXPECT_EQ(part.block_rows(2), 3);
+  EXPECT_EQ(part.begin(0), 0);
+  EXPECT_EQ(part.begin(1), 4);
+  EXPECT_EQ(part.begin(2), 7);
+  EXPECT_EQ(part.end(2), 10);
+}
+
+TEST(PartitionTest, OwnerMatchesRanges) {
+  const Partition part(10, 3);
+  EXPECT_EQ(part.owner(0), 0);
+  EXPECT_EQ(part.owner(3), 0);
+  EXPECT_EQ(part.owner(4), 1);
+  EXPECT_EQ(part.owner(6), 1);
+  EXPECT_EQ(part.owner(7), 2);
+  EXPECT_EQ(part.owner(9), 2);
+}
+
+TEST(PartitionTest, SinglePart) {
+  const Partition part(5, 1);
+  EXPECT_EQ(part.begin(0), 0);
+  EXPECT_EQ(part.end(0), 5);
+  EXPECT_EQ(part.owner(4), 0);
+}
+
+TEST(PartitionTest, OnePerRow) {
+  const Partition part(4, 4);
+  for (Index p = 0; p < 4; ++p) {
+    EXPECT_EQ(part.block_rows(p), 1);
+    EXPECT_EQ(part.owner(p), p);
+  }
+}
+
+TEST(PartitionTest, RejectsMorePartsThanRows) {
+  EXPECT_THROW(Partition(3, 4), Error);
+  EXPECT_THROW(Partition(5, 0), Error);
+}
+
+// Property sweep: coverage, disjointness, owner consistency, balance.
+class PartitionPropertyTest
+    : public ::testing::TestWithParam<std::pair<Index, Index>> {};
+
+TEST_P(PartitionPropertyTest, CoversAllRowsExactlyOnce) {
+  const auto [n, parts] = GetParam();
+  const Partition part(n, parts);
+  Index covered = 0;
+  for (Index p = 0; p < parts; ++p) {
+    EXPECT_EQ(part.begin(p), covered);
+    covered = part.end(p);
+  }
+  EXPECT_EQ(covered, n);
+}
+
+TEST_P(PartitionPropertyTest, OwnerAgreesWithRanges) {
+  const auto [n, parts] = GetParam();
+  const Partition part(n, parts);
+  for (Index i = 0; i < n; ++i) {
+    const Index p = part.owner(i);
+    EXPECT_GE(i, part.begin(p));
+    EXPECT_LT(i, part.end(p));
+  }
+}
+
+TEST_P(PartitionPropertyTest, BalancedWithinOne) {
+  const auto [n, parts] = GetParam();
+  const Partition part(n, parts);
+  Index smallest = n;
+  Index largest = 0;
+  for (Index p = 0; p < parts; ++p) {
+    smallest = std::min(smallest, part.block_rows(p));
+    largest = std::max(largest, part.block_rows(p));
+  }
+  EXPECT_LE(largest - smallest, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartitionPropertyTest,
+    ::testing::Values(std::pair<Index, Index>{1, 1},
+                      std::pair<Index, Index>{7, 3},
+                      std::pair<Index, Index>{100, 7},
+                      std::pair<Index, Index>{192, 192},
+                      std::pair<Index, Index>{1000, 256},
+                      std::pair<Index, Index>{65536, 192},
+                      std::pair<Index, Index>{420, 192},
+                      std::pair<Index, Index>{13965, 256}));
+
+}  // namespace
+}  // namespace rsls::dist

@@ -1,0 +1,181 @@
+// Unit tests: experiment harness — machine sizing, workload creation,
+// scheme factory, baseline runs, normalization, sweeps.
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "harness/experiment.hpp"
+#include "harness/scheme_factory.hpp"
+#include "harness/sweep.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/dmr.hpp"
+#include "resilience/forward.hpp"
+#include "sparse/generators.hpp"
+
+namespace rsls::harness {
+namespace {
+
+sparse::Csr test_matrix() {
+  return sparse::banded_spd({256, 4, 1.0, 0.02, 0.0, 17});
+}
+
+TEST(MachineForTest, PhysicalCoresForSmallCounts) {
+  const auto machine = machine_for(192);
+  EXPECT_EQ(machine.total_cores(), 192);
+  EXPECT_EQ(machine.cores_per_socket, 12);
+}
+
+TEST(MachineForTest, HyperthreadingFor256) {
+  // 256 > 192 physical cores: the paper enables 2-way HT.
+  const auto machine = machine_for(256);
+  EXPECT_EQ(machine.cores_per_socket, 24);
+  EXPECT_GE(machine.total_cores(), 256);
+  EXPECT_EQ(machine.nodes, 8);
+}
+
+TEST(MachineForTest, NodeScalingAsLastResort) {
+  const auto machine = machine_for(1000);
+  EXPECT_GE(machine.total_cores(), 1000);
+}
+
+TEST(WorkloadTest, CreateBindsEverything) {
+  const auto workload = Workload::create(test_matrix(), 8);
+  EXPECT_EQ(workload.a.parts(), 8);
+  EXPECT_EQ(workload.b.size(), 256u);
+  EXPECT_EQ(workload.x0.size(), 256u);
+  for (const Real v : workload.x0) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(SchemeFactoryTest, AllNamesConstructible) {
+  const SchemeFactoryConfig config;
+  const RealVec x0(16, 0.0);
+  for (const auto& name : all_scheme_names()) {
+    const auto scheme = make_scheme(name, config, x0);
+    ASSERT_NE(scheme, nullptr);
+    EXPECT_EQ(scheme->name(), name) << name;
+  }
+}
+
+TEST(SchemeFactoryTest, UnknownNameThrows) {
+  EXPECT_THROW(make_scheme("XYZ", SchemeFactoryConfig{}, RealVec{}), Error);
+}
+
+TEST(SchemeFactoryTest, TypesAreCorrect) {
+  const SchemeFactoryConfig config;
+  const RealVec x0(16, 0.0);
+  EXPECT_NE(dynamic_cast<resilience::Dmr*>(
+                make_scheme("RD", config, x0).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<resilience::CheckpointRestart*>(
+                make_scheme("CR-D", config, x0).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<resilience::ForwardRecovery*>(
+                make_scheme("LSI-DVFS", config, x0).get()),
+            nullptr);
+}
+
+TEST(SchemeFactoryTest, SchemeSets) {
+  EXPECT_EQ(iteration_scheme_names().size(), 6u);
+  EXPECT_EQ(cost_scheme_names().size(), 5u);
+  EXPECT_EQ(all_scheme_names().size(), 13u);
+}
+
+TEST(ExperimentTest, FaultFreeBaselineConverges) {
+  ExperimentConfig config;
+  config.processes = 16;
+  const auto workload = Workload::create(test_matrix(), 16);
+  const auto ff = run_fault_free(workload, config);
+  EXPECT_GT(ff.iterations, 0);
+  EXPECT_GT(ff.time, 0.0);
+  EXPECT_GT(ff.energy, 0.0);
+  EXPECT_GT(ff.power, 0.0);
+  EXPECT_NEAR(ff.iteration_seconds * static_cast<double>(ff.iterations),
+              ff.time, ff.time * 0.01);
+}
+
+TEST(ExperimentTest, RunSchemeNormalizes) {
+  ExperimentConfig config;
+  config.processes = 16;
+  config.faults = 5;
+  const auto workload = Workload::create(test_matrix(), 16);
+  const auto ff = run_fault_free(workload, config);
+  const auto run = run_scheme(workload, "F0", config, ff);
+  EXPECT_GT(run.iteration_ratio, 1.0);
+  EXPECT_GT(run.time_ratio, 1.0);
+  EXPECT_GT(run.energy_ratio, 1.0);
+  EXPECT_NEAR(run.power_ratio, 1.0, 0.1);
+  EXPECT_EQ(run.report.faults, 5);
+}
+
+TEST(ExperimentTest, MeasuredModelParametersExposed) {
+  ExperimentConfig config;
+  config.processes = 16;
+  config.faults = 5;
+  const auto workload = Workload::create(test_matrix(), 16);
+  const auto ff = run_fault_free(workload, config);
+  const auto li = run_scheme(workload, "LI", config, ff);
+  EXPECT_GT(li.t_const_mean, 0.0);
+  EXPECT_DOUBLE_EQ(li.t_c_mean, 0.0);
+  const auto cr = run_scheme(workload, "CR-M", config, ff);
+  EXPECT_GT(cr.t_c_mean, 0.0);
+  EXPECT_GT(cr.checkpoints, 0);
+  EXPECT_DOUBLE_EQ(cr.t_const_mean, 0.0);
+}
+
+TEST(ExperimentTest, YoungIntervalDerivedFromMachine) {
+  ExperimentConfig config;
+  config.processes = 16;
+  config.faults = 5;
+  config.use_young_interval = true;
+  const auto workload = Workload::create(test_matrix(), 16);
+  const auto ff = run_fault_free(workload, config);
+  const auto crd = run_scheme(workload, "CR-D", config, ff);
+  const auto crm = run_scheme(workload, "CR-M", config, ff);
+  EXPECT_GT(crd.cr_interval_used, 0);
+  EXPECT_GT(crm.cr_interval_used, 0);
+  // Memory checkpoints are cheap, so Young checkpoints more often.
+  EXPECT_LE(crm.cr_interval_used, crd.cr_interval_used);
+}
+
+TEST(ExperimentTest, CheckpointEstimateMatchesMachineModel) {
+  const auto workload = Workload::create(test_matrix(), 16);
+  const auto machine = machine_for(16);
+  const Seconds disk = estimate_checkpoint_seconds(workload, machine, true);
+  const Seconds mem = estimate_checkpoint_seconds(workload, machine, false);
+  EXPECT_GT(disk, mem);
+  EXPECT_NEAR(disk,
+              machine.disk_latency + 256.0 * 8.0 / machine.disk_bandwidth,
+              1e-12);
+}
+
+TEST(SweepTest, MatricesSweepSharesBaselines) {
+  ExperimentConfig config;
+  config.processes = 16;
+  config.faults = 3;
+  const auto results =
+      sweep_matrices({"syn:bcsstk06"}, {"RD", "F0"}, config, /*quick=*/true);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].matrix, "syn:bcsstk06");
+  ASSERT_EQ(results[0].runs.size(), 2u);
+  EXPECT_EQ(results[0].runs[0].scheme, "RD");
+  EXPECT_EQ(results[0].runs[1].scheme, "F0");
+}
+
+TEST(SweepTest, AveragesAggregatePerScheme) {
+  ExperimentConfig config;
+  config.processes = 16;
+  config.faults = 3;
+  const auto results = sweep_matrices({"syn:bcsstk06", "syn:ex10hs"},
+                                      {"RD", "F0"}, config, true);
+  const auto averages = average_over_matrices(results);
+  ASSERT_EQ(averages.size(), 2u);
+  EXPECT_EQ(averages[0].scheme, "RD");
+  EXPECT_NEAR(averages[0].iteration_ratio, 1.0, 1e-9);
+  EXPECT_GT(averages[1].iteration_ratio, 1.0);
+  EXPECT_NEAR(averages[0].power_ratio, 2.0, 0.05);
+}
+
+}  // namespace
+}  // namespace rsls::harness

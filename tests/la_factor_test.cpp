@@ -1,0 +1,183 @@
+// Unit tests: dense Cholesky and LU factorizations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "la/factor.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace rsls::la {
+namespace {
+
+sparse::Dense random_spd(Index n, std::uint64_t seed) {
+  return sparse::to_dense(sparse::banded_spd(
+      {n, std::min<Index>(n - 1, 6), 1.0, 0.2, 0.0, seed}));
+}
+
+sparse::Dense random_general(Index n, std::uint64_t seed) {
+  Rng rng(seed);
+  sparse::Dense m(n, n);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      m(i, j) = rng.uniform(-1.0, 1.0);
+    }
+    m(i, i) += static_cast<double>(n);  // comfortably nonsingular
+  }
+  return m;
+}
+
+RealVec solve_and_residual(const sparse::Dense& a, const RealVec& b,
+                           const std::function<void(std::span<Real>)>& solve) {
+  RealVec x = b;
+  solve(x);
+  RealVec ax(b.size());
+  a.multiply(x, ax);
+  RealVec r(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    r[i] = b[i] - ax[i];
+  }
+  return r;
+}
+
+TEST(CholeskyTest, SolvesSpdSystem) {
+  const sparse::Dense a = random_spd(20, 1);
+  const RealVec b(20, 1.0);
+  const Cholesky chol(a);
+  const RealVec r = solve_and_residual(
+      a, b, [&chol](std::span<Real> x) { chol.solve(x); });
+  EXPECT_LT(sparse::norm2(r), 1e-10);
+}
+
+TEST(CholeskyTest, FactorReconstructsMatrix) {
+  const sparse::Dense a = random_spd(10, 2);
+  const Cholesky chol(a);
+  const auto& l = chol.lower();
+  sparse::Dense llt(10, 10);
+  for (Index i = 0; i < 10; ++i) {
+    for (Index j = 0; j < 10; ++j) {
+      Real sum = 0.0;
+      for (Index k = 0; k <= std::min(i, j); ++k) {
+        sum += l(i, k) * l(j, k);
+      }
+      llt(i, j) = sum;
+    }
+  }
+  EXPECT_LT(sparse::max_abs_diff(a, llt), 1e-12);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  sparse::Dense a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = -1.0;
+  EXPECT_THROW(Cholesky{a}, Error);
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  const sparse::Dense a(2, 3);
+  EXPECT_THROW(Cholesky{a}, Error);
+}
+
+TEST(LuTest, SolvesGeneralSystem) {
+  const sparse::Dense a = random_general(25, 3);
+  RealVec b(25);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<double>(i) - 12.0;
+  }
+  const Lu lu(a);
+  const RealVec r =
+      solve_and_residual(a, b, [&lu](std::span<Real> x) { lu.solve(x); });
+  EXPECT_LT(sparse::norm2(r), 1e-9);
+}
+
+TEST(LuTest, HandlesPivotingRequirement) {
+  // Zero leading pivot forces a row swap.
+  sparse::Dense a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  const Lu lu(a);
+  RealVec x = {2.0, 3.0};  // b
+  lu.solve(x);
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+}
+
+TEST(LuTest, RejectsSingular) {
+  sparse::Dense a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  EXPECT_THROW(Lu{a}, Error);
+}
+
+TEST(LuTest, PivotRatioReasonable) {
+  const Lu lu(random_general(10, 4));
+  EXPECT_GE(lu.pivot_ratio(), 1.0);
+  EXPECT_LT(lu.pivot_ratio(), 1e6);
+}
+
+TEST(LuTest, MatchesCholeskyOnSpd) {
+  const sparse::Dense a = random_spd(15, 5);
+  const RealVec b(15, 2.0);
+  RealVec x_lu = b, x_chol = b;
+  Lu(a).solve(x_lu);
+  Cholesky(a).solve(x_chol);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_NEAR(x_lu[i], x_chol[i], 1e-9);
+  }
+}
+
+TEST(TriangularTest, LowerSolve) {
+  sparse::Dense l(2, 2);
+  l(0, 0) = 2.0;
+  l(1, 0) = 1.0;
+  l(1, 1) = 4.0;
+  RealVec x = {4.0, 10.0};
+  solve_lower(l, x, /*unit_diag=*/false);
+  EXPECT_DOUBLE_EQ(x[0], 2.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+}
+
+TEST(TriangularTest, LowerSolveUnitDiag) {
+  sparse::Dense l(2, 2);
+  l(0, 0) = 99.0;  // ignored with unit diagonal
+  l(1, 0) = 3.0;
+  l(1, 1) = 99.0;
+  RealVec x = {1.0, 5.0};
+  solve_lower(l, x, /*unit_diag=*/true);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+}
+
+TEST(TriangularTest, UpperSolve) {
+  sparse::Dense u(2, 2);
+  u(0, 0) = 2.0;
+  u(0, 1) = 1.0;
+  u(1, 1) = 4.0;
+  RealVec x = {5.0, 8.0};
+  solve_upper(u, x);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  EXPECT_DOUBLE_EQ(x[0], 1.5);
+}
+
+TEST(TriangularTest, LowerTransposeSolve) {
+  sparse::Dense l(2, 2);
+  l(0, 0) = 2.0;
+  l(1, 0) = 1.0;
+  l(1, 1) = 4.0;
+  // Solve Lᵀ x = b where Lᵀ = [2 1; 0 4].
+  RealVec x = {5.0, 8.0};
+  solve_lower_transpose(l, x);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  EXPECT_DOUBLE_EQ(x[0], 1.5);
+}
+
+}  // namespace
+}  // namespace rsls::la

@@ -1,0 +1,163 @@
+// Unit tests: local CG, spectrum estimation, and flop counts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "la/condition.hpp"
+#include "la/flops.hpp"
+#include "la/local_cg.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace rsls::la {
+namespace {
+
+SpdOperator csr_operator(const sparse::Csr& a) {
+  return [&a](std::span<const Real> x, std::span<Real> y) {
+    sparse::spmv(a, x, y);
+  };
+}
+
+TEST(LocalCgTest, SolvesLaplacian) {
+  const sparse::Csr a = sparse::laplacian_1d(50);
+  RealVec x_true(50, 1.0);
+  RealVec b(50);
+  sparse::spmv(a, x_true, b);
+  RealVec x(50, 0.0);
+  LocalCgOptions options;
+  options.tolerance = 1e-12;
+  const auto result = local_cg(csr_operator(a), b, x, options);
+  EXPECT_TRUE(result.converged);
+  for (const Real v : x) {
+    EXPECT_NEAR(v, 1.0, 1e-8);
+  }
+}
+
+TEST(LocalCgTest, ConvergesWithinDimensionIterations) {
+  // Exact-arithmetic CG terminates in ≤ n steps; allow slack for rounding.
+  const sparse::Csr a = sparse::laplacian_1d(30);
+  const RealVec b(30, 1.0);
+  RealVec x(30, 0.0);
+  LocalCgOptions options;
+  options.tolerance = 1e-10;
+  const auto result = local_cg(csr_operator(a), b, x, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.iterations, 40);
+}
+
+TEST(LocalCgTest, RespectsMaxIterations) {
+  const sparse::Csr a = sparse::laplacian_1d(100);
+  const RealVec b(100, 1.0);
+  RealVec x(100, 0.0);
+  LocalCgOptions options;
+  options.tolerance = 1e-14;
+  options.max_iterations = 3;
+  const auto result = local_cg(csr_operator(a), b, x, options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 3);
+}
+
+TEST(LocalCgTest, OperatorApplicationCount) {
+  const sparse::Csr a = sparse::laplacian_1d(20);
+  const RealVec b(20, 1.0);
+  RealVec x(20, 0.0);
+  LocalCgOptions options;
+  options.tolerance = 1e-10;
+  const auto result = local_cg(csr_operator(a), b, x, options);
+  EXPECT_EQ(result.operator_applications, result.iterations + 1);
+}
+
+TEST(LocalCgTest, ZeroRhsConvergesImmediately) {
+  const sparse::Csr a = sparse::laplacian_1d(10);
+  const RealVec b(10, 0.0);
+  RealVec x(10, 0.0);
+  const auto result = local_cg(csr_operator(a), b, x, {});
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 0);
+}
+
+TEST(LocalCgTest, WarmStartConvergesFaster) {
+  const sparse::Csr a = sparse::laplacian_1d(60);
+  RealVec x_true(60, 2.0);
+  RealVec b(60);
+  sparse::spmv(a, x_true, b);
+  LocalCgOptions options;
+  options.tolerance = 1e-10;
+  RealVec cold(60, 0.0);
+  const auto cold_result = local_cg(csr_operator(a), b, cold, options);
+  // Start essentially at the solution: only rounding separates them.
+  RealVec warm(60, 2.0);
+  warm[0] = 2.0 + 1e-9;
+  const auto warm_result = local_cg(csr_operator(a), b, warm, options);
+  EXPECT_LT(warm_result.iterations, cold_result.iterations);
+}
+
+TEST(LocalCgTest, IndefiniteOperatorThrows) {
+  // Operator with a negative eigenvalue makes pᵀAp ≤ 0 quickly.
+  const SpdOperator negate = [](std::span<const Real> x, std::span<Real> y) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      y[i] = -x[i];
+    }
+  };
+  const RealVec b(4, 1.0);
+  RealVec x(4, 0.0);
+  EXPECT_THROW(local_cg(negate, b, x, {}), Error);
+}
+
+TEST(LocalCgTest, EmptySystemConverges) {
+  const RealVec b;
+  RealVec x;
+  const auto result = local_cg(
+      [](std::span<const Real>, std::span<Real>) {}, b, x, {});
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(LocalCgTest, SizeMismatchThrows) {
+  const RealVec b(3, 1.0);
+  RealVec x(4, 0.0);
+  EXPECT_THROW(
+      local_cg([](std::span<const Real>, std::span<Real>) {}, b, x, {}),
+      Error);
+}
+
+TEST(SpectrumTest, DiagonalMatrixExact) {
+  const sparse::Csr a = sparse::diagonal_spd(64, 2.0, 50.0, 9);
+  const auto est = estimate_spectrum(a, 400);
+  EXPECT_NEAR(est.lambda_max, 50.0, 0.5);
+  EXPECT_NEAR(est.lambda_min, 2.0, 0.5);
+  EXPECT_NEAR(est.condition(), 25.0, 1.0);
+}
+
+TEST(SpectrumTest, RequiresSquare) {
+  sparse::Csr a;
+  a.rows = 2;
+  a.cols = 3;
+  a.row_ptr = {0, 0, 0};
+  EXPECT_THROW(estimate_spectrum(a), Error);
+}
+
+TEST(FlopsTest, ClosedForms) {
+  EXPECT_DOUBLE_EQ(lu_factor_flops(3), 18.0);
+  EXPECT_DOUBLE_EQ(lu_solve_flops(3), 18.0);
+  EXPECT_DOUBLE_EQ(cholesky_flops(3), 9.0);
+  EXPECT_DOUBLE_EQ(qr_factor_flops(6, 3), 2.0 * 9.0 * 5.0);
+  EXPECT_DOUBLE_EQ(qr_solve_flops(6, 3), 72.0);
+  EXPECT_DOUBLE_EQ(spmv_flops(100), 200.0);
+  EXPECT_DOUBLE_EQ(cg_iteration_flops(100, 10), 300.0);
+  EXPECT_DOUBLE_EQ(lsi_cg_iteration_flops(100, 10, 20), 540.0);
+}
+
+TEST(FlopsTest, LuDominatesCgForLargeBlocks) {
+  // The §4.1 motivation: exact LU costs m³-class work, CG-based
+  // construction costs iterations × nnz-class work.
+  const Index m = 512;
+  const Index nnz = m * 10;
+  const double lu = lu_factor_flops(m);
+  const double cg100 = 100.0 * cg_iteration_flops(nnz, m);
+  EXPECT_GT(lu, 10.0 * cg100);
+}
+
+}  // namespace
+}  // namespace rsls::la

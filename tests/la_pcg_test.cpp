@@ -1,0 +1,130 @@
+// Unit tests: Jacobi-preconditioned local CG.
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "la/local_cg.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/roster.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace rsls::la {
+namespace {
+
+SpdOperator csr_operator(const sparse::Csr& a) {
+  return [&a](std::span<const Real> x, std::span<Real> y) {
+    sparse::spmv(a, x, y);
+  };
+}
+
+RealVec inverse_diagonal(const sparse::Csr& a) {
+  RealVec inv = sparse::diagonal(a);
+  for (Real& v : inv) {
+    v = 1.0 / v;
+  }
+  return inv;
+}
+
+TEST(LocalPcgTest, SolvesSameSystemAsCg) {
+  const sparse::Csr a = sparse::laplacian_1d(40);
+  RealVec x_true(40, 1.0);
+  RealVec b(40);
+  sparse::spmv(a, x_true, b);
+  LocalCgOptions options;
+  options.tolerance = 1e-12;
+  RealVec x(40, 0.0);
+  const auto result =
+      local_pcg(csr_operator(a), inverse_diagonal(a), b, x, options);
+  EXPECT_TRUE(result.converged);
+  for (const Real v : x) {
+    EXPECT_NEAR(v, 1.0, 1e-8);
+  }
+}
+
+TEST(LocalPcgTest, PreconditioningUndoesDiagonalScaling) {
+  // D·A·D is badly conditioned; Jacobi recovers A-level iteration counts.
+  sparse::BandedSpdConfig config;
+  config.n = 200;
+  config.half_bandwidth = 3;
+  config.diag_excess = 0.05;
+  config.seed = 77;
+  const sparse::Csr plain = sparse::banded_spd(config);
+  config.scale_decades = 2.5;
+  const sparse::Csr scaled = sparse::banded_spd(config);
+
+  const RealVec b_plain = sparse::make_rhs(plain);
+  const RealVec b_scaled = sparse::make_rhs(scaled);
+  LocalCgOptions options;
+  options.tolerance = 1e-10;
+  options.max_iterations = 100000;
+
+  RealVec x1(200, 0.0);
+  const auto unpreconditioned =
+      local_cg(csr_operator(scaled), b_scaled, x1, options);
+  RealVec x2(200, 0.0);
+  const auto preconditioned = local_pcg(
+      csr_operator(scaled), inverse_diagonal(scaled), b_scaled, x2, options);
+  RealVec x3(200, 0.0);
+  const auto baseline = local_cg(csr_operator(plain), b_plain, x3, options);
+
+  EXPECT_LT(preconditioned.iterations, unpreconditioned.iterations / 2);
+  EXPECT_LT(preconditioned.iterations, 3 * baseline.iterations + 20);
+}
+
+TEST(LocalPcgTest, IdentityPreconditionerMatchesCg) {
+  const sparse::Csr a = sparse::laplacian_1d(30);
+  const RealVec b(30, 1.0);
+  LocalCgOptions options;
+  options.tolerance = 1e-10;
+  RealVec x_cg(30, 0.0), x_pcg(30, 0.0);
+  const RealVec ones(30, 1.0);
+  const auto cg = local_cg(csr_operator(a), b, x_cg, options);
+  const auto pcg = local_pcg(csr_operator(a), ones, b, x_pcg, options);
+  EXPECT_EQ(pcg.iterations, cg.iterations);
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_NEAR(x_pcg[i], x_cg[i], 1e-10);
+  }
+}
+
+TEST(LocalPcgTest, RejectsNonPositivePreconditioner) {
+  const sparse::Csr a = sparse::laplacian_1d(4);
+  const RealVec b(4, 1.0);
+  RealVec x(4, 0.0);
+  RealVec bad(4, 1.0);
+  bad[2] = 0.0;
+  EXPECT_THROW(local_pcg(csr_operator(a), bad, b, x, {}), Error);
+}
+
+TEST(LocalPcgTest, SizeMismatchThrows) {
+  const sparse::Csr a = sparse::laplacian_1d(4);
+  const RealVec b(4, 1.0);
+  RealVec x(4, 0.0);
+  const RealVec wrong(3, 1.0);
+  EXPECT_THROW(local_pcg(csr_operator(a), wrong, b, x, {}), Error);
+}
+
+TEST(LocalPcgTest, ZeroRhsImmediate) {
+  const sparse::Csr a = sparse::laplacian_1d(8);
+  const RealVec b(8, 0.0);
+  RealVec x(8, 0.0);
+  const auto result =
+      local_pcg(csr_operator(a), inverse_diagonal(a), b, x, {});
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 0);
+}
+
+TEST(LocalPcgTest, MaxIterationsRespected) {
+  const sparse::Csr a = sparse::laplacian_1d(100);
+  const RealVec b(100, 1.0);
+  RealVec x(100, 0.0);
+  LocalCgOptions options;
+  options.tolerance = 1e-14;
+  options.max_iterations = 2;
+  const auto result =
+      local_pcg(csr_operator(a), inverse_diagonal(a), b, x, options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 2);
+}
+
+}  // namespace
+}  // namespace rsls::la

@@ -1,0 +1,132 @@
+// Unit tests: Householder QR and least squares.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "la/factor.hpp"
+#include "la/qr.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace rsls::la {
+namespace {
+
+sparse::Dense random_tall(Index m, Index n, std::uint64_t seed) {
+  Rng rng(seed);
+  sparse::Dense a(m, n);
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      a(i, j) = rng.uniform(-1.0, 1.0);
+    }
+  }
+  for (Index j = 0; j < n; ++j) {
+    a(j, j) += 3.0;  // full column rank
+  }
+  return a;
+}
+
+TEST(QrTest, SquareSystemExactSolve) {
+  const sparse::Dense a = random_tall(8, 8, 1);
+  RealVec x_true(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    x_true[i] = static_cast<double>(i) - 3.5;
+  }
+  RealVec b(8);
+  a.multiply(x_true, b);
+  const Qr qr(a);
+  const RealVec x = qr.solve_least_squares(b);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(x[i], x_true[i], 1e-10);
+  }
+}
+
+TEST(QrTest, ConsistentTallSystemRecovered) {
+  const sparse::Dense a = random_tall(30, 6, 2);
+  RealVec x_true = {1.0, -2.0, 3.0, -4.0, 5.0, -6.0};
+  RealVec b(30);
+  a.multiply(x_true, b);
+  const RealVec x = Qr(a).solve_least_squares(b);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(x[i], x_true[i], 1e-10);
+  }
+}
+
+TEST(QrTest, LeastSquaresResidualOrthogonalToRange) {
+  const sparse::Dense a = random_tall(20, 5, 3);
+  Rng rng(4);
+  RealVec b(20);
+  for (Real& v : b) {
+    v = rng.uniform(-2.0, 2.0);
+  }
+  const RealVec x = Qr(a).solve_least_squares(b);
+  RealVec ax(20);
+  a.multiply(x, ax);
+  RealVec r(20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    r[i] = b[i] - ax[i];
+  }
+  // Aᵀ r = 0 at the least-squares optimum.
+  RealVec atr(5);
+  a.multiply_transpose(r, atr);
+  EXPECT_LT(sparse::norm2(atr), 1e-10);
+}
+
+TEST(QrTest, MatchesNormalEquations) {
+  const sparse::Dense a = random_tall(15, 4, 5);
+  RealVec b(15, 1.0);
+  const RealVec x_qr = Qr(a).solve_least_squares(b);
+  // Normal equations via Cholesky of AᵀA.
+  sparse::Dense ata(4, 4);
+  for (Index i = 0; i < 4; ++i) {
+    for (Index j = 0; j < 4; ++j) {
+      Real sum = 0.0;
+      for (Index k = 0; k < 15; ++k) {
+        sum += a(k, i) * a(k, j);
+      }
+      ata(i, j) = sum;
+    }
+  }
+  RealVec atb(4);
+  a.multiply_transpose(b, atb);
+  Cholesky(ata).solve(atb);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(x_qr[i], atb[i], 1e-9);
+  }
+}
+
+TEST(QrTest, QTransposePreservesNorm) {
+  const sparse::Dense a = random_tall(12, 5, 6);
+  const Qr qr(a);
+  Rng rng(7);
+  RealVec v(12);
+  for (Real& value : v) {
+    value = rng.uniform(-1.0, 1.0);
+  }
+  const Real norm_before = sparse::norm2(v);
+  qr.apply_q_transpose(v);
+  EXPECT_NEAR(sparse::norm2(v), norm_before, 1e-10);
+}
+
+TEST(QrTest, RejectsWideMatrix) {
+  const sparse::Dense a(3, 5);
+  EXPECT_THROW(Qr{a}, Error);
+}
+
+TEST(QrTest, RejectsRankDeficientZeroColumn) {
+  sparse::Dense a(4, 2);
+  a(0, 0) = 1.0;
+  a(1, 0) = 2.0;  // column 1 entirely zero
+  EXPECT_THROW(Qr{a}, Error);
+}
+
+TEST(QrTest, DimensionsExposed) {
+  const Qr qr(random_tall(9, 4, 8));
+  EXPECT_EQ(qr.rows(), 9);
+  EXPECT_EQ(qr.cols(), 4);
+}
+
+}  // namespace
+}  // namespace rsls::la

@@ -1,0 +1,223 @@
+// Unit + property tests: Young/Daly intervals, MTBF model, and the §3
+// analytical cost models (closed-form algebra checked by hand).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "model/cost_models.hpp"
+#include "model/mtbf.hpp"
+#include "model/young_daly.hpp"
+
+namespace rsls::model {
+namespace {
+
+TEST(YoungDalyTest, YoungFormula) {
+  EXPECT_DOUBLE_EQ(young_interval(2.0, 100.0), 20.0);
+  EXPECT_DOUBLE_EQ(young_interval(0.5, 3600.0), 60.0);
+}
+
+TEST(YoungDalyTest, YoungMonotone) {
+  EXPECT_LT(young_interval(1.0, 100.0), young_interval(1.0, 1000.0));
+  EXPECT_LT(young_interval(1.0, 100.0), young_interval(4.0, 100.0));
+}
+
+TEST(YoungDalyTest, DalyNearYoungForSmallTc) {
+  const double young = young_interval(0.01, 10000.0);
+  const double daly = daly_interval(0.01, 10000.0);
+  EXPECT_NEAR(daly / young, 1.0, 0.01);
+}
+
+TEST(YoungDalyTest, DalyCapsAtMtbf) {
+  EXPECT_DOUBLE_EQ(daly_interval(300.0, 100.0), 100.0);
+}
+
+TEST(YoungDalyTest, RejectsNonPositive) {
+  EXPECT_THROW(young_interval(0.0, 1.0), Error);
+  EXPECT_THROW(young_interval(1.0, 0.0), Error);
+  EXPECT_THROW(daly_interval(-1.0, 1.0), Error);
+}
+
+TEST(MtbfTest, SystemMtbfInverseInNodes) {
+  const auto tech = petascale_node();
+  const double one = system_mtbf_hours(tech, 1000, FaultClass::kSnf);
+  const double ten = system_mtbf_hours(tech, 10000, FaultClass::kSnf);
+  EXPECT_NEAR(one / ten, 10.0, 1e-9);
+}
+
+TEST(MtbfTest, SwoIndependentOfNodeCount) {
+  const auto tech = petascale_node();
+  EXPECT_DOUBLE_EQ(system_mtbf_hours(tech, 100, FaultClass::kSwo),
+                   system_mtbf_hours(tech, 100000, FaultClass::kSwo));
+}
+
+TEST(MtbfTest, ExascaleWorseThanPetascalePerClass) {
+  const auto peta = petascale_node();
+  const auto exa = exascale_node();
+  for (const auto fc : all_fault_classes()) {
+    EXPECT_LE(system_mtbf_hours(exa, 1000000, fc),
+              system_mtbf_hours(peta, 20000, fc))
+        << to_string(fc);
+  }
+}
+
+TEST(MtbfTest, CombinedBelowEveryClass) {
+  const auto tech = petascale_node();
+  const double combined = combined_mtbf_hours(tech, 20000);
+  for (const auto fc : all_fault_classes()) {
+    EXPECT_LE(combined, system_mtbf_hours(tech, 20000, fc));
+  }
+}
+
+TEST(MtbfTest, SoftHardClassification) {
+  EXPECT_TRUE(is_soft(FaultClass::kDce));
+  EXPECT_TRUE(is_soft(FaultClass::kSdc));
+  EXPECT_FALSE(is_soft(FaultClass::kSnf));
+  EXPECT_FALSE(is_soft(FaultClass::kSwo));
+}
+
+BaseCase base_case() {
+  BaseCase base;
+  base.t_base = 100.0;
+  base.n_cores = 64;
+  base.p1 = 8.0;
+  return base;
+}
+
+TEST(CostModelTest, FaultFreeIdentity) {
+  const auto costs = fault_free(base_case());
+  EXPECT_DOUBLE_EQ(costs.total_time, 100.0);
+  EXPECT_DOUBLE_EQ(costs.t_res, 0.0);
+  EXPECT_DOUBLE_EQ(costs.p_avg, 512.0);
+  EXPECT_DOUBLE_EQ(costs.total_energy, 51200.0);
+  EXPECT_DOUBLE_EQ(costs.time_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(costs.energy_ratio, 1.0);
+  EXPECT_FALSE(costs.halted);
+}
+
+TEST(CostModelTest, RedundancyDoubles) {
+  const auto costs = redundancy(base_case());
+  EXPECT_DOUBLE_EQ(costs.time_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(costs.power_ratio, 2.0);
+  EXPECT_DOUBLE_EQ(costs.energy_ratio, 2.0);
+  EXPECT_DOUBLE_EQ(costs.e_res_ratio, 1.0);  // Eq. 12: one extra E_base
+}
+
+TEST(CostModelTest, CheckpointRestartClosedForm) {
+  // t_C = 1, I_C = 10, λ = 1/100: overhead = 1/10 + 10/200 = 0.15,
+  // T_N = 100 / 0.85.
+  CrModelParams params;
+  params.t_c = 1.0;
+  params.interval = 10.0;
+  params.lambda = 0.01;
+  params.checkpoint_power_factor = 0.5;
+  const auto costs = checkpoint_restart(base_case(), params);
+  EXPECT_NEAR(costs.total_time, 100.0 / 0.85, 1e-9);
+  EXPECT_NEAR(costs.t_res, 100.0 / 0.85 - 100.0, 1e-9);
+  // Energy: checkpoint phases at half power.
+  const double t_n = 100.0 / 0.85;
+  const double t_chkpt = 0.1 * t_n;
+  const double t_lost = 0.05 * t_n;
+  const double expected_energy =
+      512.0 * (100.0 + t_lost) + 256.0 * t_chkpt;
+  EXPECT_NEAR(costs.total_energy, expected_energy, 1e-6);
+  EXPECT_LT(costs.power_ratio, 1.0);  // checkpointing draws less
+}
+
+TEST(CostModelTest, CheckpointHaltsWhenOverheadFull) {
+  CrModelParams params;
+  params.t_c = 10.0;
+  params.interval = 10.0;  // checkpointing all the time
+  params.lambda = 0.01;
+  const auto costs = checkpoint_restart(base_case(), params);
+  EXPECT_TRUE(costs.halted);
+  EXPECT_TRUE(std::isinf(costs.t_res_ratio));
+}
+
+TEST(CostModelTest, ForwardRecoveryClosedForm) {
+  // t_const = 2, λ = 1/100, extra = 0.4:
+  // T_N = 100·1.4 / (1 − 0.02) = 140/0.98.
+  FwModelParams params;
+  params.t_const = 2.0;
+  params.extra_time_fraction = 0.4;
+  params.lambda = 0.01;
+  params.active_ranks = 1;
+  params.idle_power = 4.0;  // half of P₁
+  const auto costs = forward_recovery(base_case(), params);
+  EXPECT_NEAR(costs.total_time, 140.0 / 0.98, 1e-9);
+  const double t_const_total = 0.02 * costs.total_time;
+  const double p_const = 8.0 + 63.0 * 4.0;
+  const double expected_energy = 512.0 * 140.0 + p_const * t_const_total;
+  EXPECT_NEAR(costs.total_energy, expected_energy, 1e-6);
+}
+
+TEST(CostModelTest, FwHaltsWhenConstructionDominates) {
+  FwModelParams params;
+  params.t_const = 200.0;
+  params.extra_time_fraction = 0.0;
+  params.lambda = 0.01;  // λ·t_const = 2 ≥ 1
+  params.idle_power = 1.0;
+  EXPECT_TRUE(forward_recovery(base_case(), params).halted);
+}
+
+TEST(CostModelTest, FwZeroCostsReduceToFaultFree) {
+  FwModelParams params;
+  params.t_const = 0.0;
+  params.extra_time_fraction = 0.0;
+  params.lambda = 0.0;
+  params.idle_power = 1.0;
+  const auto costs = forward_recovery(base_case(), params);
+  EXPECT_DOUBLE_EQ(costs.time_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(costs.energy_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(costs.e_res_ratio, 0.0);
+}
+
+// Property: overheads are monotone in the failure rate.
+class LambdaMonotoneTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LambdaMonotoneTest, CrOverheadGrowsWithLambda) {
+  CrModelParams lo_params;
+  lo_params.t_c = 0.5;
+  lo_params.interval = young_interval(0.5, 1.0 / GetParam());
+  lo_params.lambda = GetParam();
+  const auto lo = checkpoint_restart(base_case(), lo_params);
+
+  CrModelParams hi_params = lo_params;
+  hi_params.lambda = GetParam() * 4.0;
+  hi_params.interval = young_interval(0.5, 1.0 / hi_params.lambda);
+  const auto hi = checkpoint_restart(base_case(), hi_params);
+  EXPECT_GT(hi.t_res_ratio, lo.t_res_ratio);
+  EXPECT_GT(hi.e_res_ratio, lo.e_res_ratio);
+}
+
+TEST_P(LambdaMonotoneTest, FwOverheadGrowsWithLambda) {
+  FwModelParams params;
+  params.t_const = 1.0;
+  params.extra_time_fraction = 0.2;
+  params.lambda = GetParam();
+  params.idle_power = 4.0;
+  const auto lo = forward_recovery(base_case(), params);
+  params.lambda = GetParam() * 4.0;
+  const auto hi = forward_recovery(base_case(), params);
+  EXPECT_GT(hi.t_res_ratio, lo.t_res_ratio);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, LambdaMonotoneTest,
+                         ::testing::Values(1e-5, 1e-4, 1e-3, 5e-3));
+
+TEST(CostModelTest, RejectsInvalidInputs) {
+  CrModelParams cr;
+  cr.t_c = 0.0;
+  cr.interval = 1.0;
+  EXPECT_THROW(checkpoint_restart(base_case(), cr), Error);
+  FwModelParams fw;
+  fw.active_ranks = 0;
+  EXPECT_THROW(forward_recovery(base_case(), fw), Error);
+  BaseCase bad = base_case();
+  bad.t_base = 0.0;
+  EXPECT_THROW(fault_free(bad), Error);
+}
+
+}  // namespace
+}  // namespace rsls::model

@@ -1,0 +1,99 @@
+// Unit tests: the measured-t_lost parameterization of the CR cost model
+// (Table 6's measurement-driven branch) against the I_C/2 approximation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/cost_models.hpp"
+
+namespace rsls::model {
+namespace {
+
+BaseCase base_case() {
+  BaseCase base;
+  base.t_base = 100.0;
+  base.n_cores = 32;
+  base.p1 = 8.0;
+  return base;
+}
+
+TEST(MeasuredTlostTest, ClosedForm) {
+  // t_C = 1, I_C = 20, λ = 0.01, measured t_lost = 5:
+  // T_N = 100·(1 + 0.05) / (1 − 0.05).
+  CrModelParams params;
+  params.t_c = 1.0;
+  params.interval = 20.0;
+  params.lambda = 0.01;
+  params.t_lost = 5.0;
+  const auto costs = checkpoint_restart(base_case(), params);
+  EXPECT_NEAR(costs.total_time, 105.0 / 0.95, 1e-9);
+}
+
+TEST(MeasuredTlostTest, ZeroMeasuredLostLeavesOnlyCheckpointCost) {
+  CrModelParams params;
+  params.t_c = 1.0;
+  params.interval = 20.0;
+  params.lambda = 0.01;
+  params.t_lost = 0.0;
+  const auto costs = checkpoint_restart(base_case(), params);
+  EXPECT_NEAR(costs.total_time, 100.0 / 0.95, 1e-9);
+}
+
+TEST(MeasuredTlostTest, NegativeSelectsApproximation) {
+  CrModelParams measured;
+  measured.t_c = 1.0;
+  measured.interval = 20.0;
+  measured.lambda = 0.01;
+  measured.t_lost = 10.0;  // == I_C/2, the approximation's value
+  CrModelParams approx = measured;
+  approx.t_lost = -1.0;
+  const auto a = checkpoint_restart(base_case(), measured);
+  const auto b = checkpoint_restart(base_case(), approx);
+  // Same unit value but different feedback structure: the approximation
+  // multiplies T_N (faults strike recomputation too), so it costs more.
+  EXPECT_GT(b.total_time, a.total_time);
+  // Both exceed the no-fault case.
+  EXPECT_GT(a.total_time, 100.0 / 0.95);
+}
+
+TEST(MeasuredTlostTest, MonotoneInMeasuredValue) {
+  CrModelParams params;
+  params.t_c = 0.5;
+  params.interval = 10.0;
+  params.lambda = 0.02;
+  params.t_lost = 1.0;
+  const auto lo = checkpoint_restart(base_case(), params);
+  params.t_lost = 4.0;
+  const auto hi = checkpoint_restart(base_case(), params);
+  EXPECT_GT(hi.t_res_ratio, lo.t_res_ratio);
+  EXPECT_GT(hi.e_res_ratio, lo.e_res_ratio);
+}
+
+TEST(MeasuredTlostTest, StillHaltsOnCheckpointSaturation) {
+  CrModelParams params;
+  params.t_c = 10.0;
+  params.interval = 10.0;
+  params.lambda = 0.0;
+  params.t_lost = 0.0;
+  EXPECT_TRUE(checkpoint_restart(base_case(), params).halted);
+}
+
+TEST(MeasuredTlostTest, EnergyAccountsLostTimeAtFullPower) {
+  CrModelParams params;
+  params.t_c = 1.0;
+  params.interval = 20.0;
+  params.lambda = 0.01;
+  params.t_lost = 5.0;
+  params.checkpoint_power_factor = 0.5;
+  const auto costs = checkpoint_restart(base_case(), params);
+  const double p_normal = 32.0 * 8.0;
+  const double t_lost_total = 0.05 * 100.0;
+  const double t_chkpt = (1.0 / 20.0) * costs.total_time;
+  EXPECT_NEAR(costs.total_energy,
+              p_normal * (100.0 + t_lost_total) + 0.5 * p_normal * t_chkpt,
+              1e-6);
+}
+
+}  // namespace
+}  // namespace rsls::model

@@ -1,0 +1,127 @@
+// Unit tests: communication scaling table and the §6 projection engine.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "model/comm_scaling.hpp"
+#include "model/projection.hpp"
+
+namespace rsls::model {
+namespace {
+
+TEST(CommScalingTest, InterpolatesAtTablePoints) {
+  const CommScalingTable table;
+  EXPECT_NEAR(table.spmv_comm_seconds(1024), 280e-6, 1e-9);
+  EXPECT_NEAR(table.spmv_comm_seconds(65536), 620e-6, 1e-9);
+}
+
+TEST(CommScalingTest, MonotoneBetweenPoints) {
+  const CommScalingTable table;
+  Seconds prev = 0.0;
+  for (Index p = 1024; p <= 65536; p *= 2) {
+    const Seconds t = table.spmv_comm_seconds(p);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(CommScalingTest, ExtrapolatesBeyondTable) {
+  const CommScalingTable table;
+  EXPECT_GT(table.spmv_comm_seconds(1048576),
+            table.spmv_comm_seconds(65536));
+}
+
+TEST(CommScalingTest, FlooredBelowTable) {
+  const CommScalingTable table;
+  EXPECT_GE(table.spmv_comm_seconds(2), 0.25 * 280e-6);
+}
+
+TEST(CommScalingTest, AllreduceLogGrowth) {
+  EXPECT_DOUBLE_EQ(CommScalingTable::allreduce_seconds(1024, 1e-6), 10e-6);
+  EXPECT_DOUBLE_EQ(CommScalingTable::allreduce_seconds(2, 1e-6), 1e-6);
+}
+
+TEST(CommScalingTest, IterationOverheadCombines) {
+  const CommScalingTable table;
+  const Index p = 4096;
+  EXPECT_NEAR(table.cg_iteration_overhead(p),
+              table.spmv_comm_seconds(p) +
+                  2.0 * CommScalingTable::allreduce_seconds(p),
+              1e-12);
+}
+
+TEST(CommScalingTest, CustomPointsValidated) {
+  EXPECT_THROW(CommScalingTable({{100, 1e-3}}), Error);  // too few
+  EXPECT_THROW(CommScalingTable({{100, 1e-3}, {50, 2e-3}}), Error);
+  EXPECT_THROW(CommScalingTable({{100, 0.0}, {200, 1e-3}}), Error);
+}
+
+TEST(ProjectionTest, DefaultCountsAreSpecified) {
+  const auto counts = default_process_counts();
+  ASSERT_EQ(counts.size(), 6u);
+  EXPECT_EQ(counts.front(), 1024);
+  EXPECT_EQ(counts.back(), 1048576);
+}
+
+TEST(ProjectionTest, MtbfDecreasesLinearly) {
+  const auto points = project(ProjectionInputs{}, {1000, 2000});
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_NEAR(points[0].system_mtbf / points[1].system_mtbf, 2.0, 1e-9);
+}
+
+TEST(ProjectionTest, TbaseGrowsWithOverhead) {
+  const auto points = project(ProjectionInputs{}, {1024, 1048576});
+  EXPECT_GT(points[1].t_base, points[0].t_base);
+  EXPECT_GT(points[0].t_base, ProjectionInputs{}.t_solve);
+}
+
+TEST(ProjectionTest, PaperShapes) {
+  const auto points = project(ProjectionInputs{}, default_process_counts());
+  const auto& first = points.front();
+  const auto& last = points.back();
+  // RD flat at the fault-free time.
+  EXPECT_DOUBLE_EQ(first.rd.t_res_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(last.rd.t_res_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(last.rd.power_ratio, 2.0);
+  // FW grows.
+  EXPECT_GT(last.fw.t_res_ratio, first.fw.t_res_ratio);
+  // CR-D grows fastest (possibly to a halt).
+  const double crd_growth = last.cr_disk.halted
+                                ? std::numeric_limits<double>::infinity()
+                                : last.cr_disk.t_res_ratio -
+                                      first.cr_disk.t_res_ratio;
+  EXPECT_GT(crd_growth, last.fw.t_res_ratio - first.fw.t_res_ratio);
+  // CR-M stays the cheapest at exascale.
+  EXPECT_LT(last.cr_memory.t_res_ratio, last.fw.t_res_ratio);
+  EXPECT_FALSE(last.cr_memory.halted);
+}
+
+TEST(ProjectionTest, CrdPowerDropsWithScale) {
+  ProjectionInputs inputs;
+  const auto points = project(inputs, {1024, 262144});
+  EXPECT_LE(points[1].cr_disk.power_ratio, points[0].cr_disk.power_ratio);
+}
+
+TEST(ProjectionTest, HigherPerProcessMtbfHelps) {
+  ProjectionInputs fragile;
+  fragile.per_process_mtbf = 1000.0 * 3600.0;
+  ProjectionInputs robust;
+  robust.per_process_mtbf = 100000.0 * 3600.0;
+  const auto fragile_points = project(fragile, {65536});
+  const auto robust_points = project(robust, {65536});
+  EXPECT_GT(fragile_points[0].fw.t_res_ratio,
+            robust_points[0].fw.t_res_ratio);
+}
+
+TEST(ProjectionTest, RejectsBadInputs) {
+  ProjectionInputs inputs;
+  inputs.t_solve = 0.0;
+  EXPECT_THROW(project(inputs, {1024}), Error);
+  inputs = ProjectionInputs{};
+  EXPECT_THROW(project(inputs, {0}), Error);
+}
+
+}  // namespace
+}  // namespace rsls::model

@@ -1,0 +1,110 @@
+// Integration tests: the paper's headline qualitative results, verified
+// end-to-end at small scale so they run in CI time. The full-scale
+// versions live in bench/ (DESIGN.md §4); these tests pin the same shapes
+// on quick workloads so a regression is caught before any bench runs.
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "harness/scheme_factory.hpp"
+#include "sparse/roster.hpp"
+
+namespace rsls::harness {
+namespace {
+
+struct QuickExperiment {
+  ExperimentConfig config;
+  Workload workload;
+  FfBaseline ff;
+
+  explicit QuickExperiment(const std::string& matrix, Index processes = 48,
+                           Index faults = 10)
+      : config(),
+        workload(Workload::create(
+            sparse::roster_entry(matrix).make(/*quick=*/true), processes)),
+        ff{} {
+    config.processes = processes;
+    config.faults = faults;
+    config.cr_interval_iterations = 50;
+    ff = run_fault_free(workload, config);
+  }
+
+  SchemeRun run(const std::string& scheme) {
+    return run_scheme(workload, scheme, config, ff);
+  }
+};
+
+// Table 4 / Fig. 5: RD tracks the fault-free execution exactly.
+TEST(PaperShapesTest, RdMatchesFaultFree) {
+  QuickExperiment exp("crystm02");
+  const auto rd = exp.run("RD");
+  EXPECT_EQ(rd.report.cg.iterations, exp.ff.iterations);
+  EXPECT_NEAR(rd.power_ratio, 2.0, 0.05);
+  EXPECT_NEAR(rd.energy_ratio, 2.0, 0.1);
+}
+
+// Fig. 5: F0/FI need the most iterations; LI/LSI fewer on a banded
+// matrix whose blocks dominate its bandwidth.
+TEST(PaperShapesTest, InterpolationAccuracyOrdering) {
+  QuickExperiment exp("crystm02");
+  const auto f0 = exp.run("F0");
+  const auto fi = exp.run("FI");
+  const auto li = exp.run("LI");
+  const auto lsi = exp.run("LSI");
+  EXPECT_GT(f0.iteration_ratio, 1.3);
+  EXPECT_NEAR(f0.iteration_ratio, fi.iteration_ratio, 0.15);
+  EXPECT_LT(li.iteration_ratio, f0.iteration_ratio * 0.85);
+  EXPECT_LT(lsi.iteration_ratio, f0.iteration_ratio * 0.85);
+}
+
+// §5.2: on small-block matrices LI degrades toward F0.
+TEST(PaperShapesTest, SmallBlocksDegradeInterpolation) {
+  QuickExperiment exp("bcsstk06");  // 105 rows quick → ~2 rows per block
+  const auto f0 = exp.run("F0");
+  const auto li = exp.run("LI");
+  EXPECT_GT(li.iteration_ratio, f0.iteration_ratio * 0.8);
+}
+
+// Fig. 3 / Table 5: CR-D pays more time and energy than CR-M.
+TEST(PaperShapesTest, DiskCheckpointsCostMoreThanMemory) {
+  QuickExperiment exp("crystm02");
+  const auto crd = exp.run("CR-D");
+  const auto crm = exp.run("CR-M");
+  EXPECT_EQ(crd.report.cg.iterations, crm.report.cg.iterations);
+  EXPECT_GT(crd.time_ratio, crm.time_ratio);
+  EXPECT_GT(crd.energy_ratio, crm.energy_ratio);
+}
+
+// Fig. 7: DVFS power management keeps time, trims energy.
+TEST(PaperShapesTest, DvfsSavesEnergyWithoutSlowdown) {
+  QuickExperiment exp("nd24k");
+  const auto li = exp.run("LI");
+  const auto li_dvfs = exp.run("LI-DVFS");
+  EXPECT_EQ(li.report.cg.iterations, li_dvfs.report.cg.iterations);
+  EXPECT_NEAR(li_dvfs.time_ratio, li.time_ratio, li.time_ratio * 0.02);
+  EXPECT_LT(li_dvfs.energy_ratio, li.energy_ratio);
+  EXPECT_LT(li_dvfs.power_ratio, li.power_ratio);
+}
+
+// Fig. 4: CG-based construction is cheaper than the exact baselines.
+TEST(PaperShapesTest, LocalCgConstructionCheaperThanExact) {
+  QuickExperiment exp("Kuu", /*processes=*/24, /*faults=*/5);
+  const auto lu = exp.run("LI(LU)");
+  const auto cg = exp.run("LI");
+  EXPECT_LT(cg.report.time, lu.report.time);
+  const auto qr = exp.run("LSI(QR)");
+  const auto lsi = exp.run("LSI");
+  EXPECT_LT(lsi.report.time, qr.report.time);
+}
+
+// §5.2: more faults, more iterations (but still convergent).
+TEST(PaperShapesTest, IterationCostGrowsWithFaultCount) {
+  QuickExperiment few("crystm02", 48, 2);
+  QuickExperiment many("crystm02", 48, 10);
+  const auto f0_few = few.run("F0");
+  const auto f0_many = many.run("F0");
+  EXPECT_GT(f0_many.iteration_ratio, f0_few.iteration_ratio);
+}
+
+}  // namespace
+}  // namespace rsls::harness

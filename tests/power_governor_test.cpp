@@ -1,0 +1,103 @@
+// Unit tests: CPUfreq governor policies.
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "power/governor.hpp"
+
+namespace rsls::power {
+namespace {
+
+const FrequencyTable kTable;
+
+TEST(GovernorTest, PerformanceAlwaysMax) {
+  const auto gov = make_performance_governor();
+  EXPECT_DOUBLE_EQ(gov->next_frequency(kTable, gigahertz(1.2), 0.0),
+                   kTable.max_hz);
+  EXPECT_DOUBLE_EQ(gov->next_frequency(kTable, gigahertz(2.3), 1.0),
+                   kTable.max_hz);
+  EXPECT_EQ(gov->name(), "performance");
+}
+
+TEST(GovernorTest, PowersaveAlwaysMin) {
+  const auto gov = make_powersave_governor();
+  EXPECT_DOUBLE_EQ(gov->next_frequency(kTable, gigahertz(2.3), 1.0),
+                   kTable.min_hz);
+  EXPECT_EQ(gov->name(), "powersave");
+}
+
+TEST(GovernorTest, UserspaceHoldsCurrent) {
+  const auto gov = make_userspace_governor();
+  EXPECT_DOUBLE_EQ(gov->next_frequency(kTable, gigahertz(1.5), 1.0),
+                   gigahertz(1.5));
+  EXPECT_DOUBLE_EQ(gov->next_frequency(kTable, gigahertz(1.5), 0.0),
+                   gigahertz(1.5));
+  EXPECT_EQ(gov->name(), "userspace");
+}
+
+TEST(GovernorTest, OndemandJumpsToMaxAboveThreshold) {
+  const auto gov = make_ondemand_governor();
+  EXPECT_DOUBLE_EQ(gov->next_frequency(kTable, gigahertz(1.2), 1.0),
+                   kTable.max_hz);
+  EXPECT_DOUBLE_EQ(gov->next_frequency(kTable, gigahertz(1.2), 0.96),
+                   kTable.max_hz);
+}
+
+TEST(GovernorTest, OndemandScalesDownWhenIdle) {
+  const auto gov = make_ondemand_governor();
+  EXPECT_DOUBLE_EQ(gov->next_frequency(kTable, gigahertz(2.3), 0.0),
+                   kTable.min_hz);
+  // util 0.7 / threshold 0.95 → 1.7 GHz after snapping: strictly between.
+  const Hertz mid = gov->next_frequency(kTable, gigahertz(2.3), 0.7);
+  EXPECT_GT(mid, kTable.min_hz);
+  EXPECT_LT(mid, kTable.max_hz);
+}
+
+TEST(GovernorTest, OndemandProportionalBelowThreshold) {
+  OndemandConfig config;
+  config.up_threshold = 0.8;
+  const auto gov = make_ondemand_governor(config);
+  // util 0.4 / threshold 0.8 → half of max, snapped to the grid.
+  const Hertz f = gov->next_frequency(kTable, gigahertz(2.3), 0.4);
+  EXPECT_NEAR(f, kTable.snap(kTable.max_hz * 0.5), 1.0);
+}
+
+TEST(GovernorTest, OndemandRejectsBadUtilization) {
+  const auto gov = make_ondemand_governor();
+  EXPECT_THROW(gov->next_frequency(kTable, gigahertz(2.3), -0.1), Error);
+  EXPECT_THROW(gov->next_frequency(kTable, gigahertz(2.3), 1.5), Error);
+}
+
+TEST(GovernorTest, OndemandRejectsBadThreshold) {
+  OndemandConfig config;
+  config.up_threshold = 0.0;
+  EXPECT_THROW(make_ondemand_governor(config), Error);
+}
+
+// The Fig. 7a mechanism: an MPI busy-poll looks 100 % utilized, so the
+// OS-level governor never down-clocks waiting ranks.
+TEST(GovernorTest, BusyPollDefeatsOndemand) {
+  EXPECT_DOUBLE_EQ(observed_utilization(Activity::kWaiting), 1.0);
+  const auto gov = make_ondemand_governor();
+  EXPECT_DOUBLE_EQ(
+      gov->next_frequency(kTable, gigahertz(2.3),
+                          observed_utilization(Activity::kWaiting)),
+      kTable.max_hz);
+}
+
+TEST(GovernorTest, DiskWaitLooksIdleToOndemand) {
+  EXPECT_LT(observed_utilization(Activity::kDiskWait), 0.1);
+  const auto gov = make_ondemand_governor();
+  EXPECT_LT(gov->next_frequency(kTable, gigahertz(2.3),
+                                observed_utilization(Activity::kDiskWait)),
+            gigahertz(1.3));
+}
+
+TEST(GovernorTest, ObservedUtilizationTable) {
+  EXPECT_DOUBLE_EQ(observed_utilization(Activity::kActive), 1.0);
+  EXPECT_DOUBLE_EQ(observed_utilization(Activity::kSleep), 0.0);
+  EXPECT_DOUBLE_EQ(observed_utilization(Activity::kMemCopy), 1.0);
+}
+
+}  // namespace
+}  // namespace rsls::power

@@ -1,0 +1,156 @@
+// Unit tests: power model and RAPL-style energy accounting. Includes the
+// §4.2 calibration checks the whole Fig. 7 reproduction rests on.
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "power/power_model.hpp"
+#include "power/rapl.hpp"
+
+namespace rsls::power {
+namespace {
+
+TEST(FrequencyTableTest, SnapClampsAndGrids) {
+  FrequencyTable table;
+  EXPECT_DOUBLE_EQ(table.snap(gigahertz(0.5)), gigahertz(1.2));
+  EXPECT_DOUBLE_EQ(table.snap(gigahertz(9.9)), gigahertz(2.3));
+  EXPECT_NEAR(table.snap(gigahertz(1.74)), gigahertz(1.7), 1.0);
+  EXPECT_NEAR(table.snap(gigahertz(1.76)), gigahertz(1.8), 1.0);
+}
+
+TEST(FrequencyTableTest, StateCount) {
+  FrequencyTable table;
+  EXPECT_EQ(table.state_count(), 12);  // 1.2 … 2.3 in 0.1 steps
+}
+
+TEST(PowerModelTest, VoltageEndpoints) {
+  const PowerModel model{PowerModelConfig{}};
+  EXPECT_DOUBLE_EQ(model.voltage(gigahertz(1.2)), 0.8);
+  EXPECT_DOUBLE_EQ(model.voltage(gigahertz(2.3)), 1.1);
+}
+
+TEST(PowerModelTest, DynamicScaleNormalizedAtMax) {
+  const PowerModel model{PowerModelConfig{}};
+  EXPECT_DOUBLE_EQ(model.dynamic_scale(gigahertz(2.3)), 1.0);
+  EXPECT_LT(model.dynamic_scale(gigahertz(1.2)), 0.35);
+  EXPECT_GT(model.dynamic_scale(gigahertz(1.2)), 0.2);
+}
+
+TEST(PowerModelTest, PowerMonotoneInFrequency) {
+  const PowerModel model{PowerModelConfig{}};
+  Watts prev = 0.0;
+  for (double ghz = 1.2; ghz <= 2.3; ghz += 0.1) {
+    const Watts p = model.core_power(gigahertz(ghz), Activity::kActive);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(PowerModelTest, ActivityOrdering) {
+  const PowerModel model{PowerModelConfig{}};
+  const Hertz f = gigahertz(2.3);
+  EXPECT_GT(model.core_power(f, Activity::kActive),
+            model.core_power(f, Activity::kWaiting));
+  EXPECT_GT(model.core_power(f, Activity::kWaiting),
+            model.core_power(f, Activity::kDiskWait));
+  EXPECT_GT(model.core_power(f, Activity::kDiskWait),
+            model.core_power(f, Activity::kSleep));
+}
+
+TEST(PowerModelTest, SleepIgnoresFrequency) {
+  const PowerModel model{PowerModelConfig{}};
+  EXPECT_DOUBLE_EQ(model.core_power(gigahertz(1.2), Activity::kSleep),
+                   model.core_power(gigahertz(2.3), Activity::kSleep));
+}
+
+TEST(PowerModelTest, NodeConstantScalesWithSockets) {
+  const PowerModel model{PowerModelConfig{}};
+  EXPECT_DOUBLE_EQ(model.node_constant_power(2),
+                   2.0 * model.node_constant_power(1));
+}
+
+// §4.2 calibration: on a 24-core node with one rank reconstructing, node
+// power ≈ 0.75× of all-active at f_max and ≈ 0.45× with the waiting
+// cores pinned to f_min (paper's measured ratios).
+TEST(PowerModelTest, Section42NodePowerRatios) {
+  const PowerModel model{PowerModelConfig{}};
+  const double cores = 24.0;
+  const Hertz f_max = gigahertz(2.3);
+  const Hertz f_min = gigahertz(1.2);
+  const Watts constant = model.node_constant_power(2);
+  const Watts all_active =
+      cores * model.core_power(f_max, Activity::kActive) + constant;
+  const Watts waiting_max =
+      model.core_power(f_max, Activity::kActive) +
+      (cores - 1) * model.core_power(f_max, Activity::kWaiting) + constant;
+  const Watts waiting_min =
+      model.core_power(f_max, Activity::kActive) +
+      (cores - 1) * model.core_power(f_min, Activity::kWaiting) + constant;
+  EXPECT_NEAR(waiting_max / all_active, 0.75, 0.06);
+  EXPECT_NEAR(waiting_min / all_active, 0.45, 0.06);
+}
+
+TEST(PowerModelTest, RejectsInvalidConfig) {
+  PowerModelConfig config;
+  config.freq.min_hz = 0.0;
+  EXPECT_THROW(PowerModel{config}, Error);
+  config = PowerModelConfig{};
+  config.core_dynamic_max = 0.0;
+  EXPECT_THROW(PowerModel{config}, Error);
+}
+
+TEST(EnergyAccountTest, ChargesByTag) {
+  EnergyAccount account;
+  account.charge_core(PhaseTag::kSolve, 10.0);
+  account.charge_core(PhaseTag::kCheckpoint, 2.0);
+  account.charge_core(PhaseTag::kSolve, 5.0);
+  EXPECT_DOUBLE_EQ(account.core_energy(PhaseTag::kSolve), 15.0);
+  EXPECT_DOUBLE_EQ(account.core_energy(PhaseTag::kCheckpoint), 2.0);
+  EXPECT_DOUBLE_EQ(account.core_energy_total(), 17.0);
+}
+
+TEST(EnergyAccountTest, TotalsIncludeNodeConstant) {
+  EnergyAccount account;
+  account.charge_core(PhaseTag::kSolve, 1.0);
+  account.charge_node_constant(4.0);
+  EXPECT_DOUBLE_EQ(account.total(), 5.0);
+  EXPECT_DOUBLE_EQ(account.node_constant_energy(), 4.0);
+}
+
+TEST(EnergyAccountTest, ResilienceEnergyExcludesSolveAndComm) {
+  EnergyAccount account;
+  account.charge_core(PhaseTag::kSolve, 10.0);
+  account.charge_core(PhaseTag::kComm, 3.0);
+  account.charge_core(PhaseTag::kExtraIter, 1.0);
+  account.charge_core(PhaseTag::kCheckpoint, 2.0);
+  account.charge_core(PhaseTag::kRollback, 4.0);
+  account.charge_core(PhaseTag::kReconstruct, 8.0);
+  account.charge_core(PhaseTag::kIdleWait, 16.0);
+  EXPECT_DOUBLE_EQ(account.resilience_energy(), 31.0);
+}
+
+TEST(EnergyAccountTest, RejectsNegativeCharge) {
+  EnergyAccount account;
+  EXPECT_THROW(account.charge_core(PhaseTag::kSolve, -1.0), Error);
+  EXPECT_THROW(account.charge_node_constant(-1.0), Error);
+}
+
+TEST(EnergyAccountTest, MergeAddsEverything) {
+  EnergyAccount a, b;
+  a.charge_core(PhaseTag::kSolve, 1.0);
+  b.charge_core(PhaseTag::kSolve, 2.0);
+  b.charge_node_constant(3.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.core_energy(PhaseTag::kSolve), 3.0);
+  EXPECT_DOUBLE_EQ(a.node_constant_energy(), 3.0);
+}
+
+TEST(PhaseTagTest, NamesAreDistinct) {
+  EXPECT_STREQ(to_string(PhaseTag::kSolve), "solve");
+  EXPECT_STREQ(to_string(PhaseTag::kReconstruct), "reconstruct");
+  EXPECT_STREQ(to_string(PhaseTag::kCheckpoint), "checkpoint");
+  EXPECT_STREQ(to_string(PhaseTag::kIdleWait), "idle-wait");
+}
+
+}  // namespace
+}  // namespace rsls::power

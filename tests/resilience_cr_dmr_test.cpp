@@ -1,0 +1,182 @@
+// Unit tests: checkpoint/restart and dual modular redundancy.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "dist/dist_matrix.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/dmr.hpp"
+#include "resilience/fault.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/roster.hpp"
+
+namespace rsls::resilience {
+namespace {
+
+using power::PhaseTag;
+
+struct Fixture {
+  dist::DistMatrix a;
+  RealVec b;
+  RealVec x0;
+  simrt::VirtualCluster cluster;
+
+  explicit Fixture(Index parts = 4, Index replica = 1)
+      : a(sparse::laplacian_1d(64), parts),
+        b(sparse::make_rhs(a.global())),
+        x0(64, 0.0),
+        cluster(simrt::paper_node(), parts, replica) {}
+
+  RecoveryContext ctx() { return RecoveryContext{a, b, cluster}; }
+};
+
+CheckpointRestart make_cr(CheckpointTarget target, Index interval,
+                          const RealVec& x0) {
+  CheckpointOptions options;
+  options.target = target;
+  options.interval_iterations = interval;
+  return CheckpointRestart(options, x0);
+}
+
+TEST(CheckpointTest, TakesCheckpointOnCadence) {
+  Fixture fixture;
+  auto cr = make_cr(CheckpointTarget::kMemory, 10, fixture.x0);
+  auto ctx = fixture.ctx();
+  RealVec x(64, 1.0);
+  for (Index k = 1; k <= 35; ++k) {
+    cr.on_iteration(ctx, k, x);
+  }
+  EXPECT_EQ(cr.checkpoints_taken(), 3);  // at 10, 20, 30
+  EXPECT_GT(cr.checkpoint_seconds_total(), 0.0);
+}
+
+TEST(CheckpointTest, RollbackRestoresCheckpointedState) {
+  Fixture fixture;
+  auto cr = make_cr(CheckpointTarget::kMemory, 10, fixture.x0);
+  auto ctx = fixture.ctx();
+  RealVec x(64, 5.0);
+  cr.on_iteration(ctx, 10, x);  // checkpoint the all-5 state
+  std::fill(x.begin(), x.end(), 9.0);
+  FaultInjector::corrupt_block(fixture.a.partition(), 1, x);
+  const auto action = cr.recover(ctx, 17, 1, x);
+  EXPECT_EQ(action, solver::HookAction::kRestart);
+  // Global rollback: the entire iterate reverts, not just the lost block.
+  for (const Real v : x) {
+    EXPECT_DOUBLE_EQ(v, 5.0);
+  }
+  EXPECT_EQ(cr.iterations_rolled_back(), 7);
+}
+
+TEST(CheckpointTest, FaultBeforeFirstCheckpointRestartsFromInitialGuess) {
+  Fixture fixture;
+  RealVec guess(64, 0.5);
+  auto cr = make_cr(CheckpointTarget::kDisk, 100, guess);
+  auto ctx = fixture.ctx();
+  RealVec x(64, 3.0);
+  FaultInjector::corrupt_block(fixture.a.partition(), 0, x);
+  cr.recover(ctx, 42, 0, x);
+  for (const Real v : x) {
+    EXPECT_DOUBLE_EQ(v, 0.5);
+  }
+  EXPECT_EQ(cr.iterations_rolled_back(), 42);
+}
+
+TEST(CheckpointTest, DiskCostsMoreThanMemory) {
+  Fixture disk_fixture, mem_fixture;
+  auto disk = make_cr(CheckpointTarget::kDisk, 10, disk_fixture.x0);
+  auto mem = make_cr(CheckpointTarget::kMemory, 10, mem_fixture.x0);
+  auto disk_ctx = disk_fixture.ctx();
+  auto mem_ctx = mem_fixture.ctx();
+  RealVec x(64, 1.0);
+  disk.on_iteration(disk_ctx, 10, x);
+  mem.on_iteration(mem_ctx, 10, x);
+  // On this tiny fixture both costs are latency-bound, so the gap is
+  // modest; the bandwidth term widens it on real vectors.
+  EXPECT_GT(disk.mean_checkpoint_seconds(), mem.mean_checkpoint_seconds());
+}
+
+TEST(CheckpointTest, CheckpointPhaseTagged) {
+  Fixture fixture;
+  auto cr = make_cr(CheckpointTarget::kDisk, 5, fixture.x0);
+  auto ctx = fixture.ctx();
+  RealVec x(64, 1.0);
+  cr.on_iteration(ctx, 5, x);
+  EXPECT_GT(fixture.cluster.energy().core_energy(PhaseTag::kCheckpoint),
+            0.0);
+  FaultInjector::corrupt_block(fixture.a.partition(), 0, x);
+  cr.recover(ctx, 7, 0, x);
+  EXPECT_GT(fixture.cluster.energy().core_energy(PhaseTag::kRollback), 0.0);
+}
+
+TEST(CheckpointTest, NamesFollowTarget) {
+  EXPECT_EQ(make_cr(CheckpointTarget::kDisk, 1, RealVec(4)).name(), "CR-D");
+  EXPECT_EQ(make_cr(CheckpointTarget::kMemory, 1, RealVec(4)).name(), "CR-M");
+}
+
+TEST(CheckpointTest, RejectsZeroInterval) {
+  CheckpointOptions options;
+  options.interval_iterations = 0;
+  EXPECT_THROW(CheckpointRestart(options, RealVec(4)), Error);
+}
+
+TEST(CheckpointTest, NoCheckpointOffCadence) {
+  Fixture fixture;
+  auto cr = make_cr(CheckpointTarget::kMemory, 100, fixture.x0);
+  auto ctx = fixture.ctx();
+  RealVec x(64, 1.0);
+  for (Index k = 1; k <= 99; ++k) {
+    cr.on_iteration(ctx, k, x);
+  }
+  EXPECT_EQ(cr.checkpoints_taken(), 0);
+  EXPECT_DOUBLE_EQ(fixture.cluster.elapsed(), 0.0);
+}
+
+TEST(DmrTest, ReplicaFactorIsTwo) {
+  Dmr dmr;
+  EXPECT_EQ(dmr.replica_factor(), 2);
+  EXPECT_EQ(dmr.name(), "RD");
+}
+
+TEST(DmrTest, RecoversExactlyFromReplica) {
+  Fixture fixture(4, 2);
+  Dmr dmr;
+  auto ctx = fixture.ctx();
+  RealVec x(64);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(i) * 0.5;
+  }
+  dmr.on_iteration(ctx, 1, x);  // replica tracks the state
+  const RealVec pristine = x;
+  FaultInjector::corrupt_block(fixture.a.partition(), 2, x);
+  const auto action = dmr.recover(ctx, 1, 2, x);
+  // Exact recovery, no restart needed.
+  EXPECT_EQ(action, solver::HookAction::kContinue);
+  EXPECT_EQ(x, pristine);
+}
+
+TEST(DmrTest, FaultBeforeReplicationIsFatal) {
+  Fixture fixture(4, 2);
+  Dmr dmr;
+  auto ctx = fixture.ctx();
+  RealVec x(64, 1.0);
+  EXPECT_THROW(dmr.recover(ctx, 1, 0, x), Error);
+}
+
+TEST(DmrTest, RecoveryChargesTransfer) {
+  Fixture fixture(4, 2);
+  Dmr dmr;
+  auto ctx = fixture.ctx();
+  RealVec x(64, 1.0);
+  dmr.on_iteration(ctx, 1, x);
+  FaultInjector::corrupt_block(fixture.a.partition(), 1, x);
+  dmr.recover(ctx, 1, 1, x);
+  // The block transfer took network time on the failed rank.
+  EXPECT_GT(fixture.cluster.elapsed(), 0.0);
+  EXPECT_GT(fixture.cluster.energy().core_energy(PhaseTag::kReconstruct),
+            0.0);
+}
+
+}  // namespace
+}  // namespace rsls::resilience

@@ -1,0 +1,188 @@
+// Edge-case and failure-injection tests for the resilience stack:
+// boundary ranks, repeated faults on one rank, immediate faults, fault
+// bursts, and governor interactions during recovery.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "harness/scheme_factory.hpp"
+#include "resilience/forward.hpp"
+#include "resilience/resilient_solve.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/roster.hpp"
+
+namespace rsls::resilience {
+namespace {
+
+struct EdgeSetup {
+  dist::DistMatrix a;
+  RealVec b;
+  RealVec x0;
+
+  explicit EdgeSetup(Index n = 96, Index parts = 8)
+      : a(sparse::banded_spd({n, 3, 1.0, 0.05, 0.0, 55}), parts),
+        b(sparse::make_rhs(a.global())),
+        x0(static_cast<std::size_t>(n), 0.0) {}
+};
+
+ResilientSolveReport run_with_injector(EdgeSetup& setup, const std::string& name,
+                                       FaultInjector injector,
+                                       Index parts = 8) {
+  harness::SchemeFactoryConfig factory;
+  factory.cr_interval_iterations = 10;
+  const auto scheme = harness::make_scheme(name, factory, setup.x0);
+  simrt::VirtualCluster cluster(simrt::paper_node(), parts,
+                                scheme->replica_factor());
+  RealVec x = setup.x0;
+  solver::CgOptions options;
+  options.tolerance = 1e-12;
+  return resilient_solve(setup.a, cluster, setup.b, x, *scheme, injector,
+                         options);
+}
+
+TEST(ResilienceEdgeTest, FaultOnFirstAndLastRank) {
+  // Boundary blocks have one-sided halos; recovery must handle both ends.
+  for (const Index target : {Index{0}, Index{7}}) {
+    EdgeSetup setup;
+    auto scheme = ForwardRecovery::li_cg(1e-10);
+    simrt::VirtualCluster cluster(simrt::paper_node(), 8);
+    RealVec x = setup.x0;
+    bool injected = false;
+    solver::CgOptions options;
+    options.tolerance = 1e-12;
+    const auto result = solver::cg_solve(
+        setup.a, cluster, setup.b, x, options,
+        [&](const solver::CgIterationView& view) {
+          if (!injected && view.iteration == 5) {
+            injected = true;
+            FaultInjector::corrupt_block(setup.a.partition(), target,
+                                         view.x);
+            RecoveryContext ctx{setup.a, setup.b, cluster};
+            return scheme->recover(ctx, view.iteration, target, view.x);
+          }
+          return solver::HookAction::kContinue;
+        });
+    EXPECT_TRUE(result.converged) << "rank " << target;
+  }
+}
+
+TEST(ResilienceEdgeTest, FaultAtVeryFirstIteration) {
+  EdgeSetup setup;
+  auto injector = FaultInjector::at_iterations({1}, 8, 3);
+  const auto report = run_with_injector(setup, "F0", std::move(injector));
+  EXPECT_TRUE(report.cg.converged);
+  EXPECT_EQ(report.faults, 1);
+}
+
+TEST(ResilienceEdgeTest, BackToBackFaults) {
+  // Consecutive iterations, possibly the same rank: recovery must not
+  // assume quiet periods between faults.
+  EdgeSetup setup;
+  auto injector = FaultInjector::at_iterations({5, 6, 7}, 8, 4);
+  for (const std::string scheme : {"LI", "CR-M", "F0"}) {
+    EdgeSetup fresh;
+    auto fresh_injector = FaultInjector::at_iterations({5, 6, 7}, 8, 4);
+    const auto report =
+        run_with_injector(fresh, scheme, std::move(fresh_injector));
+    EXPECT_TRUE(report.cg.converged) << scheme;
+    EXPECT_EQ(report.recoveries, 3) << scheme;
+  }
+}
+
+TEST(ResilienceEdgeTest, SingleRankClusterRecovery) {
+  // Degenerate "distributed" run: one rank owns everything; LI's block is
+  // the whole matrix, so recovery is essentially an exact re-solve.
+  EdgeSetup setup(96, 1);
+  auto injector = FaultInjector::at_iterations({4}, 1, 5);
+  const auto report = run_with_injector(setup, "LI", std::move(injector), 1);
+  EXPECT_TRUE(report.cg.converged);
+}
+
+TEST(ResilienceEdgeTest, ManyFaultsStillConverge) {
+  EdgeSetup setup;
+  // A fault every 4 iterations for a long stretch.
+  IndexVec iterations;
+  for (Index k = 4; k <= 200; k += 4) {
+    iterations.push_back(k);
+  }
+  auto injector = FaultInjector::at_iterations(std::move(iterations), 8, 6);
+  const auto report = run_with_injector(setup, "LI", std::move(injector));
+  EXPECT_TRUE(report.cg.converged);
+  EXPECT_GT(report.recoveries, 10);
+}
+
+TEST(ResilienceEdgeTest, RecoveryUnderOndemandGovernor) {
+  // The plain-LI + ondemand combination of Fig. 7a must stay numerically
+  // identical to the performance-governor run (governors change power,
+  // never arithmetic).
+  EdgeSetup setup;
+  harness::SchemeFactoryConfig factory;
+  const auto run_with_gov = [&](std::unique_ptr<power::Governor> gov) {
+    const auto scheme = harness::make_scheme("LI", factory, setup.x0);
+    simrt::VirtualCluster cluster(simrt::paper_node(), 8);
+    cluster.set_governor(std::move(gov));
+    auto injector = FaultInjector::evenly_spaced(5, 60, 8, 7);
+    RealVec x = setup.x0;
+    solver::CgOptions options;
+    options.tolerance = 1e-12;
+    return resilient_solve(setup.a, cluster, setup.b, x, *scheme, injector,
+                           options);
+  };
+  const auto ondemand = run_with_gov(power::make_ondemand_governor());
+  const auto performance = run_with_gov(power::make_performance_governor());
+  EXPECT_EQ(ondemand.cg.iterations, performance.cg.iterations);
+  EXPECT_NEAR(ondemand.cg.relative_residual,
+              performance.cg.relative_residual, 1e-15);
+}
+
+TEST(ResilienceEdgeTest, UnevenBlocksRecoverEverywhere) {
+  // n not divisible by parts: first blocks are one row larger; every rank
+  // must recover cleanly despite differing block sizes.
+  EdgeSetup setup(101, 7);
+  for (Index target = 0; target < 7; ++target) {
+    auto scheme = ForwardRecovery::lsi_cg(1e-10);
+    simrt::VirtualCluster cluster(simrt::paper_node(), 7);
+    RecoveryContext ctx{setup.a, setup.b, cluster};
+    RealVec x(101, 1.0);  // the exact solution
+    FaultInjector::corrupt_block(setup.a.partition(), target, x);
+    scheme->recover(ctx, 3, target, x);
+    for (const Real v : x) {
+      EXPECT_FALSE(std::isnan(v)) << "rank " << target;
+    }
+  }
+}
+
+TEST(ResilienceEdgeTest, CorruptionIsNaNUntilRecovered) {
+  // Verifies the poison-on-fault discipline end to end: if a scheme is
+  // never invoked, the NaNs propagate and CG reports non-convergence
+  // rather than a silent wrong answer.
+  EdgeSetup setup;
+  simrt::VirtualCluster cluster(simrt::paper_node(), 8);
+  RealVec x = setup.x0;
+  solver::CgOptions options;
+  options.tolerance = 1e-12;
+  options.max_iterations = 50;
+  bool corrupted = false;
+  EXPECT_THROW(
+      {
+        const auto result = solver::cg_solve(
+            setup.a, cluster, setup.b, x, options,
+            [&](const solver::CgIterationView& view) {
+              if (!corrupted && view.iteration == 5) {
+                corrupted = true;
+                FaultInjector::corrupt_block(setup.a.partition(), 2, view.x);
+                return solver::HookAction::kRestart;  // but nobody repaired x
+              }
+              return solver::HookAction::kContinue;
+            });
+        // If no exception (NaN p·Ap fails the positivity check), the run
+        // must at least not claim convergence.
+        EXPECT_FALSE(result.converged);
+      },
+      Error);
+}
+
+}  // namespace
+}  // namespace rsls::resilience

@@ -1,0 +1,205 @@
+// Unit tests: TMR and multi-level checkpointing (the paper's future-work
+// extensions).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "harness/experiment.hpp"
+#include "harness/scheme_factory.hpp"
+#include "resilience/multilevel.hpp"
+#include "resilience/resilient_solve.hpp"
+#include "resilience/tmr.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/roster.hpp"
+
+namespace rsls::resilience {
+namespace {
+
+struct Fixture {
+  dist::DistMatrix a;
+  RealVec b;
+  RealVec x0;
+
+  explicit Fixture(Index parts = 4)
+      : a(sparse::laplacian_1d(64), parts),
+        b(sparse::make_rhs(a.global())),
+        x0(64, 0.0) {}
+};
+
+TEST(TmrTest, TriplesReplication) {
+  Tmr tmr;
+  EXPECT_EQ(tmr.replica_factor(), 3);
+  EXPECT_EQ(tmr.name(), "TMR");
+}
+
+TEST(TmrTest, VotesRestoreExactState) {
+  Fixture fixture;
+  Tmr tmr;
+  simrt::VirtualCluster cluster(simrt::paper_node(), 4, 3);
+  RecoveryContext ctx{fixture.a, fixture.b, cluster};
+  RealVec x(64);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(i);
+  }
+  tmr.on_iteration(ctx, 1, x);
+  const RealVec pristine = x;
+  FaultInjector::corrupt_block(fixture.a.partition(), 2, x);
+  EXPECT_EQ(tmr.recover(ctx, 1, 2, x), solver::HookAction::kContinue);
+  EXPECT_EQ(x, pristine);
+  EXPECT_EQ(tmr.votes(), 1);
+}
+
+TEST(TmrTest, TriplesEnergyVsSingle) {
+  Fixture fixture;
+  simrt::VirtualCluster triple(simrt::paper_node(), 4, 3);
+  simrt::VirtualCluster single(simrt::paper_node(), 4, 1);
+  for (auto* cluster : {&triple, &single}) {
+    cluster->advance_all(1.0, power::Activity::kActive,
+                         power::PhaseTag::kSolve);
+  }
+  EXPECT_NEAR(triple.total_energy() / single.total_energy(), 3.0, 1e-9);
+}
+
+TEST(TmrTest, EndToEndMatchesFaultFreeIterations) {
+  Fixture fixture(8);
+  Fixture ff_fixture(8);
+  // Fault-free count via RD with no faults (same arithmetic).
+  harness::SchemeFactoryConfig factory;
+  const auto rd = harness::make_scheme("RD", factory, ff_fixture.x0);
+  simrt::VirtualCluster rd_cluster(simrt::paper_node(), 8, 2);
+  auto no_faults = FaultInjector::none();
+  RealVec x_ff = ff_fixture.x0;
+  const auto ff_report = resilient_solve(
+      ff_fixture.a, rd_cluster, ff_fixture.b, x_ff, *rd, no_faults, {});
+
+  const auto tmr = harness::make_scheme("TMR", factory, fixture.x0);
+  simrt::VirtualCluster cluster(simrt::paper_node(), 8, 3);
+  auto injector =
+      FaultInjector::evenly_spaced(10, ff_report.cg.iterations, 8, 5);
+  RealVec x = fixture.x0;
+  const auto report = resilient_solve(fixture.a, cluster, fixture.b, x, *tmr,
+                                      injector, {});
+  EXPECT_TRUE(report.cg.converged);
+  EXPECT_EQ(report.cg.iterations, ff_report.cg.iterations);
+}
+
+MultiLevelOptions small_options() {
+  MultiLevelOptions options;
+  options.l1_interval_iterations = 5;
+  options.l2_interval_iterations = 20;
+  options.l1_loss_probability = 0.0;
+  return options;
+}
+
+TEST(MultiLevelTest, ValidatesCadence) {
+  MultiLevelOptions options;
+  options.l1_interval_iterations = 7;
+  options.l2_interval_iterations = 20;  // not a multiple
+  EXPECT_THROW(MultiLevelCheckpoint(options, RealVec(4)), Error);
+  options.l2_interval_iterations = 21;
+  EXPECT_NO_THROW(MultiLevelCheckpoint(options, RealVec(4)));
+}
+
+TEST(MultiLevelTest, TakesBothLevels) {
+  Fixture fixture;
+  MultiLevelCheckpoint scheme(small_options(), fixture.x0);
+  simrt::VirtualCluster cluster(simrt::paper_node(), 4);
+  RecoveryContext ctx{fixture.a, fixture.b, cluster};
+  RealVec x(64, 1.0);
+  for (Index k = 1; k <= 40; ++k) {
+    scheme.on_iteration(ctx, k, x);
+  }
+  // L1 at 5,10,15,25,30,35 (20 and 40 go to L2).
+  EXPECT_EQ(scheme.l1_checkpoints(), 6);
+  EXPECT_EQ(scheme.l2_checkpoints(), 2);
+}
+
+TEST(MultiLevelTest, PrefersNewestLevelOne) {
+  Fixture fixture;
+  MultiLevelCheckpoint scheme(small_options(), fixture.x0);
+  simrt::VirtualCluster cluster(simrt::paper_node(), 4);
+  RecoveryContext ctx{fixture.a, fixture.b, cluster};
+  RealVec x(64, 1.0);
+  scheme.on_iteration(ctx, 20, x);  // L2 with all-1
+  std::fill(x.begin(), x.end(), 2.0);
+  scheme.on_iteration(ctx, 25, x);  // L1 with all-2 (newer)
+  std::fill(x.begin(), x.end(), 9.0);
+  FaultInjector::corrupt_block(fixture.a.partition(), 1, x);
+  scheme.recover(ctx, 27, 1, x);
+  for (const Real v : x) {
+    EXPECT_DOUBLE_EQ(v, 2.0);
+  }
+  EXPECT_EQ(scheme.l2_rollbacks(), 0);
+  EXPECT_EQ(scheme.iterations_rolled_back(), 2);
+}
+
+TEST(MultiLevelTest, FallsBackToDiskWhenL1Lost) {
+  Fixture fixture;
+  MultiLevelOptions options = small_options();
+  options.l1_loss_probability = 1.0;  // every fault destroys L1
+  MultiLevelCheckpoint scheme(options, fixture.x0);
+  simrt::VirtualCluster cluster(simrt::paper_node(), 4);
+  RecoveryContext ctx{fixture.a, fixture.b, cluster};
+  RealVec x(64, 1.0);
+  scheme.on_iteration(ctx, 20, x);  // L2 with all-1
+  std::fill(x.begin(), x.end(), 2.0);
+  scheme.on_iteration(ctx, 25, x);  // L1 with all-2, but it will be lost
+  std::fill(x.begin(), x.end(), 9.0);
+  FaultInjector::corrupt_block(fixture.a.partition(), 0, x);
+  scheme.recover(ctx, 27, 0, x);
+  for (const Real v : x) {
+    EXPECT_DOUBLE_EQ(v, 1.0);  // the L2 state
+  }
+  EXPECT_EQ(scheme.l2_rollbacks(), 1);
+  EXPECT_EQ(scheme.iterations_rolled_back(), 7);
+}
+
+TEST(MultiLevelTest, NoCheckpointFallsBackToInitialGuess) {
+  Fixture fixture;
+  RealVec guess(64, 0.5);
+  MultiLevelCheckpoint scheme(small_options(), guess);
+  simrt::VirtualCluster cluster(simrt::paper_node(), 4);
+  RecoveryContext ctx{fixture.a, fixture.b, cluster};
+  RealVec x(64, 3.0);
+  FaultInjector::corrupt_block(fixture.a.partition(), 1, x);
+  scheme.recover(ctx, 3, 1, x);
+  for (const Real v : x) {
+    EXPECT_DOUBLE_EQ(v, 0.5);
+  }
+}
+
+TEST(MultiLevelTest, CheaperThanPureDiskAtSameCadence) {
+  // At the same rollback protection (equal cadence), CR-2L writes most of
+  // its checkpoints to the cheap memory level and only every 8th to disk,
+  // so it beats pure CR-D — provided the vector is large enough that the
+  // disk bandwidth term matters (use a roster-sized matrix).
+  const auto& entry = sparse::roster_entry("crystm02");
+  const auto workload =
+      harness::Workload::create(entry.make(/*quick=*/true), 24);
+  harness::ExperimentConfig config;
+  config.processes = 24;
+  config.faults = 10;
+  config.cr_interval_iterations = 40;
+  const auto ff = harness::run_fault_free(workload, config);
+  const auto crd = harness::run_scheme(workload, "CR-D", config, ff);
+
+  MultiLevelOptions options;
+  options.l1_interval_iterations = 40;   // same cadence as CR-D
+  options.l2_interval_iterations = 320;  // disk only every 8th checkpoint
+  options.l1_loss_probability = 0.3;
+  MultiLevelCheckpoint scheme(options, workload.x0);
+  simrt::VirtualCluster cluster(harness::machine_for(24), 24);
+  auto injector =
+      FaultInjector::evenly_spaced(10, ff.iterations, 24, config.fault_seed);
+  const auto cr2l = harness::run_scheme_on_cluster(
+      workload, "CR-2L", scheme, injector, cluster, config, ff);
+
+  EXPECT_TRUE(cr2l.report.cg.converged);
+  EXPECT_GT(scheme.l1_checkpoints(), scheme.l2_checkpoints());
+  EXPECT_LT(cr2l.time_ratio, crd.time_ratio);
+}
+
+}  // namespace
+}  // namespace rsls::resilience

@@ -1,0 +1,131 @@
+// Unit tests: fault injector schedules and corruption semantics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "dist/partition.hpp"
+#include "resilience/fault.hpp"
+
+namespace rsls::resilience {
+namespace {
+
+TEST(FaultInjectorTest, NoneNeverFires) {
+  auto injector = FaultInjector::none();
+  for (Index k = 1; k < 1000; ++k) {
+    EXPECT_FALSE(injector.check(k, static_cast<double>(k)).has_value());
+  }
+  EXPECT_EQ(injector.faults_injected(), 0);
+}
+
+TEST(FaultInjectorTest, EvenlySpacedCountAndPlacement) {
+  auto injector = FaultInjector::evenly_spaced(10, 1100, 8, 42);
+  IndexVec fired;
+  for (Index k = 1; k <= 1100; ++k) {
+    if (injector.check(k, 0.0).has_value()) {
+      fired.push_back(k);
+    }
+  }
+  ASSERT_EQ(fired.size(), 10u);
+  // Faults at j·1100/11 = 100, 200, …, 1000.
+  for (std::size_t j = 0; j < 10; ++j) {
+    EXPECT_EQ(fired[j], static_cast<Index>((j + 1) * 100));
+  }
+  EXPECT_EQ(injector.faults_injected(), 10);
+}
+
+TEST(FaultInjectorTest, NoFaultsAtOrAfterFfIterations) {
+  auto injector = FaultInjector::evenly_spaced(10, 50, 4, 1);
+  Index last = 0;
+  for (Index k = 1; k <= 500; ++k) {
+    if (injector.check(k, 0.0).has_value()) {
+      last = k;
+    }
+  }
+  EXPECT_LT(last, 50);
+}
+
+TEST(FaultInjectorTest, FailedRanksInRange) {
+  auto injector = FaultInjector::evenly_spaced(20, 2000, 6, 7);
+  for (Index k = 1; k <= 2000; ++k) {
+    if (const auto failed = injector.check(k, 0.0); failed.has_value()) {
+      EXPECT_GE(*failed, 0);
+      EXPECT_LT(*failed, 6);
+    }
+  }
+}
+
+TEST(FaultInjectorTest, DeterministicInSeed) {
+  auto a = FaultInjector::evenly_spaced(5, 100, 8, 11);
+  auto b = FaultInjector::evenly_spaced(5, 100, 8, 11);
+  for (Index k = 1; k <= 100; ++k) {
+    EXPECT_EQ(a.check(k, 0.0), b.check(k, 0.0));
+  }
+}
+
+TEST(FaultInjectorTest, ZeroFaultsAllowed) {
+  auto injector = FaultInjector::evenly_spaced(0, 100, 4, 1);
+  for (Index k = 1; k <= 100; ++k) {
+    EXPECT_FALSE(injector.check(k, 0.0).has_value());
+  }
+}
+
+TEST(FaultInjectorTest, AtIterationsExactPlacement) {
+  auto injector = FaultInjector::at_iterations({200}, 4, 3);
+  for (Index k = 1; k < 200; ++k) {
+    EXPECT_FALSE(injector.check(k, 0.0).has_value());
+  }
+  EXPECT_TRUE(injector.check(200, 0.0).has_value());
+  EXPECT_FALSE(injector.check(201, 0.0).has_value());
+}
+
+TEST(FaultInjectorTest, AtIterationsRejectsUnsorted) {
+  EXPECT_THROW(FaultInjector::at_iterations({10, 5}, 4, 1), Error);
+  EXPECT_THROW(FaultInjector::at_iterations({0}, 4, 1), Error);
+}
+
+TEST(FaultInjectorTest, PoissonRateMatchesLambda) {
+  const PerSecond lambda = 10.0;  // 10 faults per virtual second
+  auto injector = FaultInjector::poisson(lambda, 8, 99);
+  // Step virtual time in 1 ms increments for 100 s.
+  Index fired = 0;
+  for (Index step = 1; step <= 100000; ++step) {
+    const Seconds now = static_cast<double>(step) * 1e-3;
+    // Multiple arrivals within one step fire on later checks; count all.
+    while (injector.check(step, now).has_value()) {
+      ++fired;
+    }
+  }
+  // Expect ≈ 1000 faults, Poisson stddev ≈ 32.
+  EXPECT_NEAR(static_cast<double>(fired), 1000.0, 150.0);
+}
+
+TEST(FaultInjectorTest, PoissonRejectsBadRate) {
+  EXPECT_THROW(FaultInjector::poisson(0.0, 4, 1), Error);
+}
+
+TEST(FaultInjectorTest, CorruptBlockPoisonsExactlyOneBlock) {
+  const dist::Partition part(10, 3);
+  RealVec x(10, 1.0);
+  FaultInjector::corrupt_block(part, 1, x);
+  for (Index i = 0; i < 10; ++i) {
+    const bool in_block = i >= part.begin(1) && i < part.end(1);
+    if (in_block) {
+      EXPECT_TRUE(std::isnan(x[static_cast<std::size_t>(i)]));
+    } else {
+      EXPECT_DOUBLE_EQ(x[static_cast<std::size_t>(i)], 1.0);
+    }
+  }
+}
+
+TEST(FaultInjectorTest, CorruptBlockBoundsChecked) {
+  const dist::Partition part(10, 3);
+  RealVec x(10, 1.0);
+  EXPECT_THROW(FaultInjector::corrupt_block(part, 3, x), Error);
+  RealVec wrong_size(5, 1.0);
+  EXPECT_THROW(FaultInjector::corrupt_block(part, 0, wrong_size), Error);
+}
+
+}  // namespace
+}  // namespace rsls::resilience

@@ -1,0 +1,242 @@
+// Unit tests: forward recovery schemes — reconstruction accuracy ordering
+// (LI/LSI better than F0/FI), construction cost accounting, the exact
+// LU/QR baselines, and the DVFS policy side effects.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "dist/dist_matrix.hpp"
+#include "resilience/fault.hpp"
+#include "resilience/forward.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/roster.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace rsls::resilience {
+namespace {
+
+using power::PhaseTag;
+
+struct Fixture {
+  dist::DistMatrix a;
+  RealVec b;
+  RealVec x_converged;  // a good iterate (the exact solution: all ones)
+  simrt::VirtualCluster cluster;
+
+  explicit Fixture(Index parts = 8)
+      : a(sparse::banded_spd({128, 4, 1.0, 0.05, 0.0, 77}), parts),
+        b(sparse::make_rhs(a.global())),
+        x_converged(128, 1.0),
+        cluster(simrt::paper_node(), parts) {}
+
+  RecoveryContext ctx() { return RecoveryContext{a, b, cluster}; }
+};
+
+/// Error of the recovered block vs the pre-fault iterate.
+Real recovery_error(const Fixture& fixture, RealVec x) {
+  RealVec diff(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    diff[i] = x[i] - fixture.x_converged[i];
+  }
+  return sparse::norm2(diff);
+}
+
+RealVec corrupted(const Fixture& fixture, Index failed) {
+  RealVec x = fixture.x_converged;
+  FaultInjector::corrupt_block(fixture.a.partition(), failed, x);
+  return x;
+}
+
+TEST(ForwardRecoveryTest, F0FillsZeros) {
+  Fixture fixture;
+  auto scheme = ForwardRecovery::f0();
+  RealVec x = corrupted(fixture, 2);
+  auto ctx = fixture.ctx();
+  const auto action = scheme->recover(ctx, 10, 2, x);
+  EXPECT_EQ(action, solver::HookAction::kRestart);
+  const auto& part = fixture.a.partition();
+  for (Index i = part.begin(2); i < part.end(2); ++i) {
+    EXPECT_DOUBLE_EQ(x[static_cast<std::size_t>(i)], 0.0);
+  }
+  EXPECT_EQ(scheme->recoveries(), 1);
+}
+
+TEST(ForwardRecoveryTest, FiFillsInitialGuess) {
+  Fixture fixture;
+  RealVec guess(128, 0.25);
+  auto scheme = ForwardRecovery::fi(guess);
+  RealVec x = corrupted(fixture, 1);
+  auto ctx = fixture.ctx();
+  scheme->recover(ctx, 10, 1, x);
+  const auto& part = fixture.a.partition();
+  for (Index i = part.begin(1); i < part.end(1); ++i) {
+    EXPECT_DOUBLE_EQ(x[static_cast<std::size_t>(i)], 0.25);
+  }
+}
+
+TEST(ForwardRecoveryTest, AssignmentSchemesChargeNothing) {
+  Fixture fixture;
+  auto scheme = ForwardRecovery::f0();
+  RealVec x = corrupted(fixture, 0);
+  auto ctx = fixture.ctx();
+  scheme->recover(ctx, 10, 0, x);
+  EXPECT_DOUBLE_EQ(fixture.cluster.elapsed(), 0.0);
+  EXPECT_DOUBLE_EQ(scheme->construction_seconds(), 0.0);
+}
+
+TEST(ForwardRecoveryTest, LiRecoversAccurately) {
+  Fixture fixture;
+  auto scheme = ForwardRecovery::li_cg(1e-10);
+  RealVec x = corrupted(fixture, 3);
+  auto ctx = fixture.ctx();
+  const auto action = scheme->recover(ctx, 10, 3, x);
+  EXPECT_EQ(action, solver::HookAction::kRestart);
+  // The iterate is exact away from the fault, so LI's interpolation from
+  // neighbours is very accurate.
+  EXPECT_LT(recovery_error(fixture, x), 1e-6);
+  EXPECT_GT(scheme->construction_seconds(), 0.0);
+  EXPECT_EQ(scheme->construction_windows().size(), 1u);
+}
+
+TEST(ForwardRecoveryTest, LsiRecoversAccurately) {
+  Fixture fixture;
+  auto scheme = ForwardRecovery::lsi_cg(1e-10);
+  RealVec x = corrupted(fixture, 3);
+  auto ctx = fixture.ctx();
+  scheme->recover(ctx, 10, 3, x);
+  EXPECT_LT(recovery_error(fixture, x), 1e-5);
+}
+
+TEST(ForwardRecoveryTest, InterpolationBeatsAssignment) {
+  // The §5.2 accuracy ordering on a converged iterate.
+  Fixture f0_fixture, li_fixture;
+  auto f0 = ForwardRecovery::f0();
+  auto li = ForwardRecovery::li_cg(1e-10);
+  RealVec x_f0 = corrupted(f0_fixture, 4);
+  RealVec x_li = corrupted(li_fixture, 4);
+  auto ctx_f0 = f0_fixture.ctx();
+  auto ctx_li = li_fixture.ctx();
+  f0->recover(ctx_f0, 10, 4, x_f0);
+  li->recover(ctx_li, 10, 4, x_li);
+  EXPECT_LT(recovery_error(li_fixture, x_li),
+            0.01 * recovery_error(f0_fixture, x_f0));
+}
+
+TEST(ForwardRecoveryTest, LuBaselineMatchesTightCg) {
+  Fixture lu_fixture, cg_fixture;
+  auto lu = ForwardRecovery::li_lu();
+  auto cg = ForwardRecovery::li_cg(1e-12);
+  RealVec x_lu = corrupted(lu_fixture, 5);
+  RealVec x_cg = corrupted(cg_fixture, 5);
+  auto ctx_lu = lu_fixture.ctx();
+  auto ctx_cg = cg_fixture.ctx();
+  lu->recover(ctx_lu, 10, 5, x_lu);
+  cg->recover(ctx_cg, 10, 5, x_cg);
+  for (std::size_t i = 0; i < x_lu.size(); ++i) {
+    EXPECT_NEAR(x_lu[i], x_cg[i], 1e-6);
+  }
+}
+
+TEST(ForwardRecoveryTest, QrBaselineMatchesTightCg) {
+  Fixture qr_fixture, cg_fixture;
+  auto qr = ForwardRecovery::lsi_qr();
+  auto cg = ForwardRecovery::lsi_cg(1e-12);
+  RealVec x_qr = corrupted(qr_fixture, 2);
+  RealVec x_cg = corrupted(cg_fixture, 2);
+  auto ctx_qr = qr_fixture.ctx();
+  auto ctx_cg = cg_fixture.ctx();
+  qr->recover(ctx_qr, 10, 2, x_qr);
+  cg->recover(ctx_cg, 10, 2, x_cg);
+  for (std::size_t i = 0; i < x_qr.size(); ++i) {
+    EXPECT_NEAR(x_qr[i], x_cg[i], 1e-5);
+  }
+}
+
+TEST(ForwardRecoveryTest, LooserToleranceIsCheaper) {
+  Fixture loose_fixture, tight_fixture;
+  auto loose = ForwardRecovery::li_cg(1e-2);
+  auto tight = ForwardRecovery::li_cg(1e-12);
+  RealVec x_loose = corrupted(loose_fixture, 1);
+  RealVec x_tight = corrupted(tight_fixture, 1);
+  auto ctx_loose = loose_fixture.ctx();
+  auto ctx_tight = tight_fixture.ctx();
+  loose->recover(ctx_loose, 10, 1, x_loose);
+  tight->recover(ctx_tight, 10, 1, x_tight);
+  EXPECT_LT(loose->construction_seconds(), tight->construction_seconds());
+}
+
+TEST(ForwardRecoveryTest, DvfsRestoresFrequenciesAndSavesEnergy) {
+  Fixture plain_fixture, dvfs_fixture;
+  dvfs_fixture.cluster.set_governor(power::make_userspace_governor());
+  plain_fixture.cluster.set_governor(power::make_userspace_governor());
+  auto plain = ForwardRecovery::li_cg(1e-10, /*dvfs=*/false);
+  auto dvfs = ForwardRecovery::li_cg(1e-10, /*dvfs=*/true);
+  RealVec x_plain = corrupted(plain_fixture, 3);
+  RealVec x_dvfs = corrupted(dvfs_fixture, 3);
+  auto ctx_plain = plain_fixture.ctx();
+  auto ctx_dvfs = dvfs_fixture.ctx();
+  plain->recover(ctx_plain, 10, 3, x_plain);
+  dvfs->recover(ctx_dvfs, 10, 3, x_dvfs);
+  // Frequencies restored to max afterwards.
+  for (Index r = 0; r < 8; ++r) {
+    EXPECT_DOUBLE_EQ(dvfs_fixture.cluster.frequency(r),
+                     dvfs_fixture.cluster.config().power.freq.max_hz);
+  }
+  // Identical numerics.
+  for (std::size_t i = 0; i < x_plain.size(); ++i) {
+    EXPECT_DOUBLE_EQ(x_plain[i], x_dvfs[i]);
+  }
+  // The waiting ranks idled at min frequency: less energy in kIdleWait.
+  EXPECT_LT(
+      dvfs_fixture.cluster.energy().core_energy(PhaseTag::kIdleWait),
+      plain_fixture.cluster.energy().core_energy(PhaseTag::kIdleWait));
+}
+
+TEST(ForwardRecoveryTest, ConstructionSynchronizesCluster) {
+  Fixture fixture;
+  auto scheme = ForwardRecovery::li_cg(1e-8);
+  RealVec x = corrupted(fixture, 0);
+  auto ctx = fixture.ctx();
+  scheme->recover(ctx, 10, 0, x);
+  const Seconds t0 = fixture.cluster.now(0);
+  for (Index r = 1; r < 8; ++r) {
+    EXPECT_DOUBLE_EQ(fixture.cluster.now(r), t0);
+  }
+}
+
+TEST(ForwardRecoveryTest, SchemeNames) {
+  EXPECT_EQ(ForwardRecovery::f0()->name(), "F0");
+  EXPECT_EQ(ForwardRecovery::fi({})->name(), "FI");
+  EXPECT_EQ(ForwardRecovery::li_cg()->name(), "LI");
+  EXPECT_EQ(ForwardRecovery::li_cg(1e-6, true)->name(), "LI-DVFS");
+  EXPECT_EQ(ForwardRecovery::li_lu()->name(), "LI(LU)");
+  EXPECT_EQ(ForwardRecovery::lsi_cg()->name(), "LSI");
+  EXPECT_EQ(ForwardRecovery::lsi_cg(1e-6, true)->name(), "LSI-DVFS");
+  EXPECT_EQ(ForwardRecovery::lsi_qr()->name(), "LSI(QR)");
+}
+
+TEST(ForwardRecoveryTest, InvalidOptionCombinationsRejected) {
+  ForwardRecoveryOptions options;
+  options.kind = FwKind::kZero;
+  options.method = ConstructionMethod::kLocalCg;
+  EXPECT_THROW(ForwardRecovery{options}, Error);
+  options.kind = FwKind::kLinear;
+  options.method = ConstructionMethod::kAssignment;
+  EXPECT_THROW(ForwardRecovery{options}, Error);
+}
+
+TEST(ForwardRecoveryTest, MeanConstructionSeconds) {
+  Fixture fixture;
+  auto scheme = ForwardRecovery::li_cg(1e-8);
+  EXPECT_DOUBLE_EQ(scheme->mean_construction_seconds(), 0.0);
+  RealVec x = corrupted(fixture, 1);
+  auto ctx = fixture.ctx();
+  scheme->recover(ctx, 10, 1, x);
+  EXPECT_NEAR(scheme->mean_construction_seconds(),
+              scheme->construction_seconds(), 1e-15);
+}
+
+}  // namespace
+}  // namespace rsls::resilience

@@ -1,0 +1,191 @@
+// Integration + property tests: full resilient solves — every scheme must
+// restore convergence to the target tolerance for every fault plan, and
+// the key paper orderings must hold end-to-end.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+#include "harness/scheme_factory.hpp"
+#include "resilience/resilient_solve.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/roster.hpp"
+
+namespace rsls::resilience {
+namespace {
+
+struct SolveSetup {
+  dist::DistMatrix a;
+  RealVec b;
+  RealVec x0;
+
+  explicit SolveSetup(sparse::Csr matrix, Index parts)
+      : a(std::move(matrix), parts),
+        b(sparse::make_rhs(a.global())),
+        x0(static_cast<std::size_t>(a.rows()), 0.0) {}
+};
+
+ResilientSolveReport run(SolveSetup& setup, const std::string& scheme_name,
+                         Index faults, Index ff_iterations,
+                         Index parts = 8) {
+  harness::SchemeFactoryConfig factory;
+  factory.cr_interval_iterations = 20;
+  factory.fw_cg_tolerance = 1e-10;
+  const auto scheme = harness::make_scheme(scheme_name, factory, setup.x0);
+  simrt::VirtualCluster cluster(simrt::paper_node(), parts,
+                                scheme->replica_factor());
+  auto injector =
+      FaultInjector::evenly_spaced(faults, ff_iterations, parts, 5);
+  RealVec x = setup.x0;
+  solver::CgOptions options;
+  options.tolerance = 1e-12;
+  options.ff_iterations = ff_iterations;
+  return resilient_solve(setup.a, cluster, setup.b, x, *scheme, injector,
+                         options);
+}
+
+Index ff_iterations_of(SolveSetup& setup, Index parts = 8) {
+  class NoRecovery final : public RecoveryScheme {
+   public:
+    std::string name() const override { return "FF"; }
+    solver::HookAction recover(RecoveryContext&, Index, Index,
+                               std::span<Real>) override {
+      throw Error("unexpected fault");
+    }
+  };
+  NoRecovery none;
+  simrt::VirtualCluster cluster(simrt::paper_node(), parts);
+  auto injector = FaultInjector::none();
+  RealVec x = setup.x0;
+  solver::CgOptions options;
+  options.tolerance = 1e-12;
+  const auto report = resilient_solve(setup.a, cluster, setup.b, x, none,
+                                      injector, options);
+  EXPECT_TRUE(report.cg.converged);
+  return report.cg.iterations;
+}
+
+sparse::Csr test_matrix() {
+  return sparse::banded_spd({192, 4, 1.0, 0.02, 0.0, 31});
+}
+
+// Property sweep: every scheme × several fault counts restores
+// convergence; the result is NaN-free (the injector poisons lost blocks
+// with NaN, so any scheme that reads lost data fails loudly here).
+struct SchemeFaultCase {
+  std::string scheme;
+  Index faults;
+};
+
+class ResilientSolveTest : public ::testing::TestWithParam<SchemeFaultCase> {
+};
+
+TEST_P(ResilientSolveTest, ConvergesUnderFaults) {
+  SolveSetup setup(test_matrix(), 8);
+  const Index ff = ff_iterations_of(setup);
+  const auto report =
+      run(setup, GetParam().scheme, GetParam().faults, ff);
+  EXPECT_TRUE(report.cg.converged) << GetParam().scheme;
+  EXPECT_LE(report.cg.relative_residual, 1e-12);
+  EXPECT_EQ(report.faults, GetParam().faults);
+  EXPECT_EQ(report.recoveries, GetParam().faults);
+  EXPECT_GT(report.time, 0.0);
+  EXPECT_GT(report.energy, 0.0);
+  EXPECT_TRUE(std::isfinite(report.cg.relative_residual));
+}
+
+std::vector<SchemeFaultCase> scheme_fault_cases() {
+  std::vector<SchemeFaultCase> cases;
+  for (const auto& scheme : harness::all_scheme_names()) {
+    for (const Index faults : {1, 5, 10}) {
+      cases.push_back({scheme, faults});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, ResilientSolveTest,
+    ::testing::ValuesIn(scheme_fault_cases()),
+    [](const ::testing::TestParamInfo<SchemeFaultCase>& param_info) {
+      std::string name = param_info.param.scheme;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name + "_f" + std::to_string(param_info.param.faults);
+    });
+
+TEST(ResilientSolveOrderingTest, RdMatchesFaultFreeIterations) {
+  SolveSetup setup(test_matrix(), 8);
+  const Index ff = ff_iterations_of(setup);
+  const auto rd = run(setup, "RD", 10, ff);
+  EXPECT_EQ(rd.cg.iterations, ff);
+}
+
+TEST(ResilientSolveOrderingTest, InterpolationBeatsAssignment) {
+  SolveSetup setup(test_matrix(), 8);
+  const Index ff = ff_iterations_of(setup);
+  const auto f0 = run(setup, "F0", 10, ff);
+  const auto li = run(setup, "LI", 10, ff);
+  const auto lsi = run(setup, "LSI", 10, ff);
+  EXPECT_LT(li.cg.iterations, f0.cg.iterations);
+  EXPECT_LT(lsi.cg.iterations, f0.cg.iterations);
+}
+
+TEST(ResilientSolveOrderingTest, RdDoublesEnergy) {
+  SolveSetup setup(test_matrix(), 8);
+  const Index ff = ff_iterations_of(setup);
+  const auto rd = run(setup, "RD", 0, ff);
+  // Same matrix fault-free on a single-replica cluster.
+  const auto f0 = run(setup, "F0", 0, ff);
+  EXPECT_NEAR(rd.energy / f0.energy, 2.0, 0.05);
+  EXPECT_NEAR(rd.time / f0.time, 1.0, 0.02);
+}
+
+TEST(ResilientSolveOrderingTest, CheckpointSchemesPayForStorage) {
+  SolveSetup setup(test_matrix(), 8);
+  const Index ff = ff_iterations_of(setup);
+  const auto crm = run(setup, "CR-M", 10, ff);
+  const auto crd = run(setup, "CR-D", 10, ff);
+  // Identical rollback math (same iterations), disk costs more time.
+  EXPECT_EQ(crm.cg.iterations, crd.cg.iterations);
+  EXPECT_GT(crd.time, crm.time);
+  EXPECT_GT(crd.energy, crm.energy);
+}
+
+TEST(ResilientSolveOrderingTest, DvfsSavesEnergyAtSameIterations) {
+  SolveSetup setup(test_matrix(), 8);
+  const Index ff = ff_iterations_of(setup);
+  const auto plain = run(setup, "LI", 10, ff);
+  const auto dvfs = run(setup, "LI-DVFS", 10, ff);
+  EXPECT_EQ(plain.cg.iterations, dvfs.cg.iterations);
+  EXPECT_LE(dvfs.energy, plain.energy);
+  EXPECT_NEAR(dvfs.time / plain.time, 1.0, 0.02);
+}
+
+TEST(ResilientSolveOrderingTest, MismatchedReplicaFactorRejected) {
+  SolveSetup setup(test_matrix(), 4);
+  harness::SchemeFactoryConfig factory;
+  const auto dmr = harness::make_scheme("RD", factory, setup.x0);
+  simrt::VirtualCluster cluster(simrt::paper_node(), 4, /*replica=*/1);
+  auto injector = FaultInjector::none();
+  RealVec x = setup.x0;
+  EXPECT_THROW(resilient_solve(setup.a, cluster, setup.b, x, *dmr, injector,
+                               solver::CgOptions{}),
+               Error);
+}
+
+TEST(ResilientSolveOrderingTest, MoreFaultsMoreIterations) {
+  SolveSetup setup(test_matrix(), 8);
+  const Index ff = ff_iterations_of(setup);
+  const auto few = run(setup, "F0", 2, ff);
+  const auto many = run(setup, "F0", 10, ff);
+  EXPECT_GT(many.cg.iterations, few.cg.iterations);
+}
+
+}  // namespace
+}  // namespace rsls::resilience

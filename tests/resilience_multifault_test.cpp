@@ -1,0 +1,172 @@
+// Unit + integration tests: multi-rank fault events (the paper's LNF
+// class — link-and-node failures take out several processes at once).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/error.hpp"
+#include "harness/experiment.hpp"
+#include "harness/scheme_factory.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/forward.hpp"
+#include "resilience/resilient_solve.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/roster.hpp"
+
+namespace rsls::resilience {
+namespace {
+
+struct LnfSetup {
+  dist::DistMatrix a;
+  RealVec b;
+  RealVec x0;
+
+  explicit LnfSetup(Index n = 128, Index parts = 8)
+      : a(sparse::banded_spd({n, 3, 1.0, 0.05, 0.0, 21}), parts),
+        b(sparse::make_rhs(a.global())),
+        x0(static_cast<std::size_t>(n), 0.0) {}
+};
+
+TEST(MultiFaultInjectorTest, DistinctRanksPerEvent) {
+  auto injector = FaultInjector::evenly_spaced_multi(5, 500, 3, 8, 7);
+  Index events = 0;
+  for (Index k = 1; k <= 500; ++k) {
+    const IndexVec failed = injector.check_multi(k, 0.0);
+    if (!failed.empty()) {
+      ++events;
+      EXPECT_EQ(failed.size(), 3u);
+      std::set<Index> distinct(failed.begin(), failed.end());
+      EXPECT_EQ(distinct.size(), 3u);
+      for (const Index r : failed) {
+        EXPECT_GE(r, 0);
+        EXPECT_LT(r, 8);
+      }
+    }
+  }
+  EXPECT_EQ(events, 5);
+  EXPECT_EQ(injector.faults_injected(), 15);  // 5 events × 3 ranks
+}
+
+TEST(MultiFaultInjectorTest, SingleRankModeUnchanged) {
+  auto injector = FaultInjector::evenly_spaced(4, 100, 8, 7);
+  for (Index k = 1; k <= 100; ++k) {
+    const IndexVec failed = injector.check_multi(k, 0.0);
+    EXPECT_LE(failed.size(), 1u);
+  }
+  EXPECT_EQ(injector.faults_injected(), 4);
+}
+
+TEST(MultiFaultInjectorTest, ValidatesRanksPerFault) {
+  EXPECT_THROW(FaultInjector::evenly_spaced_multi(1, 10, 0, 8, 1), Error);
+  EXPECT_THROW(FaultInjector::evenly_spaced_multi(1, 10, 9, 8, 1), Error);
+}
+
+TEST(MultiFaultRecoveryTest, ForwardRecoveryHandlesSimultaneousLoss) {
+  // Two blocks lost at once: LI reconstructing block 2 must not read
+  // block 5's NaNs (it treats them as a zero guess), and vice versa.
+  for (const std::string name : {"LI", "LSI", "F0"}) {
+    LnfSetup setup;
+    harness::SchemeFactoryConfig factory;
+    const auto scheme = harness::make_scheme(name, factory, setup.x0);
+    simrt::VirtualCluster cluster(simrt::paper_node(), 8);
+    RecoveryContext ctx{setup.a, setup.b, cluster};
+    RealVec x(128, 1.0);  // the exact solution
+    FaultInjector::corrupt_block(setup.a.partition(), 2, x);
+    FaultInjector::corrupt_block(setup.a.partition(), 5, x);
+    const auto action =
+        scheme->recover_multi(ctx, 10, IndexVec{2, 5}, x);
+    EXPECT_EQ(action, solver::HookAction::kRestart) << name;
+    for (const Real v : x) {
+      EXPECT_FALSE(std::isnan(v)) << name;
+    }
+  }
+}
+
+TEST(MultiFaultRecoveryTest, AdjacentBlocksRecoverable) {
+  // Neighbouring blocks share their halo: the hardest LI case.
+  LnfSetup setup;
+  auto scheme = ForwardRecovery::li_cg(1e-10);
+  simrt::VirtualCluster cluster(simrt::paper_node(), 8);
+  RecoveryContext ctx{setup.a, setup.b, cluster};
+  RealVec x(128, 1.0);
+  FaultInjector::corrupt_block(setup.a.partition(), 3, x);
+  FaultInjector::corrupt_block(setup.a.partition(), 4, x);
+  scheme->recover_multi(ctx, 10, IndexVec{3, 4}, x);
+  for (const Real v : x) {
+    EXPECT_FALSE(std::isnan(v));
+  }
+}
+
+TEST(MultiFaultRecoveryTest, CheckpointRollsBackOnce) {
+  LnfSetup setup;
+  CheckpointOptions options;
+  options.target = CheckpointTarget::kMemory;
+  options.interval_iterations = 10;
+  CheckpointRestart cr(options, setup.x0);
+  simrt::VirtualCluster cluster(simrt::paper_node(), 8);
+  RecoveryContext ctx{setup.a, setup.b, cluster};
+  RealVec x(128, 5.0);
+  cr.on_iteration(ctx, 10, x);
+  FaultInjector::corrupt_block(setup.a.partition(), 1, x);
+  FaultInjector::corrupt_block(setup.a.partition(), 6, x);
+  cr.recover_multi(ctx, 14, IndexVec{1, 6}, x);
+  // One rollback, not two: 4 iterations lost once.
+  EXPECT_EQ(cr.recoveries(), 1);
+  EXPECT_EQ(cr.iterations_rolled_back(), 4);
+  for (const Real v : x) {
+    EXPECT_DOUBLE_EQ(v, 5.0);
+  }
+}
+
+class LnfEndToEndTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LnfEndToEndTest, ConvergesUnderMultiRankFaults) {
+  LnfSetup setup;
+  harness::SchemeFactoryConfig factory;
+  factory.cr_interval_iterations = 15;
+  const auto scheme = harness::make_scheme(GetParam(), factory, setup.x0);
+  simrt::VirtualCluster cluster(simrt::paper_node(), 8,
+                                scheme->replica_factor());
+
+  // Find the FF iteration count via a no-fault run first.
+  Index ff_iterations = 0;
+  {
+    const auto probe = harness::make_scheme("F0", factory, setup.x0);
+    simrt::VirtualCluster probe_cluster(simrt::paper_node(), 8);
+    auto none = FaultInjector::none();
+    RealVec x = setup.x0;
+    const auto report = resilient_solve(setup.a, probe_cluster, setup.b, x,
+                                        *probe, none, {});
+    ff_iterations = report.cg.iterations;
+  }
+
+  auto injector = FaultInjector::evenly_spaced_multi(
+      4, ff_iterations, /*ranks_per_fault=*/2, 8, 13);
+  RealVec x = setup.x0;
+  solver::CgOptions options;
+  options.tolerance = 1e-12;
+  const auto report = resilient_solve(setup.a, cluster, setup.b, x, *scheme,
+                                      injector, options);
+  EXPECT_TRUE(report.cg.converged) << GetParam();
+  EXPECT_EQ(report.faults, 8);  // 4 events × 2 ranks
+  EXPECT_TRUE(std::isfinite(report.cg.relative_residual));
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, LnfEndToEndTest,
+                         ::testing::Values("RD", "TMR", "F0", "LI", "LSI",
+                                           "CR-M", "CR-D", "CR-2L"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(
+                                     static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace rsls::resilience

@@ -1,0 +1,259 @@
+// Unit tests: the virtual cluster — clock arithmetic, energy integration
+// against closed forms, communication/storage models, DVFS, replicas.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "simrt/cluster.hpp"
+
+namespace rsls::simrt {
+namespace {
+
+using power::Activity;
+using power::PhaseTag;
+
+MachineConfig tiny_machine() {
+  MachineConfig config = paper_cluster();
+  config.nodes = 2;
+  return config;
+}
+
+TEST(MachineTest, PresetsValid) {
+  EXPECT_NO_THROW(validate(paper_cluster()));
+  EXPECT_NO_THROW(validate(paper_node()));
+  EXPECT_EQ(paper_cluster().total_cores(), 192);
+  EXPECT_EQ(paper_node().total_cores(), 24);
+}
+
+TEST(MachineTest, ValidateRejectsNonsense) {
+  MachineConfig config = paper_cluster();
+  config.nodes = 0;
+  EXPECT_THROW(validate(config), Error);
+  config = paper_cluster();
+  config.net_bandwidth = 0.0;
+  EXPECT_THROW(validate(config), Error);
+  config = paper_cluster();
+  config.flops_per_cycle = -1.0;
+  EXPECT_THROW(validate(config), Error);
+}
+
+TEST(ClusterTest, RanksMustFitCores) {
+  EXPECT_THROW(VirtualCluster(paper_node(), 25), Error);
+  EXPECT_NO_THROW(VirtualCluster(paper_node(), 24));
+  EXPECT_THROW(VirtualCluster(paper_node(), 0), Error);
+}
+
+TEST(ClusterTest, NodePlacement) {
+  VirtualCluster cluster(tiny_machine(), 30);
+  EXPECT_EQ(cluster.node_of(0), 0);
+  EXPECT_EQ(cluster.node_of(23), 0);
+  EXPECT_EQ(cluster.node_of(24), 1);
+  EXPECT_EQ(cluster.nodes_used(), 2);
+}
+
+TEST(ClusterTest, ComputeSecondsClosedForm) {
+  VirtualCluster cluster(tiny_machine(), 4);
+  const MachineConfig& config = cluster.config();
+  const double flops = 1e9;
+  const Seconds expected =
+      flops / (config.flops_per_cycle * config.power.freq.max_hz);
+  EXPECT_DOUBLE_EQ(cluster.compute_seconds(0, flops), expected);
+}
+
+TEST(ClusterTest, ChargeAdvancesOnlyThatRank) {
+  VirtualCluster cluster(tiny_machine(), 4);
+  cluster.charge_compute(1, 1e9, PhaseTag::kSolve);
+  EXPECT_GT(cluster.now(1), 0.0);
+  EXPECT_DOUBLE_EQ(cluster.now(0), 0.0);
+  EXPECT_DOUBLE_EQ(cluster.elapsed(), cluster.now(1));
+}
+
+TEST(ClusterTest, EnergyMatchesPowerTimesTime) {
+  VirtualCluster cluster(tiny_machine(), 1);
+  const Seconds duration = 2.0;
+  cluster.charge_duration(0, duration, Activity::kActive, PhaseTag::kSolve);
+  const Watts p_active = cluster.power_model().core_power(
+      cluster.config().power.freq.max_hz, Activity::kActive);
+  EXPECT_NEAR(cluster.energy().core_energy(PhaseTag::kSolve),
+              p_active * duration, 1e-9);
+}
+
+TEST(ClusterTest, SyncBringsAllClocksToMax) {
+  VirtualCluster cluster(tiny_machine(), 3);
+  cluster.charge_duration(2, 1.0, Activity::kActive, PhaseTag::kSolve);
+  cluster.sync();
+  for (Index r = 0; r < 3; ++r) {
+    EXPECT_DOUBLE_EQ(cluster.now(r), 1.0);
+  }
+  // Waiting ranks were charged at busy-poll power under kComm.
+  EXPECT_GT(cluster.energy().core_energy(PhaseTag::kComm), 0.0);
+}
+
+TEST(ClusterTest, AllreduceFormula) {
+  VirtualCluster cluster(tiny_machine(), 16);
+  const MachineConfig& config = cluster.config();
+  const Seconds expected =
+      4.0 * (config.net_latency + 8.0 / config.net_bandwidth);
+  EXPECT_DOUBLE_EQ(cluster.allreduce_seconds(8.0), expected);
+}
+
+TEST(ClusterTest, AllreduceSynchronizes) {
+  VirtualCluster cluster(tiny_machine(), 4);
+  cluster.charge_duration(0, 1.0, Activity::kActive, PhaseTag::kSolve);
+  cluster.allreduce(8.0, PhaseTag::kComm);
+  const Seconds expected = 1.0 + cluster.allreduce_seconds(8.0);
+  for (Index r = 0; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(cluster.now(r), expected);
+  }
+}
+
+TEST(ClusterTest, PointToPointRendezvous) {
+  VirtualCluster cluster(tiny_machine(), 4);
+  cluster.charge_duration(1, 0.5, Activity::kActive, PhaseTag::kSolve);
+  cluster.point_to_point(0, 1, 1000.0, PhaseTag::kComm);
+  const Seconds expected = 0.5 + cluster.p2p_seconds(1000.0);
+  EXPECT_DOUBLE_EQ(cluster.now(0), expected);
+  EXPECT_DOUBLE_EQ(cluster.now(1), expected);
+  EXPECT_DOUBLE_EQ(cluster.now(2), 0.0);  // uninvolved
+}
+
+TEST(ClusterTest, HaloExchangeChargesPerRank) {
+  VirtualCluster cluster(tiny_machine(), 2);
+  const std::vector<Bytes> bytes = {800.0, 0.0};
+  const IndexVec msgs = {2, 0};
+  cluster.halo_exchange(bytes, msgs, PhaseTag::kComm);
+  const MachineConfig& config = cluster.config();
+  EXPECT_DOUBLE_EQ(cluster.now(0), 2.0 * config.net_latency +
+                                       800.0 / config.net_bandwidth);
+  EXPECT_DOUBLE_EQ(cluster.now(1), 0.0);
+}
+
+TEST(ClusterTest, DiskIsSharedMemoryIsPerNode) {
+  // Same bytes: disk time is machine-wide, memory splits across nodes.
+  VirtualCluster disk_cluster(tiny_machine(), 48);
+  VirtualCluster mem_cluster(tiny_machine(), 48);
+  const Bytes bytes = 1e8;
+  disk_cluster.write_disk(bytes, PhaseTag::kCheckpoint);
+  mem_cluster.write_memory(bytes, PhaseTag::kCheckpoint);
+  const MachineConfig& config = disk_cluster.config();
+  EXPECT_DOUBLE_EQ(disk_cluster.elapsed(),
+                   config.disk_latency + bytes / config.disk_bandwidth);
+  EXPECT_DOUBLE_EQ(mem_cluster.elapsed(),
+                   config.mem_latency + bytes / 2.0 / config.mem_bandwidth);
+}
+
+TEST(ClusterTest, ReadCostsMatchWrites) {
+  VirtualCluster a(tiny_machine(), 4);
+  VirtualCluster b(tiny_machine(), 4);
+  a.write_disk(1e6, PhaseTag::kCheckpoint);
+  b.read_disk(1e6, PhaseTag::kRollback);
+  EXPECT_DOUBLE_EQ(a.elapsed(), b.elapsed());
+}
+
+TEST(ClusterTest, SetFrequencySnapsAndCharges) {
+  VirtualCluster cluster(tiny_machine(), 2);
+  cluster.set_frequency(0, gigahertz(1.23));
+  EXPECT_DOUBLE_EQ(cluster.frequency(0), gigahertz(1.2));
+  // The transition stalled the core briefly.
+  EXPECT_DOUBLE_EQ(cluster.now(0),
+                   cluster.config().dvfs_transition_latency);
+  // Setting the same frequency again is free.
+  const Seconds before = cluster.now(0);
+  cluster.set_frequency(0, gigahertz(1.2));
+  EXPECT_DOUBLE_EQ(cluster.now(0), before);
+}
+
+TEST(ClusterTest, LowerFrequencySlowsCompute) {
+  VirtualCluster cluster(tiny_machine(), 1);
+  const Seconds fast = cluster.compute_seconds(0, 1e9);
+  cluster.set_frequency(0, cluster.config().power.freq.min_hz);
+  const Seconds slow = cluster.compute_seconds(0, 1e9);
+  EXPECT_NEAR(slow / fast, 2.3 / 1.2, 1e-9);
+}
+
+TEST(ClusterTest, SetFrequencyAllExcept) {
+  VirtualCluster cluster(tiny_machine(), 4);
+  cluster.set_governor(power::make_userspace_governor());
+  cluster.set_frequency_all_except(2, cluster.config().power.freq.min_hz);
+  for (Index r = 0; r < 4; ++r) {
+    if (r == 2) {
+      EXPECT_DOUBLE_EQ(cluster.frequency(r),
+                       cluster.config().power.freq.max_hz);
+    } else {
+      EXPECT_DOUBLE_EQ(cluster.frequency(r),
+                       cluster.config().power.freq.min_hz);
+    }
+  }
+}
+
+TEST(ClusterTest, ReplicaDoublesEnergyNotTime) {
+  VirtualCluster single(tiny_machine(), 4, 1);
+  VirtualCluster doubled(tiny_machine(), 4, 2);
+  for (auto* cluster : {&single, &doubled}) {
+    cluster->advance_all(1.0, Activity::kActive, PhaseTag::kSolve);
+  }
+  EXPECT_DOUBLE_EQ(single.elapsed(), doubled.elapsed());
+  EXPECT_NEAR(doubled.total_energy(), 2.0 * single.total_energy(), 1e-9);
+}
+
+TEST(ClusterTest, TotalEnergyIncludesNodeConstantAndSleep) {
+  // One rank on a 24-core node: 23 cores sleep, uncore+DRAM accrue.
+  VirtualCluster cluster(paper_node(), 1);
+  cluster.charge_duration(0, 1.0, Activity::kActive, PhaseTag::kSolve);
+  const auto& power_config = cluster.config().power;
+  const Watts active = cluster.power_model().core_power(
+      power_config.freq.max_hz, Activity::kActive);
+  const Watts constant = cluster.power_model().node_constant_power(2);
+  const Joules expected =
+      active * 1.0 + constant * 1.0 + 23.0 * power_config.core_sleep * 1.0;
+  EXPECT_NEAR(cluster.total_energy(), expected, 1e-9);
+  EXPECT_NEAR(cluster.average_power(), expected, 1e-9);
+}
+
+TEST(ClusterTest, OndemandGovernorDownclocksDiskWait) {
+  VirtualCluster cluster(tiny_machine(), 1);
+  cluster.set_governor(power::make_ondemand_governor());
+  // A long disk wait looks idle: the governor drops the frequency after
+  // one sampling window.
+  cluster.charge_duration(0, 1.0, Activity::kDiskWait,
+                          PhaseTag::kCheckpoint);
+  EXPECT_LT(cluster.frequency(0), cluster.config().power.freq.max_hz);
+  // Computing again looks fully utilized: back to max.
+  cluster.charge_duration(0, 1.0, Activity::kActive, PhaseTag::kSolve);
+  EXPECT_DOUBLE_EQ(cluster.frequency(0), cluster.config().power.freq.max_hz);
+}
+
+TEST(ClusterTest, OndemandKeepsBusyPollAtMax) {
+  VirtualCluster cluster(tiny_machine(), 1);
+  cluster.set_governor(power::make_ondemand_governor());
+  cluster.charge_duration(0, 1.0, Activity::kWaiting, PhaseTag::kComm);
+  EXPECT_DOUBLE_EQ(cluster.frequency(0), cluster.config().power.freq.max_hz);
+}
+
+TEST(ClusterTest, GovernorSamplingLagSplitsInterval) {
+  // The first sampling window of a down-clocked interval is charged at
+  // the old frequency: energy must be between the two extremes.
+  MachineConfig config = tiny_machine();
+  config.governor_sampling_period = 0.5;
+  VirtualCluster cluster(config, 1);
+  cluster.set_governor(power::make_powersave_governor());
+  cluster.charge_duration(0, 1.0, Activity::kActive, PhaseTag::kSolve);
+  const Watts p_max = cluster.power_model().core_power(
+      config.power.freq.max_hz, Activity::kActive);
+  const Watts p_min = cluster.power_model().core_power(
+      config.power.freq.min_hz, Activity::kActive);
+  const Joules energy = cluster.energy().core_energy(PhaseTag::kSolve);
+  EXPECT_NEAR(energy, 0.5 * p_max + 0.5 * p_min, 1e-9);
+}
+
+TEST(ClusterTest, ZeroDurationChargesNothing) {
+  VirtualCluster cluster(tiny_machine(), 1);
+  cluster.charge_duration(0, 0.0, Activity::kActive, PhaseTag::kSolve);
+  EXPECT_DOUBLE_EQ(cluster.elapsed(), 0.0);
+  EXPECT_DOUBLE_EQ(cluster.energy().core_energy_total(), 0.0);
+}
+
+}  // namespace
+}  // namespace rsls::simrt

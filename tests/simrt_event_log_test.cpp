@@ -1,0 +1,104 @@
+// Unit tests: the opt-in phase event log.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.hpp"
+#include "simrt/cluster.hpp"
+#include "simrt/event_log.hpp"
+
+namespace rsls::simrt {
+namespace {
+
+using power::Activity;
+using power::PhaseTag;
+
+TEST(EventLogTest, RecordsAndAggregates) {
+  EventLog log;
+  log.record({0, 0.0, 1.0, Activity::kActive, PhaseTag::kSolve});
+  log.record({0, 1.0, 1.5, Activity::kWaiting, PhaseTag::kComm});
+  log.record({1, 0.0, 2.0, Activity::kActive, PhaseTag::kSolve});
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_DOUBLE_EQ(log.phase_time(PhaseTag::kSolve), 3.0);
+  EXPECT_DOUBLE_EQ(log.phase_time(PhaseTag::kComm), 0.5);
+  EXPECT_DOUBLE_EQ(log.phase_time(PhaseTag::kCheckpoint), 0.0);
+  EXPECT_DOUBLE_EQ(log.busy_time(0), 1.0);
+  EXPECT_DOUBLE_EQ(log.busy_time(1), 2.0);
+  EXPECT_DOUBLE_EQ(log.utilization(0, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(log.utilization(1, 0.0), 0.0);
+}
+
+TEST(EventLogTest, CsvFormat) {
+  EventLog log;
+  log.record({3, 0.5, 0.75, Activity::kDiskWait, PhaseTag::kCheckpoint});
+  std::ostringstream os;
+  log.write_csv(os);
+  EXPECT_EQ(os.str(),
+            "rank,begin,end,activity,tag\n3,0.5,0.75,diskwait,checkpoint\n");
+}
+
+TEST(EventLogTest, ActivityNames) {
+  EXPECT_STREQ(to_string(Activity::kActive), "active");
+  EXPECT_STREQ(to_string(Activity::kWaiting), "waiting");
+  EXPECT_STREQ(to_string(Activity::kSleep), "sleep");
+  EXPECT_STREQ(to_string(Activity::kMemCopy), "memcopy");
+  EXPECT_STREQ(to_string(Activity::kDiskWait), "diskwait");
+}
+
+TEST(ClusterEventLogTest, DisabledByDefault) {
+  VirtualCluster cluster(paper_node(), 4);
+  EXPECT_FALSE(cluster.event_log_enabled());
+  EXPECT_THROW(cluster.event_log(), Error);
+}
+
+TEST(ClusterEventLogTest, CapturesChargedIntervals) {
+  VirtualCluster cluster(paper_node(), 4);
+  cluster.enable_event_log();
+  cluster.charge_duration(2, 1.0, Activity::kActive, PhaseTag::kSolve);
+  cluster.sync(PhaseTag::kComm);
+  const auto& log = cluster.event_log();
+  // 1 compute interval + 3 waiting intervals from the barrier.
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_DOUBLE_EQ(log.phase_time(PhaseTag::kSolve), 1.0);
+  EXPECT_DOUBLE_EQ(log.phase_time(PhaseTag::kComm), 3.0);
+  EXPECT_DOUBLE_EQ(log.utilization(2, cluster.elapsed()), 1.0);
+  EXPECT_DOUBLE_EQ(log.utilization(0, cluster.elapsed()), 0.0);
+}
+
+TEST(ClusterEventLogTest, TimesMatchClocks) {
+  VirtualCluster cluster(paper_node(), 2);
+  cluster.enable_event_log();
+  cluster.charge_duration(0, 0.25, Activity::kActive, PhaseTag::kSolve);
+  cluster.charge_duration(0, 0.5, Activity::kMemCopy, PhaseTag::kCheckpoint);
+  const auto& events = cluster.event_log().events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_DOUBLE_EQ(events[0].begin, 0.0);
+  EXPECT_DOUBLE_EQ(events[0].end, 0.25);
+  EXPECT_DOUBLE_EQ(events[1].begin, 0.25);
+  EXPECT_DOUBLE_EQ(events[1].end, 0.75);
+  EXPECT_DOUBLE_EQ(cluster.now(0), 0.75);
+}
+
+TEST(ClusterEventLogTest, EventTimeSumMatchesMakespanPerRank) {
+  // Property: per rank, the union of charged events is contiguous (the
+  // clock never jumps without a charge), so their total duration equals
+  // the rank's clock.
+  VirtualCluster cluster(paper_node(), 3);
+  cluster.enable_event_log();
+  cluster.charge_duration(1, 0.4, Activity::kActive, PhaseTag::kSolve);
+  cluster.allreduce(8.0, PhaseTag::kComm);
+  cluster.write_disk(1e5, PhaseTag::kCheckpoint);
+  for (Index r = 0; r < 3; ++r) {
+    Seconds total = 0.0;
+    for (const auto& event : cluster.event_log().events()) {
+      if (event.rank == r) {
+        total += event.end - event.begin;
+      }
+    }
+    EXPECT_NEAR(total, cluster.now(r), 1e-12) << "rank " << r;
+  }
+}
+
+}  // namespace
+}  // namespace rsls::simrt

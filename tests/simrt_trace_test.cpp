@@ -1,0 +1,92 @@
+// Unit tests: binned power trace.
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "simrt/cluster.hpp"
+#include "simrt/trace.hpp"
+
+namespace rsls::simrt {
+namespace {
+
+using power::Activity;
+using power::PhaseTag;
+
+TEST(PowerTraceTest, SingleIntervalFillsBins) {
+  PowerTrace trace(1, 1.0);
+  trace.add(0, 0.0, 2.0, 20.0);  // 10 W over 2 s
+  const auto samples = trace.render(0, 2.0, 0.0);
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(samples[0].power, 10.0);
+  EXPECT_DOUBLE_EQ(samples[1].power, 10.0);
+}
+
+TEST(PowerTraceTest, PartialBinOverlap) {
+  PowerTrace trace(1, 1.0);
+  trace.add(0, 0.5, 1.0, 10.0);  // 10 W from 0.5 to 1.5
+  const auto samples = trace.render(0, 2.0, 0.0);
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(samples[0].power, 5.0);
+  EXPECT_DOUBLE_EQ(samples[1].power, 5.0);
+}
+
+TEST(PowerTraceTest, ConstantPowerAdded) {
+  PowerTrace trace(1, 1.0);
+  const auto samples = trace.render(0, 3.0, 42.0);
+  ASSERT_EQ(samples.size(), 3u);
+  for (const auto& s : samples) {
+    EXPECT_DOUBLE_EQ(s.power, 42.0);
+  }
+}
+
+TEST(PowerTraceTest, NodesAreIndependent) {
+  PowerTrace trace(2, 1.0);
+  trace.add(0, 0.0, 1.0, 7.0);
+  EXPECT_DOUBLE_EQ(trace.render(0, 1.0, 0.0)[0].power, 7.0);
+  EXPECT_DOUBLE_EQ(trace.render(1, 1.0, 0.0)[0].power, 0.0);
+}
+
+TEST(PowerTraceTest, EnergyConserved) {
+  PowerTrace trace(1, 0.25);
+  trace.add(0, 0.1, 1.3, 26.0);
+  const auto samples = trace.render(0, 2.0, 0.0);
+  Joules total = 0.0;
+  for (const auto& s : samples) {
+    total += s.power * 0.25;
+  }
+  EXPECT_NEAR(total, 26.0, 1e-9);
+}
+
+TEST(PowerTraceTest, RejectsBadArguments) {
+  EXPECT_THROW(PowerTrace(0, 1.0), Error);
+  EXPECT_THROW(PowerTrace(1, 0.0), Error);
+  PowerTrace trace(1, 1.0);
+  EXPECT_THROW(trace.add(1, 0.0, 1.0, 1.0), Error);
+  EXPECT_THROW(trace.add(0, -1.0, 1.0, 1.0), Error);
+  EXPECT_THROW(trace.render(2, 1.0, 0.0), Error);
+}
+
+TEST(ClusterTraceTest, ProfileReflectsActivity) {
+  MachineConfig config = paper_node();
+  VirtualCluster cluster(config, 24);
+  cluster.enable_power_trace(0.01);
+  // Active phase then a much quieter disk phase.
+  cluster.advance_all(0.1, Activity::kActive, PhaseTag::kSolve);
+  cluster.write_disk(1e6, PhaseTag::kCheckpoint);
+  const auto profile = cluster.node_power_profile(0);
+  ASSERT_GT(profile.size(), 2u);
+  const Watts active_power = profile.front().power;
+  const Watts disk_power = profile.back().power;
+  EXPECT_GT(active_power, disk_power);
+}
+
+TEST(ClusterTraceTest, ProfileRequiresEnabledTrace) {
+  VirtualCluster cluster(paper_node(), 4);
+  EXPECT_THROW(cluster.node_power_profile(0), Error);
+  EXPECT_FALSE(cluster.power_trace_enabled());
+  cluster.enable_power_trace(0.01);
+  EXPECT_TRUE(cluster.power_trace_enabled());
+}
+
+}  // namespace
+}  // namespace rsls::simrt

@@ -1,0 +1,211 @@
+// Unit tests: distributed CG driver against the sequential reference,
+// plus hook/restart semantics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "dist/dist_matrix.hpp"
+#include "solver/cg.hpp"
+#include "solver/reference_cg.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/roster.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace rsls::solver {
+namespace {
+
+using power::PhaseTag;
+
+simrt::MachineConfig one_node() { return simrt::paper_node(); }
+
+TEST(ReferenceCgTest, SolvesDiagonalExactly) {
+  const sparse::Csr a = sparse::diagonal_spd(16, 1.0, 4.0, 1);
+  RealVec x_true(16, 3.0);
+  RealVec b(16);
+  sparse::spmv(a, x_true, b);
+  RealVec x(16, 0.0);
+  const auto result = reference_cg(a, b, x);
+  EXPECT_TRUE(result.converged);
+  for (const Real v : x) {
+    EXPECT_NEAR(v, 3.0, 1e-8);
+  }
+}
+
+TEST(ReferenceCgTest, ReportsResidual) {
+  const sparse::Csr a = sparse::laplacian_2d(8, 8);
+  const RealVec b = sparse::make_rhs(a);
+  RealVec x(64, 0.0);
+  const auto result = reference_cg(a, b, x, 1e-12);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.relative_residual, 1e-12);
+  EXPECT_NEAR(sparse::residual_norm(a, x, b) / sparse::norm2(b),
+              result.relative_residual, 1e-12);
+}
+
+TEST(DistCgTest, MatchesReferenceIterationsAndSolution) {
+  const sparse::Csr global = sparse::laplacian_2d(10, 10);
+  const RealVec b = sparse::make_rhs(global);
+  RealVec x_ref(100, 0.0);
+  const auto ref = reference_cg(global, b, x_ref, 1e-12);
+
+  const dist::DistMatrix a(global, 8);
+  simrt::VirtualCluster cluster(one_node(), 8);
+  RealVec x(100, 0.0);
+  CgOptions options;
+  const auto result = cg_solve(a, cluster, b, x, options);
+  EXPECT_TRUE(result.converged);
+  // The distributed driver performs identical arithmetic.
+  EXPECT_EQ(result.iterations, ref.iterations);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_NEAR(x[i], x_ref[i], 1e-10);
+  }
+}
+
+TEST(DistCgTest, ChargesTimeAndEnergy) {
+  const dist::DistMatrix a(sparse::laplacian_2d(8, 8), 4);
+  simrt::VirtualCluster cluster(one_node(), 4);
+  const RealVec b = sparse::make_rhs(a.global());
+  RealVec x(64, 0.0);
+  cg_solve(a, cluster, b, x, {});
+  EXPECT_GT(cluster.elapsed(), 0.0);
+  EXPECT_GT(cluster.energy().core_energy(PhaseTag::kSolve), 0.0);
+}
+
+TEST(DistCgTest, RecordsResidualHistory) {
+  const dist::DistMatrix a(sparse::laplacian_2d(6, 6), 4);
+  simrt::VirtualCluster cluster(one_node(), 4);
+  const RealVec b = sparse::make_rhs(a.global());
+  RealVec x(36, 0.0);
+  CgOptions options;
+  options.record_residual_history = true;
+  const auto result = cg_solve(a, cluster, b, x, options);
+  // Initial entry + one per iteration.
+  EXPECT_EQ(result.residual_history.size(),
+            static_cast<std::size_t>(result.iterations) + 1);
+  EXPECT_LE(result.residual_history.back(), 1e-12);
+  EXPECT_NEAR(result.residual_history.front(), 1.0, 1e-12);
+}
+
+TEST(DistCgTest, MaxIterationsRespected) {
+  const dist::DistMatrix a(sparse::laplacian_2d(12, 12), 4);
+  simrt::VirtualCluster cluster(one_node(), 4);
+  const RealVec b = sparse::make_rhs(a.global());
+  RealVec x(144, 0.0);
+  CgOptions options;
+  options.max_iterations = 5;
+  const auto result = cg_solve(a, cluster, b, x, options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 5);
+}
+
+TEST(DistCgTest, HookCalledEveryIteration) {
+  const dist::DistMatrix a(sparse::laplacian_2d(6, 6), 2);
+  simrt::VirtualCluster cluster(one_node(), 2);
+  const RealVec b = sparse::make_rhs(a.global());
+  RealVec x(36, 0.0);
+  Index calls = 0;
+  const auto result = cg_solve(a, cluster, b, x, {},
+                               [&calls](const CgIterationView& view) {
+                                 EXPECT_EQ(view.iteration, calls + 1);
+                                 EXPECT_GE(view.relative_residual, 0.0);
+                                 ++calls;
+                                 return HookAction::kContinue;
+                               });
+  EXPECT_EQ(calls, result.iterations);
+}
+
+TEST(DistCgTest, RestartAfterPerturbationStillConverges) {
+  const dist::DistMatrix a(sparse::laplacian_2d(8, 8), 4);
+  simrt::VirtualCluster cluster(one_node(), 4);
+  const RealVec b = sparse::make_rhs(a.global());
+  RealVec x(64, 0.0);
+  bool perturbed = false;
+  const auto result = cg_solve(
+      a, cluster, b, x, {},
+      [&perturbed](const CgIterationView& view) {
+        if (!perturbed && view.iteration == 10) {
+          perturbed = true;
+          // Clobber part of the iterate: CG must restart and still reach
+          // the solution.
+          for (std::size_t i = 0; i < 16; ++i) {
+            view.x[i] = 100.0;
+          }
+          return HookAction::kRestart;
+        }
+        return HookAction::kContinue;
+      });
+  EXPECT_TRUE(perturbed);
+  EXPECT_TRUE(result.converged);
+  for (const Real v : x) {
+    EXPECT_NEAR(v, 1.0, 1e-8);  // b = A·1
+  }
+}
+
+TEST(DistCgTest, ExtraIterationsTaggedBeyondFfCount) {
+  const dist::DistMatrix a(sparse::laplacian_2d(8, 8), 4);
+  const RealVec b = sparse::make_rhs(a.global());
+
+  // First find the FF iteration count.
+  RealVec x0(64, 0.0);
+  simrt::VirtualCluster ff_cluster(one_node(), 4);
+  const auto ff = cg_solve(a, ff_cluster, b, x0, {});
+  EXPECT_DOUBLE_EQ(
+      ff_cluster.energy().core_energy(PhaseTag::kExtraIter), 0.0);
+
+  // Now run with a perturbation and the FF count declared: the run takes
+  // longer and the surplus lands in kExtraIter.
+  simrt::VirtualCluster cluster(one_node(), 4);
+  RealVec x(64, 0.0);
+  CgOptions options;
+  options.ff_iterations = ff.iterations;
+  bool perturbed = false;
+  const auto result = cg_solve(
+      a, cluster, b, x, options,
+      [&perturbed, &ff](const CgIterationView& view) {
+        if (!perturbed && view.iteration == ff.iterations / 2) {
+          perturbed = true;
+          for (std::size_t i = 0; i < 16; ++i) {
+            view.x[i] = 0.0;
+          }
+          return HookAction::kRestart;
+        }
+        return HookAction::kContinue;
+      });
+  EXPECT_GT(result.iterations, ff.iterations);
+  EXPECT_GT(cluster.energy().core_energy(PhaseTag::kExtraIter), 0.0);
+}
+
+TEST(DistCgTest, NonSpdDetected) {
+  sparse::CooBuilder builder(2, 2);
+  builder.add(0, 0, 1.0);
+  builder.add(1, 1, -1.0);
+  const dist::DistMatrix a(builder.to_csr(), 2);
+  simrt::VirtualCluster cluster(one_node(), 2);
+  const RealVec b = {1.0, 1.0};
+  RealVec x(2, 0.0);
+  EXPECT_THROW(cg_solve(a, cluster, b, x, {}), Error);
+}
+
+TEST(DistCgTest, InvariantToProcessCount) {
+  // The arithmetic is independent of the partition: iteration counts and
+  // solutions agree across process counts (paper Table 4's FF column).
+  const sparse::Csr global = sparse::laplacian_2d(9, 9);
+  const RealVec b = sparse::make_rhs(global);
+  Index first_iterations = -1;
+  for (const Index p : {2, 4, 16}) {
+    const dist::DistMatrix a(global, p);
+    simrt::VirtualCluster cluster(one_node(), p);
+    RealVec x(81, 0.0);
+    const auto result = cg_solve(a, cluster, b, x, {});
+    if (first_iterations < 0) {
+      first_iterations = result.iterations;
+    }
+    EXPECT_EQ(result.iterations, first_iterations);
+  }
+}
+
+}  // namespace
+}  // namespace rsls::solver

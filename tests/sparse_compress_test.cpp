@@ -1,0 +1,98 @@
+// Unit tests: column compression (the local-support renumbering the LSI
+// construction works in).
+
+#include <gtest/gtest.h>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace rsls::sparse {
+namespace {
+
+TEST(CompressColumnsTest, KeepsOnlySupport) {
+  CooBuilder b(2, 10);
+  b.add(0, 3, 1.0);
+  b.add(0, 7, 2.0);
+  b.add(1, 3, 3.0);
+  const auto compressed = compress_columns(b.to_csr());
+  EXPECT_EQ(compressed.matrix.cols, 2);
+  ASSERT_EQ(compressed.support.size(), 2u);
+  EXPECT_EQ(compressed.support[0], 3);
+  EXPECT_EQ(compressed.support[1], 7);
+  EXPECT_DOUBLE_EQ(compressed.matrix.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(compressed.matrix.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(compressed.matrix.at(1, 0), 3.0);
+}
+
+TEST(CompressColumnsTest, ResultIsValidCsr) {
+  const Csr a = extract_rows(laplacian_2d(8, 8), 16, 24);
+  const auto compressed = compress_columns(a);
+  validate(compressed.matrix);
+  EXPECT_EQ(compressed.matrix.nnz(), a.nnz());
+}
+
+TEST(CompressColumnsTest, SpmvEquivalentOnSupport) {
+  // A·x == compressed·x|support for any x.
+  const Csr a = extract_rows(laplacian_2d(10, 10), 30, 40);
+  const auto compressed = compress_columns(a);
+  RealVec x(static_cast<std::size_t>(a.cols));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(i) * 0.01 - 0.3;
+  }
+  RealVec x_local(compressed.support.size());
+  for (std::size_t j = 0; j < compressed.support.size(); ++j) {
+    x_local[j] = x[static_cast<std::size_t>(compressed.support[j])];
+  }
+  RealVec y_full(static_cast<std::size_t>(a.rows));
+  RealVec y_local(static_cast<std::size_t>(a.rows));
+  spmv(a, x, y_full);
+  spmv(compressed.matrix, x_local, y_local);
+  for (std::size_t i = 0; i < y_full.size(); ++i) {
+    EXPECT_DOUBLE_EQ(y_full[i], y_local[i]);
+  }
+}
+
+TEST(CompressColumnsTest, FullSupportIsIdentityRenumbering) {
+  const Csr a = laplacian_1d(6);
+  const auto compressed = compress_columns(a);
+  EXPECT_EQ(compressed.matrix.cols, 6);
+  EXPECT_EQ(compressed.matrix.col_idx, a.col_idx);
+}
+
+TEST(CompressColumnsTest, EmptyMatrix) {
+  Csr a;
+  a.rows = 2;
+  a.cols = 5;
+  a.row_ptr = {0, 0, 0};
+  const auto compressed = compress_columns(a);
+  EXPECT_EQ(compressed.matrix.cols, 0);
+  EXPECT_TRUE(compressed.support.empty());
+}
+
+TEST(CompressColumnsTest, SupportIsAscending) {
+  sparse::IrregularSpdConfig config;
+  config.n = 64;
+  config.extra_per_row = 4;
+  config.diag_excess = 0.1;
+  config.seed = 9;
+  const Csr rows = extract_rows(irregular_spd(config), 10, 20);
+  const auto compressed = compress_columns(rows);
+  for (std::size_t j = 1; j < compressed.support.size(); ++j) {
+    EXPECT_LT(compressed.support[j - 1], compressed.support[j]);
+  }
+}
+
+TEST(CompressColumnsTest, BandedSupportIsBlockPlusHalo) {
+  // A thin-band row block references its rows' columns ± bandwidth only.
+  const Csr a = laplacian_1d(100);
+  const Csr rows = extract_rows(a, 40, 60);
+  const auto compressed = compress_columns(rows);
+  EXPECT_EQ(compressed.support.front(), 39);
+  EXPECT_EQ(compressed.support.back(), 60);
+  EXPECT_EQ(compressed.matrix.cols, 22);
+}
+
+}  // namespace
+}  // namespace rsls::sparse

@@ -1,0 +1,244 @@
+// Unit tests: COO assembly and CSR kernels, checked against dense
+// reference computations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+
+namespace rsls::sparse {
+namespace {
+
+Csr small_matrix() {
+  // [ 4 -1  0 ]
+  // [-1  4 -2 ]
+  // [ 0 -2  4 ]
+  CooBuilder b(3, 3);
+  b.add(0, 0, 4.0);
+  b.add_symmetric(0, 1, -1.0);
+  b.add(1, 1, 4.0);
+  b.add_symmetric(1, 2, -2.0);
+  b.add(2, 2, 4.0);
+  return b.to_csr();
+}
+
+TEST(CooTest, BuildsSortedCsr) {
+  CooBuilder b(2, 3);
+  b.add(1, 2, 3.0);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 2.0);
+  const Csr a = b.to_csr();
+  EXPECT_EQ(a.rows, 2);
+  EXPECT_EQ(a.cols, 3);
+  EXPECT_EQ(a.nnz(), 3);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 2), 3.0);
+}
+
+TEST(CooTest, SumsDuplicates) {
+  CooBuilder b(1, 1);
+  b.add(0, 0, 1.5);
+  b.add(0, 0, 2.5);
+  const Csr a = b.to_csr();
+  EXPECT_EQ(a.nnz(), 1);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 4.0);
+}
+
+TEST(CooTest, DropsExplicitZeros) {
+  CooBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(0, 1, 2.0);
+  b.add(0, 1, -2.0);  // cancels
+  const Csr a = b.to_csr();
+  EXPECT_EQ(a.nnz(), 1);
+}
+
+TEST(CooTest, BoundsChecked) {
+  CooBuilder b(2, 2);
+  EXPECT_THROW(b.add(2, 0, 1.0), Error);
+  EXPECT_THROW(b.add(0, -1, 1.0), Error);
+}
+
+TEST(CooTest, AddSymmetricOnDiagonalOnce) {
+  CooBuilder b(2, 2);
+  b.add_symmetric(1, 1, 3.0);
+  const Csr a = b.to_csr();
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 3.0);
+}
+
+TEST(CooTest, TripletCount) {
+  CooBuilder b(3, 3);
+  EXPECT_EQ(b.triplet_count(), 0);
+  b.add_symmetric(0, 1, 1.0);
+  EXPECT_EQ(b.triplet_count(), 2);
+}
+
+TEST(CsrTest, ValidateAcceptsWellFormed) {
+  EXPECT_NO_THROW(validate(small_matrix()));
+}
+
+TEST(CsrTest, ValidateRejectsBadRowPtr) {
+  Csr a = small_matrix();
+  a.row_ptr.back() = 99;
+  EXPECT_THROW(validate(a), Error);
+}
+
+TEST(CsrTest, ValidateRejectsOutOfRangeColumn) {
+  Csr a = small_matrix();
+  a.col_idx[0] = 5;
+  EXPECT_THROW(validate(a), Error);
+}
+
+TEST(CsrTest, ValidateRejectsUnsortedColumns) {
+  CooBuilder b(1, 3);
+  b.add(0, 0, 1.0);
+  b.add(0, 2, 1.0);
+  Csr a = b.to_csr();
+  std::swap(a.col_idx[0], a.col_idx[1]);
+  EXPECT_THROW(validate(a), Error);
+}
+
+TEST(CsrTest, AtReturnsZeroForMissing) {
+  const Csr a = small_matrix();
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 4.0);
+}
+
+TEST(CsrTest, SpmvMatchesDense) {
+  const Csr a = small_matrix();
+  const Dense d = to_dense(a);
+  const RealVec x = {1.0, 2.0, 3.0};
+  RealVec y_sparse(3), y_dense(3);
+  spmv(a, x, y_sparse);
+  d.multiply(x, y_dense);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(y_sparse[static_cast<std::size_t>(i)],
+                     y_dense[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(CsrTest, SpmvKnownResult) {
+  const Csr a = small_matrix();
+  const RealVec x = {1.0, 1.0, 1.0};
+  RealVec y(3);
+  spmv(a, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 1.0);
+  EXPECT_DOUBLE_EQ(y[2], 2.0);
+}
+
+TEST(CsrTest, SpmvAddAccumulates) {
+  const Csr a = small_matrix();
+  const RealVec x = {1.0, 1.0, 1.0};
+  RealVec y = {10.0, 10.0, 10.0};
+  spmv_add(a, 2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 16.0);
+  EXPECT_DOUBLE_EQ(y[1], 12.0);
+  EXPECT_DOUBLE_EQ(y[2], 14.0);
+}
+
+TEST(CsrTest, SpmvTransposeMatchesExplicitTranspose) {
+  CooBuilder b(2, 3);
+  b.add(0, 0, 1.0);
+  b.add(0, 2, 2.0);
+  b.add(1, 1, 3.0);
+  const Csr a = b.to_csr();
+  const Csr at = transpose(a);
+  const RealVec x = {5.0, 7.0};
+  RealVec y1(3), y2(3);
+  spmv_transpose(a, x, y1);
+  spmv(at, x, y2);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(y1[static_cast<std::size_t>(i)],
+                     y2[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(CsrTest, TransposeTwiceIsIdentity) {
+  const Csr a = small_matrix();
+  const Csr att = transpose(transpose(a));
+  EXPECT_EQ(att.row_ptr, a.row_ptr);
+  EXPECT_EQ(att.col_idx, a.col_idx);
+  EXPECT_EQ(att.values, a.values);
+}
+
+TEST(CsrTest, ExtractBlockRebasesIndices) {
+  const Csr a = small_matrix();
+  const Csr block = extract_block(a, 1, 3, 1, 3);
+  EXPECT_EQ(block.rows, 2);
+  EXPECT_EQ(block.cols, 2);
+  EXPECT_DOUBLE_EQ(block.at(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(block.at(0, 1), -2.0);
+  EXPECT_DOUBLE_EQ(block.at(1, 1), 4.0);
+}
+
+TEST(CsrTest, ExtractRowsKeepsGlobalColumns) {
+  const Csr a = small_matrix();
+  const Csr rows = extract_rows(a, 1, 2);
+  EXPECT_EQ(rows.rows, 1);
+  EXPECT_EQ(rows.cols, 3);
+  EXPECT_DOUBLE_EQ(rows.at(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(rows.at(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(rows.at(0, 2), -2.0);
+}
+
+TEST(CsrTest, ExtractBlockBoundsChecked) {
+  const Csr a = small_matrix();
+  EXPECT_THROW(extract_block(a, 0, 4, 0, 3), Error);
+  EXPECT_THROW(extract_block(a, 2, 1, 0, 3), Error);
+}
+
+TEST(CsrTest, Diagonal) {
+  const RealVec d = diagonal(small_matrix());
+  EXPECT_EQ(d.size(), 3u);
+  for (const Real v : d) {
+    EXPECT_DOUBLE_EQ(v, 4.0);
+  }
+}
+
+TEST(CsrTest, IsSymmetricTrue) {
+  EXPECT_TRUE(is_symmetric(small_matrix()));
+}
+
+TEST(CsrTest, IsSymmetricDetectsAsymmetry) {
+  CooBuilder b(2, 2);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 2.0);
+  EXPECT_FALSE(is_symmetric(b.to_csr()));
+}
+
+TEST(CsrTest, IsSymmetricRejectsNonSquare) {
+  CooBuilder b(2, 3);
+  b.add(0, 0, 1.0);
+  EXPECT_FALSE(is_symmetric(b.to_csr()));
+}
+
+TEST(CsrTest, ResidualNormZeroForExactSolution) {
+  const Csr a = small_matrix();
+  const RealVec x = {1.0, 1.0, 1.0};
+  RealVec b(3);
+  spmv(a, x, b);
+  EXPECT_NEAR(residual_norm(a, x, b), 0.0, 1e-14);
+}
+
+TEST(CsrTest, ResidualNormPositiveOtherwise) {
+  const Csr a = small_matrix();
+  const RealVec x = {0.0, 0.0, 0.0};
+  const RealVec b = {1.0, 1.0, 1.0};
+  EXPECT_NEAR(residual_norm(a, x, b), std::sqrt(3.0), 1e-14);
+}
+
+TEST(CsrTest, RowSpansConsistent) {
+  const Csr a = small_matrix();
+  EXPECT_EQ(a.row_cols(0).size(), 2u);
+  EXPECT_EQ(a.row_vals(1).size(), 3u);
+  EXPECT_EQ(a.row_cols(2).size(), 2u);
+}
+
+}  // namespace
+}  // namespace rsls::sparse

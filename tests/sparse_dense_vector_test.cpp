@@ -1,0 +1,162 @@
+// Unit tests: dense matrix and BLAS-1 span kernels.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace rsls::sparse {
+namespace {
+
+TEST(DenseTest, ZeroInitialized) {
+  const Dense m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  for (Index i = 0; i < 2; ++i) {
+    for (Index j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(m(i, j), 0.0);
+    }
+  }
+}
+
+TEST(DenseTest, ElementAccess) {
+  Dense m(2, 2);
+  m(0, 1) = 5.0;
+  m(1, 0) = -3.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), -3.0);
+}
+
+TEST(DenseTest, RowSpan) {
+  Dense m(2, 3);
+  m(1, 2) = 7.0;
+  const auto row = m.row(1);
+  EXPECT_EQ(row.size(), 3u);
+  EXPECT_DOUBLE_EQ(row[2], 7.0);
+}
+
+TEST(DenseTest, Multiply) {
+  Dense m(2, 2);
+  m(0, 0) = 1.0;
+  m(0, 1) = 2.0;
+  m(1, 0) = 3.0;
+  m(1, 1) = 4.0;
+  const RealVec x = {1.0, 1.0};
+  RealVec y(2);
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(DenseTest, MultiplyTranspose) {
+  Dense m(2, 2);
+  m(0, 0) = 1.0;
+  m(0, 1) = 2.0;
+  m(1, 0) = 3.0;
+  m(1, 1) = 4.0;
+  const RealVec x = {1.0, 1.0};
+  RealVec y(2);
+  m.multiply_transpose(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(DenseTest, Identity) {
+  const Dense eye = Dense::identity(3);
+  const RealVec x = {1.0, 2.0, 3.0};
+  RealVec y(3);
+  eye.multiply(x, y);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(y[i], x[i]);
+  }
+}
+
+TEST(DenseTest, ToDenseMatchesCsr) {
+  CooBuilder b(2, 2);
+  b.add(0, 0, 1.5);
+  b.add(1, 0, -2.5);
+  const Dense m = to_dense(b.to_csr());
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), -2.5);
+}
+
+TEST(DenseTest, MaxAbsDiff) {
+  Dense a(1, 2), b(1, 2);
+  a(0, 0) = 1.0;
+  b(0, 0) = 1.5;
+  b(0, 1) = -0.25;
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.5);
+}
+
+TEST(DenseTest, MaxAbsDiffRejectsShapeMismatch) {
+  const Dense a(1, 2);
+  const Dense b(2, 1);
+  EXPECT_THROW(max_abs_diff(a, b), Error);
+}
+
+TEST(VectorOpsTest, Axpy) {
+  const RealVec x = {1.0, 2.0};
+  RealVec y = {10.0, 20.0};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+}
+
+TEST(VectorOpsTest, Xpby) {
+  const RealVec x = {1.0, 2.0};
+  RealVec y = {10.0, 20.0};
+  xpby(x, 0.5, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 12.0);
+}
+
+TEST(VectorOpsTest, Scale) {
+  RealVec x = {2.0, -4.0};
+  scale(0.5, x);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], -2.0);
+}
+
+TEST(VectorOpsTest, CopyAndFill) {
+  const RealVec src = {1.0, 2.0, 3.0};
+  RealVec dst(3);
+  copy(src, dst);
+  EXPECT_EQ(dst, src);
+  fill(dst, 9.0);
+  for (const Real v : dst) {
+    EXPECT_DOUBLE_EQ(v, 9.0);
+  }
+}
+
+TEST(VectorOpsTest, DotAndNorms) {
+  const RealVec x = {3.0, 4.0};
+  const RealVec y = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(dot(x, y), 7.0);
+  EXPECT_DOUBLE_EQ(norm2(x), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(x), 4.0);
+}
+
+TEST(VectorOpsTest, SizeMismatchThrows) {
+  const RealVec x = {1.0};
+  RealVec y = {1.0, 2.0};
+  EXPECT_THROW(axpy(1.0, x, y), Error);
+  EXPECT_THROW(dot(x, y), Error);
+  EXPECT_THROW(copy(x, y), Error);
+}
+
+TEST(VectorOpsTest, EmptyVectorsAreFine) {
+  const RealVec x;
+  RealVec y;
+  EXPECT_NO_THROW(axpy(1.0, x, y));
+  EXPECT_DOUBLE_EQ(dot(x, x), 0.0);
+  EXPECT_DOUBLE_EQ(norm2(x), 0.0);
+  EXPECT_DOUBLE_EQ(norm_inf(x), 0.0);
+}
+
+}  // namespace
+}  // namespace rsls::sparse

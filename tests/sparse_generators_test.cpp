@@ -1,0 +1,266 @@
+// Unit + property tests: synthetic SPD generators. The SPD property is
+// what every recovery scheme's correctness rests on, so it is verified
+// across the whole generator parameter space with TEST_P sweeps.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "la/condition.hpp"
+#include "la/factor.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/matrix_stats.hpp"
+
+namespace rsls::sparse {
+namespace {
+
+/// SPD check for small matrices: dense Cholesky must succeed.
+bool is_spd(const Csr& a) {
+  if (!is_symmetric(a)) {
+    return false;
+  }
+  try {
+    la::Cholesky chol(to_dense(a));
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+TEST(LaplacianTest, OneDimensionalStructure) {
+  const Csr a = laplacian_1d(5);
+  EXPECT_EQ(a.rows, 5);
+  EXPECT_EQ(a.nnz(), 5 + 2 * 4);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 1), -1.0);
+  EXPECT_TRUE(is_spd(a));
+}
+
+TEST(LaplacianTest, OneDimensionalEigenvalues) {
+  // λ_k = 2 - 2cos(kπ/(n+1)).
+  const Index n = 50;
+  const Csr a = laplacian_1d(n);
+  const auto est = la::estimate_spectrum(a, 500);
+  const double lambda_max =
+      2.0 - 2.0 * std::cos(static_cast<double>(n) * M_PI /
+                           static_cast<double>(n + 1));
+  EXPECT_NEAR(est.lambda_max, lambda_max, 0.01);
+}
+
+TEST(LaplacianTest, TwoDimensionalFivePoint) {
+  const Csr a = laplacian_2d(4, 3);
+  EXPECT_EQ(a.rows, 12);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -1.0);   // east
+  EXPECT_DOUBLE_EQ(a.at(0, 4), -1.0);   // north
+  EXPECT_DOUBLE_EQ(a.at(0, 5), 0.0);    // no diagonal coupling
+  EXPECT_TRUE(is_spd(a));
+}
+
+TEST(LaplacianTest, TwoDimensionalNinePoint) {
+  const Csr a = laplacian_2d_9pt(4, 4);
+  EXPECT_EQ(a.rows, 16);
+  // Interior node couples to 8 neighbours + itself.
+  const auto stats = compute_stats(a);
+  EXPECT_EQ(stats.max_nnz_per_row, 9);
+  EXPECT_TRUE(is_spd(a));
+}
+
+TEST(LaplacianTest, ThreeDimensionalSevenPoint) {
+  const Csr a = laplacian_3d(3, 3, 3);
+  EXPECT_EQ(a.rows, 27);
+  EXPECT_DOUBLE_EQ(a.at(13, 13), 6.0);  // center node
+  const auto stats = compute_stats(a);
+  EXPECT_EQ(stats.max_nnz_per_row, 7);
+  EXPECT_TRUE(is_spd(a));
+}
+
+TEST(FemTest, DimensionAndStructure) {
+  const Csr a = fem_q1_2d(4, 5, 1);
+  EXPECT_EQ(a.rows, 5 * 6);
+  const auto stats = compute_stats(a);
+  EXPECT_EQ(stats.max_nnz_per_row, 9);  // interior Q1 node
+  EXPECT_TRUE(is_spd(a));
+}
+
+TEST(FemTest, DeterministicInSeed) {
+  const Csr a = fem_q1_2d(6, 6, 42);
+  const Csr b = fem_q1_2d(6, 6, 42);
+  EXPECT_EQ(a.values, b.values);
+  const Csr c = fem_q1_2d(6, 6, 43);
+  EXPECT_NE(a.values, c.values);
+}
+
+TEST(FemTest, SmallerMassWeightIsHarder) {
+  const Csr easy = fem_q1_2d(12, 12, 1, 1.0);
+  const Csr hard = fem_q1_2d(12, 12, 1, 0.01);
+  const auto est_easy = la::estimate_spectrum(easy, 300);
+  const auto est_hard = la::estimate_spectrum(hard, 300);
+  EXPECT_GT(est_hard.condition(), est_easy.condition());
+}
+
+TEST(BandedTest, RespectsBandwidth) {
+  BandedSpdConfig config;
+  config.n = 50;
+  config.half_bandwidth = 3;
+  config.diag_excess = 0.1;
+  config.seed = 5;
+  const Csr a = banded_spd(config);
+  const auto stats = compute_stats(a);
+  EXPECT_LE(stats.bandwidth, 3);
+  EXPECT_TRUE(is_spd(a));
+}
+
+TEST(BandedTest, DiagonallyDominantWithoutScaling) {
+  BandedSpdConfig config;
+  config.n = 40;
+  config.half_bandwidth = 4;
+  config.diag_excess = 0.05;
+  config.seed = 6;
+  const auto stats = compute_stats(banded_spd(config));
+  EXPECT_GE(stats.min_diag_dominance, 1.0 + 0.05 - 1e-9);
+}
+
+TEST(BandedTest, ScalingPreservesSpd) {
+  BandedSpdConfig config;
+  config.n = 40;
+  config.half_bandwidth = 4;
+  config.diag_excess = 0.05;
+  config.scale_decades = 2.0;
+  config.seed = 7;
+  EXPECT_TRUE(is_spd(banded_spd(config)));
+}
+
+TEST(BandedTest, ScalingWorsensConditioning) {
+  BandedSpdConfig base;
+  base.n = 60;
+  base.half_bandwidth = 4;
+  base.diag_excess = 0.1;
+  base.seed = 8;
+  BandedSpdConfig scaled = base;
+  scaled.scale_decades = 1.5;
+  const auto est_base = la::estimate_spectrum(banded_spd(base), 300);
+  const auto est_scaled = la::estimate_spectrum(banded_spd(scaled), 300);
+  EXPECT_GT(est_scaled.condition(), 3.0 * est_base.condition());
+}
+
+TEST(BandedTest, PartialFillReducesNnz) {
+  BandedSpdConfig full;
+  full.n = 100;
+  full.half_bandwidth = 6;
+  full.diag_excess = 0.1;
+  full.seed = 9;
+  BandedSpdConfig sparse_band = full;
+  sparse_band.fill = 0.3;
+  EXPECT_LT(banded_spd(sparse_band).nnz(), banded_spd(full).nnz());
+}
+
+TEST(IrregularTest, HasLongRangeCoupling) {
+  IrregularSpdConfig config;
+  config.n = 200;
+  config.extra_per_row = 5;
+  config.diag_excess = 0.1;
+  config.seed = 10;
+  const Csr a = irregular_spd(config);
+  const auto stats = compute_stats(a);
+  EXPECT_GT(stats.bandwidth, 50);  // scattered coupling
+  EXPECT_TRUE(is_spd(a));
+}
+
+TEST(IrregularTest, HighOffBlockCoupling) {
+  IrregularSpdConfig irregular;
+  irregular.n = 256;
+  irregular.extra_per_row = 6;
+  irregular.diag_excess = 0.1;
+  irregular.seed = 11;
+  BandedSpdConfig banded;
+  banded.n = 256;
+  banded.half_bandwidth = 3;
+  banded.diag_excess = 0.1;
+  banded.seed = 11;
+  // For a 16-way partition, the irregular matrix couples blocks far more.
+  EXPECT_GT(off_block_coupling(irregular_spd(irregular), 16),
+            3.0 * off_block_coupling(banded_spd(banded), 16));
+}
+
+TEST(DiagonalSpdTest, SpectrumIsExact) {
+  const Csr a = diagonal_spd(32, 0.5, 8.0, 3);
+  const auto est = la::estimate_spectrum(a, 400);
+  EXPECT_NEAR(est.lambda_max, 8.0, 0.1);
+  EXPECT_NEAR(est.lambda_min, 0.5, 0.1);
+}
+
+TEST(DiagonalSpdTest, RejectsBadRange) {
+  EXPECT_THROW(diagonal_spd(8, -1.0, 2.0, 1), Error);
+  EXPECT_THROW(diagonal_spd(8, 3.0, 2.0, 1), Error);
+}
+
+TEST(DifficultyKnobTest, MonotoneInTarget) {
+  EXPECT_GT(diag_excess_for_iterations(100.0),
+            diag_excess_for_iterations(1000.0));
+  EXPECT_THROW(diag_excess_for_iterations(0.5), Error);
+}
+
+// Property sweep: every generator family produces symmetric SPD matrices
+// for a range of sizes and difficulty settings.
+struct GeneratorCase {
+  std::string name;
+  std::function<Csr()> make;
+};
+
+class GeneratorSpdTest : public ::testing::TestWithParam<GeneratorCase> {};
+
+TEST_P(GeneratorSpdTest, ProducesSymmetricSpd) {
+  const Csr a = GetParam().make();
+  validate(a);
+  EXPECT_TRUE(is_symmetric(a));
+  EXPECT_TRUE(is_spd(a)) << GetParam().name;
+}
+
+std::vector<GeneratorCase> generator_cases() {
+  std::vector<GeneratorCase> cases;
+  cases.push_back({"lap1d", [] { return laplacian_1d(17); }});
+  cases.push_back({"lap2d", [] { return laplacian_2d(7, 5); }});
+  cases.push_back({"lap2d9", [] { return laplacian_2d_9pt(6, 6); }});
+  cases.push_back({"lap3d", [] { return laplacian_3d(3, 4, 2); }});
+  cases.push_back({"fem", [] { return fem_q1_2d(5, 7, 21); }});
+  cases.push_back({"fem_hard", [] { return fem_q1_2d(6, 6, 22, 0.01); }});
+  for (const double excess : {0.5, 1e-2, 1e-4}) {
+    for (const Index hb : {Index{1}, Index{5}, Index{12}}) {
+      cases.push_back({"banded_hb" + std::to_string(hb),
+                       [excess, hb] {
+                         BandedSpdConfig c;
+                         c.n = 64;
+                         c.half_bandwidth = hb;
+                         c.diag_excess = excess;
+                         c.seed = static_cast<std::uint64_t>(hb) * 7 + 1;
+                         return banded_spd(c);
+                       }});
+    }
+  }
+  for (const double decades : {0.0, 1.0, 2.5}) {
+    cases.push_back({"irregular",
+                     [decades] {
+                       IrregularSpdConfig c;
+                       c.n = 96;
+                       c.extra_per_row = 4;
+                       c.diag_excess = 1e-3;
+                       c.scale_decades = decades;
+                       c.seed = 31;
+                       return irregular_spd(c);
+                     }});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenerators, GeneratorSpdTest,
+                         ::testing::ValuesIn(generator_cases()),
+                         [](const auto& info) {
+                           return info.param.name + "_" +
+                                  std::to_string(info.index);
+                         });
+
+}  // namespace
+}  // namespace rsls::sparse

@@ -1,0 +1,126 @@
+// Unit tests: Matrix Market I/O.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/mmio.hpp"
+
+namespace rsls::sparse {
+namespace {
+
+TEST(MmioTest, RoundTripGeneral) {
+  const Csr original = laplacian_2d(5, 4);
+  std::stringstream stream;
+  write_matrix_market(stream, original);
+  const Csr loaded = read_matrix_market(stream);
+  EXPECT_EQ(loaded.rows, original.rows);
+  EXPECT_EQ(loaded.cols, original.cols);
+  EXPECT_EQ(loaded.row_ptr, original.row_ptr);
+  EXPECT_EQ(loaded.col_idx, original.col_idx);
+  EXPECT_EQ(loaded.values, original.values);
+}
+
+TEST(MmioTest, SymmetricExpansion) {
+  std::stringstream stream(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "% lower triangle only\n"
+      "3 3 4\n"
+      "1 1 2.0\n"
+      "2 1 -1.0\n"
+      "2 2 2.0\n"
+      "3 3 2.0\n");
+  const Csr a = read_matrix_market(stream);
+  EXPECT_EQ(a.rows, 3);
+  EXPECT_EQ(a.nnz(), 5);  // off-diagonal mirrored
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), -1.0);
+  EXPECT_TRUE(is_symmetric(a));
+}
+
+TEST(MmioTest, SkipsComments) {
+  std::stringstream stream(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "% another comment\n"
+      "2 2 1\n"
+      "1 2 3.5\n");
+  const Csr a = read_matrix_market(stream);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 3.5);
+}
+
+TEST(MmioTest, IntegerFieldAccepted) {
+  std::stringstream stream(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "1 1 1\n"
+      "1 1 7\n");
+  const Csr a = read_matrix_market(stream);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 7.0);
+}
+
+TEST(MmioTest, RejectsMissingBanner) {
+  std::stringstream stream("1 1 1\n1 1 2.0\n");
+  EXPECT_THROW(read_matrix_market(stream), Error);
+}
+
+TEST(MmioTest, RejectsUnsupportedFormat) {
+  std::stringstream stream("%%MatrixMarket matrix array real general\n");
+  EXPECT_THROW(read_matrix_market(stream), Error);
+}
+
+TEST(MmioTest, RejectsUnsupportedField) {
+  std::stringstream stream(
+      "%%MatrixMarket matrix coordinate complex general\n1 1 1\n");
+  EXPECT_THROW(read_matrix_market(stream), Error);
+}
+
+TEST(MmioTest, RejectsTruncatedEntries) {
+  std::stringstream stream(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 3\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(stream), Error);
+}
+
+TEST(MmioTest, RejectsOutOfRangeEntry) {
+  std::stringstream stream(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(stream), Error);
+}
+
+TEST(MmioTest, RejectsBadSizeLine) {
+  std::stringstream stream(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "0 2 1\n");
+  EXPECT_THROW(read_matrix_market(stream), Error);
+}
+
+TEST(MmioTest, FileRoundTrip) {
+  const Csr original = laplacian_1d(10);
+  const std::string path = ::testing::TempDir() + "/rsls_mmio_test.mtx";
+  write_matrix_market_file(path, original);
+  const Csr loaded = read_matrix_market_file(path);
+  EXPECT_EQ(loaded.values, original.values);
+}
+
+TEST(MmioTest, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/path.mtx"), Error);
+}
+
+TEST(MmioTest, PreservesFullPrecision) {
+  CooBuilder b(1, 1);
+  b.add(0, 0, 1.0 / 3.0);
+  const Csr original = b.to_csr();
+  std::stringstream stream;
+  write_matrix_market(stream, original);
+  const Csr loaded = read_matrix_market(stream);
+  EXPECT_DOUBLE_EQ(loaded.at(0, 0), 1.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace rsls::sparse

@@ -1,0 +1,162 @@
+// Unit + property tests: RCM ordering and symmetric permutation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "la/condition.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/matrix_stats.hpp"
+#include "sparse/ordering.hpp"
+
+namespace rsls::sparse {
+namespace {
+
+IndexVec random_permutation(Index n, std::uint64_t seed) {
+  Rng rng(seed);
+  IndexVec perm(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    perm[static_cast<std::size_t>(i)] = i;
+  }
+  for (Index i = n - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_index(static_cast<std::uint64_t>(i) + 1));
+    std::swap(perm[static_cast<std::size_t>(i)], perm[j]);
+  }
+  return perm;
+}
+
+TEST(PermutationTest, InvertRoundTrips) {
+  const IndexVec perm = random_permutation(20, 3);
+  const IndexVec inverse = invert_permutation(perm);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(inverse[static_cast<std::size_t>(perm[i])],
+              static_cast<Index>(i));
+  }
+}
+
+TEST(PermutationTest, InvertRejectsDuplicates) {
+  EXPECT_THROW(invert_permutation({0, 0, 1}), Error);
+  EXPECT_THROW(invert_permutation({0, 5}), Error);
+}
+
+TEST(PermutationTest, PermuteVector) {
+  const RealVec in = {10.0, 20.0, 30.0};
+  const IndexVec perm = {2, 0, 1};
+  const RealVec out = permute_vector(in, perm);
+  EXPECT_DOUBLE_EQ(out[0], 30.0);
+  EXPECT_DOUBLE_EQ(out[1], 10.0);
+  EXPECT_DOUBLE_EQ(out[2], 20.0);
+}
+
+TEST(PermuteSymmetricTest, EntriesMoveCorrectly) {
+  const Csr a = laplacian_1d(5);
+  const IndexVec perm = random_permutation(5, 7);
+  const Csr b = permute_symmetric(a, perm);
+  for (Index i = 0; i < 5; ++i) {
+    for (Index j = 0; j < 5; ++j) {
+      EXPECT_DOUBLE_EQ(
+          b.at(i, j),
+          a.at(perm[static_cast<std::size_t>(i)],
+               perm[static_cast<std::size_t>(j)]));
+    }
+  }
+}
+
+TEST(PermuteSymmetricTest, PreservesSymmetryAndSpectrum) {
+  BandedSpdConfig config;
+  config.n = 64;
+  config.half_bandwidth = 4;
+  config.diag_excess = 0.05;
+  config.seed = 9;
+  const Csr a = banded_spd(config);
+  const Csr b = permute_symmetric(a, random_permutation(64, 11));
+  EXPECT_TRUE(is_symmetric(b));
+  const auto ea = la::estimate_spectrum(a, 300);
+  const auto eb = la::estimate_spectrum(b, 300);
+  EXPECT_NEAR(ea.lambda_max, eb.lambda_max, 0.02 * ea.lambda_max);
+}
+
+TEST(RcmTest, ReturnsValidPermutation) {
+  const Csr a = laplacian_2d(6, 6);
+  const IndexVec perm = rcm_ordering(a);
+  ASSERT_EQ(perm.size(), 36u);
+  std::set<Index> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 36u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 35);
+}
+
+TEST(RcmTest, RecoversShuffledBand) {
+  // The canonical RCM result: a shuffled banded matrix returns to (near)
+  // its original bandwidth.
+  BandedSpdConfig config;
+  config.n = 200;
+  config.half_bandwidth = 3;
+  config.diag_excess = 0.1;
+  config.seed = 5;
+  const Csr banded = banded_spd(config);
+  const Csr shuffled = permute_symmetric(banded, random_permutation(200, 6));
+  EXPECT_GT(compute_stats(shuffled).bandwidth, 50);
+  const Csr recovered = permute_symmetric(shuffled, rcm_ordering(shuffled));
+  EXPECT_LE(compute_stats(recovered).bandwidth, 8);
+}
+
+TEST(RcmTest, ReducesLaplacianBandwidthFromShuffle) {
+  const Csr a = permute_symmetric(laplacian_2d(12, 12),
+                                  random_permutation(144, 8));
+  const Csr reordered = permute_symmetric(a, rcm_ordering(a));
+  EXPECT_LT(compute_stats(reordered).bandwidth,
+            compute_stats(a).bandwidth / 2);
+}
+
+TEST(RcmTest, HandlesDisconnectedGraph) {
+  // Two disjoint chains (block diagonal): both components must appear.
+  CooBuilder builder(6, 6);
+  for (Index i = 0; i < 3; ++i) {
+    builder.add(i, i, 2.0);
+    builder.add(i + 3, i + 3, 2.0);
+  }
+  builder.add_symmetric(0, 1, -1.0);
+  builder.add_symmetric(1, 2, -1.0);
+  builder.add_symmetric(3, 4, -1.0);
+  const Csr a = builder.to_csr();
+  const IndexVec perm = rcm_ordering(a);
+  std::set<Index> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(RcmTest, IdentityLikeOnDiagonalMatrix) {
+  const Csr d = diagonal_spd(8, 1.0, 2.0, 4);
+  const IndexVec perm = rcm_ordering(d);
+  std::set<Index> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RcmTest, RejectsNonSquare) {
+  Csr rect;
+  rect.rows = 2;
+  rect.cols = 3;
+  rect.row_ptr = {0, 0, 0};
+  EXPECT_THROW(rcm_ordering(rect), Error);
+}
+
+TEST(RcmTest, ShrinksHaloForPartitionedShuffledBand) {
+  BandedSpdConfig config;
+  config.n = 256;
+  config.half_bandwidth = 4;
+  config.diag_excess = 0.1;
+  config.seed = 15;
+  const Csr shuffled = permute_symmetric(banded_spd(config),
+                                         random_permutation(256, 16));
+  const Csr recovered = permute_symmetric(shuffled, rcm_ordering(shuffled));
+  EXPECT_LT(off_block_coupling(recovered, 16),
+            0.3 * off_block_coupling(shuffled, 16));
+}
+
+}  // namespace
+}  // namespace rsls::sparse

@@ -1,0 +1,132 @@
+// Unit + property tests: matrix statistics and the 14-entry roster.
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/matrix_stats.hpp"
+#include "sparse/roster.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace rsls::sparse {
+namespace {
+
+TEST(MatrixStatsTest, LaplacianValues) {
+  const auto stats = compute_stats(laplacian_1d(10));
+  EXPECT_EQ(stats.rows, 10);
+  EXPECT_EQ(stats.nnz, 28);
+  EXPECT_EQ(stats.bandwidth, 1);
+  EXPECT_EQ(stats.max_nnz_per_row, 3);
+  EXPECT_TRUE(stats.symmetric);
+  // 2 / (1+1) = 1 on interior rows, 2/1 on boundary rows → min is 1.
+  EXPECT_NEAR(stats.min_diag_dominance, 1.0, 1e-12);
+}
+
+TEST(MatrixStatsTest, MeanIndexDistance) {
+  const auto near = compute_stats(laplacian_1d(64));
+  IrregularSpdConfig config;
+  config.n = 64;
+  config.extra_per_row = 4;
+  config.diag_excess = 0.1;
+  config.seed = 3;
+  const auto far = compute_stats(irregular_spd(config));
+  EXPECT_LT(near.mean_index_distance, 1.0);
+  EXPECT_GT(far.mean_index_distance, 5.0);
+}
+
+TEST(OffBlockCouplingTest, DiagonalMatrixIsZero) {
+  const Csr d = diagonal_spd(16, 1.0, 2.0, 1);
+  EXPECT_DOUBLE_EQ(off_block_coupling(d, 4), 0.0);
+}
+
+TEST(OffBlockCouplingTest, SinglePartIsZero) {
+  EXPECT_DOUBLE_EQ(off_block_coupling(laplacian_1d(16), 1), 0.0);
+}
+
+TEST(OffBlockCouplingTest, TridiagonalKnownValue) {
+  // n=16, 4 parts: 3 block boundaries, each contributing 2 off-block
+  // entries out of nnz = 16 + 2·15 = 46.
+  EXPECT_NEAR(off_block_coupling(laplacian_1d(16), 4), 6.0 / 46.0, 1e-12);
+}
+
+TEST(OffBlockCouplingTest, IncreasesWithParts) {
+  const Csr a = laplacian_2d(12, 12);
+  EXPECT_LE(off_block_coupling(a, 2), off_block_coupling(a, 12));
+}
+
+TEST(MatrixStatsTest, ToStringContainsFields) {
+  const auto text = to_string(compute_stats(laplacian_1d(5)));
+  EXPECT_NE(text.find("rows=5"), std::string::npos);
+  EXPECT_NE(text.find("sym=yes"), std::string::npos);
+}
+
+TEST(RosterTest, HasFourteenEntries) {
+  EXPECT_EQ(roster().size(), 14u);
+}
+
+TEST(RosterTest, LookupWithAndWithoutPrefix) {
+  EXPECT_EQ(roster_entry("Kuu").name, "syn:Kuu");
+  EXPECT_EQ(roster_entry("syn:Kuu").name, "syn:Kuu");
+  EXPECT_THROW(roster_entry("nonexistent"), Error);
+}
+
+TEST(RosterTest, MakeRhsIsRowSum) {
+  const Csr a = laplacian_1d(4);
+  const RealVec b = make_rhs(a);
+  // A·1: interior rows sum to 0, boundary rows to 1.
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[1], 0.0);
+  EXPECT_DOUBLE_EQ(b[3], 1.0);
+}
+
+// Property sweep over all roster entries (quick variants to stay fast).
+class RosterEntryTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RosterEntryTest, QuickMatrixIsWellFormedSymmetric) {
+  const auto& entry = roster_entry(GetParam());
+  const Csr a = entry.make(/*quick=*/true);
+  validate(a);
+  EXPECT_TRUE(is_symmetric(a)) << entry.name;
+  EXPECT_GT(a.rows, 0);
+  EXPECT_EQ(a.rows, a.cols);
+}
+
+TEST_P(RosterEntryTest, QuickVariantIsSmaller) {
+  const auto& entry = roster_entry(GetParam());
+  EXPECT_LE(entry.make(true).rows, entry.make(false).rows);
+}
+
+TEST_P(RosterEntryTest, PaperMetadataPresent) {
+  const auto& entry = roster_entry(GetParam());
+  EXPECT_GT(entry.paper_rows, 0);
+  EXPECT_GT(entry.paper_nnz_per_row, 0);
+  EXPECT_GT(entry.paper_iters, 0);
+  EXPECT_FALSE(entry.problem_kind.empty());
+  EXPECT_FALSE(entry.structure.empty());
+}
+
+TEST_P(RosterEntryTest, DeterministicAcrossCalls) {
+  const auto& entry = roster_entry(GetParam());
+  const Csr a = entry.make(true);
+  const Csr b = entry.make(true);
+  EXPECT_EQ(a.values, b.values);
+  EXPECT_EQ(a.col_idx, b.col_idx);
+}
+
+std::vector<std::string> roster_names() {
+  std::vector<std::string> names;
+  for (const auto& entry : roster()) {
+    names.push_back(entry.name);
+  }
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRosterEntries, RosterEntryTest,
+                         ::testing::ValuesIn(roster_names()),
+                         [](const auto& info) {
+                           std::string name = info.param.substr(4);
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace rsls::sparse

@@ -1,0 +1,42 @@
+// Compilation test: the umbrella header exposes the whole public API and
+// the advertised README snippet compiles and runs against it.
+
+#include "rsls.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsls {
+namespace {
+
+TEST(UmbrellaTest, ReadmeQuickstartSnippet) {
+  auto workload =
+      harness::Workload::create(sparse::laplacian_2d(16, 16), 16);
+  harness::ExperimentConfig config;
+  config.processes = 16;
+  config.faults = 4;
+  auto ff = harness::run_fault_free(workload, config);
+  auto li = harness::run_scheme(workload, "LI-DVFS", config, ff);
+  EXPECT_TRUE(li.report.cg.converged);
+  EXPECT_GE(li.iteration_ratio, 1.0);
+  EXPECT_GE(li.energy_ratio, 1.0);
+}
+
+TEST(UmbrellaTest, EveryLayerReachable) {
+  // One symbol from each library proves the umbrella pulls them all in.
+  EXPECT_GT(Rng(1).uniform(), -1.0);                       // core
+  EXPECT_EQ(sparse::laplacian_1d(3).rows, 3);              // sparse
+  EXPECT_DOUBLE_EQ(la::spmv_flops(5), 10.0);               // la
+  EXPECT_EQ(power::PowerModel(power::PowerModelConfig{})   // power
+                .config()
+                .core_static,
+            1.0);
+  EXPECT_EQ(simrt::paper_node().total_cores(), 24);        // simrt
+  EXPECT_EQ(dist::Partition(8, 2).block_rows(0), 4);       // dist
+  EXPECT_EQ(solver::SolverKind::kCg, solver::CgOptions{}.kind);  // solver
+  EXPECT_EQ(resilience::Dmr().replica_factor(), 2);        // resilience
+  EXPECT_GT(model::young_interval(1.0, 100.0), 0.0);       // model
+  EXPECT_EQ(harness::all_scheme_names().size(), 13u);      // harness
+}
+
+}  // namespace
+}  // namespace rsls
