@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_weak_scaling"
+  "../bench/ablation_weak_scaling.pdb"
+  "CMakeFiles/ablation_weak_scaling.dir/ablation_weak_scaling.cpp.o"
+  "CMakeFiles/ablation_weak_scaling.dir/ablation_weak_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_weak_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_mtbf"
+  "../bench/fig01_mtbf.pdb"
+  "CMakeFiles/fig01_mtbf.dir/fig01_mtbf.cpp.o"
+  "CMakeFiles/fig01_mtbf.dir/fig01_mtbf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_mtbf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_motivation"
+  "../bench/fig03_motivation.pdb"
+  "CMakeFiles/fig03_motivation.dir/fig03_motivation.cpp.o"
+  "CMakeFiles/fig03_motivation.dir/fig03_motivation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

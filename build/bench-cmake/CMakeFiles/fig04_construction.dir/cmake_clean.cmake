@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_construction"
+  "../bench/fig04_construction.pdb"
+  "CMakeFiles/fig04_construction.dir/fig04_construction.cpp.o"
+  "CMakeFiles/fig04_construction.dir/fig04_construction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_iterations"
+  "../bench/fig05_iterations.pdb"
+  "CMakeFiles/fig05_iterations.dir/fig05_iterations.cpp.o"
+  "CMakeFiles/fig05_iterations.dir/fig05_iterations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

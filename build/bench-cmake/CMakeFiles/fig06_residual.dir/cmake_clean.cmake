@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_residual"
+  "../bench/fig06_residual.pdb"
+  "CMakeFiles/fig06_residual.dir/fig06_residual.cpp.o"
+  "CMakeFiles/fig06_residual.dir/fig06_residual.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_residual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07a_power_profile"
+  "../bench/fig07a_power_profile.pdb"
+  "CMakeFiles/fig07a_power_profile.dir/fig07a_power_profile.cpp.o"
+  "CMakeFiles/fig07a_power_profile.dir/fig07a_power_profile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07a_power_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07b_energy_savings"
+  "../bench/fig07b_energy_savings.pdb"
+  "CMakeFiles/fig07b_energy_savings.dir/fig07b_energy_savings.cpp.o"
+  "CMakeFiles/fig07b_energy_savings.dir/fig07b_energy_savings.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07b_energy_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

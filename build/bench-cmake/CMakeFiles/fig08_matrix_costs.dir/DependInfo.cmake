@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig08_matrix_costs.cpp" "bench-cmake/CMakeFiles/fig08_matrix_costs.dir/fig08_matrix_costs.cpp.o" "gcc" "bench-cmake/CMakeFiles/fig08_matrix_costs.dir/fig08_matrix_costs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/rsls_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/resilience/CMakeFiles/rsls_resilience.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/rsls_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/rsls_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/rsls_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/rsls_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/simrt/CMakeFiles/rsls_simrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/rsls_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/rsls_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rsls_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_matrix_costs"
+  "../bench/fig08_matrix_costs.pdb"
+  "CMakeFiles/fig08_matrix_costs.dir/fig08_matrix_costs.cpp.o"
+  "CMakeFiles/fig08_matrix_costs.dir/fig08_matrix_costs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_matrix_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_projection"
+  "../bench/fig09_projection.pdb"
+  "CMakeFiles/fig09_projection.dir/fig09_projection.cpp.o"
+  "CMakeFiles/fig09_projection.dir/fig09_projection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

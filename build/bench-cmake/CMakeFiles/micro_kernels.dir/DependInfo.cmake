@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_kernels.cpp" "bench-cmake/CMakeFiles/micro_kernels.dir/micro_kernels.cpp.o" "gcc" "bench-cmake/CMakeFiles/micro_kernels.dir/micro_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/rsls_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/rsls_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rsls_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table03_roster"
+  "../bench/table03_roster.pdb"
+  "CMakeFiles/table03_roster.dir/table03_roster.cpp.o"
+  "CMakeFiles/table03_roster.dir/table03_roster.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_roster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table04_scaling"
+  "../bench/table04_scaling.pdb"
+  "CMakeFiles/table04_scaling.dir/table04_scaling.cpp.o"
+  "CMakeFiles/table04_scaling.dir/table04_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

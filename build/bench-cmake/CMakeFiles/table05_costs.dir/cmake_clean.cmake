@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table05_costs"
+  "../bench/table05_costs.pdb"
+  "CMakeFiles/table05_costs.dir/table05_costs.cpp.o"
+  "CMakeFiles/table05_costs.dir/table05_costs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table06_model_validation"
+  "../bench/table06_model_validation.pdb"
+  "CMakeFiles/table06_model_validation.dir/table06_model_validation.cpp.o"
+  "CMakeFiles/table06_model_validation.dir/table06_model_validation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_model_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

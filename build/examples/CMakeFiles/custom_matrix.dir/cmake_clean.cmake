@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_matrix.dir/custom_matrix.cpp.o"
+  "CMakeFiles/custom_matrix.dir/custom_matrix.cpp.o.d"
+  "custom_matrix"
+  "custom_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

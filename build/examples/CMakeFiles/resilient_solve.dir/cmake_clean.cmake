@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilient_solve.dir/resilient_solve.cpp.o"
+  "CMakeFiles/resilient_solve.dir/resilient_solve.cpp.o.d"
+  "resilient_solve"
+  "resilient_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilient_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--processes=16" "--faults=4")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_resilient_solve "/root/repo/build/examples/resilient_solve" "--processes=16" "--mtbf-ms=1.0")
+set_tests_properties(example_resilient_solve PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_scheme_advisor "/root/repo/build/examples/scheme_advisor" "--matrix=bcsstk06" "--processes=16" "--faults=4")
+set_tests_properties(example_scheme_advisor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_exascale_projection "/root/repo/build/examples/exascale_projection" "--max-procs=65536")
+set_tests_properties(example_exascale_projection PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_custom_matrix "/root/repo/build/examples/custom_matrix" "--rcm" "--processes=16" "--faults=4")
+set_tests_properties(example_custom_matrix PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")

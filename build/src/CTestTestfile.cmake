@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("sparse")
+subdirs("la")
+subdirs("power")
+subdirs("simrt")
+subdirs("dist")
+subdirs("solver")
+subdirs("resilience")
+subdirs("model")
+subdirs("harness")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsls_core.dir/csv.cpp.o"
+  "CMakeFiles/rsls_core.dir/csv.cpp.o.d"
+  "CMakeFiles/rsls_core.dir/env.cpp.o"
+  "CMakeFiles/rsls_core.dir/env.cpp.o.d"
+  "CMakeFiles/rsls_core.dir/error.cpp.o"
+  "CMakeFiles/rsls_core.dir/error.cpp.o.d"
+  "CMakeFiles/rsls_core.dir/log.cpp.o"
+  "CMakeFiles/rsls_core.dir/log.cpp.o.d"
+  "CMakeFiles/rsls_core.dir/options.cpp.o"
+  "CMakeFiles/rsls_core.dir/options.cpp.o.d"
+  "CMakeFiles/rsls_core.dir/rng.cpp.o"
+  "CMakeFiles/rsls_core.dir/rng.cpp.o.d"
+  "CMakeFiles/rsls_core.dir/stats.cpp.o"
+  "CMakeFiles/rsls_core.dir/stats.cpp.o.d"
+  "CMakeFiles/rsls_core.dir/table.cpp.o"
+  "CMakeFiles/rsls_core.dir/table.cpp.o.d"
+  "librsls_core.a"
+  "librsls_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsls_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

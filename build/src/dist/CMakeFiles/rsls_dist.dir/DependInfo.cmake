@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/dist_matrix.cpp" "src/dist/CMakeFiles/rsls_dist.dir/dist_matrix.cpp.o" "gcc" "src/dist/CMakeFiles/rsls_dist.dir/dist_matrix.cpp.o.d"
+  "/root/repo/src/dist/dist_ops.cpp" "src/dist/CMakeFiles/rsls_dist.dir/dist_ops.cpp.o" "gcc" "src/dist/CMakeFiles/rsls_dist.dir/dist_ops.cpp.o.d"
+  "/root/repo/src/dist/partition.cpp" "src/dist/CMakeFiles/rsls_dist.dir/partition.cpp.o" "gcc" "src/dist/CMakeFiles/rsls_dist.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rsls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/rsls_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/rsls_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/simrt/CMakeFiles/rsls_simrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/rsls_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsls_dist.dir/dist_matrix.cpp.o"
+  "CMakeFiles/rsls_dist.dir/dist_matrix.cpp.o.d"
+  "CMakeFiles/rsls_dist.dir/dist_ops.cpp.o"
+  "CMakeFiles/rsls_dist.dir/dist_ops.cpp.o.d"
+  "CMakeFiles/rsls_dist.dir/partition.cpp.o"
+  "CMakeFiles/rsls_dist.dir/partition.cpp.o.d"
+  "librsls_dist.a"
+  "librsls_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsls_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

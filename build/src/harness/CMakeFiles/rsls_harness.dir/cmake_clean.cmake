@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsls_harness.dir/experiment.cpp.o"
+  "CMakeFiles/rsls_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/rsls_harness.dir/scheme_factory.cpp.o"
+  "CMakeFiles/rsls_harness.dir/scheme_factory.cpp.o.d"
+  "CMakeFiles/rsls_harness.dir/sweep.cpp.o"
+  "CMakeFiles/rsls_harness.dir/sweep.cpp.o.d"
+  "librsls_harness.a"
+  "librsls_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsls_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/condition.cpp" "src/la/CMakeFiles/rsls_la.dir/condition.cpp.o" "gcc" "src/la/CMakeFiles/rsls_la.dir/condition.cpp.o.d"
+  "/root/repo/src/la/factor.cpp" "src/la/CMakeFiles/rsls_la.dir/factor.cpp.o" "gcc" "src/la/CMakeFiles/rsls_la.dir/factor.cpp.o.d"
+  "/root/repo/src/la/flops.cpp" "src/la/CMakeFiles/rsls_la.dir/flops.cpp.o" "gcc" "src/la/CMakeFiles/rsls_la.dir/flops.cpp.o.d"
+  "/root/repo/src/la/local_cg.cpp" "src/la/CMakeFiles/rsls_la.dir/local_cg.cpp.o" "gcc" "src/la/CMakeFiles/rsls_la.dir/local_cg.cpp.o.d"
+  "/root/repo/src/la/qr.cpp" "src/la/CMakeFiles/rsls_la.dir/qr.cpp.o" "gcc" "src/la/CMakeFiles/rsls_la.dir/qr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rsls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/rsls_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

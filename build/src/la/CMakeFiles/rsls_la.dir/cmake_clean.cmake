@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsls_la.dir/condition.cpp.o"
+  "CMakeFiles/rsls_la.dir/condition.cpp.o.d"
+  "CMakeFiles/rsls_la.dir/factor.cpp.o"
+  "CMakeFiles/rsls_la.dir/factor.cpp.o.d"
+  "CMakeFiles/rsls_la.dir/flops.cpp.o"
+  "CMakeFiles/rsls_la.dir/flops.cpp.o.d"
+  "CMakeFiles/rsls_la.dir/local_cg.cpp.o"
+  "CMakeFiles/rsls_la.dir/local_cg.cpp.o.d"
+  "CMakeFiles/rsls_la.dir/qr.cpp.o"
+  "CMakeFiles/rsls_la.dir/qr.cpp.o.d"
+  "librsls_la.a"
+  "librsls_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsls_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rsls_la.
+# This may be replaced when dependencies are built.

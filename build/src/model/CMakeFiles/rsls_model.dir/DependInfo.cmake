@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/comm_scaling.cpp" "src/model/CMakeFiles/rsls_model.dir/comm_scaling.cpp.o" "gcc" "src/model/CMakeFiles/rsls_model.dir/comm_scaling.cpp.o.d"
+  "/root/repo/src/model/cost_models.cpp" "src/model/CMakeFiles/rsls_model.dir/cost_models.cpp.o" "gcc" "src/model/CMakeFiles/rsls_model.dir/cost_models.cpp.o.d"
+  "/root/repo/src/model/mtbf.cpp" "src/model/CMakeFiles/rsls_model.dir/mtbf.cpp.o" "gcc" "src/model/CMakeFiles/rsls_model.dir/mtbf.cpp.o.d"
+  "/root/repo/src/model/projection.cpp" "src/model/CMakeFiles/rsls_model.dir/projection.cpp.o" "gcc" "src/model/CMakeFiles/rsls_model.dir/projection.cpp.o.d"
+  "/root/repo/src/model/young_daly.cpp" "src/model/CMakeFiles/rsls_model.dir/young_daly.cpp.o" "gcc" "src/model/CMakeFiles/rsls_model.dir/young_daly.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rsls_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsls_model.dir/comm_scaling.cpp.o"
+  "CMakeFiles/rsls_model.dir/comm_scaling.cpp.o.d"
+  "CMakeFiles/rsls_model.dir/cost_models.cpp.o"
+  "CMakeFiles/rsls_model.dir/cost_models.cpp.o.d"
+  "CMakeFiles/rsls_model.dir/mtbf.cpp.o"
+  "CMakeFiles/rsls_model.dir/mtbf.cpp.o.d"
+  "CMakeFiles/rsls_model.dir/projection.cpp.o"
+  "CMakeFiles/rsls_model.dir/projection.cpp.o.d"
+  "CMakeFiles/rsls_model.dir/young_daly.cpp.o"
+  "CMakeFiles/rsls_model.dir/young_daly.cpp.o.d"
+  "librsls_model.a"
+  "librsls_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsls_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/governor.cpp" "src/power/CMakeFiles/rsls_power.dir/governor.cpp.o" "gcc" "src/power/CMakeFiles/rsls_power.dir/governor.cpp.o.d"
+  "/root/repo/src/power/power_model.cpp" "src/power/CMakeFiles/rsls_power.dir/power_model.cpp.o" "gcc" "src/power/CMakeFiles/rsls_power.dir/power_model.cpp.o.d"
+  "/root/repo/src/power/rapl.cpp" "src/power/CMakeFiles/rsls_power.dir/rapl.cpp.o" "gcc" "src/power/CMakeFiles/rsls_power.dir/rapl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rsls_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsls_power.dir/governor.cpp.o"
+  "CMakeFiles/rsls_power.dir/governor.cpp.o.d"
+  "CMakeFiles/rsls_power.dir/power_model.cpp.o"
+  "CMakeFiles/rsls_power.dir/power_model.cpp.o.d"
+  "CMakeFiles/rsls_power.dir/rapl.cpp.o"
+  "CMakeFiles/rsls_power.dir/rapl.cpp.o.d"
+  "librsls_power.a"
+  "librsls_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsls_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

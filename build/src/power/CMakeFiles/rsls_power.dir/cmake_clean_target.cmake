@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librsls_power.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resilience/checkpoint.cpp" "src/resilience/CMakeFiles/rsls_resilience.dir/checkpoint.cpp.o" "gcc" "src/resilience/CMakeFiles/rsls_resilience.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/resilience/dmr.cpp" "src/resilience/CMakeFiles/rsls_resilience.dir/dmr.cpp.o" "gcc" "src/resilience/CMakeFiles/rsls_resilience.dir/dmr.cpp.o.d"
+  "/root/repo/src/resilience/fault.cpp" "src/resilience/CMakeFiles/rsls_resilience.dir/fault.cpp.o" "gcc" "src/resilience/CMakeFiles/rsls_resilience.dir/fault.cpp.o.d"
+  "/root/repo/src/resilience/forward.cpp" "src/resilience/CMakeFiles/rsls_resilience.dir/forward.cpp.o" "gcc" "src/resilience/CMakeFiles/rsls_resilience.dir/forward.cpp.o.d"
+  "/root/repo/src/resilience/multilevel.cpp" "src/resilience/CMakeFiles/rsls_resilience.dir/multilevel.cpp.o" "gcc" "src/resilience/CMakeFiles/rsls_resilience.dir/multilevel.cpp.o.d"
+  "/root/repo/src/resilience/resilient_solve.cpp" "src/resilience/CMakeFiles/rsls_resilience.dir/resilient_solve.cpp.o" "gcc" "src/resilience/CMakeFiles/rsls_resilience.dir/resilient_solve.cpp.o.d"
+  "/root/repo/src/resilience/scheme.cpp" "src/resilience/CMakeFiles/rsls_resilience.dir/scheme.cpp.o" "gcc" "src/resilience/CMakeFiles/rsls_resilience.dir/scheme.cpp.o.d"
+  "/root/repo/src/resilience/tmr.cpp" "src/resilience/CMakeFiles/rsls_resilience.dir/tmr.cpp.o" "gcc" "src/resilience/CMakeFiles/rsls_resilience.dir/tmr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rsls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/rsls_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/rsls_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/rsls_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/rsls_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/simrt/CMakeFiles/rsls_simrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/rsls_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsls_resilience.dir/checkpoint.cpp.o"
+  "CMakeFiles/rsls_resilience.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/rsls_resilience.dir/dmr.cpp.o"
+  "CMakeFiles/rsls_resilience.dir/dmr.cpp.o.d"
+  "CMakeFiles/rsls_resilience.dir/fault.cpp.o"
+  "CMakeFiles/rsls_resilience.dir/fault.cpp.o.d"
+  "CMakeFiles/rsls_resilience.dir/forward.cpp.o"
+  "CMakeFiles/rsls_resilience.dir/forward.cpp.o.d"
+  "CMakeFiles/rsls_resilience.dir/multilevel.cpp.o"
+  "CMakeFiles/rsls_resilience.dir/multilevel.cpp.o.d"
+  "CMakeFiles/rsls_resilience.dir/resilient_solve.cpp.o"
+  "CMakeFiles/rsls_resilience.dir/resilient_solve.cpp.o.d"
+  "CMakeFiles/rsls_resilience.dir/scheme.cpp.o"
+  "CMakeFiles/rsls_resilience.dir/scheme.cpp.o.d"
+  "CMakeFiles/rsls_resilience.dir/tmr.cpp.o"
+  "CMakeFiles/rsls_resilience.dir/tmr.cpp.o.d"
+  "librsls_resilience.a"
+  "librsls_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsls_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simrt/cluster.cpp" "src/simrt/CMakeFiles/rsls_simrt.dir/cluster.cpp.o" "gcc" "src/simrt/CMakeFiles/rsls_simrt.dir/cluster.cpp.o.d"
+  "/root/repo/src/simrt/event_log.cpp" "src/simrt/CMakeFiles/rsls_simrt.dir/event_log.cpp.o" "gcc" "src/simrt/CMakeFiles/rsls_simrt.dir/event_log.cpp.o.d"
+  "/root/repo/src/simrt/machine.cpp" "src/simrt/CMakeFiles/rsls_simrt.dir/machine.cpp.o" "gcc" "src/simrt/CMakeFiles/rsls_simrt.dir/machine.cpp.o.d"
+  "/root/repo/src/simrt/trace.cpp" "src/simrt/CMakeFiles/rsls_simrt.dir/trace.cpp.o" "gcc" "src/simrt/CMakeFiles/rsls_simrt.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rsls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/rsls_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

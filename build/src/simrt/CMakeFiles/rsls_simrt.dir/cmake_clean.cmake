@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsls_simrt.dir/cluster.cpp.o"
+  "CMakeFiles/rsls_simrt.dir/cluster.cpp.o.d"
+  "CMakeFiles/rsls_simrt.dir/event_log.cpp.o"
+  "CMakeFiles/rsls_simrt.dir/event_log.cpp.o.d"
+  "CMakeFiles/rsls_simrt.dir/machine.cpp.o"
+  "CMakeFiles/rsls_simrt.dir/machine.cpp.o.d"
+  "CMakeFiles/rsls_simrt.dir/trace.cpp.o"
+  "CMakeFiles/rsls_simrt.dir/trace.cpp.o.d"
+  "librsls_simrt.a"
+  "librsls_simrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsls_simrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsls_solver.dir/cg.cpp.o"
+  "CMakeFiles/rsls_solver.dir/cg.cpp.o.d"
+  "CMakeFiles/rsls_solver.dir/reference_cg.cpp.o"
+  "CMakeFiles/rsls_solver.dir/reference_cg.cpp.o.d"
+  "librsls_solver.a"
+  "librsls_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsls_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

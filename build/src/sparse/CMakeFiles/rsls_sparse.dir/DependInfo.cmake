@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/coo.cpp" "src/sparse/CMakeFiles/rsls_sparse.dir/coo.cpp.o" "gcc" "src/sparse/CMakeFiles/rsls_sparse.dir/coo.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "src/sparse/CMakeFiles/rsls_sparse.dir/csr.cpp.o" "gcc" "src/sparse/CMakeFiles/rsls_sparse.dir/csr.cpp.o.d"
+  "/root/repo/src/sparse/dense.cpp" "src/sparse/CMakeFiles/rsls_sparse.dir/dense.cpp.o" "gcc" "src/sparse/CMakeFiles/rsls_sparse.dir/dense.cpp.o.d"
+  "/root/repo/src/sparse/generators.cpp" "src/sparse/CMakeFiles/rsls_sparse.dir/generators.cpp.o" "gcc" "src/sparse/CMakeFiles/rsls_sparse.dir/generators.cpp.o.d"
+  "/root/repo/src/sparse/matrix_stats.cpp" "src/sparse/CMakeFiles/rsls_sparse.dir/matrix_stats.cpp.o" "gcc" "src/sparse/CMakeFiles/rsls_sparse.dir/matrix_stats.cpp.o.d"
+  "/root/repo/src/sparse/mmio.cpp" "src/sparse/CMakeFiles/rsls_sparse.dir/mmio.cpp.o" "gcc" "src/sparse/CMakeFiles/rsls_sparse.dir/mmio.cpp.o.d"
+  "/root/repo/src/sparse/ordering.cpp" "src/sparse/CMakeFiles/rsls_sparse.dir/ordering.cpp.o" "gcc" "src/sparse/CMakeFiles/rsls_sparse.dir/ordering.cpp.o.d"
+  "/root/repo/src/sparse/roster.cpp" "src/sparse/CMakeFiles/rsls_sparse.dir/roster.cpp.o" "gcc" "src/sparse/CMakeFiles/rsls_sparse.dir/roster.cpp.o.d"
+  "/root/repo/src/sparse/vector_ops.cpp" "src/sparse/CMakeFiles/rsls_sparse.dir/vector_ops.cpp.o" "gcc" "src/sparse/CMakeFiles/rsls_sparse.dir/vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rsls_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

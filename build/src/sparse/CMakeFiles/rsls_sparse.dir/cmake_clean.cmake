@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsls_sparse.dir/coo.cpp.o"
+  "CMakeFiles/rsls_sparse.dir/coo.cpp.o.d"
+  "CMakeFiles/rsls_sparse.dir/csr.cpp.o"
+  "CMakeFiles/rsls_sparse.dir/csr.cpp.o.d"
+  "CMakeFiles/rsls_sparse.dir/dense.cpp.o"
+  "CMakeFiles/rsls_sparse.dir/dense.cpp.o.d"
+  "CMakeFiles/rsls_sparse.dir/generators.cpp.o"
+  "CMakeFiles/rsls_sparse.dir/generators.cpp.o.d"
+  "CMakeFiles/rsls_sparse.dir/matrix_stats.cpp.o"
+  "CMakeFiles/rsls_sparse.dir/matrix_stats.cpp.o.d"
+  "CMakeFiles/rsls_sparse.dir/mmio.cpp.o"
+  "CMakeFiles/rsls_sparse.dir/mmio.cpp.o.d"
+  "CMakeFiles/rsls_sparse.dir/ordering.cpp.o"
+  "CMakeFiles/rsls_sparse.dir/ordering.cpp.o.d"
+  "CMakeFiles/rsls_sparse.dir/roster.cpp.o"
+  "CMakeFiles/rsls_sparse.dir/roster.cpp.o.d"
+  "CMakeFiles/rsls_sparse.dir/vector_ops.cpp.o"
+  "CMakeFiles/rsls_sparse.dir/vector_ops.cpp.o.d"
+  "librsls_sparse.a"
+  "librsls_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsls_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_matrix_ops_test.dir/dist_matrix_ops_test.cpp.o"
+  "CMakeFiles/dist_matrix_ops_test.dir/dist_matrix_ops_test.cpp.o.d"
+  "dist_matrix_ops_test"
+  "dist_matrix_ops_test.pdb"
+  "dist_matrix_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_matrix_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

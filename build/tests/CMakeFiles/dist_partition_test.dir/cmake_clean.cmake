@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_partition_test.dir/dist_partition_test.cpp.o"
+  "CMakeFiles/dist_partition_test.dir/dist_partition_test.cpp.o.d"
+  "dist_partition_test"
+  "dist_partition_test.pdb"
+  "dist_partition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_iterative_test.dir/la_iterative_test.cpp.o"
+  "CMakeFiles/la_iterative_test.dir/la_iterative_test.cpp.o.d"
+  "la_iterative_test"
+  "la_iterative_test.pdb"
+  "la_iterative_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_iterative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_pcg_test.dir/la_pcg_test.cpp.o"
+  "CMakeFiles/la_pcg_test.dir/la_pcg_test.cpp.o.d"
+  "la_pcg_test"
+  "la_pcg_test.pdb"
+  "la_pcg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_pcg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

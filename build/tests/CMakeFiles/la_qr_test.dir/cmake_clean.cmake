@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_qr_test.dir/la_qr_test.cpp.o"
+  "CMakeFiles/la_qr_test.dir/la_qr_test.cpp.o.d"
+  "la_qr_test"
+  "la_qr_test.pdb"
+  "la_qr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_qr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_measured_tlost_test.dir/model_measured_tlost_test.cpp.o"
+  "CMakeFiles/model_measured_tlost_test.dir/model_measured_tlost_test.cpp.o.d"
+  "model_measured_tlost_test"
+  "model_measured_tlost_test.pdb"
+  "model_measured_tlost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_measured_tlost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_projection_test.dir/model_projection_test.cpp.o"
+  "CMakeFiles/model_projection_test.dir/model_projection_test.cpp.o.d"
+  "model_projection_test"
+  "model_projection_test.pdb"
+  "model_projection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_projection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_cr_dmr_test.dir/resilience_cr_dmr_test.cpp.o"
+  "CMakeFiles/resilience_cr_dmr_test.dir/resilience_cr_dmr_test.cpp.o.d"
+  "resilience_cr_dmr_test"
+  "resilience_cr_dmr_test.pdb"
+  "resilience_cr_dmr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_cr_dmr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_edge_test.dir/resilience_edge_test.cpp.o"
+  "CMakeFiles/resilience_edge_test.dir/resilience_edge_test.cpp.o.d"
+  "resilience_edge_test"
+  "resilience_edge_test.pdb"
+  "resilience_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_extensions_test.dir/resilience_extensions_test.cpp.o"
+  "CMakeFiles/resilience_extensions_test.dir/resilience_extensions_test.cpp.o.d"
+  "resilience_extensions_test"
+  "resilience_extensions_test.pdb"
+  "resilience_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_forward_test.dir/resilience_forward_test.cpp.o"
+  "CMakeFiles/resilience_forward_test.dir/resilience_forward_test.cpp.o.d"
+  "resilience_forward_test"
+  "resilience_forward_test.pdb"
+  "resilience_forward_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_forward_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_integration_test.dir/resilience_integration_test.cpp.o"
+  "CMakeFiles/resilience_integration_test.dir/resilience_integration_test.cpp.o.d"
+  "resilience_integration_test"
+  "resilience_integration_test.pdb"
+  "resilience_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_multifault_test.dir/resilience_multifault_test.cpp.o"
+  "CMakeFiles/resilience_multifault_test.dir/resilience_multifault_test.cpp.o.d"
+  "resilience_multifault_test"
+  "resilience_multifault_test.pdb"
+  "resilience_multifault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_multifault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

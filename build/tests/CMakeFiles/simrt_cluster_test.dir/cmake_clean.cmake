@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simrt_cluster_test.dir/simrt_cluster_test.cpp.o"
+  "CMakeFiles/simrt_cluster_test.dir/simrt_cluster_test.cpp.o.d"
+  "simrt_cluster_test"
+  "simrt_cluster_test.pdb"
+  "simrt_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simrt_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simrt_event_log_test.dir/simrt_event_log_test.cpp.o"
+  "CMakeFiles/simrt_event_log_test.dir/simrt_event_log_test.cpp.o.d"
+  "simrt_event_log_test"
+  "simrt_event_log_test.pdb"
+  "simrt_event_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simrt_event_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simrt_trace_test.dir/simrt_trace_test.cpp.o"
+  "CMakeFiles/simrt_trace_test.dir/simrt_trace_test.cpp.o.d"
+  "simrt_trace_test"
+  "simrt_trace_test.pdb"
+  "simrt_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simrt_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

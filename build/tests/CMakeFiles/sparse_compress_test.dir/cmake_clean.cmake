@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_compress_test.dir/sparse_compress_test.cpp.o"
+  "CMakeFiles/sparse_compress_test.dir/sparse_compress_test.cpp.o.d"
+  "sparse_compress_test"
+  "sparse_compress_test.pdb"
+  "sparse_compress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_compress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_coo_csr_test.dir/sparse_coo_csr_test.cpp.o"
+  "CMakeFiles/sparse_coo_csr_test.dir/sparse_coo_csr_test.cpp.o.d"
+  "sparse_coo_csr_test"
+  "sparse_coo_csr_test.pdb"
+  "sparse_coo_csr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_coo_csr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_dense_vector_test.dir/sparse_dense_vector_test.cpp.o"
+  "CMakeFiles/sparse_dense_vector_test.dir/sparse_dense_vector_test.cpp.o.d"
+  "sparse_dense_vector_test"
+  "sparse_dense_vector_test.pdb"
+  "sparse_dense_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_dense_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

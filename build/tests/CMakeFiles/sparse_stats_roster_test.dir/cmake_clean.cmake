@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_stats_roster_test.dir/sparse_stats_roster_test.cpp.o"
+  "CMakeFiles/sparse_stats_roster_test.dir/sparse_stats_roster_test.cpp.o.d"
+  "sparse_stats_roster_test"
+  "sparse_stats_roster_test.pdb"
+  "sparse_stats_roster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_stats_roster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
