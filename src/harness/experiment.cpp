@@ -117,6 +117,9 @@ SchemeRun run_scheme(const Workload& workload, const std::string& scheme_name,
                                 config.processes, scheme->replica_factor());
   auto injector = resilience::FaultInjector::evenly_spaced(
       config.faults, ff.iterations, config.processes, config.fault_seed);
+  if (config.sdc_faults) {
+    injector.as_sdc(config.sdc_mode, config.sdc_target);
+  }
   SchemeRun run = run_scheme_on_cluster(workload, scheme_name, *scheme,
                                         injector, cluster, config, ff);
   run.cr_interval_used = factory.cr_interval_iterations;
@@ -133,11 +136,20 @@ SchemeRun run_scheme_on_cluster(const Workload& workload,
   RealVec x = workload.x0;
   SchemeRun run;
   run.scheme = scheme_name;
+  resilience::DetectorSuite detectors =
+      config.detection ? resilience::make_detector_suite(config.detection_options)
+                       : resilience::DetectorSuite{};
   run.report = resilience::resilient_solve(
       workload.a, cluster, workload.b, x, scheme, injector,
-      cg_options_for(config, ff.iterations));
-  RSLS_CHECK_MSG(run.report.cg.converged,
-                 "resilient CG did not converge for scheme " + scheme_name);
+      cg_options_for(config, ff.iterations), detectors, config.hardening);
+  // An undetected silent corruption is *allowed* to leave the solver
+  // non-converged (or converged on a wrong answer — see
+  // report.true_relative_residual); every announced or detected
+  // configuration must still converge.
+  if (!(config.sdc_faults && !config.detection)) {
+    RSLS_CHECK_MSG(run.report.cg.converged,
+                   "resilient CG did not converge for scheme " + scheme_name);
+  }
 
   run.iteration_ratio = static_cast<double>(run.report.cg.iterations) /
                         static_cast<double>(std::max<Index>(ff.iterations, 1));

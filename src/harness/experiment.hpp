@@ -37,6 +37,17 @@ struct ExperimentConfig {
   bool record_residuals = false;
   /// Solver variant; schemes work unchanged under either.
   solver::SolverKind solver_kind = solver::SolverKind::kCg;
+  /// Reclassify every injected fault as *silent* data corruption: the
+  /// harness is not told which rank was hit, so only the detector suite
+  /// (when `detection` is on) can notice and localize it. Off keeps the
+  /// paper's announced process-loss faults.
+  bool sdc_faults = false;
+  resilience::SdcMode sdc_mode = resilience::SdcMode::kGarbage;
+  resilience::SdcTarget sdc_target = resilience::SdcTarget::kIterate;
+  /// Run the online detector suite (charged under PhaseTag::kDetect).
+  bool detection = false;
+  resilience::DetectionOptions detection_options;
+  resilience::HardeningOptions hardening;
 };
 
 /// Machine sized for the process count: the paper's 8-node cluster, with

@@ -79,4 +79,25 @@ std::vector<std::string> all_scheme_names() {
           "CR-2L"};
 }
 
+std::unique_ptr<resilience::SdcDetector> make_detector(
+    const std::string& name, const resilience::DetectionOptions& options) {
+  if (name == "checksum") {
+    return std::make_unique<resilience::BlockChecksumDetector>();
+  }
+  if (name == "norm-bound") {
+    return std::make_unique<resilience::NormBoundDetector>(
+        options.norm_growth_factor);
+  }
+  if (name == "residual-gap") {
+    return std::make_unique<resilience::ResidualGapDetector>(
+        options.residual_gap_cadence, options.residual_gap_factor,
+        options.residual_gap_floor);
+  }
+  throw Error("unknown SDC detector: " + name);
+}
+
+std::vector<std::string> detector_names() {
+  return {"checksum", "norm-bound", "residual-gap"};
+}
+
 }  // namespace rsls::harness

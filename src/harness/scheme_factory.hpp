@@ -8,6 +8,7 @@
 
 #include "core/types.hpp"
 #include "resilience/checkpoint.hpp"
+#include "resilience/detector.hpp"
 #include "resilience/scheme.hpp"
 
 namespace rsls::harness {
@@ -35,5 +36,13 @@ std::vector<std::string> cost_scheme_names();
 
 /// Every implemented scheme.
 std::vector<std::string> all_scheme_names();
+
+/// One SDC detector by name: "checksum", "norm-bound", "residual-gap".
+/// Throws on unknown names.
+std::unique_ptr<resilience::SdcDetector> make_detector(
+    const std::string& name, const resilience::DetectionOptions& options);
+
+/// Every implemented detector, cheapest first.
+std::vector<std::string> detector_names();
 
 }  // namespace rsls::harness

@@ -20,6 +20,8 @@ const char* to_string(PhaseTag tag) {
       return "reconstruct";
     case PhaseTag::kIdleWait:
       return "idle-wait";
+    case PhaseTag::kDetect:
+      return "detect";
     case PhaseTag::kCount:
       break;
   }
@@ -61,6 +63,7 @@ Joules EnergyAccount::resilience_energy() const {
   sum += core_energy(PhaseTag::kRollback);
   sum += core_energy(PhaseTag::kReconstruct);
   sum += core_energy(PhaseTag::kIdleWait);
+  sum += core_energy(PhaseTag::kDetect);
   return sum;
 }
 

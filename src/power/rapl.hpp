@@ -25,6 +25,8 @@ enum class PhaseTag {
   kRollback,     // restoring state from a checkpoint
   kReconstruct,  // FW construction of the lost block
   kIdleWait,     // waiting while another rank reconstructs
+  kDetect,       // online SDC detection (checksums, invariant checks,
+                 // periodic true-residual verification)
   kCount
 };
 

@@ -1,6 +1,10 @@
 #include "resilience/checkpoint.hpp"
 
+#include <cstring>
+
 #include "core/error.hpp"
+#include "core/rng.hpp"
+#include "resilience/detector.hpp"
 
 namespace rsls::resilience {
 
@@ -10,6 +14,8 @@ CheckpointRestart::CheckpointRestart(CheckpointOptions options,
                                      RealVec initial_guess)
     : options_(options), initial_guess_(std::move(initial_guess)) {
   RSLS_CHECK(options.interval_iterations >= 1);
+  RSLS_CHECK_MSG(options.history >= 1,
+                 "checkpoint history must retain at least one snapshot");
 }
 
 std::string CheckpointRestart::name() const {
@@ -28,10 +34,71 @@ void CheckpointRestart::on_iteration(RecoveryContext& ctx, Index iteration,
   } else {
     ctx.cluster.write_memory(bytes, PhaseTag::kCheckpoint);
   }
-  saved_x_ = RealVec(x.begin(), x.end());
-  saved_iteration_ = iteration;
+  Snapshot snap;
+  snap.x.assign(x.begin(), x.end());
+  snap.iteration = iteration;
+  snap.crc = fnv1a64(snap.x);
+  history_.push_back(std::move(snap));
+  if (static_cast<Index>(history_.size()) > options_.history) {
+    history_.erase(history_.begin());
+  }
   ++checkpoints_taken_;
   checkpoint_seconds_ += ctx.cluster.elapsed() - before;
+  if (options_.bitrot_every_n > 0 &&
+      checkpoints_taken_ % options_.bitrot_every_n == 0) {
+    // Bit rot strikes the stored copy after the integrity word was
+    // computed, so verification must catch it at restore time.
+    corrupt_snapshot(0);
+  }
+}
+
+void CheckpointRestart::corrupt_snapshot(Index index_from_newest) {
+  RSLS_CHECK(index_from_newest >= 0 &&
+             index_from_newest < static_cast<Index>(history_.size()));
+  Snapshot& snap =
+      history_[history_.size() - 1 - static_cast<std::size_t>(index_from_newest)];
+  Rng rng(options_.bitrot_seed +
+          static_cast<std::uint64_t>(checkpoints_taken_));
+  const auto i = static_cast<std::size_t>(
+      rng.uniform_index(static_cast<std::uint64_t>(snap.x.size())));
+  std::uint64_t bits = 0;
+  static_assert(sizeof(Real) == sizeof(bits));
+  std::memcpy(&bits, &snap.x[i], sizeof(bits));
+  bits ^= std::uint64_t{1} << rng.uniform_index(64);
+  std::memcpy(&snap.x[i], &bits, sizeof(bits));
+}
+
+void CheckpointRestart::restore_verified(RecoveryContext& ctx,
+                                         Index iteration, std::span<Real> x) {
+  const Bytes bytes = ctx.a.vector_bytes();
+  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+    // Each attempt re-reads a full snapshot from the checkpoint store.
+    if (options_.target == CheckpointTarget::kDisk) {
+      ctx.cluster.read_disk(bytes, PhaseTag::kRollback);
+    } else {
+      ctx.cluster.read_memory(bytes, PhaseTag::kRollback);
+    }
+    if (fnv1a64(it->x) != it->crc) {
+      ++integrity_failures_;
+      continue;  // fall through to the next-older snapshot
+    }
+    RSLS_CHECK(it->x.size() == x.size());
+    std::copy(it->x.begin(), it->x.end(), x.begin());
+    iterations_rolled_back_ += iteration - it->iteration;
+    return;
+  }
+  // No checkpoint survived verification (or none taken yet): global
+  // restart from the initial guess.
+  if (history_.empty()) {
+    if (options_.target == CheckpointTarget::kDisk) {
+      ctx.cluster.read_disk(bytes, PhaseTag::kRollback);
+    } else {
+      ctx.cluster.read_memory(bytes, PhaseTag::kRollback);
+    }
+  }
+  RSLS_CHECK(initial_guess_.size() == x.size());
+  std::copy(initial_guess_.begin(), initial_guess_.end(), x.begin());
+  iterations_rolled_back_ += iteration;
 }
 
 solver::HookAction CheckpointRestart::recover(RecoveryContext& ctx,
@@ -39,22 +106,7 @@ solver::HookAction CheckpointRestart::recover(RecoveryContext& ctx,
                                               Index /*failed_rank*/,
                                               std::span<Real> x) {
   count_recovery();
-  const Bytes bytes = ctx.a.vector_bytes();
-  if (options_.target == CheckpointTarget::kDisk) {
-    ctx.cluster.read_disk(bytes, PhaseTag::kRollback);
-  } else {
-    ctx.cluster.read_memory(bytes, PhaseTag::kRollback);
-  }
-  if (saved_x_.has_value()) {
-    RSLS_CHECK(saved_x_->size() == x.size());
-    std::copy(saved_x_->begin(), saved_x_->end(), x.begin());
-    iterations_rolled_back_ += iteration - saved_iteration_;
-  } else {
-    // No checkpoint yet: global restart from the initial guess.
-    RSLS_CHECK(initial_guess_.size() == x.size());
-    std::copy(initial_guess_.begin(), initial_guess_.end(), x.begin());
-    iterations_rolled_back_ += iteration;
-  }
+  restore_verified(ctx, iteration, x);
   return solver::HookAction::kRestart;
 }
 
@@ -65,6 +117,13 @@ solver::HookAction CheckpointRestart::recover_multi(
   // Classical CR performs one global restart regardless of how many
   // processes the event took out.
   return recover(ctx, iteration, failed_ranks.front(), x);
+}
+
+bool CheckpointRestart::rollback(RecoveryContext& ctx, Index iteration,
+                                 std::span<Real> x) {
+  count_recovery();
+  restore_verified(ctx, iteration, x);
+  return true;
 }
 
 Seconds CheckpointRestart::mean_checkpoint_seconds() const {

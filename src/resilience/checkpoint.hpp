@@ -6,9 +6,16 @@
 // fault the *entire* iterate rolls back to the most recent checkpoint
 // (classical CR performs a global restart even when one process fails)
 // and CG restarts; the recomputation of lost iterations is T_lost.
+//
+// Checkpoints are themselves vulnerable to bit rot: every snapshot
+// carries an FNV-1a integrity word computed at write time and verified
+// before any rollback. A snapshot that fails verification is discarded
+// and the rollback falls through to the next-older snapshot in the
+// retained history, and finally to the initial guess — a corrupted
+// checkpoint must never be restored silently.
 
+#include <cstdint>
 #include <memory>
-#include <optional>
 
 #include "core/units.hpp"
 #include "resilience/scheme.hpp"
@@ -23,6 +30,13 @@ struct CheckpointOptions {
   /// derives it from Young's formula via model::young_interval and the
   /// measured iteration time.
   Index interval_iterations = 100;
+  /// Snapshots retained; older ones are fallbacks when integrity
+  /// verification rejects a newer one.
+  Index history = 2;
+  /// Test hook: corrupt every n-th snapshot at write time, *after* its
+  /// integrity word is computed (0 disables). Models storage bit rot.
+  Index bitrot_every_n = 0;
+  std::uint64_t bitrot_seed = 0x5eed;
 };
 
 class CheckpointRestart final : public RecoveryScheme {
@@ -43,6 +57,10 @@ class CheckpointRestart final : public RecoveryScheme {
                                    const IndexVec& failed_ranks,
                                    std::span<Real> x) override;
 
+  /// Escalation entry point: same global rollback, reported as such.
+  bool rollback(RecoveryContext& ctx, Index iteration,
+                std::span<Real> x) override;
+
   Index checkpoints_taken() const { return checkpoints_taken_; }
 
   /// Measured per-checkpoint cost t_C (virtual seconds), input for the
@@ -54,16 +72,37 @@ class CheckpointRestart final : public RecoveryScheme {
   /// the experimental analogue of T_lost's iteration count.
   Index iterations_rolled_back() const { return iterations_rolled_back_; }
 
+  /// Snapshots rejected by integrity verification during rollbacks.
+  Index integrity_failures() const { return integrity_failures_; }
+
+  /// Snapshots currently retained.
+  Index snapshots_held() const { return static_cast<Index>(history_.size()); }
+
+  /// Test hook: flip one bit in a retained snapshot without updating its
+  /// integrity word (0 = newest).
+  void corrupt_snapshot(Index index_from_newest = 0);
+
   const CheckpointOptions& options() const { return options_; }
 
  private:
+  struct Snapshot {
+    RealVec x;
+    Index iteration = 0;
+    std::uint64_t crc = 0;
+  };
+
+  /// Restore the newest snapshot that passes verification (else the
+  /// initial guess), charging one checkpoint read per attempt.
+  void restore_verified(RecoveryContext& ctx, Index iteration,
+                        std::span<Real> x);
+
   CheckpointOptions options_;
   RealVec initial_guess_;
-  std::optional<RealVec> saved_x_;
-  Index saved_iteration_ = 0;
+  std::vector<Snapshot> history_;  // oldest first
   Index checkpoints_taken_ = 0;
   Seconds checkpoint_seconds_ = 0.0;
   Index iterations_rolled_back_ = 0;
+  Index integrity_failures_ = 0;
 };
 
 }  // namespace rsls::resilience

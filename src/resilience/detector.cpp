@@ -1,0 +1,340 @@
+#include "resilience/detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "core/error.hpp"
+#include "dist/dist_ops.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace rsls::resilience {
+
+using power::PhaseTag;
+
+std::uint64_t fnv1a64(std::span<const Real> v) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const Real value : v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(Real) == sizeof(bits));
+    std::memcpy(&bits, &value, sizeof(bits));
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (bits >> (8 * byte)) & 0xffU;
+      hash *= 0x100000001b3ULL;
+    }
+  }
+  return hash;
+}
+
+namespace {
+
+std::span<const Real> block_of(const dist::Partition& part, Index rank,
+                               std::span<const Real> v) {
+  return v.subspan(static_cast<std::size_t>(part.begin(rank)),
+                   static_cast<std::size_t>(part.block_rows(rank)));
+}
+
+/// Per-block squared norms of b − Ax, charged as one SpMV plus a local
+/// pass per rank and a per-block-norm allreduce (all kDetect).
+struct BlockResidual {
+  RealVec block_sqnorm;
+  Real total_sqnorm = 0.0;
+  Real b_norm = 0.0;
+};
+
+BlockResidual charged_block_residual(DetectionContext& ctx,
+                                     std::span<const Real> x) {
+  const auto& part = ctx.a.partition();
+  const auto n = static_cast<std::size_t>(ctx.a.rows());
+  RSLS_CHECK(x.size() == n);
+  RealVec ax(n);
+  dist::dist_spmv(ctx.a, ctx.cluster, x, ax, PhaseTag::kDetect);
+  BlockResidual out;
+  out.block_sqnorm.assign(static_cast<std::size_t>(part.parts()), 0.0);
+  for (Index rank = 0; rank < part.parts(); ++rank) {
+    double sq = 0.0;
+    for (Index i = part.begin(rank); i < part.end(rank); ++i) {
+      const double d = ctx.b[static_cast<std::size_t>(i)] -
+                       ax[static_cast<std::size_t>(i)];
+      sq += d * d;
+    }
+    out.block_sqnorm[static_cast<std::size_t>(rank)] = sq;
+    out.total_sqnorm += sq;
+    ctx.cluster.charge_compute(
+        rank, 2.0 * static_cast<double>(part.block_rows(rank)),
+        PhaseTag::kDetect);
+  }
+  // Share the per-block norms so every rank can localize.
+  ctx.cluster.allreduce(8.0 * static_cast<double>(part.parts()),
+                        PhaseTag::kDetect);
+  // ‖b‖ is static; a real run computes it once at solver start, so no
+  // per-inspection charge.
+  out.b_norm = sparse::norm2(ctx.b);
+  return out;
+}
+
+/// Blocks that dominate the residual: non-finite ones, else every block
+/// within a factor of the largest.
+IndexVec suspect_blocks(const BlockResidual& br) {
+  IndexVec suspects;
+  for (std::size_t p = 0; p < br.block_sqnorm.size(); ++p) {
+    if (!std::isfinite(br.block_sqnorm[p])) {
+      suspects.push_back(static_cast<Index>(p));
+    }
+  }
+  if (!suspects.empty()) {
+    return suspects;
+  }
+  const Real max_sq =
+      *std::max_element(br.block_sqnorm.begin(), br.block_sqnorm.end());
+  if (max_sq <= 0.0) {
+    return suspects;
+  }
+  for (std::size_t p = 0; p < br.block_sqnorm.size(); ++p) {
+    if (br.block_sqnorm[p] >= 0.3 * max_sq) {
+      suspects.push_back(static_cast<Index>(p));
+    }
+  }
+  return suspects;
+}
+
+}  // namespace
+
+// --- BlockChecksumDetector -------------------------------------------------
+
+void BlockChecksumDetector::observe(DetectionContext& ctx, Index /*iteration*/,
+                                    std::span<const Real> x) {
+  const auto& part = ctx.a.partition();
+  checksums_.resize(static_cast<std::size_t>(part.parts()));
+  for (Index rank = 0; rank < part.parts(); ++rank) {
+    checksums_[static_cast<std::size_t>(rank)] =
+        fnv1a64(block_of(part, rank, x));
+    ctx.cluster.charge_compute(
+        rank, static_cast<double>(part.block_rows(rank)), PhaseTag::kDetect);
+  }
+}
+
+DetectionVerdict BlockChecksumDetector::inspect(DetectionContext& ctx,
+                                                Index /*iteration*/,
+                                                Real /*recurrence*/,
+                                                std::span<const Real> x) {
+  count_inspection();
+  DetectionVerdict verdict;
+  if (checksums_.empty()) {
+    return verdict;  // nothing observed yet (e.g. right after a recovery)
+  }
+  const auto& part = ctx.a.partition();
+  for (Index rank = 0; rank < part.parts(); ++rank) {
+    if (fnv1a64(block_of(part, rank, x)) !=
+        checksums_[static_cast<std::size_t>(rank)]) {
+      verdict.suspect_ranks.push_back(rank);
+    }
+    ctx.cluster.charge_compute(
+        rank, static_cast<double>(part.block_rows(rank)), PhaseTag::kDetect);
+  }
+  // Agree on the verdict cluster-wide.
+  ctx.cluster.allreduce(8.0, PhaseTag::kDetect);
+  if (!verdict.suspect_ranks.empty()) {
+    verdict.flagged = true;
+    verdict.detector = name();
+    count_detection();
+  }
+  return verdict;
+}
+
+// --- NormBoundDetector -----------------------------------------------------
+
+NormBoundDetector::NormBoundDetector(Real growth_factor)
+    : growth_factor_(growth_factor) {
+  RSLS_CHECK_MSG(growth_factor > 1.0,
+                 "norm growth factor must exceed 1 (legitimate iterates "
+                 "may grow modestly)");
+}
+
+DetectionVerdict NormBoundDetector::inspect(DetectionContext& ctx,
+                                            Index /*iteration*/,
+                                            Real recurrence_relative_residual,
+                                            std::span<const Real> x) {
+  count_inspection();
+  DetectionVerdict verdict;
+  const auto& part = ctx.a.partition();
+  const Real bound = growth_factor_ * std::max(baseline_inf_, 1.0);
+  Real inf_norm = 0.0;
+  for (Index rank = 0; rank < part.parts(); ++rank) {
+    bool bad = false;
+    for (Index i = part.begin(rank); i < part.end(rank); ++i) {
+      const Real v = x[static_cast<std::size_t>(i)];
+      if (!std::isfinite(v) || std::abs(v) > bound) {
+        bad = true;
+      } else {
+        inf_norm = std::max(inf_norm, std::abs(v));
+      }
+    }
+    if (bad) {
+      verdict.suspect_ranks.push_back(rank);
+    }
+    ctx.cluster.charge_compute(
+        rank, static_cast<double>(part.block_rows(rank)), PhaseTag::kDetect);
+  }
+  ctx.cluster.allreduce(8.0, PhaseTag::kDetect);
+  if (!verdict.suspect_ranks.empty()) {
+    verdict.flagged = true;
+    verdict.detector = name();
+    count_detection();
+    return verdict;
+  }
+  if (!std::isfinite(recurrence_relative_residual)) {
+    // x is clean but the solver's own residual estimate is non-finite:
+    // the recurrence state is corrupted.
+    verdict.flagged = true;
+    verdict.derived_state_only = true;
+    verdict.detector = name();
+    count_detection();
+    return verdict;
+  }
+  baseline_inf_ = std::max(baseline_inf_, inf_norm);
+  return verdict;
+}
+
+// --- ResidualGapDetector ---------------------------------------------------
+
+ResidualGapDetector::ResidualGapDetector(Index cadence, Real gap_factor,
+                                         Real floor)
+    : cadence_(cadence), gap_factor_(gap_factor), floor_(floor) {
+  RSLS_CHECK_MSG(cadence >= 1, "residual-gap cadence must be at least 1");
+  RSLS_CHECK_MSG(gap_factor > 1.0, "residual gap factor must exceed 1");
+  RSLS_CHECK(floor >= 0.0);
+}
+
+DetectionVerdict ResidualGapDetector::inspect(
+    DetectionContext& ctx, Index /*iteration*/,
+    Real recurrence_relative_residual, std::span<const Real> x) {
+  count_inspection();
+  DetectionVerdict verdict;
+  const BlockResidual br = charged_block_residual(ctx, x);
+  const Real rel_true = std::isfinite(br.total_sqnorm)
+                            ? std::sqrt(br.total_sqnorm) /
+                                  (br.b_norm > 0.0 ? br.b_norm : 1.0)
+                            : std::numeric_limits<Real>::infinity();
+  const Real rel_rec = recurrence_relative_residual;
+  const bool x_suspect =
+      !std::isfinite(rel_true) ||
+      rel_true > gap_factor_ * std::max(rel_rec, 0.0) + floor_;
+  const bool recurrence_suspect =
+      std::isfinite(rel_true) &&
+      (!std::isfinite(rel_rec) ||
+       rel_rec > gap_factor_ * rel_true + floor_);
+  if (x_suspect) {
+    verdict.flagged = true;
+    verdict.detector = name();
+    verdict.suspect_ranks = suspect_blocks(br);
+    count_detection();
+  } else if (recurrence_suspect) {
+    verdict.flagged = true;
+    verdict.derived_state_only = true;
+    verdict.detector = name();
+    count_detection();
+  }
+  return verdict;
+}
+
+// --- DetectorSuite ---------------------------------------------------------
+
+void DetectorSuite::add(std::unique_ptr<SdcDetector> detector) {
+  RSLS_CHECK(detector != nullptr);
+  detectors_.push_back(std::move(detector));
+}
+
+void DetectorSuite::observe(DetectionContext& ctx, Index iteration,
+                            std::span<const Real> x) {
+  for (const auto& d : detectors_) {
+    d->observe(ctx, iteration, x);
+  }
+}
+
+DetectionVerdict DetectorSuite::inspect(DetectionContext& ctx, Index iteration,
+                                        Real recurrence_relative_residual,
+                                        std::span<const Real> x) {
+  for (const auto& d : detectors_) {
+    if (iteration % d->cadence() != 0) {
+      continue;
+    }
+    DetectionVerdict verdict =
+        d->inspect(ctx, iteration, recurrence_relative_residual, x);
+    if (verdict.flagged) {
+      return verdict;
+    }
+  }
+  return {};
+}
+
+void DetectorSuite::invalidate() {
+  for (const auto& d : detectors_) {
+    d->invalidate();
+  }
+}
+
+Index DetectorSuite::inspections() const {
+  Index sum = 0;
+  for (const auto& d : detectors_) {
+    sum += d->inspections();
+  }
+  return sum;
+}
+
+Index DetectorSuite::detections() const {
+  Index sum = 0;
+  for (const auto& d : detectors_) {
+    sum += d->detections();
+  }
+  return sum;
+}
+
+DetectorSuite make_detector_suite(const DetectionOptions& options) {
+  DetectorSuite suite;
+  if (options.enable_checksum) {
+    suite.add(std::make_unique<BlockChecksumDetector>());
+  }
+  if (options.enable_norm_bound) {
+    suite.add(std::make_unique<NormBoundDetector>(options.norm_growth_factor));
+  }
+  if (options.enable_residual_gap) {
+    suite.add(std::make_unique<ResidualGapDetector>(
+        options.residual_gap_cadence, options.residual_gap_factor,
+        options.residual_gap_floor));
+  }
+  return suite;
+}
+
+DetectionVerdict validate_state(DetectionContext& ctx, std::span<const Real> x,
+                                Real residual_bound) {
+  RSLS_CHECK(residual_bound > 0.0);
+  DetectionVerdict verdict;
+  const auto& part = ctx.a.partition();
+  for (Index rank = 0; rank < part.parts(); ++rank) {
+    for (Index i = part.begin(rank); i < part.end(rank); ++i) {
+      if (!std::isfinite(x[static_cast<std::size_t>(i)])) {
+        verdict.suspect_ranks.push_back(rank);
+        break;
+      }
+    }
+    ctx.cluster.charge_compute(
+        rank, static_cast<double>(part.block_rows(rank)), PhaseTag::kDetect);
+  }
+  if (!verdict.suspect_ranks.empty()) {
+    verdict.flagged = true;
+    verdict.detector = "validate";
+    return verdict;
+  }
+  const BlockResidual br = charged_block_residual(ctx, x);
+  const Real rel_true =
+      std::sqrt(br.total_sqnorm) / (br.b_norm > 0.0 ? br.b_norm : 1.0);
+  if (!std::isfinite(rel_true) || rel_true > residual_bound) {
+    verdict.flagged = true;
+    verdict.detector = "validate";
+    verdict.suspect_ranks = suspect_blocks(br);
+  }
+  return verdict;
+}
+
+}  // namespace rsls::resilience

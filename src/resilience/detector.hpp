@@ -1,0 +1,210 @@
+#pragma once
+// Online silent-data-corruption detectors.
+//
+// The paper's fault taxonomy (§2.1) includes SDC but takes detection for
+// granted ([10]); every recovery scheme in Table 2 is *fed* the failed
+// rank by the harness. This layer makes detection load-bearing: pluggable
+// detectors inspect the solver state at iteration boundaries, flag
+// corruption, and localize the damaged block so the detect→localize→
+// recover loop in resilient_solve can dispatch an ordinary recovery
+// scheme at it. Three detectors, cheap to expensive:
+//
+//   checksum      — TwinCG-style comparison against redundant state: a
+//                   per-block FNV-1a word over x is refreshed from the
+//                   trusted post-iteration state and re-verified after
+//                   the fault window. Exact localization; fixed cadence 1
+//                   (a stale checksum cannot be compared against a
+//                   legitimately-updated iterate).
+//   norm-bound    — invariant check: x must stay finite and ‖x‖∞ must not
+//                   explode past a growth factor of its running clean
+//                   maximum; the recurrence residual must stay finite.
+//                   Localizes to the blocks holding offending entries.
+//   residual-gap  — periodically computes the *true* residual b − Ax and
+//                   compares it against the solver's recurrence residual.
+//                   A true residual far above the recurrence value means
+//                   x is corrupted (localized via per-block residual
+//                   norms); a recurrence value far above the true
+//                   residual means the recurrence state (r/p) is
+//                   corrupted while x is clean — recovery is then just a
+//                   rebuild from x. The cadence trades detection latency
+//                   against the extra SpMV per inspection
+//                   (bench/ablation_detection sweeps it).
+//
+// Every inspection charges its time and energy to the virtual cluster
+// under PhaseTag::kDetect, so benches report the E/T cost of detection.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "dist/dist_matrix.hpp"
+#include "simrt/cluster.hpp"
+
+namespace rsls::resilience {
+
+struct DetectionContext {
+  const dist::DistMatrix& a;
+  std::span<const Real> b;
+  simrt::VirtualCluster& cluster;
+};
+
+struct DetectionVerdict {
+  bool flagged = false;
+  /// Ranks whose block of x is suspected. Empty with flagged set means
+  /// the corruption was seen but could not be pinned to a block.
+  IndexVec suspect_ranks;
+  /// x looks clean but the solver's recurrence state disagrees with it;
+  /// recovery is a rebuild from x, no block repair needed.
+  bool derived_state_only = false;
+  /// Name of the detector that raised the flag (diagnostics).
+  std::string detector;
+};
+
+/// FNV-1a over the bytes of a vector slice (the checkpoint integrity
+/// word and the block checksum detector share this).
+std::uint64_t fnv1a64(std::span<const Real> v);
+
+class SdcDetector {
+ public:
+  virtual ~SdcDetector() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Iteration cadence: inspect() runs when iteration % cadence == 0.
+  virtual Index cadence() const { return 1; }
+
+  /// Record trusted state right after a clean iteration, before the
+  /// fault window. Charged to the cluster (kDetect) where the detector
+  /// maintains redundant state.
+  virtual void observe(DetectionContext& /*ctx*/, Index /*iteration*/,
+                       std::span<const Real> /*x*/) {}
+
+  /// Inspect the possibly-corrupted state after the fault window.
+  /// `recurrence_relative_residual` is the solver's own ‖r‖/‖b‖ estimate.
+  /// Charges inspection cost to the cluster (kDetect).
+  virtual DetectionVerdict inspect(DetectionContext& ctx, Index iteration,
+                                   Real recurrence_relative_residual,
+                                   std::span<const Real> x) = 0;
+
+  /// Forget baselines after a recovery rewrote the solver state.
+  virtual void invalidate() {}
+
+  Index inspections() const { return inspections_; }
+  Index detections() const { return detections_; }
+
+ protected:
+  void count_inspection() { ++inspections_; }
+  void count_detection() { ++detections_; }
+
+ private:
+  Index inspections_ = 0;
+  Index detections_ = 0;
+};
+
+struct DetectionOptions {
+  bool enable_checksum = true;
+  bool enable_norm_bound = true;
+  bool enable_residual_gap = true;
+  /// ‖x‖∞ may grow this factor past its running clean maximum before the
+  /// norm-bound detector flags it.
+  Real norm_growth_factor = 1e6;
+  /// Iterations between true-residual verifications.
+  Index residual_gap_cadence = 10;
+  /// Factor by which true and recurrence residual may disagree.
+  Real residual_gap_factor = 1e3;
+  /// Absolute floor under which residual disagreement is ignored
+  /// (rounding noise near convergence, not corruption).
+  Real residual_gap_floor = 1e-13;
+};
+
+/// Per-block FNV checksums over x, refreshed every observe().
+class BlockChecksumDetector final : public SdcDetector {
+ public:
+  std::string name() const override { return "checksum"; }
+  void observe(DetectionContext& ctx, Index iteration,
+               std::span<const Real> x) override;
+  DetectionVerdict inspect(DetectionContext& ctx, Index iteration,
+                           Real recurrence_relative_residual,
+                           std::span<const Real> x) override;
+  void invalidate() override { checksums_.clear(); }
+
+ private:
+  std::vector<std::uint64_t> checksums_;
+};
+
+/// Finite/explosion invariants on x and the recurrence residual.
+class NormBoundDetector final : public SdcDetector {
+ public:
+  explicit NormBoundDetector(Real growth_factor = 1e6);
+  std::string name() const override { return "norm-bound"; }
+  DetectionVerdict inspect(DetectionContext& ctx, Index iteration,
+                           Real recurrence_relative_residual,
+                           std::span<const Real> x) override;
+  void invalidate() override { baseline_inf_ = 0.0; }
+
+ private:
+  Real growth_factor_;
+  Real baseline_inf_ = 0.0;
+};
+
+/// Periodic true residual b − Ax vs the solver's recurrence estimate.
+class ResidualGapDetector final : public SdcDetector {
+ public:
+  explicit ResidualGapDetector(Index cadence = 10, Real gap_factor = 1e3,
+                               Real floor = 1e-13);
+  std::string name() const override { return "residual-gap"; }
+  Index cadence() const override { return cadence_; }
+  DetectionVerdict inspect(DetectionContext& ctx, Index iteration,
+                           Real recurrence_relative_residual,
+                           std::span<const Real> x) override;
+
+ private:
+  Index cadence_;
+  Real gap_factor_;
+  Real floor_;
+};
+
+/// An ordered set of detectors run cheapest-first each iteration.
+class DetectorSuite {
+ public:
+  DetectorSuite() = default;
+
+  void add(std::unique_ptr<SdcDetector> detector);
+  bool empty() const { return detectors_.empty(); }
+
+  void observe(DetectionContext& ctx, Index iteration,
+               std::span<const Real> x);
+
+  /// Runs every detector due at this iteration; the first flag wins (its
+  /// localization is the most precise among enabled detectors because of
+  /// the cheap-first ordering).
+  DetectionVerdict inspect(DetectionContext& ctx, Index iteration,
+                           Real recurrence_relative_residual,
+                           std::span<const Real> x);
+
+  void invalidate();
+
+  Index inspections() const;
+  Index detections() const;
+  const std::vector<std::unique_ptr<SdcDetector>>& detectors() const {
+    return detectors_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<SdcDetector>> detectors_;
+};
+
+/// The standard suite (checksum → norm-bound → residual-gap, as enabled).
+DetectorSuite make_detector_suite(const DetectionOptions& options);
+
+/// Post-recovery validation: x must be finite and its true relative
+/// residual at most `residual_bound` (a recovered state is at worst a
+/// restart, never astronomically inconsistent). Localizes a failed
+/// validation via per-block residual norms so the recovery loop can
+/// retry against the right block. Charges one SpMV + reductions
+/// (kDetect).
+DetectionVerdict validate_state(DetectionContext& ctx, std::span<const Real> x,
+                                Real residual_bound = 1e4);
+
+}  // namespace rsls::resilience

@@ -33,4 +33,17 @@ solver::HookAction Dmr::recover(RecoveryContext& ctx, Index /*iteration*/,
   return solver::HookAction::kContinue;
 }
 
+bool Dmr::rollback(RecoveryContext& ctx, Index /*iteration*/,
+                   std::span<Real> x) {
+  if (replica_x_.size() != x.size()) {
+    return false;  // fault before the first replicated iteration
+  }
+  count_recovery();
+  std::copy(replica_x_.begin(), replica_x_.end(), x.begin());
+  // Full-vector transfer from the replica set.
+  ctx.cluster.read_memory(ctx.a.vector_bytes(), PhaseTag::kReconstruct);
+  ctx.cluster.sync(PhaseTag::kIdleWait);
+  return true;
+}
+
 }  // namespace rsls::resilience

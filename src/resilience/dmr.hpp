@@ -25,6 +25,10 @@ class Dmr final : public RecoveryScheme {
   solver::HookAction recover(RecoveryContext& ctx, Index iteration,
                              Index failed_rank, std::span<Real> x) override;
 
+  /// Escalation: restore the whole iterate from the replica.
+  bool rollback(RecoveryContext& ctx, Index iteration,
+                std::span<Real> x) override;
+
  private:
   /// The replica's copy of the iterate. Maintained for free: the replica
   /// genuinely computes it, so no extra time/energy is charged here

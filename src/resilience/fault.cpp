@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "core/error.hpp"
@@ -16,8 +17,9 @@ FaultInjector::FaultInjector(Mode mode, Index num_ranks, std::uint64_t seed)
 FaultInjector FaultInjector::evenly_spaced(Index count, Index ff_iterations,
                                            Index num_ranks,
                                            std::uint64_t seed) {
-  RSLS_CHECK(count >= 0);
-  RSLS_CHECK(ff_iterations >= 1);
+  RSLS_CHECK_MSG(count >= 0, "fault count must be non-negative");
+  RSLS_CHECK_MSG(ff_iterations >= 1,
+                 "fault-free iteration count must be at least 1");
   FaultInjector injector(Mode::kEvenlySpaced, num_ranks, seed);
   for (Index j = 1; j <= count; ++j) {
     const Index at = (j * ff_iterations) / (count + 1);
@@ -33,7 +35,11 @@ FaultInjector FaultInjector::evenly_spaced_multi(Index count,
                                                  Index ranks_per_fault,
                                                  Index num_ranks,
                                                  std::uint64_t seed) {
-  RSLS_CHECK(ranks_per_fault >= 1 && ranks_per_fault <= num_ranks);
+  RSLS_CHECK_MSG(ranks_per_fault >= 1,
+                 "each fault event must take out at least one rank");
+  RSLS_CHECK_MSG(ranks_per_fault <= num_ranks,
+                 "a fault event cannot take out more ranks than the run has "
+                 "(ranks_per_fault > num_ranks)");
   FaultInjector injector =
       evenly_spaced(count, ff_iterations, num_ranks, seed);
   injector.ranks_per_fault_ = ranks_per_fault;
@@ -45,19 +51,35 @@ FaultInjector FaultInjector::at_iterations(IndexVec iterations,
                                            std::uint64_t seed) {
   FaultInjector injector(Mode::kEvenlySpaced, num_ranks, seed);
   for (std::size_t i = 0; i < iterations.size(); ++i) {
-    RSLS_CHECK(iterations[i] >= 1);
+    RSLS_CHECK_MSG(iterations[i] >= 1,
+                   "fault iterations must be at least 1 (faults fire at "
+                   "completed-iteration boundaries)");
     if (i > 0) {
       RSLS_CHECK_MSG(iterations[i] > iterations[i - 1],
-                     "fault iterations must be ascending");
+                     "fault iterations must be strictly ascending");
     }
   }
   injector.fault_iterations_ = std::move(iterations);
   return injector;
 }
 
+FaultInjector FaultInjector::at_times(std::vector<Seconds> times,
+                                      Index num_ranks, std::uint64_t seed) {
+  FaultInjector injector(Mode::kAtTimes, num_ranks, seed);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    RSLS_CHECK_MSG(times[i] > 0.0, "fault times must be positive");
+    if (i > 0) {
+      RSLS_CHECK_MSG(times[i] > times[i - 1],
+                     "fault times must be strictly ascending");
+    }
+  }
+  injector.fault_times_ = std::move(times);
+  return injector;
+}
+
 FaultInjector FaultInjector::poisson(PerSecond lambda, Index num_ranks,
                                      std::uint64_t seed) {
-  RSLS_CHECK(lambda > 0.0);
+  RSLS_CHECK_MSG(lambda > 0.0, "Poisson fault rate must be positive");
   FaultInjector injector(Mode::kPoisson, num_ranks, seed);
   injector.lambda_ = lambda;
   injector.next_arrival_ = injector.rng_.exponential(lambda);
@@ -68,6 +90,16 @@ FaultInjector FaultInjector::none() {
   return FaultInjector(Mode::kNone, 1, 0);
 }
 
+FaultInjector& FaultInjector::as_sdc(SdcMode mode, SdcTarget target,
+                                     Index bitflips) {
+  RSLS_CHECK_MSG(bitflips >= 1, "bit-flip SDC needs at least one flip");
+  fault_class_ = FaultClass::kSilentCorruption;
+  sdc_mode_ = mode;
+  sdc_target_ = target;
+  sdc_bitflips_ = bitflips;
+  return *this;
+}
+
 std::optional<Index> FaultInjector::check(Index iteration, Seconds now) {
   switch (mode_) {
     case Mode::kNone:
@@ -76,6 +108,15 @@ std::optional<Index> FaultInjector::check(Index iteration, Seconds now) {
       if (next_fault_ < fault_iterations_.size() &&
           iteration >= fault_iterations_[next_fault_]) {
         ++next_fault_;
+        ++injected_;
+        return static_cast<Index>(
+            rng_.uniform_index(static_cast<std::uint64_t>(num_ranks_)));
+      }
+      return std::nullopt;
+    }
+    case Mode::kAtTimes: {
+      if (next_time_ < fault_times_.size() && now >= fault_times_[next_time_]) {
+        ++next_time_;
         ++injected_;
         return static_cast<Index>(
             rng_.uniform_index(static_cast<std::uint64_t>(num_ranks_)));
@@ -114,6 +155,24 @@ IndexVec FaultInjector::check_multi(Index iteration, Seconds now) {
   return failed;
 }
 
+std::optional<FaultEvent> FaultInjector::next_event(Index iteration,
+                                                    Seconds now) {
+  IndexVec failed = check_multi(iteration, now);
+  if (failed.empty()) {
+    return std::nullopt;
+  }
+  FaultEvent event;
+  event.ranks = std::move(failed);
+  event.cls = fault_class_;
+  event.target = sdc_target_;
+  event.mode = sdc_mode_;
+  event.bitflips = sdc_bitflips_;
+  // Per-event corruption seed so every SDC event damages differently but
+  // the whole schedule stays deterministic in the injector seed.
+  event.corruption_seed = rng_.next_u64();
+  return event;
+}
+
 void FaultInjector::corrupt_block(const dist::Partition& part,
                                   Index failed_rank, std::span<Real> x) {
   RSLS_CHECK(failed_rank >= 0 && failed_rank < part.parts());
@@ -135,10 +194,51 @@ void FaultInjector::corrupt_block_sdc(const dist::Partition& part,
   const Index begin = part.begin(failed_rank);
   const Index end = part.end(failed_rank);
   for (Index i = begin; i < end; ++i) {
-    // Bit-flip-like damage: wildly rescaled and sign-flipped values.
-    const double magnitude = std::pow(10.0, rng.uniform(-8.0, 8.0));
+    // Bit-flip-like damage: wildly rescaled and sign-flipped values,
+    // always large (≥ 10) but finite so nothing downstream NaN-checks
+    // its way to a free detection.
+    const double magnitude = std::pow(10.0, rng.uniform(1.0, 8.0));
     x[static_cast<std::size_t>(i)] =
         (rng.uniform() < 0.5 ? -1.0 : 1.0) * magnitude;
+  }
+}
+
+void FaultInjector::corrupt_block_bitflips(const dist::Partition& part,
+                                           Index failed_rank,
+                                           std::span<Real> x, Index flips,
+                                           std::uint64_t seed) {
+  RSLS_CHECK(failed_rank >= 0 && failed_rank < part.parts());
+  RSLS_CHECK(x.size() == static_cast<std::size_t>(part.size()));
+  RSLS_CHECK_MSG(flips >= 1, "bit-flip corruption needs at least one flip");
+  static_assert(sizeof(Real) == sizeof(std::uint64_t));
+  Rng rng(seed);
+  const Index begin = part.begin(failed_rank);
+  const auto block =
+      static_cast<std::uint64_t>(part.block_rows(failed_rank));
+  for (Index f = 0; f < flips; ++f) {
+    const auto i =
+        static_cast<std::size_t>(begin) + rng.uniform_index(block);
+    const auto bit = rng.uniform_index(64);
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &x[i], sizeof(bits));
+    bits ^= std::uint64_t{1} << bit;
+    std::memcpy(&x[i], &bits, sizeof(bits));
+  }
+}
+
+void FaultInjector::apply_corruption(const FaultEvent& event,
+                                     const dist::Partition& part,
+                                     std::span<Real> v) {
+  std::uint64_t seed = event.corruption_seed;
+  for (const Index rank : event.ranks) {
+    if (event.cls == FaultClass::kProcessLoss) {
+      corrupt_block(part, rank, v);
+    } else if (event.mode == SdcMode::kGarbage) {
+      corrupt_block_sdc(part, rank, v, seed);
+    } else {
+      corrupt_block_bitflips(part, rank, v, event.bitflips, seed);
+    }
+    ++seed;  // distinct damage per rank of a multi-rank event
   }
 }
 

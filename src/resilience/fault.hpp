@@ -5,12 +5,23 @@
 // evenly over the iterations the fault-free execution needs, with no
 // faults after the fault-free run would have converged. A Poisson mode
 // fires faults from exponential inter-arrival times against the virtual
-// clock (rate λ = 1/MTBF), for the MTBF-driven experiments (Fig. 3).
+// clock (rate λ = 1/MTBF), for the MTBF-driven experiments (Fig. 3). An
+// at-times mode fires at explicit virtual-time stamps — recovery actions
+// advance the clock, so a time scheduled inside a recovery window lands a
+// *nested* fault (a fault that strikes while another is being repaired).
 //
-// A fault destroys the failed process's block of the iterate x. The block
-// is overwritten with NaNs so that any scheme that wrongly reads lost data
-// poisons its result and fails tests, instead of silently "recovering"
-// from data it could not have had.
+// Two fault classes (paper §2.1):
+//   kProcessLoss       — the failed process's block of x is overwritten
+//                        with NaNs and the harness learns the rank (MPI
+//                        announces a dead process); any scheme that reads
+//                        the lost data poisons its result and fails tests.
+//   kSilentCorruption  — the block survives but its values are silently
+//                        garbled (bit flips or rescaled garbage) and the
+//                        harness is NOT told which rank — an online
+//                        detector (resilience/detector.hpp) must notice
+//                        and localize the damage before any recovery can
+//                        run. The paper assumes SDC detection ([10]);
+//                        this class makes detection load-bearing.
 
 #include <optional>
 #include <span>
@@ -22,6 +33,30 @@
 
 namespace rsls::resilience {
 
+enum class FaultClass { kProcessLoss, kSilentCorruption };
+
+/// Which solver vector a silent corruption garbles. The iterate x is the
+/// persistent state (corruption never self-heals); r and p are the CG
+/// recurrence state (corruption poisons the direction search until the
+/// solver rebuilds them from x).
+enum class SdcTarget { kIterate, kResidual, kDirection };
+
+/// How the corrupted block is damaged: kGarbage rescales values into
+/// large-but-finite plausible-looking garbage; kBitFlip XORs random bits
+/// in a few entries (possibly producing non-finite values).
+enum class SdcMode { kGarbage, kBitFlip };
+
+/// One fault event: the processes it takes out, its class, and (for SDC)
+/// how and where the corruption lands plus a deterministic seed for it.
+struct FaultEvent {
+  IndexVec ranks;
+  FaultClass cls = FaultClass::kProcessLoss;
+  SdcTarget target = SdcTarget::kIterate;
+  SdcMode mode = SdcMode::kGarbage;
+  std::uint64_t corruption_seed = 0;
+  Index bitflips = 3;
+};
+
 class FaultInjector {
  public:
   /// `count` faults at iterations round(j·ff/(count+1)), j = 1..count —
@@ -32,15 +67,23 @@ class FaultInjector {
 
   /// Link-and-node-failure flavour (paper §2.1's LNF class): each fault
   /// event takes out `ranks_per_fault` distinct processes at once.
+  /// Requires 1 ≤ ranks_per_fault ≤ num_ranks.
   static FaultInjector evenly_spaced_multi(Index count, Index ff_iterations,
                                            Index ranks_per_fault,
                                            Index num_ranks,
                                            std::uint64_t seed);
 
   /// Faults at exactly the given iterations (e.g. Fig. 6a's single fault
-  /// at iteration 200). Must be ascending.
+  /// at iteration 200). Must be strictly ascending and ≥ 1.
   static FaultInjector at_iterations(IndexVec iterations, Index num_ranks,
                                      std::uint64_t seed);
+
+  /// Faults at exactly the given virtual times (strictly ascending, > 0),
+  /// checked against the cluster clock. Because recovery actions advance
+  /// virtual time, a stamp placed just after another fault fires lands
+  /// *during* that fault's recovery — the nested-fault scenario.
+  static FaultInjector at_times(std::vector<Seconds> times, Index num_ranks,
+                                std::uint64_t seed);
 
   /// Exponential inter-arrival times with rate λ (per second of virtual
   /// time), checked at iteration boundaries.
@@ -50,6 +93,13 @@ class FaultInjector {
   /// No faults (fault-free baseline).
   static FaultInjector none();
 
+  /// Reclassify every event this injector fires as silent data
+  /// corruption with the given damage mode and target vector. Returns
+  /// *this for chaining after a factory call.
+  FaultInjector& as_sdc(SdcMode mode = SdcMode::kGarbage,
+                        SdcTarget target = SdcTarget::kIterate,
+                        Index bitflips = 3);
+
   /// If a fault fires at this iteration boundary, returns the failed
   /// rank. `now` is the virtual cluster time (used by Poisson mode).
   std::optional<Index> check(Index iteration, Seconds now);
@@ -57,6 +107,11 @@ class FaultInjector {
   /// Multi-rank variant: all processes lost by the fault event (empty =
   /// no fault). For single-failure injectors this is check() in a vector.
   IndexVec check_multi(Index iteration, Seconds now);
+
+  /// Full fault event including class/target metadata (nullopt = no
+  /// fault). The resilient solve loop consumes this; check()/check_multi()
+  /// remain for callers that only care about process-loss semantics.
+  std::optional<FaultEvent> next_event(Index iteration, Seconds now);
 
   Index faults_injected() const { return injected_; }
 
@@ -66,17 +121,30 @@ class FaultInjector {
   static void corrupt_block(const dist::Partition& part, Index failed_rank,
                             std::span<Real> x);
 
-  /// Silent-data-corruption flavour (paper §2.1's SDC class): the block
-  /// survives but its values are garbled into large finite garbage —
-  /// detected (as the paper assumes, [10]) but plausible-looking. The
-  /// recovery path is identical; this variant exists so tests can verify
-  /// schemes never *trust* the corrupted values.
+  /// Silent-data-corruption, garbage flavour: the failed rank's block
+  /// survives but every value is garbled into large-but-finite garbage
+  /// (|v| ∈ [10, 1e8], random sign) — plausible-looking, never NaN, so
+  /// only an online detector can notice it. Deterministic in the seed.
   static void corrupt_block_sdc(const dist::Partition& part,
                                 Index failed_rank, std::span<Real> x,
                                 std::uint64_t seed);
 
+  /// Silent-data-corruption, bit-flip flavour: XOR `flips` random single
+  /// bits in random entries of the failed rank's block (may produce
+  /// non-finite values when an exponent bit flips). Deterministic in the
+  /// seed.
+  static void corrupt_block_bitflips(const dist::Partition& part,
+                                     Index failed_rank, std::span<Real> x,
+                                     Index flips, std::uint64_t seed);
+
+  /// Apply `event`'s corruption to `v` (the vector `event.target` refers
+  /// to) for every failed rank, honouring the event's class and mode.
+  static void apply_corruption(const FaultEvent& event,
+                               const dist::Partition& part,
+                               std::span<Real> v);
+
  private:
-  enum class Mode { kNone, kEvenlySpaced, kPoisson };
+  enum class Mode { kNone, kEvenlySpaced, kAtTimes, kPoisson };
 
   FaultInjector(Mode mode, Index num_ranks, std::uint64_t seed);
 
@@ -87,11 +155,19 @@ class FaultInjector {
   // Evenly-spaced state.
   IndexVec fault_iterations_;
   std::size_t next_fault_ = 0;
+  // At-times state.
+  std::vector<Seconds> fault_times_;
+  std::size_t next_time_ = 0;
   // Poisson state.
   PerSecond lambda_ = 0.0;
   Seconds next_arrival_ = 0.0;
   // Ranks lost per fault event (LNF mode).
   Index ranks_per_fault_ = 1;
+  // Fault class configuration (as_sdc).
+  FaultClass fault_class_ = FaultClass::kProcessLoss;
+  SdcTarget sdc_target_ = SdcTarget::kIterate;
+  SdcMode sdc_mode_ = SdcMode::kGarbage;
+  Index sdc_bitflips_ = 3;
 };
 
 }  // namespace rsls::resilience

@@ -72,4 +72,10 @@ solver::HookAction MultiLevelCheckpoint::recover(RecoveryContext& ctx,
   return solver::HookAction::kRestart;
 }
 
+bool MultiLevelCheckpoint::rollback(RecoveryContext& ctx, Index iteration,
+                                    std::span<Real> x) {
+  recover(ctx, iteration, 0, x);
+  return true;
+}
+
 }  // namespace rsls::resilience

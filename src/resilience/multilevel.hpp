@@ -46,6 +46,10 @@ class MultiLevelCheckpoint final : public RecoveryScheme {
   solver::HookAction recover(RecoveryContext& ctx, Index iteration,
                              Index failed_rank, std::span<Real> x) override;
 
+  /// Escalation: the global rollback recover() already performs.
+  bool rollback(RecoveryContext& ctx, Index iteration,
+                std::span<Real> x) override;
+
   Index l1_checkpoints() const { return l1_checkpoints_; }
   Index l2_checkpoints() const { return l2_checkpoints_; }
   /// Recoveries that had to fall back to the disk level.

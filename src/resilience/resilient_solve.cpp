@@ -1,37 +1,184 @@
 #include "resilience/resilient_solve.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "core/error.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/vector_ops.hpp"
 
 namespace rsls::resilience {
+
+using power::PhaseTag;
+using solver::HookAction;
+
+namespace {
+
+HookAction merge(HookAction a, HookAction b) {
+  return (a == HookAction::kRestart || b == HookAction::kRestart)
+             ? HookAction::kRestart
+             : HookAction::kContinue;
+}
+
+HookAction dispatch_recovery(RecoveryScheme& scheme, RecoveryContext& ctx,
+                             Index iteration, const IndexVec& ranks,
+                             std::span<Real> x) {
+  RSLS_CHECK(!ranks.empty());
+  if (ranks.size() == 1) {
+    return scheme.recover(ctx, iteration, ranks.front(), x);
+  }
+  return scheme.recover_multi(ctx, iteration, ranks, x);
+}
+
+}  // namespace
 
 ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
                                      simrt::VirtualCluster& cluster,
                                      std::span<const Real> b, RealVec& x,
                                      RecoveryScheme& scheme,
                                      FaultInjector& injector,
-                                     const solver::CgOptions& options) {
+                                     const solver::CgOptions& options,
+                                     DetectorSuite& detectors,
+                                     const HardeningOptions& hardening) {
   RSLS_CHECK_MSG(cluster.replica_factor() == scheme.replica_factor(),
                  "cluster replica factor must match the scheme (DMR = 2)");
+  RSLS_CHECK(hardening.max_recovery_attempts >= 1);
+  RSLS_CHECK(hardening.max_nested_faults >= 1);
   RecoveryContext ctx{a, b, cluster};
-
-  const solver::IterationHook hook =
-      [&](const solver::CgIterationView& view) -> solver::HookAction {
-    scheme.on_iteration(ctx, view.iteration, view.x);
-    const IndexVec failed =
-        injector.check_multi(view.iteration, cluster.elapsed());
-    if (failed.empty()) {
-      return solver::HookAction::kContinue;
-    }
-    for (const Index rank : failed) {
-      FaultInjector::corrupt_block(a.partition(), rank, view.x);
-    }
-    if (failed.size() == 1) {
-      return scheme.recover(ctx, view.iteration, failed.front(), view.x);
-    }
-    return scheme.recover_multi(ctx, view.iteration, failed, view.x);
-  };
+  DetectionContext dctx{a, b, cluster};
+  const auto& part = a.partition();
+  const Real b_norm = sparse::norm2(b);
+  // Rung 2 of the escalation ladder restarts from the initial guess, so
+  // keep a copy the run cannot corrupt.
+  const RealVec x0_copy = x;
 
   ResilientSolveReport report;
+
+  // Recompute the recurrence relative residual from the *current* r so
+  // detectors compare against the possibly-corrupted recurrence state,
+  // not the pre-fault value the solver computed.
+  const auto recurrence_relative = [&](std::span<const Real> r) {
+    for (Index rank = 0; rank < part.parts(); ++rank) {
+      cluster.charge_compute(
+          rank, 2.0 * static_cast<double>(part.block_rows(rank)),
+          PhaseTag::kDetect);
+    }
+    cluster.allreduce(8.0, PhaseTag::kDetect);
+    return sparse::norm2(r) / (b_norm > 0.0 ? b_norm : 1.0);
+  };
+
+  // Detection-triggered recovery ladder. The detectors only *suspect*
+  // blocks; every rung is validated against the true residual before the
+  // solve is allowed to continue.
+  const auto recover_detected = [&](const DetectionVerdict& verdict,
+                                    Index iteration, std::span<Real> x_view) {
+    if (verdict.derived_state_only) {
+      // x is clean; the kRestart the caller issues rebuilds r and p.
+      return;
+    }
+    IndexVec suspects = verdict.suspect_ranks;
+    for (Index attempt = 0; attempt < hardening.max_recovery_attempts;
+         ++attempt) {
+      if (suspects.empty()) {
+        break;  // nothing to aim a localized recovery at
+      }
+      dispatch_recovery(scheme, ctx, iteration, suspects, x_view);
+      const DetectionVerdict check = validate_state(
+          dctx, x_view, hardening.validation_residual_bound);
+      if (!check.flagged) {
+        return;
+      }
+      suspects = check.suspect_ranks;
+    }
+    // Rung 1: global rollback to trusted state, if the scheme has any.
+    ++report.escalations;
+    if (scheme.rollback(ctx, iteration, x_view)) {
+      const DetectionVerdict check = validate_state(
+          dctx, x_view, hardening.validation_residual_bound);
+      if (!check.flagged) {
+        return;
+      }
+    }
+    // Rung 2: restart from the initial guess.
+    ++report.escalations;
+    std::copy(x0_copy.begin(), x0_copy.end(), x_view.begin());
+  };
+
+  const solver::IterationHook hook =
+      [&](const solver::CgIterationView& view) -> HookAction {
+    scheme.on_iteration(ctx, view.iteration, view.x);
+    detectors.observe(dctx, view.iteration, view.x);
+
+    HookAction action = HookAction::kContinue;
+    bool recovery_happened = false;
+    Index events_handled = 0;
+
+    // Drain every fault event due at this boundary. Announced recoveries
+    // advance the virtual clock, so time-scheduled faults can land
+    // *inside* a recovery — those re-enter this loop as nested faults.
+    while (events_handled < hardening.max_nested_faults) {
+      const auto event = injector.next_event(view.iteration,
+                                             cluster.elapsed());
+      if (!event.has_value()) {
+        break;
+      }
+      ++events_handled;
+      if (recovery_happened) {
+        ++report.nested_faults;
+      }
+      if (event->cls == FaultClass::kProcessLoss) {
+        FaultInjector::apply_corruption(*event, part, view.x);
+        action = merge(action, dispatch_recovery(scheme, ctx, view.iteration,
+                                                 event->ranks, view.x));
+        detectors.invalidate();
+        recovery_happened = true;
+      } else {
+        // Silent corruption: damage the target state and tell no one.
+        std::span<Real> target = view.x;
+        if (event->target == SdcTarget::kResidual) {
+          target = view.r;
+        } else if (event->target == SdcTarget::kDirection) {
+          target = view.p;
+        }
+        FaultInjector::apply_corruption(*event, part, target);
+      }
+    }
+
+    if (!detectors.empty()) {
+      const Real rec_rel = recurrence_relative(view.r);
+      const DetectionVerdict verdict =
+          detectors.inspect(dctx, view.iteration, rec_rel, view.x);
+      if (verdict.flagged) {
+        ++report.detections;
+        recover_detected(verdict, view.iteration, view.x);
+        detectors.invalidate();
+        action = HookAction::kRestart;
+        recovery_happened = true;
+        // The detected recovery advanced the clock too: drain faults
+        // nested inside it. SDC landing here stays in x and is caught by
+        // the detectors at the next iteration boundary.
+        while (events_handled < hardening.max_nested_faults) {
+          const auto event = injector.next_event(view.iteration,
+                                                 cluster.elapsed());
+          if (!event.has_value()) {
+            break;
+          }
+          ++events_handled;
+          ++report.nested_faults;
+          if (event->cls == FaultClass::kProcessLoss) {
+            FaultInjector::apply_corruption(*event, part, view.x);
+            action = merge(action,
+                           dispatch_recovery(scheme, ctx, view.iteration,
+                                             event->ranks, view.x));
+          } else {
+            FaultInjector::apply_corruption(*event, part, view.x);
+          }
+        }
+      }
+    }
+    return action;
+  };
+
   report.cg = solver::cg_solve(a, cluster, b, x, options, hook);
   report.faults = injector.faults_injected();
   report.recoveries = scheme.recoveries();
@@ -39,7 +186,20 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
   report.energy = cluster.total_energy();
   report.average_power = cluster.average_power();
   report.account = cluster.energy();
+  report.true_relative_residual =
+      sparse::residual_norm(a.global(), x, b) / (b_norm > 0.0 ? b_norm : 1.0);
   return report;
+}
+
+ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
+                                     simrt::VirtualCluster& cluster,
+                                     std::span<const Real> b, RealVec& x,
+                                     RecoveryScheme& scheme,
+                                     FaultInjector& injector,
+                                     const solver::CgOptions& options) {
+  DetectorSuite no_detectors;
+  return resilient_solve(a, cluster, b, x, scheme, injector, options,
+                         no_detectors, HardeningOptions{});
 }
 
 }  // namespace rsls::resilience

@@ -1,6 +1,23 @@
 #pragma once
-// Orchestration of one resilient solve: CG + fault injection + recovery,
-// with the full time/power/energy report the benches consume.
+// Orchestration of one resilient solve: CG + fault injection + detection
+// + recovery, with the full time/power/energy report the benches consume.
+//
+// Process-loss faults are announced (the runtime knows which rank died)
+// and go straight to the recovery scheme, as in the paper's §5 runs.
+// Silent-data-corruption faults are NOT announced: the detect→localize→
+// recover loop must notice them via the detector suite, pin down the
+// damaged block, and dispatch the scheme at it. Recoveries are validated
+// and escalate when validation fails:
+//
+//   rung 0 — localized scheme recovery at the suspect blocks, retried
+//            with re-localization up to max_recovery_attempts times;
+//   rung 1 — scheme.rollback(): restore a known-good global state
+//            (checkpoint, replica) if the scheme has one;
+//   rung 2 — restart from the initial guess (always available).
+//
+// Faults that strike while a recovery is in progress (the recovery
+// advanced the virtual clock past another scheduled fault) are nested:
+// the loop re-enters recovery for them, bounded by max_nested_faults.
 
 #include <span>
 
@@ -8,6 +25,7 @@
 #include "core/units.hpp"
 #include "dist/dist_matrix.hpp"
 #include "power/rapl.hpp"
+#include "resilience/detector.hpp"
 #include "resilience/fault.hpp"
 #include "resilience/scheme.hpp"
 #include "simrt/cluster.hpp"
@@ -15,10 +33,32 @@
 
 namespace rsls::resilience {
 
+struct HardeningOptions {
+  /// Localized recovery attempts (rung 0) before escalating.
+  Index max_recovery_attempts = 3;
+  /// Bound on fault events handled within one iteration boundary,
+  /// including faults nested inside recoveries.
+  Index max_nested_faults = 16;
+  /// A recovered state must have true relative residual at most this
+  /// (and be finite) to pass validation.
+  Real validation_residual_bound = 1e4;
+};
+
 struct ResilientSolveReport {
   solver::CgResult cg;
   Index faults = 0;
   Index recoveries = 0;
+  /// Detector flags acted upon (each triggers a detected recovery).
+  Index detections = 0;
+  /// Fault events that struck while a recovery was already in progress.
+  Index nested_faults = 0;
+  /// Escalations past localized recovery (rollback or initial-guess
+  /// restart rungs entered).
+  Index escalations = 0;
+  /// ‖b − Ax‖/‖b‖ of the returned iterate, computed exactly (uncharged
+  /// diagnostic). An undetected SDC shows up here even when the solver's
+  /// own recurrence claims convergence.
+  Real true_relative_residual = 0.0;
   /// Virtual makespan of the run.
   Seconds time = 0.0;
   /// Total energy (cores + uncore/DRAM, replica-scaled).
@@ -29,8 +69,20 @@ struct ResilientSolveReport {
   power::EnergyAccount account;
 };
 
-/// Run CG on (a, b) from x0 under the given scheme and injector, charging
-/// everything to `cluster`. On return x holds the final iterate.
+/// Run CG on (a, b) from x0 under the given scheme, injector, and
+/// detector suite, charging everything (detection included, under
+/// PhaseTag::kDetect) to `cluster`. On return x holds the final iterate.
+ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
+                                     simrt::VirtualCluster& cluster,
+                                     std::span<const Real> b, RealVec& x,
+                                     RecoveryScheme& scheme,
+                                     FaultInjector& injector,
+                                     const solver::CgOptions& options,
+                                     DetectorSuite& detectors,
+                                     const HardeningOptions& hardening = {});
+
+/// Detection-free variant (announced faults only, as in the paper's §5
+/// experiments).
 ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
                                      simrt::VirtualCluster& cluster,
                                      std::span<const Real> b, RealVec& x,

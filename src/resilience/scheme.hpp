@@ -52,6 +52,16 @@ class RecoveryScheme {
                                            const IndexVec& failed_ranks,
                                            std::span<Real> x);
 
+  /// Escalation: restore a known-good *global* state after localized
+  /// recovery failed validation (rung 1 of the detect→recover ladder).
+  /// Returns true if the scheme rewrote x from trusted state (checkpoint,
+  /// replica); false if it has none, in which case the caller escalates
+  /// to a restart from the initial guess.
+  virtual bool rollback(RecoveryContext& /*ctx*/, Index /*iteration*/,
+                        std::span<Real> /*x*/) {
+    return false;
+  }
+
   /// Cluster replication this scheme requires (2 for DMR, 1 otherwise).
   virtual Index replica_factor() const { return 1; }
 

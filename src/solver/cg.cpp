@@ -129,6 +129,8 @@ CgResult cg_solve(const dist::DistMatrix& a, simrt::VirtualCluster& cluster,
       view.iteration = result.iterations;
       view.relative_residual = b_norm > 0.0 ? r_norm / b_norm : r_norm;
       view.x = std::span<Real>(x);
+      view.r = std::span<Real>(r);
+      view.p = std::span<Real>(p);
       const HookAction action = hook(view);
       if (action == HookAction::kRestart) {
         rz = rebuild_from_x(result.iterations);

@@ -55,6 +55,13 @@ struct CgIterationView {
   Real relative_residual = 0.0;
   /// The global iterate; hooks may overwrite any block.
   std::span<Real> x;
+  /// The solver's recurrence state (residual and search direction). A
+  /// hook that modifies these without returning kRestart leaves CG
+  /// running on corrupted internal state — exactly the silent-data-
+  /// corruption scenario the detection layer must catch. kRestart
+  /// rebuilds both from x.
+  std::span<Real> r;
+  std::span<Real> p;
 };
 
 using IterationHook = std::function<HookAction(const CgIterationView&)>;

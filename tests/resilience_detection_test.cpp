@@ -1,0 +1,488 @@
+// SDC detection and nested-fault hardening: detector units (flagging +
+// localization), the detect→localize→recover loop end-to-end, checkpoint
+// integrity verification, nested faults, and the escalation ladder.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/error.hpp"
+#include "harness/scheme_factory.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/detector.hpp"
+#include "resilience/resilient_solve.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/roster.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace rsls::resilience {
+namespace {
+
+constexpr Index kParts = 8;
+
+struct SolveSetup {
+  dist::DistMatrix a;
+  RealVec b;
+  RealVec x0;
+
+  explicit SolveSetup(sparse::Csr matrix, Index parts = kParts)
+      : a(std::move(matrix), parts),
+        b(sparse::make_rhs(a.global())),
+        x0(static_cast<std::size_t>(a.rows()), 0.0) {}
+};
+
+sparse::Csr test_matrix() {
+  return sparse::banded_spd({192, 4, 1.0, 0.02, 0.0, 31});
+}
+
+Index ff_iterations_of(SolveSetup& setup, Seconds* time_out = nullptr) {
+  class NoRecovery final : public RecoveryScheme {
+   public:
+    std::string name() const override { return "FF"; }
+    solver::HookAction recover(RecoveryContext&, Index, Index,
+                               std::span<Real>) override {
+      throw Error("unexpected fault");
+    }
+  };
+  NoRecovery none;
+  simrt::VirtualCluster cluster(simrt::paper_node(), kParts);
+  auto injector = FaultInjector::none();
+  RealVec x = setup.x0;
+  solver::CgOptions options;
+  options.tolerance = 1e-12;
+  const auto report = resilient_solve(setup.a, cluster, setup.b, x, none,
+                                      injector, options);
+  EXPECT_TRUE(report.cg.converged);
+  if (time_out != nullptr) {
+    *time_out = report.time;
+  }
+  return report.cg.iterations;
+}
+
+ResilientSolveReport run_with(SolveSetup& setup,
+                              const std::string& scheme_name,
+                              FaultInjector& injector, DetectorSuite& suite,
+                              Index ff_iterations,
+                              const HardeningOptions& hardening = {}) {
+  harness::SchemeFactoryConfig factory;
+  factory.cr_interval_iterations = 20;
+  factory.fw_cg_tolerance = 1e-10;
+  const auto scheme = harness::make_scheme(scheme_name, factory, setup.x0);
+  simrt::VirtualCluster cluster(simrt::paper_node(), kParts,
+                                scheme->replica_factor());
+  RealVec x = setup.x0;
+  solver::CgOptions options;
+  options.tolerance = 1e-12;
+  options.ff_iterations = ff_iterations;
+  return resilient_solve(setup.a, cluster, setup.b, x, *scheme, injector,
+                         options, suite, hardening);
+}
+
+// --- Detector units --------------------------------------------------------
+
+TEST(BlockChecksumDetectorTest, LocalizesTheCorruptedBlock) {
+  SolveSetup setup(test_matrix());
+  simrt::VirtualCluster cluster(simrt::paper_node(), kParts);
+  DetectionContext ctx{setup.a, setup.b, cluster};
+  RealVec x(setup.x0.size(), 1.0);
+
+  BlockChecksumDetector detector;
+  detector.observe(ctx, 1, x);
+  auto clean = detector.inspect(ctx, 1, 0.5, x);
+  EXPECT_FALSE(clean.flagged);
+
+  FaultInjector::corrupt_block_sdc(setup.a.partition(), 5, x, 77);
+  auto verdict = detector.inspect(ctx, 1, 0.5, x);
+  EXPECT_TRUE(verdict.flagged);
+  ASSERT_EQ(verdict.suspect_ranks.size(), 1u);
+  EXPECT_EQ(verdict.suspect_ranks.front(), 5);
+  EXPECT_FALSE(verdict.derived_state_only);
+  EXPECT_EQ(verdict.detector, "checksum");
+  EXPECT_EQ(detector.detections(), 1);
+}
+
+TEST(BlockChecksumDetectorTest, SilentBeforeFirstObserve) {
+  SolveSetup setup(test_matrix());
+  simrt::VirtualCluster cluster(simrt::paper_node(), kParts);
+  DetectionContext ctx{setup.a, setup.b, cluster};
+  RealVec x(setup.x0.size(), 1.0);
+  BlockChecksumDetector detector;
+  EXPECT_FALSE(detector.inspect(ctx, 1, 0.5, x).flagged);
+}
+
+TEST(NormBoundDetectorTest, FlagsNonFiniteEntries) {
+  SolveSetup setup(test_matrix());
+  simrt::VirtualCluster cluster(simrt::paper_node(), kParts);
+  DetectionContext ctx{setup.a, setup.b, cluster};
+  RealVec x(setup.x0.size(), 1.0);
+  x[static_cast<std::size_t>(setup.a.partition().begin(3))] =
+      std::numeric_limits<Real>::quiet_NaN();
+
+  NormBoundDetector detector;
+  auto verdict = detector.inspect(ctx, 1, 0.5, x);
+  EXPECT_TRUE(verdict.flagged);
+  ASSERT_EQ(verdict.suspect_ranks.size(), 1u);
+  EXPECT_EQ(verdict.suspect_ranks.front(), 3);
+}
+
+TEST(NormBoundDetectorTest, FlagsNonFiniteRecurrenceAsDerivedState) {
+  SolveSetup setup(test_matrix());
+  simrt::VirtualCluster cluster(simrt::paper_node(), kParts);
+  DetectionContext ctx{setup.a, setup.b, cluster};
+  RealVec x(setup.x0.size(), 1.0);
+  NormBoundDetector detector;
+  auto verdict = detector.inspect(
+      ctx, 1, std::numeric_limits<Real>::quiet_NaN(), x);
+  EXPECT_TRUE(verdict.flagged);
+  EXPECT_TRUE(verdict.derived_state_only);
+  EXPECT_TRUE(verdict.suspect_ranks.empty());
+}
+
+TEST(ResidualGapDetectorTest, FlagsCorruptedIterate) {
+  SolveSetup setup(test_matrix());
+  simrt::VirtualCluster cluster(simrt::paper_node(), kParts);
+  DetectionContext ctx{setup.a, setup.b, cluster};
+  // x = 0 has true relative residual exactly 1.
+  RealVec x = setup.x0;
+  ResidualGapDetector detector(/*cadence=*/1, /*gap_factor=*/1e3);
+  EXPECT_FALSE(detector.inspect(ctx, 1, 1.0, x).flagged);
+
+  FaultInjector::corrupt_block_sdc(setup.a.partition(), 6, x, 123);
+  auto verdict = detector.inspect(ctx, 1, 1.0, x);
+  EXPECT_TRUE(verdict.flagged);
+  EXPECT_FALSE(verdict.derived_state_only);
+  EXPECT_FALSE(verdict.suspect_ranks.empty());
+  EXPECT_NE(std::find(verdict.suspect_ranks.begin(),
+                      verdict.suspect_ranks.end(), 6),
+            verdict.suspect_ranks.end());
+}
+
+TEST(ResidualGapDetectorTest, FlagsCorruptedRecurrenceAsDerivedState) {
+  SolveSetup setup(test_matrix());
+  simrt::VirtualCluster cluster(simrt::paper_node(), kParts);
+  DetectionContext ctx{setup.a, setup.b, cluster};
+  RealVec x = setup.x0;  // clean, rel_true = 1
+  ResidualGapDetector detector(1, 1e3);
+  auto verdict = detector.inspect(ctx, 1, /*recurrence=*/1e7, x);
+  EXPECT_TRUE(verdict.flagged);
+  EXPECT_TRUE(verdict.derived_state_only);
+}
+
+TEST(ValidateStateTest, AcceptsCleanRejectsCorrupted) {
+  SolveSetup setup(test_matrix());
+  simrt::VirtualCluster cluster(simrt::paper_node(), kParts);
+  DetectionContext ctx{setup.a, setup.b, cluster};
+  RealVec x = setup.x0;
+  EXPECT_FALSE(validate_state(ctx, x).flagged);
+
+  FaultInjector::corrupt_block_sdc(setup.a.partition(), 2, x, 9);
+  auto verdict = validate_state(ctx, x, /*residual_bound=*/1e2);
+  EXPECT_TRUE(verdict.flagged);
+  EXPECT_FALSE(verdict.suspect_ranks.empty());
+}
+
+// --- End-to-end: undetected vs detected ------------------------------------
+
+TEST(SdcEndToEndTest, UndetectedCorruptionEndsWrong) {
+  SolveSetup setup(test_matrix());
+  const Index ff = ff_iterations_of(setup);
+  auto injector = FaultInjector::evenly_spaced(2, ff, kParts, 5);
+  injector.as_sdc();
+  DetectorSuite no_detectors;
+  const auto report = run_with(setup, "LI", injector, no_detectors, ff);
+  // The recurrence never sees the corrupted x: the solver "converges"…
+  EXPECT_TRUE(report.cg.converged);
+  EXPECT_LE(report.cg.relative_residual, 1e-12);
+  // …on a grossly wrong answer, and nobody recovered anything.
+  EXPECT_GT(report.true_relative_residual, 1.0);
+  EXPECT_EQ(report.detections, 0);
+  EXPECT_EQ(report.recoveries, 0);
+  EXPECT_EQ(report.faults, 2);
+}
+
+TEST(SdcEndToEndTest, DetectedCorruptionRecoversSameSeed) {
+  SolveSetup setup(test_matrix());
+  const Index ff = ff_iterations_of(setup);
+  auto injector = FaultInjector::evenly_spaced(2, ff, kParts, 5);
+  injector.as_sdc();
+  DetectorSuite suite = make_detector_suite(DetectionOptions{});
+  const auto report = run_with(setup, "LI", injector, suite, ff);
+  EXPECT_TRUE(report.cg.converged);
+  EXPECT_LE(report.true_relative_residual, 1e-10);
+  EXPECT_EQ(report.faults, 2);
+  EXPECT_EQ(report.detections, 2);
+  EXPECT_GE(report.recoveries, 2);
+  EXPECT_EQ(report.escalations, 0);
+  // Detection work was charged to its own phase.
+  EXPECT_GT(report.account.core_energy(power::PhaseTag::kDetect), 0.0);
+}
+
+TEST(SdcEndToEndTest, RollbackSchemeRecoversDetectedCorruption) {
+  SolveSetup setup(test_matrix());
+  const Index ff = ff_iterations_of(setup);
+  auto injector = FaultInjector::evenly_spaced(2, ff, kParts, 5);
+  injector.as_sdc();
+  DetectorSuite suite = make_detector_suite(DetectionOptions{});
+  const auto report = run_with(setup, "CR-M", injector, suite, ff);
+  EXPECT_TRUE(report.cg.converged);
+  EXPECT_LE(report.true_relative_residual, 1e-10);
+  EXPECT_EQ(report.detections, 2);
+}
+
+TEST(SdcEndToEndTest, BitFlipCorruptionDetectedAndRecovered) {
+  SolveSetup setup(test_matrix());
+  const Index ff = ff_iterations_of(setup);
+  auto injector = FaultInjector::evenly_spaced(2, ff, kParts, 5);
+  injector.as_sdc(SdcMode::kBitFlip, SdcTarget::kIterate, /*bitflips=*/8);
+  DetectorSuite suite = make_detector_suite(DetectionOptions{});
+  const auto report = run_with(setup, "LI", injector, suite, ff);
+  EXPECT_TRUE(report.cg.converged);
+  EXPECT_LE(report.true_relative_residual, 1e-10);
+  EXPECT_EQ(report.detections, 2);
+}
+
+TEST(SdcEndToEndTest, RecurrenceCorruptionDetectedViaResidualGap) {
+  SolveSetup setup(test_matrix());
+  const Index ff = ff_iterations_of(setup);
+  auto injector = FaultInjector::evenly_spaced(1, ff, kParts, 5);
+  injector.as_sdc(SdcMode::kGarbage, SdcTarget::kResidual);
+  // Only the residual-gap detector can see recurrence corruption.
+  DetectionOptions options;
+  options.enable_checksum = false;
+  options.enable_norm_bound = false;
+  options.residual_gap_cadence = 1;
+  DetectorSuite suite = make_detector_suite(options);
+  const auto report = run_with(setup, "LI", injector, suite, ff);
+  EXPECT_TRUE(report.cg.converged);
+  EXPECT_LE(report.true_relative_residual, 1e-10);
+  EXPECT_GE(report.detections, 1);
+}
+
+TEST(SdcEndToEndTest, NoFalseAlarmsFaultFree) {
+  SolveSetup setup(test_matrix());
+  const Index ff = ff_iterations_of(setup);
+  auto injector = FaultInjector::none();
+  DetectorSuite suite = make_detector_suite(DetectionOptions{});
+  const auto report = run_with(setup, "LI", injector, suite, ff);
+  EXPECT_TRUE(report.cg.converged);
+  EXPECT_EQ(report.detections, 0);
+  EXPECT_EQ(report.recoveries, 0);
+  // Detection never alters the trajectory, only charges time/energy.
+  EXPECT_EQ(report.cg.iterations, ff);
+  EXPECT_GT(report.account.core_energy(power::PhaseTag::kDetect), 0.0);
+}
+
+// --- Nested faults ---------------------------------------------------------
+
+TEST(NestedFaultTest, FaultDuringRecoveryIsRecoveredToo) {
+  SolveSetup setup(test_matrix());
+  Seconds ff_time = 0.0;
+  const Index ff = ff_iterations_of(setup, &ff_time);
+  // Second stamp lands a hair after the first: the first fault's recovery
+  // advances the virtual clock past it, so it strikes mid-recovery.
+  const Seconds t1 = 0.3 * ff_time;
+  auto injector =
+      FaultInjector::at_times({t1, t1 + 1e-9}, kParts, 5);
+  DetectorSuite no_detectors;
+  const auto report = run_with(setup, "LI", injector, no_detectors, ff);
+  EXPECT_TRUE(report.cg.converged);
+  EXPECT_LE(report.cg.relative_residual, 1e-12);
+  EXPECT_EQ(report.faults, 2);
+  EXPECT_EQ(report.recoveries, 2);
+  EXPECT_EQ(report.nested_faults, 1);
+}
+
+TEST(NestedFaultTest, NestedSdcIsCaughtByDetectors) {
+  SolveSetup setup(test_matrix());
+  Seconds ff_time = 0.0;
+  const Index ff = ff_iterations_of(setup, &ff_time);
+  const Seconds t1 = 0.3 * ff_time;
+  auto injector =
+      FaultInjector::at_times({t1, t1 + 1e-9}, kParts, 5);
+  injector.as_sdc();
+  DetectorSuite suite = make_detector_suite(DetectionOptions{});
+  const auto report = run_with(setup, "LI", injector, suite, ff);
+  EXPECT_TRUE(report.cg.converged);
+  EXPECT_LE(report.true_relative_residual, 1e-10);
+  EXPECT_EQ(report.faults, 2);
+  EXPECT_GE(report.detections, 1);
+}
+
+// --- Checkpoint integrity --------------------------------------------------
+
+RecoveryContext make_ctx(SolveSetup& setup, simrt::VirtualCluster& cluster) {
+  return RecoveryContext{setup.a, setup.b, cluster};
+}
+
+TEST(CheckpointIntegrityTest, CorruptedSnapshotFallsBackToOlder) {
+  SolveSetup setup(test_matrix());
+  simrt::VirtualCluster cluster(simrt::paper_node(), kParts);
+  auto ctx = make_ctx(setup, cluster);
+  CheckpointOptions options;
+  options.target = CheckpointTarget::kMemory;
+  options.interval_iterations = 20;
+  options.history = 2;
+  CheckpointRestart cr(options, setup.x0);
+
+  RealVec x(setup.x0.size(), 1.0);
+  cr.on_iteration(ctx, 20, x);
+  for (Real& v : x) {
+    v = 2.0;
+  }
+  cr.on_iteration(ctx, 40, x);
+  ASSERT_EQ(cr.snapshots_held(), 2);
+
+  cr.corrupt_snapshot(0);  // newest (iteration 40)
+  cr.recover(ctx, 45, 0, x);
+  EXPECT_EQ(cr.integrity_failures(), 1);
+  // Restored the older, intact snapshot — never the corrupted one.
+  EXPECT_DOUBLE_EQ(x.front(), 1.0);
+  EXPECT_DOUBLE_EQ(x.back(), 1.0);
+  EXPECT_EQ(cr.iterations_rolled_back(), 25);
+}
+
+TEST(CheckpointIntegrityTest, AllSnapshotsCorruptedFallsBackToInitialGuess) {
+  SolveSetup setup(test_matrix());
+  simrt::VirtualCluster cluster(simrt::paper_node(), kParts);
+  auto ctx = make_ctx(setup, cluster);
+  CheckpointOptions options;
+  options.target = CheckpointTarget::kMemory;
+  options.interval_iterations = 20;
+  options.history = 2;
+  CheckpointRestart cr(options, setup.x0);
+
+  RealVec x(setup.x0.size(), 1.0);
+  cr.on_iteration(ctx, 20, x);
+  cr.on_iteration(ctx, 40, x);
+  cr.corrupt_snapshot(0);
+  cr.corrupt_snapshot(1);
+  cr.recover(ctx, 45, 0, x);
+  EXPECT_EQ(cr.integrity_failures(), 2);
+  EXPECT_EQ(x, setup.x0);
+  EXPECT_EQ(cr.iterations_rolled_back(), 45);
+}
+
+TEST(CheckpointIntegrityTest, BitRotEndToEndStillConverges) {
+  SolveSetup setup(test_matrix());
+  const Index ff = ff_iterations_of(setup);
+  CheckpointOptions options;
+  options.target = CheckpointTarget::kMemory;
+  options.interval_iterations = 20;
+  options.bitrot_every_n = 1;  // every snapshot rots in storage
+  CheckpointRestart cr(options, setup.x0);
+  simrt::VirtualCluster cluster(simrt::paper_node(), kParts);
+  auto injector = FaultInjector::evenly_spaced(3, ff, kParts, 5);
+  RealVec x = setup.x0;
+  solver::CgOptions cg_options;
+  cg_options.tolerance = 1e-12;
+  cg_options.ff_iterations = ff;
+  const auto report = resilient_solve(setup.a, cluster, setup.b, x, cr,
+                                      injector, cg_options);
+  // Every rollback found only rotten checkpoints, fell back to the
+  // initial guess, and the solve still converged to the true solution.
+  EXPECT_TRUE(report.cg.converged);
+  EXPECT_LE(report.true_relative_residual, 1e-10);
+  EXPECT_GE(cr.integrity_failures(), 3);
+  EXPECT_EQ(report.faults, 3);
+}
+
+TEST(CheckpointIntegrityTest, HistoryIsBounded) {
+  SolveSetup setup(test_matrix());
+  simrt::VirtualCluster cluster(simrt::paper_node(), kParts);
+  auto ctx = make_ctx(setup, cluster);
+  CheckpointOptions options;
+  options.target = CheckpointTarget::kMemory;
+  options.interval_iterations = 10;
+  options.history = 3;
+  CheckpointRestart cr(options, setup.x0);
+  RealVec x(setup.x0.size(), 1.0);
+  for (Index it = 10; it <= 100; it += 10) {
+    cr.on_iteration(ctx, it, x);
+  }
+  EXPECT_EQ(cr.checkpoints_taken(), 10);
+  EXPECT_EQ(cr.snapshots_held(), 3);
+}
+
+// --- Escalation ladder -----------------------------------------------------
+
+/// A scheme whose localized recovery never repairs anything: validation
+/// must fail and the loop must escalate to the initial-guess restart.
+class BrokenScheme final : public RecoveryScheme {
+ public:
+  std::string name() const override { return "broken"; }
+  solver::HookAction recover(RecoveryContext&, Index, Index,
+                             std::span<Real>) override {
+    count_recovery();
+    return solver::HookAction::kRestart;  // claims success, fixed nothing
+  }
+};
+
+TEST(EscalationTest, BrokenSchemeEscalatesToInitialGuessRestart) {
+  SolveSetup setup(test_matrix());
+  const Index ff = ff_iterations_of(setup);
+  auto injector = FaultInjector::evenly_spaced(1, ff, kParts, 5);
+  injector.as_sdc();
+  BrokenScheme scheme;
+  DetectorSuite suite = make_detector_suite(DetectionOptions{});
+  simrt::VirtualCluster cluster(simrt::paper_node(), kParts);
+  RealVec x = setup.x0;
+  solver::CgOptions options;
+  options.tolerance = 1e-12;
+  options.ff_iterations = ff;
+  const auto report = resilient_solve(setup.a, cluster, setup.b, x, scheme,
+                                      injector, options, suite);
+  EXPECT_TRUE(report.cg.converged);
+  EXPECT_LE(report.true_relative_residual, 1e-10);
+  EXPECT_EQ(report.detections, 1);
+  // Rung 1 (no rollback available) and rung 2 (initial guess) were hit.
+  EXPECT_EQ(report.escalations, 2);
+}
+
+TEST(EscalationTest, CheckpointRollbackSatisfiesEscalation) {
+  // A checkpointing scheme whose *localized* recovery is broken still
+  // recovers through rung 1: its rollback restores a verified snapshot.
+  class BrokenButRollbackable final : public RecoveryScheme {
+   public:
+    explicit BrokenButRollbackable(RealVec initial_guess)
+        : cr_({CheckpointTarget::kMemory, 20}, std::move(initial_guess)) {}
+    std::string name() const override { return "broken+cr"; }
+    void on_iteration(RecoveryContext& ctx, Index iteration,
+                      std::span<const Real> x) override {
+      cr_.on_iteration(ctx, iteration, x);
+    }
+    solver::HookAction recover(RecoveryContext&, Index, Index,
+                               std::span<Real>) override {
+      count_recovery();
+      return solver::HookAction::kRestart;
+    }
+    bool rollback(RecoveryContext& ctx, Index iteration,
+                  std::span<Real> x) override {
+      return cr_.rollback(ctx, iteration, x);
+    }
+
+   private:
+    CheckpointRestart cr_;
+  };
+
+  SolveSetup setup(test_matrix());
+  const Index ff = ff_iterations_of(setup);
+  auto injector = FaultInjector::evenly_spaced(1, ff, kParts, 5);
+  injector.as_sdc();
+  BrokenButRollbackable scheme(setup.x0);
+  DetectorSuite suite = make_detector_suite(DetectionOptions{});
+  simrt::VirtualCluster cluster(simrt::paper_node(), kParts);
+  RealVec x = setup.x0;
+  solver::CgOptions options;
+  options.tolerance = 1e-12;
+  options.ff_iterations = ff;
+  const auto report = resilient_solve(setup.a, cluster, setup.b, x, scheme,
+                                      injector, options, suite);
+  EXPECT_TRUE(report.cg.converged);
+  EXPECT_LE(report.true_relative_residual, 1e-10);
+  // Rung 1 sufficed: exactly one escalation, not two.
+  EXPECT_EQ(report.escalations, 1);
+}
+
+}  // namespace
+}  // namespace rsls::resilience

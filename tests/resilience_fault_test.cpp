@@ -127,5 +127,110 @@ TEST(FaultInjectorTest, CorruptBlockBoundsChecked) {
   EXPECT_THROW(FaultInjector::corrupt_block(part, 0, wrong_size), Error);
 }
 
+TEST(FaultInjectorTest, AtIterationsRejectsDuplicates) {
+  EXPECT_THROW(FaultInjector::at_iterations({5, 5}, 4, 1), Error);
+}
+
+TEST(FaultInjectorTest, MultiRejectsMoreRanksThanRun) {
+  EXPECT_THROW(FaultInjector::evenly_spaced_multi(2, 100, 5, 4, 1), Error);
+  EXPECT_THROW(FaultInjector::evenly_spaced_multi(2, 100, 0, 4, 1), Error);
+}
+
+TEST(FaultInjectorTest, AtTimesFiresAgainstTheVirtualClock) {
+  auto injector = FaultInjector::at_times({1.0, 2.5}, 4, 7);
+  EXPECT_FALSE(injector.check(1, 0.5).has_value());
+  EXPECT_TRUE(injector.check(2, 1.2).has_value());
+  EXPECT_FALSE(injector.check(3, 1.3).has_value());
+  EXPECT_TRUE(injector.check(4, 2.5).has_value());
+  EXPECT_FALSE(injector.check(5, 99.0).has_value());
+  EXPECT_EQ(injector.faults_injected(), 2);
+}
+
+TEST(FaultInjectorTest, AtTimesValidatesStamps) {
+  EXPECT_THROW(FaultInjector::at_times({2.0, 1.0}, 4, 1), Error);
+  EXPECT_THROW(FaultInjector::at_times({1.0, 1.0}, 4, 1), Error);
+  EXPECT_THROW(FaultInjector::at_times({0.0}, 4, 1), Error);
+}
+
+TEST(SdcCorruptionTest, GarbageIsDeterministicPerSeed) {
+  const dist::Partition part(64, 4);
+  RealVec a(64, 1.0), b(64, 1.0);
+  FaultInjector::corrupt_block_sdc(part, 2, a, 31);
+  FaultInjector::corrupt_block_sdc(part, 2, b, 31);
+  EXPECT_EQ(a, b);
+  RealVec c(64, 1.0);
+  FaultInjector::corrupt_block_sdc(part, 2, c, 32);
+  EXPECT_NE(a, c);
+}
+
+TEST(SdcCorruptionTest, GarbageIsLargeButFiniteAndBlockLocal) {
+  const dist::Partition part(64, 4);
+  RealVec x(64, 1.0);
+  FaultInjector::corrupt_block_sdc(part, 1, x, 5);
+  for (Index i = 0; i < 64; ++i) {
+    const Real v = x[static_cast<std::size_t>(i)];
+    if (i >= part.begin(1) && i < part.end(1)) {
+      EXPECT_TRUE(std::isfinite(v));
+      EXPECT_GE(std::abs(v), 10.0);  // never subtle enough to be harmless
+    } else {
+      EXPECT_DOUBLE_EQ(v, 1.0);  // only the failed block is touched
+    }
+  }
+}
+
+TEST(SdcCorruptionTest, BitFlipsAreDeterministicAndBlockLocal) {
+  const dist::Partition part(64, 4);
+  RealVec a(64, 1.0), b(64, 1.0);
+  FaultInjector::corrupt_block_bitflips(part, 3, a, 5, 17);
+  FaultInjector::corrupt_block_bitflips(part, 3, b, 5, 17);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, RealVec(64, 1.0));  // at least one bit actually flipped
+  for (Index i = 0; i < part.begin(3); ++i) {
+    EXPECT_DOUBLE_EQ(a[static_cast<std::size_t>(i)], 1.0);
+  }
+}
+
+TEST(SdcCorruptionTest, NextEventCarriesSdcMetadata) {
+  auto injector = FaultInjector::at_iterations({10, 20}, 4, 3);
+  injector.as_sdc(SdcMode::kBitFlip, SdcTarget::kResidual, /*bitflips=*/5);
+  const auto none = injector.next_event(9, 0.0);
+  EXPECT_FALSE(none.has_value());
+  const auto first = injector.next_event(10, 0.0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->cls, FaultClass::kSilentCorruption);
+  EXPECT_EQ(first->mode, SdcMode::kBitFlip);
+  EXPECT_EQ(first->target, SdcTarget::kResidual);
+  EXPECT_EQ(first->bitflips, 5);
+  const auto second = injector.next_event(20, 0.0);
+  ASSERT_TRUE(second.has_value());
+  // Each event damages differently while staying deterministic overall.
+  EXPECT_NE(first->corruption_seed, second->corruption_seed);
+}
+
+TEST(SdcCorruptionTest, DefaultEventsAreProcessLoss) {
+  auto injector = FaultInjector::at_iterations({10}, 4, 3);
+  const auto event = injector.next_event(10, 0.0);
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->cls, FaultClass::kProcessLoss);
+}
+
+TEST(SdcCorruptionTest, ApplyCorruptionHonoursClass) {
+  const dist::Partition part(64, 4);
+  FaultEvent event;
+  event.ranks = {1};
+  event.cls = FaultClass::kProcessLoss;
+  RealVec x(64, 1.0);
+  FaultInjector::apply_corruption(event, part, x);
+  EXPECT_TRUE(std::isnan(x[static_cast<std::size_t>(part.begin(1))]));
+
+  event.cls = FaultClass::kSilentCorruption;
+  event.mode = SdcMode::kGarbage;
+  event.corruption_seed = 7;
+  RealVec y(64, 1.0);
+  FaultInjector::apply_corruption(event, part, y);
+  EXPECT_TRUE(std::isfinite(y[static_cast<std::size_t>(part.begin(1))]));
+  EXPECT_GE(std::abs(y[static_cast<std::size_t>(part.begin(1))]), 10.0);
+}
+
 }  // namespace
 }  // namespace rsls::resilience
