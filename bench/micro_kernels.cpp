@@ -3,10 +3,22 @@
 // dense factorizations behind the exact LI/LSI baselines, and the local
 // CG construction solves of §4.1. These measure real wall time of this
 // library's kernels, complementing the virtual-time experiment benches.
+//
+// Besides the usual console table, the binary writes the standardized
+// BENCH JSON artifact (schema below) to BENCH_micro_kernels.json in the
+// working directory — override the path with RSLS_BENCH_JSON. CI and
+// perf-tracking scripts consume that file instead of scraping stdout.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/env.hpp"
 #include "core/rng.hpp"
+#include "obs/json.hpp"
 #include "la/factor.hpp"
 #include "la/local_cg.hpp"
 #include "la/qr.hpp"
@@ -243,6 +255,78 @@ void BM_LocalPcgConstruction(benchmark::State& state) {
 }
 BENCHMARK(BM_LocalPcgConstruction)->Arg(256);
 
+/// Console output plus a copy of every per-iteration run for the JSON
+/// artifact (aggregates and errored runs are not collected).
+class TeeReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type == Run::RT_Iteration && !run.error_occurred) {
+        collected_.push_back(run);
+      }
+    }
+  }
+
+  const std::vector<Run>& collected() const { return collected_; }
+
+ private:
+  std::vector<Run> collected_;
+};
+
+/// Standardized bench schema (schema_version 1):
+///   {"schema_version":1, "source":"micro_kernels",
+///    "results":[{"name":..., "iterations":N, "real_time_s":...,
+///                "cpu_time_s":..., "counters":{...}}]}
+/// Times are seconds per iteration; counters (items_per_second, …) are
+/// google-benchmark's finalized values.
+void write_bench_json(
+    const std::vector<benchmark::BenchmarkReporter::Run>& runs) {
+  const std::string path = rsls::env_string("RSLS_BENCH_JSON")
+                               .value_or("BENCH_micro_kernels.json");
+  std::ofstream os(path);
+  if (!os.good()) {
+    std::fprintf(stderr, "micro_kernels: cannot open %s for writing\n",
+                 path.c_str());
+    return;
+  }
+  rsls::obs::JsonWriter json(os);
+  json.begin_object();
+  json.field("schema_version", 1);
+  json.field("source", "micro_kernels");
+  json.begin_array("results");
+  for (const auto& run : runs) {
+    const double iterations =
+        run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+    json.begin_object();
+    json.field("name", run.benchmark_name());
+    json.field("iterations", static_cast<std::int64_t>(run.iterations));
+    json.field("real_time_s", run.real_accumulated_time / iterations);
+    json.field("cpu_time_s", run.cpu_accumulated_time / iterations);
+    json.begin_object("counters");
+    for (const auto& [name, counter] : run.counters) {
+      json.field(name, static_cast<double>(counter));
+    }
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  os << '\n';
+  std::fprintf(stderr, "micro_kernels: wrote %zu results to %s\n",
+               runs.size(), path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  TeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  write_bench_json(reporter.collected());
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,11 +1,21 @@
 #include "core/log.hpp"
 
+#include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <mutex>
+
+#include "core/env.hpp"
 
 namespace rsls {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+
+// Threshold reads are lock-free; the mutex only serializes the stderr
+// writes so concurrent log lines never interleave mid-record.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::once_flag g_env_once;
+std::mutex g_write_mutex;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -20,16 +30,62 @@ const char* level_tag(LogLevel level) {
   }
   return "?";
 }
-}  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-
-LogLevel log_level() { return g_level; }
-
-void log_message(LogLevel level, const std::string& message) {
-  if (level < g_level) {
+void apply_env_level() {
+  const auto value = env_string("RSLS_LOG_LEVEL");
+  if (!value.has_value()) {
     return;
   }
+  const auto parsed = log_level_from_string(*value);
+  if (parsed.has_value()) {
+    g_level.store(*parsed, std::memory_order_relaxed);
+  } else {
+    std::fprintf(stderr, "[rsls:WARN] unrecognized RSLS_LOG_LEVEL '%s'\n",
+                 value->c_str());
+  }
+}
+
+}  // namespace
+
+std::optional<LogLevel> log_level_from_string(const std::string& text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text) {
+    lower.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug" || lower == "0") {
+    return LogLevel::kDebug;
+  }
+  if (lower == "info" || lower == "1") {
+    return LogLevel::kInfo;
+  }
+  if (lower == "warn" || lower == "warning" || lower == "2") {
+    return LogLevel::kWarn;
+  }
+  if (lower == "error" || lower == "3") {
+    return LogLevel::kError;
+  }
+  return std::nullopt;
+}
+
+void set_log_level(LogLevel level) {
+  // An explicit call wins over the environment, even if it races the
+  // first log_level() read.
+  std::call_once(g_env_once, [] {});
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  std::call_once(g_env_once, apply_env_level);
+  return g_level.load(std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, const std::string& message) {
+  if (level < log_level()) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(g_write_mutex);
   std::fprintf(stderr, "[rsls:%s] %s\n", level_tag(level), message.c_str());
 }
 

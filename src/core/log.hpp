@@ -4,7 +4,12 @@
 // Logging is intentionally tiny: benches and examples print their results
 // to stdout through the table/CSV emitters; the logger is for diagnostics
 // only, so it must never interleave with result output.
+//
+// The initial threshold comes from the RSLS_LOG_LEVEL environment
+// variable ("debug"/"info"/"warn"/"error" or 0–3) and defaults to warn;
+// set_log_level overrides it.
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -12,11 +17,15 @@ namespace rsls {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
+/// Parse a level name ("debug", "info", "warn"/"warning", "error") or
+/// digit; nullopt when unrecognized.
+std::optional<LogLevel> log_level_from_string(const std::string& text);
+
 /// Global log threshold; messages below it are discarded.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emit one log line (appends '\n'); thread-compatible, not thread-safe.
+/// Emit one log line (appends '\n'); thread-safe, writes are serialized.
 void log_message(LogLevel level, const std::string& message);
 
 namespace detail {

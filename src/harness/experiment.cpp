@@ -1,11 +1,18 @@
 #include "harness/experiment.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <string>
+#include <utility>
 
 #include "core/error.hpp"
 #include "harness/scheme_factory.hpp"
 #include "model/young_daly.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/json.hpp"
+#include "obs/recorder.hpp"
+#include "obs/run_report.hpp"
 #include "resilience/checkpoint.hpp"
 #include "resilience/forward.hpp"
 #include "sparse/roster.hpp"
@@ -35,6 +42,82 @@ solver::CgOptions cg_options_for(const ExperimentConfig& config,
   return options;
 }
 
+/// Derived trace file name: trace_<matrix>_<scheme>_<seq>.json. The
+/// sequence number keeps sweeps from clobbering each other's traces
+/// within one process.
+std::string derive_trace_path(const obs::ObservabilityOptions& opts,
+                              const std::string& matrix,
+                              const std::string& scheme) {
+  if (!opts.trace_path.empty()) {
+    return opts.trace_path;
+  }
+  static std::atomic<int> sequence{0};
+  const int seq = sequence.fetch_add(1);
+  return opts.trace_dir + "/trace_" + obs::sanitize_label(matrix) + "_" +
+         obs::sanitize_label(scheme) + "_" + std::to_string(seq) + ".json";
+}
+
+/// Assemble the standardized RunReport for one finished scheme run.
+obs::RunReport make_run_report(const obs::ObservabilityOptions& opts,
+                               const std::string& matrix,
+                               const SchemeRun& run,
+                               const simrt::VirtualCluster& cluster,
+                               const ExperimentConfig& config,
+                               const obs::Recorder& recorder) {
+  obs::RunReport report;
+  report.source = opts.source;
+  report.matrix = matrix;
+  report.scheme = run.scheme;
+
+  const auto& r = run.report;
+  report.config = {
+      {"processes", std::to_string(config.processes)},
+      {"faults", std::to_string(config.faults)},
+      {"tolerance", obs::JsonWriter::number(config.tolerance)},
+      {"max_iterations", std::to_string(config.max_iterations)},
+      {"fault_seed", std::to_string(config.fault_seed)},
+      {"fw_cg_tolerance", obs::JsonWriter::number(config.fw_cg_tolerance)},
+      {"cr_interval_iterations",
+       std::to_string(config.cr_interval_iterations)},
+      {"solver_kind",
+       config.solver_kind == solver::SolverKind::kCg ? "cg" : "jacobi-pcg"},
+      {"sdc_faults", config.sdc_faults ? "true" : "false"},
+      {"detection", config.detection ? "true" : "false"},
+      {"replica_factor", std::to_string(cluster.replica_factor())},
+  };
+  report.results = {
+      {"iterations", static_cast<double>(r.cg.iterations)},
+      {"converged", r.cg.converged ? 1.0 : 0.0},
+      {"relative_residual", r.cg.relative_residual},
+      {"true_relative_residual", r.true_relative_residual},
+      {"time_s", r.time},
+      {"energy_j", r.energy},
+      {"average_power_w", r.average_power},
+      {"faults", static_cast<double>(r.faults)},
+      {"recoveries", static_cast<double>(r.recoveries)},
+      {"detections", static_cast<double>(r.detections)},
+      {"nested_faults", static_cast<double>(r.nested_faults)},
+      {"escalations", static_cast<double>(r.escalations)},
+      {"iteration_ratio", run.iteration_ratio},
+      {"time_ratio", run.time_ratio},
+      {"energy_ratio", run.energy_ratio},
+      {"power_ratio", run.power_ratio},
+      {"t_const_mean_s", run.t_const_mean},
+      {"t_c_mean_s", run.t_c_mean},
+      {"checkpoints", static_cast<double>(run.checkpoints)},
+  };
+  for (std::size_t i = 0; i < power::kPhaseTagCount; ++i) {
+    const auto tag = static_cast<power::PhaseTag>(i);
+    report.phase_core_energy.emplace_back(power::to_string(tag),
+                                          r.account.core_energy(tag));
+  }
+  report.node_constant_energy = cluster.node_constant_energy();
+  report.sleep_energy = cluster.sleep_energy();
+  report.total_energy = r.energy;
+  report.metrics = recorder.metrics().snapshot();
+  return report;
+}
+
 }  // namespace
 
 simrt::MachineConfig machine_for(Index processes) {
@@ -51,10 +134,15 @@ simrt::MachineConfig machine_for(Index processes) {
 }
 
 Workload Workload::create(sparse::Csr matrix, Index processes) {
+  return create(std::move(matrix), processes, std::string{});
+}
+
+Workload Workload::create(sparse::Csr matrix, Index processes,
+                          std::string label) {
   RealVec b = sparse::make_rhs(matrix);
   const auto n = static_cast<std::size_t>(matrix.rows);
   return Workload{dist::DistMatrix(std::move(matrix), processes), std::move(b),
-                  RealVec(n, 0.0)};
+                  RealVec(n, 0.0), std::move(label)};
 }
 
 FfBaseline run_fault_free(const Workload& workload,
@@ -139,9 +227,27 @@ SchemeRun run_scheme_on_cluster(const Workload& workload,
   resilience::DetectorSuite detectors =
       config.detection ? resilience::make_detector_suite(config.detection_options)
                        : resilience::DetectorSuite{};
+
+  // Observability session: flag- or environment-driven. The recorder
+  // rides the cluster's charge path; resilient_solve opens the spans.
+  const obs::ObservabilityOptions obs_opts =
+      obs::resolve_from_env(config.observability);
+  obs::Recorder recorder;
+  obs::Recorder* rec = nullptr;
+  if (obs_opts.enabled) {
+    rec = &recorder;
+    recorder.set_scheme(scheme_name);
+    recorder.set_record_charges(obs_opts.include_charges);
+    if (obs_opts.wants_trace() && obs_opts.power_bin > 0.0 &&
+        !cluster.power_trace_enabled()) {
+      cluster.enable_power_trace(obs_opts.power_bin);
+    }
+    recorder.attach(cluster);
+  }
+
   run.report = resilience::resilient_solve(
       workload.a, cluster, workload.b, x, scheme, injector,
-      cg_options_for(config, ff.iterations), detectors, config.hardening);
+      cg_options_for(config, ff.iterations), detectors, config.hardening, rec);
   // An undetected silent corruption is *allowed* to leave the solver
   // non-converged (or converged on a wrong answer — see
   // report.true_relative_residual); every announced or detected
@@ -165,6 +271,24 @@ SchemeRun run_scheme_on_cluster(const Workload& workload,
           dynamic_cast<const resilience::CheckpointRestart*>(&scheme)) {
     run.t_c_mean = cr->mean_checkpoint_seconds();
     run.checkpoints = cr->checkpoints_taken();
+  }
+
+  if (rec != nullptr) {
+    const std::string matrix =
+        workload.label.empty() ? std::string("matrix") : workload.label;
+    if (obs_opts.wants_trace()) {
+      obs::ChromeTraceOptions trace_options;
+      trace_options.include_charges = obs_opts.include_charges;
+      obs::write_chrome_trace_file(
+          derive_trace_path(obs_opts, matrix, scheme_name), recorder,
+          trace_options);
+    }
+    if (obs_opts.wants_report()) {
+      obs::append_run_report(
+          obs_opts.report_path,
+          make_run_report(obs_opts, matrix, run, cluster, config, recorder));
+    }
+    recorder.detach();
   }
   return run;
 }

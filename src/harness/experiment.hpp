@@ -9,6 +9,7 @@
 #include "core/types.hpp"
 #include "core/units.hpp"
 #include "dist/dist_matrix.hpp"
+#include "obs/observability.hpp"
 #include "resilience/fault.hpp"
 #include "resilience/resilient_solve.hpp"
 #include "simrt/cluster.hpp"
@@ -48,6 +49,11 @@ struct ExperimentConfig {
   bool detection = false;
   resilience::DetectionOptions detection_options;
   resilience::HardeningOptions hardening;
+  /// Tracing / RunReport emission. The environment overlays this
+  /// (RSLS_TRACE_DIR, RSLS_RUN_REPORT, RSLS_OBS_POWER_BIN) inside
+  /// run_scheme_on_cluster, so observability can be switched on for any
+  /// binary without touching its flags.
+  obs::ObservabilityOptions observability;
 };
 
 /// Machine sized for the process count: the paper's 8-node cluster, with
@@ -62,8 +68,12 @@ struct Workload {
   dist::DistMatrix a;
   RealVec b;
   RealVec x0;
+  /// Matrix name for artifacts (trace file names, RunReport.matrix).
+  std::string label;
 
   static Workload create(sparse::Csr matrix, Index processes);
+  static Workload create(sparse::Csr matrix, Index processes,
+                         std::string label);
 };
 
 struct FfBaseline {

@@ -17,7 +17,7 @@ std::vector<MatrixResult> sweep_matrices(
   for (const auto& name : names) {
     const auto& entry = sparse::roster_entry(name);
     const Workload workload =
-        Workload::create(entry.make(quick), config.processes);
+        Workload::create(entry.make(quick), config.processes, entry.name);
     MatrixResult result;
     result.matrix = entry.name;
     result.ff = run_fault_free(workload, config);

@@ -1,0 +1,172 @@
+#include "obs/chrome_trace.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "core/error.hpp"
+#include "obs/json.hpp"
+
+namespace rsls::obs {
+
+namespace {
+
+constexpr double kMicrosPerSecond = 1e6;
+
+/// Trace tid for a span/charge track: run track is 0, rank r is r+1.
+std::int64_t tid_of(Index track) { return static_cast<std::int64_t>(track) + 1; }
+
+void write_thread_name(JsonWriter& json, std::int64_t tid,
+                       const std::string& name) {
+  json.begin_object();
+  json.field("name", "thread_name");
+  json.field("ph", "M");
+  json.field("pid", std::int64_t{0});
+  json.field("tid", tid);
+  json.begin_object("args");
+  json.field("name", name);
+  json.end_object();
+  json.end_object();
+}
+
+void write_span(JsonWriter& json, const SpanRecord& span) {
+  json.begin_object();
+  json.field("name", span.name);
+  json.field("cat", power::to_string(span.tag));
+  json.field("ph", "X");
+  json.field("ts", span.begin * kMicrosPerSecond);
+  json.field("dur", (span.end - span.begin) * kMicrosPerSecond);
+  json.field("pid", std::int64_t{0});
+  json.field("tid", tid_of(span.track));
+  json.begin_object("args");
+  json.field("phase", power::to_string(span.tag));
+  if (!span.scheme.empty()) {
+    json.field("scheme", span.scheme);
+  }
+  if (!span.detail.empty()) {
+    json.field("detail", span.detail);
+  }
+  json.field("depth", static_cast<std::int64_t>(span.depth));
+  json.end_object();
+  json.end_object();
+}
+
+void write_charge(JsonWriter& json, const simrt::ChargeRecord& charge) {
+  json.begin_object();
+  json.field("name", power::to_string(charge.tag));
+  json.field("cat", "charge");
+  json.field("ph", "X");
+  json.field("ts", charge.begin * kMicrosPerSecond);
+  json.field("dur", (charge.end - charge.begin) * kMicrosPerSecond);
+  json.field("pid", std::int64_t{0});
+  json.field("tid", tid_of(charge.rank));
+  json.begin_object("args");
+  json.field("activity", power::to_string(charge.activity));
+  json.field("joules", charge.core_joules);
+  json.end_object();
+  json.end_object();
+}
+
+void write_dvfs_mark(JsonWriter& json, const DvfsMark& mark) {
+  json.begin_object();
+  json.field("name", "dvfs");
+  json.field("cat", "dvfs");
+  json.field("ph", "i");
+  json.field("s", "t");  // thread-scoped instant
+  json.field("ts", mark.time * kMicrosPerSecond);
+  json.field("pid", std::int64_t{0});
+  json.field("tid", tid_of(mark.rank));
+  json.begin_object("args");
+  json.field("from_ghz", mark.from / 1e9);
+  json.field("to_ghz", mark.to / 1e9);
+  json.end_object();
+  json.end_object();
+}
+
+void write_power_counter(JsonWriter& json, Index node,
+                         const simrt::PowerSample& sample) {
+  json.begin_object();
+  json.field("name", "power/node" + std::to_string(node));
+  json.field("ph", "C");
+  json.field("ts", sample.time * kMicrosPerSecond);
+  json.field("pid", std::int64_t{0});
+  json.field("tid", std::int64_t{0});
+  json.begin_object("args");
+  json.field("watts", sample.power);
+  json.end_object();
+  json.end_object();
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const Recorder& recorder,
+                        const ChromeTraceOptions& options) {
+  RSLS_CHECK_MSG(recorder.cluster() != nullptr,
+                 "recorder must be attached to export a trace");
+  RSLS_CHECK_MSG(recorder.open_span_count() == 0,
+                 "all spans must be closed before export");
+  const simrt::VirtualCluster& cluster = *recorder.cluster();
+
+  JsonWriter json(os);
+  json.begin_object();
+  json.field("displayTimeUnit", "ms");
+  json.begin_object("otherData");
+  json.field("producer", "rsls");
+  if (!recorder.scheme().empty()) {
+    json.field("scheme", recorder.scheme());
+  }
+  json.field("ranks", static_cast<std::int64_t>(cluster.num_ranks()));
+  json.field("virtual_makespan_s", cluster.elapsed());
+  json.end_object();
+
+  json.begin_array("traceEvents");
+
+  // Track metadata.
+  {
+    json.begin_object();
+    json.field("name", "process_name");
+    json.field("ph", "M");
+    json.field("pid", std::int64_t{0});
+    json.begin_object("args");
+    json.field("name", "virtual cluster");
+    json.end_object();
+    json.end_object();
+  }
+  write_thread_name(json, 0, "run");
+  for (Index r = 0; r < cluster.num_ranks(); ++r) {
+    write_thread_name(json, tid_of(r), "rank " + std::to_string(r));
+  }
+
+  for (const SpanRecord& span : recorder.spans()) {
+    write_span(json, span);
+  }
+  if (options.include_charges) {
+    for (const simrt::ChargeRecord& charge : recorder.charges()) {
+      write_charge(json, charge);
+    }
+  }
+  for (const DvfsMark& mark : recorder.dvfs_marks()) {
+    write_dvfs_mark(json, mark);
+  }
+  if (options.include_power_counters && cluster.power_trace_enabled()) {
+    for (Index node = 0; node < cluster.nodes_used(); ++node) {
+      for (const simrt::PowerSample& sample :
+           cluster.node_power_profile(node)) {
+        write_power_counter(json, node, sample);
+      }
+    }
+  }
+
+  json.end_array();
+  json.end_object();
+  os << '\n';
+}
+
+void write_chrome_trace_file(const std::string& path, const Recorder& recorder,
+                             const ChromeTraceOptions& options) {
+  std::ofstream os(path);
+  RSLS_CHECK_MSG(os.good(), "cannot open trace file " + path);
+  write_chrome_trace(os, recorder, options);
+  RSLS_CHECK_MSG(os.good(), "failed writing trace file " + path);
+}
+
+}  // namespace rsls::obs

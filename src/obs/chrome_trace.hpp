@@ -1,0 +1,43 @@
+#pragma once
+// Chrome trace-event exporter: renders a Recorder session (spans, charge
+// slices, DVFS marks, power trace) as the JSON trace-event format that
+// Perfetto (https://ui.perfetto.dev) and chrome://tracing load natively.
+//
+// Mapping:
+//   pid 0 "virtual cluster"   — all timeline tracks
+//     tid 0 "run"             — cluster-wide spans (kClusterTrack)
+//     tid r+1 "rank r"        — rank r's spans + charge slices, nested
+//   complete events ("ph":"X")— spans (cat = phase tag) and, one level
+//                               deeper, charge slices (cat = "charge")
+//   instant events ("ph":"i") — DVFS transitions, on the rank's track
+//   counter events ("ph":"C") — per-node power profile (requires
+//                               enable_power_trace on the cluster)
+// Virtual seconds map to trace microseconds (ts/dur are doubles).
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/recorder.hpp"
+
+namespace rsls::obs {
+
+struct ChromeTraceOptions {
+  /// Emit the per-interval charge slices under the spans. The finest and
+  /// largest part of the trace; disable for a spans-only overview.
+  bool include_charges = true;
+  /// Emit per-node power counter tracks (needs the cluster's power trace
+  /// enabled; silently skipped otherwise).
+  bool include_power_counters = true;
+};
+
+/// Write one complete trace-event JSON document. The recorder must be
+/// (still) attached to the cluster whose run it observed, and all spans
+/// must be closed.
+void write_chrome_trace(std::ostream& os, const Recorder& recorder,
+                        const ChromeTraceOptions& options = {});
+
+/// Convenience: write to a file path (throws rsls::Error on I/O failure).
+void write_chrome_trace_file(const std::string& path, const Recorder& recorder,
+                             const ChromeTraceOptions& options = {});
+
+}  // namespace rsls::obs

@@ -1,0 +1,472 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace rsls::obs {
+
+// --- writer ----------------------------------------------------------------
+
+void JsonWriter::comma() {
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) {
+      os_ << ',';
+    }
+    needs_comma_.back() = true;
+  }
+}
+
+void JsonWriter::key_prefix(const std::string& key) {
+  comma();
+  os_ << quote(key) << ':';
+}
+
+void JsonWriter::begin_object() {
+  comma();
+  os_ << '{';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::begin_object(const std::string& key) {
+  key_prefix(key);
+  os_ << '{';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  RSLS_CHECK_MSG(!needs_comma_.empty(), "end_object with no open container");
+  needs_comma_.pop_back();
+  os_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  comma();
+  os_ << '[';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::begin_array(const std::string& key) {
+  key_prefix(key);
+  os_ << '[';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  RSLS_CHECK_MSG(!needs_comma_.empty(), "end_array with no open container");
+  needs_comma_.pop_back();
+  os_ << ']';
+}
+
+void JsonWriter::field(const std::string& key, const std::string& value) {
+  key_prefix(key);
+  os_ << quote(value);
+}
+
+void JsonWriter::field(const std::string& key, const char* value) {
+  field(key, std::string(value));
+}
+
+void JsonWriter::field(const std::string& key, double value) {
+  key_prefix(key);
+  os_ << number(value);
+}
+
+void JsonWriter::field(const std::string& key, std::int64_t value) {
+  key_prefix(key);
+  os_ << value;
+}
+
+void JsonWriter::field(const std::string& key, std::uint64_t value) {
+  key_prefix(key);
+  os_ << value;
+}
+
+void JsonWriter::field(const std::string& key, int value) {
+  field(key, static_cast<std::int64_t>(value));
+}
+
+void JsonWriter::field(const std::string& key, bool value) {
+  key_prefix(key);
+  os_ << (value ? "true" : "false");
+}
+
+void JsonWriter::element(const std::string& value) {
+  comma();
+  os_ << quote(value);
+}
+
+void JsonWriter::element(double value) {
+  comma();
+  os_ << number(value);
+}
+
+void JsonWriter::element(std::uint64_t value) {
+  comma();
+  os_ << value;
+}
+
+std::string JsonWriter::quote(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string JsonWriter::number(double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no inf/nan; null is the conventional stand-in.
+    return "null";
+  }
+  char buf[40];
+  const auto result =
+      std::to_chars(buf, buf + sizeof(buf), value);  // shortest round-trip
+  return std::string(buf, result.ptr);
+}
+
+// --- value -----------------------------------------------------------------
+
+bool JsonValue::as_bool() const {
+  RSLS_CHECK_MSG(kind_ == Kind::kBool, "JSON value is not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  RSLS_CHECK_MSG(kind_ == Kind::kNumber, "JSON value is not a number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  RSLS_CHECK_MSG(kind_ == Kind::kString, "JSON value is not a string");
+  return string_;
+}
+
+const JsonArray& JsonValue::as_array() const {
+  RSLS_CHECK_MSG(kind_ == Kind::kArray, "JSON value is not an array");
+  return *array_;
+}
+
+const JsonObject& JsonValue::as_object() const {
+  RSLS_CHECK_MSG(kind_ == Kind::kObject, "JSON value is not an object");
+  return *object_;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const auto& object = as_object();
+  const auto it = object.find(key);
+  RSLS_CHECK_MSG(it != object.end(), "missing JSON key '" + key + "'");
+  return it->second;
+}
+
+bool JsonValue::contains(const std::string& key) const {
+  const auto& object = as_object();
+  return object.find(key) != object.end();
+}
+
+JsonValue JsonValue::make_null() { return JsonValue(); }
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double n) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array(JsonArray a) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::make_shared<JsonArray>(std::move(a));
+  return v;
+}
+
+JsonValue JsonValue::make_object(JsonObject o) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::make_shared<JsonObject>(std::move(o));
+  return v;
+}
+
+// --- parser ----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_whitespace();
+    RSLS_CHECK_MSG(pos_ == text_.size(),
+                   "trailing characters after JSON document at offset " +
+                       std::to_string(pos_));
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error("JSON parse error at offset " + std::to_string(pos_) + ": " +
+                what);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', got '" + peek() + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t len = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, len, literal) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_whitespace();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return JsonValue::make_string(parse_string());
+      case 't':
+        if (consume_literal("true")) {
+          return JsonValue::make_bool(true);
+        }
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) {
+          return JsonValue::make_bool(false);
+        }
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) {
+          return JsonValue::make_null();
+        }
+        fail("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonObject object;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue::make_object(std::move(object));
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      object.insert_or_assign(std::move(key), parse_value());
+      skip_whitespace();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return JsonValue::make_object(std::move(object));
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonArray array;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue::make_array(std::move(array));
+    }
+    while (true) {
+      array.push_back(parse_value());
+      skip_whitespace();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return JsonValue::make_array(std::move(array));
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        fail("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        fail("unterminated escape");
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("invalid \\u escape");
+            }
+          }
+          if (code > 0xff) {
+            fail("\\u escape beyond Latin-1 not supported");
+          }
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          fail("invalid escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double value = 0.0;
+    const auto result =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (result.ec != std::errc{} || result.ptr != text_.data() + pos_) {
+      fail("invalid number");
+    }
+    return JsonValue::make_number(value);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace rsls::obs

@@ -1,0 +1,115 @@
+#pragma once
+// Minimal JSON support for the observability exporters.
+//
+// JsonWriter is a streaming emitter with explicit begin/end nesting —
+// enough for the Chrome trace and RunReport formats, with correct string
+// escaping and round-trip double precision (max_digits10), so energy
+// totals survive export → parse → compare at 1e-9 tolerance.
+//
+// JsonValue/parse_json is a small recursive-descent reader used by the
+// exporter tests (and anything that wants to consume the emitted
+// artifacts in-process). It supports the full JSON grammar except \uXXXX
+// escapes beyond Latin-1, which the exporters never emit.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace rsls::obs {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  // Containers. `key` variants are for use inside an open object.
+  void begin_object();
+  void begin_object(const std::string& key);
+  void end_object();
+  void begin_array();
+  void begin_array(const std::string& key);
+  void end_array();
+
+  // Scalars inside an open object.
+  void field(const std::string& key, const std::string& value);
+  void field(const std::string& key, const char* value);
+  void field(const std::string& key, double value);
+  void field(const std::string& key, std::int64_t value);
+  void field(const std::string& key, std::uint64_t value);
+  void field(const std::string& key, int value);
+  void field(const std::string& key, bool value);
+
+  // Scalars inside an open array.
+  void element(const std::string& value);
+  void element(double value);
+  void element(std::uint64_t value);
+
+  /// Escaped, quoted string literal.
+  static std::string quote(const std::string& text);
+  /// Shortest round-trip decimal form of a double ("1e-9"-safe).
+  static std::string number(double value);
+
+ private:
+  void comma();
+  void key_prefix(const std::string& key);
+
+  std::ostream& os_;
+  // One bool per open container: "a value has been written at this level".
+  std::vector<bool> needs_comma_;
+};
+
+// ---------------------------------------------------------------------------
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw rsls::Error on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  /// Object member access; throws if not an object or key missing.
+  const JsonValue& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  static JsonValue make_null();
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double n);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(JsonArray a);
+  static JsonValue make_object(JsonObject o);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::shared_ptr<JsonArray> array_;
+  std::shared_ptr<JsonObject> object_;
+};
+
+/// Parse one JSON document; throws rsls::Error with position info on
+/// malformed input. Trailing non-whitespace is an error.
+JsonValue parse_json(const std::string& text);
+
+}  // namespace rsls::obs

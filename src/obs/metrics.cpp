@@ -1,0 +1,69 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "core/error.hpp"
+
+namespace rsls::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  RSLS_CHECK_MSG(!bounds_.empty(),
+                 "histogram needs at least one bucket bound");
+  RSLS_CHECK_MSG(std::adjacent_find(bounds_.begin(), bounds_.end(),
+                                    std::greater_equal<double>()) ==
+                     bounds_.end(),
+                 "histogram bucket bounds must be strictly increasing");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    return it->second;
+  }
+  return histograms_.emplace(name, Histogram(std::move(bounds))).first->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter.value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge.value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.push_back(HistogramSnapshot{
+        name, histogram.bounds(), histogram.bucket_counts(), histogram.count(),
+        histogram.sum(), histogram.min(), histogram.max()});
+  }
+  return snap;
+}
+
+}  // namespace rsls::obs

@@ -1,0 +1,108 @@
+#pragma once
+// Metrics registry: counters, gauges, and fixed-bucket histograms keyed
+// by name. The registry is the numeric half of the observability layer
+// (spans are the temporal half, src/obs/recorder.hpp): recovery
+// durations, detector verdicts, DVFS transitions, residual decay — any
+// scalar a bench wants to assert on lands here and flows into the
+// RunReport exporter.
+//
+// Cost model: instruments are looked up once (string hash) and then held
+// by reference; add()/set()/observe() are a few arithmetic instructions.
+// Code paths that may run without observability hold a nullable
+// MetricsRegistry* (or obs::Recorder*) and skip the lookup entirely, so
+// the disabled cost is one pointer test.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rsls::obs {
+
+class Counter {
+ public:
+  void add(double delta = 1.0) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: `bounds` are the inclusive upper edges of the
+/// first N buckets; one overflow bucket catches the rest. Tracks count,
+/// sum, min, and max alongside the bucket counts.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> bucket_counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Point-in-time copy of every instrument, name-sorted (std::map order);
+/// what the exporters serialize.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, double>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create by name. References stay valid for the registry's
+  /// lifetime (node-based map storage). A histogram's bounds are fixed by
+  /// the first call; later calls ignore `bounds`.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace rsls::obs

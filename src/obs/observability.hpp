@@ -1,0 +1,78 @@
+#pragma once
+// Observability configuration: what a harness run should record and
+// where the artifacts go. Benches set this on ExperimentConfig; the
+// environment can switch it on for ANY binary that reaches
+// harness::run_scheme_on_cluster without touching its flags:
+//
+//   RSLS_TRACE_DIR=dir    — write one Chrome trace JSON per run into dir
+//   RSLS_RUN_REPORT=path  — append one RunReport JSONL line per run
+//   RSLS_OBS_POWER_BIN=s  — power-trace bin width for counter tracks
+//                           (seconds; default 0.05 when tracing)
+
+#include <string>
+
+#include "core/env.hpp"
+#include "core/units.hpp"
+
+namespace rsls::obs {
+
+struct ObservabilityOptions {
+  /// Master switch; resolve_from_env flips it on when the environment
+  /// requests artifacts.
+  bool enabled = false;
+  /// RunReport "source" field: the producing binary / entry point.
+  std::string source = "harness";
+  /// Explicit Chrome trace output file ("" = derive from trace_dir).
+  std::string trace_path;
+  /// Directory for per-run trace files named
+  /// trace_<matrix>_<scheme>_<seq>.json ("" = no traces unless
+  /// trace_path is set).
+  std::string trace_dir;
+  /// RunReport JSONL append path ("" = no report file; the report is
+  /// still built and returned to callers that want it).
+  std::string report_path;
+  /// Power-trace bin width for the counter track; 0 disables the
+  /// power counters.
+  Seconds power_bin = 0.05;
+  /// Record per-interval charge slices in the trace (the finest level).
+  bool include_charges = true;
+  /// Bound on the recorder's charge stream is not needed — traces are
+  /// per-run — but the cluster-owned EventLog (if any) can be capped.
+  std::size_t event_log_capacity = 0;
+
+  bool wants_trace() const {
+    return enabled && (!trace_path.empty() || !trace_dir.empty());
+  }
+  bool wants_report() const { return enabled && !report_path.empty(); }
+};
+
+/// Overlay the environment on `base`: RSLS_TRACE_DIR / RSLS_RUN_REPORT /
+/// RSLS_OBS_POWER_BIN, enabling observability when any is present.
+inline ObservabilityOptions resolve_from_env(ObservabilityOptions base) {
+  if (const auto dir = env_string("RSLS_TRACE_DIR"); dir.has_value()) {
+    base.trace_dir = *dir;
+    base.enabled = true;
+  }
+  if (const auto path = env_string("RSLS_RUN_REPORT"); path.has_value()) {
+    base.report_path = *path;
+    base.enabled = true;
+  }
+  if (const auto bin = env_string("RSLS_OBS_POWER_BIN"); bin.has_value()) {
+    base.power_bin = std::stod(*bin);
+  }
+  return base;
+}
+
+/// File-name-safe form of a matrix/scheme label.
+inline std::string sanitize_label(const std::string& label) {
+  std::string out;
+  out.reserve(label.size());
+  for (const char c : label) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out.empty() ? std::string("run") : out;
+}
+
+}  // namespace rsls::obs

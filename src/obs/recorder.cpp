@@ -1,0 +1,110 @@
+#include "obs/recorder.hpp"
+
+#include "core/error.hpp"
+
+namespace rsls::obs {
+
+Recorder::~Recorder() { detach(); }
+
+void Recorder::attach(simrt::VirtualCluster& cluster) {
+  RSLS_CHECK_MSG(cluster_ == nullptr, "recorder is already attached");
+  cluster_ = &cluster;
+  cluster.add_charge_sink(this);
+}
+
+void Recorder::detach() {
+  if (cluster_ != nullptr) {
+    cluster_->remove_charge_sink(this);
+    cluster_ = nullptr;
+  }
+}
+
+Seconds Recorder::track_now(Index track) const {
+  RSLS_CHECK_MSG(cluster_ != nullptr,
+                 "recorder must be attached to a cluster to open spans");
+  return track == kClusterTrack ? cluster_->elapsed() : cluster_->now(track);
+}
+
+std::size_t Recorder::open_span(std::string name, power::PhaseTag tag,
+                                Index track, std::string detail) {
+  SpanRecord span;
+  span.name = std::move(name);
+  span.track = track;
+  span.begin = track_now(track);
+  span.tag = tag;
+  span.scheme = scheme_;
+  span.detail = std::move(detail);
+  span.depth = static_cast<Index>(open_by_track_[track].size());
+  pending_.push_back(std::move(span));
+  const std::size_t handle = pending_.size() - 1;
+  open_by_track_[track].push_back(handle);
+  ++open_spans_;
+  return handle;
+}
+
+void Recorder::close_span(std::size_t handle) {
+  RSLS_CHECK_MSG(handle < pending_.size(), "invalid span handle");
+  SpanRecord& span = pending_[handle];
+  auto& stack = open_by_track_[span.track];
+  RSLS_CHECK_MSG(!stack.empty() && stack.back() == handle,
+                 "spans on a track must close LIFO (innermost first)");
+  stack.pop_back();
+  span.end = track_now(span.track);
+  spans_.push_back(span);
+  --open_spans_;
+  // pending_ slots are not reclaimed until all spans on all tracks are
+  // closed; with the shallow nesting of a solve this stays tiny.
+  if (open_spans_ == 0) {
+    pending_.clear();
+    open_by_track_.clear();
+  }
+}
+
+void Recorder::on_charge(const simrt::ChargeRecord& record) {
+  if (record_charges_) {
+    charges_.push_back(record);
+  }
+}
+
+void Recorder::on_dvfs_transition(Index rank, Seconds time, Hertz from,
+                                  Hertz to) {
+  dvfs_marks_.push_back(DvfsMark{rank, time, from, to});
+  metrics_.counter("dvfs_transitions").add(1.0);
+}
+
+// --- ScopedSpan ------------------------------------------------------------
+
+ScopedSpan::ScopedSpan(Recorder* recorder, std::string name,
+                       power::PhaseTag tag, Index track, std::string detail)
+    : recorder_(recorder) {
+  if (recorder_ != nullptr) {
+    handle_ =
+        recorder_->open_span(std::move(name), tag, track, std::move(detail));
+  }
+}
+
+ScopedSpan::ScopedSpan(ScopedSpan&& other) noexcept
+    : recorder_(other.recorder_), handle_(other.handle_) {
+  other.recorder_ = nullptr;
+}
+
+ScopedSpan& ScopedSpan::operator=(ScopedSpan&& other) noexcept {
+  if (this != &other) {
+    close();
+    recorder_ = other.recorder_;
+    handle_ = other.handle_;
+    other.recorder_ = nullptr;
+  }
+  return *this;
+}
+
+ScopedSpan::~ScopedSpan() { close(); }
+
+void ScopedSpan::close() {
+  if (recorder_ != nullptr) {
+    recorder_->close_span(handle_);
+    recorder_ = nullptr;
+  }
+}
+
+}  // namespace rsls::obs

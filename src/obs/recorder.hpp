@@ -1,0 +1,164 @@
+#pragma once
+// Observability recorder: hierarchical virtual-time spans, the charge
+// slice stream, DVFS marks, and the metrics registry — one session
+// object that attaches to a VirtualCluster as a ChargeSink and is fed
+// span open/close calls by the resilience layer.
+//
+// Span model. A span is a named interval on a *track*. Track r ≥ 0 is
+// rank r and uses that rank's virtual clock; track kClusterTrack (-1) is
+// the whole-run track and uses the cluster makespan. Spans on one track
+// open and close LIFO (enforced), so a track renders as a properly
+// nested flame graph in Perfetto: solve → detect → recover →
+// reconstruct → escalate, with the raw charge slices as the finest
+// level. Each span carries its PhaseTag, the scheme name in effect, and
+// a free-form detail attribute.
+//
+// Null-safety. Instrumented code holds a `Recorder*` that is null when
+// observability is off; ScopedSpan and the metric helpers accept the
+// null pointer and do nothing, so the disabled cost is one branch.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "core/units.hpp"
+#include "obs/metrics.hpp"
+#include "power/rapl.hpp"
+#include "simrt/charge_sink.hpp"
+#include "simrt/cluster.hpp"
+
+namespace rsls::obs {
+
+/// Track id of the whole-run (cluster) track.
+inline constexpr Index kClusterTrack = -1;
+
+struct SpanRecord {
+  std::string name;
+  Index track = kClusterTrack;
+  Seconds begin = 0.0;
+  Seconds end = 0.0;
+  /// Nesting depth on the track at open (0 = top level).
+  Index depth = 0;
+  power::PhaseTag tag = power::PhaseTag::kSolve;
+  /// Scheme attribute in effect when the span opened (may be empty).
+  std::string scheme;
+  /// Free-form attribute (e.g. "announced rank=3", "detected").
+  std::string detail;
+};
+
+struct DvfsMark {
+  Index rank = 0;
+  Seconds time = 0.0;
+  Hertz from = 0.0;
+  Hertz to = 0.0;
+};
+
+class Recorder final : public simrt::ChargeSink {
+ public:
+  Recorder() = default;
+  ~Recorder() override;
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  /// Register on the cluster's charge path and adopt its clocks as the
+  /// span time source. detach() (or destruction) unregisters.
+  void attach(simrt::VirtualCluster& cluster);
+  void detach();
+  bool attached() const { return cluster_ != nullptr; }
+  const simrt::VirtualCluster* cluster() const { return cluster_; }
+
+  /// Scheme attribute stamped on subsequently opened spans.
+  void set_scheme(std::string scheme) { scheme_ = std::move(scheme); }
+  const std::string& scheme() const { return scheme_; }
+
+  // --- spans ------------------------------------------------------------
+  /// Open a span on `track` at the track's current virtual time. Returns
+  /// a handle for close(). Prefer ScopedSpan.
+  std::size_t open_span(std::string name, power::PhaseTag tag,
+                        Index track = kClusterTrack, std::string detail = "");
+  /// Close the given span (must be the innermost open span on its track).
+  void close_span(std::size_t handle);
+
+  /// Closed spans in close order. Open spans are not included.
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  Index open_span_count() const { return open_spans_; }
+
+  // --- charge stream ----------------------------------------------------
+  void on_charge(const simrt::ChargeRecord& record) override;
+  void on_dvfs_transition(Index rank, Seconds time, Hertz from,
+                          Hertz to) override;
+
+  const std::vector<simrt::ChargeRecord>& charges() const { return charges_; }
+  const std::vector<DvfsMark>& dvfs_marks() const { return dvfs_marks_; }
+
+  /// Drop the per-interval charge stream (spans/metrics keep recording);
+  /// for long runs where only the span level is wanted.
+  void set_record_charges(bool record) { record_charges_ = record; }
+
+  // --- metrics ----------------------------------------------------------
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+ private:
+  Seconds track_now(Index track) const;
+
+  simrt::VirtualCluster* cluster_ = nullptr;
+  std::string scheme_;
+  std::vector<SpanRecord> spans_;
+  // Spans currently open, per track, outermost first (value = index into
+  // pending_).
+  std::vector<SpanRecord> pending_;
+  std::map<Index, std::vector<std::size_t>> open_by_track_;
+  Index open_spans_ = 0;
+  std::vector<simrt::ChargeRecord> charges_;
+  std::vector<DvfsMark> dvfs_marks_;
+  bool record_charges_ = true;
+  MetricsRegistry metrics_;
+};
+
+/// RAII span; null-safe (a null recorder makes every operation a no-op)
+/// and move-only. Closes on destruction.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(Recorder* recorder, std::string name, power::PhaseTag tag,
+             Index track = kClusterTrack, std::string detail = "");
+  ScopedSpan(ScopedSpan&& other) noexcept;
+  ScopedSpan& operator=(ScopedSpan&& other) noexcept;
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan();
+
+  /// Close early (idempotent).
+  void close();
+
+ private:
+  Recorder* recorder_ = nullptr;
+  std::size_t handle_ = 0;
+};
+
+// Null-safe metric helpers for instrumented code holding a Recorder*.
+inline void count(Recorder* recorder, const std::string& name,
+                  double delta = 1.0) {
+  if (recorder != nullptr) {
+    recorder->metrics().counter(name).add(delta);
+  }
+}
+
+inline void set_gauge(Recorder* recorder, const std::string& name,
+                      double value) {
+  if (recorder != nullptr) {
+    recorder->metrics().gauge(name).set(value);
+  }
+}
+
+inline void observe(Recorder* recorder, const std::string& name,
+                    std::vector<double> bounds, double value) {
+  if (recorder != nullptr) {
+    recorder->metrics().histogram(name, std::move(bounds)).observe(value);
+  }
+}
+
+}  // namespace rsls::obs

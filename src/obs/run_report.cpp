@@ -1,0 +1,87 @@
+#include "obs/run_report.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "core/error.hpp"
+#include "obs/json.hpp"
+
+namespace rsls::obs {
+
+void write_run_report(std::ostream& os, const RunReport& report) {
+  JsonWriter json(os);
+  json.begin_object();
+  json.field("schema_version", report.schema_version);
+  json.field("source", report.source);
+  json.field("matrix", report.matrix);
+  json.field("scheme", report.scheme);
+
+  json.begin_object("config");
+  for (const auto& [key, value] : report.config) {
+    json.field(key, value);
+  }
+  json.end_object();
+
+  json.begin_object("results");
+  for (const auto& [key, value] : report.results) {
+    json.field(key, value);
+  }
+  json.end_object();
+
+  json.begin_object("energy");
+  json.begin_object("phases");
+  for (const auto& [tag, joules] : report.phase_core_energy) {
+    json.field(tag, joules);
+  }
+  json.end_object();
+  json.field("node_constant", report.node_constant_energy);
+  json.field("core_sleep", report.sleep_energy);
+  json.field("total", report.total_energy);
+  json.end_object();
+
+  json.begin_object("metrics");
+  json.begin_object("counters");
+  for (const auto& [name, value] : report.metrics.counters) {
+    json.field(name, value);
+  }
+  json.end_object();
+  json.begin_object("gauges");
+  for (const auto& [name, value] : report.metrics.gauges) {
+    json.field(name, value);
+  }
+  json.end_object();
+  json.begin_array("histograms");
+  for (const auto& histogram : report.metrics.histograms) {
+    json.begin_object();
+    json.field("name", histogram.name);
+    json.begin_array("bounds");
+    for (const double bound : histogram.bounds) {
+      json.element(bound);
+    }
+    json.end_array();
+    json.begin_array("bucket_counts");
+    for (const std::uint64_t count : histogram.bucket_counts) {
+      json.element(count);
+    }
+    json.end_array();
+    json.field("count", histogram.count);
+    json.field("sum", histogram.sum);
+    json.field("min", histogram.min);
+    json.field("max", histogram.max);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  json.end_object();
+  os << '\n';
+}
+
+void append_run_report(const std::string& path, const RunReport& report) {
+  std::ofstream os(path, std::ios::app);
+  RSLS_CHECK_MSG(os.good(), "cannot open run report file " + path);
+  write_run_report(os, report);
+  RSLS_CHECK_MSG(os.good(), "failed writing run report to " + path);
+}
+
+}  // namespace rsls::obs

@@ -1,0 +1,56 @@
+#pragma once
+// Standardized machine-readable run record: one JSON object per run,
+// appended as a JSONL line. Every bench and harness::run_scheme emit
+// this alongside their human tables, so a run's claims (time/energy
+// ratios, per-phase E_res splits, detector activity) are verifiable from
+// structured artifacts.
+//
+// Schema (schema_version 1):
+//   {"schema_version":1, "source":..., "matrix":..., "scheme":...,
+//    "config":{str:str},                 — experiment configuration
+//    "results":{str:num},                — scalar outcomes
+//    "energy":{"phases":{tag:J}, "node_constant":J, "core_sleep":J,
+//              "total":J},               — phases+constant+sleep == total
+//    "metrics":{"counters":{...}, "gauges":{...}, "histograms":[...]}}
+//
+// The energy block is written with round-trip double precision so
+// sum(phases) + node_constant + core_sleep == total holds to 1e-9
+// relative after a parse round-trip.
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/units.hpp"
+#include "obs/metrics.hpp"
+
+namespace rsls::obs {
+
+struct RunReport {
+  int schema_version = 1;
+  /// Producing binary or harness entry point.
+  std::string source;
+  std::string matrix;
+  std::string scheme;
+  /// Ordered configuration snapshot (stringly, for the config block).
+  std::vector<std::pair<std::string, std::string>> config;
+  /// Ordered scalar results (iterations, time_s, energy_j, ratios, …).
+  std::vector<std::pair<std::string, double>> results;
+  /// Core energy per phase tag (replica-scaled), name → joules.
+  std::vector<std::pair<std::string, Joules>> phase_core_energy;
+  Joules node_constant_energy = 0.0;
+  Joules sleep_energy = 0.0;
+  /// Must equal sum(phase) + node_constant + sleep (the writer does not
+  /// recompute it; exporters assert in tests).
+  Joules total_energy = 0.0;
+  MetricsSnapshot metrics;
+};
+
+/// One JSONL line (object + '\n').
+void write_run_report(std::ostream& os, const RunReport& report);
+
+/// Append one line to `path`, creating the file if needed.
+void append_run_report(const std::string& path, const RunReport& report);
+
+}  // namespace rsls::obs

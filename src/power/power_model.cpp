@@ -7,6 +7,22 @@
 
 namespace rsls::power {
 
+const char* to_string(Activity activity) {
+  switch (activity) {
+    case Activity::kActive:
+      return "active";
+    case Activity::kWaiting:
+      return "waiting";
+    case Activity::kSleep:
+      return "sleep";
+    case Activity::kMemCopy:
+      return "memcopy";
+    case Activity::kDiskWait:
+      return "diskwait";
+  }
+  return "?";
+}
+
 Hertz FrequencyTable::snap(Hertz requested) const {
   const Hertz clamped = std::clamp(requested, min_hz, max_hz);
   const double steps = std::round((clamped - min_hz) / step_hz);

@@ -28,6 +28,11 @@ enum class Activity {
   kDiskWait  // blocked on disk I/O (checkpoint to disk)
 };
 
+/// Stable lowercase name ("active", "waiting", …) used by the event-log
+/// CSV and the observability exporters; the PhaseTag counterpart lives in
+/// power/rapl.hpp.
+const char* to_string(Activity activity);
+
 struct FrequencyTable {
   Hertz min_hz = gigahertz(1.2);
   Hertz max_hz = gigahertz(2.3);

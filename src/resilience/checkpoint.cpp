@@ -4,6 +4,7 @@
 
 #include "core/error.hpp"
 #include "core/rng.hpp"
+#include "obs/recorder.hpp"
 #include "resilience/detector.hpp"
 
 namespace rsls::resilience {
@@ -27,6 +28,9 @@ void CheckpointRestart::on_iteration(RecoveryContext& ctx, Index iteration,
   if (iteration % options_.interval_iterations != 0) {
     return;
   }
+  obs::ScopedSpan span(ctx.recorder, "checkpoint", PhaseTag::kCheckpoint,
+                       obs::kClusterTrack, name());
+  obs::count(ctx.recorder, "checkpoints_taken");
   const Seconds before = ctx.cluster.elapsed();
   const Bytes bytes = ctx.a.vector_bytes();
   if (options_.target == CheckpointTarget::kDisk) {
@@ -70,6 +74,8 @@ void CheckpointRestart::corrupt_snapshot(Index index_from_newest) {
 
 void CheckpointRestart::restore_verified(RecoveryContext& ctx,
                                          Index iteration, std::span<Real> x) {
+  obs::ScopedSpan span(ctx.recorder, "rollback", PhaseTag::kRollback,
+                       obs::kClusterTrack, name());
   const Bytes bytes = ctx.a.vector_bytes();
   for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
     // Each attempt re-reads a full snapshot from the checkpoint store.
@@ -80,6 +86,7 @@ void CheckpointRestart::restore_verified(RecoveryContext& ctx,
     }
     if (fnv1a64(it->x) != it->crc) {
       ++integrity_failures_;
+      obs::count(ctx.recorder, "checkpoint_integrity_failures");
       continue;  // fall through to the next-older snapshot
     }
     RSLS_CHECK(it->x.size() == x.size());

@@ -5,6 +5,7 @@
 
 #include "core/error.hpp"
 #include "la/factor.hpp"
+#include "obs/recorder.hpp"
 #include "la/flops.hpp"
 #include "la/local_cg.hpp"
 #include "la/qr.hpp"
@@ -136,6 +137,8 @@ void ForwardRecovery::recover_assignment(RecoveryContext& ctx,
 
 void ForwardRecovery::recover_linear(RecoveryContext& ctx, Index failed_rank,
                                      std::span<Real> x) {
+  obs::ScopedSpan span(ctx.recorder, "reconstruct", PhaseTag::kReconstruct,
+                       failed_rank, name());
   const auto& part = ctx.a.partition();
   auto& cluster = ctx.cluster;
   const Index begin = part.begin(failed_rank);
@@ -208,6 +211,8 @@ void ForwardRecovery::recover_linear(RecoveryContext& ctx, Index failed_rank,
 void ForwardRecovery::recover_least_squares(RecoveryContext& ctx,
                                             Index failed_rank,
                                             std::span<Real> x) {
+  obs::ScopedSpan span(ctx.recorder, "reconstruct", PhaseTag::kReconstruct,
+                       failed_rank, name());
   const auto& part = ctx.a.partition();
   auto& cluster = ctx.cluster;
   const Index n = ctx.a.rows();

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "core/error.hpp"
+#include "obs/recorder.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/vector_ops.hpp"
 
@@ -20,14 +22,41 @@ HookAction merge(HookAction a, HookAction b) {
              : HookAction::kContinue;
 }
 
+/// Bucket bounds for the recovery-duration histogram (seconds of virtual
+/// time per dispatched recovery).
+std::vector<double> recovery_seconds_bounds() {
+  return {1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0};
+}
+
+/// Bucket bounds for the per-iteration residual decay rate,
+/// log10(res_prev / res_curr): negative = diverging, ~0 = stagnating.
+std::vector<double> residual_decay_bounds() {
+  return {-1.0, -0.1, 0.0, 0.05, 0.1, 0.5, 1.0, 2.0};
+}
+
+/// Run the scheme at the damaged ranks, with one "recover" span per rank
+/// track (detail distinguishes announced faults from detector-triggered
+/// dispatches) and the recovery duration fed to the histogram.
 HookAction dispatch_recovery(RecoveryScheme& scheme, RecoveryContext& ctx,
                              Index iteration, const IndexVec& ranks,
-                             std::span<Real> x) {
+                             std::span<Real> x, const char* detail) {
   RSLS_CHECK(!ranks.empty());
-  if (ranks.size() == 1) {
-    return scheme.recover(ctx, iteration, ranks.front(), x);
+  std::vector<obs::ScopedSpan> spans;
+  if (ctx.recorder != nullptr) {
+    spans.reserve(ranks.size());
+    for (const Index rank : ranks) {
+      spans.emplace_back(ctx.recorder, "recover", PhaseTag::kReconstruct,
+                         rank, detail);
+    }
   }
-  return scheme.recover_multi(ctx, iteration, ranks, x);
+  const Seconds start = ctx.cluster.elapsed();
+  const HookAction action =
+      ranks.size() == 1 ? scheme.recover(ctx, iteration, ranks.front(), x)
+                        : scheme.recover_multi(ctx, iteration, ranks, x);
+  obs::observe(ctx.recorder, "recovery_seconds", recovery_seconds_bounds(),
+               ctx.cluster.elapsed() - start);
+  obs::count(ctx.recorder, "recoveries_dispatched");
+  return action;
 }
 
 }  // namespace
@@ -39,12 +68,16 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
                                      FaultInjector& injector,
                                      const solver::CgOptions& options,
                                      DetectorSuite& detectors,
-                                     const HardeningOptions& hardening) {
+                                     const HardeningOptions& hardening,
+                                     obs::Recorder* recorder) {
   RSLS_CHECK_MSG(cluster.replica_factor() == scheme.replica_factor(),
                  "cluster replica factor must match the scheme (DMR = 2)");
   RSLS_CHECK(hardening.max_recovery_attempts >= 1);
   RSLS_CHECK(hardening.max_nested_faults >= 1);
-  RecoveryContext ctx{a, b, cluster};
+  if (recorder != nullptr && recorder->scheme().empty()) {
+    recorder->set_scheme(scheme.name());
+  }
+  RecoveryContext ctx{a, b, cluster, recorder};
   DetectionContext dctx{a, b, cluster};
   const auto& part = a.partition();
   const Real b_norm = sparse::norm2(b);
@@ -82,7 +115,7 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
       if (suspects.empty()) {
         break;  // nothing to aim a localized recovery at
       }
-      dispatch_recovery(scheme, ctx, iteration, suspects, x_view);
+      dispatch_recovery(scheme, ctx, iteration, suspects, x_view, "detected");
       const DetectionVerdict check = validate_state(
           dctx, x_view, hardening.validation_residual_bound);
       if (!check.flagged) {
@@ -92,20 +125,40 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
     }
     // Rung 1: global rollback to trusted state, if the scheme has any.
     ++report.escalations;
-    if (scheme.rollback(ctx, iteration, x_view)) {
-      const DetectionVerdict check = validate_state(
-          dctx, x_view, hardening.validation_residual_bound);
-      if (!check.flagged) {
-        return;
+    obs::count(recorder, "escalations");
+    {
+      obs::ScopedSpan span(recorder, "escalate:rollback", PhaseTag::kRollback,
+                           obs::kClusterTrack);
+      if (scheme.rollback(ctx, iteration, x_view)) {
+        const DetectionVerdict check = validate_state(
+            dctx, x_view, hardening.validation_residual_bound);
+        if (!check.flagged) {
+          return;
+        }
       }
     }
     // Rung 2: restart from the initial guess.
     ++report.escalations;
+    obs::count(recorder, "escalations");
+    obs::ScopedSpan span(recorder, "escalate:restart", PhaseTag::kRollback,
+                         obs::kClusterTrack);
     std::copy(x0_copy.begin(), x0_copy.end(), x_view.begin());
   };
 
+  // Per-iteration residual decay rate, log10(prev/curr); < 0 means the
+  // recurrence residual grew (a fault or a hard patch of the spectrum).
+  Real previous_residual = -1.0;
+
   const solver::IterationHook hook =
       [&](const solver::CgIterationView& view) -> HookAction {
+    if (recorder != nullptr) {
+      if (previous_residual > 0.0 && view.relative_residual > 0.0) {
+        obs::observe(recorder, "residual_decay_log10",
+                     residual_decay_bounds(),
+                     std::log10(previous_residual / view.relative_residual));
+      }
+      previous_residual = view.relative_residual;
+    }
     scheme.on_iteration(ctx, view.iteration, view.x);
     detectors.observe(dctx, view.iteration, view.x);
 
@@ -123,13 +176,16 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
         break;
       }
       ++events_handled;
+      obs::count(recorder, "faults");
       if (recovery_happened) {
         ++report.nested_faults;
+        obs::count(recorder, "nested_faults");
       }
       if (event->cls == FaultClass::kProcessLoss) {
         FaultInjector::apply_corruption(*event, part, view.x);
-        action = merge(action, dispatch_recovery(scheme, ctx, view.iteration,
-                                                 event->ranks, view.x));
+        action = merge(action,
+                       dispatch_recovery(scheme, ctx, view.iteration,
+                                         event->ranks, view.x, "announced"));
         detectors.invalidate();
         recovery_happened = true;
       } else {
@@ -145,11 +201,18 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
     }
 
     if (!detectors.empty()) {
+      obs::ScopedSpan detect_span(recorder, "detect", PhaseTag::kDetect,
+                                  obs::kClusterTrack);
       const Real rec_rel = recurrence_relative(view.r);
       const DetectionVerdict verdict =
           detectors.inspect(dctx, view.iteration, rec_rel, view.x);
+      detect_span.close();
       if (verdict.flagged) {
         ++report.detections;
+        obs::count(recorder, "detections");
+        if (!verdict.detector.empty()) {
+          obs::count(recorder, "detections." + verdict.detector);
+        }
         recover_detected(verdict, view.iteration, view.x);
         detectors.invalidate();
         action = HookAction::kRestart;
@@ -165,11 +228,14 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
           }
           ++events_handled;
           ++report.nested_faults;
+          obs::count(recorder, "faults");
+          obs::count(recorder, "nested_faults");
           if (event->cls == FaultClass::kProcessLoss) {
             FaultInjector::apply_corruption(*event, part, view.x);
             action = merge(action,
                            dispatch_recovery(scheme, ctx, view.iteration,
-                                             event->ranks, view.x));
+                                             event->ranks, view.x,
+                                             "announced"));
           } else {
             FaultInjector::apply_corruption(*event, part, view.x);
           }
@@ -179,7 +245,11 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
     return action;
   };
 
-  report.cg = solver::cg_solve(a, cluster, b, x, options, hook);
+  {
+    obs::ScopedSpan solve_span(recorder, "solve", PhaseTag::kSolve,
+                               obs::kClusterTrack);
+    report.cg = solver::cg_solve(a, cluster, b, x, options, hook);
+  }
   report.faults = injector.faults_injected();
   report.recoveries = scheme.recoveries();
   report.time = cluster.elapsed();
@@ -188,6 +258,11 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
   report.account = cluster.energy();
   report.true_relative_residual =
       sparse::residual_norm(a.global(), x, b) / (b_norm > 0.0 ? b_norm : 1.0);
+  obs::set_gauge(recorder, "iterations",
+                 static_cast<double>(report.cg.iterations));
+  obs::set_gauge(recorder, "true_relative_residual",
+                 report.true_relative_residual);
+  obs::set_gauge(recorder, "converged", report.cg.converged ? 1.0 : 0.0);
   return report;
 }
 

@@ -72,6 +72,12 @@ struct ResilientSolveReport {
 /// Run CG on (a, b) from x0 under the given scheme, injector, and
 /// detector suite, charging everything (detection included, under
 /// PhaseTag::kDetect) to `cluster`. On return x holds the final iterate.
+///
+/// When `recorder` is non-null the run is traced: solve/detect/recover/
+/// escalate spans open over virtual time and fault/detector/recovery
+/// metrics accumulate in the recorder's registry. The recorder is NOT
+/// attached to the cluster here — callers that also want the charge
+/// stream attach it themselves before calling.
 ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
                                      simrt::VirtualCluster& cluster,
                                      std::span<const Real> b, RealVec& x,
@@ -79,7 +85,8 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
                                      FaultInjector& injector,
                                      const solver::CgOptions& options,
                                      DetectorSuite& detectors,
-                                     const HardeningOptions& hardening = {});
+                                     const HardeningOptions& hardening = {},
+                                     obs::Recorder* recorder = nullptr);
 
 /// Detection-free variant (announced faults only, as in the paper's §5
 /// experiments).

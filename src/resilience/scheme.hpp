@@ -16,12 +16,20 @@
 #include "simrt/cluster.hpp"
 #include "solver/cg.hpp"
 
+namespace rsls::obs {
+class Recorder;
+}  // namespace rsls::obs
+
 namespace rsls::resilience {
 
 struct RecoveryContext {
   const dist::DistMatrix& a;
   std::span<const Real> b;
   simrt::VirtualCluster& cluster;
+  /// Observability session, or nullptr when tracing/metrics are off.
+  /// Schemes open spans and bump counters through the null-safe helpers
+  /// in obs/recorder.hpp.
+  obs::Recorder* recorder = nullptr;
 };
 
 class RecoveryScheme {

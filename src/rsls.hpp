@@ -3,9 +3,9 @@
 //
 //   #include "rsls.hpp"
 //
-// Layering (bottom-up): core → sparse/la → power → simrt → dist → solver
-// → resilience → model → harness. Include individual headers instead when
-// compile time matters.
+// Layering (bottom-up): core → sparse/la → power → simrt → obs → dist →
+// solver → resilience → model → harness. Include individual headers
+// instead when compile time matters.
 
 // Core utilities
 #include "core/csv.hpp"      // IWYU pragma: export
@@ -47,6 +47,14 @@
 #include "simrt/event_log.hpp"  // IWYU pragma: export
 #include "simrt/machine.hpp"    // IWYU pragma: export
 #include "simrt/trace.hpp"      // IWYU pragma: export
+
+// Observability: metrics, virtual-time spans, exporters
+#include "obs/chrome_trace.hpp"    // IWYU pragma: export
+#include "obs/json.hpp"            // IWYU pragma: export
+#include "obs/metrics.hpp"         // IWYU pragma: export
+#include "obs/observability.hpp"   // IWYU pragma: export
+#include "obs/recorder.hpp"        // IWYU pragma: export
+#include "obs/run_report.hpp"      // IWYU pragma: export
 
 // Distributed data structures and kernels
 #include "dist/dist_matrix.hpp"  // IWYU pragma: export

@@ -1,0 +1,44 @@
+#pragma once
+// Observer interface on VirtualCluster's charge path.
+//
+// Every interval the cluster charges — compute, waiting, I/O — is
+// published to the registered sinks as one ChargeRecord. The EventLog is
+// one such sink; the observability recorder (src/obs) is another. Sinks
+// are non-owning observers: whoever registers one must keep it alive
+// until the cluster is done charging (or remove it).
+//
+// DVFS retargets (explicit set_frequency calls and governor decisions
+// applied mid-interval) are published separately so sinks can count
+// transitions or mark them on a timeline without parsing charge records.
+
+#include "core/types.hpp"
+#include "core/units.hpp"
+#include "power/power_model.hpp"
+#include "power/rapl.hpp"
+
+namespace rsls::simrt {
+
+/// One charged interval on one rank, as seen by the cluster.
+struct ChargeRecord {
+  Index rank = 0;
+  Index node = 0;
+  Seconds begin = 0.0;
+  Seconds end = 0.0;
+  power::Activity activity = power::Activity::kActive;
+  power::PhaseTag tag = power::PhaseTag::kSolve;
+  /// Core energy of the interval, replica-scaled (what EnergyAccount saw).
+  Joules core_joules = 0.0;
+};
+
+class ChargeSink {
+ public:
+  virtual ~ChargeSink() = default;
+
+  virtual void on_charge(const ChargeRecord& record) = 0;
+
+  /// A core changed operating frequency at virtual time `time`.
+  virtual void on_dvfs_transition(Index /*rank*/, Seconds /*time*/,
+                                  Hertz /*from*/, Hertz /*to*/) {}
+};
+
+}  // namespace rsls::simrt

@@ -49,7 +49,11 @@ void VirtualCluster::set_frequency(Index rank, Hertz hz) {
     // The transition stalls the core briefly at the old operating point.
     charge_interval(rank, config_.dvfs_transition_latency, Activity::kWaiting,
                     PhaseTag::kComm);
+    const Hertz from = current;
     current = snapped;
+    for (ChargeSink* sink : sinks_) {
+      sink->on_dvfs_transition(rank, now(rank), from, snapped);
+    }
   }
 }
 
@@ -200,21 +204,24 @@ Seconds VirtualCluster::elapsed() const {
   return *std::max_element(clock_.begin(), clock_.end());
 }
 
-Joules VirtualCluster::total_energy() const {
-  const Seconds makespan = elapsed();
-  const double replicas = static_cast<double>(replica_factor_);
+Joules VirtualCluster::node_constant_energy() const {
   // Node constant power accrues on every used node for the whole run.
   const Watts node_constant =
       power_model_.node_constant_power(config_.sockets_per_node);
-  const Joules constant_energy =
-      node_constant * makespan * static_cast<double>(nodes_used()) * replicas;
+  return node_constant * elapsed() * static_cast<double>(nodes_used()) *
+         static_cast<double>(replica_factor_);
+}
+
+Joules VirtualCluster::sleep_energy() const {
   // Cores on used nodes that host no rank sleep for the whole run.
   const Index unused_cores =
       nodes_used() * config_.cores_per_node() - num_ranks_;
-  const Joules sleep_energy = config_.power.core_sleep *
-                              static_cast<double>(unused_cores) * makespan *
-                              replicas;
-  return energy_.core_energy_total() + constant_energy + sleep_energy;
+  return config_.power.core_sleep * static_cast<double>(unused_cores) *
+         elapsed() * static_cast<double>(replica_factor_);
+}
+
+Joules VirtualCluster::total_energy() const {
+  return energy_.core_energy_total() + node_constant_energy() + sleep_energy();
 }
 
 Watts VirtualCluster::average_power() const {
@@ -222,8 +229,21 @@ Watts VirtualCluster::average_power() const {
   return makespan > 0.0 ? total_energy() / makespan : 0.0;
 }
 
-void VirtualCluster::enable_event_log() {
-  event_log_ = std::make_unique<EventLog>();
+void VirtualCluster::add_charge_sink(ChargeSink* sink) {
+  RSLS_CHECK(sink != nullptr);
+  sinks_.push_back(sink);
+}
+
+void VirtualCluster::remove_charge_sink(ChargeSink* sink) {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+}
+
+void VirtualCluster::enable_event_log(std::size_t capacity) {
+  if (event_log_ != nullptr) {
+    remove_charge_sink(event_log_.get());
+  }
+  event_log_ = std::make_unique<EventLog>(capacity);
+  add_charge_sink(event_log_.get());
 }
 
 const EventLog& VirtualCluster::event_log() const {
@@ -282,8 +302,8 @@ void VirtualCluster::charge_interval(Index rank, Seconds duration,
   const Joules j_new =
       power_model_.core_power(new_freq, activity) * at_new;
   energy_.charge_core(tag, (j_old + j_new) * replicas);
+  const Index node = node_of(rank);
   if (trace_ != nullptr) {
-    const Index node = node_of(rank);
     if (at_old > 0.0) {
       trace_->add(node, start, at_old, j_old);
     }
@@ -291,9 +311,15 @@ void VirtualCluster::charge_interval(Index rank, Seconds duration,
       trace_->add(node, start + at_old, at_new, j_new);
     }
   }
-  if (event_log_ != nullptr) {
-    event_log_->record(PhaseEvent{rank, start, start + duration, activity,
-                                  tag});
+  if (!sinks_.empty()) {
+    const ChargeRecord record{rank,     node, start, start + duration,
+                              activity, tag,  (j_old + j_new) * replicas};
+    for (ChargeSink* sink : sinks_) {
+      sink->on_charge(record);
+      if (new_freq != old_freq) {
+        sink->on_dvfs_transition(rank, start + at_old, old_freq, new_freq);
+      }
+    }
   }
   clock_[i] = start + duration;
 }

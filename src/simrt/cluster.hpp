@@ -22,6 +22,7 @@
 #include "power/governor.hpp"
 #include "power/power_model.hpp"
 #include "power/rapl.hpp"
+#include "simrt/charge_sink.hpp"
 #include "simrt/event_log.hpp"
 #include "simrt/machine.hpp"
 #include "simrt/trace.hpp"
@@ -111,15 +112,34 @@ class VirtualCluster {
   /// Core-attributed energy per phase (replica-scaled).
   const power::EnergyAccount& energy() const { return energy_; }
 
-  /// Cores + uncore/DRAM + sleeping unused cores, replica-scaled.
+  /// Uncore/DRAM energy accrued with wall time on every used node,
+  /// replica-scaled.
+  Joules node_constant_energy() const;
+
+  /// Energy of sleeping unused cores on used nodes, replica-scaled.
+  Joules sleep_energy() const;
+
+  /// Cores + uncore/DRAM + sleeping unused cores, replica-scaled:
+  /// energy().core_energy_total() + node_constant_energy() +
+  /// sleep_energy().
   Joules total_energy() const;
 
   /// total_energy() / elapsed().
   Watts average_power() const;
 
+  // --- charge sinks ------------------------------------------------------
+  /// Register an observer of the charge path (non-owning; the caller
+  /// keeps it alive until removed or the cluster is destroyed). Every
+  /// charged interval and DVFS transition is published to all sinks.
+  void add_charge_sink(ChargeSink* sink);
+  void remove_charge_sink(ChargeSink* sink);
+
   // --- event log ---------------------------------------------------------
-  /// Opt-in per-interval phase logging (see EventLog's memory caveat).
-  void enable_event_log();
+  /// Opt-in per-interval phase logging (see EventLog's memory caveat);
+  /// registers a cluster-owned EventLog as one charge sink. capacity 0
+  /// keeps everything; otherwise the newest `capacity` events are kept
+  /// (oldest-first eviction, dropped-event counter).
+  void enable_event_log(std::size_t capacity = 0);
   bool event_log_enabled() const { return event_log_ != nullptr; }
   /// Requires enable_event_log() to have been called.
   const EventLog& event_log() const;
@@ -148,6 +168,7 @@ class VirtualCluster {
   power::EnergyAccount energy_;
   std::unique_ptr<PowerTrace> trace_;
   std::unique_ptr<EventLog> event_log_;
+  std::vector<ChargeSink*> sinks_;
 };
 
 }  // namespace rsls::simrt

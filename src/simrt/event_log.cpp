@@ -6,25 +6,37 @@
 
 namespace rsls::simrt {
 
-const char* to_string(power::Activity activity) {
-  switch (activity) {
-    case power::Activity::kActive:
-      return "active";
-    case power::Activity::kWaiting:
-      return "waiting";
-    case power::Activity::kSleep:
-      return "sleep";
-    case power::Activity::kMemCopy:
-      return "memcopy";
-    case power::Activity::kDiskWait:
-      return "diskwait";
-  }
-  return "?";
-}
-
 void EventLog::record(const PhaseEvent& event) {
   RSLS_ASSERT(event.end >= event.begin);
   events_.push_back(event);
+  if (capacity_ != 0 && events_.size() > capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+}
+
+void EventLog::on_charge(const ChargeRecord& record) {
+  this->record(PhaseEvent{record.rank, record.begin, record.end,
+                          record.activity, record.tag});
+}
+
+std::vector<PhaseEvent> EventLog::events() const {
+  return std::vector<PhaseEvent>(events_.begin(), events_.end());
+}
+
+void EventLog::set_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  trim();
+}
+
+void EventLog::trim() {
+  if (capacity_ == 0) {
+    return;
+  }
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
 }
 
 Seconds EventLog::phase_time(power::PhaseTag tag) const {

@@ -6,10 +6,19 @@
 // per-phase time breakdowns, rank utilization, and a timeline CSV for
 // external visualization.
 //
+// The log is one ChargeSink among several on the cluster's charge path
+// (src/obs's recorder is another); VirtualCluster::enable_event_log()
+// registers a cluster-owned instance for convenience.
+//
 // Recording every interval costs memory proportional to the run
 // (≈48 bytes per charge; a 1000-iteration CG on 192 ranks logs ~1M
 // events), so it is disabled unless explicitly enabled on the cluster.
+// A bounded log (capacity > 0) keeps the newest events in a ring,
+// evicting oldest-first and counting what it dropped, so long
+// weak-scaling runs can keep tracing on with fixed memory.
 
+#include <cstdint>
+#include <deque>
 #include <iosfwd>
 #include <vector>
 
@@ -17,6 +26,7 @@
 #include "core/units.hpp"
 #include "power/power_model.hpp"
 #include "power/rapl.hpp"
+#include "simrt/charge_sink.hpp"
 
 namespace rsls::simrt {
 
@@ -28,14 +38,30 @@ struct PhaseEvent {
   power::PhaseTag tag = power::PhaseTag::kSolve;
 };
 
-class EventLog {
+class EventLog : public ChargeSink {
  public:
+  /// capacity 0 = unbounded; otherwise a ring keeping the newest events.
+  EventLog() = default;
+  explicit EventLog(std::size_t capacity) : capacity_(capacity) { trim(); }
+
   void record(const PhaseEvent& event);
 
-  const std::vector<PhaseEvent>& events() const { return events_; }
+  /// ChargeSink: record the charged interval.
+  void on_charge(const ChargeRecord& record) override;
+
+  /// Retained events, oldest first.
+  std::vector<PhaseEvent> events() const;
   std::size_t size() const { return events_.size(); }
 
-  /// Total time charged to a phase, summed across ranks.
+  /// Ring capacity (0 = unbounded).
+  std::size_t capacity() const { return capacity_; }
+  void set_capacity(std::size_t capacity);
+
+  /// Events evicted oldest-first because the ring was full.
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Total time charged to a phase, summed across ranks (retained events
+  /// only).
   Seconds phase_time(power::PhaseTag tag) const;
 
   /// Time rank spent in compute (kActive) states.
@@ -48,9 +74,11 @@ class EventLog {
   void write_csv(std::ostream& os) const;
 
  private:
-  std::vector<PhaseEvent> events_;
-};
+  void trim();
 
-const char* to_string(power::Activity activity);
+  std::deque<PhaseEvent> events_;
+  std::size_t capacity_ = 0;
+  std::uint64_t dropped_ = 0;
+};
 
 }  // namespace rsls::simrt

@@ -58,5 +58,33 @@ TEST(LogTest, StreamingComposesTypes) {
   set_log_level(original);
 }
 
+TEST(LogTest, LevelFromStringAcceptsNamesAndDigits) {
+  EXPECT_EQ(log_level_from_string("debug"), LogLevel::kDebug);
+  EXPECT_EQ(log_level_from_string("info"), LogLevel::kInfo);
+  EXPECT_EQ(log_level_from_string("warn"), LogLevel::kWarn);
+  EXPECT_EQ(log_level_from_string("warning"), LogLevel::kWarn);
+  EXPECT_EQ(log_level_from_string("error"), LogLevel::kError);
+  EXPECT_EQ(log_level_from_string("ERROR"), LogLevel::kError);
+  EXPECT_EQ(log_level_from_string("Info"), LogLevel::kInfo);
+  EXPECT_EQ(log_level_from_string("0"), LogLevel::kDebug);
+  EXPECT_EQ(log_level_from_string("3"), LogLevel::kError);
+}
+
+TEST(LogTest, LevelFromStringRejectsGarbage) {
+  EXPECT_EQ(log_level_from_string(""), std::nullopt);
+  EXPECT_EQ(log_level_from_string("verbose"), std::nullopt);
+  EXPECT_EQ(log_level_from_string("4"), std::nullopt);
+  EXPECT_EQ(log_level_from_string("-1"), std::nullopt);
+  EXPECT_EQ(log_level_from_string("2x"), std::nullopt);
+}
+
+TEST(LogTest, ExplicitLevelOverridesEnvironment) {
+  // set_log_level wins over whatever RSLS_LOG_LEVEL said at first use.
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(original);
+}
+
 }  // namespace
 }  // namespace rsls

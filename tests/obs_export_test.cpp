@@ -1,0 +1,396 @@
+// Exporter tests: JSON writer/parser round trips, and golden-file checks
+// on the Chrome trace + RunReport artifacts an observed harness run
+// emits — well-formedness, required keys, span nesting invariants, and
+// the energy-account sum matching the report total.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/error.hpp"
+#include "harness/experiment.hpp"
+#include "obs/json.hpp"
+#include "sparse/generators.hpp"
+
+namespace rsls {
+namespace {
+
+using obs::JsonValue;
+using obs::JsonWriter;
+using obs::parse_json;
+
+// --- JSON round trips ------------------------------------------------------
+
+TEST(JsonTest, WriterParserRoundTrip) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_object();
+  json.field("name", "a \"quoted\" \\ string\nwith control\tchars");
+  json.field("int", std::int64_t{-42});
+  json.field("flag", true);
+  json.begin_array("values");
+  json.element(0.1);
+  json.element(1e-9);
+  json.element(-1.5e300);
+  json.end_array();
+  json.begin_object("nested");
+  json.field("pi", 3.141592653589793);
+  json.end_object();
+  json.end_object();
+
+  const JsonValue doc = parse_json(os.str());
+  EXPECT_EQ(doc.at("name").as_string(),
+            "a \"quoted\" \\ string\nwith control\tchars");
+  EXPECT_DOUBLE_EQ(doc.at("int").as_number(), -42.0);
+  EXPECT_TRUE(doc.at("flag").as_bool());
+  const auto& values = doc.at("values").as_array();
+  ASSERT_EQ(values.size(), 3u);
+  // Round-trip exactness is the property the energy invariant rests on.
+  EXPECT_EQ(values[0].as_number(), 0.1);
+  EXPECT_EQ(values[1].as_number(), 1e-9);
+  EXPECT_EQ(values[2].as_number(), -1.5e300);
+  EXPECT_EQ(doc.at("nested").at("pi").as_number(), 3.141592653589793);
+}
+
+TEST(JsonTest, NonFiniteNumbersBecomeNull) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_object();
+  json.field("inf", std::numeric_limits<double>::infinity());
+  json.field("nan", std::numeric_limits<double>::quiet_NaN());
+  json.end_object();
+  const JsonValue doc = parse_json(os.str());
+  EXPECT_TRUE(doc.at("inf").is_null());
+  EXPECT_TRUE(doc.at("nan").is_null());
+}
+
+TEST(JsonTest, ParserRejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), Error);
+  EXPECT_THROW(parse_json("{"), Error);
+  EXPECT_THROW(parse_json("{\"a\":}"), Error);
+  EXPECT_THROW(parse_json("[1,2,]"), Error);
+  EXPECT_THROW(parse_json("\"unterminated"), Error);
+  EXPECT_THROW(parse_json("{} trailing"), Error);
+  EXPECT_THROW(parse_json("truthy"), Error);
+}
+
+TEST(JsonTest, ParserAccessorsEnforceKinds) {
+  const JsonValue doc = parse_json("{\"a\":[1,2],\"s\":\"x\"}");
+  EXPECT_THROW(doc.at("a").as_string(), Error);
+  EXPECT_THROW(doc.at("s").as_number(), Error);
+  EXPECT_THROW(doc.at("missing"), Error);
+  EXPECT_TRUE(doc.contains("a"));
+  EXPECT_FALSE(doc.contains("b"));
+}
+
+// --- artifact fixture ------------------------------------------------------
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good()) << "missing artifact " << path;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+/// One small observed LI run; emits both artifacts into gtest's temp dir
+/// once and shares the parsed documents across tests.
+class ObservedRunTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // ctest runs each test in its own process, possibly in parallel, and
+    // every process re-runs this fixture: the artifact paths must be
+    // process-unique or concurrent runs corrupt each other's files.
+    const std::string pid = std::to_string(::getpid());
+    trace_path_ =
+        new std::string(::testing::TempDir() + "obs_trace_" + pid + ".json");
+    report_path_ =
+        new std::string(::testing::TempDir() + "obs_report_" + pid + ".jsonl");
+    std::remove(trace_path_->c_str());
+    std::remove(report_path_->c_str());
+
+    sparse::BandedSpdConfig matrix_config;
+    matrix_config.n = 192;
+    matrix_config.half_bandwidth = 5;
+    matrix_config.diag_excess = 1e-2;
+    matrix_config.seed = 7;
+    harness::ExperimentConfig config;
+    config.processes = 4;
+    config.faults = 2;
+    config.tolerance = 1e-8;
+    const harness::Workload workload = harness::Workload::create(
+        sparse::banded_spd(matrix_config), config.processes, "banded-192");
+    const harness::FfBaseline ff = harness::run_fault_free(workload, config);
+
+    config.observability.enabled = true;
+    config.observability.source = "obs_export_test";
+    config.observability.trace_path = *trace_path_;
+    config.observability.report_path = *report_path_;
+    run_ = new harness::SchemeRun(
+        harness::run_scheme(workload, "LI", config, ff));
+
+    trace_ = new JsonValue(parse_json(read_file(*trace_path_)));
+    report_ = new JsonValue(parse_json(read_file(*report_path_)));
+  }
+
+  static void TearDownTestSuite() {
+    std::remove(trace_path_->c_str());
+    std::remove(report_path_->c_str());
+    delete trace_;
+    delete report_;
+    delete run_;
+    delete trace_path_;
+    delete report_path_;
+    trace_ = report_ = nullptr;
+    run_ = nullptr;
+    trace_path_ = report_path_ = nullptr;
+  }
+
+  static std::string* trace_path_;
+  static std::string* report_path_;
+  static harness::SchemeRun* run_;
+  static JsonValue* trace_;
+  static JsonValue* report_;
+};
+
+std::string* ObservedRunTest::trace_path_ = nullptr;
+std::string* ObservedRunTest::report_path_ = nullptr;
+harness::SchemeRun* ObservedRunTest::run_ = nullptr;
+JsonValue* ObservedRunTest::trace_ = nullptr;
+JsonValue* ObservedRunTest::report_ = nullptr;
+
+// --- Chrome trace ----------------------------------------------------------
+
+TEST_F(ObservedRunTest, TraceHasRequiredTopLevelShape) {
+  EXPECT_EQ(trace_->at("displayTimeUnit").as_string(), "ms");
+  const auto& other = trace_->at("otherData");
+  EXPECT_EQ(other.at("producer").as_string(), "rsls");
+  EXPECT_EQ(other.at("scheme").as_string(), "LI");
+  EXPECT_DOUBLE_EQ(other.at("ranks").as_number(), 4.0);
+  EXPECT_GT(trace_->at("traceEvents").as_array().size(), 0u);
+}
+
+TEST_F(ObservedRunTest, TraceEventsCarryRequiredKeys) {
+  for (const JsonValue& event : trace_->at("traceEvents").as_array()) {
+    const std::string ph = event.at("ph").as_string();
+    EXPECT_TRUE(event.contains("name"));
+    EXPECT_TRUE(event.contains("pid"));
+    if (ph != "M") {
+      // Timeline events need a track; process-level metadata does not.
+      EXPECT_TRUE(event.contains("tid"));
+    }
+    if (ph == "X") {
+      EXPECT_TRUE(event.contains("ts"));
+      EXPECT_TRUE(event.contains("dur"));
+      EXPECT_GE(event.at("dur").as_number(), 0.0);
+    } else {
+      EXPECT_TRUE(ph == "M" || ph == "i" || ph == "C") << "ph=" << ph;
+    }
+  }
+}
+
+TEST_F(ObservedRunTest, TraceNamesAllTracks) {
+  // One process_name + thread names for the run track and each rank.
+  std::vector<std::string> thread_names;
+  bool process_named = false;
+  for (const JsonValue& event : trace_->at("traceEvents").as_array()) {
+    if (event.at("ph").as_string() != "M") {
+      continue;
+    }
+    if (event.at("name").as_string() == "process_name") {
+      process_named = true;
+    } else if (event.at("name").as_string() == "thread_name") {
+      thread_names.push_back(event.at("args").at("name").as_string());
+    }
+  }
+  EXPECT_TRUE(process_named);
+  ASSERT_EQ(thread_names.size(), 5u);  // "run" + 4 ranks
+  EXPECT_EQ(thread_names.front(), "run");
+}
+
+TEST_F(ObservedRunTest, TraceShowsSolveAndPerRankRecoverySpans) {
+  bool solve_on_run_track = false;
+  Index recover_spans = 0;
+  for (const JsonValue& event : trace_->at("traceEvents").as_array()) {
+    if (event.at("ph").as_string() != "X") {
+      continue;
+    }
+    const std::string& name = event.at("name").as_string();
+    if (name == "solve" && event.at("tid").as_number() == 0.0) {
+      solve_on_run_track = true;
+    }
+    if (name == "recover") {
+      // Recovery spans live on the failed rank's track, below the run
+      // track, and record how the recovery was triggered.
+      EXPECT_GE(event.at("tid").as_number(), 1.0);
+      EXPECT_EQ(event.at("args").at("detail").as_string(), "announced");
+      EXPECT_EQ(event.at("args").at("scheme").as_string(), "LI");
+      ++recover_spans;
+    }
+  }
+  EXPECT_TRUE(solve_on_run_track);
+  EXPECT_EQ(recover_spans, run_->report.recoveries);
+}
+
+TEST_F(ObservedRunTest, TraceSpansNestProperlyPerTrack) {
+  // Spans (non-charge X events) on one track must be properly nested:
+  // any two either disjoint or one containing the other. This is what
+  // makes the Perfetto flame graph render without overlap artifacts.
+  struct Interval {
+    double begin;
+    double end;
+  };
+  std::map<double, std::vector<Interval>> by_tid;
+  for (const JsonValue& event : trace_->at("traceEvents").as_array()) {
+    if (event.at("ph").as_string() != "X" ||
+        event.at("cat").as_string() == "charge") {
+      continue;
+    }
+    const double ts = event.at("ts").as_number();
+    by_tid[event.at("tid").as_number()].push_back(
+        Interval{ts, ts + event.at("dur").as_number()});
+  }
+  EXPECT_FALSE(by_tid.empty());
+  const double eps = 1e-6;  // trace microseconds
+  for (const auto& [tid, intervals] : by_tid) {
+    for (std::size_t i = 0; i < intervals.size(); ++i) {
+      for (std::size_t j = i + 1; j < intervals.size(); ++j) {
+        const Interval& a = intervals[i];
+        const Interval& b = intervals[j];
+        const bool disjoint =
+            a.end <= b.begin + eps || b.end <= a.begin + eps;
+        const bool a_in_b =
+            a.begin >= b.begin - eps && a.end <= b.end + eps;
+        const bool b_in_a =
+            b.begin >= a.begin - eps && b.end <= a.end + eps;
+        EXPECT_TRUE(disjoint || a_in_b || b_in_a)
+            << "overlapping spans on tid " << tid << ": [" << a.begin << ","
+            << a.end << ") vs [" << b.begin << "," << b.end << ")";
+      }
+    }
+  }
+}
+
+TEST_F(ObservedRunTest, TraceIncludesChargesAndPowerCounters) {
+  Index charges = 0;
+  Index counters = 0;
+  for (const JsonValue& event : trace_->at("traceEvents").as_array()) {
+    const std::string ph = event.at("ph").as_string();
+    if (ph == "X" && event.at("cat").as_string() == "charge") {
+      ++charges;
+    } else if (ph == "C") {
+      ++counters;
+      EXPECT_TRUE(event.at("args").contains("watts"));
+    }
+  }
+  EXPECT_GT(charges, 0);
+  EXPECT_GT(counters, 0);
+}
+
+// --- RunReport -------------------------------------------------------------
+
+TEST_F(ObservedRunTest, ReportIsOneJsonlLineWithRequiredKeys) {
+  const std::string text = read_file(*report_path_);
+  // Exactly one line, ending in a newline.
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
+
+  EXPECT_DOUBLE_EQ(report_->at("schema_version").as_number(), 1.0);
+  EXPECT_EQ(report_->at("source").as_string(), "obs_export_test");
+  EXPECT_EQ(report_->at("matrix").as_string(), "banded-192");
+  EXPECT_EQ(report_->at("scheme").as_string(), "LI");
+  EXPECT_EQ(report_->at("config").at("processes").as_string(), "4");
+  EXPECT_TRUE(report_->at("results").contains("iterations"));
+  EXPECT_TRUE(report_->at("metrics").at("counters").contains("faults"));
+}
+
+TEST_F(ObservedRunTest, ReportResultsMatchTheRun) {
+  const auto& results = report_->at("results");
+  EXPECT_DOUBLE_EQ(results.at("faults").as_number(),
+                   static_cast<double>(run_->report.faults));
+  EXPECT_DOUBLE_EQ(results.at("recoveries").as_number(),
+                   static_cast<double>(run_->report.recoveries));
+  EXPECT_DOUBLE_EQ(results.at("converged").as_number(), 1.0);
+  EXPECT_EQ(results.at("time_s").as_number(), run_->report.time);
+  EXPECT_EQ(results.at("energy_j").as_number(), run_->report.energy);
+  const auto& counters = report_->at("metrics").at("counters");
+  EXPECT_DOUBLE_EQ(counters.at("faults").as_number(),
+                   static_cast<double>(run_->report.faults));
+  EXPECT_TRUE(counters.contains("recoveries_dispatched"));
+}
+
+TEST_F(ObservedRunTest, ReportEnergyPhasesSumToTotal) {
+  const auto& energy = report_->at("energy");
+  double sum = energy.at("node_constant").as_number() +
+               energy.at("core_sleep").as_number();
+  const auto& phases = energy.at("phases").as_object();
+  EXPECT_EQ(phases.size(), 8u);  // every PhaseTag, zero or not
+  for (const auto& [tag, joules] : phases) {
+    sum += joules.as_number();
+  }
+  const double total = energy.at("total").as_number();
+  ASSERT_GT(total, 0.0);
+  EXPECT_NEAR(sum / total, 1.0, 1e-9);
+  EXPECT_EQ(total, run_->report.energy);
+}
+
+TEST_F(ObservedRunTest, ReportRecordsRecoveryHistogram) {
+  bool found = false;
+  for (const JsonValue& histogram :
+       report_->at("metrics").at("histograms").as_array()) {
+    if (histogram.at("name").as_string() != "recovery_seconds") {
+      continue;
+    }
+    found = true;
+    EXPECT_DOUBLE_EQ(histogram.at("count").as_number(),
+                     static_cast<double>(run_->report.recoveries));
+    EXPECT_GT(histogram.at("sum").as_number(), 0.0);
+    EXPECT_EQ(histogram.at("bounds").as_array().size() + 1,
+              histogram.at("bucket_counts").as_array().size());
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- environment overlay ---------------------------------------------------
+
+TEST(ObservabilityEnvTest, EnvironmentSwitchesArtifactsOn) {
+  const std::string report_path = ::testing::TempDir() + "obs_env_report_" +
+                                  std::to_string(::getpid()) + ".jsonl";
+  std::remove(report_path.c_str());
+  ASSERT_EQ(setenv("RSLS_RUN_REPORT", report_path.c_str(), 1), 0);
+
+  sparse::BandedSpdConfig matrix_config;
+  matrix_config.n = 96;
+  matrix_config.half_bandwidth = 4;
+  matrix_config.diag_excess = 1e-2;
+  matrix_config.seed = 3;
+  harness::ExperimentConfig config;
+  config.processes = 2;
+  config.faults = 1;
+  config.tolerance = 1e-8;
+  const harness::Workload workload = harness::Workload::create(
+      sparse::banded_spd(matrix_config), config.processes, "banded-96");
+  const harness::FfBaseline ff = harness::run_fault_free(workload, config);
+  harness::run_scheme(workload, "F0", config, ff);
+  ASSERT_EQ(unsetenv("RSLS_RUN_REPORT"), 0);
+
+  const JsonValue report = parse_json(read_file(report_path));
+  EXPECT_EQ(report.at("scheme").as_string(), "F0");
+  EXPECT_EQ(report.at("matrix").as_string(), "banded-96");
+  EXPECT_EQ(report.at("source").as_string(), "harness");
+}
+
+}  // namespace
+}  // namespace rsls

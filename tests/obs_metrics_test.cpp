@@ -1,0 +1,89 @@
+// Unit tests: the observability metrics registry (counters, gauges,
+// fixed-bucket histograms) and its snapshots.
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace rsls::obs {
+namespace {
+
+TEST(MetricsTest, CounterAccumulates) {
+  MetricsRegistry registry;
+  registry.counter("faults").add();
+  registry.counter("faults").add(2.0);
+  EXPECT_DOUBLE_EQ(registry.counter("faults").value(), 3.0);
+  // A different name is a different counter.
+  EXPECT_DOUBLE_EQ(registry.counter("recoveries").value(), 0.0);
+}
+
+TEST(MetricsTest, GaugeKeepsLastValue) {
+  MetricsRegistry registry;
+  registry.gauge("residual").set(1e-3);
+  registry.gauge("residual").set(1e-9);
+  EXPECT_DOUBLE_EQ(registry.gauge("residual").value(), 1e-9);
+}
+
+TEST(MetricsTest, HistogramBucketsAndOverflow) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  histogram.observe(0.5);    // bucket 0: <= 1
+  histogram.observe(1.0);    // bucket 0 (bounds are inclusive upper edges)
+  histogram.observe(5.0);    // bucket 1
+  histogram.observe(1000.0); // overflow bucket
+  ASSERT_EQ(histogram.bucket_counts().size(), 4u);
+  EXPECT_EQ(histogram.bucket_counts()[0], 2u);
+  EXPECT_EQ(histogram.bucket_counts()[1], 1u);
+  EXPECT_EQ(histogram.bucket_counts()[2], 0u);
+  EXPECT_EQ(histogram.bucket_counts()[3], 1u);
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 1006.5);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.5);
+  EXPECT_DOUBLE_EQ(histogram.max(), 1000.0);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 1006.5 / 4.0);
+}
+
+TEST(MetricsTest, HistogramRejectsUnsortedBounds) {
+  EXPECT_THROW(Histogram({10.0, 1.0}), Error);
+  EXPECT_THROW(Histogram({1.0, 1.0}), Error);
+  EXPECT_THROW(Histogram({}), Error);
+}
+
+TEST(MetricsTest, RegistryHistogramFindOrCreate) {
+  MetricsRegistry registry;
+  registry.histogram("recovery_seconds", {0.1, 1.0}).observe(0.05);
+  // Second lookup returns the same histogram; bounds of an existing
+  // histogram are kept.
+  registry.histogram("recovery_seconds", {0.1, 1.0}).observe(0.5);
+  const MetricsSnapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].name, "recovery_seconds");
+  EXPECT_EQ(snapshot.histograms[0].count, 2u);
+}
+
+TEST(MetricsTest, SnapshotIsSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.counter("z_last").add();
+  registry.counter("a_first").add(5.0);
+  registry.gauge("g").set(2.5);
+  registry.histogram("h", {1.0}).observe(3.0);
+  const MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_FALSE(snapshot.empty());
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  // std::map iteration order: lexicographic by name.
+  EXPECT_EQ(snapshot.counters[0].first, "a_first");
+  EXPECT_DOUBLE_EQ(snapshot.counters[0].second, 5.0);
+  EXPECT_EQ(snapshot.counters[1].first, "z_last");
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].first, "g");
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_DOUBLE_EQ(snapshot.histograms[0].sum, 3.0);
+}
+
+TEST(MetricsTest, EmptySnapshot) {
+  MetricsRegistry registry;
+  EXPECT_TRUE(registry.snapshot().empty());
+}
+
+}  // namespace
+}  // namespace rsls::obs

@@ -80,6 +80,71 @@ TEST(ClusterEventLogTest, TimesMatchClocks) {
   EXPECT_DOUBLE_EQ(cluster.now(0), 0.75);
 }
 
+TEST(EventLogTest, BoundedLogEvictsOldestAndCountsDrops) {
+  EventLog log(2);
+  EXPECT_EQ(log.capacity(), 2u);
+  log.record({0, 0.0, 1.0, Activity::kActive, PhaseTag::kSolve});
+  log.record({1, 1.0, 2.0, Activity::kActive, PhaseTag::kSolve});
+  EXPECT_EQ(log.dropped(), 0u);
+  log.record({2, 2.0, 3.0, Activity::kActive, PhaseTag::kComm});
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.dropped(), 1u);
+  const auto events = log.events();
+  ASSERT_EQ(events.size(), 2u);
+  // Oldest-first eviction: the rank-0 event is gone, newest retained.
+  EXPECT_EQ(events[0].rank, 1);
+  EXPECT_EQ(events[1].rank, 2);
+  // Aggregates cover retained events only.
+  EXPECT_DOUBLE_EQ(log.phase_time(PhaseTag::kSolve), 1.0);
+}
+
+TEST(EventLogTest, ShrinkingCapacityTrimsExisting) {
+  EventLog log;
+  for (Index i = 0; i < 5; ++i) {
+    log.record({i, 0.0, 1.0, Activity::kActive, PhaseTag::kSolve});
+  }
+  log.set_capacity(2);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.dropped(), 3u);
+  EXPECT_EQ(log.events().front().rank, 3);
+}
+
+TEST(ClusterEventLogTest, BoundedClusterLogKeepsNewestCharges) {
+  VirtualCluster cluster(paper_node(), 4);
+  cluster.enable_event_log(3);
+  cluster.charge_duration(2, 1.0, Activity::kActive, PhaseTag::kSolve);
+  cluster.sync(PhaseTag::kComm);  // 3 more waiting intervals
+  const auto& log = cluster.event_log();
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.dropped(), 1u);
+  for (const auto& event : log.events()) {
+    EXPECT_EQ(event.tag, PhaseTag::kComm);
+  }
+}
+
+TEST(ClusterEventLogTest, ExternalSinkSeesChargesAndUnregisters) {
+  struct CountingSink final : ChargeSink {
+    int charges = 0;
+    int dvfs = 0;
+    void on_charge(const ChargeRecord&) override { ++charges; }
+    void on_dvfs_transition(Index, Seconds, Hertz, Hertz) override {
+      ++dvfs;
+    }
+  };
+  VirtualCluster cluster(paper_node(), 2);
+  CountingSink sink;
+  cluster.add_charge_sink(&sink);
+  cluster.charge_duration(0, 0.1, Activity::kActive, PhaseTag::kSolve);
+  EXPECT_EQ(sink.charges, 1);
+  // The transition stall is itself a charged interval, then the mark.
+  cluster.set_frequency(0, cluster.config().power.freq.min_hz);
+  EXPECT_EQ(sink.dvfs, 1);
+  EXPECT_EQ(sink.charges, 2);
+  cluster.remove_charge_sink(&sink);
+  cluster.charge_duration(0, 0.1, Activity::kActive, PhaseTag::kSolve);
+  EXPECT_EQ(sink.charges, 2);
+}
+
 TEST(ClusterEventLogTest, EventTimeSumMatchesMakespanPerRank) {
   // Property: per rank, the union of charged events is contiguous (the
   // clock never jumps without a charge), so their total duration equals
