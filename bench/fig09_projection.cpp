@@ -1,12 +1,16 @@
 // Figure 9 — projected normalized resilience overhead under weak scaling
 // (50 K nnz per process) with a decreasing system MTBF (constant
-// per-processor MTBF of 6 K hours), for RD, CR-D, CR-M and the best FW.
+// per-processor MTBF of 6 K hours), for RD, CR-D, CR-M, the best FW and
+// the ABFT/ESR family.
 //
 // Expected shape: RD flat at the fault-free levels (2× power); FW's
 // T_res/E_res grow roughly linearly (t_const grows, t_lost per fault
 // fixed); CR-D grows fastest (t_C linear in N and checkpointing more
 // frequent) and eventually dominates; CR-M stays smallest; average power
-// of FW and CR-D drops as recovery time dominates.
+// of FW and CR-D drops as recovery time dominates. ESR sits between RD
+// and FW: no extra iterations and no replica power, only the (log-depth)
+// encode bandwidth and the small decode term, so its overhead grows
+// slowly and stays below FW throughout.
 
 #include <iostream>
 
@@ -25,8 +29,9 @@ int main() {
                "50K nnz/process, per-processor MTBF 6K hours\n\n";
   TablePrinter table({"procs", "MTBF (h)", "T_base (s)",
                       "RD T_res", "CR-D T_res", "CR-M T_res", "FW T_res",
-                      "RD E_res", "CR-D E_res", "CR-M E_res", "FW E_res",
-                      "CR-D P", "CR-M P", "FW P"});
+                      "ESR T_res", "RD E_res", "CR-D E_res", "CR-M E_res",
+                      "FW E_res", "ESR E_res", "CR-D P", "CR-M P", "FW P",
+                      "ESR P"});
   for (const auto& p : points) {
     table.add_row({std::to_string(p.processes),
                    TablePrinter::num(p.system_mtbf / 3600.0, 2),
@@ -35,13 +40,16 @@ int main() {
                    TablePrinter::num(p.cr_disk.t_res_ratio),
                    TablePrinter::num(p.cr_memory.t_res_ratio),
                    TablePrinter::num(p.fw.t_res_ratio),
+                   TablePrinter::num(p.esr.t_res_ratio),
                    TablePrinter::num(p.rd.e_res_ratio),
                    TablePrinter::num(p.cr_disk.e_res_ratio),
                    TablePrinter::num(p.cr_memory.e_res_ratio),
                    TablePrinter::num(p.fw.e_res_ratio),
+                   TablePrinter::num(p.esr.e_res_ratio),
                    TablePrinter::num(p.cr_disk.power_ratio),
                    TablePrinter::num(p.cr_memory.power_ratio),
-                   TablePrinter::num(p.fw.power_ratio)});
+                   TablePrinter::num(p.fw.power_ratio),
+                   TablePrinter::num(p.esr.power_ratio)});
   }
   table.print(std::cout);
 
@@ -61,6 +69,7 @@ int main() {
     emit("CR-D", p.cr_disk);
     emit("CR-M", p.cr_memory);
     emit("FW", p.fw);
+    emit("ESR", p.esr);
   }
 
   // Shape checks (DESIGN.md §4).
@@ -78,14 +87,22 @@ int main() {
   const bool power_drops =
       last.cr_disk.power_ratio < first.cr_disk.power_ratio &&
       last.fw.power_ratio < first.fw.power_ratio;
+  const bool esr_grows_slowly =
+      last.esr.t_res_ratio > first.esr.t_res_ratio &&
+      last.esr.t_res_ratio < last.fw.t_res_ratio;
+  const bool esr_beats_rd_energy = last.esr.e_res_ratio < last.rd.e_res_ratio;
   std::cout << "\nshape-check: RD flat " << (rd_flat ? "PASS" : "FAIL")
             << "; FW grows " << (fw_grows ? "PASS" : "FAIL")
             << "; CR-D fastest growth " << (crd_grows_fastest ? "PASS" : "FAIL")
             << "; CR-M best at 1M " << (crm_smallest_at_scale ? "PASS" : "FAIL")
             << "; CR-D overhead dominates FF " << (crd_dominates ? "PASS" : "FAIL")
             << "; FW/CR-D power drops " << (power_drops ? "PASS" : "FAIL")
+            << "; ESR grows slowly, below FW "
+            << (esr_grows_slowly ? "PASS" : "FAIL")
+            << "; ESR beats RD energy " << (esr_beats_rd_energy ? "PASS" : "FAIL")
             << "\n";
-  return rd_flat && fw_grows && crd_grows_fastest && crm_smallest_at_scale
+  return rd_flat && fw_grows && crd_grows_fastest && crm_smallest_at_scale &&
+                 esr_grows_slowly && esr_beats_rd_energy
              ? 0
              : 1;
 }

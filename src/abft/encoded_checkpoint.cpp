@@ -1,0 +1,122 @@
+#include "abft/encoded_checkpoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/error.hpp"
+#include "obs/recorder.hpp"
+
+namespace rsls::abft {
+
+using power::PhaseTag;
+using resilience::RecoveryContext;
+using solver::HookAction;
+
+EncodedCheckpoint::EncodedCheckpoint(EncodedCheckpointOptions options,
+                                     RealVec initial_guess)
+    : options_(options), initial_guess_(std::move(initial_guess)) {
+  RSLS_CHECK(options_.interval_iterations >= 1);
+  RSLS_CHECK_MSG(options_.parity_blocks >= 1,
+                 "ABFT-CR needs at least one parity block");
+}
+
+void EncodedCheckpoint::on_iteration(RecoveryContext& ctx, Index iteration,
+                                     std::span<const Real> x) {
+  if (iteration % options_.interval_iterations != 0) {
+    return;
+  }
+  if (!encoding_.has_value()) {
+    encoding_.emplace(ctx.a.partition(), options_.parity_blocks);
+  }
+  obs::ScopedSpan span(ctx.recorder, "checkpoint", PhaseTag::kCheckpoint,
+                       obs::kClusterTrack, name());
+  obs::count(ctx.recorder, "checkpoints_taken");
+  // Each node copies its share of the snapshot to local memory…
+  ctx.cluster.write_memory(ctx.a.vector_bytes(), PhaseTag::kCheckpoint);
+  snapshot_.assign(x.begin(), x.end());
+  snapshot_iteration_ = iteration;
+  have_snapshot_ = true;
+  // …and the parity blocks of the snapshot are built so the shares of
+  // up to m dead nodes can be reconstructed later.
+  snapshot_parity_ = encoding_->encode(snapshot_);
+  encoding_->charge_encode(ctx.cluster, /*vectors=*/1, PhaseTag::kEncode);
+  obs::count(ctx.recorder, "abft_encodes");
+  ++checkpoints_taken_;
+}
+
+void EncodedCheckpoint::restore_snapshot(RecoveryContext& ctx,
+                                         Index iteration,
+                                         const IndexVec& lost,
+                                         std::span<Real> x) {
+  obs::ScopedSpan span(ctx.recorder, "rollback", PhaseTag::kRollback,
+                       obs::kClusterTrack, name());
+  ctx.cluster.read_memory(ctx.a.vector_bytes(), PhaseTag::kRollback);
+  if (!have_snapshot_) {
+    // Fault before the first snapshot: restart from the initial guess.
+    RSLS_CHECK(initial_guess_.size() == x.size());
+    std::copy(initial_guess_.begin(), initial_guess_.end(), x.begin());
+    iterations_rolled_back_ += iteration;
+    return;
+  }
+  RSLS_CHECK(snapshot_.size() == x.size());
+  if (!lost.empty()) {
+    // The dead ranks' snapshot shares died with their nodes: poison
+    // them, then reconstruct from the surviving shares and the parity.
+    const auto& part = ctx.a.partition();
+    for (const Index rank : lost) {
+      const Index begin = part.begin(rank);
+      const Index end = part.end(rank);
+      for (Index i = begin; i < end; ++i) {
+        snapshot_[static_cast<std::size_t>(i)] =
+            std::numeric_limits<Real>::quiet_NaN();
+      }
+    }
+    encoding_->decode(snapshot_, lost, snapshot_parity_);
+    encoding_->charge_decode(ctx.cluster, lost, /*vectors=*/1,
+                             PhaseTag::kRollback);
+    shares_decoded_ += static_cast<Index>(lost.size());
+    obs::count(ctx.recorder, "abft_decodes");
+  }
+  std::copy(snapshot_.begin(), snapshot_.end(), x.begin());
+  iterations_rolled_back_ += iteration - snapshot_iteration_;
+}
+
+HookAction EncodedCheckpoint::recover(RecoveryContext& ctx, Index iteration,
+                                      Index failed_rank, std::span<Real> x) {
+  return recover_multi(ctx, iteration, IndexVec{failed_rank}, x);
+}
+
+HookAction EncodedCheckpoint::recover_multi(RecoveryContext& ctx,
+                                            Index iteration,
+                                            const IndexVec& failed_ranks,
+                                            std::span<Real> x) {
+  count_recovery();
+  if (encoding_.has_value() && !encoding_->can_decode(failed_ranks.size())) {
+    // More concurrent losses than parity blocks: the snapshot is
+    // genuinely unrecoverable. Restart from the initial guess.
+    ++snapshot_losses_;
+    obs::count(ctx.recorder, "abft_snapshot_losses");
+    obs::ScopedSpan span(ctx.recorder, "rollback", PhaseTag::kRollback,
+                         obs::kClusterTrack, name());
+    ctx.cluster.read_memory(ctx.a.vector_bytes(), PhaseTag::kRollback);
+    RSLS_CHECK(initial_guess_.size() == x.size());
+    std::copy(initial_guess_.begin(), initial_guess_.end(), x.begin());
+    iterations_rolled_back_ += iteration;
+    have_snapshot_ = false;
+    return HookAction::kRestart;
+  }
+  restore_snapshot(ctx, iteration, failed_ranks, x);
+  return HookAction::kRestart;
+}
+
+bool EncodedCheckpoint::rollback(RecoveryContext& ctx, Index iteration,
+                                 std::span<Real> x) {
+  count_recovery();
+  // Escalation from the detection ladder: no rank died, so every
+  // snapshot share is intact and no decode is needed.
+  restore_snapshot(ctx, iteration, IndexVec{}, x);
+  return true;
+}
+
+}  // namespace rsls::abft

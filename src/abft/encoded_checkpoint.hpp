@@ -1,0 +1,85 @@
+#pragma once
+// ABFT-CR — encoded in-memory checkpointing.
+//
+// CR-M's node-local checkpoint dies with the node that holds it: a
+// multi-rank loss takes both the live state *and* the failed ranks'
+// snapshot shares, forcing a fall-through to older/remote state. ABFT-CR
+// closes that hole with erasure coding instead of remote copies: every
+// `interval_iterations` the iterate is snapshotted to node-local memory
+// and m Vandermonde parity blocks of the snapshot are built (charged
+// under PhaseTag::kEncode). When up to m ranks die at once, the dead
+// ranks' snapshot shares are reconstructed from the surviving shares and
+// the parity, and the solve rolls back to the decoded snapshot — the
+// classical CR rollback cost, but with no snapshot ever lost to ≤ m
+// concurrent failures. Beyond m losses the snapshot is genuinely gone
+// and the scheme restarts from the initial guess.
+
+#include <optional>
+
+#include "abft/encoding.hpp"
+#include "resilience/scheme.hpp"
+
+namespace rsls::abft {
+
+struct EncodedCheckpointOptions {
+  /// Snapshot cadence in iterations.
+  Index interval_iterations = 100;
+  /// Parity blocks m protecting each snapshot.
+  Index parity_blocks = 2;
+};
+
+class EncodedCheckpoint final : public resilience::RecoveryScheme {
+ public:
+  EncodedCheckpoint(EncodedCheckpointOptions options, RealVec initial_guess);
+
+  std::string name() const override { return "ABFT-CR"; }
+
+  void on_iteration(resilience::RecoveryContext& ctx, Index iteration,
+                    std::span<const Real> x) override;
+
+  solver::HookAction recover(resilience::RecoveryContext& ctx,
+                             Index iteration, Index failed_rank,
+                             std::span<Real> x) override;
+
+  /// One decode + one global rollback regardless of how many ranks
+  /// (≤ m) died at once.
+  solver::HookAction recover_multi(resilience::RecoveryContext& ctx,
+                                   Index iteration,
+                                   const IndexVec& failed_ranks,
+                                   std::span<Real> x) override;
+
+  /// Escalation: the snapshot shares on surviving nodes are intact, so
+  /// restore them (no decode needed when no rank died).
+  bool rollback(resilience::RecoveryContext& ctx, Index iteration,
+                std::span<Real> x) override;
+
+  Index checkpoints_taken() const { return checkpoints_taken_; }
+  Index iterations_rolled_back() const { return iterations_rolled_back_; }
+  /// Snapshot shares reconstructed from parity across all recoveries.
+  Index shares_decoded() const { return shares_decoded_; }
+  /// Loss events beyond the code (f > m): snapshot unrecoverable,
+  /// restarted from the initial guess.
+  Index snapshot_losses() const { return snapshot_losses_; }
+
+  const EncodedCheckpointOptions& options() const { return options_; }
+
+ private:
+  /// Roll x back to the snapshot, reconstructing the `lost` ranks'
+  /// shares from parity first. Charges reads + decode.
+  void restore_snapshot(resilience::RecoveryContext& ctx, Index iteration,
+                        const IndexVec& lost, std::span<Real> x);
+
+  EncodedCheckpointOptions options_;
+  RealVec initial_guess_;
+  std::optional<Encoding> encoding_;
+  RealVec snapshot_;
+  Parity snapshot_parity_;
+  Index snapshot_iteration_ = 0;
+  bool have_snapshot_ = false;
+  Index checkpoints_taken_ = 0;
+  Index iterations_rolled_back_ = 0;
+  Index shares_decoded_ = 0;
+  Index snapshot_losses_ = 0;
+};
+
+}  // namespace rsls::abft

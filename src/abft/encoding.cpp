@@ -1,0 +1,232 @@
+#include "abft/encoding.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace rsls::abft {
+
+using power::PhaseTag;
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Solve the f×f system M·y = rhs for all `width` right-hand sides by
+/// Gaussian elimination with partial pivoting. `rhs` is f rows of
+/// `width` entries; the solution overwrites it. f is tiny (≤ m ≈ 3).
+void solve_vandermonde(std::vector<RealVec>& matrix, std::vector<RealVec>& rhs,
+                       std::size_t f, std::size_t width) {
+  for (std::size_t col = 0; col < f; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < f; ++row) {
+      if (std::abs(matrix[row][col]) > std::abs(matrix[pivot][col])) {
+        pivot = row;
+      }
+    }
+    std::swap(matrix[col], matrix[pivot]);
+    std::swap(rhs[col], rhs[pivot]);
+    RSLS_CHECK_MSG(matrix[col][col] != 0.0,
+                   "singular ABFT decode system (duplicate lost ranks?)");
+    for (std::size_t row = col + 1; row < f; ++row) {
+      const Real factor = matrix[row][col] / matrix[col][col];
+      if (factor == 0.0) {
+        continue;
+      }
+      for (std::size_t c = col; c < f; ++c) {
+        matrix[row][c] -= factor * matrix[col][c];
+      }
+      for (std::size_t t = 0; t < width; ++t) {
+        rhs[row][t] -= factor * rhs[col][t];
+      }
+    }
+  }
+  for (std::size_t col = f; col-- > 0;) {
+    for (std::size_t t = 0; t < width; ++t) {
+      rhs[col][t] /= matrix[col][col];
+    }
+    for (std::size_t row = 0; row < col; ++row) {
+      const Real factor = matrix[row][col];
+      if (factor == 0.0) {
+        continue;
+      }
+      for (std::size_t t = 0; t < width; ++t) {
+        rhs[row][t] -= factor * rhs[col][t];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Encoding::Encoding(const dist::Partition& part, Index parity_blocks)
+    : part_(part), m_(parity_blocks), width_(0) {
+  RSLS_CHECK_MSG(m_ >= 1, "ABFT needs at least one parity block");
+  const Index k = part_.parts();
+  for (Index i = 0; i < k; ++i) {
+    width_ = std::max(width_, part_.block_rows(i));
+  }
+  // Distinct Chebyshev nodes keep the Vandermonde decode systems well
+  // conditioned for any lost-block combination.
+  nodes_.resize(static_cast<std::size_t>(k));
+  for (Index i = 0; i < k; ++i) {
+    nodes_[static_cast<std::size_t>(i)] =
+        std::cos(kPi * (2.0 * static_cast<double>(i) + 1.0) /
+                 (2.0 * static_cast<double>(k)));
+  }
+}
+
+Real Encoding::coefficient(Index j, Index i) const {
+  RSLS_CHECK(j >= 0 && j < m_);
+  RSLS_CHECK(i >= 0 && i < part_.parts());
+  Real c = 1.0;
+  const Real node = nodes_[static_cast<std::size_t>(i)];
+  for (Index power = 0; power < j; ++power) {
+    c *= node;
+  }
+  return c;
+}
+
+Parity Encoding::encode(std::span<const Real> v) const {
+  RSLS_CHECK(static_cast<Index>(v.size()) == part_.size());
+  Parity parity(static_cast<std::size_t>(m_),
+                RealVec(static_cast<std::size_t>(width_), 0.0));
+  for (Index i = 0; i < part_.parts(); ++i) {
+    const Index begin = part_.begin(i);
+    const Index rows = part_.block_rows(i);
+    for (Index j = 0; j < m_; ++j) {
+      const Real c = coefficient(j, i);
+      RealVec& row = parity[static_cast<std::size_t>(j)];
+      for (Index t = 0; t < rows; ++t) {
+        row[static_cast<std::size_t>(t)] +=
+            c * v[static_cast<std::size_t>(begin + t)];
+      }
+    }
+  }
+  return parity;
+}
+
+void Encoding::decode(std::span<Real> v, const IndexVec& lost,
+                      const Parity& parity) const {
+  RSLS_CHECK(static_cast<Index>(v.size()) == part_.size());
+  RSLS_CHECK(static_cast<Index>(parity.size()) == m_);
+  IndexVec failed = lost;
+  std::sort(failed.begin(), failed.end());
+  failed.erase(std::unique(failed.begin(), failed.end()), failed.end());
+  RSLS_CHECK_MSG(can_decode(failed.size()),
+                 "more simultaneous losses than parity blocks");
+  const std::size_t f = failed.size();
+  if (f == 0) {
+    return;
+  }
+  for (const Index rank : failed) {
+    RSLS_CHECK(rank >= 0 && rank < part_.parts());
+  }
+  const std::size_t w = static_cast<std::size_t>(width_);
+  // RHS row j = parity_j − Σ_{surviving i} c_{j,i} · v_i (padded).
+  std::vector<RealVec> rhs;
+  rhs.reserve(f);
+  for (std::size_t j = 0; j < f; ++j) {
+    rhs.push_back(parity[j]);
+  }
+  for (Index i = 0; i < part_.parts(); ++i) {
+    if (std::binary_search(failed.begin(), failed.end(), i)) {
+      continue;
+    }
+    const Index begin = part_.begin(i);
+    const Index rows = part_.block_rows(i);
+    for (std::size_t j = 0; j < f; ++j) {
+      const Real c = coefficient(static_cast<Index>(j), i);
+      for (Index t = 0; t < rows; ++t) {
+        rhs[j][static_cast<std::size_t>(t)] -=
+            c * v[static_cast<std::size_t>(begin + t)];
+      }
+    }
+  }
+  // The f×f Vandermonde system over the lost blocks' nodes.
+  std::vector<RealVec> matrix(f, RealVec(f, 0.0));
+  for (std::size_t j = 0; j < f; ++j) {
+    for (std::size_t a = 0; a < f; ++a) {
+      matrix[j][a] = coefficient(static_cast<Index>(j), failed[a]);
+    }
+  }
+  solve_vandermonde(matrix, rhs, f, w);
+  for (std::size_t a = 0; a < f; ++a) {
+    const Index begin = part_.begin(failed[a]);
+    const Index rows = part_.block_rows(failed[a]);
+    for (Index t = 0; t < rows; ++t) {
+      v[static_cast<std::size_t>(begin + t)] = rhs[a][static_cast<std::size_t>(t)];
+    }
+  }
+}
+
+Bytes Encoding::parity_bytes() const {
+  return static_cast<Bytes>(m_) * static_cast<Bytes>(width_) *
+         static_cast<Bytes>(sizeof(Real));
+}
+
+void Encoding::charge_encode(simrt::VirtualCluster& cluster, Index vectors,
+                             power::PhaseTag tag) const {
+  RSLS_CHECK(vectors >= 1);
+  // Axpy-time update: each rank folds its own block into the m parity
+  // rows of every protected vector.
+  for (Index rank = 0; rank < part_.parts(); ++rank) {
+    const double flops = 2.0 * static_cast<double>(m_) *
+                         static_cast<double>(part_.block_rows(rank)) *
+                         static_cast<double>(vectors);
+    cluster.charge_compute(rank, flops, tag);
+  }
+  // Parity rows are the sum of per-rank contributions, but only ONE of
+  // the protected vectors needs a fresh reduction per refresh: the CG
+  // recurrences are linear with globally-known scalars, so parity(x),
+  // parity(r) and parity(p) propagate algebraically from the previous
+  // parities once the SpMV product's parity is reduced (the
+  // Huang–Abraham piggyback). One m·w-real allreduce per refresh.
+  cluster.allreduce(parity_bytes(), tag);
+}
+
+void Encoding::charge_decode(simrt::VirtualCluster& cluster,
+                             const IndexVec& lost, Index vectors,
+                             power::PhaseTag tag) const {
+  RSLS_CHECK(vectors >= 1);
+  const auto f = static_cast<double>(lost.size());
+  if (lost.empty()) {
+    return;
+  }
+  const double w = static_cast<double>(width_);
+  // Survivors re-contribute partial sums for the first f parity rows.
+  for (Index rank = 0; rank < part_.parts(); ++rank) {
+    if (std::find(lost.begin(), lost.end(), rank) != lost.end()) {
+      continue;
+    }
+    const double flops = 2.0 * f * static_cast<double>(part_.block_rows(rank)) *
+                         static_cast<double>(vectors);
+    cluster.charge_compute(rank, flops, tag);
+  }
+  // Gather the f right-hand-side rows to the decode leader.
+  cluster.allreduce(static_cast<Bytes>(f * w * sizeof(Real)) *
+                        static_cast<Bytes>(vectors),
+                    tag);
+  // Factor the f×f Vandermonde system once, then back-substitute every
+  // element slot of every vector, on the leader rank.
+  const Index leader = lost.front();
+  const double solve_flops =
+      (2.0 / 3.0) * f * f * f +
+      2.0 * f * f * w * static_cast<double>(vectors);
+  cluster.charge_compute(leader, solve_flops, tag);
+  // Scatter each reconstructed block to its replacement rank.
+  for (const Index rank : lost) {
+    if (rank == leader) {
+      continue;
+    }
+    cluster.point_to_point(
+        leader, rank,
+        static_cast<Bytes>(part_.block_rows(rank)) *
+            static_cast<Bytes>(sizeof(Real)) * static_cast<Bytes>(vectors),
+        tag);
+  }
+  cluster.sync(power::PhaseTag::kIdleWait);
+}
+
+}  // namespace rsls::abft

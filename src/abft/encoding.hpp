@@ -1,0 +1,97 @@
+#pragma once
+// Erasure-coded redundancy over the block-row partition (the ABFT
+// subsystem's codeword layer).
+//
+// The k data blocks of a distributed vector v (one per rank, Figure 2
+// layout) are extended with m parity blocks
+//
+//   parity_j = Σ_i c_{j,i} · v_i,   j = 0..m-1,   c_{j,i} = node_i^j,
+//
+// a Vandermonde code over distinct Chebyshev nodes node_i ∈ (-1, 1)
+// (row j = 0 is the plain checksum Σ v_i). Any f ≤ m simultaneously
+// lost blocks are reconstructed exactly: for each element slot the lost
+// values solve the f×f Vandermonde system formed by the first f parity
+// rows restricted to the lost columns — nonsingular because the nodes
+// are distinct. Blocks whose widths differ (the partition spreads the
+// remainder) are padded with zeros to the widest block.
+//
+// Numerics are exact (up to roundoff); costs are charged separately to
+// the VirtualCluster via the α–β model: parity maintenance is an
+// axpy-time update per rank plus an m·w-real reduction (charged under
+// PhaseTag::kEncode by callers), decoding is survivor partial sums, a
+// small Vandermonde solve on a leader rank, and a scatter of the
+// reconstructed blocks.
+
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "core/units.hpp"
+#include "dist/partition.hpp"
+#include "power/rapl.hpp"
+#include "simrt/cluster.hpp"
+
+namespace rsls::abft {
+
+/// Parity blocks protecting one distributed vector: m rows, each padded
+/// to the widest data block.
+using Parity = std::vector<RealVec>;
+
+class Encoding {
+ public:
+  /// `parity_blocks` = m ≥ 1: the number of simultaneous block losses
+  /// the code tolerates.
+  Encoding(const dist::Partition& part, Index parity_blocks);
+
+  Index data_blocks() const { return part_.parts(); }
+  Index parity_blocks() const { return m_; }
+  /// Padded block width w = max_i block_rows(i).
+  Index width() const { return width_; }
+
+  /// Code coefficient c_{j,i} = node_i^j for parity row j, data block i.
+  Real coefficient(Index j, Index i) const;
+
+  /// Recompute all m parity rows of v from scratch. Numerically this
+  /// equals the incremental (axpy-time) update a real deployment would
+  /// perform — parity of a linear combination is the same linear
+  /// combination of parities — so callers charge encode costs via
+  /// charge_encode() either way.
+  Parity encode(std::span<const Real> v) const;
+
+  /// Reconstruct the blocks listed in `lost` (f = lost.size() ≤ m,
+  /// distinct ranks) of v in place from the surviving blocks and parity.
+  /// The lost blocks' current contents are ignored (they are NaN after a
+  /// process loss).
+  void decode(std::span<Real> v, const IndexVec& lost,
+              const Parity& parity) const;
+
+  bool can_decode(std::size_t losses) const {
+    return static_cast<Index>(losses) <= m_;
+  }
+
+  /// Bytes of one parity row set (m rows × w reals) — the reduction
+  /// volume of a parity refresh.
+  Bytes parity_bytes() const;
+
+  /// Charge one parity refresh of `vectors` distributed vectors: every
+  /// rank folds its own block into the m parity rows (2·m·rows flops),
+  /// then the rows are combined by a recursive-doubling allreduce.
+  void charge_encode(simrt::VirtualCluster& cluster, Index vectors,
+                     power::PhaseTag tag) const;
+
+  /// Charge the reconstruction of `lost.size()` blocks of `vectors`
+  /// distributed vectors: surviving ranks re-contribute partial sums for
+  /// the first f parity rows, the f×f Vandermonde system is factored and
+  /// back-substituted on a leader rank, and each reconstructed block is
+  /// scattered to its (replacement) rank.
+  void charge_decode(simrt::VirtualCluster& cluster, const IndexVec& lost,
+                     Index vectors, power::PhaseTag tag) const;
+
+ private:
+  dist::Partition part_;
+  Index m_;
+  Index width_;
+  RealVec nodes_;  // one distinct Chebyshev node per data block
+};
+
+}  // namespace rsls::abft

@@ -1,0 +1,83 @@
+#pragma once
+// ESR — exact state reconstruction via erasure-coded redundancy.
+//
+// The ABFT recovery family (Pachajoa et al.'s algorithm-based
+// checkpoint-recovery for CG; Gleich et al.'s erasure coding for fault
+// oblivious solvers): every iteration the solver state (x, r, p) is
+// re-encoded into m Vandermonde parity blocks (abft/encoding.hpp),
+// charged as an axpy-time update plus a parity reduction under
+// PhaseTag::kEncode. When up to m ranks die *simultaneously* (the
+// paper's LNF class), their blocks of x, r and p are reconstructed
+// exactly from the surviving blocks and the parity — zero rollback,
+// zero extra iterations, only the charged decode time. The CG scalars
+// (α, β, ρ) are replicated on every rank by the allreduces that compute
+// them, so nothing else is lost.
+//
+// Beyond m simultaneous losses the code is insufficient: ESR escalates
+// by zero-filling the lost blocks (F0-style) and requesting a restart of
+// the recurrence from the surviving iterate. ESR holds no trusted state
+// that is independent of the running solve — parity is re-encoded from
+// the (possibly corrupted) state each boundary — so rollback() declines
+// and the detection ladder escalates to the initial-guess restart.
+
+#include <memory>
+#include <optional>
+
+#include "abft/encoding.hpp"
+#include "resilience/scheme.hpp"
+
+namespace rsls::abft {
+
+struct EsrOptions {
+  /// Parity blocks m: the number of simultaneous rank losses survived.
+  Index parity_blocks = 2;
+};
+
+class EsrScheme final : public resilience::RecoveryScheme {
+ public:
+  explicit EsrScheme(EsrOptions options = {});
+
+  std::string name() const override { return "ESR"; }
+
+  /// Refresh the parity of x, r and p (charged under kEncode).
+  void on_iteration(resilience::RecoveryContext& ctx, Index iteration,
+                    std::span<const Real> x) override;
+
+  solver::HookAction recover(resilience::RecoveryContext& ctx,
+                             Index iteration, Index failed_rank,
+                             std::span<Real> x) override;
+
+  /// Up to m concurrent losses: decode x/r/p exactly and continue on
+  /// the fault-free trajectory. Beyond m: zero-fill and restart.
+  solver::HookAction recover_multi(resilience::RecoveryContext& ctx,
+                                   Index iteration,
+                                   const IndexVec& failed_ranks,
+                                   std::span<Real> x) override;
+
+  const EsrOptions& options() const { return options_; }
+
+  Index encodes() const { return encodes_; }
+  Index decodes() const { return decodes_; }
+  /// Loss events that exceeded the code (f > m) and fell back to a
+  /// zero-fill restart.
+  Index fallbacks() const { return fallbacks_; }
+  /// Virtual seconds spent maintaining parity / decoding, inputs for the
+  /// model::abft cost model.
+  Seconds encode_seconds_total() const { return encode_seconds_; }
+  Seconds decode_seconds_total() const { return decode_seconds_; }
+
+ private:
+  EsrOptions options_;
+  std::optional<Encoding> encoding_;
+  Parity parity_x_;
+  Parity parity_r_;
+  Parity parity_p_;
+  Index encoded_iteration_ = -1;
+  Index encodes_ = 0;
+  Index decodes_ = 0;
+  Index fallbacks_ = 0;
+  Seconds encode_seconds_ = 0.0;
+  Seconds decode_seconds_ = 0.0;
+};
+
+}  // namespace rsls::abft

@@ -1,5 +1,7 @@
 #include "harness/scheme_factory.hpp"
 
+#include "abft/encoded_checkpoint.hpp"
+#include "abft/esr.hpp"
 #include "core/error.hpp"
 #include "resilience/dmr.hpp"
 #include "resilience/multilevel.hpp"
@@ -55,6 +57,17 @@ std::unique_ptr<resilience::RecoveryScheme> make_scheme(
   if (name == "LSI(QR)") {
     return ForwardRecovery::lsi_qr();
   }
+  if (name == "ESR") {
+    abft::EsrOptions options;
+    options.parity_blocks = config.abft_parity_blocks;
+    return std::make_unique<abft::EsrScheme>(options);
+  }
+  if (name == "ABFT-CR") {
+    abft::EncodedCheckpointOptions options;
+    options.interval_iterations = config.cr_interval_iterations;
+    options.parity_blocks = config.abft_parity_blocks;
+    return std::make_unique<abft::EncodedCheckpoint>(options, initial_guess);
+  }
   if (name == "CR-D" || name == "CR-M") {
     CheckpointOptions options;
     options.target =
@@ -74,9 +87,9 @@ std::vector<std::string> cost_scheme_names() {
 }
 
 std::vector<std::string> all_scheme_names() {
-  return {"RD",      "TMR",      "F0",      "FI",   "LI",    "LI-DVFS",
+  return {"RD",      "TMR",      "F0",       "FI",      "LI",   "LI-DVFS",
           "LI(LU)",  "LSI",      "LSI-DVFS", "LSI(QR)", "CR-D", "CR-M",
-          "CR-2L"};
+          "CR-2L",   "ESR",      "ABFT-CR"};
 }
 
 std::unique_ptr<resilience::SdcDetector> make_detector(

@@ -18,11 +18,14 @@ struct SchemeFactoryConfig {
   Index cr_interval_iterations = 100;
   /// Local CG construction tolerance for LI/LSI.
   Real fw_cg_tolerance = 1e-6;
+  /// Parity blocks m for the ABFT schemes (ESR, ABFT-CR): the number of
+  /// simultaneous rank losses survived without rollback / snapshot loss.
+  Index abft_parity_blocks = 2;
 };
 
 /// Names: "RD", "TMR", "F0", "FI", "LI", "LSI", "LI-DVFS",
-/// "LSI-DVFS", "LI(LU)", "LSI(QR)", "CR-D", "CR-M", "CR-2L". Throws on
-/// unknown names.
+/// "LSI-DVFS", "LI(LU)", "LSI(QR)", "CR-D", "CR-M", "CR-2L", "ESR",
+/// "ABFT-CR". Throws on unknown names.
 /// `initial_guess` seeds FI and CR's pre-checkpoint rollback target.
 std::unique_ptr<resilience::RecoveryScheme> make_scheme(
     const std::string& name, const SchemeFactoryConfig& config,

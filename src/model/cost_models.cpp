@@ -142,4 +142,37 @@ SchemeCosts forward_recovery(const BaseCase& base,
   return costs;
 }
 
+SchemeCosts abft(const BaseCase& base, const AbftModelParams& params) {
+  RSLS_CHECK(base.t_base > 0.0);
+  RSLS_CHECK(params.encode_fraction >= 0.0);
+  RSLS_CHECK(params.t_decode >= 0.0);
+  RSLS_CHECK(params.lambda >= 0.0);
+  RSLS_CHECK(params.encode_power_factor > 0.0 &&
+             params.encode_power_factor <= 1.0);
+
+  // T_N = T_base + T_encode + λ·T_N·t_decode, T_encode = f_enc·T_base
+  // (parity maintenance accompanies base progress; exact reconstruction
+  // adds no extra iterations).
+  const double decode_fraction = params.lambda * params.t_decode;
+  if (decode_fraction >= 1.0) {
+    return halted_costs();
+  }
+  SchemeCosts costs;
+  const Seconds t_encode = params.encode_fraction * base.t_base;
+  costs.total_time = (base.t_base + t_encode) / (1.0 - decode_fraction);
+  costs.t_res = costs.total_time - base.t_base;
+  const Seconds t_decode_total = decode_fraction * costs.total_time;
+
+  const Watts p_normal = static_cast<double>(base.n_cores) * base.p1;
+  const Watts p_encode = params.encode_power_factor * p_normal;
+  // Decode keeps every rank busy (partial sums + the leader solve), so
+  // it runs at normal power; encode is memory-bound.
+  costs.total_energy = p_normal * (base.t_base + t_decode_total) +
+                       p_encode * t_encode;
+  costs.e_res = costs.total_energy - p_normal * base.t_base;
+  costs.p_avg = costs.total_energy / costs.total_time;
+  normalize(costs, base);
+  return costs;
+}
+
 }  // namespace rsls::model

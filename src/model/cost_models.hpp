@@ -93,4 +93,29 @@ struct FwModelParams {
 /// Eq. 13–16.
 SchemeCosts forward_recovery(const BaseCase& base, const FwModelParams& params);
 
+struct AbftModelParams {
+  /// Parity-maintenance (encode) overhead as a fraction of T_base: the
+  /// per-iteration axpy-time update of the m parity blocks plus the
+  /// parity reduction, relative to the iteration time (measured, or from
+  /// the α–β model: 2·m·w flops + an m·w-real allreduce per iteration).
+  double encode_fraction = 0.0;
+  /// Per-fault decode cost t_decode (measured): survivor partial sums,
+  /// the f×f Vandermonde solve, and the scatter of rebuilt blocks.
+  Seconds t_decode = 0.0;
+  /// Failure rate λ.
+  PerSecond lambda = 0.0;
+  /// Power during encode relative to N·P₁. Parity maintenance is a
+  /// memory-bound axpy plus a reduction, slightly below compute power.
+  double encode_power_factor = 0.9;
+};
+
+/// §3-style model of the ABFT/ESR family: like FW (Eq. 13–16) the solve
+/// never rolls back, but reconstruction is *exact*, so the
+/// extra-iteration term vanishes and the recurring cost is the encode
+/// bandwidth:
+///   T_N = T_base·(1 + f_enc) / (1 − λ·t_decode),
+/// encode at f_pow·N·P₁, decode at N·P₁ (all ranks participate in the
+/// partial-sum reduction). Halts when λ·t_decode ≥ 1.
+SchemeCosts abft(const BaseCase& base, const AbftModelParams& params);
+
 }  // namespace rsls::model

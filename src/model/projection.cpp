@@ -1,5 +1,7 @@
 #include "model/projection.hpp"
 
+#include <cmath>
+
 #include "core/error.hpp"
 #include "model/young_daly.hpp"
 
@@ -59,6 +61,19 @@ std::vector<ProjectionPoint> project(const ProjectionInputs& inputs,
       params.active_ranks = 1;
       params.idle_power = inputs.fw_idle_power_ratio * inputs.p1;
       point.fw = forward_recovery(base, params);
+    }
+    {
+      AbftModelParams params;
+      const double doublings =
+          std::log2(static_cast<double>(n));
+      params.encode_fraction =
+          inputs.abft_encode_fraction_base +
+          inputs.abft_encode_fraction_per_doubling * doublings;
+      params.t_decode = inputs.abft_tdecode_base +
+                        inputs.abft_tdecode_per_doubling * doublings;
+      params.lambda = lambda;
+      params.encode_power_factor = inputs.abft_encode_power_factor;
+      point.esr = abft(base, params);
     }
     points.push_back(point);
   }

@@ -52,6 +52,20 @@ struct ProjectionInputs {
   double crd_checkpoint_power_factor = 0.4;
   double crm_checkpoint_power_factor = 0.9;
 
+  /// ABFT/ESR scaling: the encode overhead is a local axpy (constant
+  /// under weak scaling) plus the parity reduction (grows with the
+  /// allreduce depth, log₂ N); the decode term is a reduction over
+  /// survivors plus a tiny Vandermonde solve, also log-depth:
+  ///   f_enc(N)    = abft_encode_fraction_base
+  ///                   + abft_encode_fraction_per_doubling · log₂(N)
+  ///   t_decode(N) = abft_tdecode_base
+  ///                   + abft_tdecode_per_doubling · log₂(N)
+  double abft_encode_fraction_base = 0.01;
+  double abft_encode_fraction_per_doubling = 0.002;
+  Seconds abft_tdecode_base = 0.5;
+  Seconds abft_tdecode_per_doubling = 0.05;
+  double abft_encode_power_factor = 0.9;
+
   CommScalingTable comm;
 };
 
@@ -63,6 +77,7 @@ struct ProjectionPoint {
   SchemeCosts cr_disk;
   SchemeCosts cr_memory;
   SchemeCosts fw;
+  SchemeCosts esr;
 };
 
 /// Project every scheme at each process count (Fig. 9's x-axis).

@@ -410,32 +410,72 @@ class Parser {
           out.push_back('\t');
           break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) {
-            fail("truncated \\u escape");
-          }
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code |= static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code |= static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code |= static_cast<unsigned>(h - 'A' + 10);
-            } else {
-              fail("invalid \\u escape");
+          // Full \uXXXX support: a single escape names a BMP code
+          // point; a high surrogate must be followed by a second
+          // escape with its low surrogate, yielding a supplementary
+          // code point. The result is emitted as UTF-8.
+          unsigned code = parse_hex4();
+          if (code >= 0xd800 && code <= 0xdbff) {
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              fail("high surrogate not followed by \\u low surrogate");
             }
+            pos_ += 2;
+            const unsigned low = parse_hex4();
+            if (low < 0xdc00 || low > 0xdfff) {
+              fail("invalid low surrogate");
+            }
+            code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+          } else if (code >= 0xdc00 && code <= 0xdfff) {
+            fail("unpaired low surrogate");
           }
-          if (code > 0xff) {
-            fail("\\u escape beyond Latin-1 not supported");
-          }
-          out.push_back(static_cast<char>(code));
+          append_utf8(out, code);
           break;
         }
         default:
           fail("invalid escape character");
       }
+    }
+  }
+
+  /// Four hex digits of a \uXXXX escape (pos_ at the first digit).
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) {
+      fail("truncated \\u escape");
+    }
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code |= static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        code |= static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        code |= static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        fail("invalid \\u escape");
+      }
+    }
+    return code;
+  }
+
+  /// UTF-8 encode one code point (≤ U+10FFFF by construction).
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    } else {
+      out.push_back(static_cast<char>(0xf0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
     }
   }
 

@@ -8,8 +8,8 @@
 //
 // JsonValue/parse_json is a small recursive-descent reader used by the
 // exporter tests (and anything that wants to consume the emitted
-// artifacts in-process). It supports the full JSON grammar except \uXXXX
-// escapes beyond Latin-1, which the exporters never emit.
+// artifacts in-process). It supports the full JSON grammar, including
+// \uXXXX escapes with surrogate pairs, decoded to UTF-8.
 
 #include <cstdint>
 #include <map>

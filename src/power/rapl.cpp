@@ -22,6 +22,8 @@ const char* to_string(PhaseTag tag) {
       return "idle-wait";
     case PhaseTag::kDetect:
       return "detect";
+    case PhaseTag::kEncode:
+      return "encode";
     case PhaseTag::kCount:
       break;
   }
@@ -64,6 +66,7 @@ Joules EnergyAccount::resilience_energy() const {
   sum += core_energy(PhaseTag::kReconstruct);
   sum += core_energy(PhaseTag::kIdleWait);
   sum += core_energy(PhaseTag::kDetect);
+  sum += core_energy(PhaseTag::kEncode);
   return sum;
 }
 

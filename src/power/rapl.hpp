@@ -27,6 +27,8 @@ enum class PhaseTag {
   kIdleWait,     // waiting while another rank reconstructs
   kDetect,       // online SDC detection (checksums, invariant checks,
                  // periodic true-residual verification)
+  kEncode,       // ABFT parity maintenance (erasure-coded redundancy
+                 // updates and encoded-checkpoint construction)
   kCount
 };
 

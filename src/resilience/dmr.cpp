@@ -7,9 +7,11 @@ namespace rsls::resilience {
 using power::Activity;
 using power::PhaseTag;
 
-void Dmr::on_iteration(RecoveryContext& /*ctx*/, Index /*iteration*/,
+void Dmr::on_iteration(RecoveryContext& ctx, Index /*iteration*/,
                        std::span<const Real> x) {
   replica_x_.assign(x.begin(), x.end());
+  replica_r_.assign(ctx.r.begin(), ctx.r.end());
+  replica_p_.assign(ctx.p.begin(), ctx.p.end());
 }
 
 solver::HookAction Dmr::recover(RecoveryContext& ctx, Index /*iteration*/,
@@ -20,13 +22,30 @@ solver::HookAction Dmr::recover(RecoveryContext& ctx, Index /*iteration*/,
   const auto& part = ctx.a.partition();
   const Index begin = part.begin(failed_rank);
   const Index end = part.end(failed_rank);
+  Bytes transfer_bytes = ctx.a.block_bytes(failed_rank);
   for (Index i = begin; i < end; ++i) {
     x[static_cast<std::size_t>(i)] = replica_x_[static_cast<std::size_t>(i)];
   }
-  // Transfer of the lost block from the replica partner.
-  ctx.cluster.charge_duration(
-      failed_rank, ctx.cluster.p2p_seconds(ctx.a.block_bytes(failed_rank)),
-      Activity::kWaiting, PhaseTag::kReconstruct);
+  // The replica partner holds the whole solver state, so the recurrence
+  // vectors come back in the same transfer and recovery stays exact.
+  if (replica_r_.size() == ctx.r.size() && !ctx.r.empty()) {
+    for (Index i = begin; i < end; ++i) {
+      ctx.r[static_cast<std::size_t>(i)] =
+          replica_r_[static_cast<std::size_t>(i)];
+    }
+    transfer_bytes += ctx.a.block_bytes(failed_rank);
+  }
+  if (replica_p_.size() == ctx.p.size() && !ctx.p.empty()) {
+    for (Index i = begin; i < end; ++i) {
+      ctx.p[static_cast<std::size_t>(i)] =
+          replica_p_[static_cast<std::size_t>(i)];
+    }
+    transfer_bytes += ctx.a.block_bytes(failed_rank);
+  }
+  // Transfer of the lost blocks from the replica partner.
+  ctx.cluster.charge_duration(failed_rank,
+                              ctx.cluster.p2p_seconds(transfer_bytes),
+                              Activity::kWaiting, PhaseTag::kReconstruct);
   ctx.cluster.sync(PhaseTag::kIdleWait);
   // The replica also restores the solver's internal vectors exactly, so
   // no restart is needed — RD tracks the fault-free trajectory.

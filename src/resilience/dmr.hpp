@@ -30,10 +30,12 @@ class Dmr final : public RecoveryScheme {
                 std::span<Real> x) override;
 
  private:
-  /// The replica's copy of the iterate. Maintained for free: the replica
-  /// genuinely computes it, so no extra time/energy is charged here
-  /// beyond what replica_factor already doubles.
+  /// The replica's copy of the solver state (x, r, p). Maintained for
+  /// free: the replica genuinely computes it, so no extra time/energy is
+  /// charged here beyond what replica_factor already doubles.
   RealVec replica_x_;
+  RealVec replica_r_;
+  RealVec replica_p_;
 };
 
 }  // namespace rsls::resilience

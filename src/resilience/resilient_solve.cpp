@@ -159,6 +159,10 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
       }
       previous_residual = view.relative_residual;
     }
+    // Expose the recurrence state to the scheme: exact-recovery schemes
+    // (RD/TMR/ESR) must protect and restore r and p along with x.
+    ctx.r = view.r;
+    ctx.p = view.p;
     scheme.on_iteration(ctx, view.iteration, view.x);
     detectors.observe(dctx, view.iteration, view.x);
 
@@ -182,7 +186,11 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
         obs::count(recorder, "nested_faults");
       }
       if (event->cls == FaultClass::kProcessLoss) {
+        // A dead process takes its blocks of *all* solver state with it,
+        // not just the iterate.
         FaultInjector::apply_corruption(*event, part, view.x);
+        FaultInjector::apply_corruption(*event, part, view.r);
+        FaultInjector::apply_corruption(*event, part, view.p);
         action = merge(action,
                        dispatch_recovery(scheme, ctx, view.iteration,
                                          event->ranks, view.x, "announced"));
@@ -200,7 +208,13 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
       }
     }
 
-    if (!detectors.empty()) {
+    // An announced recovery that requested kRestart leaves r and p
+    // NaN-poisoned until CG rebuilds them from the recovered x right
+    // after this hook returns — skip detector inspection at such a
+    // boundary (there is no recurrence state to inspect yet).
+    const bool rebuild_pending =
+        recovery_happened && action == HookAction::kRestart;
+    if (!detectors.empty() && !rebuild_pending) {
       obs::ScopedSpan detect_span(recorder, "detect", PhaseTag::kDetect,
                                   obs::kClusterTrack);
       const Real rec_rel = recurrence_relative(view.r);
@@ -232,6 +246,8 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
           obs::count(recorder, "nested_faults");
           if (event->cls == FaultClass::kProcessLoss) {
             FaultInjector::apply_corruption(*event, part, view.x);
+            FaultInjector::apply_corruption(*event, part, view.r);
+            FaultInjector::apply_corruption(*event, part, view.p);
             action = merge(action,
                            dispatch_recovery(scheme, ctx, view.iteration,
                                              event->ranks, view.x,

@@ -30,6 +30,13 @@ struct RecoveryContext {
   /// Schemes open spans and bump counters through the null-safe helpers
   /// in obs/recorder.hpp.
   obs::Recorder* recorder = nullptr;
+  /// The solver's recurrence residual r and search direction p, when the
+  /// orchestrator exposes them (empty otherwise, e.g. in direct-call unit
+  /// tests). A process loss destroys the failed rank's block of *all*
+  /// solver state; schemes that claim exact recovery (kContinue) must
+  /// restore these blocks too, not just x.
+  std::span<Real> r{};
+  std::span<Real> p{};
 };
 
 class RecoveryScheme {

@@ -7,9 +7,11 @@ namespace rsls::resilience {
 using power::Activity;
 using power::PhaseTag;
 
-void Tmr::on_iteration(RecoveryContext& /*ctx*/, Index /*iteration*/,
+void Tmr::on_iteration(RecoveryContext& ctx, Index /*iteration*/,
                        std::span<const Real> x) {
   replica_x_.assign(x.begin(), x.end());
+  replica_r_.assign(ctx.r.begin(), ctx.r.end());
+  replica_p_.assign(ctx.p.begin(), ctx.p.end());
 }
 
 solver::HookAction Tmr::recover(RecoveryContext& ctx, Index /*iteration*/,
@@ -21,13 +23,29 @@ solver::HookAction Tmr::recover(RecoveryContext& ctx, Index /*iteration*/,
   const auto& part = ctx.a.partition();
   const Index begin = part.begin(failed_rank);
   const Index end = part.end(failed_rank);
+  Bytes voted_bytes = ctx.a.block_bytes(failed_rank);
   for (Index i = begin; i < end; ++i) {
     x[static_cast<std::size_t>(i)] = replica_x_[static_cast<std::size_t>(i)];
   }
+  // The replicas hold the whole solver state; the vote covers the
+  // recurrence vectors too, so recovery stays exact.
+  if (replica_r_.size() == ctx.r.size() && !ctx.r.empty()) {
+    for (Index i = begin; i < end; ++i) {
+      ctx.r[static_cast<std::size_t>(i)] =
+          replica_r_[static_cast<std::size_t>(i)];
+    }
+    voted_bytes += ctx.a.block_bytes(failed_rank);
+  }
+  if (replica_p_.size() == ctx.p.size() && !ctx.p.empty()) {
+    for (Index i = begin; i < end; ++i) {
+      ctx.p[static_cast<std::size_t>(i)] =
+          replica_p_[static_cast<std::size_t>(i)];
+    }
+    voted_bytes += ctx.a.block_bytes(failed_rank);
+  }
   // The vote: the failed rank compares its block against both replicas —
   // two block transfers — and adopts the majority value.
-  const Seconds transfer =
-      2.0 * ctx.cluster.p2p_seconds(ctx.a.block_bytes(failed_rank));
+  const Seconds transfer = 2.0 * ctx.cluster.p2p_seconds(voted_bytes);
   ctx.cluster.charge_duration(failed_rank, transfer, Activity::kWaiting,
                               PhaseTag::kReconstruct);
   ctx.cluster.sync(PhaseTag::kIdleWait);

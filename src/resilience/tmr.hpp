@@ -33,6 +33,8 @@ class Tmr final : public RecoveryScheme {
 
  private:
   RealVec replica_x_;
+  RealVec replica_r_;
+  RealVec replica_p_;
   Index votes_ = 0;
 };
 

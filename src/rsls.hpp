@@ -4,8 +4,8 @@
 //   #include "rsls.hpp"
 //
 // Layering (bottom-up): core → sparse/la → power → simrt → obs → dist →
-// solver → resilience → model → harness. Include individual headers
-// instead when compile time matters.
+// solver → resilience → abft → model → harness. Include individual
+// headers instead when compile time matters.
 
 // Core utilities
 #include "core/csv.hpp"      // IWYU pragma: export
@@ -74,6 +74,11 @@
 #include "resilience/resilient_solve.hpp"  // IWYU pragma: export
 #include "resilience/scheme.hpp"           // IWYU pragma: export
 #include "resilience/tmr.hpp"              // IWYU pragma: export
+
+// Algorithm-based fault tolerance (erasure-coded redundancy)
+#include "abft/encoded_checkpoint.hpp"  // IWYU pragma: export
+#include "abft/encoding.hpp"            // IWYU pragma: export
+#include "abft/esr.hpp"                 // IWYU pragma: export
 
 // Analytical models and projection
 #include "model/comm_scaling.hpp"  // IWYU pragma: export

@@ -1,0 +1,175 @@
+// Unit tests: the ABFT codeword layer (abft/encoding.hpp) — Vandermonde
+// parity encode/decode exactness for every loss pattern up to m, padding
+// of uneven blocks, rejection beyond m, and cost charging under
+// PhaseTag::kEncode.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "abft/encoding.hpp"
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "simrt/machine.hpp"
+
+namespace rsls::abft {
+namespace {
+
+using power::PhaseTag;
+
+RealVec random_vector(Index n, std::uint64_t seed) {
+  Rng rng(seed);
+  RealVec v(static_cast<std::size_t>(n));
+  for (Real& value : v) {
+    value = rng.uniform(-10.0, 10.0);
+  }
+  return v;
+}
+
+void nan_block(const dist::Partition& part, Index rank, RealVec& v) {
+  for (Index i = part.begin(rank); i < part.end(rank); ++i) {
+    v[static_cast<std::size_t>(i)] = std::numeric_limits<Real>::quiet_NaN();
+  }
+}
+
+TEST(AbftEncodingTest, ChecksumRowIsPlainSum) {
+  const dist::Partition part(64, 8);
+  const Encoding code(part, 2);
+  for (Index i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(code.coefficient(0, i), 1.0);
+  }
+  const RealVec v(64, 1.0);
+  const Parity parity = code.encode(v);
+  ASSERT_EQ(parity.size(), 2u);
+  // Row 0 of an all-ones vector: each padded slot sums one entry per
+  // block, so every slot equals the number of data blocks.
+  for (const Real slot : parity[0]) {
+    EXPECT_NEAR(slot, 8.0, 1e-12);
+  }
+}
+
+TEST(AbftEncodingTest, SingleLossDecodesExactly) {
+  const dist::Partition part(100, 8);  // uneven: widths 13 and 12
+  const Encoding code(part, 1);
+  const RealVec original = random_vector(100, 42);
+  const Parity parity = code.encode(original);
+  for (Index lost = 0; lost < 8; ++lost) {
+    RealVec v = original;
+    nan_block(part, lost, v);
+    code.decode(v, IndexVec{lost}, parity);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      EXPECT_NEAR(v[i], original[i], 1e-11) << "lost=" << lost << " i=" << i;
+    }
+  }
+}
+
+TEST(AbftEncodingTest, EveryPairOfLossesDecodesExactly) {
+  const dist::Partition part(100, 8);
+  const Encoding code(part, 2);
+  const RealVec original = random_vector(100, 7);
+  const Parity parity = code.encode(original);
+  for (Index a = 0; a < 8; ++a) {
+    for (Index b = a + 1; b < 8; ++b) {
+      RealVec v = original;
+      nan_block(part, a, v);
+      nan_block(part, b, v);
+      code.decode(v, IndexVec{a, b}, parity);
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        EXPECT_NEAR(v[i], original[i], 1e-10)
+            << "lost={" << a << "," << b << "} i=" << i;
+      }
+    }
+  }
+}
+
+TEST(AbftEncodingTest, TripleLossNeedsThreeParityBlocks) {
+  const dist::Partition part(90, 6);
+  const Encoding code(part, 3);
+  const RealVec original = random_vector(90, 11);
+  const Parity parity = code.encode(original);
+  RealVec v = original;
+  nan_block(part, 0, v);
+  nan_block(part, 3, v);
+  nan_block(part, 5, v);
+  code.decode(v, IndexVec{5, 0, 3}, parity);  // order must not matter
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(v[i], original[i], 1e-9);
+  }
+}
+
+TEST(AbftEncodingTest, PaddedUnevenBlocksRoundTrip) {
+  const dist::Partition part(10, 4);  // widths 3,3,2,2
+  const Encoding code(part, 2);
+  EXPECT_EQ(code.width(), 3);
+  const RealVec original = random_vector(10, 3);
+  const Parity parity = code.encode(original);
+  RealVec v = original;
+  nan_block(part, 0, v);  // widest
+  nan_block(part, 3, v);  // narrowest
+  code.decode(v, IndexVec{0, 3}, parity);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(v[i], original[i], 1e-12);
+  }
+}
+
+TEST(AbftEncodingTest, RejectsMoreLossesThanParity) {
+  const dist::Partition part(64, 8);
+  const Encoding code(part, 2);
+  EXPECT_TRUE(code.can_decode(0));
+  EXPECT_TRUE(code.can_decode(2));
+  EXPECT_FALSE(code.can_decode(3));
+  RealVec v = random_vector(64, 5);
+  const Parity parity = code.encode(v);
+  EXPECT_THROW(code.decode(v, IndexVec{0, 1, 2}, parity), Error);
+}
+
+TEST(AbftEncodingTest, RequiresAtLeastOneParityBlock) {
+  const dist::Partition part(64, 8);
+  EXPECT_THROW(Encoding(part, 0), Error);
+}
+
+TEST(AbftEncodingTest, ChargeEncodeBillsTheEncodePhase) {
+  const dist::Partition part(128, 8);
+  const Encoding code(part, 2);
+  simrt::VirtualCluster cluster(simrt::paper_node(), 8);
+  code.charge_encode(cluster, /*vectors=*/3, PhaseTag::kEncode);
+  EXPECT_GT(cluster.elapsed(), 0.0);
+  EXPECT_GT(cluster.energy().core_energy(PhaseTag::kEncode), 0.0);
+  EXPECT_DOUBLE_EQ(cluster.energy().core_energy(PhaseTag::kSolve), 0.0);
+}
+
+TEST(AbftEncodingTest, ChargeDecodeBillsTheGivenPhase) {
+  const dist::Partition part(128, 8);
+  const Encoding code(part, 2);
+  simrt::VirtualCluster cluster(simrt::paper_node(), 8);
+  code.charge_decode(cluster, IndexVec{1, 6}, /*vectors=*/3,
+                     PhaseTag::kReconstruct);
+  EXPECT_GT(cluster.elapsed(), 0.0);
+  EXPECT_GT(cluster.energy().core_energy(PhaseTag::kReconstruct), 0.0);
+}
+
+TEST(AbftEncodingTest, EncodeIsLinearLikeTheIncrementalUpdate) {
+  // parity(v + α·w) == parity(v) + α·parity(w): the from-scratch encode
+  // equals the axpy-time incremental maintenance a deployment performs.
+  const dist::Partition part(48, 6);
+  const Encoding code(part, 2);
+  const RealVec v = random_vector(48, 1);
+  const RealVec w = random_vector(48, 2);
+  const Real alpha = 0.37;
+  RealVec combo(48);
+  for (std::size_t i = 0; i < combo.size(); ++i) {
+    combo[i] = v[i] + alpha * w[i];
+  }
+  const Parity pv = code.encode(v);
+  const Parity pw = code.encode(w);
+  const Parity pc = code.encode(combo);
+  for (std::size_t j = 0; j < pc.size(); ++j) {
+    for (std::size_t t = 0; t < pc[j].size(); ++t) {
+      EXPECT_NEAR(pc[j][t], pv[j][t] + alpha * pw[j][t], 1e-11);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rsls::abft

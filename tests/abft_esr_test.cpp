@@ -1,0 +1,289 @@
+// Integration tests: the ABFT recovery family under the paper's LNF
+// multi-rank fault class. ESR must continue the fault-free trajectory
+// exactly (zero extra iterations, no residual spike) for up to m
+// concurrent losses, escalate gracefully beyond m, and bill a nonzero
+// kEncode bucket that still sums into the exact energy decomposition.
+// ABFT-CR must survive concurrent loss of its own snapshot shares.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "abft/encoded_checkpoint.hpp"
+#include "abft/esr.hpp"
+#include "harness/experiment.hpp"
+#include "harness/scheme_factory.hpp"
+#include "obs/json.hpp"
+#include "resilience/resilient_solve.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/roster.hpp"
+#include "unistd.h"
+
+namespace rsls::abft {
+namespace {
+
+using power::PhaseTag;
+using resilience::FaultInjector;
+using solver::CgOptions;
+
+struct LnfSetup {
+  dist::DistMatrix a;
+  RealVec b;
+  RealVec x0;
+
+  explicit LnfSetup(Index n = 128, Index parts = 8)
+      : a(sparse::banded_spd({n, 3, 1.0, 0.05, 0.0, 21}), parts),
+        b(sparse::make_rhs(a.global())),
+        x0(static_cast<std::size_t>(n), 0.0) {}
+};
+
+CgOptions tight_options() {
+  CgOptions options;
+  options.tolerance = 1e-12;
+  options.record_residual_history = true;
+  return options;
+}
+
+solver::CgResult fault_free(const LnfSetup& setup) {
+  simrt::VirtualCluster cluster(simrt::paper_node(), 8);
+  RealVec x = setup.x0;
+  return solver::cg_solve(setup.a, cluster, setup.b, x, tight_options());
+}
+
+/// Upward jumps in a residual history (relative growth beyond roundoff);
+/// an exact recovery must not add any over the fault-free run.
+Index residual_jumps(const RealVec& history) {
+  Index jumps = 0;
+  for (std::size_t i = 1; i < history.size(); ++i) {
+    if (history[i] > history[i - 1] * 1.01) {
+      ++jumps;
+    }
+  }
+  return jumps;
+}
+
+TEST(EsrSchemeTest, TwoConcurrentLossesReconstructExactly) {
+  const LnfSetup setup;
+  const solver::CgResult ff = fault_free(setup);
+  ASSERT_TRUE(ff.converged);
+
+  simrt::VirtualCluster cluster(simrt::paper_node(), 8);
+  auto injector = FaultInjector::evenly_spaced_multi(
+      2, ff.iterations, /*ranks_per_fault=*/2, /*num_ranks=*/8, 99);
+  EsrScheme scheme(EsrOptions{.parity_blocks = 2});
+  RealVec x = setup.x0;
+  const auto report = resilient_solve(setup.a, cluster, setup.b, x, scheme,
+                                      injector, tight_options());
+
+  // Exact state reconstruction: the solve continues on the fault-free
+  // trajectory — zero extra iterations, zero rollback.
+  EXPECT_TRUE(report.cg.converged);
+  EXPECT_EQ(report.cg.iterations, ff.iterations);
+  EXPECT_LE(report.true_relative_residual, 1e-11);
+  EXPECT_EQ(scheme.decodes(), 2);
+  EXPECT_EQ(scheme.fallbacks(), 0);
+  EXPECT_EQ(report.recoveries, 2);
+
+  // The residual history continues monotonically: no new upward jump
+  // appears at the fault iterations.
+  EXPECT_EQ(residual_jumps(report.cg.residual_history),
+            residual_jumps(ff.residual_history));
+
+  // Parity maintenance was charged, under its own phase.
+  EXPECT_GT(scheme.encodes(), 0);
+  EXPECT_GT(scheme.encode_seconds_total(), 0.0);
+  EXPECT_GT(scheme.decode_seconds_total(), 0.0);
+  EXPECT_GT(report.account.core_energy(PhaseTag::kEncode), 0.0);
+}
+
+TEST(EsrSchemeTest, SingleLossReconstructsExactly) {
+  const LnfSetup setup;
+  const solver::CgResult ff = fault_free(setup);
+
+  simrt::VirtualCluster cluster(simrt::paper_node(), 8);
+  auto injector = FaultInjector::evenly_spaced(3, ff.iterations, 8, 5);
+  EsrScheme scheme(EsrOptions{.parity_blocks = 2});
+  RealVec x = setup.x0;
+  const auto report = resilient_solve(setup.a, cluster, setup.b, x, scheme,
+                                      injector, tight_options());
+  EXPECT_TRUE(report.cg.converged);
+  EXPECT_EQ(report.cg.iterations, ff.iterations);
+  EXPECT_EQ(scheme.decodes(), 3);
+  EXPECT_EQ(scheme.fallbacks(), 0);
+}
+
+TEST(EsrSchemeTest, CrMRollsBackWhereEsrDoesNot) {
+  const LnfSetup setup;
+  const solver::CgResult ff = fault_free(setup);
+
+  simrt::VirtualCluster cluster(simrt::paper_node(), 8);
+  auto injector = FaultInjector::evenly_spaced_multi(2, ff.iterations, 2, 8,
+                                                     99);
+  harness::SchemeFactoryConfig factory;
+  factory.cr_interval_iterations = 50;
+  const auto crm = harness::make_scheme("CR-M", factory, setup.x0);
+  RealVec x = setup.x0;
+  const auto report = resilient_solve(setup.a, cluster, setup.b, x, *crm,
+                                      injector, tight_options());
+  EXPECT_TRUE(report.cg.converged);
+  // The same fault plan costs CR-M re-iterated progress.
+  EXPECT_GT(report.cg.iterations, ff.iterations);
+}
+
+TEST(EsrSchemeTest, LossesBeyondParityEscalateAndStillConverge) {
+  const LnfSetup setup;
+  const solver::CgResult ff = fault_free(setup);
+
+  simrt::VirtualCluster cluster(simrt::paper_node(), 8);
+  // 3 concurrent losses against m = 2 parity blocks: the code cannot
+  // cover the event; ESR must fall back (zero-fill + restart) and the
+  // solve must still reach the paper's tolerance.
+  auto injector = FaultInjector::evenly_spaced_multi(1, ff.iterations, 3, 8,
+                                                     17);
+  EsrScheme scheme(EsrOptions{.parity_blocks = 2});
+  RealVec x = setup.x0;
+  const auto report = resilient_solve(setup.a, cluster, setup.b, x, scheme,
+                                      injector, tight_options());
+  EXPECT_TRUE(report.cg.converged);
+  EXPECT_LE(report.true_relative_residual, 1e-11);
+  EXPECT_EQ(scheme.fallbacks(), 1);
+  EXPECT_EQ(scheme.decodes(), 0);
+}
+
+TEST(EsrSchemeTest, ForwardRecoveryBeyondCapabilityAlsoConverges) {
+  // The satellite contrast: 6 of 8 ranks lost at once exceeds what
+  // interpolation can usefully reconstruct from surviving neighbours —
+  // recovery degrades to masked guesses — yet the escalated restart
+  // must still converge to 1e-12.
+  const LnfSetup setup;
+  const solver::CgResult ff = fault_free(setup);
+  for (const std::string name : {"LI", "FI"}) {
+    simrt::VirtualCluster cluster(simrt::paper_node(), 8);
+    auto injector = FaultInjector::evenly_spaced_multi(1, ff.iterations, 6, 8,
+                                                       23);
+    harness::SchemeFactoryConfig factory;
+    const auto scheme = harness::make_scheme(name, factory, setup.x0);
+    RealVec x = setup.x0;
+    const auto report = resilient_solve(setup.a, cluster, setup.b, x, *scheme,
+                                        injector, tight_options());
+    EXPECT_TRUE(report.cg.converged) << name;
+    EXPECT_LE(report.true_relative_residual, 1e-11) << name;
+  }
+}
+
+TEST(EsrSchemeTest, FaultBeforeFirstEncodeFallsBack) {
+  const LnfSetup setup;
+  simrt::VirtualCluster cluster(simrt::paper_node(), 8);
+  EsrScheme scheme(EsrOptions{.parity_blocks = 2});
+  resilience::RecoveryContext ctx{setup.a, setup.b, cluster};
+  RealVec x(128, 1.0);
+  FaultInjector::corrupt_block(setup.a.partition(), 4, x);
+  // recover() before any on_iteration: no parity exists yet.
+  const auto action = scheme.recover(ctx, 0, 4, std::span<Real>(x));
+  EXPECT_EQ(action, solver::HookAction::kRestart);
+  EXPECT_EQ(scheme.fallbacks(), 1);
+  for (const Real v : x) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(EncodedCheckpointTest, SurvivesConcurrentLossOfSnapshotShares) {
+  const LnfSetup setup;
+  const solver::CgResult ff = fault_free(setup);
+
+  simrt::VirtualCluster cluster(simrt::paper_node(), 8);
+  auto injector = FaultInjector::evenly_spaced_multi(2, ff.iterations, 2, 8,
+                                                     99);
+  EncodedCheckpointOptions options;
+  options.interval_iterations = 7;
+  options.parity_blocks = 2;
+  EncodedCheckpoint scheme(options, setup.x0);
+  RealVec x = setup.x0;
+  const auto report = resilient_solve(setup.a, cluster, setup.b, x, scheme,
+                                      injector, tight_options());
+  EXPECT_TRUE(report.cg.converged);
+  EXPECT_LE(report.true_relative_residual, 1e-11);
+  // Each 2-rank event killed 2 snapshot shares; both were reconstructed
+  // from parity instead of being lost like CR-M's node-local copies.
+  EXPECT_EQ(scheme.shares_decoded(), 4);
+  EXPECT_EQ(scheme.snapshot_losses(), 0);
+  EXPECT_GT(scheme.iterations_rolled_back(), 0);
+  EXPECT_GT(report.account.core_energy(PhaseTag::kEncode), 0.0);
+}
+
+TEST(EncodedCheckpointTest, BeyondParityRestartsFromInitialGuess) {
+  const LnfSetup setup;
+  const solver::CgResult ff = fault_free(setup);
+
+  simrt::VirtualCluster cluster(simrt::paper_node(), 8);
+  auto injector = FaultInjector::evenly_spaced_multi(1, ff.iterations, 3, 8,
+                                                     31);
+  EncodedCheckpointOptions options;
+  options.interval_iterations = 25;
+  options.parity_blocks = 2;
+  EncodedCheckpoint scheme(options, setup.x0);
+  RealVec x = setup.x0;
+  const auto report = resilient_solve(setup.a, cluster, setup.b, x, scheme,
+                                      injector, tight_options());
+  EXPECT_TRUE(report.cg.converged);
+  EXPECT_LE(report.true_relative_residual, 1e-11);
+  EXPECT_EQ(scheme.snapshot_losses(), 1);
+}
+
+TEST(EncodedCheckpointTest, RollbackRestoresSnapshotWithoutDecode) {
+  const LnfSetup setup;
+  simrt::VirtualCluster cluster(simrt::paper_node(), 8);
+  EncodedCheckpointOptions options;
+  options.interval_iterations = 1;
+  EncodedCheckpoint scheme(options, setup.x0);
+  resilience::RecoveryContext ctx{setup.a, setup.b, cluster};
+  RealVec snapshot(128, 2.5);
+  scheme.on_iteration(ctx, 1, snapshot);
+  RealVec x(128, -1.0);
+  EXPECT_TRUE(scheme.rollback(ctx, 5, std::span<Real>(x)));
+  for (const Real v : x) {
+    EXPECT_DOUBLE_EQ(v, 2.5);
+  }
+  EXPECT_EQ(scheme.shares_decoded(), 0);
+}
+
+TEST(AbftRunReportTest, EncodeBucketNonzeroAndSumsToTotal) {
+  const std::string path =
+      "abft_runreport_" + std::to_string(::getpid()) + ".jsonl";
+  harness::ExperimentConfig config;
+  config.processes = 8;
+  config.faults = 2;
+  config.observability.enabled = true;
+  config.observability.report_path = path;
+
+  const auto workload = harness::Workload::create(
+      sparse::banded_spd({128, 3, 1.0, 0.05, 0.0, 21}), 8, "abft_test");
+  const auto ff = harness::run_fault_free(workload, config);
+  const auto run = harness::run_scheme(workload, "ESR", config, ff);
+  EXPECT_TRUE(run.report.cg.converged);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  const obs::JsonValue report = obs::parse_json(line);
+  const auto& energy = report.at("energy");
+  const auto& phases = energy.at("phases").as_object();
+  ASSERT_TRUE(phases.contains("encode"));
+  EXPECT_GT(phases.at("encode").as_number(), 0.0);
+  double sum = energy.at("node_constant").as_number() +
+               energy.at("core_sleep").as_number();
+  for (const auto& [tag, joules] : phases) {
+    sum += joules.as_number();
+  }
+  const double total = energy.at("total").as_number();
+  ASSERT_GT(total, 0.0);
+  EXPECT_NEAR(sum / total, 1.0, 1e-9);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rsls::abft

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "abft/encoded_checkpoint.hpp"
+#include "abft/esr.hpp"
 #include "core/error.hpp"
 #include "harness/experiment.hpp"
 #include "harness/scheme_factory.hpp"
@@ -55,11 +57,19 @@ TEST(SchemeFactoryTest, AllNamesConstructible) {
     const auto scheme = make_scheme(name, config, x0);
     ASSERT_NE(scheme, nullptr);
     EXPECT_EQ(scheme->name(), name) << name;
+    EXPECT_GE(scheme->replica_factor(), 1) << name;
   }
 }
 
-TEST(SchemeFactoryTest, UnknownNameThrows) {
-  EXPECT_THROW(make_scheme("XYZ", SchemeFactoryConfig{}, RealVec{}), Error);
+TEST(SchemeFactoryTest, UnknownNameThrowsClearError) {
+  try {
+    make_scheme("XYZ", SchemeFactoryConfig{}, RealVec{});
+    FAIL() << "unknown scheme name must throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown recovery scheme"), std::string::npos);
+    EXPECT_NE(what.find("XYZ"), std::string::npos);
+  }
 }
 
 TEST(SchemeFactoryTest, TypesAreCorrect) {
@@ -74,12 +84,29 @@ TEST(SchemeFactoryTest, TypesAreCorrect) {
   EXPECT_NE(dynamic_cast<resilience::ForwardRecovery*>(
                 make_scheme("LSI-DVFS", config, x0).get()),
             nullptr);
+  EXPECT_NE(dynamic_cast<abft::EsrScheme*>(
+                make_scheme("ESR", config, x0).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<abft::EncodedCheckpoint*>(
+                make_scheme("ABFT-CR", config, x0).get()),
+            nullptr);
+}
+
+TEST(SchemeFactoryTest, AbftParityBlocksConfigured) {
+  SchemeFactoryConfig config;
+  config.abft_parity_blocks = 3;
+  const RealVec x0(16, 0.0);
+  const auto esr = make_scheme("ESR", config, x0);
+  EXPECT_EQ(dynamic_cast<abft::EsrScheme&>(*esr).options().parity_blocks, 3);
+  const auto cr = make_scheme("ABFT-CR", config, x0);
+  EXPECT_EQ(
+      dynamic_cast<abft::EncodedCheckpoint&>(*cr).options().parity_blocks, 3);
 }
 
 TEST(SchemeFactoryTest, SchemeSets) {
   EXPECT_EQ(iteration_scheme_names().size(), 6u);
   EXPECT_EQ(cost_scheme_names().size(), 5u);
-  EXPECT_EQ(all_scheme_names().size(), 13u);
+  EXPECT_EQ(all_scheme_names().size(), 15u);
 }
 
 TEST(ExperimentTest, FaultFreeBaselineConverges) {

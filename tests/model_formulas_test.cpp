@@ -173,6 +173,49 @@ TEST(CostModelTest, FwZeroCostsReduceToFaultFree) {
   EXPECT_DOUBLE_EQ(costs.e_res_ratio, 0.0);
 }
 
+TEST(CostModelTest, AbftZeroCostsReduceToFaultFree) {
+  AbftModelParams params;
+  const auto costs = abft(base_case(), params);
+  EXPECT_DOUBLE_EQ(costs.time_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(costs.energy_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(costs.e_res_ratio, 0.0);
+  EXPECT_FALSE(costs.halted);
+}
+
+TEST(CostModelTest, AbftMatchesClosedForm) {
+  AbftModelParams params;
+  params.encode_fraction = 0.05;
+  params.t_decode = 2.0;
+  params.lambda = 1e-2;
+  params.encode_power_factor = 0.9;
+  const BaseCase base = base_case();
+  const auto costs = abft(base, params);
+  // T_N = T_base·(1 + f_enc)/(1 − λ·t_decode).
+  const double expected_time = base.t_base * 1.05 / (1.0 - 0.02);
+  EXPECT_NEAR(costs.total_time, expected_time, 1e-9);
+  EXPECT_NEAR(costs.t_res, expected_time - base.t_base, 1e-9);
+  // Encode runs below normal power, so P_avg < N·P₁ while E grows.
+  EXPECT_LT(costs.power_ratio, 1.0);
+  EXPECT_GT(costs.e_res_ratio, 0.0);
+  // Energy decomposition: base + decode at N·P₁, encode at 0.9·N·P₁.
+  const double p_normal = static_cast<double>(base.n_cores) * base.p1;
+  const double t_encode = 0.05 * base.t_base;
+  const double t_decode_total = 0.02 * expected_time;
+  EXPECT_NEAR(costs.total_energy,
+              p_normal * (base.t_base + t_decode_total) +
+                  0.9 * p_normal * t_encode,
+              1e-6);
+}
+
+TEST(CostModelTest, AbftHaltsWhenDecodeDominates) {
+  AbftModelParams params;
+  params.t_decode = 10.0;
+  params.lambda = 0.1;  // λ·t_decode = 1: no forward progress.
+  const auto costs = abft(base_case(), params);
+  EXPECT_TRUE(costs.halted);
+  EXPECT_TRUE(std::isinf(costs.total_time));
+}
+
 // Property: overheads are monotone in the failure rate.
 class LambdaMonotoneTest : public ::testing::TestWithParam<double> {};
 
@@ -187,6 +230,18 @@ TEST_P(LambdaMonotoneTest, CrOverheadGrowsWithLambda) {
   hi_params.lambda = GetParam() * 4.0;
   hi_params.interval = young_interval(0.5, 1.0 / hi_params.lambda);
   const auto hi = checkpoint_restart(base_case(), hi_params);
+  EXPECT_GT(hi.t_res_ratio, lo.t_res_ratio);
+  EXPECT_GT(hi.e_res_ratio, lo.e_res_ratio);
+}
+
+TEST_P(LambdaMonotoneTest, AbftOverheadGrowsWithLambda) {
+  AbftModelParams params;
+  params.encode_fraction = 0.02;
+  params.t_decode = 1.0;
+  params.lambda = GetParam();
+  const auto lo = abft(base_case(), params);
+  params.lambda = GetParam() * 4.0;
+  const auto hi = abft(base_case(), params);
   EXPECT_GT(hi.t_res_ratio, lo.t_res_ratio);
   EXPECT_GT(hi.e_res_ratio, lo.e_res_ratio);
 }
@@ -214,6 +269,12 @@ TEST(CostModelTest, RejectsInvalidInputs) {
   FwModelParams fw;
   fw.active_ranks = 0;
   EXPECT_THROW(forward_recovery(base_case(), fw), Error);
+  AbftModelParams ab;
+  ab.encode_fraction = -0.1;
+  EXPECT_THROW(abft(base_case(), ab), Error);
+  ab = AbftModelParams{};
+  ab.encode_power_factor = 0.0;
+  EXPECT_THROW(abft(base_case(), ab), Error);
   BaseCase bad = base_case();
   bad.t_base = 0.0;
   EXPECT_THROW(fault_free(bad), Error);

@@ -96,6 +96,13 @@ TEST(ProjectionTest, PaperShapes) {
   // CR-M stays the cheapest at exascale.
   EXPECT_LT(last.cr_memory.t_res_ratio, last.fw.t_res_ratio);
   EXPECT_FALSE(last.cr_memory.halted);
+  // ESR grows slowly (log-depth encode/decode) and never halts: above
+  // RD's zero time overhead but below FW, and far below RD's 2× energy.
+  EXPECT_GT(last.esr.t_res_ratio, first.esr.t_res_ratio);
+  EXPECT_GT(last.esr.t_res_ratio, last.rd.t_res_ratio);
+  EXPECT_LT(last.esr.t_res_ratio, last.fw.t_res_ratio);
+  EXPECT_LT(last.esr.e_res_ratio, last.rd.e_res_ratio);
+  EXPECT_FALSE(last.esr.halted);
 }
 
 TEST(ProjectionTest, CrdPowerDropsWithScale) {

@@ -85,6 +85,36 @@ TEST(JsonTest, ParserRejectsMalformedInput) {
   EXPECT_THROW(parse_json("truthy"), Error);
 }
 
+TEST(JsonTest, UnicodeEscapesDecodeToUtf8) {
+  // ASCII, Latin-1, BMP, and a supplementary plane code point via a
+  // surrogate pair — all decoded to UTF-8 bytes.
+  const JsonValue doc = parse_json(
+      "\"\\u0041\\u00e9\\u20ac\\ud83d\\ude00\"");
+  EXPECT_EQ(doc.as_string(),
+            "A\xc3\xa9\xe2\x82\xac\xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, UnicodeEscapeEdgeCases) {
+  // Highest BMP code point below the surrogate range, and the highest
+  // code point reachable by a surrogate pair (U+10FFFF).
+  EXPECT_EQ(parse_json("\"\\ud7ff\"").as_string(), "\xed\x9f\xbf");
+  EXPECT_EQ(parse_json("\"\\udbff\\udfff\"").as_string(),
+            "\xf4\x8f\xbf\xbf");
+  // NUL decodes to a real embedded zero byte.
+  const std::string nul = parse_json("\"a\\u0000b\"").as_string();
+  ASSERT_EQ(nul.size(), 3u);
+  EXPECT_EQ(nul[1], '\0');
+}
+
+TEST(JsonTest, MalformedUnicodeEscapesAreRejected) {
+  EXPECT_THROW(parse_json("\"\\u12\""), Error);        // truncated
+  EXPECT_THROW(parse_json("\"\\u12g4\""), Error);      // bad hex digit
+  EXPECT_THROW(parse_json("\"\\ud800\""), Error);      // lone high
+  EXPECT_THROW(parse_json("\"\\ud800x\""), Error);     // high, no \u
+  EXPECT_THROW(parse_json("\"\\ud800\\u0041\""), Error);  // bad low
+  EXPECT_THROW(parse_json("\"\\udc00\""), Error);      // unpaired low
+}
+
 TEST(JsonTest, ParserAccessorsEnforceKinds) {
   const JsonValue doc = parse_json("{\"a\":[1,2],\"s\":\"x\"}");
   EXPECT_THROW(doc.at("a").as_string(), Error);
@@ -336,7 +366,7 @@ TEST_F(ObservedRunTest, ReportEnergyPhasesSumToTotal) {
   double sum = energy.at("node_constant").as_number() +
                energy.at("core_sleep").as_number();
   const auto& phases = energy.at("phases").as_object();
-  EXPECT_EQ(phases.size(), 8u);  // every PhaseTag, zero or not
+  EXPECT_EQ(phases.size(), power::kPhaseTagCount);  // every tag, zero or not
   for (const auto& [tag, joules] : phases) {
     sum += joules.as_number();
   }

@@ -34,8 +34,11 @@ TEST(UmbrellaTest, EveryLayerReachable) {
   EXPECT_EQ(dist::Partition(8, 2).block_rows(0), 4);       // dist
   EXPECT_EQ(solver::SolverKind::kCg, solver::CgOptions{}.kind);  // solver
   EXPECT_EQ(resilience::Dmr().replica_factor(), 2);        // resilience
+  EXPECT_EQ(abft::Encoding(dist::Partition(8, 2), 2)       // abft
+                .parity_blocks(),
+            2);
   EXPECT_GT(model::young_interval(1.0, 100.0), 0.0);       // model
-  EXPECT_EQ(harness::all_scheme_names().size(), 13u);      // harness
+  EXPECT_EQ(harness::all_scheme_names().size(), 15u);      // harness
 }
 
 }  // namespace
