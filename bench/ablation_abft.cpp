@@ -20,10 +20,9 @@
 #include "core/error.hpp"
 #include "core/options.hpp"
 #include "core/table.hpp"
-#include "harness/experiment.hpp"
+#include "harness/runner.hpp"
 #include "harness/scheme_factory.hpp"
 #include "resilience/fault.hpp"
-#include "simrt/cluster.hpp"
 #include "sparse/roster.hpp"
 
 int main(int argc, char** argv) {
@@ -33,13 +32,10 @@ int main(int argc, char** argv) {
 
   const auto& entry = sparse::roster_entry("crystm02");
   const Index processes = options.get_index("processes", quick ? 24 : 48);
-  const auto workload =
-      harness::Workload::create(entry.make(quick), processes, entry.name);
 
   harness::ExperimentConfig config;
   config.processes = processes;
   config.faults = quick ? 2 : 3;
-  const auto ff = harness::run_fault_free(workload, config);
 
   std::cout << "Ablation: ABFT under multi-rank (LNF) faults (" << entry.name
             << ", " << processes << " processes, " << config.faults
@@ -57,55 +53,82 @@ int main(int argc, char** argv) {
     Index esr_fallbacks = 0;
     Index snapshot_shares_decoded = 0;
   };
-  std::vector<Row> rows;
 
+  // One cell per (loss width × scheme), all sharing the group's
+  // fault-free baseline. Each cell body writes its own pre-sized row
+  // slot, so the grid parallelizes under RSLS_JOBS with bit-identical
+  // results.
   const std::vector<std::string> schemes = {"ESR",  "ABFT-CR", "RD", "CR-M",
                                             "CR-D", "LI",      "LSI"};
-  for (const Index ranks_per_fault : IndexVec{1, 2, 3}) {
-    for (const auto& name : schemes) {
-      harness::SchemeFactoryConfig factory;
-      factory.cr_interval_iterations = config.cr_interval_iterations;
-      factory.abft_parity_blocks = 2;
-      const auto scheme = harness::make_scheme(name, factory, workload.x0);
-      simrt::VirtualCluster cluster(harness::machine_for(processes),
-                                    processes, scheme->replica_factor());
-      auto injector = resilience::FaultInjector::evenly_spaced_multi(
-          config.faults, ff.iterations, ranks_per_fault, processes,
-          config.fault_seed);
-      Row row;
-      row.scheme = name;
-      row.ranks_per_fault = ranks_per_fault;
-      row.run = harness::run_scheme_on_cluster(workload, name, *scheme,
-                                               injector, cluster, config, ff);
-      row.encode_fraction =
-          row.run.report.account.core_energy(power::PhaseTag::kEncode) /
-          row.run.report.energy;
-      if (const auto* esr = dynamic_cast<const abft::EsrScheme*>(&*scheme)) {
-        row.esr_fallbacks = esr->fallbacks();
-      }
-      if (const auto* cr =
-              dynamic_cast<const abft::EncodedCheckpoint*>(&*scheme)) {
-        row.snapshot_shares_decoded = cr->shares_decoded();
-      }
-      rows.push_back(row);
+  const IndexVec loss_widths = {1, 2, 3};
+  std::vector<Row> rows(loss_widths.size() * schemes.size());
 
-      table.add_row({name, std::to_string(ranks_per_fault),
-                     TablePrinter::num(row.run.iteration_ratio),
-                     TablePrinter::num(row.run.time_ratio),
-                     TablePrinter::num(row.run.energy_ratio),
-                     TablePrinter::num(100.0 * row.encode_fraction),
-                     std::to_string(row.run.report.recoveries),
-                     std::to_string(row.esr_fallbacks),
-                     row.run.report.cg.converged ? "yes" : "no"});
-      csv_rows.push_back({name, std::to_string(ranks_per_fault),
-                          TablePrinter::num(row.run.iteration_ratio, 4),
-                          TablePrinter::num(row.run.time_ratio, 4),
-                          TablePrinter::num(row.run.energy_ratio, 4),
-                          TablePrinter::num(row.encode_fraction, 6),
-                          std::to_string(row.run.report.recoveries),
-                          std::to_string(row.esr_fallbacks),
-                          row.run.report.cg.converged ? "1" : "0"});
+  harness::GroupSpec group;
+  group.label = entry.name;
+  group.config = config;
+  group.make_workload = [&entry, processes, quick] {
+    return harness::Workload::create(entry.make(quick), processes, entry.name);
+  };
+  for (std::size_t wi = 0; wi < loss_widths.size(); ++wi) {
+    for (std::size_t si = 0; si < schemes.size(); ++si) {
+      const Index ranks_per_fault = loss_widths[wi];
+      const std::string name = schemes[si];
+      Row* row = &rows[wi * schemes.size() + si];
+      harness::CellSpec cell;
+      cell.scheme = name;
+      cell.body = [row, name, ranks_per_fault](
+                      const harness::Workload& workload,
+                      const harness::FfBaseline& ff,
+                      const harness::ExperimentConfig& cell_config) {
+        const auto scheme =
+            harness::make_scheme(name, cell_config.scheme, workload.x0);
+        auto injector = resilience::FaultInjector::evenly_spaced_multi(
+            cell_config.faults, ff.iterations, ranks_per_fault,
+            cell_config.processes, cell_config.fault_seed);
+        const auto run = harness::run_scheme(
+            workload, name, cell_config, ff,
+            {.scheme = scheme.get(), .injector = &injector});
+        row->scheme = name;
+        row->ranks_per_fault = ranks_per_fault;
+        row->run = run;
+        row->encode_fraction =
+            run.report.account.core_energy(power::PhaseTag::kEncode) /
+            run.report.energy;
+        if (const auto* esr =
+                dynamic_cast<const abft::EsrScheme*>(scheme.get())) {
+          row->esr_fallbacks = esr->fallbacks();
+        }
+        if (const auto* cr =
+                dynamic_cast<const abft::EncodedCheckpoint*>(scheme.get())) {
+          row->snapshot_shares_decoded = cr->shares_decoded();
+        }
+        return run;
+      };
+      group.cells.push_back(std::move(cell));
     }
+  }
+
+  harness::Runner runner;
+  const auto result = runner.run_group(group);
+  const auto& ff = result.ff;
+
+  for (const auto& row : rows) {
+    table.add_row({row.scheme, std::to_string(row.ranks_per_fault),
+                   TablePrinter::num(row.run.iteration_ratio),
+                   TablePrinter::num(row.run.time_ratio),
+                   TablePrinter::num(row.run.energy_ratio),
+                   TablePrinter::num(100.0 * row.encode_fraction),
+                   std::to_string(row.run.report.recoveries),
+                   std::to_string(row.esr_fallbacks),
+                   row.run.report.cg.converged ? "yes" : "no"});
+    csv_rows.push_back({row.scheme, std::to_string(row.ranks_per_fault),
+                        TablePrinter::num(row.run.iteration_ratio, 4),
+                        TablePrinter::num(row.run.time_ratio, 4),
+                        TablePrinter::num(row.run.energy_ratio, 4),
+                        TablePrinter::num(row.encode_fraction, 6),
+                        std::to_string(row.run.report.recoveries),
+                        std::to_string(row.esr_fallbacks),
+                        row.run.report.cg.converged ? "1" : "0"});
   }
   table.print(std::cout);
 

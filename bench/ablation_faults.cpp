@@ -10,7 +10,7 @@
 #include "core/env.hpp"
 #include "core/options.hpp"
 #include "core/table.hpp"
-#include "harness/experiment.hpp"
+#include "harness/runner.hpp"
 #include "harness/scheme_factory.hpp"
 #include "sparse/roster.hpp"
 
@@ -20,9 +20,7 @@ int main(int argc, char** argv) {
   const bool quick = quick_mode() || options.get_bool("quick", false);
 
   const auto& entry = sparse::roster_entry("crystm02");
-  const sparse::Csr a = entry.make(quick);
   const Index processes = options.get_index("processes", quick ? 24 : 48);
-  const auto workload = harness::Workload::create(a, processes);
 
   std::cout << "Ablation: overhead vs fault count (" << entry.name << ", "
             << processes << " processes)\n\n";
@@ -42,18 +40,32 @@ int main(int argc, char** argv) {
 
   const IndexVec fault_counts = quick ? IndexVec{2, 10} : IndexVec{1, 5, 10,
                                                                    20, 40};
-  harness::ExperimentConfig base_config;
-  base_config.processes = processes;
-  const auto ff = harness::run_fault_free(workload, base_config);
+
+  // One group (one matrix, one baseline), (fault count × scheme) cells;
+  // each cell overrides the fault count on the group config.
+  harness::GroupSpec group;
+  group.label = entry.name;
+  group.config.processes = processes;
+  group.make_workload = [&entry, processes, quick] {
+    return harness::Workload::create(entry.make(quick), processes, entry.name);
+  };
+  for (const Index faults : fault_counts) {
+    for (const auto& scheme : schemes) {
+      harness::ExperimentConfig config = group.config;
+      config.faults = faults;
+      config.scheme.cr_interval_iterations = 100;
+      group.cells.push_back({scheme, config, nullptr});
+    }
+  }
+
+  harness::Runner runner;
+  const auto result = runner.run_group(group);
 
   for (std::size_t fi = 0; fi < fault_counts.size(); ++fi) {
-    harness::ExperimentConfig config = base_config;
-    config.faults = fault_counts[fi];
-    config.cr_interval_iterations = 100;
-    std::vector<std::string> row = {std::to_string(config.faults)};
+    std::vector<std::string> row = {std::to_string(fault_counts[fi])};
     std::vector<std::string> csv_row = row;
     for (std::size_t s = 0; s < schemes.size(); ++s) {
-      const auto run = harness::run_scheme(workload, schemes[s], config, ff);
+      const auto& run = result.runs[fi * schemes.size() + s];
       row.push_back(TablePrinter::num(run.time_ratio));
       csv_row.push_back(TablePrinter::num(run.time_ratio, 4));
       if (fi == 0) {

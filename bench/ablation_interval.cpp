@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
       young_iters, young_iters * 3, young_iters * 8, young_iters * 24};
   for (const Index interval : intervals) {
     harness::ExperimentConfig run_config = config;
-    run_config.cr_interval_iterations = interval;
+    run_config.scheme.cr_interval_iterations = interval;
     const auto run = harness::run_scheme(workload, "CR-D", run_config, ff);
     table.add_row({std::to_string(interval),
                    TablePrinter::num(run.time_ratio),

@@ -12,7 +12,7 @@
 #include "core/env.hpp"
 #include "core/options.hpp"
 #include "core/table.hpp"
-#include "harness/experiment.hpp"
+#include "harness/runner.hpp"
 #include "harness/scheme_factory.hpp"
 #include "sparse/generators.hpp"
 
@@ -43,8 +43,10 @@ int main(int argc, char** argv) {
   std::vector<double> first(schemes.size(), 0.0);
   std::vector<double> last(schemes.size(), 0.0);
 
-  for (std::size_t pi = 0; pi < process_counts.size(); ++pi) {
-    const Index p = process_counts[pi];
+  // One group per process count (each has its own generated matrix and
+  // baseline); scheme cells ride the group config.
+  std::vector<harness::GroupSpec> groups;
+  for (const Index p : process_counts) {
     sparse::BandedSpdConfig matrix_config;
     matrix_config.n = p * rows_per_process;
     matrix_config.half_bandwidth = 11;
@@ -52,21 +54,33 @@ int main(int argc, char** argv) {
     matrix_config.scale_decades = 1.0;
     matrix_config.seed = 500 + static_cast<std::uint64_t>(p);
 
-    harness::ExperimentConfig config;
-    config.processes = p;
-    config.faults = std::max<Index>(1, p * faults_per_kproc / 24);
-    config.use_young_interval = true;
+    harness::GroupSpec group;
+    group.label = "p" + std::to_string(p);
+    group.config.processes = p;
+    group.config.faults = std::max<Index>(1, p * faults_per_kproc / 24);
+    group.config.use_young_interval = true;
+    group.make_workload = [matrix_config, p] {
+      return harness::Workload::create(sparse::banded_spd(matrix_config), p);
+    };
+    for (const auto& scheme : schemes) {
+      group.cells.push_back({scheme, std::nullopt, nullptr});
+    }
+    groups.push_back(std::move(group));
+  }
 
-    const auto workload =
-        harness::Workload::create(sparse::banded_spd(matrix_config), p);
-    const auto ff = harness::run_fault_free(workload, config);
+  harness::Runner runner;
+  const auto results = runner.run(groups);
 
+  for (std::size_t pi = 0; pi < process_counts.size(); ++pi) {
+    const Index p = process_counts[pi];
+    const auto& result = results[pi];
     std::vector<std::string> row = {
-        std::to_string(p), std::to_string(matrix_config.n),
-        std::to_string(config.faults), TablePrinter::num(ff.time * 1e3, 2)};
+        std::to_string(p), std::to_string(p * rows_per_process),
+        std::to_string(groups[pi].config.faults),
+        TablePrinter::num(result.ff.time * 1e3, 2)};
     std::vector<std::string> csv_row = row;
     for (std::size_t s = 0; s < schemes.size(); ++s) {
-      const auto run = harness::run_scheme(workload, schemes[s], config, ff);
+      const auto& run = result.runs[s];
       const double t_res = run.time_ratio - 1.0;
       row.push_back(TablePrinter::num(t_res));
       csv_row.push_back(TablePrinter::num(t_res, 4));

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   harness::ExperimentConfig config;
   config.processes = options.get_index("processes", quick ? 48 : 192);
   config.faults = options.get_index("faults", 10);
-  config.cr_interval_iterations = 100;
+  config.scheme.cr_interval_iterations = 100;
 
   const auto& entry = sparse::roster_entry("Andrews");
   const auto workload =

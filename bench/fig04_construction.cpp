@@ -28,16 +28,9 @@ rsls::harness::SchemeRun run_one(const rsls::harness::Workload& workload,
                                  const rsls::harness::FfBaseline& ff,
                                  double tolerance) {
   using namespace rsls;
-  harness::SchemeFactoryConfig factory;
-  factory.fw_cg_tolerance = tolerance;
-  factory.cr_interval_iterations = config.cr_interval_iterations;
-  const auto scheme = harness::make_scheme(name, factory, workload.x0);
-  simrt::VirtualCluster cluster(harness::machine_for(config.processes),
-                                config.processes, scheme->replica_factor());
-  auto injector = resilience::FaultInjector::evenly_spaced(
-      config.faults, ff.iterations, config.processes, config.fault_seed);
-  return harness::run_scheme_on_cluster(workload, name, *scheme, injector,
-                                        cluster, config, ff);
+  harness::ExperimentConfig run_config = config;
+  run_config.scheme.fw_cg_tolerance = tolerance;
+  return harness::run_scheme(workload, name, run_config, ff);
 }
 
 }  // namespace

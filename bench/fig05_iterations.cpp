@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   harness::ExperimentConfig config;
   config.processes = options.get_index("processes", quick ? 48 : 192);
   config.faults = options.get_index("faults", 10);
-  config.cr_interval_iterations = options.get_index("cr-interval", 100);
+  config.scheme.cr_interval_iterations = options.get_index("cr-interval", 100);
 
   const auto schemes = harness::iteration_scheme_names();
 

@@ -37,34 +37,22 @@ std::vector<History> run_histories(const harness::Workload& workload,
   {
     harness::ExperimentConfig ff_config = config;
     ff_config.record_residuals = true;
-    simrt::VirtualCluster cluster(harness::machine_for(config.processes),
-                                  config.processes);
-    harness::SchemeFactoryConfig factory;
-    factory.cr_interval_iterations = config.cr_interval_iterations;
-    const auto scheme = harness::make_scheme("RD", factory, workload.x0);
     // RD with no faults tracks FF exactly; reuse it as the FF curve
     // (replica factor only changes energy, not the residual path).
-    simrt::VirtualCluster rd_cluster(harness::machine_for(config.processes),
-                                     config.processes,
-                                     scheme->replica_factor());
+    const auto scheme = harness::make_scheme("RD", config.scheme, workload.x0);
     auto injector = resilience::FaultInjector::none();
-    const auto run = harness::run_scheme_on_cluster(
-        workload, "FF", *scheme, injector, rd_cluster, ff_config, ff);
+    const auto run =
+        harness::run_scheme(workload, "FF", ff_config, ff,
+                            {.scheme = scheme.get(), .injector = &injector});
     histories.push_back({"FF", run.report.cg.residual_history});
   }
   for (const auto& name : harness::iteration_scheme_names()) {
     harness::ExperimentConfig scheme_config = config;
     scheme_config.record_residuals = true;
-    harness::SchemeFactoryConfig factory;
-    factory.fw_cg_tolerance = config.fw_cg_tolerance;
-    factory.cr_interval_iterations = config.cr_interval_iterations;
-    const auto scheme = harness::make_scheme(name, factory, workload.x0);
-    simrt::VirtualCluster cluster(harness::machine_for(config.processes),
-                                  config.processes, scheme->replica_factor());
     auto injector = resilience::FaultInjector::at_iterations(
         fault_iterations, config.processes, config.fault_seed);
-    const auto run = harness::run_scheme_on_cluster(
-        workload, name, *scheme, injector, cluster, scheme_config, ff);
+    const auto run = harness::run_scheme(workload, name, scheme_config, ff,
+                                         {.injector = &injector});
     histories.push_back({name, run.report.cg.residual_history});
   }
   return histories;
@@ -111,7 +99,7 @@ int main(int argc, char** argv) {
 
   harness::ExperimentConfig config;
   config.processes = options.get_index("processes", quick ? 48 : 192);
-  config.cr_interval_iterations = 100;
+  config.scheme.cr_interval_iterations = 100;
 
   // (a) one fault at iteration 200 on crystm02.
   bool shapes_ok = true;

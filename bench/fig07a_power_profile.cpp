@@ -35,7 +35,7 @@ struct ProfileResult {
 ProfileResult run_profile(const harness::Workload& workload,
                           const harness::ExperimentConfig& config,
                           const harness::FfBaseline& ff, bool dvfs) {
-  auto scheme = resilience::ForwardRecovery::li_cg(config.fw_cg_tolerance,
+  auto scheme = resilience::ForwardRecovery::li_cg(config.scheme.fw_cg_tolerance,
                                                    dvfs);
   simrt::VirtualCluster cluster(harness::machine_for(config.processes),
                                 config.processes);
@@ -47,11 +47,8 @@ ProfileResult run_profile(const harness::Workload& workload,
     cluster.set_governor(power::make_ondemand_governor());
   }
   cluster.enable_power_trace(ff.time / 400.0);
-  auto injector = resilience::FaultInjector::evenly_spaced(
-      config.faults, ff.iterations, config.processes, config.fault_seed);
-  (void)harness::run_scheme_on_cluster(workload, dvfs ? "LI-DVFS" : "LI",
-                                       *scheme, injector, cluster, config,
-                                       ff);
+  (void)harness::run_scheme(workload, dvfs ? "LI-DVFS" : "LI", config, ff,
+                            {.scheme = scheme.get(), .cluster = &cluster});
   ProfileResult result;
   result.profile = cluster.node_power_profile(0);
   result.total_time = cluster.elapsed();

@@ -282,8 +282,8 @@ class TeeReporter : public benchmark::ConsoleReporter {
 /// google-benchmark's finalized values.
 void write_bench_json(
     const std::vector<benchmark::BenchmarkReporter::Run>& runs) {
-  const std::string path = rsls::env_string("RSLS_BENCH_JSON")
-                               .value_or("BENCH_micro_kernels.json");
+  const std::string path =
+      rsls::env::bench_json_path().value_or("BENCH_micro_kernels.json");
   std::ofstream os(path);
   if (!os.good()) {
     std::fprintf(stderr, "micro_kernels: cannot open %s for writing\n",

@@ -12,7 +12,7 @@
 #include "core/env.hpp"
 #include "core/options.hpp"
 #include "core/table.hpp"
-#include "harness/experiment.hpp"
+#include "harness/runner.hpp"
 #include "harness/scheme_factory.hpp"
 #include "sparse/roster.hpp"
 
@@ -41,19 +41,35 @@ int main(int argc, char** argv) {
   std::vector<double> min_ratio(schemes.size(), 1e9);
   std::vector<double> max_ratio(schemes.size(), 0.0);
 
+  // One group per process count; all groups partition the same CSR.
+  const double fw_tol = options.get_double("fw-tol", 1e-10);
+  std::vector<harness::GroupSpec> groups;
   for (const Index p : process_counts) {
-    harness::ExperimentConfig config;
-    config.processes = p;
-    config.faults = 10;
-    config.cr_interval_iterations = 100;
-    config.fw_cg_tolerance = options.get_double("fw-tol", 1e-10);
-    const auto workload = harness::Workload::create(matrix, p);
-    const auto ff = harness::run_fault_free(workload, config);
-    std::vector<std::string> row = {std::to_string(p),
-                                    std::to_string(ff.iterations)};
+    harness::GroupSpec group;
+    group.label = entry.name + "-p" + std::to_string(p);
+    group.config.processes = p;
+    group.config.faults = 10;
+    group.config.scheme.cr_interval_iterations = 100;
+    group.config.scheme.fw_cg_tolerance = fw_tol;
+    group.make_workload = [&matrix, p] {
+      return harness::Workload::create(matrix, p);
+    };
+    for (const auto& scheme : schemes) {
+      group.cells.push_back({scheme, std::nullopt, nullptr});
+    }
+    groups.push_back(std::move(group));
+  }
+
+  harness::Runner runner;
+  const auto results = runner.run(groups);
+
+  for (std::size_t pi = 0; pi < process_counts.size(); ++pi) {
+    const auto& result = results[pi];
+    std::vector<std::string> row = {std::to_string(process_counts[pi]),
+                                    std::to_string(result.ff.iterations)};
     std::vector<std::string> csv_row = row;
     for (std::size_t s = 0; s < schemes.size(); ++s) {
-      const auto run = harness::run_scheme(workload, schemes[s], config, ff);
+      const auto& run = result.runs[s];
       row.push_back(TablePrinter::num(run.iteration_ratio));
       csv_row.push_back(TablePrinter::num(run.iteration_ratio, 4));
       min_ratio[s] = std::min(min_ratio[s], run.iteration_ratio);

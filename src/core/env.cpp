@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <stdexcept>
+#include <thread>
 
 namespace rsls {
 
@@ -13,17 +15,108 @@ std::optional<std::string> env_string(const std::string& name) {
   return std::string(value);
 }
 
-bool quick_mode() {
-  const auto value = env_string("RSLS_QUICK");
-  if (!value.has_value()) {
-    return false;
-  }
-  return *value != "0" && !value->empty();
-}
+bool quick_mode() { return env::quick(); }
 
 long long quick_scaled(long long full, long long quick, long long min_value) {
   const long long chosen = quick_mode() ? quick : full;
   return std::max(chosen, min_value);
 }
 
+namespace env {
+
+const std::vector<VarSpec>& registry() {
+  static const std::vector<VarSpec> vars = {
+      {"RSLS_QUICK", "bool", "0",
+       "Shrink bench workloads so the whole suite smoke-runs in seconds."},
+      {"RSLS_JOBS", "int", "1",
+       "Worker threads for parallel sweeps (harness::Runner). 0 = one per "
+       "hardware thread. Results are bit-identical at any value."},
+      {"RSLS_TRACE_DIR", "path", "unset",
+       "Write one Chrome trace JSON per scheme run into this directory."},
+      {"RSLS_RUN_REPORT", "path", "unset",
+       "Append one RunReport JSONL line per scheme run to this file."},
+      {"RSLS_OBS_POWER_BIN", "double", "0.05",
+       "Power-trace bin width in virtual seconds for trace counter tracks."},
+      {"RSLS_BENCH_JSON", "path", "BENCH_micro_kernels.json",
+       "Output path for micro_kernels' machine-readable results."},
+      {"RSLS_LOG_LEVEL", "string", "warn",
+       "stderr log threshold: debug|info|warn|error (or 0-3)."},
+  };
+  return vars;
+}
+
+bool get_bool(const std::string& name, bool fallback) {
+  const auto value = env_string(name);
+  if (!value.has_value()) {
+    return fallback;
+  }
+  return *value != "0" && !value->empty();
+}
+
+long long get_int(const std::string& name, long long fallback) {
+  const auto value = env_string(name);
+  if (!value.has_value()) {
+    return fallback;
+  }
+  try {
+    std::size_t used = 0;
+    const long long parsed = std::stoll(*value, &used);
+    return used == value->size() ? parsed : fallback;
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+double get_double(const std::string& name, double fallback) {
+  const auto value = env_string(name);
+  if (!value.has_value()) {
+    return fallback;
+  }
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(*value, &used);
+    return used == value->size() ? parsed : fallback;
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+std::string get_string(const std::string& name, const std::string& fallback) {
+  return env_string(name).value_or(fallback);
+}
+
+bool quick() { return get_bool("RSLS_QUICK", false); }
+
+Index jobs() {
+  const long long requested = get_int("RSLS_JOBS", 1);
+  if (requested > 0) {
+    return static_cast<Index>(requested);
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return static_cast<Index>(std::max(hardware, 1u));
+}
+
+std::optional<std::string> trace_dir() { return env_string("RSLS_TRACE_DIR"); }
+
+std::optional<std::string> run_report_path() {
+  return env_string("RSLS_RUN_REPORT");
+}
+
+std::optional<double> obs_power_bin() {
+  const auto value = env_string("RSLS_OBS_POWER_BIN");
+  if (!value.has_value()) {
+    return std::nullopt;
+  }
+  return get_double("RSLS_OBS_POWER_BIN", 0.05);
+}
+
+std::optional<std::string> bench_json_path() {
+  return env_string("RSLS_BENCH_JSON");
+}
+
+std::optional<std::string> log_level_name() {
+  return env_string("RSLS_LOG_LEVEL");
+}
+
+}  // namespace env
 }  // namespace rsls

@@ -1,8 +1,16 @@
 #pragma once
-// Process environment queries shared by benches and tests.
+// Typed registry of the RSLS_* process-environment knobs.
+//
+// Every environment variable the system reads is declared here once,
+// with its type, default, and documentation (the README table mirrors
+// env::registry()). Call sites use the typed accessors instead of raw
+// getenv so a knob cannot be parsed two different ways in two places.
 
 #include <optional>
 #include <string>
+#include <vector>
+
+#include "core/types.hpp"
 
 namespace rsls {
 
@@ -16,4 +24,51 @@ bool quick_mode();
 /// Scale a problem dimension down in quick mode (floor at `min_value`).
 long long quick_scaled(long long full, long long quick, long long min_value = 1);
 
+namespace env {
+
+/// One documented environment knob.
+struct VarSpec {
+  const char* name;
+  const char* type;        // "bool" | "int" | "double" | "path" | "string"
+  const char* fallback;    // human-readable default
+  const char* description;
+};
+
+/// Every RSLS_* knob the system reads, in documentation order. Tests
+/// assert that no other RSLS_ lookup exists outside this registry.
+const std::vector<VarSpec>& registry();
+
+// --- generic typed lookups (fall back on unset or unparsable) ----------
+bool get_bool(const std::string& name, bool fallback);
+long long get_int(const std::string& name, long long fallback);
+double get_double(const std::string& name, double fallback);
+std::string get_string(const std::string& name, const std::string& fallback);
+
+// --- one accessor per registered knob ----------------------------------
+/// RSLS_QUICK: shrink bench workloads to smoke-run scale.
+bool quick();
+
+/// RSLS_JOBS: worker threads for harness::Runner sweeps. Unset or 1 runs
+/// the serial path; 0 means one worker per hardware thread. Results are
+/// bit-identical at any value.
+Index jobs();
+
+/// RSLS_TRACE_DIR: directory for per-run Chrome trace JSON files.
+std::optional<std::string> trace_dir();
+
+/// RSLS_RUN_REPORT: JSONL path receiving one RunReport line per run.
+std::optional<std::string> run_report_path();
+
+/// RSLS_OBS_POWER_BIN: power-trace bin width (seconds) for counter
+/// tracks.
+std::optional<double> obs_power_bin();
+
+/// RSLS_BENCH_JSON: output path for micro_kernels' machine-readable
+/// results.
+std::optional<std::string> bench_json_path();
+
+/// RSLS_LOG_LEVEL: stderr log threshold (debug|info|warn|error or 0-3).
+std::optional<std::string> log_level_name();
+
+}  // namespace env
 }  // namespace rsls

@@ -32,7 +32,7 @@ const char* level_tag(LogLevel level) {
 }
 
 void apply_env_level() {
-  const auto value = env_string("RSLS_LOG_LEVEL");
+  const auto value = env::log_level_name();
   if (!value.has_value()) {
     return;
   }

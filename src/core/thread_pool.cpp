@@ -1,0 +1,148 @@
+#include "core/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/env.hpp"
+#include "core/error.hpp"
+
+namespace rsls {
+
+namespace {
+
+// Identity of the worker the current thread belongs to, so nested
+// submissions can target their own deque. Null on non-pool threads.
+struct WorkerIdentity {
+  ThreadPool* pool = nullptr;
+  std::size_t index = 0;
+};
+thread_local WorkerIdentity t_worker;
+
+}  // namespace
+
+Index ThreadPool::default_threads() { return env::jobs(); }
+
+ThreadPool::ThreadPool(Index threads) {
+  const auto count = static_cast<std::size_t>(std::max<Index>(threads, 1));
+  queues_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    stop_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  RSLS_CHECK_MSG(task != nullptr, "cannot submit an empty task");
+  std::size_t target;
+  if (t_worker.pool == this) {
+    target = t_worker.index;  // nested: stay local
+  } else {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    target = next_queue_;
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    ++queued_;
+    ++pending_;
+  }
+  work_available_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t self, std::function<void()>& task) {
+  // Own deque first, newest task (LIFO keeps nested work hot) ...
+  {
+    auto& own = *queues_[self];
+    const std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  // ... then steal the oldest task from any other worker (FIFO keeps
+  // the victim's locality intact).
+  for (std::size_t step = 1; step < queues_.size(); ++step) {
+    auto& victim = *queues_[(self + step) % queues_.size()];
+    const std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::run_task(std::function<void()>& task) {
+  try {
+    task();
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    if (first_error_ == nullptr) {
+      first_error_ = std::current_exception();
+    }
+  }
+  task = nullptr;  // release captures before signalling completion
+  bool now_idle = false;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    --pending_;
+    now_idle = pending_ == 0;
+  }
+  if (now_idle) {
+    idle_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  t_worker = WorkerIdentity{this, self};
+  std::function<void()> task;
+  while (true) {
+    if (try_pop(self, task)) {
+      {
+        const std::lock_guard<std::mutex> lock(state_mutex_);
+        --queued_;
+      }
+      run_task(task);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    work_available_.wait(lock, [this] { return stop_ || queued_ > 0; });
+    if (stop_ && queued_ == 0) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::wait_idle() {
+  RSLS_CHECK_MSG(t_worker.pool != this,
+                 "wait_idle() called from inside a pool task");
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  idle_.wait(lock, [this] { return pending_ == 0; });
+  if (first_error_ != nullptr) {
+    const std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace rsls

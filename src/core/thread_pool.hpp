@@ -1,0 +1,76 @@
+#pragma once
+// Work-stealing thread pool for coarse-grained task parallelism.
+//
+// Built for harness::Runner's experiment cells: tasks are whole CG
+// solves (milliseconds to seconds each), so the queues favour
+// correctness and simplicity over lock-free micro-optimization. Each
+// worker owns a deque; it pops its own work LIFO (locality for nested
+// submissions) and steals FIFO from the other workers when empty.
+// External submissions are spread round-robin across the deques.
+//
+// Exception model: the first exception thrown by any task is captured
+// and rethrown from wait_idle(); later exceptions are dropped. The pool
+// stays usable after the rethrow.
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rsls {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (values < 1 are clamped to 1). A 1-thread
+  /// pool still runs tasks on its worker, never inline on the caller, so
+  /// task code sees the same execution environment at every width.
+  explicit ThreadPool(Index threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Safe from any thread, including from inside a
+  /// running task (nested submission lands on the submitting worker's
+  /// own deque).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task — including tasks submitted by
+  /// tasks — has finished, then rethrow the first captured task
+  /// exception, if any.
+  void wait_idle();
+
+  Index thread_count() const { return static_cast<Index>(workers_.size()); }
+
+  /// Worker threads a new pool should use: env::jobs() (RSLS_JOBS).
+  static Index default_threads();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_pop(std::size_t self, std::function<void()>& task);
+  void run_task(std::function<void()>& task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex state_mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  Index queued_ = 0;   // tasks sitting in some deque
+  Index pending_ = 0;  // queued + currently executing
+  bool stop_ = false;
+  std::size_t next_queue_ = 0;  // round-robin cursor for external submits
+  std::exception_ptr first_error_;
+};
+
+}  // namespace rsls

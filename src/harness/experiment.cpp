@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -76,9 +77,10 @@ obs::RunReport make_run_report(const obs::ObservabilityOptions& opts,
       {"tolerance", obs::JsonWriter::number(config.tolerance)},
       {"max_iterations", std::to_string(config.max_iterations)},
       {"fault_seed", std::to_string(config.fault_seed)},
-      {"fw_cg_tolerance", obs::JsonWriter::number(config.fw_cg_tolerance)},
+      {"fw_cg_tolerance",
+       obs::JsonWriter::number(config.scheme.fw_cg_tolerance)},
       {"cr_interval_iterations",
-       std::to_string(config.cr_interval_iterations)},
+       std::to_string(config.scheme.cr_interval_iterations)},
       {"solver_kind",
        config.solver_kind == solver::SolverKind::kCg ? "cg" : "jacobi-pcg"},
       {"sdc_faults", config.sdc_faults ? "true" : "false"},
@@ -133,10 +135,6 @@ simrt::MachineConfig machine_for(Index processes) {
   return machine;
 }
 
-Workload Workload::create(sparse::Csr matrix, Index processes) {
-  return create(std::move(matrix), processes, std::string{});
-}
-
 Workload Workload::create(sparse::Csr matrix, Index processes,
                           std::string label) {
   RealVec b = sparse::make_rhs(matrix);
@@ -183,47 +181,60 @@ Seconds estimate_checkpoint_seconds(const Workload& workload,
 }
 
 SchemeRun run_scheme(const Workload& workload, const std::string& scheme_name,
-                     const ExperimentConfig& config, const FfBaseline& ff) {
-  SchemeFactoryConfig factory;
-  factory.fw_cg_tolerance = config.fw_cg_tolerance;
-  factory.cr_interval_iterations = config.cr_interval_iterations;
-  if (config.use_young_interval &&
-      (scheme_name == "CR-D" || scheme_name == "CR-M")) {
-    // Effective MTBF under the §5.2 fault density; Young's I_C converted
-    // from virtual seconds to an iteration cadence.
-    const Seconds mtbf =
-        ff.time / static_cast<double>(std::max<Index>(config.faults, 1) + 1);
-    const Seconds t_c = estimate_checkpoint_seconds(
-        workload, machine_for(config.processes), scheme_name == "CR-D");
-    const Seconds interval = model::young_interval(t_c, mtbf);
-    factory.cr_interval_iterations = std::max<Index>(
-        1, static_cast<Index>(std::llround(interval / ff.iteration_seconds)));
+                     const ExperimentConfig& config, const FfBaseline& ff,
+                     const RunHooks& hooks) {
+  // Build whatever the caller did not hook in. Everything derived here
+  // is a pure function of (workload, config, ff), so concurrent cells
+  // running the same inputs produce bit-identical results in any
+  // schedule.
+  std::unique_ptr<resilience::RecoveryScheme> owned_scheme;
+  Index cr_interval_used = 0;
+  resilience::RecoveryScheme* scheme_ptr = hooks.scheme;
+  if (scheme_ptr == nullptr) {
+    SchemeFactoryConfig factory = config.scheme;
+    if (config.use_young_interval &&
+        (scheme_name == "CR-D" || scheme_name == "CR-M")) {
+      // Effective MTBF under the §5.2 fault density; Young's I_C
+      // converted from virtual seconds to an iteration cadence.
+      const Seconds mtbf =
+          ff.time / static_cast<double>(std::max<Index>(config.faults, 1) + 1);
+      const Seconds t_c = estimate_checkpoint_seconds(
+          workload, machine_for(config.processes), scheme_name == "CR-D");
+      const Seconds interval = model::young_interval(t_c, mtbf);
+      factory.cr_interval_iterations = std::max<Index>(
+          1, static_cast<Index>(std::llround(interval / ff.iteration_seconds)));
+    }
+    owned_scheme = make_scheme(scheme_name, factory, workload.x0);
+    scheme_ptr = owned_scheme.get();
+    cr_interval_used = factory.cr_interval_iterations;
   }
-  const auto scheme = make_scheme(scheme_name, factory, workload.x0);
+  resilience::RecoveryScheme& scheme = *scheme_ptr;
 
-  simrt::VirtualCluster cluster(machine_for(config.processes),
-                                config.processes, scheme->replica_factor());
-  auto injector = resilience::FaultInjector::evenly_spaced(
-      config.faults, ff.iterations, config.processes, config.fault_seed);
-  if (config.sdc_faults) {
-    injector.as_sdc(config.sdc_mode, config.sdc_target);
+  std::optional<simrt::VirtualCluster> owned_cluster;
+  simrt::VirtualCluster* cluster_ptr = hooks.cluster;
+  if (cluster_ptr == nullptr) {
+    owned_cluster.emplace(machine_for(config.processes), config.processes,
+                          scheme.replica_factor());
+    cluster_ptr = &*owned_cluster;
   }
-  SchemeRun run = run_scheme_on_cluster(workload, scheme_name, *scheme,
-                                        injector, cluster, config, ff);
-  run.cr_interval_used = factory.cr_interval_iterations;
-  return run;
-}
+  simrt::VirtualCluster& cluster = *cluster_ptr;
 
-SchemeRun run_scheme_on_cluster(const Workload& workload,
-                                const std::string& scheme_name,
-                                resilience::RecoveryScheme& scheme,
-                                resilience::FaultInjector& injector,
-                                simrt::VirtualCluster& cluster,
-                                const ExperimentConfig& config,
-                                const FfBaseline& ff) {
+  std::optional<resilience::FaultInjector> owned_injector;
+  resilience::FaultInjector* injector_ptr = hooks.injector;
+  if (injector_ptr == nullptr) {
+    owned_injector.emplace(resilience::FaultInjector::evenly_spaced(
+        config.faults, ff.iterations, config.processes, config.fault_seed));
+    if (config.sdc_faults) {
+      owned_injector->as_sdc(config.sdc_mode, config.sdc_target);
+    }
+    injector_ptr = &*owned_injector;
+  }
+  resilience::FaultInjector& injector = *injector_ptr;
+
   RealVec x = workload.x0;
   SchemeRun run;
   run.scheme = scheme_name;
+  run.cr_interval_used = cr_interval_used;
   resilience::DetectorSuite detectors =
       config.detection ? resilience::make_detector_suite(config.detection_options)
                        : resilience::DetectorSuite{};
@@ -274,6 +285,7 @@ SchemeRun run_scheme_on_cluster(const Workload& workload,
   }
 
   if (rec != nullptr) {
+    run.metrics = recorder.metrics().snapshot();
     const std::string matrix =
         workload.label.empty() ? std::string("matrix") : workload.label;
     if (obs_opts.wants_trace()) {

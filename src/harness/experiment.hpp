@@ -9,6 +9,8 @@
 #include "core/types.hpp"
 #include "core/units.hpp"
 #include "dist/dist_matrix.hpp"
+#include "harness/scheme_factory.hpp"
+#include "obs/metrics.hpp"
 #include "obs/observability.hpp"
 #include "resilience/fault.hpp"
 #include "resilience/resilient_solve.hpp"
@@ -25,15 +27,15 @@ struct ExperimentConfig {
   Real tolerance = 1e-12;
   Index max_iterations = 500000;
   std::uint64_t fault_seed = 2024;
-  /// Local CG construction tolerance for LI/LSI. Tight enough that the
-  /// reconstruction accuracy — not the inner solve — limits recovery
-  /// quality even for large lost blocks (small process counts); Fig. 4
-  /// sweeps this explicitly.
-  Real fw_cg_tolerance = 1e-10;
-  /// CR cadence. When use_young_interval is set the cadence is derived
-  /// from Young's formula with t_C from the machine model and an
-  /// effective MTBF of T_FF / (faults + 1) — the §5.2 fault density.
-  Index cr_interval_iterations = 100;
+  /// Scheme-construction knobs (CR cadence, LI/LSI construction
+  /// tolerance, ABFT parity width). The embedded struct is the single
+  /// source of truth — run_scheme passes it to make_scheme verbatim
+  /// (after the Young-interval overlay below).
+  SchemeFactoryConfig scheme;
+  /// When set the CR cadence is derived from Young's formula with t_C
+  /// from the machine model and an effective MTBF of T_FF / (faults + 1)
+  /// — the §5.2 fault density — overriding
+  /// scheme.cr_interval_iterations.
   bool use_young_interval = false;
   bool record_residuals = false;
   /// Solver variant; schemes work unchanged under either.
@@ -51,8 +53,8 @@ struct ExperimentConfig {
   resilience::HardeningOptions hardening;
   /// Tracing / RunReport emission. The environment overlays this
   /// (RSLS_TRACE_DIR, RSLS_RUN_REPORT, RSLS_OBS_POWER_BIN) inside
-  /// run_scheme_on_cluster, so observability can be switched on for any
-  /// binary without touching its flags.
+  /// run_scheme, so observability can be switched on for any binary
+  /// without touching its flags.
   obs::ObservabilityOptions observability;
 };
 
@@ -71,9 +73,8 @@ struct Workload {
   /// Matrix name for artifacts (trace file names, RunReport.matrix).
   std::string label;
 
-  static Workload create(sparse::Csr matrix, Index processes);
   static Workload create(sparse::Csr matrix, Index processes,
-                         std::string label);
+                         std::string label = {});
 };
 
 struct FfBaseline {
@@ -102,22 +103,32 @@ struct SchemeRun {
   Seconds t_c_mean = 0.0;       // CR per-checkpoint cost
   Index checkpoints = 0;
   Index cr_interval_used = 0;
+  /// Per-run observability metrics (empty when observability is off).
+  /// Each run records into its own registry, so concurrent cells never
+  /// share instrument state; harness::Runner merges these on join.
+  obs::MetricsSnapshot metrics;
 };
 
-/// Run one named scheme against the baseline (convenience wrapper that
-/// builds the cluster and the §5.2 evenly-spaced injector).
-SchemeRun run_scheme(const Workload& workload, const std::string& scheme_name,
-                     const ExperimentConfig& config, const FfBaseline& ff);
+/// Caller-supplied overrides for run_scheme. Any member left null is
+/// built internally from the config: the scheme via make_scheme (with
+/// the Young-interval cadence overlay), the injector as the §5.2
+/// evenly-spaced plan (SDC-reclassified when configured), the cluster
+/// sized by machine_for with the scheme's replica factor. Benches that
+/// need a custom governor, fault plan, or scheme instance set just the
+/// members they care about; the pointed-to objects must outlive the
+/// call.
+struct RunHooks {
+  resilience::RecoveryScheme* scheme = nullptr;
+  resilience::FaultInjector* injector = nullptr;
+  simrt::VirtualCluster* cluster = nullptr;
+};
 
-/// Lower-level entry point for benches that need a customized cluster
-/// (power traces, governors): the scheme and injector are caller-owned.
-SchemeRun run_scheme_on_cluster(const Workload& workload,
-                                const std::string& scheme_name,
-                                resilience::RecoveryScheme& scheme,
-                                resilience::FaultInjector& injector,
-                                simrt::VirtualCluster& cluster,
-                                const ExperimentConfig& config,
-                                const FfBaseline& ff);
+/// Run one named scheme against the baseline. The single entry point
+/// for scheme runs: pass hooks to customize cluster, injector, or the
+/// scheme object itself.
+SchemeRun run_scheme(const Workload& workload, const std::string& scheme_name,
+                     const ExperimentConfig& config, const FfBaseline& ff,
+                     const RunHooks& hooks = {});
 
 /// CR per-checkpoint cost predicted by the machine model (no run needed).
 Seconds estimate_checkpoint_seconds(const Workload& workload,

@@ -1,0 +1,86 @@
+#include "harness/runner.hpp"
+
+#include <utility>
+
+#include "core/error.hpp"
+#include "core/thread_pool.hpp"
+
+namespace rsls::harness {
+
+namespace {
+
+/// Shared per-group state: built once by the group task, then read-only
+/// for every cell of the group.
+struct GroupState {
+  std::optional<Workload> workload;
+  FfBaseline ff;
+};
+
+}  // namespace
+
+Runner::Runner(Index jobs)
+    : jobs_(jobs > 0 ? jobs : ThreadPool::default_threads()) {}
+
+std::vector<GroupResult> Runner::run(const std::vector<GroupSpec>& groups) {
+  std::vector<GroupResult> results(groups.size());
+  std::vector<GroupState> states(groups.size());
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    RSLS_CHECK_MSG(groups[gi].make_workload != nullptr,
+                   "GroupSpec needs a make_workload factory");
+    results[gi].label = groups[gi].label;
+    // Pre-sized slots: concurrent cells write disjoint entries, so no
+    // lock is needed on the result path.
+    results[gi].runs.resize(groups[gi].cells.size());
+  }
+
+  ThreadPool pool(jobs_);
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    pool.submit([this, &groups, &results, &states, gi, &pool] {
+      const GroupSpec& group = groups[gi];
+      GroupState& state = states[gi];
+      state.workload.emplace(group.make_workload());
+      state.ff = run_fault_free(*state.workload, group.config);
+      results[gi].ff = state.ff;
+      {
+        const std::lock_guard<std::mutex> lock(metrics_mutex_);
+        metrics_.counter("runner.groups").add();
+      }
+      // Fan the group's cells out; they land on this worker's deque and
+      // are stolen by idle workers, so cells of a slow group overlap
+      // with other groups' baselines.
+      for (std::size_t ci = 0; ci < group.cells.size(); ++ci) {
+        pool.submit([this, &groups, &results, &states, gi, ci] {
+          const GroupSpec& g = groups[gi];
+          const CellSpec& cell = g.cells[ci];
+          const GroupState& st = states[gi];
+          const ExperimentConfig& config =
+              cell.config.has_value() ? *cell.config : g.config;
+          SchemeRun run =
+              cell.body != nullptr
+                  ? cell.body(*st.workload, st.ff, config)
+                  : run_scheme(*st.workload, cell.scheme, config, st.ff);
+          {
+            const std::lock_guard<std::mutex> lock(metrics_mutex_);
+            metrics_.merge(run.metrics);
+            metrics_.counter("runner.cells").add();
+          }
+          results[gi].runs[ci] = std::move(run);
+        });
+      }
+    });
+  }
+  pool.wait_idle();
+  return results;
+}
+
+GroupResult Runner::run_group(const GroupSpec& group) {
+  auto results = run(std::vector<GroupSpec>{group});
+  return std::move(results.front());
+}
+
+obs::MetricsSnapshot Runner::metrics() const {
+  const std::lock_guard<std::mutex> lock(metrics_mutex_);
+  return metrics_.snapshot();
+}
+
+}  // namespace rsls::harness

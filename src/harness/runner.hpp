@@ -1,0 +1,99 @@
+#pragma once
+// Parallel batch execution engine for experiment grids.
+//
+// Every figure/table is a sweep of (matrix × scheme × fault plan)
+// cells, and the cells are embarrassingly parallel: each one is a
+// self-contained virtual-cluster solve. The Runner fans them across a
+// work-stealing thread pool (RSLS_JOBS workers) while preserving the
+// serial path's semantics exactly:
+//
+//  * Cell graph. Work is organized as groups — one shared workload and
+//    fault-free baseline — each carrying an ordered list of cells. The
+//    group task builds the workload, runs the baseline once, then
+//    submits its cells; cells of different groups interleave freely
+//    (no barrier between groups), so the grid pipelines.
+//  * Baseline cache. The FfBaseline is computed once per group and
+//    shared read-only by every cell, exactly like the serial loops.
+//  * Deterministic RNG. A cell's fault plan is derived inside
+//    run_scheme from its own config (fault_seed, faults, ff), never
+//    from shared mutable RNG state — results are bit-identical to the
+//    serial path for any worker count and any schedule.
+//  * Thread-safe aggregation. Results land in pre-sized slots (one per
+//    cell, disjoint), and per-cell observability metrics are merged
+//    into the runner's registry on join under a lock.
+//
+// The first exception thrown by any cell aborts the batch (remaining
+// queued cells still drain) and is rethrown from run().
+
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "harness/experiment.hpp"
+#include "obs/metrics.hpp"
+
+namespace rsls::harness {
+
+/// One experiment cell: a scheme run against its group's shared
+/// fault-free baseline.
+struct CellSpec {
+  std::string scheme;
+  /// Per-cell configuration override (fault seed / count sweeps); the
+  /// group config is used when unset. The override must agree with the
+  /// group config on everything the baseline depends on (processes,
+  /// tolerance, solver kind).
+  std::optional<ExperimentConfig> config;
+  /// Custom cell body for runs that need hooks (bespoke scheme
+  /// instance, injector, or cluster). Defaults to plain run_scheme.
+  /// Runs on a worker thread: touch only cell-local state.
+  std::function<SchemeRun(const Workload&, const FfBaseline&,
+                          const ExperimentConfig&)>
+      body;
+};
+
+/// A shared workload + baseline with its dependent cells.
+struct GroupSpec {
+  /// Row label (matrix name, process count, …).
+  std::string label;
+  /// Builds the workload on a worker thread, once per group.
+  std::function<Workload()> make_workload;
+  ExperimentConfig config;
+  std::vector<CellSpec> cells;
+};
+
+struct GroupResult {
+  std::string label;
+  FfBaseline ff;
+  /// One entry per cell, in CellSpec order (independent of schedule).
+  std::vector<SchemeRun> runs;
+};
+
+class Runner {
+ public:
+  /// `jobs` worker threads; 0 means take RSLS_JOBS from the
+  /// environment.
+  explicit Runner(Index jobs = 0);
+
+  Index jobs() const { return jobs_; }
+
+  /// Execute every cell of every group and return results in spec
+  /// order. Rethrows the first cell exception after the batch drains.
+  std::vector<GroupResult> run(const std::vector<GroupSpec>& groups);
+
+  /// Convenience: one anonymous group.
+  GroupResult run_group(const GroupSpec& group);
+
+  /// Merged observability metrics across every cell run so far (plus
+  /// the runner's own counters: runner.cells, runner.groups).
+  obs::MetricsSnapshot metrics() const;
+
+ private:
+  Index jobs_ = 1;
+  mutable std::mutex metrics_mutex_;
+  obs::MetricsRegistry metrics_;
+};
+
+}  // namespace rsls::harness

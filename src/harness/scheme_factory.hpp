@@ -13,11 +13,18 @@
 
 namespace rsls::harness {
 
+/// Scheme-construction knobs. This is the single source of truth:
+/// ExperimentConfig embeds one of these (`ExperimentConfig::scheme`),
+/// and every path that builds a scheme — harness, benches, tests —
+/// reads the same fields with the same defaults.
 struct SchemeFactoryConfig {
   /// CR checkpoint cadence in iterations.
   Index cr_interval_iterations = 100;
-  /// Local CG construction tolerance for LI/LSI.
-  Real fw_cg_tolerance = 1e-6;
+  /// Local CG construction tolerance for LI/LSI. Tight enough that the
+  /// reconstruction accuracy — not the inner solve — limits recovery
+  /// quality even for large lost blocks (small process counts); Fig. 4
+  /// sweeps this explicitly.
+  Real fw_cg_tolerance = 1e-10;
   /// Parity blocks m for the ABFT schemes (ESR, ABFT-CR): the number of
   /// simultaneous rank losses survived without rollback / snapshot loss.
   Index abft_parity_blocks = 2;

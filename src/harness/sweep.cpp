@@ -1,9 +1,11 @@
 #include "harness/sweep.hpp"
 
 #include <map>
+#include <utility>
 
 #include "core/error.hpp"
 #include "core/stats.hpp"
+#include "harness/runner.hpp"
 #include "sparse/roster.hpp"
 
 namespace rsls::harness {
@@ -12,19 +14,33 @@ std::vector<MatrixResult> sweep_matrices(
     const std::vector<std::string>& names,
     const std::vector<std::string>& schemes, const ExperimentConfig& config,
     bool quick) {
-  std::vector<MatrixResult> results;
-  results.reserve(names.size());
+  // One group per matrix (workload + fault-free baseline shared by its
+  // scheme cells), fanned across RSLS_JOBS workers. Cell results are
+  // bit-identical to the old serial loop at any worker count.
+  std::vector<GroupSpec> groups;
+  groups.reserve(names.size());
   for (const auto& name : names) {
     const auto& entry = sparse::roster_entry(name);
-    const Workload workload =
-        Workload::create(entry.make(quick), config.processes, entry.name);
-    MatrixResult result;
-    result.matrix = entry.name;
-    result.ff = run_fault_free(workload, config);
+    GroupSpec group;
+    group.label = entry.name;
+    group.config = config;
+    group.make_workload = [&entry, processes = config.processes, quick] {
+      return Workload::create(entry.make(quick), processes, entry.name);
+    };
     for (const auto& scheme : schemes) {
-      result.runs.push_back(run_scheme(workload, scheme, config, result.ff));
+      group.cells.push_back(CellSpec{scheme, std::nullopt, nullptr});
     }
-    results.push_back(std::move(result));
+    groups.push_back(std::move(group));
+  }
+
+  Runner runner;
+  auto group_results = runner.run(groups);
+
+  std::vector<MatrixResult> results;
+  results.reserve(group_results.size());
+  for (auto& group : group_results) {
+    results.push_back(MatrixResult{std::move(group.label), group.ff,
+                                   std::move(group.runs)});
   }
   return results;
 }

@@ -30,6 +30,26 @@ void Histogram::observe(double value) {
   sum_ += value;
 }
 
+void Histogram::absorb(const HistogramSnapshot& other) {
+  RSLS_CHECK_MSG(other.bounds == bounds_,
+                 "cannot merge histograms with different bucket bounds");
+  if (other.count == 0) {
+    return;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.bucket_counts[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min;
+    max_ = other.max;
+  } else {
+    min_ = std::min(min_, other.min);
+    max_ = std::max(max_, other.max);
+  }
+  count_ += other.count;
+  sum_ += other.sum;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   return counters_[name];
 }
@@ -64,6 +84,18 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
         histogram.sum(), histogram.min(), histogram.max()});
   }
   return snap;
+}
+
+void MetricsRegistry::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) {
+    counter(name).add(value);
+  }
+  for (const auto& [name, value] : other.gauges) {
+    gauge(name).set(value);
+  }
+  for (const auto& hist : other.histograms) {
+    histogram(hist.name, hist.bounds).absorb(hist);
+  }
 }
 
 }  // namespace rsls::obs

@@ -39,6 +39,8 @@ class Gauge {
   double value_ = 0.0;
 };
 
+struct HistogramSnapshot;
+
 /// Fixed-bucket histogram: `bounds` are the inclusive upper edges of the
 /// first N buckets; one overflow bucket catches the rest. Tracks count,
 /// sum, min, and max alongside the bucket counts.
@@ -47,6 +49,10 @@ class Histogram {
   explicit Histogram(std::vector<double> bounds);
 
   void observe(double value);
+
+  /// Add another histogram's contents bucket-wise; `other` must have
+  /// identical bounds.
+  void absorb(const HistogramSnapshot& other);
 
   const std::vector<double>& bounds() const { return bounds_; }
   /// bounds().size() + 1 entries; the last is the overflow bucket.
@@ -98,6 +104,14 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name, std::vector<double> bounds);
 
   MetricsSnapshot snapshot() const;
+
+  /// Fold another registry's snapshot into this one: counters add,
+  /// gauges take the incoming value (last write wins), histograms add
+  /// bucket-wise (bounds must match; a name new to this registry is
+  /// adopted wholesale). This is the join half of the per-cell pattern:
+  /// concurrent workers each record into a private registry and the
+  /// owner merges them serially.
+  void merge(const MetricsSnapshot& other);
 
  private:
   std::map<std::string, Counter> counters_;

@@ -47,18 +47,19 @@ struct ObservabilityOptions {
 };
 
 /// Overlay the environment on `base`: RSLS_TRACE_DIR / RSLS_RUN_REPORT /
-/// RSLS_OBS_POWER_BIN, enabling observability when any is present.
+/// RSLS_OBS_POWER_BIN (via the core::env registry), enabling
+/// observability when any is present.
 inline ObservabilityOptions resolve_from_env(ObservabilityOptions base) {
-  if (const auto dir = env_string("RSLS_TRACE_DIR"); dir.has_value()) {
+  if (const auto dir = env::trace_dir(); dir.has_value()) {
     base.trace_dir = *dir;
     base.enabled = true;
   }
-  if (const auto path = env_string("RSLS_RUN_REPORT"); path.has_value()) {
+  if (const auto path = env::run_report_path(); path.has_value()) {
     base.report_path = *path;
     base.enabled = true;
   }
-  if (const auto bin = env_string("RSLS_OBS_POWER_BIN"); bin.has_value()) {
-    base.power_bin = std::stod(*bin);
+  if (const auto bin = env::obs_power_bin(); bin.has_value()) {
+    base.power_bin = *bin;
   }
   return base;
 }

@@ -1,6 +1,7 @@
 #include "obs/run_report.hpp"
 
 #include <fstream>
+#include <mutex>
 #include <ostream>
 
 #include "core/error.hpp"
@@ -78,6 +79,11 @@ void write_run_report(std::ostream& os, const RunReport& report) {
 }
 
 void append_run_report(const std::string& path, const RunReport& report) {
+  // Concurrent sweep cells append to the same JSONL file; the mutex
+  // keeps each report line atomic (ordering between lines is scheduling
+  // order, which is fine for JSONL).
+  static std::mutex append_mutex;
+  const std::lock_guard<std::mutex> lock(append_mutex);
   std::ofstream os(path, std::ios::app);
   RSLS_CHECK_MSG(os.good(), "cannot open run report file " + path);
   write_run_report(os, report);

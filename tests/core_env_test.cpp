@@ -1,0 +1,115 @@
+// Unit tests: the typed RSLS_* environment registry — every knob is
+// declared once with parseable defaults, the generic getters reject
+// partial parses, and RSLS_JOBS resolves the Runner width.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "core/env.hpp"
+
+namespace rsls {
+namespace {
+
+/// RAII guard restoring one environment variable on scope exit.
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* name) : name_(name) {
+    const char* value = std::getenv(name);
+    if (value != nullptr) {
+      saved_ = value;
+    }
+  }
+  ~EnvGuard() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+TEST(EnvRegistryTest, EveryKnobDeclaredOnceAndDocumented) {
+  const auto& vars = env::registry();
+  ASSERT_GE(vars.size(), 7u);
+  std::set<std::string> names;
+  for (const auto& var : vars) {
+    EXPECT_TRUE(std::string(var.name).starts_with("RSLS_")) << var.name;
+    EXPECT_TRUE(names.insert(var.name).second)
+        << "duplicate registry entry: " << var.name;
+    EXPECT_FALSE(std::string(var.type).empty()) << var.name;
+    EXPECT_FALSE(std::string(var.fallback).empty()) << var.name;
+    EXPECT_FALSE(std::string(var.description).empty()) << var.name;
+  }
+  // The knobs this PR documents are all present.
+  for (const char* expected :
+       {"RSLS_QUICK", "RSLS_JOBS", "RSLS_TRACE_DIR", "RSLS_RUN_REPORT",
+        "RSLS_OBS_POWER_BIN", "RSLS_BENCH_JSON", "RSLS_LOG_LEVEL"}) {
+    EXPECT_TRUE(names.contains(expected)) << expected;
+  }
+}
+
+TEST(EnvRegistryTest, TypedGettersParseAndFallBack) {
+  EnvGuard guard("RSLS_ENVTEST");
+  ::unsetenv("RSLS_ENVTEST");
+  EXPECT_EQ(env::get_int("RSLS_ENVTEST", 7), 7);
+  EXPECT_DOUBLE_EQ(env::get_double("RSLS_ENVTEST", 0.25), 0.25);
+  EXPECT_FALSE(env::get_bool("RSLS_ENVTEST", false));
+  EXPECT_EQ(env::get_string("RSLS_ENVTEST", "dflt"), "dflt");
+
+  ::setenv("RSLS_ENVTEST", "42", 1);
+  EXPECT_EQ(env::get_int("RSLS_ENVTEST", 7), 42);
+  ::setenv("RSLS_ENVTEST", "-3", 1);
+  EXPECT_EQ(env::get_int("RSLS_ENVTEST", 7), -3);
+  ::setenv("RSLS_ENVTEST", "0.5", 1);
+  EXPECT_DOUBLE_EQ(env::get_double("RSLS_ENVTEST", 0.25), 0.5);
+  ::setenv("RSLS_ENVTEST", "on", 1);
+  EXPECT_TRUE(env::get_bool("RSLS_ENVTEST", false));
+  ::setenv("RSLS_ENVTEST", "0", 1);
+  EXPECT_FALSE(env::get_bool("RSLS_ENVTEST", true));
+
+  // Partial and failed parses fall back instead of truncating.
+  ::setenv("RSLS_ENVTEST", "12abc", 1);
+  EXPECT_EQ(env::get_int("RSLS_ENVTEST", 7), 7);
+  ::setenv("RSLS_ENVTEST", "1.5x", 1);
+  EXPECT_DOUBLE_EQ(env::get_double("RSLS_ENVTEST", 0.25), 0.25);
+  ::setenv("RSLS_ENVTEST", "zz", 1);
+  EXPECT_EQ(env::get_int("RSLS_ENVTEST", 7), 7);
+}
+
+TEST(EnvRegistryTest, JobsResolvesRunnerWidth) {
+  EnvGuard guard("RSLS_JOBS");
+  ::unsetenv("RSLS_JOBS");
+  EXPECT_EQ(env::jobs(), 1);  // unset -> serial
+  ::setenv("RSLS_JOBS", "6", 1);
+  EXPECT_EQ(env::jobs(), 6);
+  ::setenv("RSLS_JOBS", "0", 1);
+  EXPECT_GE(env::jobs(), 1);  // 0 -> one per hardware thread
+  ::setenv("RSLS_JOBS", "garbage", 1);
+  EXPECT_EQ(env::jobs(), 1);
+}
+
+TEST(EnvRegistryTest, OptionalAccessorsReflectPresence) {
+  EnvGuard trace("RSLS_TRACE_DIR");
+  EnvGuard bin("RSLS_OBS_POWER_BIN");
+  ::unsetenv("RSLS_TRACE_DIR");
+  ::unsetenv("RSLS_OBS_POWER_BIN");
+  EXPECT_FALSE(env::trace_dir().has_value());
+  EXPECT_FALSE(env::obs_power_bin().has_value());
+  ::setenv("RSLS_TRACE_DIR", "/tmp/traces", 1);
+  ::setenv("RSLS_OBS_POWER_BIN", "0.01", 1);
+  EXPECT_EQ(env::trace_dir().value(), "/tmp/traces");
+  EXPECT_DOUBLE_EQ(env::obs_power_bin().value(), 0.01);
+}
+
+}  // namespace
+}  // namespace rsls

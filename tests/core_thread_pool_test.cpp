@@ -1,0 +1,125 @@
+// Unit tests: the work-stealing thread pool behind harness::Runner —
+// completion of plain and nested submissions, exception propagation
+// through wait_idle(), and the RSLS_JOBS-driven default width.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+
+namespace rsls {
+namespace {
+
+/// RAII guard restoring one environment variable on scope exit.
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* name) : name_(name) {
+    const char* value = std::getenv(name);
+    if (value != nullptr) {
+      saved_ = value;
+    }
+  }
+  ~EnvGuard() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 200;
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&hits, i] { hits[static_cast<std::size_t>(i)].fetch_add(1); });
+  }
+  pool.wait_idle();
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ClampsWidthToAtLeastOne) {
+  EXPECT_EQ(ThreadPool(0).thread_count(), 1);
+  EXPECT_EQ(ThreadPool(-3).thread_count(), 1);
+  EXPECT_EQ(ThreadPool(3).thread_count(), 3);
+}
+
+TEST(ThreadPoolTest, WaitIdleWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  pool.wait_idle();  // and must stay reentrant
+}
+
+TEST(ThreadPoolTest, NestedSubmissionsDrainBeforeWaitIdleReturns) {
+  // Runner group tasks submit their cell tasks from inside the pool;
+  // wait_idle must cover those grandchildren too.
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int g = 0; g < 8; ++g) {
+    pool.submit([&pool, &done] {
+      for (int c = 0; c < 5; ++c) {
+        pool.submit([&done] { done.fetch_add(1); });
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 8 * 5);
+}
+
+TEST(ThreadPoolTest, FirstExceptionRethrownFromWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> survivors{0};
+  pool.submit([] { throw std::runtime_error("cell failed"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&survivors] { survivors.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The batch drained despite the failure...
+  EXPECT_EQ(survivors.load(), 10);
+  // ...and the pool stays usable with a clean error slate.
+  pool.submit([&survivors] { survivors.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(survivors.load(), 11);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedWork) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&done] { done.fetch_add(1); });
+    }
+    // No wait_idle: the destructor must still run everything queued.
+  }
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsFollowsRslsJobs) {
+  EnvGuard guard("RSLS_JOBS");
+  ::unsetenv("RSLS_JOBS");
+  EXPECT_EQ(ThreadPool::default_threads(), 1);  // serial by default
+  ::setenv("RSLS_JOBS", "5", 1);
+  EXPECT_EQ(ThreadPool::default_threads(), 5);
+  ::setenv("RSLS_JOBS", "0", 1);
+  EXPECT_GE(ThreadPool::default_threads(), 1);  // hardware width
+  ::setenv("RSLS_JOBS", "not-a-number", 1);
+  EXPECT_EQ(ThreadPool::default_threads(), 1);  // unparsable -> fallback
+}
+
+}  // namespace
+}  // namespace rsls

@@ -24,7 +24,7 @@ harness::SchemeRun run_once(const std::string& scheme) {
   harness::ExperimentConfig config;
   config.processes = 8;
   config.faults = 6;
-  config.cr_interval_iterations = 25;
+  config.scheme.cr_interval_iterations = 25;
   const auto ff = harness::run_fault_free(workload, config);
   return harness::run_scheme(workload, scheme, config, ff);
 }

@@ -1,0 +1,241 @@
+// Tier-1 tests: harness::Runner — the parallel batch engine must return
+// results in spec order, honor per-cell overrides and custom bodies,
+// and produce bit-identical numbers to the serial path at any worker
+// count (DESIGN.md §11).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hpp"
+#include "harness/scheme_factory.hpp"
+#include "harness/sweep.hpp"
+#include "resilience/fault.hpp"
+#include "sparse/generators.hpp"
+
+namespace rsls {
+namespace {
+
+/// RAII guard restoring one environment variable on scope exit.
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* name) : name_(name) {
+    const char* value = std::getenv(name);
+    if (value != nullptr) {
+      saved_ = value;
+    }
+  }
+  ~EnvGuard() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+harness::GroupSpec small_group(const std::vector<std::string>& schemes,
+                               std::uint64_t matrix_seed = 77) {
+  harness::GroupSpec group;
+  group.label = "banded";
+  group.config.processes = 8;
+  group.config.faults = 4;
+  group.config.scheme.cr_interval_iterations = 25;
+  group.make_workload = [matrix_seed] {
+    const sparse::Csr a =
+        sparse::banded_spd({192, 4, 1.0, 0.02, 1.0, matrix_seed});
+    return harness::Workload::create(a, 8, "banded");
+  };
+  for (const auto& scheme : schemes) {
+    group.cells.push_back({scheme, std::nullopt, nullptr});
+  }
+  return group;
+}
+
+void expect_same_run(const harness::SchemeRun& a, const harness::SchemeRun& b) {
+  EXPECT_EQ(a.scheme, b.scheme);
+  EXPECT_EQ(a.report.cg.iterations, b.report.cg.iterations);
+  EXPECT_EQ(a.report.cg.relative_residual,
+            b.report.cg.relative_residual);  // bitwise
+  EXPECT_EQ(a.report.time, b.report.time);
+  EXPECT_EQ(a.report.energy, b.report.energy);
+  EXPECT_EQ(a.iteration_ratio, b.iteration_ratio);
+  EXPECT_EQ(a.time_ratio, b.time_ratio);
+  EXPECT_EQ(a.energy_ratio, b.energy_ratio);
+}
+
+TEST(RunnerTest, MatchesSerialRunScheme) {
+  const std::vector<std::string> schemes = {"RD", "LI", "CR-M"};
+  const auto group = small_group(schemes);
+
+  // Serial reference, straight through the experiment API.
+  const auto workload = group.make_workload();
+  const auto ff = harness::run_fault_free(workload, group.config);
+  std::vector<harness::SchemeRun> reference;
+  for (const auto& scheme : schemes) {
+    reference.push_back(
+        harness::run_scheme(workload, scheme, group.config, ff));
+  }
+
+  harness::Runner runner(4);
+  const auto result = runner.run_group(group);
+  EXPECT_EQ(result.label, "banded");
+  EXPECT_EQ(result.ff.iterations, ff.iterations);
+  EXPECT_EQ(result.ff.time, ff.time);
+  ASSERT_EQ(result.runs.size(), schemes.size());
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    expect_same_run(result.runs[i], reference[i]);
+  }
+}
+
+TEST(RunnerTest, ParallelBitIdenticalToSerialRunner) {
+  const std::vector<std::string> schemes = {"RD", "F0", "LI", "LSI", "CR-D"};
+  std::vector<harness::GroupSpec> groups = {small_group(schemes, 77),
+                                            small_group(schemes, 123)};
+  harness::Runner serial(1);
+  harness::Runner parallel(4);
+  EXPECT_EQ(serial.jobs(), 1);
+  EXPECT_EQ(parallel.jobs(), 4);
+  const auto a = serial.run(groups);
+  const auto b = parallel.run(groups);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t g = 0; g < a.size(); ++g) {
+    EXPECT_EQ(a[g].ff.iterations, b[g].ff.iterations);
+    EXPECT_EQ(a[g].ff.energy, b[g].ff.energy);
+    ASSERT_EQ(a[g].runs.size(), b[g].runs.size());
+    for (std::size_t i = 0; i < a[g].runs.size(); ++i) {
+      expect_same_run(a[g].runs[i], b[g].runs[i]);
+    }
+  }
+}
+
+TEST(RunnerTest, CellConfigOverrideApplies) {
+  auto group = small_group({"LI", "LI"});
+  harness::ExperimentConfig heavier = group.config;
+  heavier.faults = 8;
+  group.cells[1].config = heavier;
+
+  harness::Runner runner(2);
+  const auto result = runner.run_group(group);
+  ASSERT_EQ(result.runs.size(), 2u);
+  EXPECT_EQ(result.runs[0].report.faults, 4);
+  EXPECT_EQ(result.runs[1].report.faults, 8);
+
+  // The override must match the serial run under the same config.
+  const auto workload = group.make_workload();
+  const auto ff = harness::run_fault_free(workload, group.config);
+  expect_same_run(result.runs[1],
+                  harness::run_scheme(workload, "LI", heavier, ff));
+}
+
+TEST(RunnerTest, CustomBodyReceivesSharedBaseline) {
+  auto group = small_group({"RD"});
+  std::atomic<int> body_calls{0};
+  harness::CellSpec custom;
+  custom.scheme = "LI";
+  custom.body = [&body_calls](const harness::Workload& workload,
+                              const harness::FfBaseline& ff,
+                              const harness::ExperimentConfig& config) {
+    body_calls.fetch_add(1);
+    auto injector = resilience::FaultInjector::evenly_spaced(
+        config.faults, ff.iterations, config.processes, config.fault_seed);
+    return harness::run_scheme(workload, "LI", config, ff,
+                               {.injector = &injector});
+  };
+  group.cells.push_back(std::move(custom));
+
+  harness::Runner runner(2);
+  const auto result = runner.run_group(group);
+  EXPECT_EQ(body_calls.load(), 1);
+  ASSERT_EQ(result.runs.size(), 2u);
+  // Slots stay in cell order regardless of schedule.
+  EXPECT_EQ(result.runs[0].scheme, "RD");
+  EXPECT_EQ(result.runs[1].scheme, "LI");
+  // The custom body's explicit injector mirrors run_scheme's default, so
+  // the run must be identical to the plain cell path.
+  const auto workload = group.make_workload();
+  const auto ff = harness::run_fault_free(workload, group.config);
+  expect_same_run(result.runs[1],
+                  harness::run_scheme(workload, "LI", group.config, ff));
+}
+
+TEST(RunnerTest, CellExceptionRethrownAfterBatchDrains) {
+  auto group = small_group({"RD", "LI"});
+  harness::CellSpec poison;
+  poison.scheme = "boom";
+  poison.body = [](const harness::Workload&, const harness::FfBaseline&,
+                   const harness::ExperimentConfig&) -> harness::SchemeRun {
+    throw std::runtime_error("cell exploded");
+  };
+  group.cells.push_back(std::move(poison));
+  harness::Runner runner(2);
+  EXPECT_THROW(runner.run_group(group), std::runtime_error);
+}
+
+TEST(RunnerTest, MetricsCountGroupsAndCells) {
+  harness::Runner runner(2);
+  (void)runner.run({small_group({"RD", "LI"}), small_group({"CR-M"}, 123)});
+  const auto snapshot = runner.metrics();
+  double groups = 0.0, cells = 0.0;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name == "runner.groups") groups = value;
+    if (name == "runner.cells") cells = value;
+  }
+  EXPECT_DOUBLE_EQ(groups, 2.0);
+  EXPECT_DOUBLE_EQ(cells, 3.0);
+}
+
+TEST(SweepParallelTest, RosterSweepBitIdenticalAcrossJobCounts) {
+  // The tier-1 determinism gate for the whole stack: a roster sweep under
+  // RSLS_JOBS=4 must reproduce the serial sweep bit for bit.
+  EnvGuard guard("RSLS_JOBS");
+  const std::vector<std::string> matrices = {"crystm02", "stencil5"};
+  const std::vector<std::string> schemes = {"RD", "LI", "CR-M"};
+  harness::ExperimentConfig config;
+  config.processes = 12;
+  config.faults = 5;
+
+  ::setenv("RSLS_JOBS", "1", 1);
+  const auto serial =
+      harness::sweep_matrices(matrices, schemes, config, /*quick=*/true);
+  ::setenv("RSLS_JOBS", "4", 1);
+  const auto parallel =
+      harness::sweep_matrices(matrices, schemes, config, /*quick=*/true);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t m = 0; m < serial.size(); ++m) {
+    EXPECT_EQ(serial[m].matrix, parallel[m].matrix);
+    EXPECT_EQ(serial[m].ff.iterations, parallel[m].ff.iterations);
+    EXPECT_EQ(serial[m].ff.time, parallel[m].ff.time);
+    EXPECT_EQ(serial[m].ff.energy, parallel[m].ff.energy);
+    ASSERT_EQ(serial[m].runs.size(), parallel[m].runs.size());
+    for (std::size_t i = 0; i < serial[m].runs.size(); ++i) {
+      expect_same_run(serial[m].runs[i], parallel[m].runs[i]);
+    }
+  }
+
+  // And the aggregated table rows agree exactly too.
+  const auto avg_serial = harness::average_over_matrices(serial);
+  const auto avg_parallel = harness::average_over_matrices(parallel);
+  ASSERT_EQ(avg_serial.size(), avg_parallel.size());
+  for (std::size_t s = 0; s < avg_serial.size(); ++s) {
+    EXPECT_EQ(avg_serial[s].scheme, avg_parallel[s].scheme);
+    EXPECT_EQ(avg_serial[s].time_ratio, avg_parallel[s].time_ratio);
+    EXPECT_EQ(avg_serial[s].energy_ratio, avg_parallel[s].energy_ratio);
+    EXPECT_EQ(avg_serial[s].power_ratio, avg_parallel[s].power_ratio);
+  }
+}
+
+}  // namespace
+}  // namespace rsls

@@ -25,7 +25,7 @@ struct QuickExperiment {
         ff{} {
     config.processes = processes;
     config.faults = faults;
-    config.cr_interval_iterations = 50;
+    config.scheme.cr_interval_iterations = 50;
     ff = run_fault_free(workload, config);
   }
 

@@ -181,7 +181,7 @@ TEST(MultiLevelTest, CheaperThanPureDiskAtSameCadence) {
   harness::ExperimentConfig config;
   config.processes = 24;
   config.faults = 10;
-  config.cr_interval_iterations = 40;
+  config.scheme.cr_interval_iterations = 40;
   const auto ff = harness::run_fault_free(workload, config);
   const auto crd = harness::run_scheme(workload, "CR-D", config, ff);
 
@@ -190,11 +190,8 @@ TEST(MultiLevelTest, CheaperThanPureDiskAtSameCadence) {
   options.l2_interval_iterations = 320;  // disk only every 8th checkpoint
   options.l1_loss_probability = 0.3;
   MultiLevelCheckpoint scheme(options, workload.x0);
-  simrt::VirtualCluster cluster(harness::machine_for(24), 24);
-  auto injector =
-      FaultInjector::evenly_spaced(10, ff.iterations, 24, config.fault_seed);
-  const auto cr2l = harness::run_scheme_on_cluster(
-      workload, "CR-2L", scheme, injector, cluster, config, ff);
+  const auto cr2l = harness::run_scheme(workload, "CR-2L", config, ff,
+                                        {.scheme = &scheme});
 
   EXPECT_TRUE(cr2l.report.cg.converged);
   EXPECT_GT(scheme.l1_checkpoints(), scheme.l2_checkpoints());

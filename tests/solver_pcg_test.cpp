@@ -108,7 +108,7 @@ TEST(PcgTest, RecoverySchemesWorkUnchanged) {
   harness::ExperimentConfig config;
   config.processes = 8;
   config.faults = 5;
-  config.cr_interval_iterations = 20;
+  config.scheme.cr_interval_iterations = 20;
   config.solver_kind = SolverKind::kJacobiPcg;
   const auto ff = harness::run_fault_free(workload, config);
   for (const std::string scheme : {"RD", "F0", "LI", "LSI", "CR-D"}) {
