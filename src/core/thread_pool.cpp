@@ -48,21 +48,28 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   RSLS_CHECK_MSG(task != nullptr, "cannot submit an empty task");
   std::size_t target;
-  if (t_worker.pool == this) {
-    target = t_worker.index;  // nested: stay local
-  } else {
+  {
+    // Count the task BEFORE publishing it to a deque. A worker can pop
+    // and finish the task the instant it becomes visible; if the
+    // counters lagged the publish, a nested submitter's task could
+    // drive pending_ to 0 while the submitting task is still running
+    // (wait_idle() would return with cells in flight), and shutdown
+    // could see queued_ == 0 with an uncounted task stranded in a
+    // deque. Over-counting in the brief pre-publish window is harmless:
+    // workers that wake early just spin back to the wait predicate.
     const std::lock_guard<std::mutex> lock(state_mutex_);
-    target = next_queue_;
-    next_queue_ = (next_queue_ + 1) % queues_.size();
+    if (t_worker.pool == this) {
+      target = t_worker.index;  // nested: stay local
+    } else {
+      target = next_queue_;
+      next_queue_ = (next_queue_ + 1) % queues_.size();
+    }
+    ++queued_;
+    ++pending_;
   }
   {
     const std::lock_guard<std::mutex> lock(queues_[target]->mutex);
     queues_[target]->tasks.push_back(std::move(task));
-  }
-  {
-    const std::lock_guard<std::mutex> lock(state_mutex_);
-    ++queued_;
-    ++pending_;
   }
   work_available_.notify_one();
 }

@@ -35,21 +35,17 @@ std::vector<GroupResult> Runner::run(const std::vector<GroupSpec>& groups) {
 
   ThreadPool pool(jobs_);
   for (std::size_t gi = 0; gi < groups.size(); ++gi) {
-    pool.submit([this, &groups, &results, &states, gi, &pool] {
+    pool.submit([&groups, &results, &states, gi, &pool] {
       const GroupSpec& group = groups[gi];
       GroupState& state = states[gi];
       state.workload.emplace(group.make_workload());
       state.ff = run_fault_free(*state.workload, group.config);
       results[gi].ff = state.ff;
-      {
-        const std::lock_guard<std::mutex> lock(metrics_mutex_);
-        metrics_.counter("runner.groups").add();
-      }
       // Fan the group's cells out; they land on this worker's deque and
       // are stolen by idle workers, so cells of a slow group overlap
       // with other groups' baselines.
       for (std::size_t ci = 0; ci < group.cells.size(); ++ci) {
-        pool.submit([this, &groups, &results, &states, gi, ci] {
+        pool.submit([&groups, &results, &states, gi, ci] {
           const GroupSpec& g = groups[gi];
           const CellSpec& cell = g.cells[ci];
           const GroupState& st = states[gi];
@@ -59,17 +55,27 @@ std::vector<GroupResult> Runner::run(const std::vector<GroupSpec>& groups) {
               cell.body != nullptr
                   ? cell.body(*st.workload, st.ff, config)
                   : run_scheme(*st.workload, cell.scheme, config, st.ff);
-          {
-            const std::lock_guard<std::mutex> lock(metrics_mutex_);
-            metrics_.merge(run.metrics);
-            metrics_.counter("runner.cells").add();
-          }
           results[gi].runs[ci] = std::move(run);
         });
       }
     });
   }
   pool.wait_idle();
+  // Fold per-cell metrics in (group, cell) order after the drain
+  // barrier. Gauges merge last-write-wins, so merging at cell
+  // completion time would make the aggregate registry depend on the
+  // schedule; a fixed fold order keeps runner.metrics() bit-identical
+  // at any worker count, matching the result slots themselves.
+  {
+    const std::lock_guard<std::mutex> lock(metrics_mutex_);
+    for (const GroupResult& group_result : results) {
+      metrics_.counter("runner.groups").add();
+      for (const SchemeRun& run : group_result.runs) {
+        metrics_.merge(run.metrics);
+        metrics_.counter("runner.cells").add();
+      }
+    }
+  }
   return results;
 }
 

@@ -87,7 +87,10 @@ class Runner {
   GroupResult run_group(const GroupSpec& group);
 
   /// Merged observability metrics across every cell run so far (plus
-  /// the runner's own counters: runner.cells, runner.groups).
+  /// the runner's own counters: runner.cells, runner.groups). Cells are
+  /// folded in (group, cell) spec order after each batch drains, so the
+  /// aggregate — gauges included — is independent of RSLS_JOBS and
+  /// scheduling.
   obs::MetricsSnapshot metrics() const;
 
  private:

@@ -110,7 +110,10 @@ class MetricsRegistry {
   /// bucket-wise (bounds must match; a name new to this registry is
   /// adopted wholesale). This is the join half of the per-cell pattern:
   /// concurrent workers each record into a private registry and the
-  /// owner merges them serially.
+  /// owner merges them serially. Because gauges are last-write-wins,
+  /// the merged gauge values depend on merge order — callers that want
+  /// a deterministic aggregate must merge in a fixed order (e.g. cell
+  /// index), not in completion order (see harness::Runner::run).
   void merge(const MetricsSnapshot& other);
 
  private:

@@ -81,6 +81,29 @@ TEST(ThreadPoolTest, NestedSubmissionsDrainBeforeWaitIdleReturns) {
   EXPECT_EQ(done.load(), 8 * 5);
 }
 
+TEST(ThreadPoolTest, WaitIdleNeverReturnsWhileSubmitterStillRunning) {
+  // Regression: submit() used to publish a task to a deque before
+  // incrementing the pending counter, so a thief could pop and finish a
+  // nested child inside that window, drive the counter to zero, and
+  // wake wait_idle() while the submitting task itself was still
+  // running. Many short rounds of instantly-completing children give
+  // the race room to show up as parent_done == false.
+  for (int round = 0; round < 200; ++round) {
+    ThreadPool pool(4);
+    std::atomic<bool> parent_done{false};
+    std::atomic<int> children{0};
+    pool.submit([&pool, &parent_done, &children] {
+      for (int c = 0; c < 8; ++c) {
+        pool.submit([&children] { children.fetch_add(1); });
+      }
+      parent_done.store(true);
+    });
+    pool.wait_idle();
+    ASSERT_TRUE(parent_done.load()) << "round " << round;
+    ASSERT_EQ(children.load(), 8) << "round " << round;
+  }
+}
+
 TEST(ThreadPoolTest, FirstExceptionRethrownFromWaitIdle) {
   ThreadPool pool(2);
   std::atomic<int> survivors{0};

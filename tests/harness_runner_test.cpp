@@ -196,6 +196,24 @@ TEST(RunnerTest, MetricsCountGroupsAndCells) {
   EXPECT_DOUBLE_EQ(cells, 3.0);
 }
 
+TEST(RunnerTest, MetricsIdenticalAcrossJobCounts) {
+  // Gauges merge last-write-wins, so the runner must fold cell metrics
+  // in spec order (not completion order) for the aggregate snapshot to
+  // be schedule-independent.
+  const auto make_groups = [] {
+    return std::vector<harness::GroupSpec>{small_group({"RD", "LI", "CR-M"}),
+                                           small_group({"LSI"}, 123)};
+  };
+  harness::Runner serial(1);
+  harness::Runner parallel(4);
+  (void)serial.run(make_groups());
+  (void)parallel.run(make_groups());
+  const auto a = serial.metrics();
+  const auto b = parallel.metrics();
+  EXPECT_EQ(a.counters, b.counters);
+  EXPECT_EQ(a.gauges, b.gauges);  // bitwise, order included
+}
+
 TEST(SweepParallelTest, RosterSweepBitIdenticalAcrossJobCounts) {
   // The tier-1 determinism gate for the whole stack: a roster sweep under
   // RSLS_JOBS=4 must reproduce the serial sweep bit for bit.
