@@ -1,0 +1,300 @@
+// Ablation — interconnect topology and collective algorithm (DESIGN.md
+// §12): the same communication pattern priced on every topology ×
+// collective combination of simrt::net, then a full scheme sweep per
+// topology.
+//
+// Expected shape: on the flat network the ring allreduce is slower than
+// recursive doubling for small payloads at p = 192 (2(p−1) latency-bound
+// stages vs log₂ p); the hop-bound allreduce cost grows monotonically in
+// the topology's mean hop count (flat < fat tree < torus at 192), and
+// both hop-aware topologies burn more total comm energy than the flat
+// seed model. (Total energy is NOT ordered by hops alone: the torus has
+// more mean hops than the fat tree but 1-hop halo neighbours and lower
+// bisection contention, so the two land close — that near-tie is the
+// point of having real topologies.) The scheme sweep shows every
+// topology preserving the paper's scheme ranking — topology rescales
+// comm cost, it does not reorder recovery strategies.
+//
+// Besides the console tables, writes the standardized BENCH JSON
+// artifact to BENCH_comm.json (override with RSLS_BENCH_JSON).
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/csv.hpp"
+#include "core/env.hpp"
+#include "core/options.hpp"
+#include "core/table.hpp"
+#include "harness/runner.hpp"
+#include "obs/json.hpp"
+#include "simrt/cluster.hpp"
+#include "sparse/generators.hpp"
+
+namespace {
+
+using namespace rsls;
+
+struct CommCell {
+  std::string topology;
+  std::string collective;
+  Index processes = 0;
+  double mean_hops = 0.0;
+  Seconds allreduce_us = 0.0;  // one 8-byte allreduce, slowest rank
+  Seconds elapsed = 0.0;
+  Joules energy = 0.0;
+  double messages = 0.0;
+  double wire_bytes = 0.0;
+  double max_contention = 1.0;
+};
+
+/// Price one repeated CG-like comm pattern (small allreduces + a halo
+/// exchange per round) on a dedicated cluster.
+CommCell run_comm_cell(simrt::net::TopologyKind topology,
+                       simrt::net::CollectiveKind collective, Index processes,
+                       Index rounds) {
+  simrt::MachineConfig machine = harness::machine_for(processes);
+  machine.net = simrt::net::NetworkConfig{};  // pin: ignore the env overlay
+  machine.net.topology = topology;
+  machine.net.collective = collective;
+  simrt::VirtualCluster cluster(machine, processes);
+
+  const Bytes dot_bytes = 8.0;
+  const std::vector<Bytes> halo_bytes(static_cast<std::size_t>(processes),
+                                      2.0 * 1024.0);
+  const IndexVec halo_msgs(static_cast<std::size_t>(processes), 6);
+  for (Index i = 0; i < rounds; ++i) {
+    cluster.halo_exchange(halo_bytes, halo_msgs, power::PhaseTag::kComm);
+    cluster.allreduce(dot_bytes, power::PhaseTag::kComm);
+    cluster.allreduce(dot_bytes, power::PhaseTag::kComm);
+  }
+
+  CommCell cell;
+  cell.topology = simrt::net::to_string(topology);
+  cell.collective = simrt::net::to_string(collective);
+  cell.processes = processes;
+  cell.mean_hops = cluster.interconnect().topology().mean_hops();
+  cell.allreduce_us = cluster.allreduce_seconds(dot_bytes) * 1e6;
+  cell.elapsed = cluster.elapsed();
+  cell.energy = cluster.total_energy();
+  cell.messages = cluster.comm_stats().messages;
+  cell.wire_bytes = cluster.comm_stats().wire_bytes;
+  cell.max_contention = cluster.comm_stats().max_contention;
+  return cell;
+}
+
+void write_bench_json(const std::vector<CommCell>& cells) {
+  const std::string path =
+      env::bench_json_path().value_or("BENCH_comm.json");
+  std::ofstream os(path);
+  if (!os.good()) {
+    std::fprintf(stderr, "ablation_topology: cannot open %s for writing\n",
+                 path.c_str());
+    return;
+  }
+  obs::JsonWriter json(os);
+  json.begin_object();
+  json.field("schema_version", 1);
+  json.field("source", "ablation_topology");
+  json.begin_array("results");
+  for (const auto& c : cells) {
+    json.begin_object();
+    json.field("name", c.topology + "/" + c.collective + "/p" +
+                           std::to_string(c.processes));
+    json.field("topology", c.topology);
+    json.field("collective", c.collective);
+    json.field("processes", static_cast<std::int64_t>(c.processes));
+    json.begin_object("counters");
+    json.field("mean_hops", c.mean_hops);
+    json.field("allreduce_us", c.allreduce_us);
+    json.field("elapsed_s", c.elapsed);
+    json.field("energy_j", c.energy);
+    json.field("comm_messages", c.messages);
+    json.field("comm_wire_bytes", c.wire_bytes);
+    json.field("comm_max_contention", c.max_contention);
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  os << '\n';
+  std::fprintf(stderr, "ablation_topology: wrote %zu results to %s\n",
+               cells.size(), path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options(argc, argv);
+  const bool quick = quick_mode() || options.get_bool("quick", false);
+
+  const IndexVec process_counts = quick ? IndexVec{48, 192}
+                                        : IndexVec{48, 96, 192};
+  const Index rounds = options.get_index("rounds", quick ? 200 : 1000);
+
+  const std::vector<simrt::net::TopologyKind> topologies = {
+      simrt::net::TopologyKind::kFlat, simrt::net::TopologyKind::kFatTree,
+      simrt::net::TopologyKind::kTorus3D};
+  const std::vector<simrt::net::CollectiveKind> collectives = {
+      simrt::net::CollectiveKind::kRecursiveDoubling,
+      simrt::net::CollectiveKind::kRing,
+      simrt::net::CollectiveKind::kBinomialTree};
+
+  std::cout << "Ablation: interconnect topology x collective algorithm ("
+            << rounds << " rounds of halo + 2 dot-product allreduces)\n\n";
+
+  std::vector<CommCell> cells;
+  for (const Index p : process_counts) {
+    for (const auto topo : topologies) {
+      for (const auto coll : collectives) {
+        cells.push_back(run_comm_cell(topo, coll, p, rounds));
+      }
+    }
+  }
+
+  TablePrinter table({"p", "topology", "collective", "mean hops",
+                      "allreduce (µs)", "elapsed (ms)", "energy (J)",
+                      "contention"});
+  for (const auto& c : cells) {
+    table.add_row({std::to_string(c.processes), c.topology, c.collective,
+                   TablePrinter::num(c.mean_hops),
+                   TablePrinter::num(c.allreduce_us, 3),
+                   TablePrinter::num(c.elapsed * 1e3, 3),
+                   TablePrinter::num(c.energy, 3),
+                   TablePrinter::num(c.max_contention)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nCSV:\n";
+  CsvWriter csv(std::cout, {"p", "topology", "collective", "mean_hops",
+                            "allreduce_us", "elapsed_ms", "energy_j",
+                            "messages", "wire_bytes", "max_contention"});
+  for (const auto& c : cells) {
+    csv.add_row({std::to_string(c.processes), c.topology, c.collective,
+                 TablePrinter::num(c.mean_hops, 4),
+                 TablePrinter::num(c.allreduce_us, 4),
+                 TablePrinter::num(c.elapsed * 1e3, 4),
+                 TablePrinter::num(c.energy, 4),
+                 TablePrinter::num(c.messages, 0),
+                 TablePrinter::num(c.wire_bytes, 0),
+                 TablePrinter::num(c.max_contention, 4)});
+  }
+
+  // Shape checks at the largest size.
+  const Index p_max = process_counts.back();
+  const auto find_cell = [&](const char* topo, const char* coll) {
+    for (const auto& c : cells) {
+      if (c.processes == p_max && c.topology == topo &&
+          c.collective == coll) {
+        return c;
+      }
+    }
+    throw Error("missing cell");
+  };
+  const CommCell flat_rd = find_cell("flat", "recursive-doubling");
+  const CommCell flat_ring = find_cell("flat", "ring");
+  const CommCell fat_rd = find_cell("fat-tree", "recursive-doubling");
+  const CommCell torus_rd = find_cell("torus3d", "recursive-doubling");
+
+  // Ring pays 2(p−1) latency-bound stages for an 8-byte payload where
+  // recursive doubling pays log₂ p.
+  const bool ring_slower = flat_ring.allreduce_us > flat_rd.allreduce_us;
+
+  // The hop-bound collective cost is ordered by mean hop count, and both
+  // hop-aware topologies burn more comm energy than the flat seed model.
+  const CommCell& near = fat_rd.mean_hops <= torus_rd.mean_hops ? fat_rd
+                                                                : torus_rd;
+  const CommCell& far = fat_rd.mean_hops <= torus_rd.mean_hops ? torus_rd
+                                                               : fat_rd;
+  const bool monotone_in_hops = flat_rd.mean_hops < near.mean_hops &&
+                                near.mean_hops < far.mean_hops &&
+                                flat_rd.allreduce_us < near.allreduce_us &&
+                                near.allreduce_us < far.allreduce_us;
+  const bool dearer_than_flat =
+      near.energy > flat_rd.energy && far.energy > flat_rd.energy;
+  const bool distinct = fat_rd.elapsed != torus_rd.elapsed;
+
+  std::cout << "\nshape-check: ring slower than recursive doubling for "
+               "8-byte allreduce at p="
+            << p_max << " " << (ring_slower ? "PASS" : "FAIL")
+            << "; allreduce cost monotone in mean hops "
+            << (monotone_in_hops ? "PASS" : "FAIL")
+            << "; hop-aware topologies dearer than flat "
+            << (dearer_than_flat ? "PASS" : "FAIL")
+            << "; fat-tree and torus distinct "
+            << (distinct ? "PASS" : "FAIL") << "\n";
+
+  // Scheme sweep per topology: the recovery-scheme ranking must survive
+  // a topology change (comm gets dearer, strategy order does not flip).
+  const Index p_schemes = quick ? 24 : 48;
+  const std::vector<std::string> schemes = {"RD", "CR-M", "LI"};
+  sparse::BandedSpdConfig matrix_config;
+  matrix_config.n = p_schemes * 160;
+  matrix_config.half_bandwidth = 11;
+  matrix_config.diag_excess = sparse::diag_excess_for_iterations(450.0);
+  matrix_config.scale_decades = 1.0;
+  matrix_config.seed = 700;
+
+  std::vector<harness::GroupSpec> groups;
+  for (const auto topo : topologies) {
+    harness::GroupSpec group;
+    group.label = simrt::net::to_string(topo);
+    group.config.processes = p_schemes;
+    group.config.faults = 2;
+    simrt::net::NetworkConfig net;
+    net.topology = topo;
+    group.config.network = net;
+    group.make_workload = [matrix_config, p_schemes] {
+      return harness::Workload::create(sparse::banded_spd(matrix_config),
+                                       p_schemes);
+    };
+    for (const auto& scheme : schemes) {
+      group.cells.push_back({scheme, std::nullopt, nullptr});
+    }
+    groups.push_back(std::move(group));
+  }
+
+  harness::Runner runner;
+  const auto results = runner.run(groups);
+
+  std::cout << "\nScheme sweep per topology (" << p_schemes
+            << " processes, 2 faults; ratios vs same-topology FF)\n\n";
+  std::vector<std::string> header = {"topology", "FF ms"};
+  for (const auto& s : schemes) {
+    header.push_back(s + " T");
+    header.push_back(s + " E");
+  }
+  TablePrinter sweep(header);
+  bool ranking_stable = true;
+  for (std::size_t g = 0; g < results.size(); ++g) {
+    const auto& result = results[g];
+    std::vector<std::string> row = {result.label,
+                                    TablePrinter::num(result.ff.time * 1e3, 2)};
+    for (const auto& run : result.runs) {
+      row.push_back(TablePrinter::num(run.time_ratio));
+      row.push_back(TablePrinter::num(run.energy_ratio));
+    }
+    sweep.add_row(row);
+    // RD trades energy for time: fastest in time, worst in energy,
+    // whatever the topology.
+    const auto& rd = result.runs[0];
+    for (std::size_t s = 1; s < result.runs.size(); ++s) {
+      if (rd.time_ratio > result.runs[s].time_ratio ||
+          rd.energy_ratio < result.runs[s].energy_ratio) {
+        ranking_stable = false;
+      }
+    }
+  }
+  sweep.print(std::cout);
+  std::cout << "\nshape-check: RD fastest / highest-energy on every topology "
+            << (ranking_stable ? "PASS" : "FAIL") << "\n";
+
+  write_bench_json(cells);
+
+  return ring_slower && monotone_in_hops && dearer_than_flat && distinct &&
+                 ranking_stable
+             ? 0
+             : 1;
+}

@@ -101,8 +101,45 @@ int main() {
             << (esr_grows_slowly ? "PASS" : "FAIL")
             << "; ESR beats RD energy " << (esr_beats_rd_energy ? "PASS" : "FAIL")
             << "\n";
+
+  // Analytic topology-aware T_O (DESIGN.md §12): the same per-iteration
+  // overhead priced on candidate target interconnects via simrt::net,
+  // next to the fitted table the projection extrapolates from the 8-node
+  // cluster. The flat column is the α–β lower bound; fat tree and torus
+  // add hop latency and bisection contention that the fitted table
+  // cannot see.
+  std::cout << "\nAnalytic T_O per iteration (µs), fitted table vs "
+               "simrt::net topologies:\n";
+  const auto make_model = [](simrt::net::TopologyKind kind) {
+    model::TopologyCommInputs in;
+    in.net.topology = kind;
+    return model::TopologyCommModel(in);
+  };
+  const model::TopologyCommModel flat = make_model(
+      simrt::net::TopologyKind::kFlat);
+  const model::TopologyCommModel fat_tree =
+      make_model(simrt::net::TopologyKind::kFatTree);
+  const model::TopologyCommModel torus =
+      make_model(simrt::net::TopologyKind::kTorus3D);
+  TablePrinter comm_table({"procs", "fitted", "flat", "fat-tree", "torus3d"});
+  const auto us = [](Seconds s) { return TablePrinter::num(s * 1e6, 3); };
+  for (const Index n : counts) {
+    comm_table.add_row({std::to_string(n),
+                        us(inputs.comm.cg_iteration_overhead(n)),
+                        us(flat.cg_iteration_overhead(n)),
+                        us(fat_tree.cg_iteration_overhead(n)),
+                        us(torus.cg_iteration_overhead(n))});
+  }
+  comm_table.print(std::cout);
+  const Index n_max = counts.back();
+  const bool analytic_ordered =
+      flat.cg_iteration_overhead(n_max) < fat_tree.cg_iteration_overhead(n_max) &&
+      flat.cg_iteration_overhead(n_max) < torus.cg_iteration_overhead(n_max);
+  std::cout << "shape-check: flat is the analytic lower bound "
+            << (analytic_ordered ? "PASS" : "FAIL") << "\n";
+
   return rd_flat && fw_grows && crd_grows_fastest && crm_smallest_at_scale &&
-                 esr_grows_slowly && esr_beats_rd_energy
+                 esr_grows_slowly && esr_beats_rd_energy && analytic_ordered
              ? 0
              : 1;
 }

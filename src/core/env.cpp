@@ -3,7 +3,12 @@
 #include <algorithm>
 #include <cstdlib>
 #include <stdexcept>
+#include <string_view>
 #include <thread>
+
+#include "core/log.hpp"
+
+extern char** environ;
 
 namespace rsls {
 
@@ -37,10 +42,16 @@ const std::vector<VarSpec>& registry() {
        "Append one RunReport JSONL line per scheme run to this file."},
       {"RSLS_OBS_POWER_BIN", "double", "0.05",
        "Power-trace bin width in virtual seconds for trace counter tracks."},
-      {"RSLS_BENCH_JSON", "path", "BENCH_micro_kernels.json",
-       "Output path for micro_kernels' machine-readable results."},
+      {"RSLS_BENCH_JSON", "path", "per-bench default",
+       "Output path for machine-readable bench results (micro_kernels, "
+       "ablation_topology)."},
       {"RSLS_LOG_LEVEL", "string", "warn",
        "stderr log threshold: debug|info|warn|error (or 0-3)."},
+      {"RSLS_NET_TOPOLOGY", "string", "flat",
+       "Interconnect topology for harness-built clusters: "
+       "flat|fat-tree|torus3d."},
+      {"RSLS_NET_COLLECTIVE", "string", "recursive-doubling",
+       "Collective algorithm: recursive-doubling|ring|binomial-tree."},
   };
   return vars;
 }
@@ -116,6 +127,49 @@ std::optional<std::string> bench_json_path() {
 
 std::optional<std::string> log_level_name() {
   return env_string("RSLS_LOG_LEVEL");
+}
+
+std::optional<std::string> net_topology() {
+  return env_string("RSLS_NET_TOPOLOGY");
+}
+
+std::optional<std::string> net_collective() {
+  return env_string("RSLS_NET_COLLECTIVE");
+}
+
+std::vector<std::string> unknown_rsls_vars() {
+  std::vector<std::string> unknown;
+  if (environ == nullptr) {
+    return unknown;
+  }
+  constexpr std::string_view prefix = "RSLS_";
+  for (char** entry = environ; *entry != nullptr; ++entry) {
+    const std::string_view var(*entry);
+    if (var.substr(0, prefix.size()) != prefix) {
+      continue;
+    }
+    const std::size_t eq = var.find('=');
+    const std::string name(var.substr(0, eq));
+    const bool registered =
+        std::any_of(registry().begin(), registry().end(),
+                    [&](const VarSpec& spec) { return name == spec.name; });
+    if (!registered) {
+      unknown.push_back(name);
+    }
+  }
+  std::sort(unknown.begin(), unknown.end());
+  return unknown;
+}
+
+void warn_unknown_once() {
+  static const bool warned = [] {
+    for (const std::string& name : unknown_rsls_vars()) {
+      RSLS_WARN << "unrecognized environment variable " << name
+                << " (not in the RSLS_* registry; see README)";
+    }
+    return true;
+  }();
+  (void)warned;
 }
 
 }  // namespace env

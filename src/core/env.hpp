@@ -70,5 +70,21 @@ std::optional<std::string> bench_json_path();
 /// RSLS_LOG_LEVEL: stderr log threshold (debug|info|warn|error or 0-3).
 std::optional<std::string> log_level_name();
 
+/// RSLS_NET_TOPOLOGY: interconnect topology for every cluster the harness
+/// builds (flat|fat-tree|torus3d).
+std::optional<std::string> net_topology();
+
+/// RSLS_NET_COLLECTIVE: collective algorithm
+/// (recursive-doubling|ring|binomial-tree).
+std::optional<std::string> net_collective();
+
+/// RSLS_-prefixed variables set in the process environment that no
+/// registry entry declares — typo'd knobs that would otherwise be
+/// silently ignored.
+std::vector<std::string> unknown_rsls_vars();
+
+/// Log one RSLS_WARN per unknown RSLS_* variable, once per process.
+void warn_unknown_once();
+
 }  // namespace env
 }  // namespace rsls

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "core/env.hpp"
 #include "core/error.hpp"
 
 namespace rsls {
@@ -18,6 +19,9 @@ Options::Options(int argc, const char* const* argv) {
 Options::Options(const std::vector<std::string>& tokens) { parse(tokens); }
 
 void Options::parse(const std::vector<std::string>& tokens) {
+  // Every bench/tool funnels through here, so this is the one place a
+  // typo'd RSLS_* knob gets flagged instead of silently ignored.
+  env::warn_unknown_once();
   for (const auto& token : tokens) {
     RSLS_CHECK_MSG(token.rfind("--", 0) == 0,
                    "option must start with --: " + token);

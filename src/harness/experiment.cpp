@@ -7,7 +7,9 @@
 #include <string>
 #include <utility>
 
+#include "core/env.hpp"
 #include "core/error.hpp"
+#include "core/log.hpp"
 #include "harness/scheme_factory.hpp"
 #include "model/young_daly.hpp"
 #include "obs/chrome_trace.hpp"
@@ -86,6 +88,9 @@ obs::RunReport make_run_report(const obs::ObservabilityOptions& opts,
       {"sdc_faults", config.sdc_faults ? "true" : "false"},
       {"detection", config.detection ? "true" : "false"},
       {"replica_factor", std::to_string(cluster.replica_factor())},
+      {"net_topology", simrt::net::to_string(cluster.config().net.topology)},
+      {"net_collective",
+       simrt::net::to_string(cluster.config().net.collective)},
   };
   report.results = {
       {"iterations", static_cast<double>(r.cg.iterations)},
@@ -122,6 +127,41 @@ obs::RunReport make_run_report(const obs::ObservabilityOptions& opts,
 
 }  // namespace
 
+namespace {
+
+/// Environment overlay for the interconnect: RSLS_NET_TOPOLOGY /
+/// RSLS_NET_COLLECTIVE retarget every harness-built cluster without
+/// touching bench flags. Unparsable values warn once and keep the
+/// default (matching the env registry's fallback-on-garbage contract).
+void apply_net_env(simrt::net::NetworkConfig& net) {
+  if (const auto name = env::net_topology()) {
+    if (const auto kind = simrt::net::topology_from_name(*name)) {
+      net.topology = *kind;
+    } else {
+      static std::atomic<bool> warned{false};
+      if (!warned.exchange(true)) {
+        RSLS_WARN << "RSLS_NET_TOPOLOGY=" << *name
+                  << " is not flat|fat-tree|torus3d; keeping "
+                  << simrt::net::to_string(net.topology);
+      }
+    }
+  }
+  if (const auto name = env::net_collective()) {
+    if (const auto kind = simrt::net::collective_from_name(*name)) {
+      net.collective = *kind;
+    } else {
+      static std::atomic<bool> warned{false};
+      if (!warned.exchange(true)) {
+        RSLS_WARN << "RSLS_NET_COLLECTIVE=" << *name
+                  << " is not recursive-doubling|ring|binomial-tree; keeping "
+                  << simrt::net::to_string(net.collective);
+      }
+    }
+  }
+}
+
+}  // namespace
+
 simrt::MachineConfig machine_for(Index processes) {
   RSLS_CHECK(processes >= 1);
   simrt::MachineConfig machine = simrt::paper_cluster();
@@ -132,6 +172,7 @@ simrt::MachineConfig machine_for(Index processes) {
   while (processes > machine.total_cores()) {
     machine.nodes *= 2;
   }
+  apply_net_env(machine.net);
   return machine;
 }
 
@@ -145,8 +186,11 @@ Workload Workload::create(sparse::Csr matrix, Index processes,
 
 FfBaseline run_fault_free(const Workload& workload,
                           const ExperimentConfig& config) {
-  simrt::VirtualCluster cluster(machine_for(config.processes),
-                                config.processes);
+  simrt::MachineConfig machine = machine_for(config.processes);
+  if (config.network.has_value()) {
+    machine.net = *config.network;
+  }
+  simrt::VirtualCluster cluster(machine, config.processes);
   NoRecovery scheme;
   auto injector = resilience::FaultInjector::none();
   RealVec x = workload.x0;
@@ -213,8 +257,11 @@ SchemeRun run_scheme(const Workload& workload, const std::string& scheme_name,
   std::optional<simrt::VirtualCluster> owned_cluster;
   simrt::VirtualCluster* cluster_ptr = hooks.cluster;
   if (cluster_ptr == nullptr) {
-    owned_cluster.emplace(machine_for(config.processes), config.processes,
-                          scheme.replica_factor());
+    simrt::MachineConfig machine = machine_for(config.processes);
+    if (config.network.has_value()) {
+      machine.net = *config.network;
+    }
+    owned_cluster.emplace(machine, config.processes, scheme.replica_factor());
     cluster_ptr = &*owned_cluster;
   }
   simrt::VirtualCluster& cluster = *cluster_ptr;
@@ -285,6 +332,20 @@ SchemeRun run_scheme(const Workload& workload, const std::string& scheme_name,
   }
 
   if (rec != nullptr) {
+    // Interconnect accounting rides along with the instrument metrics.
+    const simrt::net::CommStats& comm = cluster.comm_stats();
+    recorder.metrics().counter("comm.messages").add(comm.messages);
+    recorder.metrics().counter("comm.wire_bytes").add(comm.wire_bytes);
+    recorder.metrics().counter("comm.allreduces").add(comm.allreduces);
+    recorder.metrics().counter("comm.p2p_messages").add(comm.p2p_messages);
+    recorder.metrics().counter("comm.halo_messages").add(comm.halo_messages);
+    recorder.metrics()
+        .counter("comm.gather_messages")
+        .add(comm.gather_messages);
+    recorder.metrics()
+        .counter("comm.replica_fetches")
+        .add(comm.replica_fetches);
+    recorder.metrics().gauge("comm.max_contention").set(comm.max_contention);
     run.metrics = recorder.metrics().snapshot();
     const std::string matrix =
         workload.label.empty() ? std::string("matrix") : workload.label;

@@ -4,6 +4,7 @@
 // All benches are thin layers over these functions.
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/types.hpp"
@@ -56,6 +57,11 @@ struct ExperimentConfig {
   /// run_scheme, so observability can be switched on for any binary
   /// without touching its flags.
   obs::ObservabilityOptions observability;
+  /// Interconnect override for every cluster this config builds. Unset
+  /// uses machine_for's default (which itself honors RSLS_NET_TOPOLOGY /
+  /// RSLS_NET_COLLECTIVE); an explicit value here beats the environment
+  /// — that's how bench sweeps pin a topology per cell.
+  std::optional<simrt::net::NetworkConfig> network;
 };
 
 /// Machine sized for the process count: the paper's 8-node cluster, with

@@ -27,7 +27,7 @@ std::vector<ProjectionPoint> project(const ProjectionInputs& inputs,
     // table accumulated over the iterations.
     point.t_base =
         inputs.t_solve + static_cast<double>(inputs.iterations) *
-                             inputs.comm.cg_iteration_overhead(n);
+                             inputs.iteration_overhead(n);
 
     BaseCase base;
     base.t_base = point.t_base;

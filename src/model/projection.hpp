@@ -19,6 +19,7 @@
 #include "core/units.hpp"
 #include "model/comm_scaling.hpp"
 #include "model/cost_models.hpp"
+#include "model/topology_comm.hpp"
 
 namespace rsls::model {
 
@@ -67,6 +68,19 @@ struct ProjectionInputs {
   double abft_encode_power_factor = 0.9;
 
   CommScalingTable comm;
+
+  /// When set, T_O(N) comes from the analytic topology-aware model below
+  /// instead of the fitted table — the projection then prices the target
+  /// machine's actual interconnect rather than extrapolating the 8-node
+  /// cluster's measurements.
+  bool use_analytic_comm = false;
+  TopologyCommModel analytic_comm;
+
+  /// The active per-iteration overhead term (table or analytic).
+  Seconds iteration_overhead(Index processes) const {
+    return use_analytic_comm ? analytic_comm.cg_iteration_overhead(processes)
+                             : comm.cg_iteration_overhead(processes);
+  }
 };
 
 struct ProjectionPoint {

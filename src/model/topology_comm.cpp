@@ -1,0 +1,52 @@
+#include "model/topology_comm.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/error.hpp"
+#include "simrt/net/interconnect.hpp"
+
+namespace rsls::model {
+
+TopologyCommModel::TopologyCommModel(TopologyCommInputs inputs)
+    : inputs_(std::move(inputs)) {
+  RSLS_CHECK(inputs_.alpha >= 0.0);
+  RSLS_CHECK(inputs_.beta > 0.0);
+  RSLS_CHECK(inputs_.spmv_neighbors >= 0.0);
+  RSLS_CHECK(inputs_.spmv_halo_bytes >= 0.0);
+  RSLS_CHECK(inputs_.allreduce_bytes >= 0.0);
+}
+
+Seconds TopologyCommModel::spmv_comm_seconds(Index processes) const {
+  RSLS_CHECK(processes >= 1);
+  const simrt::net::Interconnect net(inputs_.net, inputs_.alpha, inputs_.beta,
+                                     processes);
+  // The iteration finishes when the worst-placed rank's halo completes.
+  Seconds worst = 0.0;
+  for (Index r = 0; r < processes; ++r) {
+    worst = std::max(
+        worst,
+        net.halo_seconds(r, inputs_.spmv_neighbors, inputs_.spmv_halo_bytes));
+  }
+  return worst;
+}
+
+Seconds TopologyCommModel::allreduce_seconds(Index processes) const {
+  RSLS_CHECK(processes >= 1);
+  const simrt::net::Interconnect net(inputs_.net, inputs_.alpha, inputs_.beta,
+                                     processes);
+  return net.allreduce_seconds(inputs_.allreduce_bytes);
+}
+
+Seconds TopologyCommModel::cg_iteration_overhead(Index processes) const {
+  return spmv_comm_seconds(processes) + 2.0 * allreduce_seconds(processes);
+}
+
+double TopologyCommModel::mean_hops(Index processes) const {
+  RSLS_CHECK(processes >= 1);
+  const simrt::net::Interconnect net(inputs_.net, inputs_.alpha, inputs_.beta,
+                                     processes);
+  return net.topology().mean_hops();
+}
+
+}  // namespace rsls::model

@@ -1,0 +1,60 @@
+#pragma once
+// Analytic, topology-aware alternative to the fitted CommScalingTable
+// for the §6 projection's per-iteration comm overhead T_O(N).
+//
+// The fitted table interpolates four measured (p, t) points and knows
+// nothing about the interconnect. This model prices the same two terms
+// of a CG iteration — the SpMV halo exchange and two 8-byte allreduces —
+// directly on a simrt::net topology + collective, so the projection can
+// ask "what if the million-core machine is a tapered fat tree?" instead
+// of extrapolating flat-network measurements.
+
+#include "core/types.hpp"
+#include "core/units.hpp"
+#include "simrt/net/network_config.hpp"
+
+namespace rsls::model {
+
+struct TopologyCommInputs {
+  /// Interconnect shape and collective algorithm to price against.
+  simrt::net::NetworkConfig net;
+
+  /// Link α–β, matching MachineConfig's defaults.
+  Seconds alpha = 0.1e-6;
+  double beta = 10e9;  // bytes/s
+
+  /// Per-rank SpMV halo under weak scaling: neighbour count and total
+  /// halo payload stay constant as the machine grows (3-D stencil-like
+  /// partitions; boundary surface per part is fixed).
+  double spmv_neighbors = 6.0;
+  Bytes spmv_halo_bytes = 48.0 * 1024.0;
+
+  /// Payload of one dot-product allreduce.
+  Bytes allreduce_bytes = 8.0;
+};
+
+/// Prices CG-iteration comm terms on a topology built per process count.
+class TopologyCommModel {
+ public:
+  TopologyCommModel() = default;
+  explicit TopologyCommModel(TopologyCommInputs inputs);
+
+  const TopologyCommInputs& inputs() const { return inputs_; }
+
+  /// Per-iteration SpMV halo time of the worst-placed rank.
+  Seconds spmv_comm_seconds(Index processes) const;
+
+  /// Slowest rank's cost of one allreduce at this machine size.
+  Seconds allreduce_seconds(Index processes) const;
+
+  /// T_O(N) = halo + 2 allreduces, the CommScalingTable counterpart.
+  Seconds cg_iteration_overhead(Index processes) const;
+
+  /// Mean hop count of the topology at this size (diagnostics/benches).
+  double mean_hops(Index processes) const;
+
+ private:
+  TopologyCommInputs inputs_;
+};
+
+}  // namespace rsls::model

@@ -42,10 +42,10 @@ solver::HookAction Dmr::recover(RecoveryContext& ctx, Index /*iteration*/,
     }
     transfer_bytes += ctx.a.block_bytes(failed_rank);
   }
-  // Transfer of the lost blocks from the replica partner.
-  ctx.cluster.charge_duration(failed_rank,
-                              ctx.cluster.p2p_seconds(transfer_bytes),
-                              Activity::kWaiting, PhaseTag::kReconstruct);
+  // Transfer of the lost blocks from the replica partner: one copy,
+  // priced by the interconnect at replica (full-diameter) distance.
+  ctx.cluster.replica_fetch(failed_rank, transfer_bytes, 1,
+                            PhaseTag::kReconstruct);
   ctx.cluster.sync(PhaseTag::kIdleWait);
   // The replica also restores the solver's internal vectors exactly, so
   // no restart is needed — RD tracks the fault-free trajectory.

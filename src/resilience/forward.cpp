@@ -46,9 +46,7 @@ void charge_gather(RecoveryContext& ctx, Index failed_rank) {
   const auto i = static_cast<std::size_t>(failed_rank);
   const Bytes bytes = ctx.a.halo_bytes()[i];
   const double msgs = static_cast<double>(ctx.a.halo_messages()[i]);
-  const Seconds duration = msgs * ctx.cluster.config().net_latency +
-                           bytes / ctx.cluster.config().net_bandwidth;
-  ctx.cluster.charge_duration(failed_rank, duration, Activity::kWaiting,
+  ctx.cluster.neighbor_gather(failed_rank, msgs, bytes,
                               PhaseTag::kReconstruct);
 }
 
@@ -254,13 +252,12 @@ void ForwardRecovery::recover_least_squares(RecoveryContext& ctx,
       cluster.charge_compute(r, flops_total / static_cast<double>(parts),
                              PhaseTag::kReconstruct);
     }
-    const double stages = std::ceil(
-        std::log2(static_cast<double>(std::max<Index>(parts, 2))));
     const Bytes r_factor_bytes =
         static_cast<double>(m) * static_cast<double>(m) * sizeof(Real);
-    const Seconds comm =
-        stages * (cluster.config().net_latency +
-                  r_factor_bytes / cluster.config().net_bandwidth);
+    // log₂(p)-stage reduction of R factors, priced as an allreduce by the
+    // interconnect. Charged without a barrier: rank clocks may be uneven
+    // here and the TSQR tree does not rendezvous them.
+    const Seconds comm = cluster.allreduce_seconds(r_factor_bytes);
     for (Index r = 0; r < parts; ++r) {
       cluster.charge_duration(r, comm, Activity::kWaiting,
                               PhaseTag::kReconstruct);
@@ -281,11 +278,8 @@ void ForwardRecovery::recover_least_squares(RecoveryContext& ctx,
   const auto i = static_cast<std::size_t>(failed_rank);
   const Bytes gather_bytes = ctx.a.halo_bytes()[i];
   const double msgs = static_cast<double>(ctx.a.halo_messages()[i]);
-  cluster.charge_duration(
-      failed_rank,
-      msgs * cluster.config().net_latency +
-          gather_bytes / cluster.config().net_bandwidth,
-      Activity::kWaiting, PhaseTag::kReconstruct);
+  cluster.neighbor_gather(failed_rank, msgs, gather_bytes,
+                          PhaseTag::kReconstruct);
 
   // The local rows reference only their block + halo columns; compress to
   // that support so the normal-equations operator works in vectors of the

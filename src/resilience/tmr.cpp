@@ -45,9 +45,8 @@ solver::HookAction Tmr::recover(RecoveryContext& ctx, Index /*iteration*/,
   }
   // The vote: the failed rank compares its block against both replicas —
   // two block transfers — and adopts the majority value.
-  const Seconds transfer = 2.0 * ctx.cluster.p2p_seconds(voted_bytes);
-  ctx.cluster.charge_duration(failed_rank, transfer, Activity::kWaiting,
-                              PhaseTag::kReconstruct);
+  ctx.cluster.replica_fetch(failed_rank, voted_bytes, 2,
+                            PhaseTag::kReconstruct);
   ctx.cluster.sync(PhaseTag::kIdleWait);
   return solver::HookAction::kContinue;
 }

@@ -1,7 +1,6 @@
 #include "simrt/cluster.hpp"
 
 #include <algorithm>
-#include <cmath>
 
 #include "core/error.hpp"
 
@@ -24,6 +23,8 @@ VirtualCluster::VirtualCluster(const MachineConfig& config, Index num_ranks,
   RSLS_CHECK_MSG(num_ranks <= config.total_cores(),
                  "more ranks than cores (the paper binds 1:1)");
   RSLS_CHECK(replica_factor >= 1);
+  net_ = std::make_unique<net::Interconnect>(
+      config.net, config.net_latency, config.net_bandwidth, num_ranks_);
 }
 
 Index VirtualCluster::node_of(Index rank) const {
@@ -109,25 +110,68 @@ void VirtualCluster::sync(PhaseTag tag) {
 }
 
 Seconds VirtualCluster::p2p_seconds(Bytes bytes) const {
-  RSLS_CHECK(bytes >= 0.0);
-  return config_.net_latency + bytes / config_.net_bandwidth;
+  return net_->uniform_p2p_seconds(bytes);
+}
+
+Seconds VirtualCluster::transfer_seconds(Index from, Index to,
+                                         Bytes bytes) const {
+  RSLS_CHECK(from >= 0 && from < num_ranks_);
+  RSLS_CHECK(to >= 0 && to < num_ranks_);
+  return net_->p2p_seconds(from, to, bytes);
 }
 
 Seconds VirtualCluster::allreduce_seconds(Bytes bytes) const {
-  RSLS_CHECK(bytes >= 0.0);
-  const double stages =
-      std::ceil(std::log2(static_cast<double>(std::max<Index>(num_ranks_, 2))));
-  return stages * (config_.net_latency + bytes / config_.net_bandwidth);
+  return net_->allreduce_seconds(bytes);
 }
 
 void VirtualCluster::allreduce(Bytes bytes, PhaseTag tag) {
   // Collectives are synchronizing: first every rank reaches the barrier,
-  // then the recursive-doubling exchange runs.
+  // then the exchange runs; each rank pays its own algorithmic cost
+  // (uniform under the default recursive doubling on a flat network).
   sync(tag);
-  const Seconds duration = allreduce_seconds(bytes);
+  const std::vector<Seconds> costs = net_->allreduce_costs(bytes);
   for (Index r = 0; r < num_ranks_; ++r) {
-    charge_interval(r, duration, Activity::kWaiting, tag);
+    charge_interval(r, costs[static_cast<std::size_t>(r)], Activity::kWaiting,
+                    tag);
   }
+  comm_stats_.allreduces += 1.0;
+  comm_stats_.messages += net_->collective().allreduce_messages(num_ranks_);
+  comm_stats_.wire_bytes +=
+      net_->collective().allreduce_wire_bytes(num_ranks_, bytes);
+  comm_stats_.max_contention =
+      std::max(comm_stats_.max_contention, net_->full_contention());
+}
+
+void VirtualCluster::broadcast(Index root, Bytes bytes, PhaseTag tag) {
+  RSLS_CHECK(root >= 0 && root < num_ranks_);
+  sync(tag);
+  const std::vector<Seconds> costs = net_->broadcast_costs(root, bytes);
+  for (Index r = 0; r < num_ranks_; ++r) {
+    charge_interval(r, costs[static_cast<std::size_t>(r)], Activity::kWaiting,
+                    tag);
+  }
+  comm_stats_.broadcasts += 1.0;
+  comm_stats_.messages += static_cast<double>(std::max<Index>(num_ranks_, 1) - 1);
+  comm_stats_.wire_bytes +=
+      bytes * static_cast<double>(std::max<Index>(num_ranks_, 1) - 1);
+  comm_stats_.max_contention =
+      std::max(comm_stats_.max_contention, net_->full_contention());
+}
+
+void VirtualCluster::reduce(Index root, Bytes bytes, PhaseTag tag) {
+  RSLS_CHECK(root >= 0 && root < num_ranks_);
+  sync(tag);
+  const std::vector<Seconds> costs = net_->reduce_costs(root, bytes);
+  for (Index r = 0; r < num_ranks_; ++r) {
+    charge_interval(r, costs[static_cast<std::size_t>(r)], Activity::kWaiting,
+                    tag);
+  }
+  comm_stats_.reductions += 1.0;
+  comm_stats_.messages += static_cast<double>(std::max<Index>(num_ranks_, 1) - 1);
+  comm_stats_.wire_bytes +=
+      bytes * static_cast<double>(std::max<Index>(num_ranks_, 1) - 1);
+  comm_stats_.max_contention =
+      std::max(comm_stats_.max_contention, net_->full_contention());
 }
 
 void VirtualCluster::point_to_point(Index from, Index to, Bytes bytes,
@@ -143,9 +187,12 @@ void VirtualCluster::point_to_point(Index from, Index to, Bytes bytes,
       charge_interval(r, gap, Activity::kWaiting, tag);
     }
   }
-  const Seconds duration = p2p_seconds(bytes);
+  const Seconds duration = net_->p2p_seconds(from, to, bytes);
   charge_interval(from, duration, Activity::kWaiting, tag);
   charge_interval(to, duration, Activity::kWaiting, tag);
+  comm_stats_.p2p_messages += 1.0;
+  comm_stats_.messages += 1.0;
+  comm_stats_.wire_bytes += bytes;
 }
 
 void VirtualCluster::halo_exchange(const std::vector<Bytes>& bytes_per_rank,
@@ -155,13 +202,42 @@ void VirtualCluster::halo_exchange(const std::vector<Bytes>& bytes_per_rank,
   RSLS_CHECK(msgs_per_rank.size() == static_cast<std::size_t>(num_ranks_));
   for (Index r = 0; r < num_ranks_; ++r) {
     const auto i = static_cast<std::size_t>(r);
-    const Seconds duration =
-        static_cast<double>(msgs_per_rank[i]) * config_.net_latency +
-        bytes_per_rank[i] / config_.net_bandwidth;
+    const Seconds duration = net_->halo_seconds(
+        r, static_cast<double>(msgs_per_rank[i]), bytes_per_rank[i]);
     if (duration > 0.0) {
       charge_interval(r, duration, Activity::kWaiting, tag);
     }
+    comm_stats_.halo_messages += static_cast<double>(msgs_per_rank[i]);
+    comm_stats_.messages += static_cast<double>(msgs_per_rank[i]);
+    comm_stats_.wire_bytes += bytes_per_rank[i];
   }
+  comm_stats_.max_contention =
+      std::max(comm_stats_.max_contention, net_->full_contention());
+}
+
+void VirtualCluster::neighbor_gather(Index rank, double msgs, Bytes bytes,
+                                     PhaseTag tag) {
+  RSLS_CHECK(rank >= 0 && rank < num_ranks_);
+  RSLS_CHECK(msgs >= 0.0);
+  // One-sided pulls: only the gathering rank blocks; the sources stream
+  // their shares without leaving their own timelines (FW reconstruction).
+  charge_interval(rank, net_->halo_seconds(rank, msgs, bytes),
+                  Activity::kWaiting, tag);
+  comm_stats_.gather_messages += msgs;
+  comm_stats_.messages += msgs;
+  comm_stats_.wire_bytes += bytes;
+}
+
+void VirtualCluster::replica_fetch(Index rank, Bytes bytes, Index copies,
+                                   PhaseTag tag) {
+  RSLS_CHECK(rank >= 0 && rank < num_ranks_);
+  RSLS_CHECK(copies >= 1);
+  const Seconds duration =
+      static_cast<double>(copies) * net_->replica_seconds(bytes);
+  charge_interval(rank, duration, Activity::kWaiting, tag);
+  comm_stats_.replica_fetches += static_cast<double>(copies);
+  comm_stats_.messages += static_cast<double>(copies);
+  comm_stats_.wire_bytes += bytes * static_cast<double>(copies);
 }
 
 void VirtualCluster::write_disk(Bytes total_bytes, PhaseTag tag) {

@@ -25,6 +25,7 @@
 #include "simrt/charge_sink.hpp"
 #include "simrt/event_log.hpp"
 #include "simrt/machine.hpp"
+#include "simrt/net/interconnect.hpp"
 #include "simrt/trace.hpp"
 
 namespace rsls::simrt {
@@ -77,21 +78,54 @@ class VirtualCluster {
   /// Barrier: every rank busy-waits up to the max clock.
   void sync(power::PhaseTag tag = power::PhaseTag::kComm);
 
-  // --- communication (α–β model) ---------------------------------------
+  // --- communication (simrt/net interconnect) ---------------------------
+  /// Every transfer below is priced by the interconnect: topology hop
+  /// counts and bisection contention on top of the machine's α–β link.
+  /// The default FlatNetwork + recursive doubling reproduces the
+  /// original flat α–β charges bit-for-bit.
+  const net::Interconnect& interconnect() const { return *net_; }
+
+  /// Running message/byte/contention totals of every charge above the
+  /// interconnect (surfaced as comm.* obs counters by the harness).
+  const net::CommStats& comm_stats() const { return comm_stats_; }
+
+  /// One-link transfer cost (endpoint-agnostic α + bytes/β).
   Seconds p2p_seconds(Bytes bytes) const;
-  /// Recursive-doubling allreduce over num_ranks ranks.
+  /// Hop-aware transfer cost between two ranks.
+  Seconds transfer_seconds(Index from, Index to, Bytes bytes) const;
+  /// Slowest rank's cost of one allreduce under the configured
+  /// collective algorithm (default: recursive doubling).
   Seconds allreduce_seconds(Bytes bytes) const;
 
-  /// Collective allreduce: charges every rank and synchronizes clocks.
+  /// Collective allreduce: synchronizes, then charges each rank its own
+  /// per-stage finish time (uniform on the default flat network).
   void allreduce(Bytes bytes, power::PhaseTag tag);
+
+  /// Collective broadcast from / reduction onto `root`; asymmetric
+  /// per-rank charges from the collective strategy.
+  void broadcast(Index root, Bytes bytes, power::PhaseTag tag);
+  void reduce(Index root, Bytes bytes, power::PhaseTag tag);
 
   /// Point-to-point transfer; both endpoints end at the common finish time.
   void point_to_point(Index from, Index to, Bytes bytes, power::PhaseTag tag);
 
   /// Per-rank neighbour exchange (SpMV halo): rank r spends
-  /// msgs[r]·α + bytes[r]/β. No global synchronization.
+  /// msgs[r]·α + bytes[r]/β (hop/contention-aware off the flat
+  /// network). No global synchronization.
   void halo_exchange(const std::vector<Bytes>& bytes_per_rank,
                      const IndexVec& msgs_per_rank, power::PhaseTag tag);
+
+  /// One-sided neighbour gather: only `rank` blocks for msgs messages
+  /// and `bytes` payload (FW reconstruction pulls).
+  void neighbor_gather(Index rank, double msgs, Bytes bytes,
+                       power::PhaseTag tag);
+
+  /// One-sided fetch of `copies` × `bytes` from `rank`'s replica
+  /// partner (DMR restore pulls one copy, the TMR vote two); only
+  /// `rank` blocks. Replica sets live across the machine, so the
+  /// transfer runs at topology-diameter distance.
+  void replica_fetch(Index rank, Bytes bytes, Index copies,
+                     power::PhaseTag tag);
 
   // --- storage ----------------------------------------------------------
   /// Synchronous collective checkpoint of `total_bytes` to the shared
@@ -162,6 +196,8 @@ class VirtualCluster {
   power::PowerModel power_model_;
   Index num_ranks_;
   Index replica_factor_;
+  std::unique_ptr<net::Interconnect> net_;
+  net::CommStats comm_stats_;
   std::unique_ptr<power::Governor> governor_;
   std::vector<Seconds> clock_;
   std::vector<Hertz> freq_;

@@ -31,6 +31,21 @@ void validate(const MachineConfig& config) {
   RSLS_CHECK(config.mem_bandwidth > 0.0);
   RSLS_CHECK(config.dvfs_transition_latency >= 0.0);
   RSLS_CHECK(config.governor_sampling_period >= 0.0);
+  RSLS_CHECK(config.net.per_hop_latency >= 0.0);
+  RSLS_CHECK_MSG(config.net.fat_tree_radix >= 2,
+                 "fat tree needs at least 2 ports per switch");
+  RSLS_CHECK_MSG(config.net.fat_tree_oversubscription >= 1.0,
+                 "fat tree oversubscription must be >= 1");
+  RSLS_CHECK_MSG(config.net.torus_x >= 0 && config.net.torus_y >= 0 &&
+                     config.net.torus_z >= 0,
+                 "torus dimensions must be non-negative");
+  const bool any_torus_dim = config.net.torus_x > 0 ||
+                             config.net.torus_y > 0 || config.net.torus_z > 0;
+  if (any_torus_dim) {
+    RSLS_CHECK_MSG(config.net.torus_x >= 1 && config.net.torus_y >= 1 &&
+                       config.net.torus_z >= 1,
+                   "torus dimensions must be all set or all 0 (derived)");
+  }
 }
 
 }  // namespace rsls::simrt

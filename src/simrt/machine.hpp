@@ -9,6 +9,7 @@
 #include "core/types.hpp"
 #include "core/units.hpp"
 #include "power/power_model.hpp"
+#include "simrt/net/network_config.hpp"
 
 namespace rsls::simrt {
 
@@ -29,6 +30,12 @@ struct MachineConfig {
   /// communication-bound, which the paper's runs were not).
   Seconds net_latency = 0.1e-6;
   double net_bandwidth = 10e9;  // bytes/s per link
+
+  /// Interconnect shape and collective algorithm (simrt/net). The
+  /// default — FlatNetwork + recursive doubling — reproduces the plain
+  /// α–β model above bit-for-bit; other topologies add hop latency and
+  /// bisection contention on top of the same α/β.
+  net::NetworkConfig net;
 
   /// Shared (parallel filesystem) disk for CR-D checkpoints: bandwidth is
   /// a single shared resource, so total write time grows with total bytes

@@ -1,0 +1,240 @@
+#include "simrt/net/collectives.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace rsls::simrt::net {
+
+Index collective_stages(Index ranks) {
+  RSLS_CHECK(ranks >= 1);
+  Index stages = 0;
+  Index reach = 1;
+  const Index target = std::max<Index>(ranks, 2);
+  while (reach < target) {
+    reach *= 2;
+    ++stages;
+  }
+  return stages;
+}
+
+Seconds message_seconds(const Topology& topo, const LinkParams& link,
+                        Index hops, Bytes bytes, Index concurrent) {
+  RSLS_CHECK(hops >= 1);
+  const Seconds latency =
+      link.alpha + static_cast<double>(hops - 1) * link.per_hop;
+  return latency + bytes * topo.contention(concurrent) / link.beta;
+}
+
+namespace {
+
+/// Per-rank cost of one binomial tree rooted at `root` (reduce and
+/// broadcast share the exchange set; only the direction differs, which
+/// the per-stage cost aggregation does not observe). Stage s pairs
+/// virtual rank vr (vr mod 2^(s+1) == 2^s) with vr − 2^s; both ends pay
+/// the hop-aware message cost.
+std::vector<Seconds> binomial_tree_costs(const Topology& topo,
+                                         const LinkParams& link, Index root,
+                                         Bytes bytes) {
+  const Index p = topo.num_ranks();
+  RSLS_CHECK(root >= 0 && root < p);
+  std::vector<Seconds> costs(static_cast<std::size_t>(p), 0.0);
+  const Index stages = collective_stages(p);
+  for (Index s = 0; s < stages; ++s) {
+    const Index step = Index{1} << s;
+    const Index block = step * 2;
+    const Index pairs = std::max<Index>((p + block - 1) / block, 1);
+    for (Index vr = step; vr < p; vr += block) {
+      const Index from = (vr + root) % p;
+      const Index to = (vr - step + root) % p;
+      const Seconds t =
+          message_seconds(topo, link, topo.hops(from, to), bytes, pairs);
+      costs[static_cast<std::size_t>(from)] += t;
+      costs[static_cast<std::size_t>(to)] += t;
+    }
+  }
+  return costs;
+}
+
+/// Store-and-forward chain cost around the ring: the rank at forward
+/// ring-distance k from the chain's head finishes after k sequential
+/// neighbour messages (the head after one).
+std::vector<Seconds> ring_chain_costs(const Topology& topo,
+                                      const LinkParams& link, Index root,
+                                      Bytes bytes) {
+  const Index p = topo.num_ranks();
+  RSLS_CHECK(root >= 0 && root < p);
+  std::vector<Seconds> costs(static_cast<std::size_t>(p), 0.0);
+  if (p < 2) {
+    return costs;
+  }
+  Seconds finish = 0.0;
+  Index prev = root;
+  for (Index k = 1; k < p; ++k) {
+    const Index r = (root + k) % p;
+    finish += message_seconds(topo, link, topo.hops(prev, r), bytes, 1);
+    costs[static_cast<std::size_t>(r)] = finish;
+    prev = r;
+  }
+  // The head is busy for its one send; the chain's tail time lands on
+  // the final rank (broadcast) or is mirrored onto the root (reduce) by
+  // the caller.
+  costs[static_cast<std::size_t>(root)] =
+      message_seconds(topo, link, topo.hops(root, (root + 1) % p), bytes, 1);
+  return costs;
+}
+
+}  // namespace
+
+// --- RecursiveDoubling -----------------------------------------------------
+
+std::vector<Seconds> RecursiveDoubling::allreduce_costs(
+    const Topology& topo, const LinkParams& link, Bytes bytes) const {
+  const Index p = topo.num_ranks();
+  const Index stages = collective_stages(p);
+  std::vector<Seconds> costs(static_cast<std::size_t>(p), 0.0);
+  if (topo.uniform()) {
+    // Seed closed form: every rank pays stages·(α + bytes/β). Computed
+    // as one multiplication so the default configuration reproduces the
+    // pre-net-layer charge bit-for-bit.
+    const Seconds uniform =
+        static_cast<double>(stages) * (link.alpha + bytes / link.beta);
+    std::fill(costs.begin(), costs.end(), uniform);
+    return costs;
+  }
+  for (Index s = 0; s < stages; ++s) {
+    const Index mask = Index{1} << s;
+    for (Index r = 0; r < p; ++r) {
+      const Index peer = r ^ mask;
+      // Past the rank count the exchange degenerates to a protocol
+      // round: the rank still burns the injection latency.
+      const Seconds t =
+          peer < p ? message_seconds(topo, link, topo.hops(r, peer), bytes, p)
+                   : link.alpha;
+      costs[static_cast<std::size_t>(r)] += t;
+    }
+  }
+  return costs;
+}
+
+std::vector<Seconds> RecursiveDoubling::broadcast_costs(const Topology& topo,
+                                                        const LinkParams& link,
+                                                        Index root,
+                                                        Bytes bytes) const {
+  return binomial_tree_costs(topo, link, root, bytes);
+}
+
+std::vector<Seconds> RecursiveDoubling::reduce_costs(const Topology& topo,
+                                                     const LinkParams& link,
+                                                     Index root,
+                                                     Bytes bytes) const {
+  return binomial_tree_costs(topo, link, root, bytes);
+}
+
+double RecursiveDoubling::allreduce_messages(Index ranks) const {
+  return static_cast<double>(ranks) *
+         static_cast<double>(collective_stages(ranks));
+}
+
+Bytes RecursiveDoubling::allreduce_wire_bytes(Index ranks, Bytes bytes) const {
+  return allreduce_messages(ranks) * bytes;
+}
+
+// --- Ring ------------------------------------------------------------------
+
+std::vector<Seconds> Ring::allreduce_costs(const Topology& topo,
+                                           const LinkParams& link,
+                                           Bytes bytes) const {
+  const Index p = topo.num_ranks();
+  std::vector<Seconds> costs(static_cast<std::size_t>(p), 0.0);
+  if (p < 2) {
+    return costs;
+  }
+  // Reduce-scatter + allgather: 2(p−1) neighbour exchanges of bytes/p.
+  const Bytes chunk = bytes / static_cast<double>(p);
+  const double steps = 2.0 * static_cast<double>(p - 1);
+  for (Index r = 0; r < p; ++r) {
+    const Index next = (r + 1) % p;
+    costs[static_cast<std::size_t>(r)] =
+        steps * message_seconds(topo, link, topo.hops(r, next), chunk, p);
+  }
+  return costs;
+}
+
+std::vector<Seconds> Ring::broadcast_costs(const Topology& topo,
+                                           const LinkParams& link, Index root,
+                                           Bytes bytes) const {
+  return ring_chain_costs(topo, link, root, bytes);
+}
+
+std::vector<Seconds> Ring::reduce_costs(const Topology& topo,
+                                        const LinkParams& link, Index root,
+                                        Bytes bytes) const {
+  // The accumulation chain mirrors the broadcast; the root receives the
+  // final partial, so it carries the chain's full finish time.
+  std::vector<Seconds> costs = ring_chain_costs(topo, link, root, bytes);
+  const Index p = topo.num_ranks();
+  if (p >= 2) {
+    const auto tail = static_cast<std::size_t>((root + p - 1) % p);
+    std::swap(costs[static_cast<std::size_t>(root)], costs[tail]);
+  }
+  return costs;
+}
+
+double Ring::allreduce_messages(Index ranks) const {
+  return 2.0 * static_cast<double>(ranks) * static_cast<double>(ranks - 1);
+}
+
+Bytes Ring::allreduce_wire_bytes(Index ranks, Bytes bytes) const {
+  return 2.0 * static_cast<double>(ranks - 1) * bytes;
+}
+
+// --- BinomialTree ----------------------------------------------------------
+
+std::vector<Seconds> BinomialTree::allreduce_costs(const Topology& topo,
+                                                   const LinkParams& link,
+                                                   Bytes bytes) const {
+  // Reduce onto rank 0, then broadcast back down the same tree.
+  std::vector<Seconds> costs = binomial_tree_costs(topo, link, 0, bytes);
+  for (Seconds& cost : costs) {
+    cost *= 2.0;
+  }
+  return costs;
+}
+
+std::vector<Seconds> BinomialTree::broadcast_costs(const Topology& topo,
+                                                   const LinkParams& link,
+                                                   Index root,
+                                                   Bytes bytes) const {
+  return binomial_tree_costs(topo, link, root, bytes);
+}
+
+std::vector<Seconds> BinomialTree::reduce_costs(const Topology& topo,
+                                                const LinkParams& link,
+                                                Index root, Bytes bytes) const {
+  return binomial_tree_costs(topo, link, root, bytes);
+}
+
+double BinomialTree::allreduce_messages(Index ranks) const {
+  return 2.0 * static_cast<double>(ranks - 1);
+}
+
+Bytes BinomialTree::allreduce_wire_bytes(Index ranks, Bytes bytes) const {
+  return allreduce_messages(ranks) * bytes;
+}
+
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<CollectiveAlgorithm> make_collective(CollectiveKind kind) {
+  switch (kind) {
+    case CollectiveKind::kRecursiveDoubling:
+      return std::make_unique<RecursiveDoubling>();
+    case CollectiveKind::kRing:
+      return std::make_unique<Ring>();
+    case CollectiveKind::kBinomialTree:
+      return std::make_unique<BinomialTree>();
+  }
+  throw Error("unknown collective kind");
+}
+
+}  // namespace rsls::simrt::net

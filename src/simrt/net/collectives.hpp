@@ -1,0 +1,131 @@
+#pragma once
+// Collective algorithm strategies: allreduce / broadcast / reduce cost
+// vectors over a Topology.
+//
+// Each strategy returns the *per-rank* cost of one collective — seconds
+// past the synchronized start at which that rank finishes its stages.
+// Stage costs are hop-aware α–β with the topology's contention
+// multiplier on the serialization term, so non-flat networks charge
+// ranks asymmetrically. On a uniform (flat) topology, recursive
+// doubling collapses to the seed closed form stages·(α + bytes/β),
+// bit-identical to the pre-net-layer model.
+
+#include <memory>
+#include <vector>
+
+#include "core/types.hpp"
+#include "core/units.hpp"
+#include "simrt/net/topology.hpp"
+
+namespace rsls::simrt::net {
+
+/// Per-link α–β parameters shared by every algorithm.
+struct LinkParams {
+  Seconds alpha = 0.0;    // first-hop injection latency
+  double beta = 1.0;      // bytes/s per link
+  Seconds per_hop = 0.0;  // extra latency per hop beyond the first
+};
+
+/// One message of `bytes` over `hops` links while `concurrent` messages
+/// share the network: α + (hops−1)·per_hop + bytes·contention/β.
+Seconds message_seconds(const Topology& topo, const LinkParams& link,
+                        Index hops, Bytes bytes, Index concurrent);
+
+class CollectiveAlgorithm {
+ public:
+  virtual ~CollectiveAlgorithm() = default;
+
+  virtual const char* name() const = 0;
+  virtual CollectiveKind kind() const = 0;
+
+  /// Per-rank cost of an allreduce of `bytes` over all of topo's ranks.
+  virtual std::vector<Seconds> allreduce_costs(const Topology& topo,
+                                               const LinkParams& link,
+                                               Bytes bytes) const = 0;
+
+  /// Per-rank cost of a broadcast of `bytes` from `root`.
+  virtual std::vector<Seconds> broadcast_costs(const Topology& topo,
+                                               const LinkParams& link,
+                                               Index root,
+                                               Bytes bytes) const = 0;
+
+  /// Per-rank cost of a reduction of `bytes` onto `root`.
+  virtual std::vector<Seconds> reduce_costs(const Topology& topo,
+                                            const LinkParams& link, Index root,
+                                            Bytes bytes) const = 0;
+
+  /// Total messages one allreduce puts on the wire (comm accounting).
+  virtual double allreduce_messages(Index ranks) const = 0;
+
+  /// Total payload bytes one allreduce moves across all links.
+  virtual Bytes allreduce_wire_bytes(Index ranks, Bytes bytes) const = 0;
+};
+
+/// log₂ p stages of pairwise XOR exchanges, full payload per stage.
+class RecursiveDoubling final : public CollectiveAlgorithm {
+ public:
+  const char* name() const override { return "recursive-doubling"; }
+  CollectiveKind kind() const override {
+    return CollectiveKind::kRecursiveDoubling;
+  }
+  std::vector<Seconds> allreduce_costs(const Topology& topo,
+                                       const LinkParams& link,
+                                       Bytes bytes) const override;
+  std::vector<Seconds> broadcast_costs(const Topology& topo,
+                                       const LinkParams& link, Index root,
+                                       Bytes bytes) const override;
+  std::vector<Seconds> reduce_costs(const Topology& topo,
+                                    const LinkParams& link, Index root,
+                                    Bytes bytes) const override;
+  double allreduce_messages(Index ranks) const override;
+  Bytes allreduce_wire_bytes(Index ranks, Bytes bytes) const override;
+};
+
+/// Reduce-scatter + allgather around the ring: 2(p−1) stages of
+/// payload/p chunks to the next rank. Bandwidth-optimal, latency-heavy.
+class Ring final : public CollectiveAlgorithm {
+ public:
+  const char* name() const override { return "ring"; }
+  CollectiveKind kind() const override { return CollectiveKind::kRing; }
+  std::vector<Seconds> allreduce_costs(const Topology& topo,
+                                       const LinkParams& link,
+                                       Bytes bytes) const override;
+  std::vector<Seconds> broadcast_costs(const Topology& topo,
+                                       const LinkParams& link, Index root,
+                                       Bytes bytes) const override;
+  std::vector<Seconds> reduce_costs(const Topology& topo,
+                                    const LinkParams& link, Index root,
+                                    Bytes bytes) const override;
+  double allreduce_messages(Index ranks) const override;
+  Bytes allreduce_wire_bytes(Index ranks, Bytes bytes) const override;
+};
+
+/// Binomial reduce onto the root followed by a binomial broadcast.
+/// Leaves finish after one exchange each; the root is busy every stage —
+/// the most asymmetric of the three.
+class BinomialTree final : public CollectiveAlgorithm {
+ public:
+  const char* name() const override { return "binomial-tree"; }
+  CollectiveKind kind() const override {
+    return CollectiveKind::kBinomialTree;
+  }
+  std::vector<Seconds> allreduce_costs(const Topology& topo,
+                                       const LinkParams& link,
+                                       Bytes bytes) const override;
+  std::vector<Seconds> broadcast_costs(const Topology& topo,
+                                       const LinkParams& link, Index root,
+                                       Bytes bytes) const override;
+  std::vector<Seconds> reduce_costs(const Topology& topo,
+                                    const LinkParams& link, Index root,
+                                    Bytes bytes) const override;
+  double allreduce_messages(Index ranks) const override;
+  Bytes allreduce_wire_bytes(Index ranks, Bytes bytes) const override;
+};
+
+std::unique_ptr<CollectiveAlgorithm> make_collective(CollectiveKind kind);
+
+/// ceil(log₂(max(p, 2))) as an integer — the stage count every
+/// log-depth algorithm shares (matches the seed's std::ceil(std::log2)).
+Index collective_stages(Index ranks);
+
+}  // namespace rsls::simrt::net

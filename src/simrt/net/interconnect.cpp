@@ -1,0 +1,82 @@
+#include "simrt/net/interconnect.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace rsls::simrt::net {
+
+Interconnect::Interconnect(const NetworkConfig& config, Seconds alpha,
+                           double beta, Index ranks)
+    : config_(config),
+      link_{alpha, beta, config.per_hop_latency},
+      ranks_(ranks),
+      topology_(make_topology(config, ranks)),
+      collective_(make_collective(config.collective)) {
+  RSLS_CHECK(ranks >= 1);
+  RSLS_CHECK(alpha >= 0.0);
+  RSLS_CHECK(beta > 0.0);
+}
+
+Seconds Interconnect::uniform_p2p_seconds(Bytes bytes) const {
+  RSLS_CHECK(bytes >= 0.0);
+  return link_.alpha + bytes / link_.beta;
+}
+
+Seconds Interconnect::p2p_seconds(Index from, Index to, Bytes bytes) const {
+  RSLS_CHECK(bytes >= 0.0);
+  if (topology_->uniform()) {
+    return uniform_p2p_seconds(bytes);
+  }
+  const Index h = std::max<Index>(topology_->hops(from, to), 1);
+  return message_seconds(*topology_, link_, h, bytes, 1);
+}
+
+std::vector<Seconds> Interconnect::allreduce_costs(Bytes bytes) const {
+  RSLS_CHECK(bytes >= 0.0);
+  return collective_->allreduce_costs(*topology_, link_, bytes);
+}
+
+Seconds Interconnect::allreduce_seconds(Bytes bytes) const {
+  const auto costs = allreduce_costs(bytes);
+  return *std::max_element(costs.begin(), costs.end());
+}
+
+std::vector<Seconds> Interconnect::broadcast_costs(Index root,
+                                                   Bytes bytes) const {
+  RSLS_CHECK(bytes >= 0.0);
+  return collective_->broadcast_costs(*topology_, link_, root, bytes);
+}
+
+std::vector<Seconds> Interconnect::reduce_costs(Index root, Bytes bytes) const {
+  RSLS_CHECK(bytes >= 0.0);
+  return collective_->reduce_costs(*topology_, link_, root, bytes);
+}
+
+Seconds Interconnect::halo_seconds(Index rank, double msgs, Bytes bytes) const {
+  RSLS_CHECK(msgs >= 0.0);
+  RSLS_CHECK(bytes >= 0.0);
+  if (topology_->uniform()) {
+    // Seed per-rank halo charge, term-for-term.
+    return msgs * link_.alpha + bytes / link_.beta;
+  }
+  const Seconds per_msg_latency =
+      link_.alpha +
+      (topology_->neighbor_hops(rank) - 1.0) * link_.per_hop;
+  return msgs * per_msg_latency +
+         bytes * topology_->contention(ranks_) / link_.beta;
+}
+
+Seconds Interconnect::replica_seconds(Bytes bytes) const {
+  RSLS_CHECK(bytes >= 0.0);
+  if (topology_->uniform()) {
+    return uniform_p2p_seconds(bytes);
+  }
+  return message_seconds(*topology_, link_, topology_->diameter(), bytes, 1);
+}
+
+double Interconnect::full_contention() const {
+  return topology_->contention(ranks_);
+}
+
+}  // namespace rsls::simrt::net

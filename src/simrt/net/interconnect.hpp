@@ -1,0 +1,86 @@
+#pragma once
+// Interconnect: the cluster-facing facade over one Topology + one
+// CollectiveAlgorithm. VirtualCluster owns one and routes every
+// communication charge through it; consumers (dist ops, resilience,
+// ABFT) pass message *shapes* — bytes, message counts, endpoints — and
+// the interconnect prices them.
+//
+// Default-equivalence guarantee: with NetworkConfig{} (FlatNetwork +
+// recursive doubling) every cost below reproduces the pre-net-layer
+// closed forms bit-for-bit:
+//   p2p            α + bytes/β
+//   allreduce      ceil(log₂ max(p,2)) · (α + bytes/β), uniform ranks
+//   halo/gather    msgs·α + bytes/β, per rank
+//   replica fetch  α + bytes/β
+
+#include <memory>
+#include <vector>
+
+#include "core/types.hpp"
+#include "core/units.hpp"
+#include "simrt/net/collectives.hpp"
+#include "simrt/net/topology.hpp"
+
+namespace rsls::simrt::net {
+
+/// Running totals of everything the interconnect priced, kept by the
+/// owning cluster and surfaced as obs counters (comm.messages,
+/// comm.wire_bytes, comm.max_contention, …).
+struct CommStats {
+  double messages = 0.0;     // individual messages on the wire
+  Bytes wire_bytes = 0.0;    // payload bytes across all links
+  double allreduces = 0.0;   // collective invocations by kind
+  double broadcasts = 0.0;
+  double reductions = 0.0;
+  double p2p_messages = 0.0;
+  double halo_messages = 0.0;
+  double gather_messages = 0.0;
+  double replica_fetches = 0.0;
+  double max_contention = 1.0;  // worst bisection multiplier observed
+};
+
+class Interconnect {
+ public:
+  Interconnect(const NetworkConfig& config, Seconds alpha, double beta,
+               Index ranks);
+
+  const NetworkConfig& config() const { return config_; }
+  const Topology& topology() const { return *topology_; }
+  const CollectiveAlgorithm& collective() const { return *collective_; }
+  const LinkParams& link() const { return link_; }
+  Index num_ranks() const { return ranks_; }
+
+  /// One-link cost (the seed p2p closed form), endpoint-agnostic.
+  Seconds uniform_p2p_seconds(Bytes bytes) const;
+
+  /// Hop-aware point-to-point cost between two ranks.
+  Seconds p2p_seconds(Index from, Index to, Bytes bytes) const;
+
+  /// Per-rank allreduce costs from the configured algorithm.
+  std::vector<Seconds> allreduce_costs(Bytes bytes) const;
+  /// Slowest rank's allreduce cost (the synchronizing upper bound).
+  Seconds allreduce_seconds(Bytes bytes) const;
+
+  std::vector<Seconds> broadcast_costs(Index root, Bytes bytes) const;
+  std::vector<Seconds> reduce_costs(Index root, Bytes bytes) const;
+
+  /// One rank's neighbour-exchange cost: msgs messages and `bytes`
+  /// payload to rank-space neighbours (halo pulls, FW gathers).
+  Seconds halo_seconds(Index rank, double msgs, Bytes bytes) const;
+
+  /// One full-diameter message: the replica sets live across the
+  /// machine, so DMR/TMR state fetches traverse the worst-case path.
+  Seconds replica_seconds(Bytes bytes) const;
+
+  /// Contention multiplier when the whole machine communicates at once.
+  double full_contention() const;
+
+ private:
+  NetworkConfig config_;
+  LinkParams link_;
+  Index ranks_;
+  std::unique_ptr<Topology> topology_;
+  std::unique_ptr<CollectiveAlgorithm> collective_;
+};
+
+}  // namespace rsls::simrt::net

@@ -1,0 +1,63 @@
+#pragma once
+// Interconnect configuration: which topology the virtual cluster's
+// network has and which collective algorithm its runtime uses.
+//
+// The default (FlatNetwork + recursive doubling) reproduces the original
+// single-link α–β model bit-for-bit (DESIGN.md §12's default-equivalence
+// guarantee); the other combinations open topology scenarios the paper's
+// §6 projection only approximates through the fitted comm table.
+
+#include <optional>
+#include <string>
+
+#include "core/types.hpp"
+#include "core/units.hpp"
+
+namespace rsls::simrt::net {
+
+enum class TopologyKind {
+  kFlat,     // every pair one hop, full bisection (the seed model)
+  kFatTree,  // three-level folded Clos: leaf / pod / core
+  kTorus3D,  // 3-D torus with per-axis wraparound links
+};
+
+enum class CollectiveKind {
+  kRecursiveDoubling,  // log₂ p stages, full payload per stage
+  kRing,               // 2(p−1) stages, payload/p per stage
+  kBinomialTree,       // reduce + broadcast trees, asymmetric ranks
+};
+
+struct NetworkConfig {
+  TopologyKind topology = TopologyKind::kFlat;
+  CollectiveKind collective = CollectiveKind::kRecursiveDoubling;
+
+  /// Extra switch-traversal latency per link beyond the first hop; the
+  /// first hop is covered by MachineConfig::net_latency.
+  Seconds per_hop_latency = 0.02e-6;
+
+  /// Fat tree: ranks per leaf switch, and the up-link oversubscription
+  /// ratio (1 = full bisection; >1 thins the core links, raising the
+  /// contention multiplier when the whole machine communicates at once).
+  Index fat_tree_radix = 24;
+  double fat_tree_oversubscription = 2.0;
+
+  /// Torus dimensions. All zero (the default) derives a near-cubic box
+  /// from the rank count; otherwise all three must be ≥ 1 and the
+  /// product must cover the ranks.
+  Index torus_x = 0;
+  Index torus_y = 0;
+  Index torus_z = 0;
+};
+
+/// Parse "flat" | "fat-tree" | "torus3d" (case-sensitive, plus the
+/// aliases "fattree" and "torus"); nullopt when unrecognized.
+std::optional<TopologyKind> topology_from_name(const std::string& name);
+
+/// Parse "recursive-doubling" | "ring" | "binomial-tree" (aliases "rd"
+/// and "binomial"); nullopt when unrecognized.
+std::optional<CollectiveKind> collective_from_name(const std::string& name);
+
+const char* to_string(TopologyKind kind);
+const char* to_string(CollectiveKind kind);
+
+}  // namespace rsls::simrt::net

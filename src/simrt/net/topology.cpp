@@ -1,0 +1,220 @@
+#include "simrt/net/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace rsls::simrt::net {
+
+std::optional<TopologyKind> topology_from_name(const std::string& name) {
+  if (name == "flat") {
+    return TopologyKind::kFlat;
+  }
+  if (name == "fat-tree" || name == "fattree") {
+    return TopologyKind::kFatTree;
+  }
+  if (name == "torus3d" || name == "torus") {
+    return TopologyKind::kTorus3D;
+  }
+  return std::nullopt;
+}
+
+std::optional<CollectiveKind> collective_from_name(const std::string& name) {
+  if (name == "recursive-doubling" || name == "rd") {
+    return CollectiveKind::kRecursiveDoubling;
+  }
+  if (name == "ring") {
+    return CollectiveKind::kRing;
+  }
+  if (name == "binomial-tree" || name == "binomial") {
+    return CollectiveKind::kBinomialTree;
+  }
+  return std::nullopt;
+}
+
+const char* to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kFlat:
+      return "flat";
+    case TopologyKind::kFatTree:
+      return "fat-tree";
+    case TopologyKind::kTorus3D:
+      return "torus3d";
+  }
+  return "?";
+}
+
+const char* to_string(CollectiveKind kind) {
+  switch (kind) {
+    case CollectiveKind::kRecursiveDoubling:
+      return "recursive-doubling";
+    case CollectiveKind::kRing:
+      return "ring";
+    case CollectiveKind::kBinomialTree:
+      return "binomial-tree";
+  }
+  return "?";
+}
+
+double Topology::neighbor_hops(Index rank) const {
+  const Index p = num_ranks();
+  RSLS_CHECK(rank >= 0 && rank < p);
+  if (p < 2) {
+    return 1.0;
+  }
+  double total = 0.0;
+  Index neighbors = 0;
+  if (rank > 0) {
+    total += static_cast<double>(hops(rank, rank - 1));
+    ++neighbors;
+  }
+  if (rank + 1 < p) {
+    total += static_cast<double>(hops(rank, rank + 1));
+    ++neighbors;
+  }
+  return total / static_cast<double>(neighbors);
+}
+
+double Topology::mean_hops() const {
+  const Index p = num_ranks();
+  if (p < 2) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (Index r = 1; r < p; ++r) {
+    total += static_cast<double>(hops(0, r));
+  }
+  return total / static_cast<double>(p - 1);
+}
+
+// --- FlatNetwork -----------------------------------------------------------
+
+FlatNetwork::FlatNetwork(Index ranks) : ranks_(ranks) {
+  RSLS_CHECK(ranks >= 1);
+}
+
+Index FlatNetwork::hops(Index from, Index to) const {
+  RSLS_CHECK(from >= 0 && from < ranks_);
+  RSLS_CHECK(to >= 0 && to < ranks_);
+  return from == to ? 0 : 1;
+}
+
+double FlatNetwork::contention(Index /*concurrent*/) const { return 1.0; }
+
+// --- FatTree ---------------------------------------------------------------
+
+FatTree::FatTree(Index ranks, Index radix, double oversubscription)
+    : ranks_(ranks), radix_(radix), oversubscription_(oversubscription) {
+  RSLS_CHECK(ranks >= 1);
+  RSLS_CHECK_MSG(radix >= 2, "fat tree needs at least 2 ports per switch");
+  RSLS_CHECK_MSG(oversubscription >= 1.0,
+                 "oversubscription below 1 would add bisection from nowhere");
+}
+
+Index FatTree::hops(Index from, Index to) const {
+  RSLS_CHECK(from >= 0 && from < ranks_);
+  RSLS_CHECK(to >= 0 && to < ranks_);
+  if (from == to) {
+    return 0;
+  }
+  const Index leaf_from = from / radix_;
+  const Index leaf_to = to / radix_;
+  if (leaf_from == leaf_to) {
+    return 2;  // rank → leaf switch → rank
+  }
+  if (leaf_from / radix_ == leaf_to / radix_) {
+    return 4;  // up to the pod spine and back down
+  }
+  return 6;  // through the core layer
+}
+
+Index FatTree::diameter() const {
+  const Index leaves = (ranks_ + radix_ - 1) / radix_;
+  if (leaves <= 1) {
+    return ranks_ > 1 ? 2 : 1;
+  }
+  const Index pods = (leaves + radix_ - 1) / radix_;
+  return pods > 1 ? 6 : 4;
+}
+
+double FatTree::contention(Index concurrent) const {
+  // Each leaf's k down-links share k/o up-links, so a machine-wide
+  // exchange serializes by the oversubscription ratio; lighter traffic
+  // scales the multiplier down toward contention-free.
+  const double load = static_cast<double>(concurrent) * oversubscription_ /
+                      static_cast<double>(ranks_);
+  return std::clamp(load, 1.0, oversubscription_);
+}
+
+// --- Torus3D ---------------------------------------------------------------
+
+namespace {
+
+Index ring_distance(Index a, Index b, Index dim) {
+  const Index d = a > b ? a - b : b - a;
+  return std::min(d, dim - d);
+}
+
+}  // namespace
+
+Torus3D::Torus3D(Index ranks, Index x, Index y, Index z)
+    : ranks_(ranks), x_(x), y_(y), z_(z) {
+  RSLS_CHECK(ranks >= 1);
+  if (x_ == 0 && y_ == 0 && z_ == 0) {
+    // Near-cubic box: smallest x ≥ ∛p, then fill the remaining plane.
+    x_ = static_cast<Index>(std::ceil(std::cbrt(static_cast<double>(ranks))));
+    x_ = std::max<Index>(x_, 1);
+    y_ = static_cast<Index>(std::ceil(
+        std::sqrt(static_cast<double>(ranks) / static_cast<double>(x_))));
+    y_ = std::max<Index>(y_, 1);
+    z_ = (ranks + x_ * y_ - 1) / (x_ * y_);
+  }
+  RSLS_CHECK_MSG(x_ >= 1 && y_ >= 1 && z_ >= 1,
+                 "torus dimensions must all be set (or all 0 to derive)");
+  RSLS_CHECK_MSG(x_ * y_ * z_ >= ranks,
+                 "torus dimensions do not cover the rank count");
+}
+
+Index Torus3D::hops(Index from, Index to) const {
+  RSLS_CHECK(from >= 0 && from < ranks_);
+  RSLS_CHECK(to >= 0 && to < ranks_);
+  if (from == to) {
+    return 0;
+  }
+  const Index dx = ring_distance(from % x_, to % x_, x_);
+  const Index dy = ring_distance((from / x_) % y_, (to / x_) % y_, y_);
+  const Index dz = ring_distance(from / (x_ * y_), to / (x_ * y_), z_);
+  return std::max<Index>(dx + dy + dz, 1);
+}
+
+Index Torus3D::diameter() const {
+  return std::max<Index>(x_ / 2 + y_ / 2 + z_ / 2, 1);
+}
+
+double Torus3D::contention(Index concurrent) const {
+  // Bisection across the largest axis: 2·(other-plane) wrap links.
+  const Index a = std::max({x_, y_, z_});
+  const Index plane = x_ * y_ * z_ / std::max<Index>(a, 1);
+  const double links = 2.0 * static_cast<double>(std::max<Index>(plane, 1));
+  return std::max(1.0, static_cast<double>(concurrent) / (2.0 * links));
+}
+
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Topology> make_topology(const NetworkConfig& config,
+                                        Index ranks) {
+  switch (config.topology) {
+    case TopologyKind::kFlat:
+      return std::make_unique<FlatNetwork>(ranks);
+    case TopologyKind::kFatTree:
+      return std::make_unique<FatTree>(ranks, config.fat_tree_radix,
+                                       config.fat_tree_oversubscription);
+    case TopologyKind::kTorus3D:
+      return std::make_unique<Torus3D>(ranks, config.torus_x, config.torus_y,
+                                       config.torus_z);
+  }
+  throw Error("unknown topology kind");
+}
+
+}  // namespace rsls::simrt::net

@@ -1,0 +1,118 @@
+#pragma once
+// Topology: the static shape of the interconnect — how many links a
+// message crosses between two ranks and how much the shared links
+// contend when the whole machine communicates at once.
+//
+// Implementations are pure cost oracles: no state mutates after
+// construction, so one Topology serves every rank and thread. The
+// FlatNetwork's uniform() fast path lets the collective layer reproduce
+// the seed closed form bit-for-bit (every pair one hop, no contention).
+
+#include <memory>
+
+#include "core/types.hpp"
+#include "core/units.hpp"
+#include "simrt/net/network_config.hpp"
+
+namespace rsls::simrt::net {
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  virtual const char* name() const = 0;
+  virtual Index num_ranks() const = 0;
+
+  /// Links crossed between two ranks; 0 when from == to, ≥ 1 otherwise.
+  virtual Index hops(Index from, Index to) const = 0;
+
+  /// Maximum hops between any two ranks.
+  virtual Index diameter() const = 0;
+
+  /// Multiplier (≥ 1) on the serialization term when `concurrent`
+  /// same-time messages share the bisection.
+  virtual double contention(Index concurrent) const = 0;
+
+  /// True when every distinct pair is one hop with no contention: the
+  /// collective layer then uses the closed-form uniform cost, which is
+  /// bit-identical to the pre-net-layer α–β model.
+  virtual bool uniform() const { return false; }
+
+  /// Mean hops from a rank to its rank-space neighbours (r−1, r+1) —
+  /// the halo-exchange distance proxy (partitions assign adjacent row
+  /// blocks to adjacent ranks).
+  double neighbor_hops(Index rank) const;
+
+  /// Mean hops from rank 0 to every other rank (reporting / shape
+  /// checks; rank 0 is representative in all shipped topologies).
+  double mean_hops() const;
+};
+
+/// One-hop full-bisection crossbar: the seed α–β network.
+class FlatNetwork final : public Topology {
+ public:
+  explicit FlatNetwork(Index ranks);
+
+  const char* name() const override { return "flat"; }
+  Index num_ranks() const override { return ranks_; }
+  Index hops(Index from, Index to) const override;
+  Index diameter() const override { return 1; }
+  double contention(Index concurrent) const override;
+  bool uniform() const override { return true; }
+
+ private:
+  Index ranks_;
+};
+
+/// Three-level folded Clos. Ranks pack onto leaf switches of
+/// `radix` ports; `radix` leaves form a pod; pods meet at the core.
+/// Same leaf: 2 hops, same pod: 4, cross-pod: 6. Oversubscribed
+/// up-links raise the contention multiplier toward the configured
+/// ratio as the concurrent message count approaches the machine size.
+class FatTree final : public Topology {
+ public:
+  FatTree(Index ranks, Index radix, double oversubscription);
+
+  const char* name() const override { return "fat-tree"; }
+  Index num_ranks() const override { return ranks_; }
+  Index hops(Index from, Index to) const override;
+  Index diameter() const override;
+  double contention(Index concurrent) const override;
+
+ private:
+  Index ranks_;
+  Index radix_;
+  double oversubscription_;
+};
+
+/// 3-D torus: ranks map to an x × y × z box in row-major order; the hop
+/// count is the wraparound Manhattan distance. Bisection is the 2·y·z
+/// wrap plane across the largest dimension, so contention grows once
+/// the concurrent message count exceeds the plane's link budget.
+class Torus3D final : public Topology {
+ public:
+  /// dims of 0 derive a near-cubic box covering `ranks`.
+  Torus3D(Index ranks, Index x, Index y, Index z);
+
+  const char* name() const override { return "torus3d"; }
+  Index num_ranks() const override { return ranks_; }
+  Index hops(Index from, Index to) const override;
+  Index diameter() const override;
+  double contention(Index concurrent) const override;
+
+  Index dim_x() const { return x_; }
+  Index dim_y() const { return y_; }
+  Index dim_z() const { return z_; }
+
+ private:
+  Index ranks_;
+  Index x_;
+  Index y_;
+  Index z_;
+};
+
+/// Build the configured topology for a cluster of `ranks`.
+std::unique_ptr<Topology> make_topology(const NetworkConfig& config,
+                                        Index ranks);
+
+}  // namespace rsls::simrt::net

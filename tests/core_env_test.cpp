@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <optional>
 #include <set>
@@ -40,7 +41,7 @@ class EnvGuard {
 
 TEST(EnvRegistryTest, EveryKnobDeclaredOnceAndDocumented) {
   const auto& vars = env::registry();
-  ASSERT_GE(vars.size(), 7u);
+  ASSERT_GE(vars.size(), 9u);
   std::set<std::string> names;
   for (const auto& var : vars) {
     EXPECT_TRUE(std::string(var.name).starts_with("RSLS_")) << var.name;
@@ -53,8 +54,23 @@ TEST(EnvRegistryTest, EveryKnobDeclaredOnceAndDocumented) {
   // The knobs this PR documents are all present.
   for (const char* expected :
        {"RSLS_QUICK", "RSLS_JOBS", "RSLS_TRACE_DIR", "RSLS_RUN_REPORT",
-        "RSLS_OBS_POWER_BIN", "RSLS_BENCH_JSON", "RSLS_LOG_LEVEL"}) {
+        "RSLS_OBS_POWER_BIN", "RSLS_BENCH_JSON", "RSLS_LOG_LEVEL",
+        "RSLS_NET_TOPOLOGY", "RSLS_NET_COLLECTIVE"}) {
     EXPECT_TRUE(names.contains(expected)) << expected;
+  }
+}
+
+TEST(EnvRegistryTest, UnknownRslsVarsAreDetected) {
+  EnvGuard guard("RSLS_TYPO_KNOB");
+  ::setenv("RSLS_TYPO_KNOB", "1", 1);
+  const auto unknown = env::unknown_rsls_vars();
+  EXPECT_NE(std::find(unknown.begin(), unknown.end(), "RSLS_TYPO_KNOB"),
+            unknown.end());
+  // Registered knobs never show up as unknown, set or not.
+  for (const auto& var : env::registry()) {
+    EXPECT_EQ(std::find(unknown.begin(), unknown.end(), var.name),
+              unknown.end())
+        << var.name;
   }
 }
 

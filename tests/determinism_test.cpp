@@ -58,6 +58,44 @@ INSTANTIATE_TEST_SUITE_P(Schemes, DeterminismTest,
                            return name;
                          });
 
+// The default interconnect (flat network, recursive doubling) must
+// reproduce the pre-net-layer charges bit-for-bit: an experiment that
+// pins the default NetworkConfig explicitly must match one that never
+// mentions the network at all, across the roster (DESIGN.md §12).
+TEST(DeterminismTest, DefaultNetworkConfigIsBitIdenticalAcrossRoster) {
+  const auto& entries = sparse::roster();
+  ASSERT_GE(entries.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto& entry = entries[i];
+    const sparse::Csr a = entry.make(/*quick=*/true);
+    const auto workload = harness::Workload::create(a, 8);
+    harness::ExperimentConfig config;
+    config.processes = 8;
+    config.faults = 3;
+    const auto ff_default = harness::run_fault_free(workload, config);
+    const auto run_default =
+        harness::run_scheme(workload, "LI", config, ff_default);
+
+    harness::ExperimentConfig pinned = config;
+    pinned.network = simrt::net::NetworkConfig{};
+    const auto ff_pinned = harness::run_fault_free(workload, pinned);
+    const auto run_pinned =
+        harness::run_scheme(workload, "LI", pinned, ff_pinned);
+
+    EXPECT_EQ(ff_default.time, ff_pinned.time) << entry.name;
+    EXPECT_EQ(ff_default.energy, ff_pinned.energy) << entry.name;
+    EXPECT_EQ(run_default.report.cg.iterations,
+              run_pinned.report.cg.iterations)
+        << entry.name;
+    EXPECT_EQ(run_default.report.cg.relative_residual,
+              run_pinned.report.cg.relative_residual)
+        << entry.name;  // bitwise
+    EXPECT_EQ(run_default.report.time, run_pinned.report.time) << entry.name;
+    EXPECT_EQ(run_default.report.energy, run_pinned.report.energy)
+        << entry.name;
+  }
+}
+
 TEST(EnergyConservationTest, TraceIntegralMatchesAccount) {
   // The binned power trace must conserve the charged core energy: the
   // integral of every node's profile equals core + sleep + node-constant

@@ -1,0 +1,375 @@
+// Unit tests: the simrt::net interconnect layer — topology hop/contention
+// properties, collective algorithm costs, the default-equivalence
+// guarantee (FlatNetwork + recursive doubling reproduces the seed α–β
+// closed forms bit-for-bit), asymmetric halo charging, network-field
+// validation, and the RSLS_NET_* environment overlay.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "core/error.hpp"
+#include "harness/experiment.hpp"
+#include "simrt/cluster.hpp"
+#include "simrt/net/collectives.hpp"
+#include "simrt/net/interconnect.hpp"
+#include "simrt/net/topology.hpp"
+
+namespace rsls {
+namespace {
+
+using power::PhaseTag;
+using simrt::net::CollectiveKind;
+using simrt::net::NetworkConfig;
+using simrt::net::TopologyKind;
+
+/// RAII guard restoring one environment variable on scope exit.
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* name) : name_(name) {
+    const char* value = std::getenv(name);
+    if (value != nullptr) {
+      saved_ = value;
+    }
+  }
+  ~EnvGuard() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+// --- name parsing ------------------------------------------------------
+
+TEST(NetworkConfigTest, ParsesTopologyAndCollectiveNames) {
+  EXPECT_EQ(simrt::net::topology_from_name("flat"), TopologyKind::kFlat);
+  EXPECT_EQ(simrt::net::topology_from_name("fat-tree"),
+            TopologyKind::kFatTree);
+  EXPECT_EQ(simrt::net::topology_from_name("fattree"), TopologyKind::kFatTree);
+  EXPECT_EQ(simrt::net::topology_from_name("torus3d"), TopologyKind::kTorus3D);
+  EXPECT_EQ(simrt::net::topology_from_name("torus"), TopologyKind::kTorus3D);
+  EXPECT_FALSE(simrt::net::topology_from_name("hypercube").has_value());
+
+  EXPECT_EQ(simrt::net::collective_from_name("recursive-doubling"),
+            CollectiveKind::kRecursiveDoubling);
+  EXPECT_EQ(simrt::net::collective_from_name("rd"),
+            CollectiveKind::kRecursiveDoubling);
+  EXPECT_EQ(simrt::net::collective_from_name("ring"), CollectiveKind::kRing);
+  EXPECT_EQ(simrt::net::collective_from_name("binomial-tree"),
+            CollectiveKind::kBinomialTree);
+  EXPECT_EQ(simrt::net::collective_from_name("binomial"),
+            CollectiveKind::kBinomialTree);
+  EXPECT_FALSE(simrt::net::collective_from_name("bruck").has_value());
+
+  // Round trip through to_string.
+  for (const auto kind :
+       {TopologyKind::kFlat, TopologyKind::kFatTree, TopologyKind::kTorus3D}) {
+    EXPECT_EQ(simrt::net::topology_from_name(simrt::net::to_string(kind)),
+              kind);
+  }
+  for (const auto kind :
+       {CollectiveKind::kRecursiveDoubling, CollectiveKind::kRing,
+        CollectiveKind::kBinomialTree}) {
+    EXPECT_EQ(simrt::net::collective_from_name(simrt::net::to_string(kind)),
+              kind);
+  }
+}
+
+// --- topology properties -----------------------------------------------
+
+TEST(TopologyTest, FlatNetworkIsOneHopUniform) {
+  const simrt::net::FlatNetwork flat(16);
+  EXPECT_TRUE(flat.uniform());
+  EXPECT_EQ(flat.diameter(), 1);
+  EXPECT_EQ(flat.hops(3, 3), 0);
+  EXPECT_EQ(flat.hops(0, 15), 1);
+  EXPECT_DOUBLE_EQ(flat.contention(16), 1.0);
+  EXPECT_DOUBLE_EQ(flat.mean_hops(), 1.0);
+}
+
+TEST(TopologyTest, FatTreeHopTiersAndSymmetry) {
+  // radix 4 → 4 ranks per leaf, 4 leaves per pod: 192 would be huge, use
+  // 32 ranks = 8 leaves = 2 pods.
+  const simrt::net::FatTree tree(32, 4, 2.0);
+  EXPECT_EQ(tree.hops(0, 0), 0);
+  EXPECT_EQ(tree.hops(0, 1), 2);    // same leaf
+  EXPECT_EQ(tree.hops(0, 5), 4);    // same pod, different leaf
+  EXPECT_EQ(tree.hops(0, 31), 6);   // cross-pod
+  EXPECT_EQ(tree.diameter(), 6);
+  for (const auto [a, b] : {std::pair<Index, Index>{0, 1},
+                            {0, 5},
+                            {0, 31},
+                            {7, 21}}) {
+    EXPECT_EQ(tree.hops(a, b), tree.hops(b, a)) << a << "," << b;
+  }
+  // Contention ramps toward the oversubscription ratio but never above.
+  EXPECT_DOUBLE_EQ(tree.contention(1), 1.0);
+  EXPECT_DOUBLE_EQ(tree.contention(32), 2.0);
+  EXPECT_LE(tree.contention(16), 2.0);
+}
+
+TEST(TopologyTest, TorusDerivesNearCubicDimsAndWrapsAround) {
+  const simrt::net::Torus3D torus(192, 0, 0, 0);
+  EXPECT_EQ(torus.dim_x(), 6);
+  EXPECT_EQ(torus.dim_y(), 6);
+  EXPECT_EQ(torus.dim_z(), 6);
+  EXPECT_EQ(torus.hops(0, 0), 0);
+  EXPECT_EQ(torus.hops(0, 1), 1);  // +x neighbour
+  // Wraparound: the far end of the x ring is one hop, not dim_x − 1.
+  EXPECT_EQ(torus.hops(0, torus.dim_x() - 1), 1);
+  // Symmetry over a few pairs.
+  for (const auto [a, b] : {std::pair<Index, Index>{0, 191},
+                            {5, 100},
+                            {37, 150}}) {
+    EXPECT_EQ(torus.hops(a, b), torus.hops(b, a)) << a << "," << b;
+  }
+  // Diameter of a 6×6×6 torus: 3 per axis.
+  EXPECT_EQ(torus.diameter(), 9);
+  EXPECT_GT(torus.mean_hops(), 1.0);
+}
+
+TEST(TopologyTest, ExplicitTorusDimsMustCoverRanks) {
+  const simrt::net::Torus3D torus(24, 4, 3, 2);
+  EXPECT_EQ(torus.dim_x(), 4);
+  EXPECT_EQ(torus.num_ranks(), 24);
+  EXPECT_THROW(simrt::net::Torus3D(25, 4, 3, 2), Error);
+}
+
+// --- MachineConfig validation (network fields) -------------------------
+
+TEST(MachineValidateTest, RejectsNonsenseNetworkFields) {
+  const simrt::MachineConfig good = simrt::paper_cluster();
+  EXPECT_NO_THROW(simrt::validate(good));
+
+  simrt::MachineConfig bad = good;
+  bad.net_bandwidth = 0.0;
+  EXPECT_THROW(simrt::validate(bad), Error);
+  bad = good;
+  bad.net_bandwidth = -1e9;
+  EXPECT_THROW(simrt::validate(bad), Error);
+  bad = good;
+  bad.net_latency = -1e-6;
+  EXPECT_THROW(simrt::validate(bad), Error);
+  bad = good;
+  bad.net.per_hop_latency = -1e-9;
+  EXPECT_THROW(simrt::validate(bad), Error);
+  bad = good;
+  bad.net.fat_tree_radix = 1;
+  EXPECT_THROW(simrt::validate(bad), Error);
+  bad = good;
+  bad.net.fat_tree_oversubscription = 0.5;
+  EXPECT_THROW(simrt::validate(bad), Error);
+  bad = good;
+  bad.net.torus_x = -2;
+  EXPECT_THROW(simrt::validate(bad), Error);
+  // Torus dims must be all-set or all-derived.
+  bad = good;
+  bad.net.torus_x = 4;
+  EXPECT_THROW(simrt::validate(bad), Error);
+  bad.net.torus_y = 3;
+  bad.net.torus_z = 2;
+  EXPECT_NO_THROW(simrt::validate(bad));
+}
+
+// --- default equivalence -----------------------------------------------
+
+TEST(DefaultEquivalenceTest, AllreduceMatchesSeedClosedFormBitwise) {
+  for (const Index p : {1, 2, 3, 8, 24, 48, 192}) {
+    const simrt::MachineConfig config = simrt::paper_cluster();
+    simrt::VirtualCluster cluster(config, p);
+    for (const Bytes bytes : {0.0, 8.0, 1536.0, 65536.0}) {
+      const double stages = std::ceil(
+          std::log2(static_cast<double>(std::max<Index>(p, 2))));
+      const Seconds expected =
+          stages * (config.net_latency + bytes / config.net_bandwidth);
+      EXPECT_EQ(cluster.allreduce_seconds(bytes), expected)  // bitwise
+          << "p=" << p << " bytes=" << bytes;
+    }
+    EXPECT_EQ(cluster.p2p_seconds(1024.0),
+              config.net_latency + 1024.0 / config.net_bandwidth);
+  }
+}
+
+TEST(DefaultEquivalenceTest, HaloChargesSeedExpressionPerRank) {
+  const simrt::MachineConfig config = simrt::paper_cluster();
+  simrt::VirtualCluster cluster(config, 4);
+  const std::vector<Bytes> bytes = {1024.0, 0.0, 4096.0, 512.0};
+  const IndexVec msgs = {2, 0, 6, 1};
+  cluster.halo_exchange(bytes, msgs, PhaseTag::kComm);
+  for (Index r = 0; r < 4; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    const Seconds expected =
+        static_cast<double>(msgs[i]) * config.net_latency +
+        bytes[i] / config.net_bandwidth;
+    EXPECT_EQ(cluster.now(r), expected) << "rank " << r;  // bitwise
+  }
+}
+
+TEST(DefaultEquivalenceTest, ReplicaFetchMatchesSeedTransfers) {
+  const simrt::MachineConfig config = simrt::paper_cluster();
+  const Bytes bytes = 8192.0;
+  {
+    // DMR restore: one copy = one p2p transfer.
+    simrt::VirtualCluster cluster(config, 8, 2);
+    cluster.replica_fetch(3, bytes, 1, PhaseTag::kReconstruct);
+    EXPECT_EQ(cluster.now(3), cluster.p2p_seconds(bytes));
+    EXPECT_EQ(cluster.now(0), 0.0);  // one-sided: nobody else blocks
+  }
+  {
+    // TMR vote: two copies = 2 × p2p, the seed's exact expression.
+    simrt::VirtualCluster cluster(config, 8, 3);
+    cluster.replica_fetch(5, bytes, 2, PhaseTag::kReconstruct);
+    EXPECT_EQ(cluster.now(5), 2.0 * cluster.p2p_seconds(bytes));
+  }
+}
+
+// --- asymmetric halo charging on hop-aware topologies ------------------
+
+TEST(HaloExchangeTest, ChargesRanksAsymmetricallyWithoutHiddenSync) {
+  for (const auto topology : {TopologyKind::kFlat, TopologyKind::kFatTree}) {
+    simrt::MachineConfig config = simrt::paper_cluster();
+    config.net.topology = topology;
+    config.net.fat_tree_radix = 4;  // several leaves at 16 ranks
+    simrt::VirtualCluster cluster(config, 16);
+
+    std::vector<Bytes> bytes(16, 0.0);
+    IndexVec msgs(16, 0);
+    bytes[2] = 8192.0;
+    msgs[2] = 4;
+    bytes[9] = 1024.0;
+    msgs[9] = 1;
+    cluster.halo_exchange(bytes, msgs, PhaseTag::kComm);
+
+    const auto& net = cluster.interconnect();
+    for (Index r = 0; r < 16; ++r) {
+      const auto i = static_cast<std::size_t>(r);
+      const Seconds expected =
+          net.halo_seconds(r, static_cast<double>(msgs[i]), bytes[i]);
+      EXPECT_EQ(cluster.now(r), expected)
+          << simrt::net::to_string(topology) << " rank " << r;
+    }
+    // No hidden barrier: unloaded ranks stay at t = 0 while loaded ranks
+    // advance by exactly their own message cost.
+    EXPECT_EQ(cluster.now(0), 0.0);
+    EXPECT_GT(cluster.now(2), cluster.now(9));
+  }
+}
+
+// --- collective algorithms ---------------------------------------------
+
+TEST(CollectiveTest, RingBeatsNobodyOnSmallMessagesAt192) {
+  // 2(p−1) latency-bound stages vs log₂ p: ring must be slower than
+  // recursive doubling for an 8-byte payload at the paper's scale.
+  simrt::MachineConfig rd_config = simrt::paper_cluster();
+  simrt::MachineConfig ring_config = simrt::paper_cluster();
+  ring_config.net.collective = CollectiveKind::kRing;
+  simrt::VirtualCluster rd(rd_config, 192);
+  simrt::VirtualCluster ring(ring_config, 192);
+  EXPECT_GT(ring.allreduce_seconds(8.0), rd.allreduce_seconds(8.0));
+}
+
+TEST(CollectiveTest, BinomialTreeChargesRanksAsymmetrically) {
+  simrt::MachineConfig config = simrt::paper_cluster();
+  config.net.collective = CollectiveKind::kBinomialTree;
+  simrt::VirtualCluster cluster(config, 8);
+  const auto costs = cluster.interconnect().allreduce_costs(1024.0);
+  ASSERT_EQ(costs.size(), 8u);
+  const auto [min_it, max_it] = std::minmax_element(costs.begin(), costs.end());
+  EXPECT_LT(*min_it, *max_it);  // tree depth differs by rank
+  for (const Seconds c : costs) {
+    EXPECT_GT(c, 0.0);
+  }
+}
+
+TEST(CollectiveTest, BroadcastAndReduceAdvanceEveryRank) {
+  simrt::MachineConfig config = simrt::paper_cluster();
+  simrt::VirtualCluster cluster(config, 8);
+  cluster.broadcast(0, 4096.0, PhaseTag::kComm);
+  for (Index r = 1; r < 8; ++r) {
+    EXPECT_GT(cluster.now(r), 0.0) << "rank " << r;
+  }
+  const Seconds after_bcast = cluster.elapsed();
+  cluster.reduce(3, 4096.0, PhaseTag::kComm);
+  EXPECT_GT(cluster.elapsed(), after_bcast);
+  EXPECT_DOUBLE_EQ(cluster.comm_stats().broadcasts, 1.0);
+  EXPECT_DOUBLE_EQ(cluster.comm_stats().reductions, 1.0);
+}
+
+// --- CommStats accounting ----------------------------------------------
+
+TEST(CommStatsTest, CountsMessagesAndBytesPerPrimitive) {
+  simrt::MachineConfig config = simrt::paper_cluster();
+  simrt::VirtualCluster cluster(config, 8);
+
+  cluster.allreduce(8.0, PhaseTag::kComm);
+  const auto& stats = cluster.comm_stats();
+  EXPECT_DOUBLE_EQ(stats.allreduces, 1.0);
+  // Recursive doubling: p ranks × log₂ p stages messages.
+  EXPECT_DOUBLE_EQ(stats.messages, 8.0 * 3.0);
+  EXPECT_DOUBLE_EQ(stats.wire_bytes, 8.0 * 3.0 * 8.0);
+
+  cluster.point_to_point(0, 5, 1024.0, PhaseTag::kComm);
+  EXPECT_DOUBLE_EQ(stats.p2p_messages, 1.0);
+  EXPECT_DOUBLE_EQ(stats.messages, 8.0 * 3.0 + 1.0);
+
+  cluster.neighbor_gather(2, 3.0, 2048.0, PhaseTag::kReconstruct);
+  EXPECT_DOUBLE_EQ(stats.gather_messages, 3.0);
+
+  cluster.replica_fetch(1, 512.0, 2, PhaseTag::kReconstruct);
+  EXPECT_DOUBLE_EQ(stats.replica_fetches, 2.0);
+  EXPECT_DOUBLE_EQ(stats.max_contention, 1.0);  // flat network
+}
+
+// --- environment overlay ------------------------------------------------
+
+TEST(NetEnvOverlayTest, MachineForHonorsNetEnvVars) {
+  EnvGuard topo_guard("RSLS_NET_TOPOLOGY");
+  EnvGuard coll_guard("RSLS_NET_COLLECTIVE");
+
+  ::unsetenv("RSLS_NET_TOPOLOGY");
+  ::unsetenv("RSLS_NET_COLLECTIVE");
+  EXPECT_EQ(harness::machine_for(48).net.topology, TopologyKind::kFlat);
+
+  ::setenv("RSLS_NET_TOPOLOGY", "fat-tree", 1);
+  ::setenv("RSLS_NET_COLLECTIVE", "ring", 1);
+  const simrt::MachineConfig machine = harness::machine_for(48);
+  EXPECT_EQ(machine.net.topology, TopologyKind::kFatTree);
+  EXPECT_EQ(machine.net.collective, CollectiveKind::kRing);
+
+  // Garbage values keep the defaults instead of aborting the run.
+  ::setenv("RSLS_NET_TOPOLOGY", "moebius", 1);
+  ::setenv("RSLS_NET_COLLECTIVE", "gossip", 1);
+  const simrt::MachineConfig fallback = harness::machine_for(48);
+  EXPECT_EQ(fallback.net.topology, TopologyKind::kFlat);
+  EXPECT_EQ(fallback.net.collective, CollectiveKind::kRecursiveDoubling);
+}
+
+TEST(NetEnvOverlayTest, ExplicitExperimentNetworkBeatsEnvironment) {
+  EnvGuard topo_guard("RSLS_NET_TOPOLOGY");
+  ::setenv("RSLS_NET_TOPOLOGY", "torus3d", 1);
+  // machine_for picks up the env…
+  EXPECT_EQ(harness::machine_for(8).net.topology, TopologyKind::kTorus3D);
+  // …but an explicit ExperimentConfig::network pin must win; verified
+  // through the interconnect of a cluster built the way run_scheme does.
+  simrt::MachineConfig machine = harness::machine_for(8);
+  NetworkConfig pinned;
+  pinned.topology = TopologyKind::kFlat;
+  machine.net = pinned;
+  simrt::VirtualCluster cluster(machine, 8);
+  EXPECT_STREQ(cluster.interconnect().topology().name(), "flat");
+}
+
+}  // namespace
+}  // namespace rsls
