@@ -52,6 +52,20 @@ const std::vector<VarSpec>& registry() {
        "flat|fat-tree|torus3d."},
       {"RSLS_NET_COLLECTIVE", "string", "recursive-doubling",
        "Collective algorithm: recursive-doubling|ring|binomial-tree."},
+      {"RSLS_FAULT_DOMAINS", "int", "0",
+       "Failure-domain size for harness-built fault injectors; 0 keeps "
+       "independent single-rank faults. On fat-tree/torus topologies any "
+       "value > 0 derives the domains from the topology instead."},
+      {"RSLS_SPARE_RANKS", "int", "0",
+       "Warm spare cores per harness-built cluster; > 0 switches the "
+       "recovery policy to spare substitution (shrink when the pool runs "
+       "dry)."},
+      {"RSLS_RECOVERY_RETRIES", "int", "0",
+       "Retries per recovery dispatch after a nested fault or timeout "
+       "voids it; 0 keeps the recovery path infallible."},
+      {"RSLS_WEIBULL_SHAPE", "double", "0",
+       "Weibull shape k for fault inter-arrivals (< 1 infant mortality, "
+       "> 1 wear-out); 0 keeps the default fault schedule."},
   };
   return vars;
 }
@@ -135,6 +149,25 @@ std::optional<std::string> net_topology() {
 
 std::optional<std::string> net_collective() {
   return env_string("RSLS_NET_COLLECTIVE");
+}
+
+Index fault_domains() {
+  return static_cast<Index>(
+      std::max<long long>(get_int("RSLS_FAULT_DOMAINS", 0), 0));
+}
+
+Index spare_ranks() {
+  return static_cast<Index>(
+      std::max<long long>(get_int("RSLS_SPARE_RANKS", 0), 0));
+}
+
+Index recovery_retries() {
+  return static_cast<Index>(
+      std::max<long long>(get_int("RSLS_RECOVERY_RETRIES", 0), 0));
+}
+
+double weibull_shape() {
+  return std::max(get_double("RSLS_WEIBULL_SHAPE", 0.0), 0.0);
 }
 
 std::vector<std::string> unknown_rsls_vars() {

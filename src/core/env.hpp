@@ -78,6 +78,26 @@ std::optional<std::string> net_topology();
 /// (recursive-doubling|ring|binomial-tree).
 std::optional<std::string> net_collective();
 
+/// RSLS_FAULT_DOMAINS: failure-domain size for harness-built injectors.
+/// 0 disables the domain model (the seed's independent faults); on a
+/// non-flat topology any value > 0 derives domains from the topology
+/// instead (leaf-switch / torus-neighborhood groups).
+Index fault_domains();
+
+/// RSLS_SPARE_RANKS: warm spare cores provisioned per harness-built
+/// cluster; > 0 switches the default recovery policy to spare
+/// substitution.
+Index spare_ranks();
+
+/// RSLS_RECOVERY_RETRIES: retries per recovery dispatch after a nested
+/// fault or timeout voids it; 0 keeps recovery infallible.
+Index recovery_retries();
+
+/// RSLS_WEIBULL_SHAPE: Weibull shape k for fault inter-arrivals (< 1
+/// infant mortality, > 1 wear-out); 0 keeps the seed's evenly-spaced /
+/// exponential model.
+double weibull_shape();
+
 /// RSLS_-prefixed variables set in the process environment that no
 /// registry entry declares — typo'd knobs that would otherwise be
 /// silently ignored.

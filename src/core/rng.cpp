@@ -94,6 +94,16 @@ double Rng::exponential(double rate) {
   return -std::log(u) / rate;
 }
 
+double Rng::weibull(double shape, double scale) {
+  RSLS_CHECK(shape > 0.0);
+  RSLS_CHECK(scale > 0.0);
+  double u = uniform();
+  while (u <= 0.0) {
+    u = uniform();
+  }
+  return scale * std::pow(-std::log(u), 1.0 / shape);
+}
+
 Rng Rng::split() { return Rng(next_u64()); }
 
 }  // namespace rsls

@@ -41,6 +41,12 @@ class Rng {
   /// fault inter-arrival times.
   double exponential(double rate);
 
+  /// Weibull with the given shape k and scale λ (inverse transform:
+  /// λ·(−ln u)^{1/k}). Shape < 1 models infant mortality (bursty early
+  /// failures), shape > 1 wear-out; shape = 1 reduces to
+  /// exponential(1/λ). Used for non-memoryless fault inter-arrivals.
+  double weibull(double shape, double scale);
+
   /// Derive an independent child stream (e.g. one per simulated rank).
   Rng split();
 

@@ -91,6 +91,12 @@ obs::RunReport make_run_report(const obs::ObservabilityOptions& opts,
       {"net_topology", simrt::net::to_string(cluster.config().net.topology)},
       {"net_collective",
        simrt::net::to_string(cluster.config().net.collective)},
+      {"fault_domains", std::to_string(config.fault_domains)},
+      {"weibull_shape", obs::JsonWriter::number(config.weibull_shape)},
+      {"recovery_policy", resilience::to_string(config.recovery.policy)},
+      {"spare_ranks", std::to_string(config.recovery.spare_ranks)},
+      {"recovery_retries", std::to_string(config.recovery.max_retries)},
+      {"status", resilience::to_string(r.status)},
   };
   report.results = {
       {"iterations", static_cast<double>(r.cg.iterations)},
@@ -105,6 +111,16 @@ obs::RunReport make_run_report(const obs::ObservabilityOptions& opts,
       {"detections", static_cast<double>(r.detections)},
       {"nested_faults", static_cast<double>(r.nested_faults)},
       {"escalations", static_cast<double>(r.escalations)},
+      {"declared_failure",
+       r.status == resilience::SolveStatus::kDeclaredFailure ? 1.0 : 0.0},
+      {"recovery_attempts", static_cast<double>(r.recovery_attempts)},
+      {"recovery_retries", static_cast<double>(r.recovery_retries)},
+      {"recovery_timeouts", static_cast<double>(r.recovery_timeouts)},
+      {"recoveries_struck", static_cast<double>(r.recoveries_struck)},
+      {"spares_consumed", static_cast<double>(r.spares_consumed)},
+      {"spare_pool_dry", static_cast<double>(r.spare_pool_dry)},
+      {"shrink_events", static_cast<double>(r.shrink_events)},
+      {"domain_faults", static_cast<double>(r.domain_faults)},
       {"iteration_ratio", run.iteration_ratio},
       {"time_ratio", run.time_ratio},
       {"energy_ratio", run.energy_ratio},
@@ -122,6 +138,21 @@ obs::RunReport make_run_report(const obs::ObservabilityOptions& opts,
   report.sleep_energy = cluster.sleep_energy();
   report.total_energy = r.energy;
   report.metrics = recorder.metrics().snapshot();
+  // Realized fault schedule, flattened to the obs-neutral entry type.
+  // Replayable via FaultInjector::from_schedule.
+  report.fault_schedule.reserve(r.fault_schedule.size());
+  for (const resilience::FaultRecord& record : r.fault_schedule) {
+    obs::FaultScheduleEntry entry;
+    entry.time_s = record.time;
+    entry.iteration = static_cast<double>(record.iteration);
+    entry.ranks = record.ranks;
+    entry.fault_class =
+        record.cls == resilience::FaultClass::kProcessLoss ? "process-loss"
+                                                           : "sdc";
+    entry.corruption_seed = record.corruption_seed;
+    entry.domain_event = record.domain_event;
+    report.fault_schedule.push_back(std::move(entry));
+  }
   return report;
 }
 
@@ -158,6 +189,30 @@ void apply_net_env(simrt::net::NetworkConfig& net) {
       }
     }
   }
+}
+
+/// Environment overlay for the resilience knobs, applied only to fields
+/// still at their defaults so explicit bench settings always win. A
+/// spare pool with no explicit policy implies spare substitution.
+ExperimentConfig with_resilience_env(const ExperimentConfig& in) {
+  ExperimentConfig config = in;
+  if (config.fault_domains == 0) {
+    config.fault_domains = env::fault_domains();
+  }
+  if (config.weibull_shape == 0.0) {
+    config.weibull_shape = env::weibull_shape();
+  }
+  if (config.recovery.spare_ranks == 0) {
+    config.recovery.spare_ranks = env::spare_ranks();
+  }
+  if (config.recovery.max_retries == 0) {
+    config.recovery.max_retries = env::recovery_retries();
+  }
+  if (config.recovery.policy == resilience::RecoveryPolicy::kInPlace &&
+      config.recovery.spare_ranks > 0) {
+    config.recovery.policy = resilience::RecoveryPolicy::kSpare;
+  }
+  return config;
 }
 
 }  // namespace
@@ -225,12 +280,13 @@ Seconds estimate_checkpoint_seconds(const Workload& workload,
 }
 
 SchemeRun run_scheme(const Workload& workload, const std::string& scheme_name,
-                     const ExperimentConfig& config, const FfBaseline& ff,
+                     const ExperimentConfig& config_in, const FfBaseline& ff,
                      const RunHooks& hooks) {
   // Build whatever the caller did not hook in. Everything derived here
-  // is a pure function of (workload, config, ff), so concurrent cells
-  // running the same inputs produce bit-identical results in any
-  // schedule.
+  // is a pure function of (workload, config, ff) and the environment
+  // snapshot, so concurrent cells running the same inputs produce
+  // bit-identical results in any schedule.
+  const ExperimentConfig config = with_resilience_env(config_in);
   std::unique_ptr<resilience::RecoveryScheme> owned_scheme;
   Index cr_interval_used = 0;
   resilience::RecoveryScheme* scheme_ptr = hooks.scheme;
@@ -269,8 +325,31 @@ SchemeRun run_scheme(const Workload& workload, const std::string& scheme_name,
   std::optional<resilience::FaultInjector> owned_injector;
   resilience::FaultInjector* injector_ptr = hooks.injector;
   if (injector_ptr == nullptr) {
-    owned_injector.emplace(resilience::FaultInjector::evenly_spaced(
-        config.faults, ff.iterations, config.processes, config.fault_seed));
+    if (config.weibull_shape > 0.0) {
+      // Weibull arrivals at the §5.2 effective MTBF, so shape sweeps
+      // hold the mean fault density fixed.
+      const Seconds mtbf =
+          ff.time / static_cast<double>(std::max<Index>(config.faults, 1) + 1);
+      owned_injector.emplace(resilience::FaultInjector::weibull(
+          mtbf, config.weibull_shape, config.processes, config.fault_seed));
+    } else {
+      owned_injector.emplace(resilience::FaultInjector::evenly_spaced(
+          config.faults, ff.iterations, config.processes, config.fault_seed));
+    }
+    if (config.fault_burstiness > 0.0) {
+      owned_injector->with_burstiness(config.fault_burstiness,
+                                      config.burst_compression);
+    }
+    if (config.fault_domains > 0) {
+      // The cluster is built above, so the live topology is available:
+      // structured networks supply their own domains, the flat network
+      // gets synthetic contiguous groups of the requested size.
+      const auto& topo = cluster.interconnect().topology();
+      owned_injector->with_domains(
+          topo.uniform() ? resilience::FailureDomains::synthetic(
+                               config.processes, config.fault_domains)
+                         : resilience::FailureDomains::from_topology(topo));
+    }
     if (config.sdc_faults) {
       owned_injector->as_sdc(config.sdc_mode, config.sdc_target);
     }
@@ -305,12 +384,19 @@ SchemeRun run_scheme(const Workload& workload, const std::string& scheme_name,
 
   run.report = resilience::resilient_solve(
       workload.a, cluster, workload.b, x, scheme, injector,
-      cg_options_for(config, ff.iterations), detectors, config.hardening, rec);
+      cg_options_for(config, ff.iterations), detectors, config.hardening, rec,
+      config.recovery);
   // An undetected silent corruption is *allowed* to leave the solver
   // non-converged (or converged on a wrong answer — see
-  // report.true_relative_residual); every announced or detected
-  // configuration must still converge.
-  if (!(config.sdc_faults && !config.detection)) {
+  // report.true_relative_residual); likewise a fallible recovery path,
+  // correlated domain faults, or stochastic Weibull arrivals can
+  // legitimately end in a declared failure or overwhelm a scheme's
+  // protection capability. Every announced infallible configuration must
+  // still converge.
+  const bool failure_allowed =
+      (config.sdc_faults && !config.detection) || config.recovery.enabled() ||
+      config.fault_domains > 0 || config.weibull_shape > 0.0;
+  if (!failure_allowed) {
     RSLS_CHECK_MSG(run.report.cg.converged,
                    "resilient CG did not converge for scheme " + scheme_name);
   }

@@ -52,6 +52,27 @@ struct ExperimentConfig {
   bool detection = false;
   resilience::DetectionOptions detection_options;
   resilience::HardeningOptions hardening;
+  /// Correlated-fault and recovery-runtime knobs. All defaults reproduce
+  /// the seed's behavior bit-for-bit. The environment overlays fields
+  /// still at their defaults (RSLS_FAULT_DOMAINS, RSLS_SPARE_RANKS,
+  /// RSLS_RECOVERY_RETRIES, RSLS_WEIBULL_SHAPE) inside run_scheme, so
+  /// explicit bench settings always win.
+  /// Failure-domain size: > 0 makes every fault event kill a whole
+  /// domain. On a flat network the domains are synthetic contiguous
+  /// groups of this size; on fat-tree/torus they come from the topology
+  /// (leaf switches / x-lines) and this value just switches them on.
+  Index fault_domains = 0;
+  /// Weibull shape for fault inter-arrivals; > 0 replaces the §5.2
+  /// evenly-spaced plan with Weibull arrivals at the same effective MTBF
+  /// (T_FF / (faults + 1)).
+  double weibull_shape = 0.0;
+  /// Probability that a fired fault compresses the next inter-arrival
+  /// gap (failure storms); only meaningful with weibull_shape > 0.
+  double fault_burstiness = 0.0;
+  double burst_compression = 0.05;
+  /// Machine-level recovery policy (spare promotion / shrinking) and
+  /// fallible-recovery retry/backoff budget.
+  resilience::RecoveryOptions recovery;
   /// Tracing / RunReport emission. The environment overlays this
   /// (RSLS_TRACE_DIR, RSLS_RUN_REPORT, RSLS_OBS_POWER_BIN) inside
   /// run_scheme, so observability can be switched on for any binary

@@ -74,6 +74,27 @@ void write_run_report(std::ostream& os, const RunReport& report) {
   json.end_array();
   json.end_object();
 
+  // Omitted when empty so fault-free reports stay byte-identical to the
+  // pre-schedule schema.
+  if (!report.fault_schedule.empty()) {
+    json.begin_array("fault_schedule");
+    for (const FaultScheduleEntry& entry : report.fault_schedule) {
+      json.begin_object();
+      json.field("time_s", entry.time_s);
+      json.field("iteration", entry.iteration);
+      json.begin_array("ranks");
+      for (const Index rank : entry.ranks) {
+        json.element(static_cast<std::uint64_t>(rank));
+      }
+      json.end_array();
+      json.field("class", entry.fault_class);
+      json.field("corruption_seed", entry.corruption_seed);
+      json.field("domain_event", entry.domain_event);
+      json.end_object();
+    }
+    json.end_array();
+  }
+
   json.end_object();
   os << '\n';
 }

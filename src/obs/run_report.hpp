@@ -11,21 +11,40 @@
 //    "results":{str:num},                — scalar outcomes
 //    "energy":{"phases":{tag:J}, "node_constant":J, "core_sleep":J,
 //              "total":J},               — phases+constant+sleep == total
-//    "metrics":{"counters":{...}, "gauges":{...}, "histograms":[...]}}
+//    "metrics":{"counters":{...}, "gauges":{...}, "histograms":[...]},
+//    "fault_schedule":[{"time_s":..,"iteration":..,"ranks":[..],
+//                       "class":..,"corruption_seed":..,
+//                       "domain_event":..}, ...]}   — omitted when empty
 //
 // The energy block is written with round-trip double precision so
 // sum(phases) + node_constant + core_sleep == total holds to 1e-9
 // relative after a parse round-trip.
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/types.hpp"
 #include "core/units.hpp"
 #include "obs/metrics.hpp"
 
 namespace rsls::obs {
+
+/// One realized fault, flattened for the report (obs stays neutral of
+/// the resilience layer's types; the harness converts FaultRecord into
+/// this). The entry carries everything FaultInjector::from_schedule
+/// needs for an exact replay.
+struct FaultScheduleEntry {
+  double time_s = 0.0;
+  double iteration = 0.0;
+  IndexVec ranks;
+  /// "process-loss" or "sdc".
+  std::string fault_class;
+  std::uint64_t corruption_seed = 0;
+  bool domain_event = false;
+};
 
 struct RunReport {
   int schema_version = 1;
@@ -45,6 +64,9 @@ struct RunReport {
   /// recompute it; exporters assert in tests).
   Joules total_energy = 0.0;
   MetricsSnapshot metrics;
+  /// Realized fault schedule; an empty vector keeps the report line
+  /// byte-identical to schema-version-1 output (the key is omitted).
+  std::vector<FaultScheduleEntry> fault_schedule;
 };
 
 /// One JSONL line (object + '\n').

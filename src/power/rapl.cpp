@@ -24,6 +24,8 @@ const char* to_string(PhaseTag tag) {
       return "detect";
     case PhaseTag::kEncode:
       return "encode";
+    case PhaseTag::kRecover:
+      return "recover";
     case PhaseTag::kCount:
       break;
   }
@@ -67,6 +69,7 @@ Joules EnergyAccount::resilience_energy() const {
   sum += core_energy(PhaseTag::kIdleWait);
   sum += core_energy(PhaseTag::kDetect);
   sum += core_energy(PhaseTag::kEncode);
+  sum += core_energy(PhaseTag::kRecover);
   return sum;
 }
 

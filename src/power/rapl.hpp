@@ -29,6 +29,8 @@ enum class PhaseTag {
                  // periodic true-residual verification)
   kEncode,       // ABFT parity maintenance (erasure-coded redundancy
                  // updates and encoded-checkpoint construction)
+  kRecover,      // recovery runtime: spare promotion state transfer,
+                 // shrink repartitioning, and retry/backoff waits
   kCount
 };
 

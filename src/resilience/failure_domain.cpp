@@ -1,0 +1,92 @@
+#include "resilience/failure_domain.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "core/error.hpp"
+
+namespace rsls::resilience {
+
+bool FailureDomains::trivial() const {
+  return std::all_of(groups.begin(), groups.end(),
+                     [](const IndexVec& g) { return g.size() == 1; });
+}
+
+Index FailureDomains::max_size() const {
+  std::size_t widest = 0;
+  for (const IndexVec& g : groups) {
+    widest = std::max(widest, g.size());
+  }
+  return static_cast<Index>(widest);
+}
+
+Index FailureDomains::domain_of(Index rank) const {
+  for (std::size_t d = 0; d < groups.size(); ++d) {
+    if (std::binary_search(groups[d].begin(), groups[d].end(), rank)) {
+      return static_cast<Index>(d);
+    }
+  }
+  throw Error("rank " + std::to_string(rank) +
+              " is not covered by any failure domain");
+}
+
+FailureDomains FailureDomains::singletons(Index num_ranks) {
+  if (num_ranks < 1) {
+    throw Error("failure domains need at least one rank (num_ranks = " +
+                std::to_string(num_ranks) + ")");
+  }
+  FailureDomains domains;
+  domains.groups.reserve(static_cast<std::size_t>(num_ranks));
+  for (Index r = 0; r < num_ranks; ++r) {
+    domains.groups.push_back({r});
+  }
+  return domains;
+}
+
+FailureDomains FailureDomains::synthetic(Index num_ranks, Index domain_size) {
+  if (num_ranks < 1) {
+    throw Error("failure domains need at least one rank (num_ranks = " +
+                std::to_string(num_ranks) + ")");
+  }
+  if (domain_size < 1 || domain_size > num_ranks) {
+    throw Error("synthetic failure-domain size must be in [1, num_ranks]: "
+                "domain_size = " +
+                std::to_string(domain_size) +
+                ", num_ranks = " + std::to_string(num_ranks));
+  }
+  FailureDomains domains;
+  for (Index begin = 0; begin < num_ranks; begin += domain_size) {
+    IndexVec group;
+    const Index end = std::min(begin + domain_size, num_ranks);
+    group.reserve(static_cast<std::size_t>(end - begin));
+    for (Index r = begin; r < end; ++r) {
+      group.push_back(r);
+    }
+    domains.groups.push_back(std::move(group));
+  }
+  return domains;
+}
+
+FailureDomains FailureDomains::from_topology(
+    const simrt::net::Topology& topology) {
+  const Index p = topology.num_ranks();
+  if (p < 1) {
+    throw Error("failure domains need at least one rank");
+  }
+  // Group by domain id, keeping groups ordered by first member so the
+  // injector's domain draw is stable across topologies with the same
+  // grouping.
+  std::map<Index, IndexVec> by_id;
+  for (Index r = 0; r < p; ++r) {
+    by_id[topology.failure_domain(r)].push_back(r);
+  }
+  FailureDomains domains;
+  domains.groups.reserve(by_id.size());
+  for (auto& [id, group] : by_id) {
+    domains.groups.push_back(std::move(group));
+  }
+  return domains;
+}
+
+}  // namespace rsls::resilience

@@ -1,0 +1,60 @@
+#pragma once
+// Failure domains: groups of ranks that share a single point of failure.
+//
+// The paper's §5.2 protocol draws failed ranks i.i.d.-uniform, but real
+// machines lose whole groups at once — every rank under a leaf switch
+// when the switch dies, a torus neighborhood when its power rail trips,
+// a rack's worth of nodes when a PSU fails. A FailureDomains partition
+// of the rank space turns the injector's per-event rank draw into a
+// per-event *domain* draw: one arrival takes out every rank in the
+// drawn domain simultaneously (the correlated multi-element loss that
+// motivates erasure-coded recovery at scale).
+//
+// Domains come from two sources:
+//   from_topology — derived from the live interconnect shape via
+//                   Topology::failure_domain (fat-tree leaf switches,
+//                   torus x-lines; the flat network degenerates to
+//                   singletons, i.e. the seed's independent faults);
+//   synthetic     — contiguous fixed-size groups on any topology,
+//                   modeling PSU/rack sharing the network cannot see.
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "simrt/net/topology.hpp"
+
+namespace rsls::resilience {
+
+struct FailureDomains {
+  /// Disjoint rank groups covering [0, num_ranks); each inner vector is
+  /// sorted ascending. An empty outer vector means "no domain model".
+  std::vector<IndexVec> groups;
+
+  /// Number of domains.
+  Index count() const { return static_cast<Index>(groups.size()); }
+
+  /// True when every domain holds exactly one rank (equivalent to the
+  /// seed's independent single-rank faults).
+  bool trivial() const;
+
+  /// Largest domain size (0 when empty).
+  Index max_size() const;
+
+  /// Domain index owning `rank`; throws rsls::Error when no group
+  /// contains it.
+  Index domain_of(Index rank) const;
+
+  /// One singleton domain per rank — the degenerate model.
+  static FailureDomains singletons(Index num_ranks);
+
+  /// Contiguous groups of `domain_size` ranks (the last group may be
+  /// smaller): rack/PSU-style sharing invisible to the network. Throws
+  /// rsls::Error unless 1 ≤ domain_size ≤ num_ranks.
+  static FailureDomains synthetic(Index num_ranks, Index domain_size);
+
+  /// Group ranks by Topology::failure_domain: fat-tree leaf-switch
+  /// groups, torus x-line neighborhoods, singletons on the flat network.
+  static FailureDomains from_topology(const simrt::net::Topology& topology);
+};
+
+}  // namespace rsls::resilience

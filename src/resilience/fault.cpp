@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <string>
 
 #include "core/error.hpp"
 
@@ -11,15 +12,24 @@ namespace rsls::resilience {
 
 FaultInjector::FaultInjector(Mode mode, Index num_ranks, std::uint64_t seed)
     : mode_(mode), num_ranks_(num_ranks), rng_(seed) {
-  RSLS_CHECK(num_ranks >= 1);
+  if (num_ranks < 1) {
+    throw Error("fault injector needs at least one rank (num_ranks = " +
+                std::to_string(num_ranks) + ")");
+  }
 }
 
 FaultInjector FaultInjector::evenly_spaced(Index count, Index ff_iterations,
                                            Index num_ranks,
                                            std::uint64_t seed) {
-  RSLS_CHECK_MSG(count >= 0, "fault count must be non-negative");
-  RSLS_CHECK_MSG(ff_iterations >= 1,
-                 "fault-free iteration count must be at least 1");
+  if (count < 0) {
+    throw Error("fault count must be non-negative (count = " +
+                std::to_string(count) + ")");
+  }
+  if (ff_iterations < 1) {
+    throw Error("fault-free iteration count must be at least 1 "
+                "(ff_iterations = " +
+                std::to_string(ff_iterations) + ")");
+  }
   FaultInjector injector(Mode::kEvenlySpaced, num_ranks, seed);
   for (Index j = 1; j <= count; ++j) {
     const Index at = (j * ff_iterations) / (count + 1);
@@ -35,11 +45,12 @@ FaultInjector FaultInjector::evenly_spaced_multi(Index count,
                                                  Index ranks_per_fault,
                                                  Index num_ranks,
                                                  std::uint64_t seed) {
-  RSLS_CHECK_MSG(ranks_per_fault >= 1,
-                 "each fault event must take out at least one rank");
-  RSLS_CHECK_MSG(ranks_per_fault <= num_ranks,
-                 "a fault event cannot take out more ranks than the run has "
-                 "(ranks_per_fault > num_ranks)");
+  if (ranks_per_fault < 1 || ranks_per_fault > num_ranks) {
+    throw Error("ranks_per_fault must be in [1, num_ranks]: "
+                "ranks_per_fault = " +
+                std::to_string(ranks_per_fault) +
+                ", num_ranks = " + std::to_string(num_ranks));
+  }
   FaultInjector injector =
       evenly_spaced(count, ff_iterations, num_ranks, seed);
   injector.ranks_per_fault_ = ranks_per_fault;
@@ -51,12 +62,17 @@ FaultInjector FaultInjector::at_iterations(IndexVec iterations,
                                            std::uint64_t seed) {
   FaultInjector injector(Mode::kEvenlySpaced, num_ranks, seed);
   for (std::size_t i = 0; i < iterations.size(); ++i) {
-    RSLS_CHECK_MSG(iterations[i] >= 1,
-                   "fault iterations must be at least 1 (faults fire at "
-                   "completed-iteration boundaries)");
-    if (i > 0) {
-      RSLS_CHECK_MSG(iterations[i] > iterations[i - 1],
-                     "fault iterations must be strictly ascending");
+    if (iterations[i] < 1) {
+      throw Error("fault iterations must be at least 1 (faults fire at "
+                  "completed-iteration boundaries): iterations[" +
+                  std::to_string(i) +
+                  "] = " + std::to_string(iterations[i]));
+    }
+    if (i > 0 && iterations[i] <= iterations[i - 1]) {
+      throw Error("fault iterations must be strictly ascending: "
+                  "iterations[" +
+                  std::to_string(i) + "] = " + std::to_string(iterations[i]) +
+                  " after " + std::to_string(iterations[i - 1]));
     }
   }
   injector.fault_iterations_ = std::move(iterations);
@@ -67,10 +83,14 @@ FaultInjector FaultInjector::at_times(std::vector<Seconds> times,
                                       Index num_ranks, std::uint64_t seed) {
   FaultInjector injector(Mode::kAtTimes, num_ranks, seed);
   for (std::size_t i = 0; i < times.size(); ++i) {
-    RSLS_CHECK_MSG(times[i] > 0.0, "fault times must be positive");
-    if (i > 0) {
-      RSLS_CHECK_MSG(times[i] > times[i - 1],
-                     "fault times must be strictly ascending");
+    if (!(times[i] > 0.0)) {
+      throw Error("fault times must be positive: times[" + std::to_string(i) +
+                  "] = " + std::to_string(times[i]));
+    }
+    if (i > 0 && times[i] <= times[i - 1]) {
+      throw Error("fault times must be strictly ascending: times[" +
+                  std::to_string(i) + "] = " + std::to_string(times[i]) +
+                  " after " + std::to_string(times[i - 1]));
     }
   }
   injector.fault_times_ = std::move(times);
@@ -79,15 +99,95 @@ FaultInjector FaultInjector::at_times(std::vector<Seconds> times,
 
 FaultInjector FaultInjector::poisson(PerSecond lambda, Index num_ranks,
                                      std::uint64_t seed) {
-  RSLS_CHECK_MSG(lambda > 0.0, "Poisson fault rate must be positive");
+  if (!(lambda > 0.0)) {
+    throw Error("Poisson fault rate must be positive (lambda = " +
+                std::to_string(lambda) + ")");
+  }
   FaultInjector injector(Mode::kPoisson, num_ranks, seed);
   injector.lambda_ = lambda;
   injector.next_arrival_ = injector.rng_.exponential(lambda);
   return injector;
 }
 
+FaultInjector FaultInjector::weibull(Seconds mtbf, double shape,
+                                     Index num_ranks, std::uint64_t seed) {
+  if (!(mtbf > 0.0)) {
+    throw Error("Weibull MTBF must be positive (mtbf = " +
+                std::to_string(mtbf) + ")");
+  }
+  if (!(shape > 0.0)) {
+    throw Error("Weibull shape must be positive (shape = " +
+                std::to_string(shape) + ")");
+  }
+  FaultInjector injector(Mode::kWeibull, num_ranks, seed);
+  injector.weibull_shape_ = shape;
+  // Scale chosen so the mean inter-arrival gap is the MTBF at any shape:
+  // E[gap] = scale · Γ(1 + 1/k).
+  injector.weibull_scale_ = mtbf / std::tgamma(1.0 + 1.0 / shape);
+  injector.next_arrival_ =
+      injector.rng_.weibull(shape, injector.weibull_scale_);
+  return injector;
+}
+
+FaultInjector FaultInjector::from_schedule(std::vector<FaultRecord> records,
+                                           Index num_ranks) {
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (records[i].ranks.empty()) {
+      throw Error("fault schedule record " + std::to_string(i) +
+                  " has no failed ranks");
+    }
+    for (const Index rank : records[i].ranks) {
+      if (rank < 0 || rank >= num_ranks) {
+        throw Error("fault schedule record " + std::to_string(i) +
+                    " names rank " + std::to_string(rank) +
+                    " outside [0, " + std::to_string(num_ranks) + ")");
+      }
+    }
+    if (i > 0 && records[i].time < records[i - 1].time) {
+      throw Error("fault schedule times must be non-descending: record " +
+                  std::to_string(i) + " at t = " +
+                  std::to_string(records[i].time) + " after t = " +
+                  std::to_string(records[i - 1].time));
+    }
+  }
+  FaultInjector injector(Mode::kReplay, num_ranks, /*seed=*/0);
+  injector.replay_records_ = std::move(records);
+  return injector;
+}
+
 FaultInjector FaultInjector::none() {
   return FaultInjector(Mode::kNone, 1, 0);
+}
+
+FaultInjector& FaultInjector::with_domains(FailureDomains domains) {
+  if (domains.groups.empty()) {
+    throw Error("with_domains needs at least one failure domain");
+  }
+  for (const IndexVec& group : domains.groups) {
+    for (const Index rank : group) {
+      if (rank < 0 || rank >= num_ranks_) {
+        throw Error("failure domain names rank " + std::to_string(rank) +
+                    " outside [0, " + std::to_string(num_ranks_) + ")");
+      }
+    }
+  }
+  domains_ = std::move(domains);
+  return *this;
+}
+
+FaultInjector& FaultInjector::with_burstiness(double probability,
+                                              double compression) {
+  if (!(probability >= 0.0 && probability <= 1.0)) {
+    throw Error("burstiness probability must be in [0, 1] (probability = " +
+                std::to_string(probability) + ")");
+  }
+  if (!(compression > 0.0)) {
+    throw Error("burstiness compression must be positive (compression = " +
+                std::to_string(compression) + ")");
+  }
+  burst_probability_ = probability;
+  burst_compression_ = compression;
+  return *this;
 }
 
 FaultInjector& FaultInjector::as_sdc(SdcMode mode, SdcTarget target,
@@ -100,43 +200,113 @@ FaultInjector& FaultInjector::as_sdc(SdcMode mode, SdcTarget target,
   return *this;
 }
 
-std::optional<Index> FaultInjector::check(Index iteration, Seconds now) {
+bool FaultInjector::fire_due(Index iteration, Seconds now) {
   switch (mode_) {
     case Mode::kNone:
-      return std::nullopt;
-    case Mode::kEvenlySpaced: {
+    case Mode::kReplay:
+      return false;
+    case Mode::kEvenlySpaced:
       if (next_fault_ < fault_iterations_.size() &&
           iteration >= fault_iterations_[next_fault_]) {
         ++next_fault_;
-        ++injected_;
-        return static_cast<Index>(
-            rng_.uniform_index(static_cast<std::uint64_t>(num_ranks_)));
+        return true;
       }
-      return std::nullopt;
-    }
-    case Mode::kAtTimes: {
-      if (next_time_ < fault_times_.size() && now >= fault_times_[next_time_]) {
+      return false;
+    case Mode::kAtTimes:
+      if (next_time_ < fault_times_.size() &&
+          now >= fault_times_[next_time_]) {
         ++next_time_;
-        ++injected_;
-        return static_cast<Index>(
-            rng_.uniform_index(static_cast<std::uint64_t>(num_ranks_)));
+        return true;
       }
-      return std::nullopt;
-    }
-    case Mode::kPoisson: {
+      return false;
+    case Mode::kPoisson:
+    case Mode::kWeibull:
+      // The next gap is drawn at fire time (not ahead of it) so the RNG
+      // stream stays byte-identical to the original single-mode code.
       if (now >= next_arrival_) {
-        next_arrival_ += rng_.exponential(lambda_);
-        ++injected_;
-        return static_cast<Index>(
-            rng_.uniform_index(static_cast<std::uint64_t>(num_ranks_)));
+        next_arrival_ += next_gap();
+        return true;
       }
+      return false;
+  }
+  return false;
+}
+
+Seconds FaultInjector::next_gap() {
+  Seconds gap = (mode_ == Mode::kWeibull)
+                    ? rng_.weibull(weibull_shape_, weibull_scale_)
+                    : rng_.exponential(lambda_);
+  // Only consume the burst draw when the knob is on, so default runs
+  // keep the seed's RNG consumption order.
+  if (burst_probability_ > 0.0 && rng_.uniform() < burst_probability_) {
+    gap *= burst_compression_;
+  }
+  return gap;
+}
+
+std::optional<FaultEvent> FaultInjector::replay_event(Index iteration,
+                                                      Seconds now) {
+  if (replay_next_ >= replay_records_.size()) {
+    return std::nullopt;
+  }
+  const FaultRecord& rec = replay_records_[replay_next_];
+  if (iteration < rec.iteration || now < rec.time) {
+    return std::nullopt;
+  }
+  ++replay_next_;
+  FaultEvent event;
+  event.ranks = rec.ranks;
+  event.cls = rec.cls;
+  event.target = rec.target;
+  event.mode = rec.mode;
+  event.bitflips = rec.bitflips;
+  event.corruption_seed = rec.corruption_seed;
+  event.domain_event = rec.domain_event;
+  injected_ += static_cast<Index>(event.ranks.size());
+  if (event.domain_event) {
+    ++domain_events_;
+  }
+  // Record the realized firing point (recovery may have shifted virtual
+  // time past the recorded stamp).
+  FaultRecord realized = rec;
+  realized.time = now;
+  realized.iteration = iteration;
+  schedule_.push_back(std::move(realized));
+  return event;
+}
+
+std::optional<Index> FaultInjector::check(Index iteration, Seconds now) {
+  if (mode_ == Mode::kReplay) {
+    const auto event = replay_event(iteration, now);
+    if (!event.has_value()) {
       return std::nullopt;
     }
+    return event->ranks.front();
   }
-  return std::nullopt;
+  if (!fire_due(iteration, now)) {
+    return std::nullopt;
+  }
+  ++injected_;
+  return static_cast<Index>(
+      rng_.uniform_index(static_cast<std::uint64_t>(num_ranks_)));
 }
 
 IndexVec FaultInjector::check_multi(Index iteration, Seconds now) {
+  if (mode_ == Mode::kReplay) {
+    const auto event = replay_event(iteration, now);
+    return event.has_value() ? event->ranks : IndexVec{};
+  }
+  if (!domains_.groups.empty()) {
+    // Domain mode: one draw picks the domain, and the whole domain dies.
+    if (!fire_due(iteration, now)) {
+      return {};
+    }
+    const auto d = static_cast<std::size_t>(rng_.uniform_index(
+        static_cast<std::uint64_t>(domains_.groups.size())));
+    ++domain_events_;
+    injected_ += static_cast<Index>(domains_.groups[d].size());
+    return domains_.groups[d];
+  }
   IndexVec failed;
   const auto first = check(iteration, now);
   if (!first.has_value()) {
@@ -157,6 +327,10 @@ IndexVec FaultInjector::check_multi(Index iteration, Seconds now) {
 
 std::optional<FaultEvent> FaultInjector::next_event(Index iteration,
                                                     Seconds now) {
+  if (mode_ == Mode::kReplay) {
+    return replay_event(iteration, now);
+  }
+  const Index domains_before = domain_events_;
   IndexVec failed = check_multi(iteration, now);
   if (failed.empty()) {
     return std::nullopt;
@@ -167,9 +341,13 @@ std::optional<FaultEvent> FaultInjector::next_event(Index iteration,
   event.target = sdc_target_;
   event.mode = sdc_mode_;
   event.bitflips = sdc_bitflips_;
+  event.domain_event = domain_events_ > domains_before;
   // Per-event corruption seed so every SDC event damages differently but
   // the whole schedule stays deterministic in the injector seed.
   event.corruption_seed = rng_.next_u64();
+  schedule_.push_back({now, iteration, event.ranks, event.cls, event.target,
+                       event.mode, event.bitflips, event.corruption_seed,
+                       event.domain_event});
   return event;
 }
 

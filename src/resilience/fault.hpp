@@ -10,6 +10,15 @@
 // advance the clock, so a time scheduled inside a recovery window lands a
 // *nested* fault (a fault that strikes while another is being repaired).
 //
+// Beyond the memoryless model: a Weibull mode (shape k < 1 infant
+// mortality, k > 1 wear-out) and a burstiness knob that compresses the
+// gap after a fired event with some probability, clustering failures
+// into storms. A FailureDomains attachment turns per-rank draws into
+// per-domain draws — one event kills every rank under the drawn leaf
+// switch / torus neighborhood / synthetic PSU group at once. Every
+// emitted event is recorded (schedule()) and from_schedule() replays a
+// recorded sequence exactly. All modes are seeded-deterministic.
+//
 // Two fault classes (paper §2.1):
 //   kProcessLoss       — the failed process's block of x is overwritten
 //                        with NaNs and the harness learns the rank (MPI
@@ -25,11 +34,13 @@
 
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "core/rng.hpp"
 #include "core/types.hpp"
 #include "core/units.hpp"
 #include "dist/partition.hpp"
+#include "resilience/failure_domain.hpp"
 
 namespace rsls::resilience {
 
@@ -55,6 +66,26 @@ struct FaultEvent {
   SdcMode mode = SdcMode::kGarbage;
   std::uint64_t corruption_seed = 0;
   Index bitflips = 3;
+  /// True when the event took out a whole failure domain (correlated
+  /// multi-rank loss) rather than independently drawn ranks.
+  bool domain_event = false;
+};
+
+/// One realized fault, as it fired: enough to replay the exact sequence
+/// (virtual time, iteration boundary, victims, class, per-event damage
+/// seed) without re-running the arrival process. The injector records
+/// every event it emits; the harness surfaces the schedule in the JSONL
+/// RunReport and FaultInjector::from_schedule replays it bit-for-bit.
+struct FaultRecord {
+  Seconds time = 0.0;
+  Index iteration = 0;
+  IndexVec ranks;
+  FaultClass cls = FaultClass::kProcessLoss;
+  SdcTarget target = SdcTarget::kIterate;
+  SdcMode mode = SdcMode::kGarbage;
+  Index bitflips = 3;
+  std::uint64_t corruption_seed = 0;
+  bool domain_event = false;
 };
 
 class FaultInjector {
@@ -90,8 +121,39 @@ class FaultInjector {
   static FaultInjector poisson(PerSecond lambda, Index num_ranks,
                                std::uint64_t seed);
 
+  /// Weibull inter-arrival times with the given MTBF (mean gap) and
+  /// shape k: k < 1 front-loads failures (infant mortality), k > 1
+  /// defers them (wear-out), k = 1 matches poisson(1/mtbf). The scale
+  /// is mtbf / Γ(1 + 1/k) so the mean gap stays the MTBF for every
+  /// shape. Requires mtbf > 0 and shape > 0 (rsls::Error otherwise).
+  static FaultInjector weibull(Seconds mtbf, double shape, Index num_ranks,
+                               std::uint64_t seed);
+
+  /// Replay a recorded schedule exactly: record j fires at the first
+  /// boundary with iteration ≥ record.iteration and now ≥ record.time,
+  /// reproducing the recorded ranks, class, and corruption seed without
+  /// consuming any randomness. Records must be non-descending in time
+  /// (rsls::Error otherwise).
+  static FaultInjector from_schedule(std::vector<FaultRecord> records,
+                                     Index num_ranks);
+
   /// No faults (fault-free baseline).
   static FaultInjector none();
+
+  /// Make every arrival a *domain* event: instead of drawing ranks, the
+  /// injector draws one failure domain uniformly and takes out all of
+  /// its ranks at once. Returns *this for chaining after a factory
+  /// call. Requires a non-empty domain set (rsls::Error otherwise).
+  FaultInjector& with_domains(FailureDomains domains);
+
+  /// Burstiness knob for the stochastic modes (poisson/weibull): after
+  /// each fired event, with probability `probability` the next
+  /// inter-arrival gap is multiplied by `compression` (≪ 1), clustering
+  /// failures into storms — the temporal correlation the exponential
+  /// model cannot express. No-op for deterministic schedules. Requires
+  /// probability ∈ [0, 1] and compression > 0 (rsls::Error otherwise).
+  FaultInjector& with_burstiness(double probability,
+                                 double compression = 0.05);
 
   /// Reclassify every event this injector fires as silent data
   /// corruption with the given damage mode and target vector. Returns
@@ -114,6 +176,14 @@ class FaultInjector {
   std::optional<FaultEvent> next_event(Index iteration, Seconds now);
 
   Index faults_injected() const { return injected_; }
+
+  /// Domain-level events fired so far (each one kills a whole domain).
+  Index domain_events() const { return domain_events_; }
+
+  /// Every event emitted by next_event so far, in firing order — the
+  /// realized fault schedule. Feed it to from_schedule (or read it back
+  /// from the RunReport) to replay the exact sequence.
+  const std::vector<FaultRecord>& schedule() const { return schedule_; }
 
   /// Overwrite the failed rank's block of x with NaNs (hard fault /
   /// process loss: the data is gone, and any scheme that reads it
@@ -144,9 +214,25 @@ class FaultInjector {
                                std::span<Real> v);
 
  private:
-  enum class Mode { kNone, kEvenlySpaced, kAtTimes, kPoisson };
+  enum class Mode {
+    kNone,
+    kEvenlySpaced,
+    kAtTimes,
+    kPoisson,
+    kWeibull,
+    kReplay
+  };
 
   FaultInjector(Mode mode, Index num_ranks, std::uint64_t seed);
+
+  /// Arrival decision only (consumes the next stochastic gap when one
+  /// fires, but never the rank draw). Replay mode is handled separately.
+  bool fire_due(Index iteration, Seconds now);
+  /// Next stochastic inter-arrival gap (exponential or Weibull), with
+  /// the burstiness compression applied when configured.
+  Seconds next_gap();
+  /// Replay-mode event emission shared by check/check_multi/next_event.
+  std::optional<FaultEvent> replay_event(Index iteration, Seconds now);
 
   Mode mode_;
   Index num_ranks_;
@@ -161,6 +247,20 @@ class FaultInjector {
   // Poisson state.
   PerSecond lambda_ = 0.0;
   Seconds next_arrival_ = 0.0;
+  // Weibull state.
+  double weibull_shape_ = 0.0;
+  Seconds weibull_scale_ = 0.0;
+  // Burstiness knob (0 = off; only then is extra RNG consumed).
+  double burst_probability_ = 0.0;
+  double burst_compression_ = 0.05;
+  // Failure domains (empty groups = independent rank draws).
+  FailureDomains domains_;
+  Index domain_events_ = 0;
+  // Replay state.
+  std::vector<FaultRecord> replay_records_;
+  std::size_t replay_next_ = 0;
+  // Realized schedule (every event next_event emitted).
+  std::vector<FaultRecord> schedule_;
   // Ranks lost per fault event (LNF mode).
   Index ranks_per_fault_ = 1;
   // Fault class configuration (as_sdc).

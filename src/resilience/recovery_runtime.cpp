@@ -1,0 +1,132 @@
+#include "resilience/recovery_runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "dist/partition.hpp"
+#include "obs/recorder.hpp"
+
+namespace rsls::resilience {
+
+using power::PhaseTag;
+
+const char* to_string(RecoveryPolicy policy) {
+  switch (policy) {
+    case RecoveryPolicy::kInPlace:
+      return "in-place";
+    case RecoveryPolicy::kSpare:
+      return "spare";
+    case RecoveryPolicy::kShrink:
+      return "shrink";
+  }
+  return "?";
+}
+
+RecoveryPolicy recovery_policy_from_name(const std::string& name) {
+  if (name == "in-place" || name == "inplace") {
+    return RecoveryPolicy::kInPlace;
+  }
+  if (name == "spare") {
+    return RecoveryPolicy::kSpare;
+  }
+  if (name == "shrink") {
+    return RecoveryPolicy::kShrink;
+  }
+  throw Error("unknown recovery policy \"" + name +
+              "\" (expected in-place, spare, or shrink)");
+}
+
+RecoveryRuntime::RecoveryRuntime(const RecoveryOptions& options)
+    : options_(options) {
+  if (options.spare_ranks < 0) {
+    throw Error("spare_ranks must be non-negative (spare_ranks = " +
+                std::to_string(options.spare_ranks) + ")");
+  }
+  if (options.max_retries < 0) {
+    throw Error("max_retries must be non-negative (max_retries = " +
+                std::to_string(options.max_retries) + ")");
+  }
+  if (!(options.backoff_base >= 0.0)) {
+    throw Error("backoff_base must be non-negative");
+  }
+  if (!(options.backoff_factor >= 1.0)) {
+    throw Error("backoff_factor must be at least 1");
+  }
+  if (!(options.attempt_timeout >= 0.0)) {
+    throw Error("attempt_timeout must be non-negative");
+  }
+  if (options.max_escalations < 0) {
+    throw Error("max_escalations must be non-negative (max_escalations = " +
+                std::to_string(options.max_escalations) + ")");
+  }
+}
+
+Seconds RecoveryRuntime::backoff_seconds(Index attempt) const {
+  RSLS_CHECK(attempt >= 1);
+  return options_.backoff_base *
+         std::pow(options_.backoff_factor, static_cast<double>(attempt - 1));
+}
+
+void RecoveryRuntime::on_process_loss(RecoveryContext& ctx,
+                                      const IndexVec& ranks) {
+  if (!options_.hosts_ranks()) {
+    return;
+  }
+  const auto& part = ctx.a.partition();
+  for (const Index rank : ranks) {
+    if (options_.policy == RecoveryPolicy::kSpare) {
+      // Full working state of the lost slot: three solver vectors
+      // (x, r, p at 8 B/row) plus its block row of A (value + column
+      // index, 12 B/entry).
+      const Bytes state_bytes =
+          static_cast<double>(part.block_rows(rank)) * 8.0 * 3.0 +
+          static_cast<double>(ctx.a.local_nnz(rank)) * 12.0;
+      if (ctx.cluster.promote_spare(rank, state_bytes, PhaseTag::kRecover)) {
+        ++stats_.spares_consumed;
+        obs::count(ctx.recorder, "resilience.spares_consumed");
+        continue;
+      }
+      ++stats_.spare_pool_dry;
+      obs::count(ctx.recorder, "resilience.spare_pool_dry");
+      // Pool dry: fall through to shrinking recovery.
+    }
+    price_shrink(ctx, rank);
+  }
+}
+
+void RecoveryRuntime::price_shrink(RecoveryContext& ctx, Index lost_rank) {
+  const auto& part = ctx.a.partition();
+  const Index survivors = part.parts() - 1;
+  if (survivors < 1) {
+    // Last rank standing has nobody to shrink onto.
+    ++stats_.shrink_skipped;
+    obs::count(ctx.recorder, "resilience.shrink_skipped");
+    return;
+  }
+  const Index lost_rows = part.block_rows(lost_rank);
+  if (lost_rows >= 1) {
+    // Survivors split the lost block row; each taker pulls its share of
+    // the three solver vectors (24 B/row) and the matrix row (average
+    // nnz-per-row × 12 B) one-sidedly, off its own timeline.
+    const double row_bytes =
+        24.0 + static_cast<double>(ctx.a.local_nnz(lost_rank)) /
+                   static_cast<double>(lost_rows) * 12.0;
+    const Index takers = std::min<Index>(survivors, lost_rows);
+    const dist::Partition shares(lost_rows, takers);
+    for (Index s = 0; s < takers; ++s) {
+      const Index survivor = s < lost_rank ? s : s + 1;
+      ctx.cluster.neighbor_gather(
+          survivor, 1.0,
+          static_cast<double>(shares.block_rows(s)) * row_bytes,
+          PhaseTag::kRecover);
+    }
+  }
+  // The new ownership map has to settle everywhere before the solve
+  // continues.
+  ctx.cluster.allreduce(8.0, PhaseTag::kRecover);
+  ++stats_.shrink_events;
+  obs::count(ctx.recorder, "resilience.shrink_events");
+}
+
+}  // namespace rsls::resilience

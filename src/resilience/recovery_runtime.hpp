@@ -1,0 +1,108 @@
+#pragma once
+// Recovery runtime: what happens to the *machine* when a process dies.
+//
+// The recovery schemes (scheme.hpp) restore the numerics — they rebuild
+// the lost block of x from parity, checkpoint, or replica. This layer
+// prices what the cluster does about the dead slot itself, and makes the
+// recovery path itself fallible:
+//
+//   kInPlace — the seed's model: the slot is magically healthy again
+//              after the scheme runs (no machine-level action, no cost).
+//   kSpare   — promote a warm spare core: stream the slot's working
+//              state (three solver vectors + its block row of A) to the
+//              spare at topology-diameter distance, then broadcast the
+//              membership change. Falls back to kShrink when the pool
+//              runs dry.
+//   kShrink  — no spare: survivors absorb the lost block row. Each
+//              taker pulls its share of the redistributed vectors and
+//              matrix row, then an allreduce settles the new membership.
+//
+// Fallibility: with max_retries > 0 (or an attempt timeout) the
+// orchestrator treats each recovery dispatch as an *attempt* that nested
+// faults can strike; failed attempts wait out an exponential backoff of
+// virtual time and retry, and when the ladder (retry → rollback →
+// restart) exceeds max_escalations the solve is declared failed with a
+// structured outcome instead of a poisoned iterate. All costs land in
+// PhaseTag::kRecover.
+
+#include <string>
+
+#include "core/types.hpp"
+#include "core/units.hpp"
+#include "resilience/scheme.hpp"
+
+namespace rsls::resilience {
+
+enum class RecoveryPolicy { kInPlace, kSpare, kShrink };
+
+const char* to_string(RecoveryPolicy policy);
+
+/// Parse "in-place" (or "inplace"), "spare", "shrink"; rsls::Error
+/// otherwise.
+RecoveryPolicy recovery_policy_from_name(const std::string& name);
+
+struct RecoveryOptions {
+  RecoveryPolicy policy = RecoveryPolicy::kInPlace;
+  /// Warm spares provisioned on the cluster (kSpare promotes from this
+  /// pool; they draw sleep power whether or not they are used).
+  Index spare_ranks = 0;
+  /// Retries per recovery dispatch after a nested fault strikes it or it
+  /// times out. 0 = the seed's infallible single-shot recovery.
+  Index max_retries = 0;
+  /// First retry waits this long (virtual time); each further retry
+  /// doubles it by backoff_factor.
+  Seconds backoff_base = 50e-6;
+  double backoff_factor = 2.0;
+  /// A recovery attempt taking longer than this (virtual time) counts as
+  /// failed and is retried. 0 = no timeout.
+  Seconds attempt_timeout = 0.0;
+  /// Ladder rounds (retry-exhausted → rollback → restart cycles) before
+  /// the solve gives up and returns a declared failure.
+  Index max_escalations = 8;
+
+  /// True when the policy moves ranks (spare or shrink).
+  bool hosts_ranks() const { return policy != RecoveryPolicy::kInPlace; }
+  /// True when recovery attempts can fail and retry.
+  bool fallible() const { return max_retries > 0 || attempt_timeout > 0.0; }
+  /// True when any of this machinery is active; false = seed behavior.
+  bool enabled() const {
+    return hosts_ranks() || fallible() || spare_ranks > 0;
+  }
+};
+
+struct RecoveryRuntimeStats {
+  Index spares_consumed = 0;
+  /// Spare promotions requested after the pool ran dry (fell back to
+  /// shrinking recovery).
+  Index spare_pool_dry = 0;
+  Index shrink_events = 0;
+  /// Shrinks skipped because no survivor remained to absorb the rows.
+  Index shrink_skipped = 0;
+};
+
+class RecoveryRuntime {
+ public:
+  /// Validates the options (rsls::Error on negative counts, factor < 1,
+  /// or negative durations).
+  explicit RecoveryRuntime(const RecoveryOptions& options);
+
+  const RecoveryOptions& options() const { return options_; }
+  const RecoveryRuntimeStats& stats() const { return stats_; }
+
+  /// Price the machine-level consequence of losing `ranks`: promote a
+  /// spare per rank (falling back to shrink when the pool is dry) or
+  /// shrink outright. No-op under kInPlace.
+  void on_process_loss(RecoveryContext& ctx, const IndexVec& ranks);
+
+  /// Exponential-backoff wait before retry `attempt` (1-based):
+  /// backoff_base · backoff_factor^(attempt−1).
+  Seconds backoff_seconds(Index attempt) const;
+
+ private:
+  void price_shrink(RecoveryContext& ctx, Index lost_rank);
+
+  RecoveryOptions options_;
+  RecoveryRuntimeStats stats_;
+};
+
+}  // namespace rsls::resilience

@@ -11,12 +11,28 @@
 
 namespace rsls::resilience {
 
+using power::Activity;
 using power::PhaseTag;
 using solver::HookAction;
+
+const char* to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kConverged:
+      return "converged";
+    case SolveStatus::kMaxIterations:
+      return "max-iterations";
+    case SolveStatus::kDeclaredFailure:
+      return "declared-failure";
+  }
+  return "?";
+}
 
 namespace {
 
 HookAction merge(HookAction a, HookAction b) {
+  if (a == HookAction::kAbort || b == HookAction::kAbort) {
+    return HookAction::kAbort;
+  }
   return (a == HookAction::kRestart || b == HookAction::kRestart)
              ? HookAction::kRestart
              : HookAction::kContinue;
@@ -69,13 +85,18 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
                                      const solver::CgOptions& options,
                                      DetectorSuite& detectors,
                                      const HardeningOptions& hardening,
-                                     obs::Recorder* recorder) {
+                                     obs::Recorder* recorder,
+                                     const RecoveryOptions& recovery) {
   RSLS_CHECK_MSG(cluster.replica_factor() == scheme.replica_factor(),
                  "cluster replica factor must match the scheme (DMR = 2)");
   RSLS_CHECK(hardening.max_recovery_attempts >= 1);
   RSLS_CHECK(hardening.max_nested_faults >= 1);
   if (recorder != nullptr && recorder->scheme().empty()) {
     recorder->set_scheme(scheme.name());
+  }
+  RecoveryRuntime runtime(recovery);
+  if (recovery.spare_ranks > 0) {
+    cluster.set_spare_ranks(recovery.spare_ranks);
   }
   RecoveryContext ctx{a, b, cluster, recorder};
   DetectionContext dctx{a, b, cluster};
@@ -145,6 +166,19 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
     std::copy(x0_copy.begin(), x0_copy.end(), x_view.begin());
   };
 
+  // Fallible-recovery state: ladder rounds consumed so far and whether
+  // the run has been declared failed.
+  bool declared_failure = false;
+  Index ladder_rounds = 0;
+
+  const auto declare_failure = [&](std::span<Real> x_view) {
+    declared_failure = true;
+    // Structured outcome: hand back the initial guess, not the poisoned
+    // iterate the faults left behind.
+    std::copy(x0_copy.begin(), x0_copy.end(), x_view.begin());
+    obs::count(recorder, "resilience.declared_failures");
+  };
+
   // Per-iteration residual decay rate, log10(prev/curr); < 0 means the
   // recurrence residual grew (a fault or a hard patch of the spectrum).
   Real previous_residual = -1.0;
@@ -191,9 +225,128 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
         FaultInjector::apply_corruption(*event, part, view.x);
         FaultInjector::apply_corruption(*event, part, view.r);
         FaultInjector::apply_corruption(*event, part, view.p);
-        action = merge(action,
-                       dispatch_recovery(scheme, ctx, view.iteration,
-                                         event->ranks, view.x, "announced"));
+        // Machine-level consequence first: substitute a spare for the
+        // dead slot or shrink onto the survivors (no-op under in-place).
+        runtime.on_process_loss(ctx, event->ranks);
+        if (!recovery.fallible()) {
+          action = merge(action,
+                         dispatch_recovery(scheme, ctx, view.iteration,
+                                           event->ranks, view.x,
+                                           "announced"));
+        } else {
+          // Every dispatch is an *attempt* that a nested fault can strike
+          // or a timeout can void; failed attempts wait out an
+          // exponential backoff of virtual time and retry.
+          IndexVec pending = event->ranks;
+          HookAction attempt_action = HookAction::kContinue;
+          bool recovered = false;
+          for (Index attempt = 1;
+               attempt <= recovery.max_retries + 1 && !recovered;
+               ++attempt) {
+            ++report.recovery_attempts;
+            obs::count(recorder, "resilience.recovery_attempts");
+            if (attempt > 1) {
+              ++report.recovery_retries;
+              obs::count(recorder, "resilience.recovery_retries");
+              cluster.advance_all(runtime.backoff_seconds(attempt - 1),
+                                  Activity::kWaiting, PhaseTag::kRecover);
+            }
+            const Seconds attempt_start = cluster.elapsed();
+            attempt_action =
+                merge(attempt_action,
+                      dispatch_recovery(scheme, ctx, view.iteration, pending,
+                                        view.x, "announced"));
+            bool struck = false;
+            // Drain faults that landed inside this attempt's window.
+            while (events_handled < hardening.max_nested_faults) {
+              const auto nested =
+                  injector.next_event(view.iteration, cluster.elapsed());
+              if (!nested.has_value()) {
+                break;
+              }
+              ++events_handled;
+              ++report.nested_faults;
+              obs::count(recorder, "faults");
+              obs::count(recorder, "nested_faults");
+              if (nested->cls == FaultClass::kProcessLoss) {
+                FaultInjector::apply_corruption(*nested, part, view.x);
+                FaultInjector::apply_corruption(*nested, part, view.r);
+                FaultInjector::apply_corruption(*nested, part, view.p);
+                runtime.on_process_loss(ctx, nested->ranks);
+                const bool overlaps = std::any_of(
+                    nested->ranks.begin(), nested->ranks.end(),
+                    [&](Index rank) {
+                      return std::find(pending.begin(), pending.end(),
+                                       rank) != pending.end();
+                    });
+                if (overlaps) {
+                  // The fault hit a rank mid-repair: this attempt is
+                  // void, and its victims join the repair set.
+                  struck = true;
+                  ++report.recoveries_struck;
+                  obs::count(recorder, "resilience.recoveries_struck");
+                  for (const Index rank : nested->ranks) {
+                    if (std::find(pending.begin(), pending.end(), rank) ==
+                        pending.end()) {
+                      pending.push_back(rank);
+                    }
+                  }
+                } else {
+                  // Independent loss elsewhere: repair it single-shot.
+                  attempt_action =
+                      merge(attempt_action,
+                            dispatch_recovery(scheme, ctx, view.iteration,
+                                              nested->ranks, view.x,
+                                              "announced"));
+                }
+              } else {
+                std::span<Real> target = view.x;
+                if (nested->target == SdcTarget::kResidual) {
+                  target = view.r;
+                } else if (nested->target == SdcTarget::kDirection) {
+                  target = view.p;
+                }
+                FaultInjector::apply_corruption(*nested, part, target);
+              }
+            }
+            if (!struck && recovery.attempt_timeout > 0.0 &&
+                cluster.elapsed() - attempt_start >
+                    recovery.attempt_timeout) {
+              struck = true;
+              ++report.recovery_timeouts;
+              obs::count(recorder, "resilience.recovery_timeouts");
+            }
+            recovered = !struck;
+          }
+          if (recovered) {
+            action = merge(action, attempt_action);
+          } else {
+            // Retries exhausted: climb the ladder — rollback, then
+            // restart from the initial guess; past the round budget the
+            // run gives up with a declared failure.
+            ++ladder_rounds;
+            ++report.escalations;
+            obs::count(recorder, "escalations");
+            if (ladder_rounds > recovery.max_escalations) {
+              declare_failure(view.x);
+              return HookAction::kAbort;
+            }
+            bool rolled_back = false;
+            {
+              obs::ScopedSpan span(recorder, "escalate:rollback",
+                                   PhaseTag::kRollback, obs::kClusterTrack);
+              rolled_back = scheme.rollback(ctx, view.iteration, view.x);
+            }
+            if (!rolled_back) {
+              ++report.escalations;
+              obs::count(recorder, "escalations");
+              obs::ScopedSpan span(recorder, "escalate:restart",
+                                   PhaseTag::kRollback, obs::kClusterTrack);
+              std::copy(x0_copy.begin(), x0_copy.end(), view.x.begin());
+            }
+            action = merge(action, HookAction::kRestart);
+          }
+        }
         detectors.invalidate();
         recovery_happened = true;
       } else {
@@ -205,6 +358,21 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
           target = view.p;
         }
         FaultInjector::apply_corruption(*event, part, target);
+      }
+    }
+
+    // A fault storm that outruns the drain bound while a recovery
+    // runtime is active is not silently dropped: give up cleanly. (Only
+    // probed when the runtime is enabled, so the default path consumes
+    // no extra injector state.)
+    if (events_handled >= hardening.max_nested_faults &&
+        recovery.enabled()) {
+      const auto more =
+          injector.next_event(view.iteration, cluster.elapsed());
+      if (more.has_value()) {
+        obs::count(recorder, "faults");
+        declare_failure(view.x);
+        return HookAction::kAbort;
       }
     }
 
@@ -268,6 +436,15 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
   }
   report.faults = injector.faults_injected();
   report.recoveries = scheme.recoveries();
+  report.status = declared_failure
+                      ? SolveStatus::kDeclaredFailure
+                      : (report.cg.converged ? SolveStatus::kConverged
+                                             : SolveStatus::kMaxIterations);
+  report.spares_consumed = cluster.spares_consumed();
+  report.spare_pool_dry = runtime.stats().spare_pool_dry;
+  report.shrink_events = runtime.stats().shrink_events;
+  report.domain_faults = injector.domain_events();
+  report.fault_schedule = injector.schedule();
   report.time = cluster.elapsed();
   report.energy = cluster.total_energy();
   report.average_power = cluster.average_power();
@@ -287,10 +464,11 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
                                      std::span<const Real> b, RealVec& x,
                                      RecoveryScheme& scheme,
                                      FaultInjector& injector,
-                                     const solver::CgOptions& options) {
+                                     const solver::CgOptions& options,
+                                     const RecoveryOptions& recovery) {
   DetectorSuite no_detectors;
   return resilient_solve(a, cluster, b, x, scheme, injector, options,
-                         no_detectors, HardeningOptions{});
+                         no_detectors, HardeningOptions{}, nullptr, recovery);
 }
 
 }  // namespace rsls::resilience

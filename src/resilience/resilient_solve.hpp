@@ -18,8 +18,18 @@
 // Faults that strike while a recovery is in progress (the recovery
 // advanced the virtual clock past another scheduled fault) are nested:
 // the loop re-enters recovery for them, bounded by max_nested_faults.
+//
+// With RecoveryOptions the recovery path itself becomes fallible
+// (recovery_runtime.hpp): announced-fault recoveries are attempts that a
+// nested fault can strike or a timeout can void, retried over an
+// exponential virtual-time backoff; when the retry → rollback → restart
+// ladder exceeds its round budget the run ends as a *declared failure* —
+// x holds the initial guess and the report says kDeclaredFailure instead
+// of handing back a poisoned iterate. The default RecoveryOptions keep
+// the seed's infallible in-place model bit-for-bit.
 
 #include <span>
+#include <vector>
 
 #include "core/types.hpp"
 #include "core/units.hpp"
@@ -27,6 +37,7 @@
 #include "power/rapl.hpp"
 #include "resilience/detector.hpp"
 #include "resilience/fault.hpp"
+#include "resilience/recovery_runtime.hpp"
 #include "resilience/scheme.hpp"
 #include "simrt/cluster.hpp"
 #include "solver/cg.hpp"
@@ -44,8 +55,17 @@ struct HardeningOptions {
   Real validation_residual_bound = 1e4;
 };
 
+/// How a resilient solve ended. kDeclaredFailure is the structured
+/// give-up: the escalation ladder was exhausted (or a fault storm outran
+/// the nested-fault bound) and x holds the initial guess, not a poisoned
+/// iterate.
+enum class SolveStatus { kConverged, kMaxIterations, kDeclaredFailure };
+
+const char* to_string(SolveStatus status);
+
 struct ResilientSolveReport {
   solver::CgResult cg;
+  SolveStatus status = SolveStatus::kMaxIterations;
   Index faults = 0;
   Index recoveries = 0;
   /// Detector flags acted upon (each triggers a detected recovery).
@@ -55,6 +75,24 @@ struct ResilientSolveReport {
   /// Escalations past localized recovery (rollback or initial-guess
   /// restart rungs entered).
   Index escalations = 0;
+  /// Announced-fault recovery attempts under a fallible recovery path
+  /// (stays 0 under the seed's infallible default).
+  Index recovery_attempts = 0;
+  /// Attempts re-run after a failure, each after a backoff wait.
+  Index recovery_retries = 0;
+  /// Attempts voided by exceeding RecoveryOptions::attempt_timeout.
+  Index recovery_timeouts = 0;
+  /// Attempts voided by a nested fault striking a rank under repair.
+  Index recoveries_struck = 0;
+  /// Machine-level recovery outcomes (spare substitution vs shrinking).
+  Index spares_consumed = 0;
+  Index spare_pool_dry = 0;
+  Index shrink_events = 0;
+  /// Correlated domain-level fault events (whole leaf switch / rack).
+  Index domain_faults = 0;
+  /// Realized fault schedule, replayable via FaultInjector::from_schedule
+  /// and surfaced in the JSONL RunReport.
+  std::vector<FaultRecord> fault_schedule;
   /// ‖b − Ax‖/‖b‖ of the returned iterate, computed exactly (uncharged
   /// diagnostic). An undetected SDC shows up here even when the solver's
   /// own recurrence claims convergence.
@@ -86,7 +124,8 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
                                      const solver::CgOptions& options,
                                      DetectorSuite& detectors,
                                      const HardeningOptions& hardening = {},
-                                     obs::Recorder* recorder = nullptr);
+                                     obs::Recorder* recorder = nullptr,
+                                     const RecoveryOptions& recovery = {});
 
 /// Detection-free variant (announced faults only, as in the paper's §5
 /// experiments).
@@ -95,6 +134,7 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
                                      std::span<const Real> b, RealVec& x,
                                      RecoveryScheme& scheme,
                                      FaultInjector& injector,
-                                     const solver::CgOptions& options);
+                                     const solver::CgOptions& options,
+                                     const RecoveryOptions& recovery = {});
 
 }  // namespace rsls::resilience

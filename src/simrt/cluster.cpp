@@ -240,6 +240,35 @@ void VirtualCluster::replica_fetch(Index rank, Bytes bytes, Index copies,
   comm_stats_.wire_bytes += bytes * static_cast<double>(copies);
 }
 
+void VirtualCluster::set_spare_ranks(Index count) {
+  RSLS_CHECK_MSG(count >= 0, "spare-rank count must be non-negative");
+  spare_pool_ = count;
+  initial_spares_ = count;
+  spares_consumed_ = 0;
+}
+
+bool VirtualCluster::promote_spare(Index failed_rank, Bytes state_bytes,
+                                   PhaseTag tag) {
+  RSLS_CHECK(failed_rank >= 0 && failed_rank < num_ranks_);
+  RSLS_CHECK(state_bytes >= 0.0);
+  if (spare_pool_ <= 0) {
+    return false;
+  }
+  --spare_pool_;
+  ++spares_consumed_;
+  // The spare lives wherever the machine had room, so its state restore
+  // runs at topology-diameter distance; only the failed slot's timeline
+  // blocks for it.
+  charge_interval(failed_rank, net_->replica_seconds(state_bytes),
+                  Activity::kWaiting, tag);
+  comm_stats_.replica_fetches += 1.0;
+  comm_stats_.messages += 1.0;
+  comm_stats_.wire_bytes += state_bytes;
+  // Every rank learns the substitution (new address of the block row).
+  broadcast(failed_rank, 8.0, tag);
+  return true;
+}
+
 void VirtualCluster::write_disk(Bytes total_bytes, PhaseTag tag) {
   RSLS_CHECK(total_bytes >= 0.0);
   sync(tag);
@@ -289,11 +318,14 @@ Joules VirtualCluster::node_constant_energy() const {
 }
 
 Joules VirtualCluster::sleep_energy() const {
-  // Cores on used nodes that host no rank sleep for the whole run.
+  // Cores on used nodes that host no rank sleep for the whole run, and
+  // warm spares sleep alongside them whether or not they are promoted —
+  // the standby cost of provisioning the pool.
   const Index unused_cores =
       nodes_used() * config_.cores_per_node() - num_ranks_;
-  return config_.power.core_sleep * static_cast<double>(unused_cores) *
-         elapsed() * static_cast<double>(replica_factor_);
+  return config_.power.core_sleep *
+         static_cast<double>(unused_cores + initial_spares_) * elapsed() *
+         static_cast<double>(replica_factor_);
 }
 
 Joules VirtualCluster::total_energy() const {

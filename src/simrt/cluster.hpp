@@ -127,6 +127,26 @@ class VirtualCluster {
   void replica_fetch(Index rank, Bytes bytes, Index copies,
                      power::PhaseTag tag);
 
+  // --- spare ranks ------------------------------------------------------
+  /// Provision `count` warm spare cores. Spares draw sleep power from
+  /// t = 0 whether or not they are ever promoted (the standby cost of
+  /// the pool, folded into sleep_energy()); count 0 restores the seed's
+  /// no-spares model exactly.
+  void set_spare_ranks(Index count);
+  /// Spares still available for promotion.
+  Index spare_ranks() const { return spare_pool_; }
+  /// Spares promoted so far.
+  Index spares_consumed() const { return spares_consumed_; }
+
+  /// Substitute a spare for `failed_rank`: streams `state_bytes` of
+  /// solver state to the spare at topology-diameter distance (the spare
+  /// lives wherever the machine had room, not next door), then
+  /// broadcasts the membership change. Only the failed slot's timeline
+  /// blocks for the transfer. Returns false (charging nothing) when the
+  /// pool is dry — the caller must fall back to shrinking recovery.
+  bool promote_spare(Index failed_rank, Bytes state_bytes,
+                     power::PhaseTag tag);
+
   // --- storage ----------------------------------------------------------
   /// Synchronous collective checkpoint of `total_bytes` to the shared
   /// disk; all ranks block for latency + total/bandwidth.
@@ -201,6 +221,9 @@ class VirtualCluster {
   std::unique_ptr<power::Governor> governor_;
   std::vector<Seconds> clock_;
   std::vector<Hertz> freq_;
+  Index spare_pool_ = 0;
+  Index initial_spares_ = 0;
+  Index spares_consumed_ = 0;
   power::EnergyAccount energy_;
   std::unique_ptr<PowerTrace> trace_;
   std::unique_ptr<EventLog> event_log_;

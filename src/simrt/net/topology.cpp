@@ -138,6 +138,11 @@ Index FatTree::diameter() const {
   return pods > 1 ? 6 : 4;
 }
 
+Index FatTree::failure_domain(Index rank) const {
+  RSLS_CHECK(rank >= 0 && rank < ranks_);
+  return rank / radix_;
+}
+
 double FatTree::contention(Index concurrent) const {
   // Each leaf's k down-links share k/o up-links, so a machine-wide
   // exchange serializes by the oversubscription ratio; lighter traffic
@@ -190,6 +195,11 @@ Index Torus3D::hops(Index from, Index to) const {
 
 Index Torus3D::diameter() const {
   return std::max<Index>(x_ / 2 + y_ / 2 + z_ / 2, 1);
+}
+
+Index Torus3D::failure_domain(Index rank) const {
+  RSLS_CHECK(rank >= 0 && rank < ranks_);
+  return rank / x_;
 }
 
 double Torus3D::contention(Index concurrent) const {

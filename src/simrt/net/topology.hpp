@@ -38,6 +38,13 @@ class Topology {
   /// bit-identical to the pre-net-layer α–β model.
   virtual bool uniform() const { return false; }
 
+  /// Failure-domain id of a rank: the group of ranks that share a
+  /// single point of failure (leaf switch, torus neighborhood). Ranks
+  /// with equal ids die together when the domain's shared hardware
+  /// fails. The default is degenerate — every rank its own domain —
+  /// which models independent single-rank failures (the seed protocol).
+  virtual Index failure_domain(Index rank) const { return rank; }
+
   /// Mean hops from a rank to its rank-space neighbours (r−1, r+1) —
   /// the halo-exchange distance proxy (partitions assign adjacent row
   /// blocks to adjacent ranks).
@@ -78,6 +85,8 @@ class FatTree final : public Topology {
   Index hops(Index from, Index to) const override;
   Index diameter() const override;
   double contention(Index concurrent) const override;
+  /// All ranks under one leaf switch fail together when it dies.
+  Index failure_domain(Index rank) const override;
 
  private:
   Index ranks_;
@@ -99,6 +108,9 @@ class Torus3D final : public Topology {
   Index hops(Index from, Index to) const override;
   Index diameter() const override;
   double contention(Index concurrent) const override;
+  /// An x-line of the torus (ranks sharing y and z, contiguous in the
+  /// row-major rank order) shares power and cabling: one neighborhood.
+  Index failure_domain(Index rank) const override;
 
   Index dim_x() const { return x_; }
   Index dim_y() const { return y_; }

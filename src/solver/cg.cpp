@@ -132,6 +132,9 @@ CgResult cg_solve(const dist::DistMatrix& a, simrt::VirtualCluster& cluster,
       view.r = std::span<Real>(r);
       view.p = std::span<Real>(p);
       const HookAction action = hook(view);
+      if (action == HookAction::kAbort) {
+        break;  // declared failure: x already holds the fallback iterate
+      }
       if (action == HookAction::kRestart) {
         rz = rebuild_from_x(result.iterations);
         r_norm = jacobi ? true_residual_norm(tag_for(result.iterations))

@@ -47,7 +47,11 @@ struct CgResult {
 /// What a hook did at an iteration boundary.
 enum class HookAction {
   kContinue,  // nothing that invalidates CG state
-  kRestart    // x was modified: rebuild r and p from the current x
+  kRestart,   // x was modified: rebuild r and p from the current x
+  kAbort      // unrecoverable: stop iterating and return non-converged.
+              // The resilience layer issues this when its escalation
+              // ladder is exhausted (declared failure), after placing a
+              // structured fallback iterate in x.
 };
 
 struct CgIterationView {

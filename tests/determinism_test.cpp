@@ -96,6 +96,37 @@ TEST(DeterminismTest, DefaultNetworkConfigIsBitIdenticalAcrossRoster) {
   }
 }
 
+// Seed equivalence: with every resilience extension at its default
+// (no failure domains, no spares, no retry budget, exponential/evenly
+// spaced arrivals) the whole roster must charge bit-for-bit what the
+// seed charged — and none of the new machinery may leave a trace: no
+// kRecover energy, no attempts, no machine-level recovery counters.
+TEST(DeterminismTest, DefaultConfigKeepsSeedChargesAcrossRoster) {
+  for (const auto& scheme : harness::all_scheme_names()) {
+    const auto first = run_once(scheme);
+    const auto second = run_once(scheme);
+    SCOPED_TRACE(scheme);
+    EXPECT_EQ(first.report.cg.iterations, second.report.cg.iterations);
+    EXPECT_EQ(first.report.cg.relative_residual,
+              second.report.cg.relative_residual);  // bitwise
+    EXPECT_EQ(first.report.time, second.report.time);
+    EXPECT_EQ(first.report.energy, second.report.energy);
+    EXPECT_EQ(first.report.status, resilience::SolveStatus::kConverged);
+    EXPECT_EQ(first.report.account.core_energy(PhaseTag::kRecover), 0.0);
+    EXPECT_EQ(first.report.recovery_attempts, 0);
+    EXPECT_EQ(first.report.recovery_retries, 0);
+    EXPECT_EQ(first.report.recovery_timeouts, 0);
+    EXPECT_EQ(first.report.recoveries_struck, 0);
+    EXPECT_EQ(first.report.spares_consumed, 0);
+    EXPECT_EQ(first.report.spare_pool_dry, 0);
+    EXPECT_EQ(first.report.shrink_events, 0);
+    EXPECT_EQ(first.report.domain_faults, 0);
+    // The realized schedule records the seed plan without altering it.
+    EXPECT_EQ(first.report.fault_schedule.size(),
+              static_cast<std::size_t>(first.report.faults));
+  }
+}
+
 TEST(EnergyConservationTest, TraceIntegralMatchesAccount) {
   // The binned power trace must conserve the charged core energy: the
   // integral of every node's profile equals core + sleep + node-constant

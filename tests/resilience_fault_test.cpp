@@ -232,5 +232,209 @@ TEST(SdcCorruptionTest, ApplyCorruptionHonoursClass) {
   EXPECT_GE(std::abs(y[static_cast<std::size_t>(part.begin(1))]), 10.0);
 }
 
+TEST(FaultInjectorTest, EvenlySpacedValidatesInputs) {
+  EXPECT_THROW(FaultInjector::evenly_spaced(-1, 100, 4, 1), Error);
+  EXPECT_THROW(FaultInjector::evenly_spaced(3, 0, 4, 1), Error);
+}
+
+TEST(WeibullInjectorTest, ShapeOneMatchesTheMtbfRate) {
+  // k = 1 degenerates to the exponential law: over a long window the
+  // fired count approaches window / MTBF whatever the draw path.
+  auto injector = FaultInjector::weibull(0.1, 1.0, 8, 99);
+  Index fired = 0;
+  for (Index step = 1; step <= 100000; ++step) {
+    const Seconds now = static_cast<double>(step) * 1e-3;
+    while (injector.check(step, now).has_value()) {
+      ++fired;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(fired), 1000.0, 150.0);
+}
+
+TEST(WeibullInjectorTest, MeanGapIsShapeInvariant) {
+  // The scale is mtbf / Γ(1 + 1/k), so the fired count over a long
+  // window is roughly the same for wear-out and infant-mortality shapes.
+  for (const double shape : {0.7, 2.0}) {
+    auto injector = FaultInjector::weibull(0.1, shape, 8, 5);
+    Index fired = 0;
+    for (Index step = 1; step <= 100000; ++step) {
+      const Seconds now = static_cast<double>(step) * 1e-3;
+      while (injector.check(step, now).has_value()) {
+        ++fired;
+      }
+    }
+    EXPECT_NEAR(static_cast<double>(fired), 1000.0, 200.0) << shape;
+  }
+}
+
+TEST(WeibullInjectorTest, DeterministicInSeed) {
+  auto a = FaultInjector::weibull(0.05, 1.5, 8, 21);
+  auto b = FaultInjector::weibull(0.05, 1.5, 8, 21);
+  for (Index step = 1; step <= 2000; ++step) {
+    const Seconds now = static_cast<double>(step) * 1e-3;
+    EXPECT_EQ(a.check(step, now), b.check(step, now));
+  }
+  EXPECT_EQ(a.faults_injected(), b.faults_injected());
+}
+
+TEST(WeibullInjectorTest, ValidatesParameters) {
+  EXPECT_THROW(FaultInjector::weibull(0.0, 1.0, 4, 1), Error);
+  EXPECT_THROW(FaultInjector::weibull(-1.0, 1.0, 4, 1), Error);
+  EXPECT_THROW(FaultInjector::weibull(0.1, 0.0, 4, 1), Error);
+  EXPECT_THROW(FaultInjector::weibull(0.1, -2.0, 4, 1), Error);
+}
+
+TEST(BurstinessTest, CompressionClustersFaultsIntoStorms) {
+  // With probability 1 every fired event compresses the next gap by
+  // 100×: the same window holds far more faults than the plain law.
+  auto plain = FaultInjector::weibull(0.5, 1.0, 8, 77);
+  auto bursty = FaultInjector::weibull(0.5, 1.0, 8, 77);
+  bursty.with_burstiness(1.0, 0.01);
+  Index plain_fired = 0, bursty_fired = 0;
+  for (Index step = 1; step <= 20000; ++step) {
+    const Seconds now = static_cast<double>(step) * 1e-3;
+    while (plain.check(step, now).has_value()) {
+      ++plain_fired;
+    }
+    while (bursty.check(step, now).has_value()) {
+      ++bursty_fired;
+    }
+  }
+  EXPECT_GT(bursty_fired, plain_fired);
+}
+
+TEST(BurstinessTest, ValidatesParameters) {
+  auto injector = FaultInjector::poisson(1.0, 4, 1);
+  EXPECT_THROW(injector.with_burstiness(-0.1, 0.05), Error);
+  EXPECT_THROW(injector.with_burstiness(1.5, 0.05), Error);
+  EXPECT_THROW(injector.with_burstiness(0.5, 0.0), Error);
+}
+
+TEST(FailureDomainsTest, SyntheticGroupsCoverTheRankSpace) {
+  const auto domains = FailureDomains::synthetic(10, 4);
+  ASSERT_EQ(domains.count(), 3);
+  EXPECT_EQ(domains.groups[0], (IndexVec{0, 1, 2, 3}));
+  EXPECT_EQ(domains.groups[2], (IndexVec{8, 9}));  // remainder group
+  EXPECT_EQ(domains.max_size(), 4);
+  EXPECT_FALSE(domains.trivial());
+  EXPECT_EQ(domains.domain_of(5), 1);
+  EXPECT_THROW(domains.domain_of(10), Error);
+}
+
+TEST(FailureDomainsTest, SingletonsAreTrivial) {
+  const auto domains = FailureDomains::singletons(4);
+  EXPECT_EQ(domains.count(), 4);
+  EXPECT_TRUE(domains.trivial());
+}
+
+TEST(FailureDomainsTest, ValidatesSize) {
+  EXPECT_THROW(FailureDomains::synthetic(8, 0), Error);
+  EXPECT_THROW(FailureDomains::synthetic(8, 9), Error);
+}
+
+TEST(FailureDomainsTest, FromTopologyGroupsFatTreeLeaves) {
+  simrt::net::NetworkConfig config;
+  config.topology = simrt::net::TopologyKind::kFatTree;
+  config.fat_tree_radix = 4;
+  const auto topology = simrt::net::make_topology(config, 16);
+  const auto domains = FailureDomains::from_topology(*topology);
+  ASSERT_EQ(domains.count(), 4);
+  for (Index d = 0; d < 4; ++d) {
+    ASSERT_EQ(domains.groups[static_cast<std::size_t>(d)].size(), 4u);
+    for (const Index rank : domains.groups[static_cast<std::size_t>(d)]) {
+      EXPECT_EQ(topology->failure_domain(rank), d);
+    }
+  }
+}
+
+TEST(FailureDomainsTest, DomainEventsKillWholeGroups) {
+  auto injector = FaultInjector::evenly_spaced(2, 100, 8, 11);
+  injector.with_domains(FailureDomains::synthetic(8, 4));
+  Index events = 0;
+  for (Index k = 1; k <= 100; ++k) {
+    const auto event = injector.next_event(k, 0.0);
+    if (!event.has_value()) {
+      continue;
+    }
+    ++events;
+    EXPECT_TRUE(event->domain_event);
+    ASSERT_EQ(event->ranks.size(), 4u);
+    // The group is one of the two synthetic domains, intact.
+    EXPECT_TRUE(event->ranks == (IndexVec{0, 1, 2, 3}) ||
+                event->ranks == (IndexVec{4, 5, 6, 7}));
+  }
+  EXPECT_EQ(events, 2);
+  EXPECT_EQ(injector.domain_events(), 2);
+  EXPECT_EQ(injector.faults_injected(), 8);  // ranks, not events
+}
+
+TEST(FailureDomainsTest, WithDomainsValidates) {
+  auto injector = FaultInjector::evenly_spaced(1, 100, 8, 1);
+  EXPECT_THROW(injector.with_domains(FailureDomains{}), Error);
+  EXPECT_THROW(injector.with_domains(FailureDomains::synthetic(16, 4)),
+               Error);  // ranks beyond this injector's run
+}
+
+TEST(ScheduleReplayTest, FromScheduleReproducesTheRealizedSequence) {
+  auto original = FaultInjector::weibull(0.01, 0.8, 8, 123);
+  original.with_burstiness(0.5, 0.05);
+  original.with_domains(FailureDomains::synthetic(8, 2));
+  std::vector<FaultEvent> fired;
+  for (Index step = 1; step <= 5000; ++step) {
+    const Seconds now = static_cast<double>(step) * 1e-4;
+    while (true) {
+      const auto event = original.next_event(step, now);
+      if (!event.has_value()) {
+        break;
+      }
+      fired.push_back(*event);
+    }
+  }
+  ASSERT_FALSE(fired.empty());
+  ASSERT_EQ(original.schedule().size(), fired.size());
+
+  auto replay = FaultInjector::from_schedule(original.schedule(), 8);
+  std::vector<FaultEvent> replayed;
+  for (Index step = 1; step <= 5000; ++step) {
+    const Seconds now = static_cast<double>(step) * 1e-4;
+    while (true) {
+      const auto event = replay.next_event(step, now);
+      if (!event.has_value()) {
+        break;
+      }
+      replayed.push_back(*event);
+    }
+  }
+  ASSERT_EQ(replayed.size(), fired.size());
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_EQ(replayed[i].ranks, fired[i].ranks) << i;
+    EXPECT_EQ(replayed[i].cls, fired[i].cls) << i;
+    EXPECT_EQ(replayed[i].corruption_seed, fired[i].corruption_seed) << i;
+    EXPECT_EQ(replayed[i].domain_event, fired[i].domain_event) << i;
+  }
+  // The replay's own realized schedule matches the original's.
+  ASSERT_EQ(replay.schedule().size(), original.schedule().size());
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_EQ(replay.schedule()[i].ranks, original.schedule()[i].ranks) << i;
+  }
+  EXPECT_EQ(replay.domain_events(), original.domain_events());
+}
+
+TEST(ScheduleReplayTest, FromScheduleValidatesRecords) {
+  FaultRecord good;
+  good.time = 1.0;
+  good.iteration = 10;
+  good.ranks = {2};
+  FaultRecord empty_ranks = good;
+  empty_ranks.ranks.clear();
+  EXPECT_THROW(FaultInjector::from_schedule({empty_ranks}, 4), Error);
+  FaultRecord bad_rank = good;
+  bad_rank.ranks = {4};
+  EXPECT_THROW(FaultInjector::from_schedule({bad_rank}, 4), Error);
+  FaultRecord earlier = good;
+  earlier.time = 0.5;
+  EXPECT_THROW(FaultInjector::from_schedule({good, earlier}, 4), Error);
+}
+
 }  // namespace
 }  // namespace rsls::resilience
