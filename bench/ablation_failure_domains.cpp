@@ -28,6 +28,7 @@
 #include "core/env.hpp"
 #include "core/options.hpp"
 #include "core/table.hpp"
+#include "core/version.hpp"
 #include "harness/runner.hpp"
 #include "obs/json.hpp"
 #include "power/rapl.hpp"
@@ -69,6 +70,7 @@ void write_bench_json(const std::vector<Cell>& cells) {
   json.begin_object();
   json.field("schema_version", 1);
   json.field("source", "ablation_failure_domains");
+  json.field("git_describe", build::git_describe());
   json.begin_array("results");
   for (const auto& c : cells) {
     const auto& r = c.run.report;

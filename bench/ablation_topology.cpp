@@ -28,6 +28,7 @@
 #include "core/env.hpp"
 #include "core/options.hpp"
 #include "core/table.hpp"
+#include "core/version.hpp"
 #include "harness/runner.hpp"
 #include "obs/json.hpp"
 #include "simrt/cluster.hpp"
@@ -98,6 +99,7 @@ void write_bench_json(const std::vector<CommCell>& cells) {
   json.begin_object();
   json.field("schema_version", 1);
   json.field("source", "ablation_topology");
+  json.field("git_describe", build::git_describe());
   json.begin_array("results");
   for (const auto& c : cells) {
     json.begin_object();

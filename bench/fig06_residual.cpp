@@ -28,15 +28,46 @@ struct History {
   RealVec residuals;
 };
 
+/// The printed histories come from the flight-recorder series; the
+/// solver's own residual_history is kept on as the reference the series
+/// must reproduce point-for-point (same iterations, same doubles).
+RealVec series_residuals(const harness::SchemeRun& run, bool& series_ok) {
+  const auto& points = run.series.points;
+  const auto& reference = run.report.cg.residual_history;
+  RealVec residuals;
+  residuals.reserve(points.size());
+  for (const auto& point : points) {
+    residuals.push_back(point.relative_residual);
+  }
+  bool ok = residuals.size() == reference.size();
+  for (std::size_t i = 0; ok && i < residuals.size(); ++i) {
+    ok = residuals[i] == reference[i] &&
+         points[i].iteration == static_cast<Index>(i);
+  }
+  series_ok = series_ok && ok;
+  return residuals;
+}
+
+/// Series sampling at every iteration; max_points high enough that the
+/// recorder never has to decimate these trajectories.
+harness::ExperimentConfig with_series(harness::ExperimentConfig config) {
+  config.record_residuals = true;
+  config.observability.enabled = true;
+  config.observability.series = true;
+  config.observability.series_stride = 1;
+  config.observability.series_max_points = 1 << 16;
+  return config;
+}
+
 std::vector<History> run_histories(const harness::Workload& workload,
                                    const harness::ExperimentConfig& config,
                                    const harness::FfBaseline& ff,
-                                   const IndexVec& fault_iterations) {
+                                   const IndexVec& fault_iterations,
+                                   bool& series_ok) {
   std::vector<History> histories;
   // Fault-free reference history.
   {
-    harness::ExperimentConfig ff_config = config;
-    ff_config.record_residuals = true;
+    const harness::ExperimentConfig ff_config = with_series(config);
     // RD with no faults tracks FF exactly; reuse it as the FF curve
     // (replica factor only changes energy, not the residual path).
     const auto scheme = harness::make_scheme("RD", config.scheme, workload.x0);
@@ -44,16 +75,15 @@ std::vector<History> run_histories(const harness::Workload& workload,
     const auto run =
         harness::run_scheme(workload, "FF", ff_config, ff,
                             {.scheme = scheme.get(), .injector = &injector});
-    histories.push_back({"FF", run.report.cg.residual_history});
+    histories.push_back({"FF", series_residuals(run, series_ok)});
   }
   for (const auto& name : harness::iteration_scheme_names()) {
-    harness::ExperimentConfig scheme_config = config;
-    scheme_config.record_residuals = true;
+    const harness::ExperimentConfig scheme_config = with_series(config);
     auto injector = resilience::FaultInjector::at_iterations(
         fault_iterations, config.processes, config.fault_seed);
     const auto run = harness::run_scheme(workload, name, scheme_config, ff,
                                          {.injector = &injector});
-    histories.push_back({name, run.report.cg.residual_history});
+    histories.push_back({name, series_residuals(run, series_ok)});
   }
   return histories;
 }
@@ -103,6 +133,7 @@ int main(int argc, char** argv) {
 
   // (a) one fault at iteration 200 on crystm02.
   bool shapes_ok = true;
+  bool series_ok = true;
   {
     const auto& entry = sparse::roster_entry("crystm02");
     const auto workload =
@@ -110,7 +141,7 @@ int main(int argc, char** argv) {
     const auto ff = harness::run_fault_free(workload, config);
     const Index fault_at = std::min<Index>(200, ff.iterations / 2);
     const auto histories =
-        run_histories(workload, config, ff, IndexVec{fault_at});
+        run_histories(workload, config, ff, IndexVec{fault_at}, series_ok);
     print_histories("Figure 6(a): single fault at iteration " +
                         std::to_string(fault_at) + " (" + entry.name + ")",
                     histories, 10);
@@ -142,11 +173,14 @@ int main(int argc, char** argv) {
     for (Index j = 1; j <= 10; ++j) {
       faults.push_back((j * ff.iterations) / 11);
     }
-    const auto histories = run_histories(workload, config, ff, faults);
+    const auto histories = run_histories(workload, config, ff, faults,
+                                         series_ok);
     print_histories("Figure 6(b): 10 faults on the 5-point stencil (" +
                         entry.name + ")",
                     histories, 20);
   }
+  std::cout << "series-check: recorder series reproduces residual_history "
+            << (series_ok ? "PASS" : "FAIL") << "\n";
   std::cout << "shape-check: " << (shapes_ok ? "PASS" : "FAIL") << "\n";
-  return shapes_ok ? 0 : 1;
+  return shapes_ok && series_ok ? 0 : 1;
 }

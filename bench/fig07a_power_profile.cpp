@@ -8,6 +8,7 @@
 // are pinned to the minimum frequency and node power falls to ≈0.45×
 // — a ≈40 % power reduction during construction, with no time penalty.
 
+#include <algorithm>
 #include <iostream>
 
 #include "core/csv.hpp"
@@ -16,6 +17,7 @@
 #include "core/table.hpp"
 #include "harness/experiment.hpp"
 #include "harness/scheme_factory.hpp"
+#include "obs/recorder.hpp"
 #include "power/governor.hpp"
 #include "resilience/fault.hpp"
 #include "resilience/forward.hpp"
@@ -47,34 +49,58 @@ ProfileResult run_profile(const harness::Workload& workload,
     cluster.set_governor(power::make_ondemand_governor());
   }
   cluster.enable_power_trace(ff.time / 400.0);
+  // The recorder's charge stream gives exact window means below; the
+  // sampled node_power_profile is kept for the time-series CSV.
+  obs::Recorder recorder;
+  recorder.attach(cluster);
   (void)harness::run_scheme(workload, dvfs ? "LI-DVFS" : "LI", config, ff,
                             {.scheme = scheme.get(), .cluster = &cluster});
   ProfileResult result;
   result.profile = cluster.node_power_profile(0);
   result.total_time = cluster.elapsed();
 
-  // Mean power inside vs outside the recorded construction windows.
+  // Mean node power inside vs outside the recorded construction windows,
+  // from the charge stream: clip every charged interval on node 0 to the
+  // windows (power is uniform within one interval), divide the clipped
+  // joules by the window time, and add the same constant floor
+  // node_power_profile renders with (uncore/DRAM plus parked cores).
   const auto& windows = scheme->construction_windows();
-  double in_sum = 0.0, out_sum = 0.0;
-  Index in_count = 0, out_count = 0;
-  for (const auto& sample : result.profile) {
-    bool inside = false;
+  Seconds in_time = 0.0;
+  for (const auto& w : windows) {
+    in_time += w.end - w.begin;
+  }
+  const Seconds out_time = result.total_time - in_time;
+  Joules in_joules = 0.0;
+  Joules node_joules = 0.0;
+  for (const auto& charge : recorder.charges()) {
+    if (cluster.node_of(charge.rank) != 0) {
+      continue;
+    }
+    node_joules += charge.core_joules;
+    const Seconds span = charge.end - charge.begin;
     for (const auto& w : windows) {
-      if (sample.time >= w.begin && sample.time < w.end) {
-        inside = true;
-        break;
+      const Seconds lo = std::max(charge.begin, w.begin);
+      const Seconds hi = std::min(charge.end, w.end);
+      if (hi > lo && span > 0.0) {
+        in_joules += charge.core_joules * (hi - lo) / span;
       }
     }
-    if (inside) {
-      in_sum += sample.power;
-      ++in_count;
-    } else {
-      out_sum += sample.power;
-      ++out_count;
+  }
+  Index ranks_on_node = 0;
+  for (Index r = 0; r < cluster.num_ranks(); ++r) {
+    if (cluster.node_of(r) == 0) {
+      ++ranks_on_node;
     }
   }
-  result.construct_power = in_count > 0 ? in_sum / static_cast<double>(in_count) : 0.0;
-  result.compute_power = out_count > 0 ? out_sum / static_cast<double>(out_count) : 0.0;
+  const auto& machine = cluster.config();
+  const Watts constant =
+      cluster.power_model().node_constant_power(machine.sockets_per_node) +
+      machine.power.core_sleep *
+          static_cast<double>(machine.cores_per_node() - ranks_on_node);
+  result.construct_power =
+      in_time > 0.0 ? in_joules / in_time + constant : 0.0;
+  result.compute_power =
+      out_time > 0.0 ? (node_joules - in_joules) / out_time + constant : 0.0;
   return result;
 }
 

@@ -18,6 +18,7 @@
 
 #include "core/env.hpp"
 #include "core/rng.hpp"
+#include "core/version.hpp"
 #include "obs/json.hpp"
 #include "la/factor.hpp"
 #include "la/local_cg.hpp"
@@ -294,6 +295,7 @@ void write_bench_json(
   json.begin_object();
   json.field("schema_version", 1);
   json.field("source", "micro_kernels");
+  json.field("git_describe", rsls::build::git_describe());
   json.begin_array("results");
   for (const auto& run : runs) {
     const double iterations =

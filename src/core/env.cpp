@@ -42,6 +42,16 @@ const std::vector<VarSpec>& registry() {
        "Append one RunReport JSONL line per scheme run to this file."},
       {"RSLS_OBS_POWER_BIN", "double", "0.05",
        "Power-trace bin width in virtual seconds for trace counter tracks."},
+      {"RSLS_SERIES", "bool", "0",
+       "Enable the solver flight recorder: a per-iteration time series "
+       "(residual, energy by phase, power, comm traffic, fault markers) in "
+       "the RunReport/trace plus per-rank energy attribution."},
+      {"RSLS_SERIES_STRIDE", "int", "1",
+       "Flight recorder sampling stride: record every n-th solver "
+       "iteration (iteration 0 always sampled)."},
+      {"RSLS_SERIES_MAX_POINTS", "int", "4096",
+       "Flight recorder memory bound: past this many retained points the "
+       "series drops every other point and doubles its stride."},
       {"RSLS_BENCH_JSON", "path", "per-bench default",
        "Output path for machine-readable bench results (micro_kernels, "
        "ablation_topology)."},
@@ -133,6 +143,24 @@ std::optional<double> obs_power_bin() {
     return std::nullopt;
   }
   return get_double("RSLS_OBS_POWER_BIN", 0.05);
+}
+
+bool series() { return get_bool("RSLS_SERIES", false); }
+
+std::optional<Index> series_stride() {
+  if (!env_string("RSLS_SERIES_STRIDE").has_value()) {
+    return std::nullopt;
+  }
+  return static_cast<Index>(
+      std::max<long long>(get_int("RSLS_SERIES_STRIDE", 1), 1));
+}
+
+std::optional<Index> series_max_points() {
+  if (!env_string("RSLS_SERIES_MAX_POINTS").has_value()) {
+    return std::nullopt;
+  }
+  return static_cast<Index>(
+      std::max<long long>(get_int("RSLS_SERIES_MAX_POINTS", 4096), 4));
 }
 
 std::optional<std::string> bench_json_path() {

@@ -63,6 +63,19 @@ std::optional<std::string> run_report_path();
 /// tracks.
 std::optional<double> obs_power_bin();
 
+/// RSLS_SERIES: switch the flight recorder on — per-iteration time
+/// series + per-rank energy attribution in reports and traces.
+bool series();
+
+/// RSLS_SERIES_STRIDE: sample every n-th solver iteration (default 1);
+/// unset leaves the configured stride alone.
+std::optional<Index> series_stride();
+
+/// RSLS_SERIES_MAX_POINTS: retained-point bound; past it the series
+/// decimates (drops every other point, doubles the stride). Unset
+/// leaves the configured bound alone.
+std::optional<Index> series_max_points();
+
 /// RSLS_BENCH_JSON: output path for micro_kernels' machine-readable
 /// results.
 std::optional<std::string> bench_json_path();

@@ -1,0 +1,13 @@
+#include "core/version.hpp"
+
+// RSLS_GIT_DESCRIBE is a per-source compile definition set by
+// src/core/CMakeLists.txt from `git describe` at configure time.
+#ifndef RSLS_GIT_DESCRIBE
+#define RSLS_GIT_DESCRIBE "unknown"
+#endif
+
+namespace rsls::build {
+
+const char* git_describe() { return RSLS_GIT_DESCRIBE; }
+
+}  // namespace rsls::build

@@ -1,0 +1,12 @@
+#pragma once
+// Build provenance, stamped at CMake configure time.
+
+namespace rsls::build {
+
+/// `git describe --always --dirty --tags` of the source tree this binary
+/// was configured from; "unknown" outside a git checkout. Stamped into
+/// BENCH_*.json headers so bench_diff can show which build produced a
+/// baseline (provenance only — comparisons key on schema_version).
+const char* git_describe();
+
+}  // namespace rsls::build

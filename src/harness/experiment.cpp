@@ -153,6 +153,22 @@ obs::RunReport make_run_report(const obs::ObservabilityOptions& opts,
     entry.domain_event = record.domain_event;
     report.fault_schedule.push_back(std::move(entry));
   }
+  // schema_version 2 blocks (each omitted when the feature is off).
+  report.series = recorder.series_snapshot();
+  if (recorder.per_rank_enabled()) {
+    for (const auto& [rank, phases] : recorder.per_rank_core_energy()) {
+      obs::RankEnergy entry;
+      entry.rank = rank;
+      for (std::size_t i = 0; i < power::kPhaseTagCount; ++i) {
+        if (phases[i] != 0.0) {
+          entry.phase_core_energy.emplace_back(
+              power::to_string(static_cast<power::PhaseTag>(i)), phases[i]);
+        }
+        entry.total += phases[i];
+      }
+      report.per_rank.push_back(std::move(entry));
+    }
+  }
   return report;
 }
 
@@ -361,6 +377,9 @@ SchemeRun run_scheme(const Workload& workload, const std::string& scheme_name,
   SchemeRun run;
   run.scheme = scheme_name;
   run.cr_interval_used = cr_interval_used;
+  // Comm totals at entry: a hooked cluster outlives this run, so every
+  // comm.* metric below reports the delta over this run only.
+  const simrt::net::CommStats comm_begin = cluster.comm_stats();
   resilience::DetectorSuite detectors =
       config.detection ? resilience::make_detector_suite(config.detection_options)
                        : resilience::DetectorSuite{};
@@ -375,6 +394,15 @@ SchemeRun run_scheme(const Workload& workload, const std::string& scheme_name,
     rec = &recorder;
     recorder.set_scheme(scheme_name);
     recorder.set_record_charges(obs_opts.include_charges);
+    if (obs_opts.series) {
+      obs::SeriesOptions series_options;
+      series_options.stride = obs_opts.series_stride;
+      series_options.max_points = obs_opts.series_max_points;
+      recorder.enable_series(series_options);
+    }
+    if (obs_opts.per_rank) {
+      recorder.enable_per_rank_energy();
+    }
     if (obs_opts.wants_trace() && obs_opts.power_bin > 0.0 &&
         !cluster.power_trace_enabled()) {
       cluster.enable_power_trace(obs_opts.power_bin);
@@ -418,8 +446,11 @@ SchemeRun run_scheme(const Workload& workload, const std::string& scheme_name,
   }
 
   if (rec != nullptr) {
-    // Interconnect accounting rides along with the instrument metrics.
-    const simrt::net::CommStats& comm = cluster.comm_stats();
+    // Interconnect accounting rides along with the instrument metrics,
+    // as this run's delta over the entry snapshot (a hooked cluster's
+    // running totals would otherwise accumulate across a sweep).
+    const simrt::net::CommStats comm =
+        simrt::net::diff(cluster.comm_stats(), comm_begin);
     recorder.metrics().counter("comm.messages").add(comm.messages);
     recorder.metrics().counter("comm.wire_bytes").add(comm.wire_bytes);
     recorder.metrics().counter("comm.allreduces").add(comm.allreduces);
@@ -432,7 +463,15 @@ SchemeRun run_scheme(const Workload& workload, const std::string& scheme_name,
         .counter("comm.replica_fetches")
         .add(comm.replica_fetches);
     recorder.metrics().gauge("comm.max_contention").set(comm.max_contention);
+    if (cluster.event_log_enabled()) {
+      // Silent ring-buffer eviction made visible: a nonzero counter says
+      // the event log no longer holds the whole run.
+      recorder.metrics()
+          .counter("simrt.events_dropped")
+          .add(static_cast<double>(cluster.event_log().dropped()));
+    }
     run.metrics = recorder.metrics().snapshot();
+    run.series = recorder.series_snapshot();
     const std::string matrix =
         workload.label.empty() ? std::string("matrix") : workload.label;
     if (obs_opts.wants_trace()) {

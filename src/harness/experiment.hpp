@@ -13,6 +13,7 @@
 #include "harness/scheme_factory.hpp"
 #include "obs/metrics.hpp"
 #include "obs/observability.hpp"
+#include "obs/time_series.hpp"
 #include "resilience/fault.hpp"
 #include "resilience/resilient_solve.hpp"
 #include "simrt/cluster.hpp"
@@ -134,6 +135,9 @@ struct SchemeRun {
   /// Each run records into its own registry, so concurrent cells never
   /// share instrument state; harness::Runner merges these on join.
   obs::MetricsSnapshot metrics;
+  /// Flight-recorder series for this run (disabled/empty unless the
+  /// observability options — or RSLS_SERIES — switched it on).
+  obs::SeriesSnapshot series;
 };
 
 /// Caller-supplied overrides for run_scheme. Any member left null is

@@ -96,6 +96,39 @@ void write_power_counter(JsonWriter& json, Index node,
   json.end_object();
 }
 
+/// One counter sample on a named series track.
+void write_series_counter(JsonWriter& json, const char* track, Seconds time,
+                          const char* key, double value) {
+  json.begin_object();
+  json.field("name", track);
+  json.field("ph", "C");
+  json.field("ts", time * kMicrosPerSecond);
+  json.field("pid", std::int64_t{0});
+  json.field("tid", std::int64_t{0});
+  json.begin_object("args");
+  json.field(key, value);
+  json.end_object();
+  json.end_object();
+}
+
+void write_series_event(JsonWriter& json, const SeriesEvent& event) {
+  json.begin_object();
+  json.field("name", event.kind);
+  json.field("cat", "series");
+  json.field("ph", "i");
+  json.field("s", "g");  // global-scoped instant: visible on every track
+  json.field("ts", event.time_s * kMicrosPerSecond);
+  json.field("pid", std::int64_t{0});
+  json.field("tid", std::int64_t{0});
+  json.begin_object("args");
+  json.field("iteration", static_cast<std::int64_t>(event.iteration));
+  if (!event.detail.empty()) {
+    json.field("detail", event.detail);
+  }
+  json.end_object();
+  json.end_object();
+}
+
 }  // namespace
 
 void write_chrome_trace(std::ostream& os, const Recorder& recorder,
@@ -153,6 +186,23 @@ void write_chrome_trace(std::ostream& os, const Recorder& recorder,
            cluster.node_power_profile(node)) {
         write_power_counter(json, node, sample);
       }
+    }
+  }
+  // Flight-recorder series: counter tracks over virtual time plus the
+  // fault/detection/recovery/escalation markers as global instants.
+  if (recorder.series_enabled()) {
+    for (const SeriesPoint& point : recorder.series()->points()) {
+      write_series_counter(json, "series/residual", point.time_s,
+                           "relative_residual", point.relative_residual);
+      write_series_counter(json, "series/power", point.time_s, "watts",
+                           point.power_w);
+      write_series_counter(json, "series/energy", point.time_s, "joules",
+                           point.energy_j);
+      write_series_counter(json, "series/comm", point.time_s, "wire_bytes",
+                           point.comm_wire_bytes);
+    }
+    for (const SeriesEvent& event : recorder.series()->events()) {
+      write_series_event(json, event);
     }
   }
 

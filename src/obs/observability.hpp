@@ -8,6 +8,10 @@
 //   RSLS_RUN_REPORT=path  — append one RunReport JSONL line per run
 //   RSLS_OBS_POWER_BIN=s  — power-trace bin width for counter tracks
 //                           (seconds; default 0.05 when tracing)
+//   RSLS_SERIES=1         — flight recorder: per-iteration series +
+//                           per-rank energy in reports and traces
+//   RSLS_SERIES_STRIDE=n  — sample every n-th iteration (default 1)
+//   RSLS_SERIES_MAX_POINTS=n — retained-point bound before decimation
 
 #include <string>
 
@@ -36,6 +40,14 @@ struct ObservabilityOptions {
   Seconds power_bin = 0.05;
   /// Record per-interval charge slices in the trace (the finest level).
   bool include_charges = true;
+  /// Flight recorder: per-iteration time series in the report/trace.
+  bool series = false;
+  /// Per-rank energy attribution in the report's energy block.
+  bool per_rank = false;
+  /// Series sampling stride (every n-th iteration).
+  Index series_stride = 1;
+  /// Series memory bound (retained points before decimation).
+  Index series_max_points = 4096;
   /// Bound on the recorder's charge stream is not needed — traces are
   /// per-run — but the cluster-owned EventLog (if any) can be capped.
   std::size_t event_log_capacity = 0;
@@ -60,6 +72,17 @@ inline ObservabilityOptions resolve_from_env(ObservabilityOptions base) {
   }
   if (const auto bin = env::obs_power_bin(); bin.has_value()) {
     base.power_bin = *bin;
+  }
+  if (env::series()) {
+    base.enabled = true;
+    base.series = true;
+    base.per_rank = true;
+  }
+  if (const auto stride = env::series_stride(); stride.has_value()) {
+    base.series_stride = *stride;
+  }
+  if (const auto points = env::series_max_points(); points.has_value()) {
+    base.series_max_points = *points;
   }
   return base;
 }

@@ -10,6 +10,13 @@ void Recorder::attach(simrt::VirtualCluster& cluster) {
   RSLS_CHECK_MSG(cluster_ == nullptr, "recorder is already attached");
   cluster_ = &cluster;
   cluster.add_charge_sink(this);
+  base_total_energy_ = cluster.total_energy();
+  for (std::size_t t = 0; t < power::kPhaseTagCount; ++t) {
+    base_phase_energy_[t] =
+        cluster.energy().core_energy(static_cast<power::PhaseTag>(t));
+  }
+  base_comm_messages_ = static_cast<double>(cluster.comm_stats().messages);
+  base_comm_wire_bytes_ = cluster.comm_stats().wire_bytes;
 }
 
 void Recorder::detach() {
@@ -64,12 +71,57 @@ void Recorder::on_charge(const simrt::ChargeRecord& record) {
   if (record_charges_) {
     charges_.push_back(record);
   }
+  if (per_rank_enabled_) {
+    per_rank_core_[record.rank][static_cast<std::size_t>(record.tag)] +=
+        record.core_joules;
+  }
 }
 
 void Recorder::on_dvfs_transition(Index rank, Seconds time, Hertz from,
                                   Hertz to) {
   dvfs_marks_.push_back(DvfsMark{rank, time, from, to});
   metrics_.counter("dvfs_transitions").add(1.0);
+}
+
+// --- flight recorder -------------------------------------------------------
+
+void Recorder::enable_series(const SeriesOptions& options) {
+  series_ = std::make_unique<TimeSeries>(options);
+}
+
+void Recorder::sample_iteration(Index iteration, Real relative_residual) {
+  if (series_ == nullptr || !series_->due(iteration)) return;
+  RSLS_CHECK_MSG(cluster_ != nullptr,
+                 "recorder must be attached to a cluster to sample the series");
+  SeriesPoint point;
+  point.iteration = iteration;
+  point.time_s = cluster_->elapsed();
+  point.relative_residual = relative_residual;
+  point.energy_j = cluster_->total_energy() - base_total_energy_;
+  const simrt::net::CommStats& comm = cluster_->comm_stats();
+  point.comm_messages = comm.messages - base_comm_messages_;
+  point.comm_wire_bytes = comm.wire_bytes - base_comm_wire_bytes_;
+  for (std::size_t t = 0; t < power::kPhaseTagCount; ++t) {
+    point.phase_energy_j[t] =
+        cluster_->energy().core_energy(static_cast<power::PhaseTag>(t)) -
+        base_phase_energy_[t];
+  }
+  series_->sample(point);
+}
+
+void Recorder::mark_series_event(std::string kind, Index iteration,
+                                 std::string detail) {
+  if (series_ == nullptr) return;
+  SeriesEvent event;
+  event.kind = std::move(kind);
+  event.iteration = iteration;
+  event.time_s = cluster_ != nullptr ? cluster_->elapsed() : 0.0;
+  event.detail = std::move(detail);
+  series_->add_event(std::move(event));
+}
+
+SeriesSnapshot Recorder::series_snapshot() const {
+  return series_ != nullptr ? series_->snapshot() : SeriesSnapshot{};
 }
 
 // --- ScopedSpan ------------------------------------------------------------

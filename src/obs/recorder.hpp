@@ -17,14 +17,17 @@
 // observability is off; ScopedSpan and the metric helpers accept the
 // null pointer and do nothing, so the disabled cost is one branch.
 
+#include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/types.hpp"
 #include "core/units.hpp"
 #include "obs/metrics.hpp"
+#include "obs/time_series.hpp"
 #include "power/rapl.hpp"
 #include "simrt/charge_sink.hpp"
 #include "simrt/cluster.hpp"
@@ -97,6 +100,44 @@ class Recorder final : public simrt::ChargeSink {
   /// for long runs where only the span level is wanted.
   void set_record_charges(bool record) { record_charges_ = record; }
 
+  // --- flight recorder (per-iteration time series) ----------------------
+  /// Attach a TimeSeries sink. Until this is called (the default), the
+  /// sampling hooks are one null check; nothing about the run changes.
+  void enable_series(const SeriesOptions& options);
+  bool series_enabled() const { return series_ != nullptr; }
+  const TimeSeries* series() const { return series_.get(); }
+
+  /// Record the state at one solver iteration boundary: the residual from
+  /// the caller, time/energy/phase-split/comm pulled from the attached
+  /// cluster. Timestamps are absolute cluster time (aligning with spans);
+  /// energy and comm columns are cumulative since attach(), so a series
+  /// on a long-lived hooked cluster is still per-run. Re-sampling the
+  /// newest iteration replaces it (post-recovery amendment). No-op when
+  /// the series sink is absent or the iteration is off the stride grid.
+  void sample_iteration(Index iteration, Real relative_residual);
+
+  /// Drop a fault/detection/recovery/escalation marker on the series at
+  /// the current cluster time. No-op without a series sink.
+  void mark_series_event(std::string kind, Index iteration,
+                         std::string detail = "");
+
+  /// Value-copy of the series for reports; empty-disabled snapshot when
+  /// no sink was attached.
+  SeriesSnapshot series_snapshot() const;
+
+  // --- per-rank energy attribution --------------------------------------
+  /// Accumulate each published charge into a rank × phase joule table.
+  /// Sums to the cluster's per-phase core totals (since attach) exactly
+  /// up to summation order. Default-off.
+  void enable_per_rank_energy() { per_rank_enabled_ = true; }
+  bool per_rank_enabled() const { return per_rank_enabled_; }
+  /// rank → cumulative core joules by phase tag (replica-scaled, i.e.
+  /// the same values EnergyAccount accumulated). Deterministic order.
+  const std::map<Index, std::array<Joules, power::kPhaseTagCount>>&
+  per_rank_core_energy() const {
+    return per_rank_core_;
+  }
+
   // --- metrics ----------------------------------------------------------
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
@@ -116,6 +157,15 @@ class Recorder final : public simrt::ChargeSink {
   std::vector<DvfsMark> dvfs_marks_;
   bool record_charges_ = true;
   MetricsRegistry metrics_;
+  std::unique_ptr<TimeSeries> series_;
+  bool per_rank_enabled_ = false;
+  std::map<Index, std::array<Joules, power::kPhaseTagCount>> per_rank_core_;
+  // Cluster state at attach(), so series/per-rank columns are per-run
+  // deltas even on a long-lived hooked cluster. Zero for fresh clusters.
+  Joules base_total_energy_ = 0.0;
+  std::array<Joules, power::kPhaseTagCount> base_phase_energy_{};
+  double base_comm_messages_ = 0.0;
+  Bytes base_comm_wire_bytes_ = 0.0;
 };
 
 /// RAII span; null-safe (a null recorder makes every operation a no-op)
@@ -158,6 +208,20 @@ inline void observe(Recorder* recorder, const std::string& name,
                     std::vector<double> bounds, double value) {
   if (recorder != nullptr) {
     recorder->metrics().histogram(name, std::move(bounds)).observe(value);
+  }
+}
+
+inline void sample_iteration(Recorder* recorder, Index iteration,
+                             Real relative_residual) {
+  if (recorder != nullptr) {
+    recorder->sample_iteration(iteration, relative_residual);
+  }
+}
+
+inline void mark_series_event(Recorder* recorder, const std::string& kind,
+                              Index iteration, const std::string& detail = "") {
+  if (recorder != nullptr) {
+    recorder->mark_series_event(kind, iteration, detail);
   }
 }
 

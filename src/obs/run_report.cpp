@@ -10,9 +10,16 @@
 namespace rsls::obs {
 
 void write_run_report(std::ostream& os, const RunReport& report) {
+  // v2-only blocks imply at least version 2; reports without them keep
+  // whatever the producer set (byte-identical v1 output).
+  const bool has_v2_blocks =
+      !report.per_rank.empty() || !report.series.empty() ||
+      report.series.enabled;
+  const int version =
+      has_v2_blocks && report.schema_version < 2 ? 2 : report.schema_version;
   JsonWriter json(os);
   json.begin_object();
-  json.field("schema_version", report.schema_version);
+  json.field("schema_version", version);
   json.field("source", report.source);
   json.field("matrix", report.matrix);
   json.field("scheme", report.scheme);
@@ -38,6 +45,21 @@ void write_run_report(std::ostream& os, const RunReport& report) {
   json.field("node_constant", report.node_constant_energy);
   json.field("core_sleep", report.sleep_energy);
   json.field("total", report.total_energy);
+  if (!report.per_rank.empty()) {
+    json.begin_array("per_rank");
+    for (const RankEnergy& rank : report.per_rank) {
+      json.begin_object();
+      json.field("rank", static_cast<std::uint64_t>(rank.rank));
+      json.begin_object("phases");
+      for (const auto& [tag, joules] : rank.phase_core_energy) {
+        json.field(tag, joules);
+      }
+      json.end_object();
+      json.field("total", rank.total);
+      json.end_object();
+    }
+    json.end_array();
+  }
   json.end_object();
 
   json.begin_object("metrics");
@@ -93,6 +115,48 @@ void write_run_report(std::ostream& os, const RunReport& report) {
       json.end_object();
     }
     json.end_array();
+  }
+
+  if (report.series.enabled || !report.series.empty()) {
+    json.begin_object("series");
+    json.field("stride", static_cast<std::uint64_t>(report.series.stride));
+    json.field("max_points",
+               static_cast<std::uint64_t>(report.series.max_points));
+    json.field("decimations",
+               static_cast<std::uint64_t>(report.series.decimations));
+    json.field("dropped_events", report.series.dropped_events);
+    json.begin_array("points");
+    for (const SeriesPoint& point : report.series.points) {
+      json.begin_object();
+      json.field("iteration", static_cast<std::uint64_t>(point.iteration));
+      json.field("time_s", point.time_s);
+      json.field("relative_residual", point.relative_residual);
+      json.field("energy_j", point.energy_j);
+      json.field("power_w", point.power_w);
+      json.field("comm_messages", point.comm_messages);
+      json.field("comm_wire_bytes", point.comm_wire_bytes);
+      json.begin_object("phases");
+      for (std::size_t t = 0; t < power::kPhaseTagCount; ++t) {
+        if (point.phase_energy_j[t] != 0.0) {
+          json.field(power::to_string(static_cast<power::PhaseTag>(t)),
+                     point.phase_energy_j[t]);
+        }
+      }
+      json.end_object();
+      json.end_object();
+    }
+    json.end_array();
+    json.begin_array("events");
+    for (const SeriesEvent& event : report.series.events) {
+      json.begin_object();
+      json.field("kind", event.kind);
+      json.field("iteration", static_cast<std::uint64_t>(event.iteration));
+      json.field("time_s", event.time_s);
+      json.field("detail", event.detail);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
   }
 
   json.end_object();

@@ -16,6 +16,21 @@
 //                       "class":..,"corruption_seed":..,
 //                       "domain_event":..}, ...]}   — omitted when empty
 //
+// schema_version 2 adds two blocks, each omitted when absent (a report
+// without them is still written — and parses — as version 1):
+//   "energy".."per_rank":[{"rank":r,"phases":{tag:J},"total":J}, ...]
+//       — per-rank core-energy attribution; summed over ranks it equals
+//         the phases block to 1e-9 relative
+//   "series":{"stride":n,"max_points":n,"decimations":n,
+//             "dropped_events":n,
+//             "points":[{"iteration":k,"time_s":t,"relative_residual":ρ,
+//                        "energy_j":E,"power_w":P,"comm_messages":m,
+//                        "comm_wire_bytes":B,"phases":{tag:J}}, ...],
+//             "events":[{"kind":..,"iteration":..,"time_s":..,
+//                        "detail":..}, ...]}
+//       — the flight recorder's per-iteration trajectory (cumulative
+//         columns; see obs/time_series.hpp)
+//
 // The energy block is written with round-trip double precision so
 // sum(phases) + node_constant + core_sleep == total holds to 1e-9
 // relative after a parse round-trip.
@@ -29,6 +44,7 @@
 #include "core/types.hpp"
 #include "core/units.hpp"
 #include "obs/metrics.hpp"
+#include "obs/time_series.hpp"
 
 namespace rsls::obs {
 
@@ -46,7 +62,18 @@ struct FaultScheduleEntry {
   bool domain_event = false;
 };
 
+/// One rank's core-energy attribution (replica-scaled joules by phase
+/// name, zero phases omitted by the harness).
+struct RankEnergy {
+  Index rank = 0;
+  std::vector<std::pair<std::string, Joules>> phase_core_energy;
+  /// Sum of this rank's phases (precomputed so readers need no fp sum).
+  Joules total = 0.0;
+};
+
 struct RunReport {
+  /// Effective version is bumped to 2 by the writer when a v2-only block
+  /// (series, per_rank) is present; leave at 1 otherwise.
   int schema_version = 1;
   /// Producing binary or harness entry point.
   std::string source;
@@ -67,6 +94,10 @@ struct RunReport {
   /// Realized fault schedule; an empty vector keeps the report line
   /// byte-identical to schema-version-1 output (the key is omitted).
   std::vector<FaultScheduleEntry> fault_schedule;
+  /// Per-rank energy attribution (schema_version 2); empty = omitted.
+  std::vector<RankEnergy> per_rank;
+  /// Flight-recorder series (schema_version 2); disabled/empty = omitted.
+  SeriesSnapshot series;
 };
 
 /// One JSONL line (object + '\n').

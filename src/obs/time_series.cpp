@@ -1,0 +1,88 @@
+#include "obs/time_series.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace rsls::obs {
+
+TimeSeries::TimeSeries(const SeriesOptions& options) : options_(options) {
+  if (options_.stride < 1) options_.stride = 1;
+  // Below 4 retained points decimation cannot terminate (halving keeps
+  // first + last); clamp to a floor that always can.
+  if (options_.max_points < 4) options_.max_points = 4;
+  stride_ = options_.stride;
+  points_.reserve(static_cast<std::size_t>(options_.max_points));
+}
+
+bool TimeSeries::due(Index iteration) const {
+  if (iteration == 0) return true;
+  if (!points_.empty() && points_.back().iteration == iteration) {
+    return true;  // amendment of the newest point is always accepted
+  }
+  return iteration % stride_ == 0;
+}
+
+void TimeSeries::sample(const SeriesPoint& point) {
+  if (!due(point.iteration)) return;
+  if (!points_.empty() && points_.back().iteration == point.iteration) {
+    points_.back() = point;
+    refresh_rate(points_.size() - 1);
+    return;
+  }
+  // Iterations arrive monotonically from the solver loop; a stale sample
+  // (e.g. replayed after decimation changed the grid) is dropped rather
+  // than splicing the middle of the buffer.
+  if (!points_.empty() && point.iteration < points_.back().iteration) return;
+  points_.push_back(point);
+  refresh_rate(points_.size() - 1);
+  if (static_cast<Index>(points_.size()) > options_.max_points) decimate();
+}
+
+void TimeSeries::add_event(SeriesEvent event) {
+  if (static_cast<Index>(events_.size()) >= options_.max_points) {
+    ++dropped_events_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void TimeSeries::decimate() {
+  // Keep even indices: index 0 (the initial residual) and — because the
+  // overflow that triggered us made the size odd (max_points + 1 with
+  // max_points even, or the clamp keeps it >= 4) — check the last point
+  // explicitly and keep it regardless of parity.
+  std::vector<SeriesPoint> kept;
+  kept.reserve(points_.size() / 2 + 1);
+  for (std::size_t i = 0; i < points_.size(); i += 2) kept.push_back(points_[i]);
+  if (points_.size() % 2 == 0) kept.push_back(points_.back());
+  points_ = std::move(kept);
+  stride_ *= 2;
+  ++decimations_;
+  for (std::size_t i = 0; i < points_.size(); ++i) refresh_rate(i);
+}
+
+void TimeSeries::refresh_rate(std::size_t i) {
+  assert(i < points_.size());
+  SeriesPoint& p = points_[i];
+  if (i == 0) {
+    p.power_w = 0.0;
+    return;
+  }
+  const SeriesPoint& prev = points_[i - 1];
+  const Seconds dt = p.time_s - prev.time_s;
+  p.power_w = dt > 0.0 ? (p.energy_j - prev.energy_j) / dt : 0.0;
+}
+
+SeriesSnapshot TimeSeries::snapshot() const {
+  SeriesSnapshot snap;
+  snap.enabled = true;
+  snap.stride = stride_;
+  snap.max_points = options_.max_points;
+  snap.decimations = decimations_;
+  snap.dropped_events = dropped_events_;
+  snap.points = points_;
+  snap.events = events_;
+  return snap;
+}
+
+}  // namespace rsls::obs

@@ -1,0 +1,125 @@
+#pragma once
+// Solver flight recorder: a bounded per-iteration time series of one
+// resilient solve — residual trajectory, cumulative energy by phase,
+// instantaneous power, interconnect traffic, and fault/detect/recover
+// event markers over virtual time (the paper's Fig. 6 residual curves
+// and Fig. 7a power profiles as one machine-readable artifact).
+//
+// Memory model. The recorder must survive million-iteration runs with
+// fixed memory, so it samples every `stride`-th iteration and, when the
+// retained buffer would exceed `max_points`, decimates: every second
+// retained point is dropped and the stride doubles. The decimation is
+// deterministic (no RNG), keeps the first and newest points, and
+// preserves the cumulative columns exactly — derived rates (power) are
+// recomputed against each point's new predecessor, so the series stays
+// self-consistent at any resolution. Event markers are bounded
+// separately: past `max_points` events the newest are dropped and
+// counted, never silently.
+//
+// Points carry *cumulative* totals (energy, comm traffic) so that any
+// two retained points bracket an interval exactly, whatever was dropped
+// between them; per-interval deltas and rates are derived views.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "core/units.hpp"
+#include "power/rapl.hpp"
+
+namespace rsls::obs {
+
+struct SeriesOptions {
+  /// Sample every `stride`-th iteration (iteration % stride == 0);
+  /// iteration 0 (the initial residual) is always eligible.
+  Index stride = 1;
+  /// Retained-point bound; reaching it halves the buffer and doubles the
+  /// stride. Also bounds the retained event markers.
+  Index max_points = 4096;
+};
+
+/// One retained sample. All totals are cumulative since the start of the
+/// run; `power_w` is the derived mean power since the previous retained
+/// point (0 for the first point).
+struct SeriesPoint {
+  Index iteration = 0;
+  Seconds time_s = 0.0;
+  Real relative_residual = 0.0;
+  /// Cluster total energy (cores + uncore/DRAM + sleep, replica-scaled).
+  Joules energy_j = 0.0;
+  Watts power_w = 0.0;
+  double comm_messages = 0.0;
+  Bytes comm_wire_bytes = 0.0;
+  /// Cumulative core energy per phase tag (replica-scaled).
+  std::array<Joules, power::kPhaseTagCount> phase_energy_j{};
+};
+
+/// One fault/detection/recovery/escalation marker on the series.
+struct SeriesEvent {
+  std::string kind;  // "fault" | "detection" | "recovery" | "escalation"
+  Index iteration = 0;
+  Seconds time_s = 0.0;
+  std::string detail;
+};
+
+/// Value-copy of a finished series, what SchemeRun and the RunReport
+/// carry. Empty (no points, not enabled) when the recorder ran without a
+/// series sink.
+struct SeriesSnapshot {
+  bool enabled = false;
+  /// Stride actually in effect at the end of the run (>= the configured
+  /// stride after decimations).
+  Index stride = 1;
+  Index max_points = 0;
+  Index decimations = 0;
+  std::uint64_t dropped_events = 0;
+  std::vector<SeriesPoint> points;
+  std::vector<SeriesEvent> events;
+
+  bool empty() const { return points.empty() && events.empty(); }
+};
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(const SeriesOptions& options);
+
+  /// Whether `iteration` lands on the current sampling grid. Callers may
+  /// skip assembling a point when false; sample() re-checks.
+  bool due(Index iteration) const;
+
+  /// Record `point` if it is due. A point for the same iteration as the
+  /// newest retained one *replaces* it (post-recovery amendment: the
+  /// solver re-reports an iteration after a restart rebuilt its state).
+  void sample(const SeriesPoint& point);
+
+  /// Append an event marker; bounded by max_points (newest dropped and
+  /// counted beyond it).
+  void add_event(SeriesEvent event);
+
+  const std::vector<SeriesPoint>& points() const { return points_; }
+  const std::vector<SeriesEvent>& events() const { return events_; }
+  /// Stride currently in effect (doubles on each decimation).
+  Index stride() const { return stride_; }
+  Index decimations() const { return decimations_; }
+  std::uint64_t dropped_events() const { return dropped_events_; }
+
+  SeriesSnapshot snapshot() const;
+
+ private:
+  /// Halve the retained buffer (keep even indices), double the stride,
+  /// and recompute the derived rate columns.
+  void decimate();
+  /// power_w of points_[i] from its predecessor's cumulative columns.
+  void refresh_rate(std::size_t i);
+
+  SeriesOptions options_;
+  Index stride_ = 1;
+  Index decimations_ = 0;
+  std::uint64_t dropped_events_ = 0;
+  std::vector<SeriesPoint> points_;
+  std::vector<SeriesEvent> events_;
+};
+
+}  // namespace rsls::obs

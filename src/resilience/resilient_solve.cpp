@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/error.hpp"
@@ -50,6 +52,25 @@ std::vector<double> residual_decay_bounds() {
   return {-1.0, -0.1, 0.0, 0.05, 0.1, 0.5, 1.0, 2.0};
 }
 
+/// Compact rank-list attribute for span details and series markers.
+std::string ranks_detail(const IndexVec& ranks) {
+  std::string out = "ranks=";
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(ranks[i]);
+  }
+  return out;
+}
+
+/// Series-marker detail for one realized fault.
+std::string fault_detail(const FaultEvent& event) {
+  std::string out =
+      event.cls == FaultClass::kProcessLoss ? "process-loss " : "sdc ";
+  out += ranks_detail(event.ranks);
+  if (event.domain_event) out += " domain";
+  return out;
+}
+
 /// Run the scheme at the damaged ranks, with one "recover" span per rank
 /// track (detail distinguishes announced faults from detector-triggered
 /// dispatches) and the recovery duration fed to the histogram.
@@ -72,6 +93,8 @@ HookAction dispatch_recovery(RecoveryScheme& scheme, RecoveryContext& ctx,
   obs::observe(ctx.recorder, "recovery_seconds", recovery_seconds_bounds(),
                ctx.cluster.elapsed() - start);
   obs::count(ctx.recorder, "recoveries_dispatched");
+  obs::mark_series_event(ctx.recorder, "recovery", iteration,
+                         std::string(detail) + " " + ranks_detail(ranks));
   return action;
 }
 
@@ -147,6 +170,7 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
     // Rung 1: global rollback to trusted state, if the scheme has any.
     ++report.escalations;
     obs::count(recorder, "escalations");
+    obs::mark_series_event(recorder, "escalation", iteration, "rollback");
     {
       obs::ScopedSpan span(recorder, "escalate:rollback", PhaseTag::kRollback,
                            obs::kClusterTrack);
@@ -161,6 +185,7 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
     // Rung 2: restart from the initial guess.
     ++report.escalations;
     obs::count(recorder, "escalations");
+    obs::mark_series_event(recorder, "escalation", iteration, "restart");
     obs::ScopedSpan span(recorder, "escalate:restart", PhaseTag::kRollback,
                          obs::kClusterTrack);
     std::copy(x0_copy.begin(), x0_copy.end(), x_view.begin());
@@ -171,12 +196,14 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
   bool declared_failure = false;
   Index ladder_rounds = 0;
 
-  const auto declare_failure = [&](std::span<Real> x_view) {
+  const auto declare_failure = [&](Index iteration, std::span<Real> x_view) {
     declared_failure = true;
     // Structured outcome: hand back the initial guess, not the poisoned
     // iterate the faults left behind.
     std::copy(x0_copy.begin(), x0_copy.end(), x_view.begin());
     obs::count(recorder, "resilience.declared_failures");
+    obs::mark_series_event(recorder, "escalation", iteration,
+                           "declared-failure");
   };
 
   // Per-iteration residual decay rate, log10(prev/curr); < 0 means the
@@ -215,6 +242,8 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
       }
       ++events_handled;
       obs::count(recorder, "faults");
+      obs::mark_series_event(recorder, "fault", view.iteration,
+                             fault_detail(*event));
       if (recovery_happened) {
         ++report.nested_faults;
         obs::count(recorder, "nested_faults");
@@ -268,6 +297,8 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
               ++report.nested_faults;
               obs::count(recorder, "faults");
               obs::count(recorder, "nested_faults");
+              obs::mark_series_event(recorder, "fault", view.iteration,
+                                     fault_detail(*nested));
               if (nested->cls == FaultClass::kProcessLoss) {
                 FaultInjector::apply_corruption(*nested, part, view.x);
                 FaultInjector::apply_corruption(*nested, part, view.r);
@@ -328,9 +359,11 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
             ++report.escalations;
             obs::count(recorder, "escalations");
             if (ladder_rounds > recovery.max_escalations) {
-              declare_failure(view.x);
+              declare_failure(view.iteration, view.x);
               return HookAction::kAbort;
             }
+            obs::mark_series_event(recorder, "escalation", view.iteration,
+                                   "rollback");
             bool rolled_back = false;
             {
               obs::ScopedSpan span(recorder, "escalate:rollback",
@@ -340,6 +373,8 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
             if (!rolled_back) {
               ++report.escalations;
               obs::count(recorder, "escalations");
+              obs::mark_series_event(recorder, "escalation", view.iteration,
+                                     "restart");
               obs::ScopedSpan span(recorder, "escalate:restart",
                                    PhaseTag::kRollback, obs::kClusterTrack);
               std::copy(x0_copy.begin(), x0_copy.end(), view.x.begin());
@@ -371,7 +406,9 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
           injector.next_event(view.iteration, cluster.elapsed());
       if (more.has_value()) {
         obs::count(recorder, "faults");
-        declare_failure(view.x);
+        obs::mark_series_event(recorder, "fault", view.iteration,
+                               fault_detail(*more));
+        declare_failure(view.iteration, view.x);
         return HookAction::kAbort;
       }
     }
@@ -392,6 +429,8 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
       if (verdict.flagged) {
         ++report.detections;
         obs::count(recorder, "detections");
+        obs::mark_series_event(recorder, "detection", view.iteration,
+                               verdict.detector);
         if (!verdict.detector.empty()) {
           obs::count(recorder, "detections." + verdict.detector);
         }
@@ -429,10 +468,23 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
     return action;
   };
 
+  // Flight recorder: stream the residual trajectory into the recorder's
+  // series sink. The observer fires at exactly the residual_history
+  // update points, so the series reproduces the history point-for-point.
+  solver::CgOptions solve_options = options;
+  if (recorder != nullptr && recorder->series_enabled()) {
+    solver::ResidualObserver chained = std::move(solve_options.residual_observer);
+    solve_options.residual_observer = [recorder, chained](Index iteration,
+                                                          Real rel) {
+      recorder->sample_iteration(iteration, rel);
+      if (chained) chained(iteration, rel);
+    };
+  }
+
   {
     obs::ScopedSpan solve_span(recorder, "solve", PhaseTag::kSolve,
                                obs::kClusterTrack);
-    report.cg = solver::cg_solve(a, cluster, b, x, options, hook);
+    report.cg = solver::cg_solve(a, cluster, b, x, solve_options, hook);
   }
   report.faults = injector.faults_injected();
   report.recoveries = scheme.recoveries();

@@ -39,6 +39,25 @@ struct CommStats {
   double max_contention = 1.0;  // worst bisection multiplier observed
 };
 
+/// Per-run view of a long-lived cluster's running totals: `end` minus a
+/// `begin` snapshot taken when the run started. The additive fields
+/// subtract; max_contention is a running maximum, not additive, so the
+/// end value carries over (the worst observed up to `end`).
+inline CommStats diff(const CommStats& end, const CommStats& begin) {
+  CommStats d;
+  d.messages = end.messages - begin.messages;
+  d.wire_bytes = end.wire_bytes - begin.wire_bytes;
+  d.allreduces = end.allreduces - begin.allreduces;
+  d.broadcasts = end.broadcasts - begin.broadcasts;
+  d.reductions = end.reductions - begin.reductions;
+  d.p2p_messages = end.p2p_messages - begin.p2p_messages;
+  d.halo_messages = end.halo_messages - begin.halo_messages;
+  d.gather_messages = end.gather_messages - begin.gather_messages;
+  d.replica_fetches = end.replica_fetches - begin.replica_fetches;
+  d.max_contention = end.max_contention;
+  return d;
+}
+
 class Interconnect {
  public:
   Interconnect(const NetworkConfig& config, Seconds alpha, double beta,

@@ -90,11 +90,25 @@ CgResult cg_solve(const dist::DistMatrix& a, simrt::VirtualCluster& cluster,
     return std::sqrt(dist_dot(part, cluster, r, r, tag));
   };
 
+  // One relative residual per observation point, shared by the retained
+  // history and the streaming observer so both see identical values.
+  const auto report_residual = [&](Index iteration, Real norm, bool amend) {
+    const Real rel = b_norm > 0.0 ? norm / b_norm : norm;
+    if (options.record_residual_history) {
+      if (amend) {
+        result.residual_history.back() = rel;
+      } else {
+        result.residual_history.push_back(rel);
+      }
+    }
+    if (options.residual_observer) {
+      options.residual_observer(iteration, rel);
+    }
+  };
+
   Real rz = rebuild_from_x(0);
   Real r_norm = jacobi ? true_residual_norm(PhaseTag::kSolve) : std::sqrt(rz);
-  if (options.record_residual_history) {
-    result.residual_history.push_back(b_norm > 0.0 ? r_norm / b_norm : r_norm);
-  }
+  report_residual(0, r_norm, /*amend=*/false);
 
   while (result.iterations < options.max_iterations) {
     if (r_norm <= threshold) {
@@ -119,10 +133,7 @@ CgResult cg_solve(const dist::DistMatrix& a, simrt::VirtualCluster& cluster,
     dist_xpby(part, cluster, z, beta, p, tag);
 
     ++result.iterations;
-    if (options.record_residual_history) {
-      result.residual_history.push_back(b_norm > 0.0 ? r_norm / b_norm
-                                                     : r_norm);
-    }
+    report_residual(result.iterations, r_norm, /*amend=*/false);
 
     if (hook) {
       CgIterationView view;
@@ -139,12 +150,9 @@ CgResult cg_solve(const dist::DistMatrix& a, simrt::VirtualCluster& cluster,
         rz = rebuild_from_x(result.iterations);
         r_norm = jacobi ? true_residual_norm(tag_for(result.iterations))
                         : std::sqrt(rz);
-        if (options.record_residual_history) {
-          // Record the post-recovery residual so Fig. 6's jumps are
-          // visible at the fault iteration.
-          result.residual_history.back() =
-              b_norm > 0.0 ? r_norm / b_norm : r_norm;
-        }
+        // Re-report the post-recovery residual so Fig. 6's jumps are
+        // visible at the fault iteration.
+        report_residual(result.iterations, r_norm, /*amend=*/true);
       }
     }
   }

@@ -24,6 +24,15 @@ namespace rsls::solver {
 /// hook works unchanged (see bench/ablation_solver).
 enum class SolverKind { kCg, kJacobiPcg };
 
+/// Streaming observer of the residual trajectory: called with
+/// (iteration, ‖r‖/‖b‖) at exactly the points residual_history records —
+/// the initial residual (iteration 0), each completed iteration, and
+/// *again* with the same iteration number when a restart rebuilt the
+/// solver state (the post-recovery residual that overwrites the history
+/// entry). Works with record_residual_history off, so long runs can
+/// stream without the solver retaining the full history.
+using ResidualObserver = std::function<void(Index, Real)>;
+
 struct CgOptions {
   /// Convergence: ‖r‖₂ / ‖b‖₂ ≤ tolerance (paper uses 1e-12).
   Real tolerance = 1e-12;
@@ -34,6 +43,9 @@ struct CgOptions {
   /// directly; 0 means unknown (everything is kSolve).
   Index ff_iterations = 0;
   SolverKind kind = SolverKind::kCg;
+  /// Optional residual stream (see ResidualObserver). Purely
+  /// observational: never charged, never consulted.
+  ResidualObserver residual_observer;
 };
 
 struct CgResult {

@@ -18,13 +18,19 @@ namespace {
 using power::Activity;
 using power::PhaseTag;
 
-harness::SchemeRun run_once(const std::string& scheme) {
+harness::SchemeRun run_once(const std::string& scheme,
+                            bool flight_recorder = false) {
   const sparse::Csr a = sparse::banded_spd({192, 4, 1.0, 0.02, 1.0, 77});
   const auto workload = harness::Workload::create(a, 8);
   harness::ExperimentConfig config;
   config.processes = 8;
   config.faults = 6;
   config.scheme.cr_interval_iterations = 25;
+  if (flight_recorder) {
+    config.observability.enabled = true;
+    config.observability.series = true;
+    config.observability.per_rank = true;
+  }
   const auto ff = harness::run_fault_free(workload, config);
   return harness::run_scheme(workload, scheme, config, ff);
 }
@@ -124,6 +130,25 @@ TEST(DeterminismTest, DefaultConfigKeepsSeedChargesAcrossRoster) {
     // The realized schedule records the seed plan without altering it.
     EXPECT_EQ(first.report.fault_schedule.size(),
               static_cast<std::size_t>(first.report.faults));
+  }
+}
+
+// The flight recorder is observation only: switching the per-iteration
+// series and per-rank attribution on must leave every number of the run
+// bit-identical to the default-off (seed) path, for every scheme.
+TEST(DeterminismTest, FlightRecorderLeavesSeedNumbersBitIdentical) {
+  for (const std::string scheme : {"RD", "LI", "CR-D"}) {
+    SCOPED_TRACE(scheme);
+    const auto off = run_once(scheme);
+    const auto on = run_once(scheme, /*flight_recorder=*/true);
+    EXPECT_EQ(off.report.cg.iterations, on.report.cg.iterations);
+    EXPECT_EQ(off.report.cg.relative_residual,
+              on.report.cg.relative_residual);  // bitwise
+    EXPECT_EQ(off.report.time, on.report.time);
+    EXPECT_EQ(off.report.energy, on.report.energy);
+    EXPECT_EQ(off.report.faults, on.report.faults);
+    EXPECT_TRUE(off.series.empty());
+    EXPECT_FALSE(on.series.empty());
   }
 }
 

@@ -214,6 +214,64 @@ TEST(RunnerTest, MetricsIdenticalAcrossJobCounts) {
   EXPECT_EQ(a.gauges, b.gauges);  // bitwise, order included
 }
 
+double counter_value(const obs::MetricsSnapshot& snapshot,
+                     const std::string& name) {
+  for (const auto& [key, value] : snapshot.counters) {
+    if (key == name) {
+      return value;
+    }
+  }
+  ADD_FAILURE() << "counter " << name << " not found";
+  return -1.0;
+}
+
+TEST(RunnerTest, CommMetricsArePerRunOnASharedCluster) {
+  // A bench that hooks one long-lived cluster through several cells must
+  // still get per-run comm.* metrics: the harness snapshots CommStats at
+  // cell entry and reports the delta, so two identical runs on the same
+  // cluster report identical traffic (a leak would double the second).
+  const sparse::Csr a = sparse::banded_spd({192, 4, 1.0, 0.02, 1.0, 77});
+  const auto workload = harness::Workload::create(a, 8);
+  harness::ExperimentConfig config;
+  config.processes = 8;
+  config.faults = 4;
+  config.observability.enabled = true;
+  const auto ff = harness::run_fault_free(workload, config);
+
+  simrt::VirtualCluster cluster(harness::machine_for(config.processes),
+                                config.processes);
+  const auto first =
+      harness::run_scheme(workload, "LI", config, ff, {.cluster = &cluster});
+  const auto second =
+      harness::run_scheme(workload, "LI", config, ff, {.cluster = &cluster});
+  for (const char* name :
+       {"comm.messages", "comm.wire_bytes", "comm.allreduces"}) {
+    const double a_value = counter_value(first.metrics, name);
+    const double b_value = counter_value(second.metrics, name);
+    EXPECT_GT(a_value, 0.0) << name;
+    EXPECT_EQ(a_value, b_value) << name;  // per-run, not cumulative
+  }
+}
+
+TEST(RunnerTest, EventLogDroppedSurfacesAsCounter) {
+  const sparse::Csr a = sparse::banded_spd({192, 4, 1.0, 0.02, 1.0, 77});
+  const auto workload = harness::Workload::create(a, 8);
+  harness::ExperimentConfig config;
+  config.processes = 8;
+  config.faults = 4;
+  config.observability.enabled = true;
+  const auto ff = harness::run_fault_free(workload, config);
+
+  simrt::VirtualCluster cluster(harness::machine_for(config.processes),
+                                config.processes);
+  cluster.enable_event_log(/*capacity=*/64);  // tiny: guaranteed eviction
+  const auto run =
+      harness::run_scheme(workload, "LI", config, ff, {.cluster = &cluster});
+  const double dropped = counter_value(run.metrics, "simrt.events_dropped");
+  EXPECT_EQ(dropped, static_cast<double>(cluster.event_log().dropped()));
+  EXPECT_GT(dropped, 0.0);
+}
+
 TEST(SweepParallelTest, RosterSweepBitIdenticalAcrossJobCounts) {
   // The tier-1 determinism gate for the whole stack: a roster sweep under
   // RSLS_JOBS=4 must reproduce the serial sweep bit for bit.

@@ -21,6 +21,7 @@
 #include "core/error.hpp"
 #include "harness/experiment.hpp"
 #include "obs/json.hpp"
+#include "obs/recorder.hpp"
 #include "sparse/generators.hpp"
 
 namespace rsls {
@@ -394,6 +395,60 @@ TEST_F(ObservedRunTest, ReportRecordsRecoveryHistogram) {
 }
 
 // --- environment overlay ---------------------------------------------------
+
+// --- power-bin energy conservation -----------------------------------------
+
+TEST(PowerBinConservationTest, BinnedProfileConservesChargedCoreEnergy) {
+  // The RSLS_OBS_POWER_BIN counter tracks are rendered from the binned
+  // power trace; the binning must conserve energy exactly: per node, the
+  // profile integral minus the constant floor equals the core joules the
+  // charge stream published for that node's ranks, to 1e-9 relative.
+  const simrt::MachineConfig machine = harness::machine_for(30);
+  simrt::VirtualCluster cluster(machine, 30);  // nodes 0 and 1 populated
+  const Seconds bin = 1.7e-4;  // deliberately off every interval boundary
+  cluster.enable_power_trace(bin);
+  obs::Recorder recorder;
+  recorder.attach(cluster);
+
+  using power::Activity;
+  using power::PhaseTag;
+  cluster.advance_all(0.0103, Activity::kActive, PhaseTag::kSolve);
+  cluster.charge_duration(3, 0.0057, Activity::kActive, PhaseTag::kRecover);
+  cluster.charge_duration(27, 0.0029, Activity::kMemCopy,
+                          PhaseTag::kCheckpoint);
+  cluster.sync();
+  cluster.allreduce(8 * 1024, PhaseTag::kComm);
+
+  Joules charged_total = 0.0;
+  Joules integral_total = 0.0;
+  for (Index node = 0; node < 2; ++node) {
+    Index ranks_on_node = 0;
+    for (Index r = 0; r < cluster.num_ranks(); ++r) {
+      if (cluster.node_of(r) == node) {
+        ++ranks_on_node;
+      }
+    }
+    const Watts constant =
+        cluster.power_model().node_constant_power(machine.sockets_per_node) +
+        machine.power.core_sleep *
+            static_cast<double>(machine.cores_per_node() - ranks_on_node);
+    Joules integral = 0.0;
+    for (const auto& sample : cluster.node_power_profile(node)) {
+      integral += (sample.power - constant) * bin;
+    }
+    Joules charged = 0.0;
+    for (const auto& charge : recorder.charges()) {
+      if (cluster.node_of(charge.rank) == node) {
+        charged += charge.core_joules;
+      }
+    }
+    ASSERT_GT(charged, 0.0) << "node " << node;
+    EXPECT_NEAR(integral / charged, 1.0, 1e-9) << "node " << node;
+    charged_total += charged;
+    integral_total += integral;
+  }
+  EXPECT_NEAR(integral_total / charged_total, 1.0, 1e-9);
+}
 
 TEST(ObservabilityEnvTest, EnvironmentSwitchesArtifactsOn) {
   const std::string report_path = ::testing::TempDir() + "obs_env_report_" +

@@ -1,0 +1,313 @@
+// Flight-recorder tests: TimeSeries stride/amendment/decimation
+// mechanics, the per-rank energy attribution invariant (rank sums equal
+// the phase totals), the schema_version-2 series/per_rank blocks in the
+// RunReport, and the guarantee that switching the recorder on leaves the
+// run's numbers bit-identical.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <unistd.h>
+
+#include "harness/experiment.hpp"
+#include "obs/json.hpp"
+#include "obs/recorder.hpp"
+#include "obs/time_series.hpp"
+#include "power/rapl.hpp"
+#include "sparse/generators.hpp"
+
+namespace rsls {
+namespace {
+
+using obs::JsonValue;
+using obs::SeriesOptions;
+using obs::SeriesPoint;
+using obs::TimeSeries;
+
+SeriesPoint point(Index iteration, Seconds time, Real residual,
+                  Joules energy) {
+  SeriesPoint p;
+  p.iteration = iteration;
+  p.time_s = time;
+  p.relative_residual = residual;
+  p.energy_j = energy;
+  return p;
+}
+
+// --- TimeSeries mechanics --------------------------------------------------
+
+TEST(TimeSeriesTest, StrideKeepsOnGridIterationsOnly) {
+  TimeSeries series(SeriesOptions{3, 1024});
+  for (Index i = 0; i <= 10; ++i) {
+    if (series.due(i)) {
+      series.sample(point(i, 0.1 * static_cast<double>(i), 1.0, 0.0));
+    }
+  }
+  ASSERT_EQ(series.points().size(), 4u);  // 0, 3, 6, 9
+  for (std::size_t i = 0; i < series.points().size(); ++i) {
+    EXPECT_EQ(series.points()[i].iteration, static_cast<Index>(3 * i));
+  }
+}
+
+TEST(TimeSeriesTest, ResamplingNewestIterationReplacesIt) {
+  TimeSeries series(SeriesOptions{1, 1024});
+  series.sample(point(0, 0.0, 1.0, 0.0));
+  series.sample(point(1, 1.0, 0.5, 10.0));
+  // Post-recovery amendment: same iteration, corrected residual, more
+  // energy spent. The point is replaced, not appended.
+  series.sample(point(1, 2.0, 0.8, 30.0));
+  ASSERT_EQ(series.points().size(), 2u);
+  EXPECT_EQ(series.points()[1].relative_residual, 0.8);
+  EXPECT_EQ(series.points()[1].energy_j, 30.0);
+  // Instantaneous power re-derived from the new predecessor gap.
+  EXPECT_DOUBLE_EQ(series.points()[1].power_w, 30.0 / 2.0);
+}
+
+TEST(TimeSeriesTest, DecimationBoundsMemoryAndKeepsEndpoints) {
+  const Index max_points = 16;
+  TimeSeries series(SeriesOptions{1, max_points});
+  const Index n = 1000;
+  for (Index i = 0; i <= n; ++i) {
+    if (series.due(i)) {
+      series.sample(point(i, static_cast<double>(i), 1.0,
+                          static_cast<double>(i) * 2.0));
+    }
+  }
+  EXPECT_LE(series.points().size(), static_cast<std::size_t>(max_points));
+  EXPECT_GT(series.decimations(), 0);
+  EXPECT_EQ(series.points().front().iteration, 0);
+  // The newest retained point is the last on-grid iteration (the grid
+  // coarsened under decimation, so the very last iteration may be off it).
+  EXPECT_EQ(series.points().back().iteration,
+            (n / series.stride()) * series.stride());
+  EXPECT_GE(series.points().back().iteration, n - series.stride());
+  // Cumulative columns survive decimation exactly; iterations ascend.
+  for (std::size_t i = 1; i < series.points().size(); ++i) {
+    const SeriesPoint& prev = series.points()[i - 1];
+    const SeriesPoint& cur = series.points()[i];
+    EXPECT_GT(cur.iteration, prev.iteration);
+    EXPECT_EQ(cur.energy_j, static_cast<double>(cur.iteration) * 2.0);
+    // Rates refreshed against the surviving predecessor.
+    EXPECT_DOUBLE_EQ(cur.power_w, (cur.energy_j - prev.energy_j) /
+                                      (cur.time_s - prev.time_s));
+  }
+}
+
+TEST(TimeSeriesTest, DecimationIsDeterministic) {
+  const auto fill = [] {
+    TimeSeries series(SeriesOptions{1, 32});
+    for (Index i = 0; i <= 777; ++i) {
+      if (series.due(i)) {
+        series.sample(point(i, static_cast<double>(i) * 0.01,
+                            1.0 / (1.0 + static_cast<double>(i)),
+                            static_cast<double>(i)));
+      }
+    }
+    return series.snapshot();
+  };
+  const auto a = fill();
+  const auto b = fill();
+  ASSERT_EQ(a.points.size(), b.points.size());
+  EXPECT_EQ(a.stride, b.stride);
+  EXPECT_EQ(a.decimations, b.decimations);
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].iteration, b.points[i].iteration);
+    EXPECT_EQ(a.points[i].relative_residual, b.points[i].relative_residual);
+    EXPECT_EQ(a.points[i].power_w, b.points[i].power_w);  // bitwise
+  }
+}
+
+TEST(TimeSeriesTest, EventsAreBoundedWithDropCounter) {
+  TimeSeries series(SeriesOptions{1, 4});
+  for (Index i = 0; i < 10; ++i) {
+    series.add_event({"fault", i, static_cast<double>(i), ""});
+  }
+  EXPECT_EQ(series.events().size(), 4u);
+  EXPECT_EQ(series.dropped_events(), 6u);
+  EXPECT_EQ(series.snapshot().dropped_events, 6u);
+}
+
+// --- observed run fixture --------------------------------------------------
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good()) << "missing artifact " << path;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+/// One faulted LI run with the flight recorder and per-rank attribution
+/// on, RunReport emitted; shared across the block tests below.
+class SeriesRunTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const std::string pid = std::to_string(::getpid());
+    report_path_ = new std::string(::testing::TempDir() + "series_report_" +
+                                   pid + ".jsonl");
+    std::remove(report_path_->c_str());
+
+    sparse::BandedSpdConfig matrix_config;
+    matrix_config.n = 192;
+    matrix_config.half_bandwidth = 5;
+    matrix_config.diag_excess = 1e-2;
+    matrix_config.seed = 7;
+    harness::ExperimentConfig config;
+    config.processes = 4;
+    config.faults = 2;
+    config.tolerance = 1e-8;
+    config.record_residuals = true;  // the reference the series must match
+    const harness::Workload workload = harness::Workload::create(
+        sparse::banded_spd(matrix_config), config.processes, "banded-192");
+    const harness::FfBaseline ff = harness::run_fault_free(workload, config);
+
+    config.observability.enabled = true;
+    config.observability.source = "obs_series_test";
+    config.observability.report_path = *report_path_;
+    config.observability.series = true;
+    config.observability.per_rank = true;
+    run_ = new harness::SchemeRun(
+        harness::run_scheme(workload, "LI", config, ff));
+    report_ = new JsonValue(obs::parse_json(read_file(*report_path_)));
+  }
+
+  static void TearDownTestSuite() {
+    std::remove(report_path_->c_str());
+    delete report_;
+    delete run_;
+    delete report_path_;
+    report_ = nullptr;
+    run_ = nullptr;
+    report_path_ = nullptr;
+  }
+
+  static std::string* report_path_;
+  static harness::SchemeRun* run_;
+  static JsonValue* report_;
+};
+
+std::string* SeriesRunTest::report_path_ = nullptr;
+harness::SchemeRun* SeriesRunTest::run_ = nullptr;
+JsonValue* SeriesRunTest::report_ = nullptr;
+
+TEST_F(SeriesRunTest, ReportBumpsToSchemaVersion2) {
+  EXPECT_DOUBLE_EQ(report_->at("schema_version").as_number(), 2.0);
+  EXPECT_TRUE(report_->at("energy").contains("per_rank"));
+  EXPECT_TRUE(report_->contains("series"));
+}
+
+TEST_F(SeriesRunTest, SeriesReproducesResidualHistoryPointForPoint) {
+  const auto& points = run_->series.points;
+  const auto& history = run_->report.cg.residual_history;
+  ASSERT_FALSE(points.empty());
+  ASSERT_EQ(points.size(), history.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].iteration, static_cast<Index>(i));
+    EXPECT_EQ(points[i].relative_residual, history[i]);  // bitwise
+  }
+}
+
+TEST_F(SeriesRunTest, SeriesColumnsAreCumulativeAndEndAtRunTotals) {
+  const auto& points = run_->series.points;
+  ASSERT_GE(points.size(), 2u);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].time_s, points[i - 1].time_s);
+    EXPECT_GE(points[i].energy_j, points[i - 1].energy_j);
+    EXPECT_GE(points[i].comm_messages, points[i - 1].comm_messages);
+  }
+  // The last sample's cumulative energy is within one iteration of the
+  // run total (the final convergence check happens after the sample).
+  EXPECT_LE(points.back().energy_j, run_->report.energy);
+  EXPECT_GT(points.back().energy_j, 0.9 * run_->report.energy);
+}
+
+TEST_F(SeriesRunTest, SeriesMarksFaultAndRecoveryEvents) {
+  Index faults = 0;
+  Index recoveries = 0;
+  for (const auto& event : run_->series.events) {
+    if (event.kind == "fault") {
+      ++faults;
+    } else if (event.kind == "recovery") {
+      ++recoveries;
+    }
+  }
+  EXPECT_EQ(faults, run_->report.faults);
+  EXPECT_EQ(recoveries, run_->report.recoveries);
+}
+
+TEST_F(SeriesRunTest, PerRankEnergySumsToPhaseTotals) {
+  // The PR 2 invariant extended per rank: summing the per-rank table
+  // over ranks reproduces each phase's core total to 1e-9 relative.
+  const auto& account = run_->report.account;
+  const auto& per_rank = report_->at("energy").at("per_rank").as_array();
+  ASSERT_EQ(per_rank.size(), 4u);  // every rank charged something
+  for (std::size_t t = 0; t < power::kPhaseTagCount; ++t) {
+    const auto tag = static_cast<power::PhaseTag>(t);
+    const std::string name = power::to_string(tag);
+    double sum = 0.0;
+    for (const JsonValue& rank : per_rank) {
+      const auto& phases = rank.at("phases");
+      if (phases.contains(name)) {
+        sum += phases.at(name).as_number();
+      }
+    }
+    const Joules total = account.core_energy(tag);
+    if (total > 0.0) {
+      EXPECT_NEAR(sum / total, 1.0, 1e-9) << name;
+    } else {
+      EXPECT_EQ(sum, 0.0) << name;
+    }
+  }
+}
+
+TEST_F(SeriesRunTest, SeriesBlockRoundTripsThroughJson) {
+  const auto& series = report_->at("series");
+  EXPECT_DOUBLE_EQ(series.at("stride").as_number(), 1.0);
+  const auto& points = series.at("points").as_array();
+  ASSERT_EQ(points.size(), run_->series.points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].at("relative_residual").as_number(),
+              run_->series.points[i].relative_residual);  // bitwise
+    EXPECT_EQ(points[i].at("energy_j").as_number(),
+              run_->series.points[i].energy_j);
+  }
+  const auto& events = series.at("events").as_array();
+  EXPECT_EQ(events.size(), run_->series.events.size());
+}
+
+// --- determinism -----------------------------------------------------------
+
+TEST(SeriesDeterminismTest, RecorderLeavesRunBitIdentical) {
+  const auto run_one = [](bool series) {
+    const sparse::Csr a = sparse::banded_spd({192, 4, 1.0, 0.02, 1.0, 77});
+    const auto workload = harness::Workload::create(a, 8);
+    harness::ExperimentConfig config;
+    config.processes = 8;
+    config.faults = 6;
+    config.scheme.cr_interval_iterations = 25;
+    if (series) {
+      config.observability.enabled = true;
+      config.observability.series = true;
+      config.observability.per_rank = true;
+    }
+    const auto ff = harness::run_fault_free(workload, config);
+    return harness::run_scheme(workload, "LI", config, ff);
+  };
+  const auto off = run_one(false);
+  const auto on = run_one(true);
+  EXPECT_EQ(off.report.cg.iterations, on.report.cg.iterations);
+  EXPECT_EQ(off.report.cg.relative_residual,
+            on.report.cg.relative_residual);  // bitwise
+  EXPECT_EQ(off.report.time, on.report.time);
+  EXPECT_EQ(off.report.energy, on.report.energy);
+  EXPECT_TRUE(off.series.empty());
+  EXPECT_FALSE(on.series.empty());
+}
+
+}  // namespace
+}  // namespace rsls

@@ -1,0 +1,176 @@
+// bench_diff library tests: artifact parsing for both families
+// (BENCH_*.json results arrays, RunReport JSONL), tolerance gating,
+// direction awareness, missing-entry gating, and refusal of
+// schema/source mismatches — the contract the CI bench-diff job rests
+// on (exit 0 clean / 1 regression / 2 not comparable).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "bench_diff.hpp"
+
+namespace rsls::tools {
+namespace {
+
+std::string bench_artifact(double spmv_time, double rate, double energy) {
+  std::ostringstream os;
+  os << "{\"schema_version\":1,\"source\":\"micro_kernels\",\"results\":["
+     << "{\"name\":\"BM_Spmv/1024\",\"iterations\":100,\"real_time_s\":"
+     << spmv_time << ",\"counters\":{\"items_per_second\":" << rate << "}},"
+     << "{\"name\":\"BM_Dot/1024\",\"real_time_s\":2e-6,\"counters\":"
+     << "{\"energy_j\":" << energy << "}}]}";
+  return os.str();
+}
+
+std::string report_artifact(double time_s, double solve_j) {
+  std::ostringstream os;
+  os << "{\"schema_version\":1,\"source\":\"harness\",\"matrix\":\"m1\","
+     << "\"scheme\":\"LI\",\"results\":{\"iterations\":500,\"time_s\":"
+     << time_s << "},\"energy\":{\"phases\":{\"solve\":" << solve_j
+     << "},\"total\":" << solve_j << "}}\n"
+     << "{\"schema_version\":1,\"source\":\"harness\",\"matrix\":\"m1\","
+     << "\"scheme\":\"CR\",\"results\":{\"iterations\":600,\"time_s\":"
+     << time_s * 1.2 << "},\"energy\":{\"phases\":{\"solve\":" << solve_j
+     << "},\"total\":" << solve_j << "}}\n";
+  return os.str();
+}
+
+TEST(BenchDiffTest, IdenticalArtifactsAreClean) {
+  const std::string text = bench_artifact(1e-5, 1e9, 0.5);
+  const DiffResult result = diff_artifacts(text, text, {});
+  EXPECT_TRUE(result.comparable);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.entries_compared, 2u);
+  EXPECT_GT(result.metrics_compared, 0u);
+  std::ostringstream os;
+  EXPECT_EQ(render_diff(os, result), 0);
+}
+
+TEST(BenchDiffTest, SlowdownBeyondToleranceIsARegression) {
+  const DiffResult result = diff_artifacts(bench_artifact(1e-5, 1e9, 0.5),
+                                           bench_artifact(1.5e-5, 1e9, 0.5),
+                                           {});
+  EXPECT_TRUE(result.comparable);
+  ASSERT_EQ(result.regressions.size(), 1u);
+  EXPECT_EQ(result.regressions[0].metric, "real_time_s");
+  EXPECT_GT(result.regressions[0].relative, 0.0);
+  std::ostringstream os;
+  EXPECT_EQ(render_diff(os, result), 1);
+}
+
+TEST(BenchDiffTest, SpeedupIsAnImprovementNotARegression) {
+  // Direction awareness: real_time_s shrinking and items_per_second
+  // growing are both beneficial — out of tolerance but not gated.
+  const DiffResult result = diff_artifacts(bench_artifact(1e-5, 1e9, 0.5),
+                                           bench_artifact(5e-6, 2e9, 0.5),
+                                           {});
+  EXPECT_TRUE(result.ok());
+  EXPECT_GE(result.improvements.size(), 2u);
+}
+
+TEST(BenchDiffTest, ThroughputDropIsARegression) {
+  const DiffResult result = diff_artifacts(bench_artifact(1e-5, 1e9, 0.5),
+                                           bench_artifact(1e-5, 5e8, 0.5),
+                                           {});
+  ASSERT_EQ(result.regressions.size(), 1u);
+  EXPECT_EQ(result.regressions[0].metric, "counters.items_per_second");
+  EXPECT_LT(result.regressions[0].relative, 0.0);
+}
+
+TEST(BenchDiffTest, PerMetricToleranceOverridesDefault) {
+  DiffOptions options;
+  options.tolerance = 0.05;
+  options.metric_tolerance["real_time_s"] = 0.60;
+  const DiffResult result = diff_artifacts(bench_artifact(1e-5, 1e9, 0.5),
+                                           bench_artifact(1.5e-5, 1e9, 0.5),
+                                           options);
+  EXPECT_TRUE(result.ok());  // +50% < the 60% override
+}
+
+TEST(BenchDiffTest, SkippedMetricsAreNotCompared) {
+  DiffOptions options;
+  options.skip.push_back("real_time_s");
+  const DiffResult result = diff_artifacts(bench_artifact(1e-5, 1e9, 0.5),
+                                           bench_artifact(9e-5, 1e9, 0.5),
+                                           options);
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(BenchDiffTest, MissingEntryGatesLikeARegression) {
+  const std::string baseline = bench_artifact(1e-5, 1e9, 0.5);
+  const std::string current =
+      "{\"schema_version\":1,\"source\":\"micro_kernels\",\"results\":["
+      "{\"name\":\"BM_Spmv/1024\",\"real_time_s\":1e-5,"
+      "\"counters\":{\"items_per_second\":1e9}}]}";
+  const DiffResult result = diff_artifacts(baseline, current, {});
+  ASSERT_EQ(result.missing_entries.size(), 1u);
+  EXPECT_EQ(result.missing_entries[0], "BM_Dot/1024");
+  EXPECT_FALSE(result.ok());
+  std::ostringstream os;
+  EXPECT_EQ(render_diff(os, result), 1);
+}
+
+TEST(BenchDiffTest, SchemaVersionMismatchIsRefused) {
+  const std::string v2 =
+      "{\"schema_version\":2,\"source\":\"micro_kernels\",\"results\":["
+      "{\"name\":\"BM_Spmv/1024\",\"real_time_s\":1e-5}]}";
+  const DiffResult result =
+      diff_artifacts(bench_artifact(1e-5, 1e9, 0.5), v2, {});
+  EXPECT_FALSE(result.comparable);
+  EXPECT_NE(result.error.find("schema_version"), std::string::npos);
+  std::ostringstream os;
+  EXPECT_EQ(render_diff(os, result), 2);
+}
+
+TEST(BenchDiffTest, SourceMismatchIsRefused) {
+  const DiffResult result = diff_artifacts(bench_artifact(1e-5, 1e9, 0.5),
+                                           report_artifact(1.0, 100.0), {});
+  EXPECT_FALSE(result.comparable);
+  EXPECT_NE(result.error.find("source"), std::string::npos);
+}
+
+TEST(BenchDiffTest, UnparsableInputIsRefused) {
+  const DiffResult result =
+      diff_artifacts("not json", bench_artifact(1e-5, 1e9, 0.5), {});
+  EXPECT_FALSE(result.comparable);
+  std::ostringstream os;
+  EXPECT_EQ(render_diff(os, result), 2);
+}
+
+TEST(BenchDiffTest, RunReportJsonlEntriesKeyOnMatrixAndScheme) {
+  const std::string text = report_artifact(1.0, 100.0);
+  const DiffResult clean = diff_artifacts(text, text, {});
+  EXPECT_TRUE(clean.ok());
+  EXPECT_EQ(clean.entries_compared, 2u);  // m1/LI and m1/CR
+
+  // More iterations and more solve energy both gate.
+  const DiffResult worse =
+      diff_artifacts(text, report_artifact(1.0, 150.0), {});
+  EXPECT_FALSE(worse.ok());
+  bool energy_gated = false;
+  for (const Delta& delta : worse.regressions) {
+    if (delta.metric == "energy.phases.solve") {
+      energy_gated = true;
+    }
+  }
+  EXPECT_TRUE(energy_gated);
+}
+
+TEST(BenchDiffTest, ZeroBaselineStaysBounded) {
+  // (cur − base) / max(|base|, |cur|) keeps a 0 → x move at exactly
+  // +100%, never infinite.
+  const std::string base =
+      "{\"schema_version\":1,\"source\":\"s\",\"results\":["
+      "{\"name\":\"a\",\"counters\":{\"recover_energy_j\":0}}]}";
+  const std::string cur =
+      "{\"schema_version\":1,\"source\":\"s\",\"results\":["
+      "{\"name\":\"a\",\"counters\":{\"recover_energy_j\":3.5}}]}";
+  const DiffResult result = diff_artifacts(base, cur, {});
+  ASSERT_EQ(result.regressions.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.regressions[0].relative, 1.0);
+}
+
+}  // namespace
+}  // namespace rsls::tools

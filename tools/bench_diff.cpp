@@ -1,0 +1,285 @@
+#include "bench_diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "core/error.hpp"
+#include "obs/json.hpp"
+
+namespace rsls::tools {
+
+namespace {
+
+using obs::JsonValue;
+
+/// Which direction of drift is harmful for a metric.
+enum class Direction { kLowerBetter, kHigherBetter, kTwoSided };
+
+bool ends_with(const std::string& name, const std::string& suffix) {
+  return name.size() >= suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Classify by name. The conventions are the repo's own: seconds and
+/// joules carry their unit as a suffix, throughputs end in per_second,
+/// ratios are normalized to the fault-free baseline (lower is better).
+Direction direction_of(std::string name) {
+  if (const std::size_t dot = name.rfind('.'); dot != std::string::npos) {
+    name = name.substr(dot + 1);  // judge "counters.x" / "energy.x" by leaf
+  }
+  if (ends_with(name, "per_second") || name == "converged") {
+    return Direction::kHigherBetter;
+  }
+  if (ends_with(name, "_s") || ends_with(name, "_us") ||
+      ends_with(name, "_j") || ends_with(name, "_w") ||
+      ends_with(name, "_ratio") || name == "iterations" ||
+      name.find("time") != std::string::npos ||
+      name.find("energy") != std::string::npos) {
+    return Direction::kLowerBetter;
+  }
+  return Direction::kTwoSided;
+}
+
+/// One comparable entry: a named row with its flattened numeric metrics.
+struct Entry {
+  std::string name;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+struct Artifact {
+  int schema_version = 0;
+  std::string source;
+  std::vector<Entry> entries;
+};
+
+void flatten_into(const std::string& prefix, const JsonValue& object,
+                  Entry& entry) {
+  for (const auto& [key, value] : object.as_object()) {
+    const std::string name = prefix.empty() ? key : prefix + "." + key;
+    if (value.is_number()) {
+      entry.metrics.emplace_back(name, value.as_number());
+    } else if (value.is_object()) {
+      flatten_into(name, value, entry);
+    }
+    // Strings/arrays/bools are labels or structure, not gated metrics.
+  }
+}
+
+/// BENCH_*.json entry: row name + top-level numerics + counters.
+Entry bench_entry(const JsonValue& row) {
+  Entry entry;
+  entry.name = row.at("name").as_string();
+  flatten_into("", row, entry);
+  return entry;
+}
+
+/// RunReport line: entry per (matrix, scheme); metrics from the results
+/// scalars and the energy decomposition (per-rank attribution and the
+/// series are trajectories, not gated scalars).
+Entry report_entry(const JsonValue& line) {
+  Entry entry;
+  entry.name = line.at("matrix").as_string() + "/" +
+               line.at("scheme").as_string();
+  flatten_into("", line.at("results"), entry);
+  const JsonValue& energy = line.at("energy");
+  flatten_into("energy.phases", energy.at("phases"), entry);
+  entry.metrics.emplace_back("energy.total", energy.at("total").as_number());
+  return entry;
+}
+
+Artifact load_artifact(const std::string& text) {
+  Artifact artifact;
+  bool first = true;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;
+    }
+    const JsonValue value = obs::parse_json(line);
+    const int schema =
+        static_cast<int>(value.at("schema_version").as_number());
+    const std::string source =
+        value.contains("source") ? value.at("source").as_string() : "";
+    if (first) {
+      artifact.schema_version = schema;
+      artifact.source = source;
+      first = false;
+    } else if (schema != artifact.schema_version) {
+      throw Error("mixed schema_version values within one artifact (" +
+                  std::to_string(artifact.schema_version) + " and " +
+                  std::to_string(schema) + ")");
+    }
+    const JsonValue& results = value.at("results");
+    if (results.is_array()) {
+      for (const JsonValue& row : results.as_array()) {
+        artifact.entries.push_back(bench_entry(row));
+      }
+    } else {
+      artifact.entries.push_back(report_entry(value));
+    }
+  }
+  if (first) {
+    throw Error("artifact contains no JSON documents");
+  }
+  // Duplicate names (a sweep emitting the same matrix/scheme cell twice)
+  // are disambiguated in document order so both sides pair up 1:1.
+  std::map<std::string, int> seen;
+  for (Entry& entry : artifact.entries) {
+    const int n = seen[entry.name]++;
+    if (n > 0) {
+      entry.name += '#';
+      entry.name += std::to_string(n);
+    }
+  }
+  return artifact;
+}
+
+}  // namespace
+
+DiffResult diff_artifacts(const std::string& baseline_text,
+                          const std::string& current_text,
+                          const DiffOptions& options) {
+  DiffResult result;
+  Artifact baseline;
+  Artifact current;
+  try {
+    baseline = load_artifact(baseline_text);
+  } catch (const std::exception& e) {
+    result.error = std::string("baseline: ") + e.what();
+    return result;
+  }
+  try {
+    current = load_artifact(current_text);
+  } catch (const std::exception& e) {
+    result.error = std::string("current: ") + e.what();
+    return result;
+  }
+  result.baseline_schema = baseline.schema_version;
+  result.current_schema = current.schema_version;
+  result.source = baseline.source;
+  if (baseline.schema_version != current.schema_version) {
+    result.error = "schema_version mismatch: baseline is version " +
+                   std::to_string(baseline.schema_version) +
+                   ", current is version " +
+                   std::to_string(current.schema_version) +
+                   " — regenerate the baseline with the current build";
+    return result;
+  }
+  if (baseline.source != current.source) {
+    result.error = "source mismatch: baseline was produced by '" +
+                   baseline.source + "', current by '" + current.source +
+                   "' — these artifacts measure different things";
+    return result;
+  }
+  result.comparable = true;
+
+  std::map<std::string, const Entry*> current_by_name;
+  for (const Entry& entry : current.entries) {
+    current_by_name[entry.name] = &entry;
+  }
+  std::map<std::string, bool> baseline_names;
+  for (const Entry& entry : baseline.entries) {
+    baseline_names[entry.name] = true;
+  }
+  for (const Entry& entry : current.entries) {
+    if (baseline_names.find(entry.name) == baseline_names.end()) {
+      result.extra_entries.push_back(entry.name);
+    }
+  }
+
+  const auto skipped = [&options](const std::string& metric) {
+    return std::find(options.skip.begin(), options.skip.end(), metric) !=
+           options.skip.end();
+  };
+
+  for (const Entry& base : baseline.entries) {
+    const auto found = current_by_name.find(base.name);
+    if (found == current_by_name.end()) {
+      result.missing_entries.push_back(base.name);
+      continue;
+    }
+    ++result.entries_compared;
+    const Entry& cur = *found->second;
+    for (const auto& [metric, base_value] : base.metrics) {
+      if (skipped(metric)) {
+        continue;
+      }
+      const auto cur_metric = std::find_if(
+          cur.metrics.begin(), cur.metrics.end(),
+          [&metric](const auto& m) { return m.first == metric; });
+      if (cur_metric == cur.metrics.end()) {
+        continue;  // metric dropped: structure change, not a perf gate
+      }
+      ++result.metrics_compared;
+      const double cur_value = cur_metric->second;
+      const double denom = std::max(std::abs(base_value), std::abs(cur_value));
+      const double relative =
+          denom > 0.0 ? (cur_value - base_value) / denom : 0.0;
+      const auto tol_override = options.metric_tolerance.find(metric);
+      const double tolerance = tol_override != options.metric_tolerance.end()
+                                   ? tol_override->second
+                                   : options.tolerance;
+      if (std::abs(relative) <= tolerance) {
+        continue;
+      }
+      Delta delta;
+      delta.entry = base.name;
+      delta.metric = metric;
+      delta.baseline = base_value;
+      delta.current = cur_value;
+      delta.relative = relative;
+      delta.tolerance = tolerance;
+      const Direction direction = direction_of(metric);
+      const bool harmful =
+          direction == Direction::kTwoSided ||
+          (direction == Direction::kLowerBetter && relative > 0.0) ||
+          (direction == Direction::kHigherBetter && relative < 0.0);
+      (harmful ? result.regressions : result.improvements)
+          .push_back(std::move(delta));
+    }
+  }
+  return result;
+}
+
+int render_diff(std::ostream& os, const DiffResult& result) {
+  if (!result.comparable) {
+    os << "bench_diff: cannot compare: " << result.error << "\n";
+    return 2;
+  }
+  os << "bench_diff: source=" << result.source
+     << " schema_version=" << result.baseline_schema << ", "
+     << result.entries_compared << " entries / " << result.metrics_compared
+     << " metrics compared\n";
+  const auto print = [&os](const char* label, const Delta& d) {
+    os << "  " << label << " " << d.entry << " :: " << d.metric << "  "
+       << d.baseline << " -> " << d.current << "  ("
+       << (d.relative >= 0.0 ? "+" : "") << d.relative * 100.0
+       << "%, tolerance ±" << d.tolerance * 100.0 << "%)\n";
+  };
+  for (const std::string& name : result.missing_entries) {
+    os << "  MISSING " << name << " (present in baseline, absent now)\n";
+  }
+  for (const Delta& delta : result.regressions) {
+    print("REGRESSION", delta);
+  }
+  for (const Delta& delta : result.improvements) {
+    print("improved", delta);
+  }
+  for (const std::string& name : result.extra_entries) {
+    os << "  new entry " << name << " (no baseline)\n";
+  }
+  if (result.ok()) {
+    os << "bench_diff: OK (within tolerance)\n";
+    return 0;
+  }
+  os << "bench_diff: " << result.regressions.size() << " regression(s), "
+     << result.missing_entries.size() << " missing entr"
+     << (result.missing_entries.size() == 1 ? "y" : "ies") << "\n";
+  return 1;
+}
+
+}  // namespace rsls::tools

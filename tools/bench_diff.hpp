@@ -1,0 +1,87 @@
+#pragma once
+// bench_diff: regression gate over the repo's machine-readable bench
+// artifacts. Compares a baseline against a current run of either
+// artifact family —
+//   BENCH_*.json   one object, "results" array of named rows with a
+//                  "counters" object (micro_kernels, ablation_topology,
+//                  ablation_failure_domains)
+//   RunReport      JSONL, one object per line, "results" object of
+//                  scalars plus an "energy" block (harness runs)
+// — flattening each entry's numeric fields into metrics and judging
+// every metric against a relative tolerance, direction-aware: for
+// lower-is-better metrics (times, energy, ratios, iterations) only
+// growth fails; for higher-is-better metrics (rates, converged) only
+// shrinkage fails; everything else is two-sided. Files that cannot be
+// meaningfully compared (different schema_version or source) are
+// refused outright rather than producing a noisy diff.
+//
+// Dependency-free by design (obs/json only) so CI can gate committed
+// baselines without pulling in a diff framework.
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rsls::tools {
+
+struct DiffOptions {
+  /// Default relative tolerance for every metric.
+  double tolerance = 0.05;
+  /// Per-metric overrides (exact metric name, e.g. "real_time_s" or
+  /// "counters.items_per_second").
+  std::map<std::string, double> metric_tolerance;
+  /// Metric names excluded from comparison entirely (e.g. "iterations"
+  /// for google-benchmark outputs, where it is the adaptive repetition
+  /// count, not a result).
+  std::vector<std::string> skip;
+};
+
+/// One out-of-tolerance metric.
+struct Delta {
+  std::string entry;   // result row ("spmv/p192", "lap2d_192/RD", …)
+  std::string metric;  // flattened metric name
+  double baseline = 0.0;
+  double current = 0.0;
+  /// Signed relative change, (current − baseline) / max(|b|, |c|);
+  /// bounded to [−1, 1] so zero baselines stay finite.
+  double relative = 0.0;
+  double tolerance = 0.0;
+};
+
+struct DiffResult {
+  /// False when the files cannot be compared at all (parse failure,
+  /// schema_version or source mismatch); `error` says why.
+  bool comparable = false;
+  std::string error;
+  int baseline_schema = 0;
+  int current_schema = 0;
+  std::string source;
+  std::size_t entries_compared = 0;
+  std::size_t metrics_compared = 0;
+  /// Failures in the harmful direction (gate on these).
+  std::vector<Delta> regressions;
+  /// Out-of-tolerance moves in the beneficial direction (informational).
+  std::vector<Delta> improvements;
+  /// Entries present in the baseline but missing from the current run —
+  /// a silent coverage loss, gated like a regression.
+  std::vector<std::string> missing_entries;
+  /// New entries with no baseline (informational).
+  std::vector<std::string> extra_entries;
+
+  bool ok() const {
+    return comparable && regressions.empty() && missing_entries.empty();
+  }
+};
+
+/// Compare two artifacts given their raw file contents.
+DiffResult diff_artifacts(const std::string& baseline_text,
+                          const std::string& current_text,
+                          const DiffOptions& options);
+
+/// Render a human-readable report. Returns the process exit code the
+/// result calls for: 0 clean, 1 regressions/missing entries, 2 not
+/// comparable.
+int render_diff(std::ostream& os, const DiffResult& result);
+
+}  // namespace rsls::tools

@@ -1,0 +1,120 @@
+// bench_diff CLI — gate a bench/RunReport artifact against a baseline.
+//
+//   bench_diff [options] <baseline.json> <current.json>
+//     --tol=F            default relative tolerance (default 0.05)
+//     --tol:METRIC=F     per-metric tolerance override (repeatable)
+//     --skip=METRIC      exclude a metric from comparison (repeatable)
+//     --report=PATH      also write the report to PATH (for CI artifacts)
+//
+// Exit codes: 0 within tolerance, 1 regression or missing entry,
+// 2 unusable input (missing file, parse error, schema/source mismatch).
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench_diff.hpp"
+#include "core/version.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream is(path);
+  if (!is.good()) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff [--tol=F] [--tol:METRIC=F] [--skip=METRIC] "
+               "[--report=PATH] <baseline.json> <current.json>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rsls::tools::DiffOptions options;
+  std::string report_path;
+  std::string baseline_path;
+  std::string current_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      if (baseline_path.empty()) {
+        baseline_path = arg;
+      } else if (current_path.empty()) {
+        current_path = arg;
+      } else {
+        return usage();
+      }
+      continue;
+    }
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      if (arg == "--version") {
+        std::printf("bench_diff %s\n", rsls::build::git_describe());
+        return 0;
+      }
+      return usage();
+    }
+    const std::string key = arg.substr(0, eq);
+    const std::string value = arg.substr(eq + 1);
+    try {
+      if (key == "--tol") {
+        options.tolerance = std::stod(value);
+      } else if (key.rfind("--tol:", 0) == 0) {
+        options.metric_tolerance[key.substr(6)] = std::stod(value);
+      } else if (key == "--skip") {
+        options.skip.push_back(value);
+      } else if (key == "--report") {
+        report_path = value;
+      } else {
+        return usage();
+      }
+    } catch (const std::exception&) {
+      return usage();
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) {
+    return usage();
+  }
+
+  std::string baseline_text;
+  std::string current_text;
+  if (!read_file(baseline_path, baseline_text)) {
+    std::fprintf(stderr, "bench_diff: cannot read baseline %s\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+  if (!read_file(current_path, current_text)) {
+    std::fprintf(stderr, "bench_diff: cannot read current %s\n",
+                 current_path.c_str());
+    return 2;
+  }
+
+  const rsls::tools::DiffResult result =
+      rsls::tools::diff_artifacts(baseline_text, current_text, options);
+  const int code = rsls::tools::render_diff(std::cout, result);
+  if (!report_path.empty()) {
+    std::ofstream report(report_path);
+    if (!report.good()) {
+      std::fprintf(stderr, "bench_diff: cannot write report %s\n",
+                   report_path.c_str());
+      return 2;
+    }
+    report << "baseline: " << baseline_path << "\n"
+           << "current:  " << current_path << "\n"
+           << "build:    " << rsls::build::git_describe() << "\n";
+    rsls::tools::render_diff(report, result);
+  }
+  return code;
+}
