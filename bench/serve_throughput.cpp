@@ -1,0 +1,250 @@
+// Load generator for the solve daemon (DESIGN.md §15): N concurrent
+// clients fire open-loop arrivals at an in-process SolveServer over real
+// loopback sockets and measure end-to-end job latency (p50/p95/p99),
+// throughput, rejection rate, and artifact-cache hit rate.
+//
+// Open loop: each client submits on its own fixed schedule whether or
+// not earlier jobs finished, so the queue genuinely backs up — the
+// closed-loop alternative would never exercise admission control. The
+// job mix cycles a small set of distinct problems, so repeats after the
+// first round are cache hits.
+//
+// The wall-clock latencies vary with host load; the BENCH_serve.json
+// gate uses generous tolerances on those and tight ones on the
+// deterministic counters (accepted/completed/cache hits, rejection
+// behavior under a deterministically full queue).
+//
+//   --clients=N   concurrent client threads        (default 64)
+//   --jobs=N      submissions per client           (default 3)
+//   --workers=N   engine solver workers            (default 4)
+//   --quick       shrink the matrices (also RSLS_QUICK=1)
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/env.hpp"
+#include "core/options.hpp"
+#include "core/table.hpp"
+#include "core/version.hpp"
+#include "obs/json.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace rsls;
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options(argc, argv);
+  const bool quick = quick_mode() || options.get_bool("quick", false);
+  const Index clients = options.get_index("clients", 64);
+  const Index jobs_per_client = options.get_index("jobs", 3);
+  const Index workers = options.get_index("workers", 4);
+  const Index n = quick ? 192 : 768;
+
+  serve::JobEngine::Options engine_options;
+  engine_options.workers = workers;
+  engine_options.queue_depth = static_cast<Index>(clients) * jobs_per_client;
+  serve::SolveServer server(0, engine_options);
+  std::thread accept_thread([&server] { server.serve_forever(); });
+  const serve::Client probe(server.port());
+
+  // Job mix: 4 distinct problems cycled across all submissions, so
+  // everything past the first 4 baselines is a cache hit.
+  const std::vector<std::string> specs = {
+      "{\"matrix\":\"laplacian_1d\",\"n\":" + std::to_string(n) +
+          ",\"faults\":2,\"processes\":16}",
+      "{\"matrix\":\"laplacian_1d\",\"n\":" + std::to_string(n) +
+          ",\"faults\":4,\"processes\":16}",  // same baseline key
+      "{\"matrix\":\"laplacian_2d\",\"n\":" + std::to_string(quick ? 14 : 28) +
+          ",\"faults\":2,\"processes\":16}",
+      "{\"matrix\":\"banded\",\"n\":" + std::to_string(n) +
+          ",\"faults\":2,\"processes\":16}",
+  };
+
+  // --- open-loop load phase -------------------------------------------
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::mutex latencies_mutex;
+  std::vector<double> latencies;  // seconds, accepted jobs only
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(static_cast<std::size_t>(clients));
+  for (Index c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      const serve::Client client(server.port());
+      for (Index j = 0; j < jobs_per_client; ++j) {
+        // Open-loop arrival: fixed 2 ms inter-arrival per client,
+        // independent of completions.
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        const std::string& spec =
+            specs[static_cast<std::size_t>(c * jobs_per_client + j) %
+                  specs.size()];
+        const auto t0 = std::chrono::steady_clock::now();
+        const serve::ClientResponse response =
+            client.request("POST", "/v1/jobs", spec);
+        if (response.status != 202) {
+          ++rejected;
+          continue;
+        }
+        ++accepted;
+        const std::string id =
+            obs::parse_json(response.body).at("id").as_string();
+        client.wait(id);
+        const double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        const std::lock_guard<std::mutex> lock(latencies_mutex);
+        latencies.push_back(seconds);
+      }
+    });
+  }
+  for (std::thread& t : client_threads) {
+    t.join();
+  }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  // --- deterministic overload probe -----------------------------------
+  // Pause dispatch, shrink admission to what is already queued plus a
+  // known headroom, and count structured rejections: the outcome depends
+  // only on the queue bound, never on scheduling.
+  serve::JobEngine& engine = server.engine();
+  engine.pause();
+  std::uint64_t probe_accepted = 0;
+  std::uint64_t probe_rejected = 0;
+  std::vector<std::string> probe_ids;
+  for (Index i = 0; i < engine_options.queue_depth + 8; ++i) {
+    const serve::ClientResponse response =
+        probe.request("POST", "/v1/jobs", specs[0]);
+    if (response.status == 202) {
+      ++probe_accepted;
+      probe_ids.push_back(obs::parse_json(response.body).at("id").as_string());
+    } else if (response.status == 429) {
+      ++probe_rejected;
+    }
+  }
+  // Cancel the probe jobs while still queued (deterministic, instant) so
+  // resume + shutdown don't solve a queue-depth's worth of filler.
+  for (const std::string& id : probe_ids) {
+    probe.cancel(id);
+  }
+  engine.resume();
+
+  const obs::JsonValue metrics = probe.metrics();
+  const auto counter = [&metrics](const std::string& name) {
+    return metrics.at("counters").at(name).as_number();
+  };
+  const double cache_hits = counter("serve.cache.hits");
+  const double cache_misses = counter("serve.cache.misses");
+  const double events_streamed = counter("serve.events.recorded");
+
+  // Drain the probe jobs, then stop the daemon.
+  server.shutdown();
+  accept_thread.join();
+
+  const double total_jobs = static_cast<double>(accepted.load());
+  const double jobs_per_second =
+      wall_seconds > 0.0 ? total_jobs / wall_seconds : 0.0;
+  const double p50 = percentile(latencies, 0.50);
+  const double p95 = percentile(latencies, 0.95);
+  const double p99 = percentile(latencies, 0.99);
+  const double hit_rate = cache_hits + cache_misses > 0.0
+                              ? cache_hits / (cache_hits + cache_misses)
+                              : 0.0;
+
+  TablePrinter table({"metric", "value"});
+  table.add_row({"clients", std::to_string(clients)});
+  table.add_row({"jobs/client", std::to_string(jobs_per_client)});
+  table.add_row({"accepted", std::to_string(accepted.load())});
+  table.add_row({"rejected (load)", std::to_string(rejected.load())});
+  table.add_row({"probe accepted", std::to_string(probe_accepted)});
+  table.add_row({"probe rejected", std::to_string(probe_rejected)});
+  table.add_row({"jobs/s", TablePrinter::num(jobs_per_second)});
+  table.add_row({"latency p50 (s)", TablePrinter::num(p50, 4)});
+  table.add_row({"latency p95 (s)", TablePrinter::num(p95, 4)});
+  table.add_row({"latency p99 (s)", TablePrinter::num(p99, 4)});
+  table.add_row({"cache hit rate", TablePrinter::num(hit_rate)});
+  table.print(std::cout);
+
+  // Shape checks: every load-phase job must be accepted (the queue was
+  // sized for the full offered load), repeats must hit the cache, the
+  // overload probe must reject exactly the submissions past the bound,
+  // and at least one progress event must have streamed.
+  bool pass = accepted.load() == static_cast<std::uint64_t>(clients) *
+                                     static_cast<std::uint64_t>(
+                                         jobs_per_client);
+  pass = pass && rejected.load() == 0;
+  pass = pass && cache_hits >= 1.0;
+  pass = pass && probe_rejected >= 8;
+  pass = pass && events_streamed >= 1.0;
+  std::printf("%s serve_throughput\n", pass ? "PASS" : "FAIL");
+
+  const std::string path =
+      env::bench_json_path().value_or("BENCH_serve.json");
+  std::ofstream os(path);
+  if (!os.good()) {
+    std::fprintf(stderr, "serve_throughput: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  obs::JsonWriter json(os);
+  json.begin_object();
+  json.field("schema_version", 1);
+  json.field("source", "serve_throughput");
+  json.field("git_describe", build::git_describe());
+  json.begin_array("results");
+  json.begin_object();
+  json.field("name", "serve/load");
+  json.begin_object("counters");
+  json.field("jobs_per_second", jobs_per_second);
+  json.field("latency_p50_s", p50);
+  json.field("latency_p95_s", p95);
+  json.field("latency_p99_s", p99);
+  json.field("accepted", static_cast<std::int64_t>(accepted.load()));
+  json.field("rejected", static_cast<std::int64_t>(rejected.load()));
+  json.field("cache_hits", cache_hits);
+  json.field("cache_misses", cache_misses);
+  json.field("cache_hit_rate", hit_rate);
+  json.field("events_streamed", events_streamed);
+  json.end_object();
+  json.end_object();
+  json.begin_object();
+  json.field("name", "serve/overload_probe");
+  json.begin_object("counters");
+  json.field("probe_accepted", static_cast<std::int64_t>(probe_accepted));
+  json.field("probe_rejected", static_cast<std::int64_t>(probe_rejected));
+  json.end_object();
+  json.end_object();
+  json.end_array();
+  json.end_object();
+  os << '\n';
+  std::fprintf(stderr, "serve_throughput: wrote %s\n", path.c_str());
+  return pass ? 0 : 1;
+}

@@ -76,6 +76,22 @@ const std::vector<VarSpec>& registry() {
       {"RSLS_WEIBULL_SHAPE", "double", "0",
        "Weibull shape k for fault inter-arrivals (< 1 infant mortality, "
        "> 1 wear-out); 0 keeps the default fault schedule."},
+      {"RSLS_SERVE_PORT", "int", "8080",
+       "TCP port the solve daemon (rsls_served) listens on; 0 picks an "
+       "ephemeral port (printed on startup)."},
+      {"RSLS_SERVE_QUEUE_DEPTH", "int", "64",
+       "Admission bound of the daemon's job queue (queued, not yet "
+       "running); past it POST /v1/jobs is rejected with a structured "
+       "429-style error."},
+      {"RSLS_SERVE_CACHE_ENTRIES", "int", "32",
+       "Capacity of the daemon's solve-artifact cache (workload + "
+       "fault-free baseline per content key; LRU beyond this)."},
+      {"RSLS_SERVE_JOBS", "int", "RSLS_JOBS",
+       "Solver worker threads of the daemon's job engine; 0 = one per "
+       "hardware thread. Defaults to RSLS_JOBS."},
+      {"RSLS_SERVE_SCHEME", "string", "CR-M",
+       "Default recovery scheme for jobs that do not name one "
+       "explicitly; an explicit job field always wins."},
   };
   return vars;
 }
@@ -197,6 +213,35 @@ Index recovery_retries() {
 double weibull_shape() {
   return std::max(get_double("RSLS_WEIBULL_SHAPE", 0.0), 0.0);
 }
+
+int serve_port() {
+  return static_cast<int>(std::clamp<long long>(
+      get_int("RSLS_SERVE_PORT", 8080), 0, 65535));
+}
+
+Index serve_queue_depth() {
+  return static_cast<Index>(
+      std::max<long long>(get_int("RSLS_SERVE_QUEUE_DEPTH", 64), 1));
+}
+
+std::size_t serve_cache_entries() {
+  return static_cast<std::size_t>(
+      std::max<long long>(get_int("RSLS_SERVE_CACHE_ENTRIES", 32), 1));
+}
+
+Index serve_jobs() {
+  const long long requested = get_int("RSLS_SERVE_JOBS", -1);
+  if (requested > 0) {
+    return static_cast<Index>(requested);
+  }
+  if (requested == 0) {
+    const unsigned hardware = std::thread::hardware_concurrency();
+    return static_cast<Index>(std::max(hardware, 1u));
+  }
+  return jobs();  // unset (or negative): follow RSLS_JOBS
+}
+
+std::string serve_scheme() { return get_string("RSLS_SERVE_SCHEME", "CR-M"); }
 
 std::vector<std::string> unknown_rsls_vars() {
   std::vector<std::string> unknown;

@@ -111,6 +111,22 @@ Index recovery_retries();
 /// exponential model.
 double weibull_shape();
 
+/// RSLS_SERVE_PORT: TCP port for the solve daemon (0 = ephemeral).
+int serve_port();
+
+/// RSLS_SERVE_QUEUE_DEPTH: admission bound of the daemon's job queue.
+Index serve_queue_depth();
+
+/// RSLS_SERVE_CACHE_ENTRIES: solve-artifact cache capacity (LRU).
+std::size_t serve_cache_entries();
+
+/// RSLS_SERVE_JOBS: solver worker threads of the daemon's job engine
+/// (0 = hardware width; unset follows RSLS_JOBS).
+Index serve_jobs();
+
+/// RSLS_SERVE_SCHEME: default recovery scheme for jobs that omit one.
+std::string serve_scheme();
+
 /// RSLS_-prefixed variables set in the process environment that no
 /// registry entry declares — typo'd knobs that would otherwise be
 /// silently ignored.

@@ -66,6 +66,9 @@ void ThreadPool::submit(std::function<void()> task) {
     }
     ++queued_;
     ++pending_;
+    ++stats_.tasks_submitted;
+    stats_.max_queue_depth = std::max<std::uint64_t>(
+        stats_.max_queue_depth, static_cast<std::uint64_t>(queued_));
   }
   {
     const std::lock_guard<std::mutex> lock(queues_[target]->mutex);
@@ -74,7 +77,9 @@ void ThreadPool::submit(std::function<void()> task) {
   work_available_.notify_one();
 }
 
-bool ThreadPool::try_pop(std::size_t self, std::function<void()>& task) {
+bool ThreadPool::try_pop(std::size_t self, std::function<void()>& task,
+                         bool& stolen) {
+  stolen = false;
   // Own deque first, newest task (LIFO keeps nested work hot) ...
   {
     auto& own = *queues_[self];
@@ -93,6 +98,7 @@ bool ThreadPool::try_pop(std::size_t self, std::function<void()>& task) {
     if (!victim.tasks.empty()) {
       task = std::move(victim.tasks.front());
       victim.tasks.pop_front();
+      stolen = true;
       return true;
     }
   }
@@ -123,11 +129,16 @@ void ThreadPool::run_task(std::function<void()>& task) {
 void ThreadPool::worker_loop(std::size_t self) {
   t_worker = WorkerIdentity{this, self};
   std::function<void()> task;
+  bool stolen = false;
   while (true) {
-    if (try_pop(self, task)) {
+    if (try_pop(self, task, stolen)) {
       {
         const std::lock_guard<std::mutex> lock(state_mutex_);
         --queued_;
+        ++stats_.tasks_executed;
+        if (stolen) {
+          ++stats_.tasks_stolen;
+        }
       }
       run_task(task);
       continue;
@@ -138,6 +149,11 @@ void ThreadPool::worker_loop(std::size_t self) {
       return;
     }
   }
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  return stats_;
 }
 
 void ThreadPool::wait_idle() {

@@ -13,6 +13,7 @@
 // stays usable after the rethrow.
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -27,6 +28,18 @@ namespace rsls {
 
 class ThreadPool {
  public:
+  /// Occupancy counters, sampled atomically under the pool's state lock.
+  /// Every field is monotone over the pool's lifetime, so consumers can
+  /// export them as counters (deltas between snapshots are well defined)
+  /// and merging snapshots from several pools is a plain sum.
+  struct Stats {
+    std::uint64_t tasks_submitted = 0;
+    std::uint64_t tasks_executed = 0;
+    /// Tasks a worker took from another worker's deque (FIFO steals).
+    std::uint64_t tasks_stolen = 0;
+    /// High-water mark of tasks sitting in deques (scheduler pressure).
+    std::uint64_t max_queue_depth = 0;
+  };
   /// Spawn `threads` workers (values < 1 are clamped to 1). A 1-thread
   /// pool still runs tasks on its worker, never inline on the caller, so
   /// task code sees the same execution environment at every width.
@@ -47,6 +60,9 @@ class ThreadPool {
 
   Index thread_count() const { return static_cast<Index>(workers_.size()); }
 
+  /// Point-in-time occupancy snapshot (see Stats). Safe from any thread.
+  Stats stats() const;
+
   /// Worker threads a new pool should use: env::jobs() (RSLS_JOBS).
   static Index default_threads();
 
@@ -57,13 +73,13 @@ class ThreadPool {
   };
 
   void worker_loop(std::size_t self);
-  bool try_pop(std::size_t self, std::function<void()>& task);
+  bool try_pop(std::size_t self, std::function<void()>& task, bool& stolen);
   void run_task(std::function<void()>& task);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
 
-  std::mutex state_mutex_;
+  mutable std::mutex state_mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
   Index queued_ = 0;   // tasks sitting in some deque
@@ -71,6 +87,7 @@ class ThreadPool {
   bool stop_ = false;
   std::size_t next_queue_ = 0;  // round-robin cursor for external submits
   std::exception_ptr first_error_;
+  Stats stats_;  // guarded by state_mutex_
 };
 
 }  // namespace rsls

@@ -1,0 +1,152 @@
+#include "harness/artifact_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "obs/json.hpp"
+#include "simrt/net/network_config.hpp"
+
+namespace rsls::harness {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv1a_bytes(std::uint64_t& hash, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+}
+
+template <typename T>
+void fnv1a_span(std::uint64_t& hash, std::span<const T> values) {
+  fnv1a_bytes(hash, values.data(), values.size() * sizeof(T));
+}
+
+std::uint64_t fingerprint_vector(const RealVec& values) {
+  std::uint64_t hash = kFnvOffset;
+  fnv1a_span<Real>(hash, values);
+  return hash;
+}
+
+}  // namespace
+
+std::uint64_t ArtifactCache::fingerprint(const sparse::Csr& matrix) {
+  std::uint64_t hash = kFnvOffset;
+  const std::int64_t dims[2] = {matrix.rows, matrix.cols};
+  fnv1a_bytes(hash, dims, sizeof(dims));
+  fnv1a_span<Index>(hash, std::span<const Index>(matrix.row_ptr));
+  fnv1a_span<Index>(hash, std::span<const Index>(matrix.col_idx));
+  fnv1a_span<Real>(hash, std::span<const Real>(matrix.values));
+  return hash;
+}
+
+std::string ArtifactCache::key_for(const Workload& workload,
+                                   const ExperimentConfig& config,
+                                   const std::string& ordering) {
+  // The interconnect shapes virtual time, so the baseline depends on it.
+  // Resolve exactly like run_fault_free: explicit config wins, otherwise
+  // machine_for's default (which honors RSLS_NET_* env).
+  const simrt::net::NetworkConfig net =
+      config.network.has_value() ? *config.network
+                                 : machine_for(config.processes).net;
+  std::ostringstream key;
+  key << std::hex << fingerprint(workload.a.global()) << '.'
+      << fingerprint_vector(workload.b) << '.'
+      << fingerprint_vector(workload.x0) << std::dec << "|p"
+      << config.processes << "|ord:" << ordering
+      << "|tol:" << obs::JsonWriter::number(config.tolerance)
+      << "|maxit:" << config.max_iterations << "|solver:"
+      << (config.solver_kind == solver::SolverKind::kCg ? "cg" : "jacobi-pcg")
+      << "|net:" << simrt::net::to_string(net.topology) << '/'
+      << simrt::net::to_string(net.collective);
+  return key.str();
+}
+
+ArtifactCache::ArtifactCache(std::size_t max_entries)
+    : max_entries_(std::max<std::size_t>(max_entries, 1)) {}
+
+std::shared_ptr<const SolveArtifacts> ArtifactCache::get_or_build(
+    const std::string& key, const Builder& build) {
+  RSLS_CHECK_MSG(build != nullptr, "ArtifactCache needs a builder");
+  bool owner = false;
+  std::promise<std::shared_ptr<const SolveArtifacts>> promise;
+  std::shared_future<std::shared_ptr<const SolveArtifacts>> future;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      touch(it->second, key);
+      future = it->second.future;
+    } else {
+      ++stats_.misses;
+      owner = true;
+      future = promise.get_future().share();
+      entries_.emplace(key, Entry{future, false, lru_.end()});
+    }
+  }
+  if (!owner) {
+    return future.get();  // blocks on an in-flight build; rethrows failure
+  }
+  // Build outside the lock: a slow derivation must not serialize hits on
+  // other keys. In-flight entries are invisible to eviction, so the map
+  // slot is stable until we mark it ready (or erase it on failure).
+  std::shared_ptr<const SolveArtifacts> value;
+  try {
+    value = std::make_shared<const SolveArtifacts>(build());
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      entries_.erase(key);  // failed builds are not cached: retry later
+      stats_.entries = entries_.size();
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+  promise.set_value(value);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.ready = true;
+      lru_.push_front(key);
+      it->second.lru_pos = lru_.begin();
+      evict_excess();
+    }
+  }
+  return value;
+}
+
+void ArtifactCache::touch(Entry& entry, const std::string& key) {
+  if (entry.ready) {
+    lru_.erase(entry.lru_pos);
+    lru_.push_front(key);
+    entry.lru_pos = lru_.begin();
+  }
+}
+
+void ArtifactCache::evict_excess() {
+  while (lru_.size() > max_entries_) {
+    const std::string& victim = lru_.back();
+    entries_.erase(victim);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.entries = entries_.size();
+}
+
+ArtifactCache::Stats ArtifactCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats out = stats_;
+  out.entries = entries_.size();
+  return out;
+}
+
+}  // namespace rsls::harness

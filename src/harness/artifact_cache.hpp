@@ -1,0 +1,107 @@
+#pragma once
+// Keyed cache of immutable solve artifacts: a workload (partitioned
+// matrix + rhs + guess), the ordering permutation applied to it, and
+// its fault-free baseline. This is the generalization of the Runner's
+// per-group baseline sharing — instead of "one baseline per GroupSpec",
+// any consumer (Runner sweeps, the serve daemon's job engine) asks the
+// cache by content key and the expensive derivation runs at most once
+// per distinct key, process-wide if the cache is shared.
+//
+// The split matters for serving: the cached value is strictly immutable
+// matrix-side state (safe to share across concurrent jobs), while all
+// per-job solver state (iterate, fault plan, recorder) stays outside.
+//
+// Keys are content hashes: FNV-1a over the matrix structure and values
+// plus every baseline-relevant config field (partition count, ordering,
+// tolerance, iteration cap, solver kind, resolved interconnect), so two
+// jobs naming the same problem hit the same entry and bitwise-identical
+// baselines — and two jobs differing in any relevant knob never alias.
+//
+// Concurrency: get_or_build is thread-safe with in-flight deduplication
+// — the first caller of a key builds, later callers of the same key
+// block on the same shared_future and count as hits (so hit/miss totals
+// are schedule-independent: misses == distinct keys built). Completed
+// entries are evicted LRU beyond the capacity; in-flight entries are
+// never evicted.
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/types.hpp"
+#include "harness/experiment.hpp"
+#include "sparse/csr.hpp"
+
+namespace rsls::harness {
+
+/// Immutable per-problem state shared by every job that names the same
+/// (matrix, partition, ordering, baseline config).
+struct SolveArtifacts {
+  std::shared_ptr<const Workload> workload;
+  /// Symmetric permutation applied to the matrix (empty = natural
+  /// ordering). new_index = permutation[old_index].
+  IndexVec permutation;
+  FfBaseline ff;
+};
+
+class ArtifactCache {
+ public:
+  /// Retain at most `max_entries` completed entries (LRU eviction);
+  /// values < 1 are clamped to 1.
+  explicit ArtifactCache(std::size_t max_entries = 32);
+
+  using Builder = std::function<SolveArtifacts()>;
+
+  /// Return the artifacts for `key`, invoking `build` exactly once per
+  /// distinct key (across all threads). Throws whatever `build` throws;
+  /// a failed build is not cached, so the next caller retries.
+  std::shared_ptr<const SolveArtifacts> get_or_build(const std::string& key,
+                                                     const Builder& build);
+
+  /// Monotone counters + current size; hits include joins on an
+  /// in-flight build.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0;
+  };
+  Stats stats() const;
+
+  std::size_t max_entries() const { return max_entries_; }
+
+  /// FNV-1a over dimensions, structure, and values of a CSR matrix.
+  static std::uint64_t fingerprint(const sparse::Csr& matrix);
+
+  /// Content key for a prepared workload under `config`: matrix/rhs/x0
+  /// fingerprints × partition count × `ordering` label × tolerance ×
+  /// iteration cap × solver kind × the resolved interconnect (explicit
+  /// config.network, else the machine_for default including env).
+  static std::string key_for(const Workload& workload,
+                             const ExperimentConfig& config,
+                             const std::string& ordering = "natural");
+
+ private:
+  struct Entry {
+    std::shared_future<std::shared_ptr<const SolveArtifacts>> future;
+    bool ready = false;
+    /// Position in lru_ (most-recent at front); valid when ready.
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  void touch(Entry& entry, const std::string& key);
+  void evict_excess();
+
+  const std::size_t max_entries_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // completed keys, most-recent first
+  Stats stats_;
+};
+
+}  // namespace rsls::harness

@@ -212,6 +212,9 @@ void apply_net_env(simrt::net::NetworkConfig& net) {
 /// spare pool with no explicit policy implies spare substitution.
 ExperimentConfig with_resilience_env(const ExperimentConfig& in) {
   ExperimentConfig config = in;
+  if (!config.env_overlay) {
+    return config;  // caller resolved the environment already
+  }
   if (config.fault_domains == 0) {
     config.fault_domains = env::fault_domains();
   }
@@ -386,8 +389,13 @@ SchemeRun run_scheme(const Workload& workload, const std::string& scheme_name,
 
   // Observability session: flag- or environment-driven. The recorder
   // rides the cluster's charge path; resilient_solve opens the spans.
-  const obs::ObservabilityOptions obs_opts =
+  // keep_report implies a live recorder even without artifact paths: the
+  // report is assembled for the caller instead of (or on top of) disk.
+  obs::ObservabilityOptions obs_opts =
       obs::resolve_from_env(config.observability);
+  if (obs_opts.keep_report) {
+    obs_opts.enabled = true;
+  }
   obs::Recorder recorder;
   obs::Recorder* rec = nullptr;
   if (obs_opts.enabled) {
@@ -410,10 +418,11 @@ SchemeRun run_scheme(const Workload& workload, const std::string& scheme_name,
     recorder.attach(cluster);
   }
 
+  solver::CgOptions solve_options = cg_options_for(config, ff.iterations);
+  solve_options.residual_observer = hooks.residual_observer;
   run.report = resilience::resilient_solve(
-      workload.a, cluster, workload.b, x, scheme, injector,
-      cg_options_for(config, ff.iterations), detectors, config.hardening, rec,
-      config.recovery);
+      workload.a, cluster, workload.b, x, scheme, injector, solve_options,
+      detectors, config.hardening, rec, config.recovery);
   // An undetected silent corruption is *allowed* to leave the solver
   // non-converged (or converged on a wrong answer — see
   // report.true_relative_residual); likewise a fallible recovery path,
@@ -481,10 +490,15 @@ SchemeRun run_scheme(const Workload& workload, const std::string& scheme_name,
           derive_trace_path(obs_opts, matrix, scheme_name), recorder,
           trace_options);
     }
-    if (obs_opts.wants_report()) {
-      obs::append_run_report(
-          obs_opts.report_path,
+    if (obs_opts.wants_report() || obs_opts.keep_report) {
+      auto report = std::make_shared<obs::RunReport>(
           make_run_report(obs_opts, matrix, run, cluster, config, recorder));
+      if (obs_opts.wants_report()) {
+        obs::append_run_report(obs_opts.report_path, *report);
+      }
+      if (obs_opts.keep_report) {
+        run.run_report = std::move(report);
+      }
     }
     recorder.detach();
   }

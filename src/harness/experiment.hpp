@@ -13,6 +13,7 @@
 #include "harness/scheme_factory.hpp"
 #include "obs/metrics.hpp"
 #include "obs/observability.hpp"
+#include "obs/run_report.hpp"
 #include "obs/time_series.hpp"
 #include "resilience/fault.hpp"
 #include "resilience/resilient_solve.hpp"
@@ -84,6 +85,11 @@ struct ExperimentConfig {
   /// RSLS_NET_COLLECTIVE); an explicit value here beats the environment
   /// — that's how bench sweeps pin a topology per cell.
   std::optional<simrt::net::NetworkConfig> network;
+  /// Overlay RSLS_* resilience env vars onto fields still at defaults
+  /// inside run_scheme (the historical behavior). The serve layer turns
+  /// this off after resolving the environment once at job-parse time, so
+  /// explicit job fields always beat the daemon's environment.
+  bool env_overlay = true;
 };
 
 /// Machine sized for the process count: the paper's 8-node cluster, with
@@ -138,6 +144,10 @@ struct SchemeRun {
   /// Flight-recorder series for this run (disabled/empty unless the
   /// observability options — or RSLS_SERIES — switched it on).
   obs::SeriesSnapshot series;
+  /// The standardized RunReport, populated when observability requested
+  /// a report file or set keep_report (the serve layer returns it over
+  /// the wire without touching disk). Null otherwise.
+  std::shared_ptr<const obs::RunReport> run_report;
 };
 
 /// Caller-supplied overrides for run_scheme. Any member left null is
@@ -152,6 +162,11 @@ struct RunHooks {
   resilience::RecoveryScheme* scheme = nullptr;
   resilience::FaultInjector* injector = nullptr;
   simrt::VirtualCluster* cluster = nullptr;
+  /// Called at every residual-history record site (each CG iteration,
+  /// plus recovery re-entries). Runs on the solving thread; the serve
+  /// engine uses it to stream live progress and to abort cancelled jobs
+  /// by throwing. Composes with the flight recorder's own sampling.
+  solver::ResidualObserver residual_observer = nullptr;
 };
 
 /// Run one named scheme against the baseline. The single entry point

@@ -31,7 +31,9 @@
 #include <string>
 #include <vector>
 
+#include "core/thread_pool.hpp"
 #include "core/types.hpp"
+#include "harness/artifact_cache.hpp"
 #include "harness/experiment.hpp"
 #include "obs/metrics.hpp"
 
@@ -87,16 +89,31 @@ class Runner {
   GroupResult run_group(const GroupSpec& group);
 
   /// Merged observability metrics across every cell run so far (plus
-  /// the runner's own counters: runner.cells, runner.groups). Cells are
+  /// the runner's own counters: runner.cells, runner.groups, and the
+  /// deterministic artifact-cache counters runner.cache.*). Cells are
   /// folded in (group, cell) spec order after each batch drains, so the
   /// aggregate — gauges included — is independent of RSLS_JOBS and
   /// scheduling.
   obs::MetricsSnapshot metrics() const;
 
+  /// Thread-pool occupancy summed over every run() so far. Stolen-task
+  /// and queue-depth figures are genuinely schedule-dependent, so they
+  /// live here — telemetry — rather than in the deterministic metrics()
+  /// aggregate.
+  ThreadPool::Stats pool_stats() const;
+
+  /// Workload/baseline cache shared by every group of every run():
+  /// groups naming the same (matrix, config) content key reuse one
+  /// baseline instead of recomputing it. Exposed so callers (the serve
+  /// engine, tests) can share or inspect it.
+  ArtifactCache& cache() { return cache_; }
+
  private:
   Index jobs_ = 1;
   mutable std::mutex metrics_mutex_;
   obs::MetricsRegistry metrics_;
+  ThreadPool::Stats pool_stats_;  // guarded by metrics_mutex_
+  ArtifactCache cache_;
 };
 
 }  // namespace rsls::harness

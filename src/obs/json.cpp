@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <sstream>
 
 namespace rsls::obs {
 
@@ -507,6 +508,56 @@ class Parser {
 
 JsonValue parse_json(const std::string& text) {
   return Parser(text).parse_document();
+}
+
+void write_json(std::ostream& os, const JsonValue& value) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull:
+      os << "null";
+      return;
+    case JsonValue::Kind::kBool:
+      os << (value.as_bool() ? "true" : "false");
+      return;
+    case JsonValue::Kind::kNumber:
+      os << JsonWriter::number(value.as_number());
+      return;
+    case JsonValue::Kind::kString:
+      os << JsonWriter::quote(value.as_string());
+      return;
+    case JsonValue::Kind::kArray: {
+      os << '[';
+      bool first = true;
+      for (const JsonValue& element : value.as_array()) {
+        if (!first) {
+          os << ',';
+        }
+        first = false;
+        write_json(os, element);
+      }
+      os << ']';
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      os << '{';
+      bool first = true;
+      for (const auto& [key, member] : value.as_object()) {
+        if (!first) {
+          os << ',';
+        }
+        first = false;
+        os << JsonWriter::quote(key) << ':';
+        write_json(os, member);
+      }
+      os << '}';
+      return;
+    }
+  }
+}
+
+std::string to_string(const JsonValue& value) {
+  std::ostringstream os;
+  write_json(os, value);
+  return os.str();
 }
 
 }  // namespace rsls::obs

@@ -112,4 +112,15 @@ class JsonValue {
 /// malformed input. Trailing non-whitespace is an error.
 JsonValue parse_json(const std::string& text);
 
+/// Stream a JsonValue directly to `os` without materializing the full
+/// document as a string — containers are walked depth-first and each
+/// scalar is emitted as it is visited, so chunked transports (the serve
+/// event stream) can write arbitrarily large values with O(depth)
+/// memory. Numbers use the same shortest-round-trip form as JsonWriter,
+/// so write_json → parse_json is lossless for finite doubles.
+void write_json(std::ostream& os, const JsonValue& value);
+
+/// Convenience: write_json into a std::string.
+std::string to_string(const JsonValue& value);
+
 }  // namespace rsls::obs

@@ -51,6 +51,13 @@ struct ObservabilityOptions {
   /// Bound on the recorder's charge stream is not needed — traces are
   /// per-run — but the cluster-owned EventLog (if any) can be capped.
   std::size_t event_log_capacity = 0;
+  /// Build the RunReport and hand it back on SchemeRun even when no
+  /// report_path is set (the serve layer returns it over the wire).
+  bool keep_report = false;
+  /// Set when the caller already ran resolve_from_env (or deliberately
+  /// wants explicit fields to win): resolve_from_env becomes a no-op,
+  /// so RSLS_* cannot re-overlay a decided configuration.
+  bool env_resolved = false;
 
   bool wants_trace() const {
     return enabled && (!trace_path.empty() || !trace_dir.empty());
@@ -62,6 +69,10 @@ struct ObservabilityOptions {
 /// RSLS_OBS_POWER_BIN (via the core::env registry), enabling
 /// observability when any is present.
 inline ObservabilityOptions resolve_from_env(ObservabilityOptions base) {
+  if (base.env_resolved) {
+    return base;  // already decided; explicit fields win
+  }
+  base.env_resolved = true;
   if (const auto dir = env::trace_dir(); dir.has_value()) {
     base.trace_dir = *dir;
     base.enabled = true;

@@ -1,8 +1,13 @@
 #include "obs/run_report.hpp"
 
-#include <fstream>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <mutex>
 #include <ostream>
+#include <sstream>
 
 #include "core/error.hpp"
 #include "obs/json.hpp"
@@ -164,15 +169,37 @@ void write_run_report(std::ostream& os, const RunReport& report) {
 }
 
 void append_run_report(const std::string& path, const RunReport& report) {
-  // Concurrent sweep cells append to the same JSONL file; the mutex
-  // keeps each report line atomic (ordering between lines is scheduling
-  // order, which is fine for JSONL).
+  // Concurrent jobs (sweep cells, server solves) append to the same
+  // JSONL file. Each report is serialized to one buffer first and then
+  // pushed through a single write(2) on an O_APPEND descriptor: the
+  // kernel makes the seek+write pair atomic, so lines never interleave
+  // even across descriptors or processes. The mutex additionally
+  // serializes in-process callers so a rare partial write (ENOSPC,
+  // signal) can be continued without another thread splicing in.
+  std::ostringstream buffer;
+  write_run_report(buffer, report);
+  const std::string line = buffer.str();
+
   static std::mutex append_mutex;
   const std::lock_guard<std::mutex> lock(append_mutex);
-  std::ofstream os(path, std::ios::app);
-  RSLS_CHECK_MSG(os.good(), "cannot open run report file " + path);
-  write_run_report(os, report);
-  RSLS_CHECK_MSG(os.good(), "failed writing run report to " + path);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  RSLS_CHECK_MSG(fd >= 0, "cannot open run report file " + path + ": " +
+                              std::strerror(errno));
+  std::size_t written = 0;
+  while (written < line.size()) {
+    const ssize_t n =
+        ::write(fd, line.data() + written, line.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const std::string reason = std::strerror(errno);
+      ::close(fd);
+      throw Error("failed writing run report to " + path + ": " + reason);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
 }
 
 }  // namespace rsls::obs

@@ -1,0 +1,261 @@
+#include "serve/client.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "core/error.hpp"
+
+namespace rsls::serve {
+
+namespace {
+
+/// Close-on-scope-exit socket handle.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) {
+      ::close(fd);
+    }
+  }
+};
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string request_text(const std::string& method, const std::string& path,
+                         const std::string& body) {
+  std::ostringstream os;
+  os << method << ' ' << path << " HTTP/1.1\r\n"
+     << "Host: 127.0.0.1\r\n"
+     << "Content-Type: application/json\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << body;
+  return os.str();
+}
+
+/// Read until EOF or `stop_at` bytes of head are available.
+bool recv_some(int fd, std::string& buffer) {
+  char chunk[4096];
+  const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+  if (n < 0 && errno == EINTR) {
+    return true;
+  }
+  if (n <= 0) {
+    return false;
+  }
+  buffer.append(chunk, static_cast<std::size_t>(n));
+  return true;
+}
+
+struct ResponseHead {
+  int status = 0;
+  bool chunked = false;
+  std::size_t content_length = 0;
+  bool have_length = false;
+  std::size_t body_start = 0;  // offset into the receive buffer
+};
+
+bool parse_head(const std::string& buffer, ResponseHead& head) {
+  const std::size_t end = buffer.find("\r\n\r\n");
+  if (end == std::string::npos) {
+    return false;
+  }
+  head.body_start = end + 4;
+  std::istringstream lines(buffer.substr(0, end));
+  std::string status_line;
+  std::getline(lines, status_line);
+  std::istringstream parts(status_line);
+  std::string version;
+  parts >> version >> head.status;
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    std::string lowered = line;
+    for (char& c : lowered) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    if (lowered.rfind("transfer-encoding:", 0) == 0 &&
+        lowered.find("chunked") != std::string::npos) {
+      head.chunked = true;
+    }
+    if (lowered.rfind("content-length:", 0) == 0) {
+      head.content_length = static_cast<std::size_t>(
+          std::stoll(line.substr(line.find(':') + 1)));
+      head.have_length = true;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int Client::connect_fd() const {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw Error(std::string("socket: ") + std::strerror(errno));
+  }
+  const int nodelay = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port_));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    throw Error("connect 127.0.0.1:" + std::to_string(port_) + ": " + reason);
+  }
+  return fd;
+}
+
+ClientResponse Client::request(const std::string& method,
+                               const std::string& path,
+                               const std::string& body) const {
+  Fd sock{connect_fd()};
+  if (!send_all(sock.fd, request_text(method, path, body))) {
+    throw Error("send to daemon failed: " + std::string(std::strerror(errno)));
+  }
+  std::string buffer;
+  ResponseHead head;
+  while (!parse_head(buffer, head)) {
+    if (!recv_some(sock.fd, buffer)) {
+      throw Error("daemon closed the connection before a full response");
+    }
+  }
+  // Connection: close — read to EOF, then frame by what the head said.
+  while (recv_some(sock.fd, buffer)) {
+  }
+  ClientResponse response;
+  response.status = head.status;
+  std::string raw = buffer.substr(head.body_start);
+  if (head.chunked) {
+    // Decode chunk framing: <hex-size>\r\n<data>\r\n ... 0\r\n\r\n.
+    std::string decoded;
+    std::size_t pos = 0;
+    while (pos < raw.size()) {
+      const std::size_t line_end = raw.find("\r\n", pos);
+      if (line_end == std::string::npos) {
+        break;
+      }
+      const std::size_t size = static_cast<std::size_t>(
+          std::strtoull(raw.substr(pos, line_end - pos).c_str(), nullptr, 16));
+      if (size == 0) {
+        break;
+      }
+      decoded += raw.substr(line_end + 2, size);
+      pos = line_end + 2 + size + 2;
+    }
+    response.body = std::move(decoded);
+  } else if (head.have_length) {
+    raw.resize(std::min(raw.size(), head.content_length));
+    response.body = std::move(raw);
+  } else {
+    response.body = std::move(raw);
+  }
+  return response;
+}
+
+std::string Client::submit(const std::string& job_json) const {
+  const ClientResponse response = request("POST", "/v1/jobs", job_json);
+  if (response.status != 202) {
+    throw Error("submit rejected (" + std::to_string(response.status) +
+                "): " + response.body);
+  }
+  return obs::parse_json(response.body).at("id").as_string();
+}
+
+obs::JsonValue Client::status(const std::string& id) const {
+  const ClientResponse response = request("GET", "/v1/jobs/" + id);
+  if (response.status != 200) {
+    throw Error("status " + id + " failed (" +
+                std::to_string(response.status) + "): " + response.body);
+  }
+  return obs::parse_json(response.body);
+}
+
+bool Client::cancel(const std::string& id) const {
+  return request("POST", "/v1/jobs/" + id + "/cancel").status == 202;
+}
+
+std::string Client::stream_events(
+    const std::string& id,
+    const std::function<void(const std::string&)>& line) const {
+  const ClientResponse response =
+      request("GET", "/v1/jobs/" + id + "/events");
+  if (response.status != 200) {
+    throw Error("events " + id + " failed (" +
+                std::to_string(response.status) + "): " + response.body);
+  }
+  std::string final_state;
+  std::istringstream body(response.body);
+  std::string one;
+  while (std::getline(body, one)) {
+    if (one.empty()) {
+      continue;
+    }
+    const obs::JsonValue parsed = obs::parse_json(one);
+    if (parsed.contains("state")) {
+      final_state = parsed.at("state").as_string();
+    } else if (line != nullptr) {
+      line(one);
+    }
+  }
+  return final_state;
+}
+
+obs::JsonValue Client::metrics() const {
+  const ClientResponse response = request("GET", "/v1/metrics");
+  if (response.status != 200) {
+    throw Error("metrics failed (" + std::to_string(response.status) + ")");
+  }
+  return obs::parse_json(response.body);
+}
+
+bool Client::healthy() const {
+  try {
+    return request("GET", "/v1/healthz").status == 200;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+obs::JsonValue Client::wait(const std::string& id, int poll_ms) const {
+  while (true) {
+    const obs::JsonValue doc = status(id);
+    const std::string& state = doc.at("state").as_string();
+    if (state != "queued" && state != "running") {
+      return doc;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+  }
+}
+
+}  // namespace rsls::serve

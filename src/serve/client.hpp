@@ -1,0 +1,66 @@
+#pragma once
+// Client library for the solve daemon: blocking HTTP/1.1 requests over
+// POSIX sockets (127.0.0.1 only), with chunked-response decoding for
+// the event stream. Used by the CLI (rsls_client), the throughput
+// bench, and the end-to-end tests.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace rsls::serve {
+
+struct ClientResponse {
+  int status = 0;
+  std::string body;
+};
+
+class Client {
+ public:
+  explicit Client(int port) : port_(port) {}
+
+  /// One request/response round trip (the daemon closes after each
+  /// response). Throws rsls::Error on connect/IO failure; HTTP error
+  /// statuses come back in the response for the caller to interpret.
+  ClientResponse request(const std::string& method, const std::string& path,
+                         const std::string& body = "") const;
+
+  /// POST /v1/jobs. Returns the job id on 202; throws rsls::Error
+  /// carrying the server's structured error body otherwise (the bench
+  /// catches rejections and counts them via raw request()).
+  std::string submit(const std::string& job_json) const;
+
+  /// GET /v1/jobs/{id} parsed; throws on 404.
+  obs::JsonValue status(const std::string& id) const;
+
+  /// POST /v1/jobs/{id}/cancel; true when the server accepted it.
+  bool cancel(const std::string& id) const;
+
+  /// GET /v1/jobs/{id}/events — decodes the chunked stream and calls
+  /// `line` once per NDJSON line as it arrives. Returns the final state
+  /// from the terminating {"state": ...} line ("" if the stream broke).
+  std::string stream_events(
+      const std::string& id,
+      const std::function<void(const std::string&)>& line = nullptr) const;
+
+  /// GET /v1/metrics parsed.
+  obs::JsonValue metrics() const;
+
+  /// GET /v1/healthz → true on 200.
+  bool healthy() const;
+
+  /// Poll GET /v1/jobs/{id} until the job is terminal; returns the
+  /// final status document. `poll_ms` is the host-time poll interval.
+  obs::JsonValue wait(const std::string& id, int poll_ms = 2) const;
+
+  int port() const { return port_; }
+
+ private:
+  int connect_fd() const;  // throws rsls::Error on failure
+
+  int port_;
+};
+
+}  // namespace rsls::serve

@@ -1,0 +1,377 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sparse/ordering.hpp"
+
+namespace rsls::serve {
+
+namespace {
+
+/// Thrown by the residual observer of a cancelled job; unwinds the
+/// solve cleanly (no catch inside resilient_solve).
+struct JobCancelledSignal {};
+
+}  // namespace
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kSucceeded:
+      return "succeeded";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+    case JobState::kDeadlineExceeded:
+      return "deadline_exceeded";
+  }
+  return "unknown";
+}
+
+JobEngine::JobEngine(const Options& options)
+    : options_(options),
+      cache_(options.cache_entries),
+      pool_(std::max<Index>(options.workers, 1)) {}
+
+JobEngine::~JobEngine() {
+  // Cancel everything still queued, then let running jobs finish: the
+  // pool's destructor joins its workers, which reference `this`.
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+    paused_ = false;
+    for (const auto& [key, record] : ready_) {
+      (void)key;
+      record->cancel_requested = true;
+    }
+    for (const auto& [id, record] : jobs_) {
+      (void)id;
+      record->cancel_requested = true;
+    }
+  }
+  unpaused_.notify_all();
+  pool_.wait_idle();
+}
+
+std::string JobEngine::submit(JobSpec spec) {
+  std::shared_ptr<JobRecord> record;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      ++rejected_;
+      throw AdmissionError("draining", "server is draining; try again later");
+    }
+    if (queued_ >= options_.queue_depth) {
+      ++rejected_;
+      throw AdmissionError(
+          "queue_full",
+          "job queue is full (" + std::to_string(options_.queue_depth) +
+              " queued); retry with backoff");
+    }
+    record = std::make_shared<JobRecord>();
+    record->seq = next_seq_++;
+    record->id = "job-" + std::to_string(record->seq);
+    record->spec = std::move(spec);
+    jobs_.emplace(record->id, record);
+    ready_.insert({{-record->spec.priority, record->seq}, record});
+    ++queued_;
+    ++submitted_;
+  }
+  // One pull task per admitted job: the task runs whichever job is
+  // highest-priority *at dispatch time*, not the one admitted with it.
+  pool_.submit([this] { run_next(); });
+  return record->id;
+}
+
+void JobEngine::run_next() {
+  std::shared_ptr<JobRecord> record;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    unpaused_.wait(lock, [this] { return !paused_; });
+    if (ready_.empty()) {
+      return;  // job was cancelled out of the queue
+    }
+    record = ready_.begin()->second;
+    ready_.erase(ready_.begin());
+    --queued_;
+    if (record->cancel_requested) {
+      // Cancelled while queued but before the cancel path removed it.
+      record->state = JobState::kCancelled;
+      ++cancelled_;
+      record->progress.notify_all();
+      if (queued_ == 0 && running_ == 0) {
+        idle_.notify_all();
+      }
+      return;
+    }
+    record->state = JobState::kRunning;
+    record->dispatch_seq = next_dispatch_++;
+    ++running_;
+  }
+  execute(record);
+}
+
+void JobEngine::execute(const std::shared_ptr<JobRecord>& record) {
+  const JobSpec& spec = record->spec;
+  try {
+    // Build the workload (deterministic from the spec), apply the
+    // requested ordering, and pull the fault-free baseline through the
+    // shared artifact cache — repeat submissions of the same problem
+    // skip the baseline solve entirely.
+    sparse::Csr matrix = build_matrix(spec);
+    std::string label = spec.matrix;
+    if (spec.ordering == "rcm") {
+      const IndexVec perm = sparse::rcm_ordering(matrix);
+      matrix = sparse::permute_symmetric(matrix, perm);
+      label += "+rcm";
+    }
+    const auto workload = std::make_shared<const harness::Workload>(
+        harness::Workload::create(std::move(matrix), spec.config.processes,
+                                  label));
+    const std::string key =
+        harness::ArtifactCache::key_for(*workload, spec.config, spec.ordering);
+    bool built_here = false;
+    const auto artifacts =
+        cache_.get_or_build(key, [&workload, &spec, &built_here] {
+          built_here = true;
+          return harness::SolveArtifacts{
+              workload, IndexVec{},
+              harness::run_fault_free(*workload, spec.config)};
+        });
+    record->cache_hit = !built_here;
+
+    harness::RunHooks hooks;
+    hooks.residual_observer = [this, &record](Index iteration, Real residual) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (record->cancel_requested) {
+        throw JobCancelledSignal{};
+      }
+      if (record->events.size() <
+          static_cast<std::size_t>(options_.max_events_per_job)) {
+        record->events.push_back(JobEvent{iteration, residual});
+      } else {
+        ++record->events_dropped;
+      }
+      ++events_streamed_;
+      record->progress.notify_all();
+    };
+    const harness::SchemeRun run = harness::run_scheme(
+        *artifacts->workload, spec.scheme, spec.config, artifacts->ff, hooks);
+
+    if (spec.deadline_s > 0.0 && run.report.time > spec.deadline_s) {
+      finish(record, JobState::kDeadlineExceeded,
+             "virtual makespan " + obs::JsonWriter::number(run.report.time) +
+                 "s exceeded deadline " +
+                 obs::JsonWriter::number(spec.deadline_s) + "s");
+      return;
+    }
+    if (run.report.status == resilience::SolveStatus::kDeclaredFailure) {
+      finish(record, JobState::kFailed, "solver declared failure");
+      return;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      record->report = run.run_report;
+    }
+    finish(record, JobState::kSucceeded, "");
+  } catch (const JobCancelledSignal&) {
+    finish(record, JobState::kCancelled, "");
+  } catch (const std::exception& e) {
+    finish(record, JobState::kFailed, e.what());
+  }
+}
+
+void JobEngine::finish(const std::shared_ptr<JobRecord>& record,
+                       JobState state, const std::string& error) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    record->state = state;
+    record->error = error;
+    --running_;
+    switch (state) {
+      case JobState::kSucceeded:
+        ++completed_;
+        break;
+      case JobState::kCancelled:
+        ++cancelled_;
+        break;
+      case JobState::kDeadlineExceeded:
+        ++deadline_exceeded_;
+        break;
+      default:
+        ++failed_;
+        break;
+    }
+    record->progress.notify_all();
+    if (queued_ == 0 && running_ == 0) {
+      idle_.notify_all();
+    }
+  }
+}
+
+std::optional<JobStatus> JobEngine::status(const std::string& id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return std::nullopt;
+  }
+  const JobRecord& record = *it->second;
+  JobStatus out;
+  out.id = record.id;
+  out.state = record.state;
+  out.error = record.error;
+  out.priority = record.spec.priority;
+  out.events = record.events.size() + record.events_dropped;
+  out.events_dropped = record.events_dropped;
+  out.dispatch_seq = record.dispatch_seq;
+  out.cache_hit = record.cache_hit;
+  out.report = record.report;
+  return out;
+}
+
+bool JobEngine::cancel(const std::string& id) {
+  std::shared_ptr<JobRecord> record;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      return false;
+    }
+    record = it->second;
+    switch (record->state) {
+      case JobState::kQueued: {
+        record->cancel_requested = true;
+        const auto key = std::make_pair(
+            std::make_pair(-record->spec.priority, record->seq), record);
+        if (ready_.erase(key) > 0) {
+          --queued_;
+          record->state = JobState::kCancelled;
+          ++cancelled_;
+          record->progress.notify_all();
+          if (queued_ == 0 && running_ == 0) {
+            idle_.notify_all();
+          }
+        }
+        return true;
+      }
+      case JobState::kRunning:
+        record->cancel_requested = true;
+        return true;
+      default:
+        return false;  // already terminal
+    }
+  }
+}
+
+JobState JobEngine::stream_events(
+    const std::string& id, const std::function<bool(const JobEvent&)>& sink) {
+  std::shared_ptr<JobRecord> record;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      throw Error("unknown job id " + id);
+    }
+    record = it->second;
+  }
+  std::size_t cursor = 0;
+  while (true) {
+    JobEvent event;
+    bool have_event = false;
+    bool terminal = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      record->progress.wait(lock, [&] {
+        return cursor < record->events.size() ||
+               (record->state != JobState::kQueued &&
+                record->state != JobState::kRunning);
+      });
+      if (cursor < record->events.size()) {
+        event = record->events[cursor];
+        have_event = true;
+        ++cursor;
+      } else {
+        terminal = true;
+      }
+    }
+    if (have_event) {
+      if (!sink(event)) {
+        break;  // client hung up
+      }
+      continue;
+    }
+    if (terminal) {
+      break;
+    }
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return record->state;
+}
+
+void JobEngine::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  draining_ = true;
+  idle_.wait(lock, [this] { return queued_ == 0 && running_ == 0; });
+}
+
+void JobEngine::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queued_ == 0 && running_ == 0; });
+}
+
+void JobEngine::pause() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void JobEngine::resume() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  unpaused_.notify_all();
+}
+
+obs::MetricsSnapshot JobEngine::metrics() const {
+  obs::MetricsRegistry registry;
+  const harness::ArtifactCache::Stats cache = cache_.stats();
+  const ThreadPool::Stats pool = pool_.stats();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    registry.counter("serve.jobs.submitted")
+        .add(static_cast<double>(submitted_));
+    registry.counter("serve.jobs.rejected").add(static_cast<double>(rejected_));
+    registry.counter("serve.jobs.completed")
+        .add(static_cast<double>(completed_));
+    registry.counter("serve.jobs.failed").add(static_cast<double>(failed_));
+    registry.counter("serve.jobs.cancelled")
+        .add(static_cast<double>(cancelled_));
+    registry.counter("serve.jobs.deadline_exceeded")
+        .add(static_cast<double>(deadline_exceeded_));
+    registry.counter("serve.events.recorded")
+        .add(static_cast<double>(events_streamed_));
+    registry.gauge("serve.queue.depth").set(static_cast<double>(queued_));
+    registry.gauge("serve.jobs.running").set(static_cast<double>(running_));
+  }
+  registry.counter("serve.cache.hits").add(static_cast<double>(cache.hits));
+  registry.counter("serve.cache.misses").add(static_cast<double>(cache.misses));
+  registry.counter("serve.cache.evictions")
+      .add(static_cast<double>(cache.evictions));
+  registry.gauge("serve.cache.entries").set(static_cast<double>(cache.entries));
+  registry.counter("pool.tasks_submitted")
+      .add(static_cast<double>(pool.tasks_submitted));
+  registry.counter("pool.tasks_executed")
+      .add(static_cast<double>(pool.tasks_executed));
+  registry.counter("pool.tasks_stolen")
+      .add(static_cast<double>(pool.tasks_stolen));
+  registry.gauge("pool.max_queue_depth")
+      .set(static_cast<double>(pool.max_queue_depth));
+  return registry.snapshot();
+}
+
+}  // namespace rsls::serve

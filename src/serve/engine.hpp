@@ -1,0 +1,196 @@
+#pragma once
+// The daemon's job engine: an admission-controlled priority queue of
+// solve jobs running on a core::ThreadPool, with per-job progress
+// streaming, cancellation, virtual-time deadlines, and the shared
+// solve-artifact cache.
+//
+// Scheduling model: submit() enqueues the job into a ready set ordered
+// by (priority desc, arrival seq asc) and hands the pool one "pull"
+// task; each pull task takes the *current* highest-priority ready job,
+// so a high-priority job submitted while the queue is backed up
+// overtakes everything still queued. Admission is bounded on the queued
+// (not running) count — past the bound submit() throws AdmissionError,
+// which the HTTP layer turns into a structured 429.
+//
+// Cancellation rides the solver's residual observer: a cancelled job's
+// observer throws out of the solve (resilient_solve holds no catch, so
+// the unwind is clean and RAII restores all instrument state).
+// Deadlines are priced in VIRTUAL time — queue wait costs nothing, and
+// the budget is judged against the run's simulated makespan when the
+// solve finishes, so the verdict is bitwise deterministic regardless of
+// host load.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/error.hpp"
+
+#include "core/thread_pool.hpp"
+#include "harness/artifact_cache.hpp"
+#include "obs/metrics.hpp"
+#include "serve/job.hpp"
+
+namespace rsls::serve {
+
+enum class JobState {
+  kQueued,
+  kRunning,
+  kSucceeded,
+  kFailed,            // solve error, declared failure, or non-convergence
+  kCancelled,
+  kDeadlineExceeded,  // virtual-time budget blown
+};
+
+const char* to_string(JobState state);
+
+/// One solver progress sample, streamed to /v1/jobs/{id}/events.
+struct JobEvent {
+  Index iteration = 0;
+  Real residual = 0.0;
+};
+
+/// submit() refused the job (queue full or draining). The HTTP layer
+/// maps this to 429/503 with the structured body below.
+struct AdmissionError : Error {
+  AdmissionError(std::string reason_slug, const std::string& message)
+      : Error(message), reason(std::move(reason_slug)) {}
+  /// "queue_full" | "draining" — machine-readable rejection cause.
+  std::string reason;
+};
+
+/// Point-in-time job view (all fields copied under the engine lock).
+struct JobStatus {
+  std::string id;
+  JobState state = JobState::kQueued;
+  std::string error;           // terminal failure detail ("" otherwise)
+  Index priority = 0;
+  std::uint64_t events = 0;    // progress events recorded so far
+  std::uint64_t events_dropped = 0;
+  /// Order in which the job was *started* (1-based; 0 = never started).
+  /// Tests use this to assert priority scheduling deterministically.
+  std::uint64_t dispatch_seq = 0;
+  bool cache_hit = false;      // baseline came from the artifact cache
+  /// The full result, set once the job succeeded.
+  std::shared_ptr<const obs::RunReport> report;
+};
+
+class JobEngine {
+ public:
+  struct Options {
+    Index workers = 1;
+    Index queue_depth = 64;
+    std::size_t cache_entries = 32;
+    /// Progress events retained per job. Retained-from-start: beyond the
+    /// cap new events are counted in events_dropped but not stored, so
+    /// the set a late subscriber replays is deterministic.
+    std::size_t max_events_per_job = 4096;
+  };
+
+  explicit JobEngine(const Options& options);
+  ~JobEngine();
+  JobEngine(const JobEngine&) = delete;
+  JobEngine& operator=(const JobEngine&) = delete;
+
+  /// Admit one job; returns its id ("job-<seq>"). Throws AdmissionError
+  /// when the queued count is at queue_depth or the engine is draining.
+  std::string submit(JobSpec spec);
+
+  /// Look up a job; nullopt when the id is unknown.
+  std::optional<JobStatus> status(const std::string& id) const;
+
+  /// Request cancellation. A queued job moves to kCancelled immediately;
+  /// a running job's observer throws at its next iteration. Returns
+  /// false for unknown ids or jobs already terminal.
+  bool cancel(const std::string& id);
+
+  /// Stream the job's events: replays everything recorded so far, then
+  /// follows live until the job is terminal or `sink` returns false
+  /// (client hung up). Returns the job's final state; throws on unknown
+  /// id. Blocking — call from the connection's own thread.
+  JobState stream_events(const std::string& id,
+                         const std::function<bool(const JobEvent&)>& sink);
+
+  /// Stop admitting (submit throws AdmissionError "draining") and block
+  /// until every queued and running job reaches a terminal state.
+  void drain();
+
+  /// Block until the engine is momentarily idle (no queued or running
+  /// jobs) WITHOUT stopping admission — a test/bench barrier; drain()
+  /// is the daemon's terminal shutdown.
+  void wait_idle();
+
+  /// Hold back job dispatch: running jobs finish, queued jobs stay
+  /// queued until resume(). Lets tests and the bench build a
+  /// deterministically full queue to probe admission control.
+  void pause();
+  void resume();
+
+  /// Engine counters as a metrics snapshot: serve.jobs.* (submitted /
+  /// completed / failed / cancelled / rejected / deadline_exceeded),
+  /// serve.cache.* (artifact cache), serve.queue.depth gauge, and the
+  /// pool.* occupancy counters.
+  obs::MetricsSnapshot metrics() const;
+
+  harness::ArtifactCache& cache() { return cache_; }
+
+ private:
+  struct JobRecord {
+    std::string id;
+    JobSpec spec;
+    std::uint64_t seq = 0;  // arrival order (FIFO within a priority)
+    JobState state = JobState::kQueued;
+    std::string error;
+    std::uint64_t dispatch_seq = 0;
+    bool cancel_requested = false;
+    bool cache_hit = false;
+    std::vector<JobEvent> events;
+    std::uint64_t events_dropped = 0;
+    std::shared_ptr<const obs::RunReport> report;
+    /// Signalled on every event append and state change.
+    std::condition_variable progress;
+  };
+
+  void run_next();  // one pull task: dequeue + execute one job
+  void execute(const std::shared_ptr<JobRecord>& record);
+  void finish(const std::shared_ptr<JobRecord>& record, JobState state,
+              const std::string& error);
+
+  const Options options_;
+  harness::ArtifactCache cache_;
+  ThreadPool pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable idle_;      // drain(): queued + running == 0
+  std::condition_variable unpaused_;  // pause()/resume()
+  std::map<std::string, std::shared_ptr<JobRecord>> jobs_;
+  /// Ready queue: ordered by (-priority, seq); begin() runs next.
+  std::set<std::pair<std::pair<Index, std::uint64_t>,
+                     std::shared_ptr<JobRecord>>>
+      ready_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_dispatch_ = 1;
+  Index queued_ = 0;
+  Index running_ = 0;
+  bool draining_ = false;
+  bool paused_ = false;
+
+  // Monotone counters (guarded by mutex_).
+  std::uint64_t submitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t deadline_exceeded_ = 0;
+  std::uint64_t events_streamed_ = 0;
+};
+
+}  // namespace rsls::serve

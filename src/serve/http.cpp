@@ -1,0 +1,360 @@
+#include "serve/http.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace rsls::serve {
+
+namespace {
+
+constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+constexpr std::size_t kMaxBodyBytes = 8 * 1024 * 1024;
+
+std::string to_lower(std::string text) {
+  std::transform(text.begin(), text.end(), text.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return text;
+}
+
+/// Trim ASCII whitespace from both ends.
+std::string trim(const std::string& text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+}  // namespace
+
+std::string HttpRequest::header(const std::string& name) const {
+  const std::string lowered = to_lower(name);
+  for (const auto& [key, value] : headers) {
+    if (key == lowered) {
+      return value;
+    }
+  }
+  return "";
+}
+
+bool read_http_request(int fd, HttpRequest& request) {
+  // Read until the header terminator; whatever follows it is body.
+  std::string buffer;
+  std::size_t header_end = std::string::npos;
+  char chunk[4096];
+  while (header_end == std::string::npos) {
+    if (buffer.size() > kMaxHeaderBytes) {
+      return false;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    header_end = buffer.find("\r\n\r\n");
+  }
+
+  // Request line: METHOD SP target SP HTTP/1.x
+  const std::string head = buffer.substr(0, header_end);
+  std::istringstream lines(head);
+  std::string request_line;
+  if (!std::getline(lines, request_line)) {
+    return false;
+  }
+  if (!request_line.empty() && request_line.back() == '\r') {
+    request_line.pop_back();
+  }
+  std::istringstream parts(request_line);
+  std::string target;
+  std::string version;
+  if (!(parts >> request.method >> target >> version) ||
+      version.rfind("HTTP/1.", 0) != 0) {
+    return false;
+  }
+  const std::size_t query_pos = target.find('?');
+  request.path = target.substr(0, query_pos);
+  request.query =
+      query_pos == std::string::npos ? "" : target.substr(query_pos + 1);
+
+  // Headers (names lowered; continuation lines not supported).
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (line.empty()) {
+      continue;
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return false;
+    }
+    request.headers.emplace_back(to_lower(trim(line.substr(0, colon))),
+                                 trim(line.substr(colon + 1)));
+  }
+
+  // Body per Content-Length (chunked request bodies are not accepted).
+  std::size_t content_length = 0;
+  const std::string length_text = request.header("content-length");
+  if (!length_text.empty()) {
+    try {
+      const long long parsed = std::stoll(length_text);
+      if (parsed < 0 ||
+          static_cast<std::size_t>(parsed) > kMaxBodyBytes) {
+        return false;
+      }
+      content_length = static_cast<std::size_t>(parsed);
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  request.body = buffer.substr(header_end + 4);
+  while (request.body.size() < content_length) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    request.body.append(chunk, static_cast<std::size_t>(n));
+  }
+  request.body.resize(content_length);
+  return true;
+}
+
+const char* HttpResponseWriter::status_text(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 202:
+      return "Accepted";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 409:
+      return "Conflict";
+    case 429:
+      return "Too Many Requests";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+bool HttpResponseWriter::send_all(const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a client that hung up must produce EPIPE, not kill
+    // the daemon with SIGPIPE.
+    const ssize_t n = ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool HttpResponseWriter::respond(int status, const std::string& content_type,
+                                 const std::string& body) {
+  std::ostringstream head;
+  head << "HTTP/1.1 " << status << ' ' << status_text(status) << "\r\n"
+       << "Content-Type: " << content_type << "\r\n"
+       << "Content-Length: " << body.size() << "\r\n"
+       << "Connection: close\r\n\r\n";
+  started_ = true;
+  const std::string head_text = head.str();
+  return send_all(head_text.data(), head_text.size()) &&
+         send_all(body.data(), body.size());
+}
+
+bool HttpResponseWriter::begin_chunked(int status,
+                                       const std::string& content_type) {
+  std::ostringstream head;
+  head << "HTTP/1.1 " << status << ' ' << status_text(status) << "\r\n"
+       << "Content-Type: " << content_type << "\r\n"
+       << "Transfer-Encoding: chunked\r\n"
+       << "Connection: close\r\n\r\n";
+  started_ = true;
+  const std::string head_text = head.str();
+  return send_all(head_text.data(), head_text.size());
+}
+
+bool HttpResponseWriter::send_chunk(const std::string& data) {
+  if (data.empty()) {
+    return true;  // an empty chunk would terminate the stream
+  }
+  std::ostringstream frame;
+  frame << std::hex << data.size() << "\r\n" << data << "\r\n";
+  const std::string text = frame.str();
+  return send_all(text.data(), text.size());
+}
+
+bool HttpResponseWriter::end_chunked() { return send_all("0\r\n\r\n", 5); }
+
+HttpServer::HttpServer(int port, HttpHandler handler)
+    : handler_(std::move(handler)) {
+  RSLS_CHECK_MSG(handler_ != nullptr, "HttpServer needs a handler");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  RSLS_CHECK_MSG(listen_fd_ >= 0,
+                 std::string("socket: ") + std::strerror(errno));
+  const int yes = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &yes, sizeof(yes));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("cannot bind 127.0.0.1:" + std::to_string(port) + ": " +
+                reason);
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("listen: " + reason);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+}
+
+HttpServer::~HttpServer() {
+  stop();
+  reap_finished(/*join_all=*/true);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+  }
+}
+
+void HttpServer::serve_forever() {
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;  // listener closed by stop()
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      break;
+    }
+    const int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+    reap_finished(/*join_all=*/false);
+    auto connection = std::make_unique<Connection>();
+    Connection& ref = *connection;
+    ref.fd.store(fd);
+    {
+      const std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(std::move(connection));
+    }
+    ref.thread = std::thread([this, &ref] { handle_connection(ref); });
+  }
+  reap_finished(/*join_all=*/true);
+}
+
+void HttpServer::handle_connection(Connection& connection) {
+  const int fd = connection.fd.load();
+  HttpRequest request;
+  HttpResponseWriter writer(fd);
+  if (read_http_request(fd, request)) {
+    try {
+      handler_(request, writer);
+      if (!writer.started()) {
+        writer.respond(500, "application/json",
+                       "{\"error\":\"handler produced no response\"}");
+      }
+    } catch (const std::exception& e) {
+      if (!writer.started()) {
+        writer.respond(
+            500, "application/json",
+            std::string("{\"error\":\"internal\",\"detail\":\"") + e.what() +
+                "\"}");
+      }
+    }
+  } else {
+    writer.respond(400, "application/json",
+                   "{\"error\":\"malformed request\"}");
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+  connection.fd.store(-1);
+  connection.done.store(true);
+}
+
+void HttpServer::reap_finished(bool join_all) {
+  std::list<std::unique_ptr<Connection>> finished;
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if (join_all || (*it)->done.load()) {
+        finished.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& connection : finished) {
+    if (connection->thread.joinable()) {
+      connection->thread.join();
+    }
+  }
+}
+
+void HttpServer::stop() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  // Closing the listener makes the blocked accept() return; shutting
+  // down live connection sockets unblocks handler reads/writes so the
+  // join in serve_forever cannot hang on a slow client.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (const auto& connection : connections_) {
+    const int fd = connection->fd.load();
+    if (fd >= 0) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+}
+
+}  // namespace rsls::serve

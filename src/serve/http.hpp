@@ -1,0 +1,113 @@
+#pragma once
+// Minimal HTTP/1.1 transport for the solve daemon — POSIX sockets only,
+// no third-party dependencies (same spirit as the obs JSON layer).
+//
+// Model: a blocking accept loop hands each connection to its own worker
+// thread ("thread per connection"); every connection serves exactly one
+// request and closes (Connection: close), which keeps parsing trivial
+// and is plenty for the target load of ~dozens of concurrent clients.
+// Responses are either complete (Content-Length) or streamed with
+// chunked transfer-encoding — the event stream sends one chunk per
+// progress event, so a client sees iterations as they happen.
+//
+// The server binds 127.0.0.1 only: this is an experiment daemon, not an
+// internet-facing service. Port 0 asks the kernel for an ephemeral port
+// (tests and the bench read it back via port()).
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rsls::serve {
+
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ...
+  std::string path;    // decoded path, no query string
+  std::string query;   // raw query string ("" when absent)
+  std::vector<std::pair<std::string, std::string>> headers;  // names lowered
+  std::string body;
+
+  /// Case-insensitive header lookup; "" when absent.
+  std::string header(const std::string& name) const;
+};
+
+/// Write side of one connection. A handler must either respond() once or
+/// begin_chunked() → send_chunk()* → end_chunked(). Send failures (peer
+/// hung up) surface as a false return and are otherwise swallowed — a
+/// vanished client must not take the daemon down.
+class HttpResponseWriter {
+ public:
+  explicit HttpResponseWriter(int fd) : fd_(fd) {}
+
+  bool respond(int status, const std::string& content_type,
+               const std::string& body);
+  bool begin_chunked(int status, const std::string& content_type);
+  bool send_chunk(const std::string& data);
+  bool end_chunked();
+
+  /// True once any bytes hit the socket (error handlers check this to
+  /// avoid writing a second status line).
+  bool started() const { return started_; }
+
+  static const char* status_text(int status);
+
+ private:
+  bool send_all(const char* data, std::size_t size);
+
+  int fd_;
+  bool started_ = false;
+};
+
+using HttpHandler = std::function<void(const HttpRequest&, HttpResponseWriter&)>;
+
+class HttpServer {
+ public:
+  /// Bind 127.0.0.1:port (0 = ephemeral) and listen. Throws rsls::Error
+  /// on bind failure (port in use).
+  HttpServer(int port, HttpHandler handler);
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The bound port (resolves port 0 to the kernel's choice).
+  int port() const { return port_; }
+
+  /// Blocking accept loop; returns after stop(). Call from the owning
+  /// thread (the daemon's main), or wrap in a std::thread for tests.
+  void serve_forever();
+
+  /// Close the listener and shut down active connections; wakes
+  /// serve_forever. Safe from any thread and from signal-adjacent
+  /// contexts (the daemon calls it after its SIGTERM flag trips).
+  void stop();
+
+ private:
+  struct Connection {
+    std::thread thread;
+    std::atomic<int> fd{-1};
+    std::atomic<bool> done{false};
+  };
+
+  void handle_connection(Connection& connection);
+  void reap_finished(bool join_all);
+
+  HttpHandler handler_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::mutex connections_mutex_;
+  std::list<std::unique_ptr<Connection>> connections_;
+};
+
+/// Parse one HTTP request from `fd` (blocking). Returns false on a
+/// malformed request or closed peer. Exposed for the client library's
+/// response parsing tests.
+bool read_http_request(int fd, HttpRequest& request);
+
+}  // namespace rsls::serve

@@ -1,0 +1,252 @@
+#include "serve/job.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/env.hpp"
+#include "core/error.hpp"
+#include "simrt/net/network_config.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/roster.hpp"
+
+namespace rsls::serve {
+
+namespace {
+
+double number_field(const obs::JsonObject& object, const std::string& key,
+                    double fallback) {
+  const auto it = object.find(key);
+  if (it == object.end()) {
+    return fallback;
+  }
+  if (!it->second.is_number()) {
+    throw Error("job field '" + key + "' must be a number");
+  }
+  return it->second.as_number();
+}
+
+Index int_field(const obs::JsonObject& object, const std::string& key,
+                Index fallback) {
+  const double value = number_field(object, key, static_cast<double>(fallback));
+  if (value != std::floor(value)) {
+    throw Error("job field '" + key + "' must be an integer");
+  }
+  return static_cast<Index>(value);
+}
+
+std::string string_field(const obs::JsonObject& object, const std::string& key,
+                         const std::string& fallback) {
+  const auto it = object.find(key);
+  if (it == object.end()) {
+    return fallback;
+  }
+  if (!it->second.is_string()) {
+    throw Error("job field '" + key + "' must be a string");
+  }
+  return it->second.as_string();
+}
+
+bool bool_field(const obs::JsonObject& object, const std::string& key,
+                bool fallback) {
+  const auto it = object.find(key);
+  if (it == object.end()) {
+    return fallback;
+  }
+  if (it->second.kind() != obs::JsonValue::Kind::kBool) {
+    throw Error("job field '" + key + "' must be a boolean");
+  }
+  return it->second.as_bool();
+}
+
+const std::set<std::string>& known_fields() {
+  static const std::set<std::string> fields = {
+      "matrix",        "n",
+      "scheme",        "ordering",
+      "priority",      "deadline_s",
+      "processes",     "faults",
+      "tolerance",     "max_iterations",
+      "fault_seed",    "fault_domains",
+      "weibull_shape", "spare_ranks",
+      "recovery_retries",
+      "net_topology",  "net_collective",
+      "series",        "use_young_interval",
+      "cr_interval",
+  };
+  return fields;
+}
+
+bool is_generator(const std::string& name) {
+  return name == "laplacian_1d" || name == "laplacian_2d" ||
+         name == "laplacian_3d" || name == "banded" || name == "irregular";
+}
+
+}  // namespace
+
+JobSpec parse_job_spec(const obs::JsonValue& body) {
+  if (!body.is_object()) {
+    throw Error("job body must be a JSON object");
+  }
+  const obs::JsonObject& object = body.as_object();
+  for (const auto& [key, value] : object) {
+    (void)value;
+    if (known_fields().count(key) == 0) {
+      throw Error("unknown job field '" + key + "'");
+    }
+  }
+
+  JobSpec spec;
+  spec.matrix = string_field(object, "matrix", spec.matrix);
+  if (!is_generator(spec.matrix)) {
+    sparse::roster_entry(spec.matrix);  // throws on unknown names
+  }
+  spec.n = int_field(object, "n", spec.n);
+  if (spec.n < 4 || spec.n > 2'000'000) {
+    throw Error("job field 'n' out of range [4, 2e6]");
+  }
+  spec.ordering = string_field(object, "ordering", spec.ordering);
+  if (spec.ordering != "natural" && spec.ordering != "rcm") {
+    throw Error("job field 'ordering' must be natural|rcm");
+  }
+  spec.priority = int_field(object, "priority", 0);
+  spec.deadline_s = number_field(object, "deadline_s", 0.0);
+  if (spec.deadline_s < 0.0) {
+    throw Error("job field 'deadline_s' must be >= 0");
+  }
+
+  // Resolve every server knob env-first, then let explicit job fields
+  // override — the precedence contract from the header. After this
+  // block nothing downstream may consult the environment again.
+  spec.scheme = string_field(object, "scheme", env::serve_scheme());
+  harness::make_scheme(spec.scheme, {}, RealVec(4, 0.0));  // validate name
+
+  harness::ExperimentConfig& config = spec.config;
+  config.processes = int_field(object, "processes", config.processes);
+  if (config.processes < 1 || config.processes > 65536) {
+    throw Error("job field 'processes' out of range [1, 65536]");
+  }
+  config.faults = int_field(object, "faults", config.faults);
+  if (config.faults < 0) {
+    throw Error("job field 'faults' must be >= 0");
+  }
+  config.tolerance = number_field(object, "tolerance", config.tolerance);
+  if (!(config.tolerance > 0.0)) {
+    throw Error("job field 'tolerance' must be > 0");
+  }
+  config.max_iterations =
+      int_field(object, "max_iterations", config.max_iterations);
+  config.fault_seed = static_cast<std::uint64_t>(
+      int_field(object, "fault_seed", static_cast<Index>(config.fault_seed)));
+  config.fault_domains =
+      int_field(object, "fault_domains", env::fault_domains());
+  config.weibull_shape =
+      number_field(object, "weibull_shape", env::weibull_shape());
+  config.recovery.spare_ranks =
+      int_field(object, "spare_ranks", env::spare_ranks());
+  config.recovery.max_retries =
+      int_field(object, "recovery_retries", env::recovery_retries());
+  if (config.recovery.spare_ranks > 0 &&
+      config.recovery.policy == resilience::RecoveryPolicy::kInPlace) {
+    config.recovery.policy = resilience::RecoveryPolicy::kSpare;
+  }
+  config.use_young_interval =
+      bool_field(object, "use_young_interval", config.use_young_interval);
+  config.scheme.cr_interval_iterations = int_field(
+      object, "cr_interval", config.scheme.cr_interval_iterations);
+
+  // Network: the daemon's RSLS_NET_* supply defaults; explicit job
+  // fields replace them. Pinning config.network here means machine_for's
+  // own env overlay never applies to this job.
+  simrt::net::NetworkConfig net;
+  if (const auto name = env::net_topology()) {
+    if (const auto kind = simrt::net::topology_from_name(*name)) {
+      net.topology = *kind;
+    }
+  }
+  if (const auto name = env::net_collective()) {
+    if (const auto kind = simrt::net::collective_from_name(*name)) {
+      net.collective = *kind;
+    }
+  }
+  if (const std::string name = string_field(object, "net_topology", "");
+      !name.empty()) {
+    const auto kind = simrt::net::topology_from_name(name);
+    if (!kind.has_value()) {
+      throw Error("job field 'net_topology' must be flat|fat-tree|torus3d");
+    }
+    net.topology = *kind;
+  }
+  if (const std::string name = string_field(object, "net_collective", "");
+      !name.empty()) {
+    const auto kind = simrt::net::collective_from_name(name);
+    if (!kind.has_value()) {
+      throw Error(
+          "job field 'net_collective' must be "
+          "recursive-doubling|ring|binomial-tree");
+    }
+    net.collective = *kind;
+  }
+  config.network = net;
+
+  // Observability: resolve the env once here, then pin the result.
+  config.observability = obs::resolve_from_env(config.observability);
+  config.observability.series =
+      bool_field(object, "series", config.observability.series);
+  config.observability.per_rank = config.observability.series;
+  if (config.observability.series) {
+    config.observability.enabled = true;
+  }
+  config.observability.source = "serve";
+  config.observability.keep_report = true;
+  config.observability.env_resolved = true;
+  config.env_overlay = false;  // env fully folded in above
+  return spec;
+}
+
+sparse::Csr build_matrix(const JobSpec& spec) {
+  const Index n = spec.n;
+  if (spec.matrix == "laplacian_1d") {
+    return sparse::laplacian_1d(n);
+  }
+  if (spec.matrix == "laplacian_2d") {
+    return sparse::laplacian_2d(n, n);
+  }
+  if (spec.matrix == "laplacian_3d") {
+    return sparse::laplacian_3d(n, n, n);
+  }
+  if (spec.matrix == "banded") {
+    sparse::BandedSpdConfig config;
+    config.n = n;
+    config.half_bandwidth = 8;
+    config.fill = 0.7;
+    config.seed = 7;
+    return sparse::banded_spd(config);
+  }
+  if (spec.matrix == "irregular") {
+    sparse::IrregularSpdConfig config;
+    config.n = n;
+    config.seed = 7;
+    return sparse::irregular_spd(config);
+  }
+  // Roster entries ignore `n` (each carries its calibrated size).
+  return sparse::roster_entry(spec.matrix).make(quick_mode());
+}
+
+obs::JsonValue job_spec_json(const JobSpec& spec) {
+  obs::JsonObject object;
+  object["matrix"] = obs::JsonValue::make_string(spec.matrix);
+  object["n"] = obs::JsonValue::make_number(static_cast<double>(spec.n));
+  object["scheme"] = obs::JsonValue::make_string(spec.scheme);
+  object["ordering"] = obs::JsonValue::make_string(spec.ordering);
+  object["priority"] =
+      obs::JsonValue::make_number(static_cast<double>(spec.priority));
+  object["deadline_s"] = obs::JsonValue::make_number(spec.deadline_s);
+  object["processes"] = obs::JsonValue::make_number(
+      static_cast<double>(spec.config.processes));
+  object["faults"] =
+      obs::JsonValue::make_number(static_cast<double>(spec.config.faults));
+  object["tolerance"] = obs::JsonValue::make_number(spec.config.tolerance);
+  return obs::JsonValue::make_object(std::move(object));
+}
+
+}  // namespace rsls::serve

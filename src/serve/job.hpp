@@ -1,0 +1,52 @@
+#pragma once
+// Job specification for the solve daemon: the JSON shape a client POSTs
+// to /v1/jobs, resolved against the daemon's environment.
+//
+// Precedence contract (tested table-driven in serve_env_test): for every
+// knob the server accepts, an explicit job field beats the daemon's
+// RSLS_* environment, and the environment beats the built-in default.
+// Resolution happens exactly once, here at parse time — the resulting
+// ExperimentConfig carries env_overlay = false and an env_resolved
+// observability block, so nothing downstream re-reads the environment
+// for this job.
+
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "obs/json.hpp"
+
+namespace rsls::serve {
+
+struct JobSpec {
+  /// Matrix family: laplacian_1d|laplacian_2d|laplacian_3d|banded|
+  /// irregular or any roster name (e.g. "syn:Kuu").
+  std::string matrix = "laplacian_1d";
+  /// Size parameter: rows for 1D/banded/irregular, grid side for 2D/3D.
+  Index n = 256;
+  /// Recovery scheme (make_scheme name). Default: RSLS_SERVE_SCHEME.
+  std::string scheme;
+  /// Row ordering applied before partitioning: "natural" | "rcm".
+  std::string ordering = "natural";
+  /// Higher runs first; FIFO within a priority level.
+  Index priority = 0;
+  /// Virtual-time budget in simulated seconds (0 = none). Priced in
+  /// virtual time: queue wait costs nothing, only the solve's simulated
+  /// time counts against it, checked when the solve finishes.
+  double deadline_s = 0.0;
+  /// Fully resolved experiment configuration (env already folded in).
+  harness::ExperimentConfig config;
+};
+
+/// Parse and resolve one job body. Throws rsls::Error with a
+/// client-facing message on unknown fields of the wrong type, unknown
+/// matrix/scheme/ordering names, or out-of-range sizes.
+JobSpec parse_job_spec(const obs::JsonValue& body);
+
+/// Construct the job's matrix (deterministic from the spec).
+sparse::Csr build_matrix(const JobSpec& spec);
+
+/// The JSON the daemon echoes for a job spec (diagnostics; config is
+/// reported through the RunReport's own config block).
+obs::JsonValue job_spec_json(const JobSpec& spec);
+
+}  // namespace rsls::serve

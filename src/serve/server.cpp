@@ -1,0 +1,193 @@
+#include "serve/server.hpp"
+
+#include <sstream>
+
+#include "obs/run_report.hpp"
+
+namespace rsls::serve {
+
+namespace {
+
+constexpr const char* kJson = "application/json";
+
+/// "/v1/jobs/job-3/cancel" → ("job-3", "cancel"); rest is "" when the
+/// path stops at the id.
+bool split_job_path(const std::string& path, std::string& id,
+                    std::string& rest) {
+  const std::string prefix = "/v1/jobs/";
+  if (path.rfind(prefix, 0) != 0) {
+    return false;
+  }
+  const std::string tail = path.substr(prefix.size());
+  const std::size_t slash = tail.find('/');
+  id = tail.substr(0, slash);
+  rest = slash == std::string::npos ? "" : tail.substr(slash + 1);
+  return !id.empty();
+}
+
+std::string job_event_json(const JobEvent& event) {
+  std::ostringstream os;
+  os << "{\"iteration\":" << event.iteration
+     << ",\"residual\":" << obs::JsonWriter::number(event.residual) << "}";
+  return os.str();
+}
+
+std::string status_body(const JobStatus& status) {
+  std::ostringstream os;
+  os << "{\"id\":" << obs::JsonWriter::quote(status.id)
+     << ",\"state\":" << obs::JsonWriter::quote(to_string(status.state))
+     << ",\"priority\":" << status.priority
+     << ",\"events\":" << status.events
+     << ",\"events_dropped\":" << status.events_dropped
+     << ",\"dispatch_seq\":" << status.dispatch_seq << ",\"cache_hit\":"
+     << (status.cache_hit ? "true" : "false");
+  if (!status.error.empty()) {
+    os << ",\"error\":" << obs::JsonWriter::quote(status.error);
+  }
+  if (status.report != nullptr) {
+    os << ",\"report\":";
+    obs::write_run_report(os, *status.report);
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace
+
+std::string error_body(const std::string& slug, const std::string& detail) {
+  return "{\"error\":" + obs::JsonWriter::quote(slug) +
+         ",\"detail\":" + obs::JsonWriter::quote(detail) + "}";
+}
+
+std::string metrics_body(const obs::MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  obs::JsonWriter writer(os);
+  writer.begin_object();
+  writer.begin_object("counters");
+  for (const auto& [name, value] : snapshot.counters) {
+    writer.field(name, value);
+  }
+  writer.end_object();
+  writer.begin_object("gauges");
+  for (const auto& [name, value] : snapshot.gauges) {
+    writer.field(name, value);
+  }
+  writer.end_object();
+  writer.end_object();
+  return os.str();
+}
+
+SolveServer::SolveServer(int port, const JobEngine::Options& options)
+    : engine_(options),
+      http_(port, [this](const HttpRequest& request,
+                         HttpResponseWriter& writer) {
+        handle(request, writer);
+      }) {}
+
+void SolveServer::shutdown() {
+  engine_.drain();
+  http_.stop();
+}
+
+void SolveServer::handle(const HttpRequest& request,
+                         HttpResponseWriter& writer) {
+  const std::string& path = request.path;
+
+  if (path == "/v1/healthz") {
+    writer.respond(200, kJson, "{\"status\":\"ok\"}");
+    return;
+  }
+
+  if (path == "/v1/metrics") {
+    if (request.method != "GET") {
+      writer.respond(405, kJson, error_body("method_not_allowed", "use GET"));
+      return;
+    }
+    writer.respond(200, kJson, metrics_body(engine_.metrics()));
+    return;
+  }
+
+  if (path == "/v1/jobs") {
+    if (request.method != "POST") {
+      writer.respond(405, kJson, error_body("method_not_allowed", "use POST"));
+      return;
+    }
+    JobSpec spec;
+    try {
+      spec = parse_job_spec(obs::parse_json(
+          request.body.empty() ? "{}" : request.body));
+    } catch (const std::exception& e) {
+      writer.respond(400, kJson, error_body("bad_request", e.what()));
+      return;
+    }
+    try {
+      const std::string id = engine_.submit(std::move(spec));
+      writer.respond(202, kJson,
+                     "{\"id\":" + obs::JsonWriter::quote(id) + "}");
+    } catch (const AdmissionError& e) {
+      writer.respond(e.reason == "draining" ? 503 : 429, kJson,
+                     error_body(e.reason, e.what()));
+    }
+    return;
+  }
+
+  std::string id;
+  std::string rest;
+  if (split_job_path(path, id, rest)) {
+    if (rest.empty()) {
+      if (request.method != "GET") {
+        writer.respond(405, kJson, error_body("method_not_allowed", "use GET"));
+        return;
+      }
+      const auto status = engine_.status(id);
+      if (!status.has_value()) {
+        writer.respond(404, kJson, error_body("not_found", "no job " + id));
+        return;
+      }
+      writer.respond(200, kJson, status_body(*status));
+      return;
+    }
+    if (rest == "cancel") {
+      if (request.method != "POST") {
+        writer.respond(405, kJson,
+                       error_body("method_not_allowed", "use POST"));
+        return;
+      }
+      if (!engine_.status(id).has_value()) {
+        writer.respond(404, kJson, error_body("not_found", "no job " + id));
+        return;
+      }
+      const bool accepted = engine_.cancel(id);
+      writer.respond(accepted ? 202 : 409, kJson,
+                     accepted ? "{\"cancelling\":true}"
+                              : error_body("terminal", "job already finished"));
+      return;
+    }
+    if (rest == "events") {
+      if (request.method != "GET") {
+        writer.respond(405, kJson, error_body("method_not_allowed", "use GET"));
+        return;
+      }
+      if (!engine_.status(id).has_value()) {
+        writer.respond(404, kJson, error_body("not_found", "no job " + id));
+        return;
+      }
+      if (!writer.begin_chunked(200, "application/x-ndjson")) {
+        return;
+      }
+      const JobState final_state = engine_.stream_events(
+          id, [&writer](const JobEvent& event) {
+            return writer.send_chunk(job_event_json(event) + "\n");
+          });
+      writer.send_chunk(
+          std::string("{\"state\":") +
+          obs::JsonWriter::quote(to_string(final_state)) + "}\n");
+      writer.end_chunked();
+      return;
+    }
+  }
+
+  writer.respond(404, kJson, error_body("not_found", "no route " + path));
+}
+
+}  // namespace rsls::serve

@@ -1,0 +1,55 @@
+#pragma once
+// HTTP endpoint routing for the solve daemon: binds the transport
+// (http.hpp) to the job engine (engine.hpp).
+//
+//   POST /v1/jobs              submit a job (JSON body) → 202 {"id":...}
+//                              429/503 structured rejection when full /
+//                              draining
+//   GET  /v1/jobs/{id}         status; includes the full RunReport once
+//                              the job succeeded
+//   GET  /v1/jobs/{id}/events  chunked stream, one JSON line per solver
+//                              progress event, then a final state line
+//   POST /v1/jobs/{id}/cancel  request cancellation
+//   GET  /v1/metrics           engine counters (serve.*, pool.*)
+//   GET  /v1/healthz           liveness probe
+
+#include <memory>
+#include <string>
+
+#include "serve/engine.hpp"
+#include "serve/http.hpp"
+
+namespace rsls::serve {
+
+class SolveServer {
+ public:
+  /// Bind 127.0.0.1:port (0 = ephemeral; read back via port()).
+  SolveServer(int port, const JobEngine::Options& options);
+
+  int port() const { return http_.port(); }
+  JobEngine& engine() { return engine_; }
+
+  /// Blocking accept loop (the daemon's main thread lives here).
+  void serve_forever() { http_.serve_forever(); }
+
+  /// Graceful shutdown: stop admitting, finish queued + running jobs,
+  /// then close the listener.
+  void shutdown();
+
+  /// Route one request — public so tests can drive the router without a
+  /// socket.
+  void handle(const HttpRequest& request, HttpResponseWriter& writer);
+
+ private:
+  JobEngine engine_;
+  HttpServer http_;
+};
+
+/// The JSON body used for every structured error response:
+/// {"error": slug, "detail": message}.
+std::string error_body(const std::string& slug, const std::string& detail);
+
+/// Serialize a metrics snapshot as {"counters": {...}, "gauges": {...}}.
+std::string metrics_body(const obs::MetricsSnapshot& snapshot);
+
+}  // namespace rsls::serve

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <optional>
 #include <stdexcept>
@@ -130,6 +132,71 @@ TEST(ThreadPoolTest, DestructorDrainsQueuedWork) {
     // No wait_idle: the destructor must still run everything queued.
   }
   EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPoolTest, StatsCountSubmittedAndExecutedTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.stats().tasks_submitted, 0u);
+  constexpr int kTasks = 120;
+  std::atomic<int> done{0};
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&done] { done.fetch_add(1); });
+  }
+  pool.wait_idle();
+  const ThreadPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.tasks_submitted, static_cast<std::uint64_t>(kTasks));
+  EXPECT_EQ(stats.tasks_executed, static_cast<std::uint64_t>(kTasks));
+  // Every stolen task was also executed, and depth never exceeds what
+  // was submitted.
+  EXPECT_LE(stats.tasks_stolen, stats.tasks_executed);
+  EXPECT_GE(stats.max_queue_depth, 1u);
+  EXPECT_LE(stats.max_queue_depth, static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(ThreadPoolTest, StatsAreMonotoneAcrossBatches) {
+  // Counters never reset: deltas between snapshots stay well defined,
+  // so exporting them as monotone metrics counters is sound.
+  ThreadPool pool(2);
+  ThreadPool::Stats previous = pool.stats();
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([] {});
+    }
+    pool.wait_idle();
+    const ThreadPool::Stats now = pool.stats();
+    EXPECT_GE(now.tasks_submitted, previous.tasks_submitted + 20);
+    EXPECT_GE(now.tasks_executed, previous.tasks_executed + 20);
+    EXPECT_GE(now.tasks_stolen, previous.tasks_stolen);
+    EXPECT_GE(now.max_queue_depth, previous.max_queue_depth);
+    previous = now;
+  }
+  EXPECT_EQ(previous.tasks_submitted, previous.tasks_executed);
+}
+
+TEST(ThreadPoolTest, StatsMergeAsPlainSums) {
+  // Merge-safety: summing snapshots from several pools is the documented
+  // aggregation, and the sum of per-pool submitted == sum of executed
+  // once both pools are idle.
+  ThreadPool a(2);
+  ThreadPool b(3);
+  for (int i = 0; i < 30; ++i) {
+    a.submit([] {});
+  }
+  for (int i = 0; i < 40; ++i) {
+    b.submit([] {});
+  }
+  a.wait_idle();
+  b.wait_idle();
+  const ThreadPool::Stats sa = a.stats();
+  const ThreadPool::Stats sb = b.stats();
+  ThreadPool::Stats merged;
+  merged.tasks_submitted = sa.tasks_submitted + sb.tasks_submitted;
+  merged.tasks_executed = sa.tasks_executed + sb.tasks_executed;
+  merged.tasks_stolen = sa.tasks_stolen + sb.tasks_stolen;
+  merged.max_queue_depth = std::max(sa.max_queue_depth, sb.max_queue_depth);
+  EXPECT_EQ(merged.tasks_submitted, 70u);
+  EXPECT_EQ(merged.tasks_executed, 70u);
+  EXPECT_LE(merged.tasks_stolen, merged.tasks_executed);
 }
 
 TEST(ThreadPoolTest, DefaultThreadsFollowsRslsJobs) {

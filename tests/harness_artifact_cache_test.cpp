@@ -1,0 +1,156 @@
+// Unit tests: the keyed solve-artifact cache — single-build semantics
+// under concurrency (in-flight dedup), deterministic hit/miss totals,
+// LRU eviction, failure retry, and content-key sensitivity.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/artifact_cache.hpp"
+#include "sparse/generators.hpp"
+
+namespace rsls::harness {
+namespace {
+
+SolveArtifacts dummy_artifacts(double marker) {
+  SolveArtifacts artifacts;
+  artifacts.ff.time = marker;
+  return artifacts;
+}
+
+TEST(ArtifactCacheTest, BuildsOncePerKeyAndCountsHits) {
+  ArtifactCache cache(8);
+  std::atomic<int> builds{0};
+  const auto build = [&builds] {
+    builds.fetch_add(1);
+    return dummy_artifacts(1.0);
+  };
+  const auto first = cache.get_or_build("k", build);
+  const auto second = cache.get_or_build("k", build);
+  EXPECT_EQ(builds.load(), 1);
+  EXPECT_EQ(first.get(), second.get());  // same shared entry
+  const ArtifactCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(ArtifactCacheTest, ConcurrentLookupsDedupInFlightBuilds) {
+  // Many threads race on few keys; every key builds exactly once and
+  // hit/miss totals are schedule-independent (misses == distinct keys,
+  // hits == lookups − misses), because joins on an in-flight build
+  // count as hits.
+  ArtifactCache cache(16);
+  constexpr int kThreads = 12;
+  constexpr int kLookupsPerThread = 40;
+  constexpr int kKeys = 4;
+  std::atomic<int> builds{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &builds, t] {
+      for (int i = 0; i < kLookupsPerThread; ++i) {
+        const std::string key = "key-" + std::to_string((t + i) % kKeys);
+        const auto artifacts = cache.get_or_build(key, [&builds] {
+          builds.fetch_add(1);
+          return dummy_artifacts(2.0);
+        });
+        ASSERT_NE(artifacts, nullptr);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(builds.load(), kKeys);
+  const ArtifactCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, static_cast<std::uint64_t>(kKeys));
+  EXPECT_EQ(stats.hits,
+            static_cast<std::uint64_t>(kThreads * kLookupsPerThread - kKeys));
+}
+
+TEST(ArtifactCacheTest, EvictsLeastRecentlyUsedBeyondCapacity) {
+  ArtifactCache cache(2);
+  std::atomic<int> builds{0};
+  const auto build = [&builds] {
+    builds.fetch_add(1);
+    return dummy_artifacts(3.0);
+  };
+  (void)cache.get_or_build("a", build);
+  (void)cache.get_or_build("b", build);
+  (void)cache.get_or_build("a", build);  // refresh a: b is now LRU
+  (void)cache.get_or_build("c", build);  // evicts b
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  (void)cache.get_or_build("a", build);  // still cached
+  EXPECT_EQ(builds.load(), 3);
+  (void)cache.get_or_build("b", build);  // evicted: rebuilds
+  EXPECT_EQ(builds.load(), 4);
+}
+
+TEST(ArtifactCacheTest, FailedBuildIsNotCachedAndRetries) {
+  ArtifactCache cache(4);
+  int attempts = 0;
+  const auto flaky = [&attempts]() -> SolveArtifacts {
+    if (++attempts == 1) {
+      throw std::runtime_error("transient");
+    }
+    return dummy_artifacts(4.0);
+  };
+  EXPECT_THROW((void)cache.get_or_build("k", flaky), std::runtime_error);
+  const auto artifacts = cache.get_or_build("k", flaky);
+  EXPECT_EQ(artifacts->ff.time, 4.0);
+  EXPECT_EQ(attempts, 2);
+  // Both calls were misses: the failure left nothing behind to hit.
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(ArtifactCacheTest, KeySeparatesEveryBaselineRelevantKnob) {
+  const sparse::Csr matrix = sparse::laplacian_1d(64);
+  const Workload workload = Workload::create(matrix, 8, "lap64");
+
+  ExperimentConfig base;
+  base.processes = 8;
+  const std::string reference = ArtifactCache::key_for(workload, base);
+  // Stable for a repeated call...
+  EXPECT_EQ(ArtifactCache::key_for(workload, base), reference);
+  // ...different per ordering label...
+  EXPECT_NE(ArtifactCache::key_for(workload, base, "rcm"), reference);
+  // ...and per baseline-relevant config field.
+  ExperimentConfig other = base;
+  other.processes = 16;
+  EXPECT_NE(ArtifactCache::key_for(workload, other), reference);
+  other = base;
+  other.tolerance = 1e-8;
+  EXPECT_NE(ArtifactCache::key_for(workload, other), reference);
+  other = base;
+  other.max_iterations = 100;
+  EXPECT_NE(ArtifactCache::key_for(workload, other), reference);
+  other = base;
+  other.solver_kind = solver::SolverKind::kJacobiPcg;
+  EXPECT_NE(ArtifactCache::key_for(workload, other), reference);
+  other = base;
+  other.network.emplace();
+  other.network->topology = simrt::net::TopologyKind::kFatTree;
+  EXPECT_NE(ArtifactCache::key_for(workload, other), reference);
+  // Fault-plan knobs do NOT affect the baseline, so they share the key.
+  other = base;
+  other.faults = 99;
+  other.fault_seed = 7;
+  EXPECT_EQ(ArtifactCache::key_for(workload, other), reference);
+
+  // Different matrix content ⇒ different fingerprint ⇒ different key.
+  const Workload other_workload =
+      Workload::create(sparse::laplacian_1d(65), 8, "lap65");
+  EXPECT_NE(ArtifactCache::key_for(other_workload, base), reference);
+}
+
+}  // namespace
+}  // namespace rsls::harness

@@ -1,0 +1,97 @@
+// Unit tests: the streaming JsonValue writer (obs::write_json /
+// obs::to_string) — value → text → parse_json round-trips, scalar
+// formatting parity with JsonWriter, and stable key ordering so serve
+// responses are byte-deterministic.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace rsls::obs {
+namespace {
+
+JsonValue sample_document() {
+  JsonObject nested;
+  nested.insert_or_assign("pi", JsonValue::make_number(3.141592653589793));
+  nested.insert_or_assign("tiny", JsonValue::make_number(1e-9));
+  nested.insert_or_assign("flag", JsonValue::make_bool(true));
+  JsonArray list;
+  list.push_back(JsonValue::make_number(1));
+  list.push_back(JsonValue::make_string("two\nlines \"quoted\""));
+  list.push_back(JsonValue::make_null());
+  list.push_back(JsonValue::make_object(nested));
+  JsonObject root;
+  root.insert_or_assign("label", JsonValue::make_string("CR-M"));
+  root.insert_or_assign("items", JsonValue::make_array(std::move(list)));
+  root.insert_or_assign("empty_array", JsonValue::make_array({}));
+  root.insert_or_assign("empty_object", JsonValue::make_object({}));
+  root.insert_or_assign("count", JsonValue::make_number(42));
+  return JsonValue::make_object(std::move(root));
+}
+
+TEST(JsonStreamTest, RoundTripsThroughParseJson) {
+  const JsonValue original = sample_document();
+  const std::string text = to_string(original);
+  const JsonValue reparsed = parse_json(text);
+
+  EXPECT_EQ(reparsed.at("label").as_string(), "CR-M");
+  EXPECT_EQ(reparsed.at("count").as_number(), 42.0);
+  EXPECT_TRUE(reparsed.at("empty_array").as_array().empty());
+  EXPECT_TRUE(reparsed.at("empty_object").as_object().empty());
+  const JsonArray& items = reparsed.at("items").as_array();
+  ASSERT_EQ(items.size(), 4u);
+  EXPECT_EQ(items[0].as_number(), 1.0);
+  EXPECT_EQ(items[1].as_string(), "two\nlines \"quoted\"");
+  EXPECT_TRUE(items[2].is_null());
+  // Doubles survive bitwise: shortest-round-trip formatting.
+  EXPECT_EQ(items[3].at("pi").as_number(), 3.141592653589793);
+  EXPECT_EQ(items[3].at("tiny").as_number(), 1e-9);
+  EXPECT_TRUE(items[3].at("flag").as_bool());
+
+  // And the re-serialized text is identical: JsonObject is an ordered
+  // map, so write → parse → write is a fixed point.
+  EXPECT_EQ(to_string(reparsed), text);
+}
+
+TEST(JsonStreamTest, StreamsIncrementallyToOstream) {
+  // write_json targets the stream directly; interleaving writes around
+  // it (the chunked-event pattern in serve) must compose verbatim.
+  std::ostringstream os;
+  os << "event: ";
+  write_json(os, sample_document());
+  os << "\n";
+  const std::string line = os.str();
+  ASSERT_TRUE(line.rfind("event: {", 0) == 0);
+  ASSERT_EQ(line.back(), '\n');
+  const JsonValue reparsed =
+      parse_json(line.substr(7, line.size() - 8));
+  EXPECT_EQ(reparsed.at("count").as_number(), 42.0);
+}
+
+TEST(JsonStreamTest, ScalarFormattingMatchesJsonWriter) {
+  EXPECT_EQ(to_string(JsonValue::make_null()), "null");
+  EXPECT_EQ(to_string(JsonValue::make_bool(false)), "false");
+  EXPECT_EQ(to_string(JsonValue::make_number(0.1)),
+            JsonWriter::number(0.1));
+  EXPECT_EQ(to_string(JsonValue::make_string("a\tb")),
+            JsonWriter::quote("a\tb"));
+  // Non-finite numbers degrade to null, same as JsonWriter.
+  EXPECT_EQ(to_string(JsonValue::make_number(
+                std::numeric_limits<double>::infinity())),
+            "null");
+  EXPECT_EQ(to_string(JsonValue::make_number(std::nan(""))), "null");
+}
+
+TEST(JsonStreamTest, ControlCharactersStayEscaped) {
+  const std::string text =
+      to_string(JsonValue::make_string(std::string("\x01\x1f ok", 4)));
+  EXPECT_EQ(text, "\"\\u0001\\u001f o\"");
+}
+
+}  // namespace
+}  // namespace rsls::obs

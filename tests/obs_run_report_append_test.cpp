@@ -1,0 +1,124 @@
+// Unit tests: append_run_report under concurrency — many threads
+// appending distinct reports to one JSONL file must produce exactly one
+// well-formed, non-interleaved line per report (O_APPEND single-write
+// semantics).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/run_report.hpp"
+
+namespace rsls::obs {
+namespace {
+
+/// Temp JSONL path removed on scope exit.
+class TempFile {
+ public:
+  TempFile() {
+    char buf[] = "/tmp/rsls_report_XXXXXX";
+    const int fd = ::mkstemp(buf);
+    EXPECT_GE(fd, 0);
+    if (fd >= 0) {
+      ::close(fd);
+    }
+    path_ = buf;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+RunReport make_report(int id, std::size_t padding) {
+  RunReport report;
+  report.source = "append_test";
+  report.matrix = "matrix-" + std::to_string(id);
+  report.scheme = "CR-M";
+  report.config.emplace_back("writer", std::to_string(id));
+  // Bulk the line up so a torn write would have plenty of room to show:
+  // each report carries `padding` result entries.
+  for (std::size_t k = 0; k < padding; ++k) {
+    report.results.emplace_back("metric_" + std::to_string(k),
+                                static_cast<double>(id) + 0.25);
+  }
+  report.total_energy = static_cast<double>(id);
+  return report;
+}
+
+TEST(RunReportAppendTest, ManyThreadsNeverInterleaveLines) {
+  constexpr int kThreads = 16;
+  constexpr int kReportsPerThread = 25;
+  constexpr std::size_t kPadding = 200;  // ~6 KiB per line
+  TempFile file;
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&file, t] {
+      for (int r = 0; r < kReportsPerThread; ++r) {
+        append_run_report(file.path(),
+                          make_report(t * kReportsPerThread + r, kPadding));
+      }
+    });
+  }
+  for (auto& thread : writers) {
+    thread.join();
+  }
+
+  // Every line parses as one complete report, and the union of ids is
+  // exactly the set that was written (no losses, no duplicates, no
+  // spliced fragments).
+  std::ifstream in(file.path());
+  ASSERT_TRUE(in.good());
+  std::set<int> seen;
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    const JsonValue doc = parse_json(line);
+    const int id = std::stoi(doc.at("config").at("writer").as_string());
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate report id " << id;
+    EXPECT_EQ(doc.at("matrix").as_string(), "matrix-" + std::to_string(id));
+    EXPECT_EQ(doc.at("results").as_object().size(), kPadding);
+    EXPECT_EQ(doc.at("energy").at("total").as_number(),
+              static_cast<double>(id));
+  }
+  EXPECT_EQ(lines, kThreads * kReportsPerThread);
+  EXPECT_EQ(seen.size(),
+            static_cast<std::size_t>(kThreads * kReportsPerThread));
+}
+
+TEST(RunReportAppendTest, AppendsAcrossSeparateCalls) {
+  TempFile file;
+  append_run_report(file.path(), make_report(1, 3));
+  append_run_report(file.path(), make_report(2, 3));
+  std::ifstream in(file.path());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    parse_json(line);  // throws on malformed output
+  }
+  EXPECT_EQ(lines, 2);
+}
+
+TEST(RunReportAppendTest, ThrowsWhenPathUnwritable) {
+  EXPECT_THROW(
+      append_run_report("/nonexistent-dir/report.jsonl", make_report(0, 1)),
+      Error);
+}
+
+}  // namespace
+}  // namespace rsls::obs

@@ -1,0 +1,276 @@
+// Job engine: admission control, priority scheduling, cancellation,
+// deadlines, drain, and the end-to-end guarantee that a job served over
+// the real socket returns a RunReport bitwise identical to a direct
+// harness::run_scheme call with the same configuration.
+
+#include "serve/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/run_report.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace rsls::serve {
+namespace {
+
+JobSpec spec_from(const std::string& json) {
+  return parse_job_spec(obs::parse_json(json));
+}
+
+constexpr const char* kSmallJob =
+    "{\"matrix\":\"laplacian_1d\",\"n\":300,\"scheme\":\"CR-M\","
+    "\"faults\":2,\"processes\":8}";
+
+JobEngine::Options one_worker(Index queue_depth = 64) {
+  JobEngine::Options options;
+  options.workers = 1;
+  options.queue_depth = queue_depth;
+  return options;
+}
+
+std::string report_text(const obs::RunReport& report) {
+  std::ostringstream os;
+  obs::write_run_report(os, report);
+  return os.str();
+}
+
+TEST(ServeEngine, RunsAJobToSuccessWithProgressEvents) {
+  JobEngine engine(one_worker());
+  const std::string id = engine.submit(spec_from(kSmallJob));
+  engine.wait_idle();
+
+  const auto status = engine.status(id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, JobState::kSucceeded);
+  EXPECT_GT(status->events, 0u);
+  ASSERT_NE(status->report, nullptr);
+  EXPECT_EQ(status->report->scheme, "CR-M");
+  EXPECT_EQ(status->report->source, "serve");
+}
+
+TEST(ServeEngine, ReportMatchesDirectRunSchemeBitwise) {
+  // Serve path: through the engine (same code the socket path drives).
+  JobEngine engine(one_worker());
+  const JobSpec spec = spec_from(kSmallJob);
+  const std::string id = engine.submit(spec);
+  engine.wait_idle();
+  const auto status = engine.status(id);
+  ASSERT_TRUE(status.has_value());
+  ASSERT_NE(status->report, nullptr);
+
+  // Direct path: identical resolved config, no server anywhere.
+  sparse::Csr matrix = build_matrix(spec);
+  const auto workload = harness::Workload::create(
+      std::move(matrix), spec.config.processes, spec.matrix);
+  const harness::FfBaseline ff =
+      harness::run_fault_free(workload, spec.config);
+  const harness::SchemeRun direct =
+      harness::run_scheme(workload, spec.scheme, spec.config, ff);
+  ASSERT_NE(direct.run_report, nullptr);
+
+  EXPECT_EQ(report_text(*status->report), report_text(*direct.run_report));
+}
+
+TEST(ServeEngine, HigherPriorityJobsDispatchFirst) {
+  JobEngine engine(one_worker());
+  // Hold dispatch so the queue order is decided before any job runs.
+  engine.pause();
+  const std::string low = engine.submit(spec_from(
+      "{\"matrix\":\"laplacian_1d\",\"n\":300,\"faults\":1,"
+      "\"processes\":8,\"priority\":0}"));
+  const std::string high = engine.submit(spec_from(
+      "{\"matrix\":\"laplacian_1d\",\"n\":300,\"faults\":1,"
+      "\"processes\":8,\"priority\":5}"));
+  engine.resume();
+  engine.wait_idle();
+
+  const auto low_status = engine.status(low);
+  const auto high_status = engine.status(high);
+  ASSERT_TRUE(low_status.has_value());
+  ASSERT_TRUE(high_status.has_value());
+  EXPECT_EQ(high_status->dispatch_seq, 1u);  // overtook the earlier submit
+  EXPECT_EQ(low_status->dispatch_seq, 2u);
+}
+
+TEST(ServeEngine, RejectsPastTheQueueBoundWithStructuredError) {
+  JobEngine engine(one_worker(/*queue_depth=*/2));
+  engine.pause();  // nothing dispatches: queued count grows deterministically
+  engine.submit(spec_from(kSmallJob));
+  engine.submit(spec_from(kSmallJob));
+  try {
+    engine.submit(spec_from(kSmallJob));
+    FAIL() << "expected AdmissionError";
+  } catch (const AdmissionError& e) {
+    EXPECT_EQ(e.reason, "queue_full");
+  }
+  engine.resume();
+  engine.wait_idle();
+  const obs::MetricsSnapshot metrics = engine.metrics();
+  const auto counter = [&metrics](const std::string& name) {
+    for (const auto& [key, value] : metrics.counters) {
+      if (key == name) {
+        return value;
+      }
+    }
+    return -1.0;
+  };
+  EXPECT_EQ(counter("serve.jobs.rejected"), 1.0);
+  EXPECT_EQ(counter("serve.jobs.submitted"), 2.0);
+}
+
+TEST(ServeEngine, CancelsAQueuedJobImmediately) {
+  JobEngine engine(one_worker());
+  engine.pause();
+  const std::string id = engine.submit(spec_from(kSmallJob));
+  EXPECT_TRUE(engine.cancel(id));
+  const auto status = engine.status(id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, JobState::kCancelled);
+  engine.resume();
+  engine.wait_idle();  // the orphaned pull task must not hang the drain
+  EXPECT_EQ(engine.status(id)->state, JobState::kCancelled);
+}
+
+TEST(ServeEngine, CancelsARunningJobViaItsObserver) {
+  JobEngine engine(one_worker());
+  // A hard problem so the solve is still running when cancel arrives.
+  const std::string id = engine.submit(spec_from(
+      "{\"matrix\":\"irregular\",\"n\":3000,\"faults\":0,"
+      "\"processes\":8,\"tolerance\":1e-14}"));
+  // Wait until it is actually running and has produced an event.
+  while (true) {
+    const auto status = engine.status(id);
+    ASSERT_TRUE(status.has_value());
+    if (status->state == JobState::kRunning && status->events > 0) {
+      break;
+    }
+    if (status->state != JobState::kQueued &&
+        status->state != JobState::kRunning) {
+      GTEST_SKIP() << "job finished before cancel could land";
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(engine.cancel(id));
+  engine.wait_idle();
+  EXPECT_EQ(engine.status(id)->state, JobState::kCancelled);
+}
+
+TEST(ServeEngine, DeadlineIsPricedInVirtualTime) {
+  JobEngine engine(one_worker());
+  // Virtual makespans of these solves are far above a nanosecond budget;
+  // the verdict depends only on simulated time, so it is deterministic.
+  const std::string id = engine.submit(spec_from(
+      "{\"matrix\":\"laplacian_1d\",\"n\":300,\"faults\":2,"
+      "\"processes\":8,\"deadline_s\":1e-9}"));
+  engine.wait_idle();
+  const auto status = engine.status(id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, JobState::kDeadlineExceeded);
+  EXPECT_NE(status->error.find("deadline"), std::string::npos);
+
+  // A generous virtual budget passes.
+  const std::string ok = engine.submit(spec_from(
+      "{\"matrix\":\"laplacian_1d\",\"n\":300,\"faults\":2,"
+      "\"processes\":8,\"deadline_s\":1e6}"));
+  engine.wait_idle();
+  EXPECT_EQ(engine.status(ok)->state, JobState::kSucceeded);
+}
+
+TEST(ServeEngine, StreamEventsReplaysThenFollowsToTerminalState) {
+  JobEngine engine(one_worker());
+  const std::string id = engine.submit(spec_from(kSmallJob));
+  std::vector<JobEvent> seen;
+  const JobState final_state =
+      engine.stream_events(id, [&seen](const JobEvent& event) {
+        seen.push_back(event);
+        return true;
+      });
+  EXPECT_EQ(final_state, JobState::kSucceeded);
+  ASSERT_GT(seen.size(), 1u);
+  EXPECT_EQ(seen.front().iteration, 0);
+  // Non-decreasing, not strict: a recovery re-entry records the residual
+  // again at the iteration it resumed from.
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_GE(seen[i].iteration, seen[i - 1].iteration);
+  }
+  // A late subscriber replays the identical sequence.
+  std::vector<JobEvent> replay;
+  engine.stream_events(id, [&replay](const JobEvent& event) {
+    replay.push_back(event);
+    return true;
+  });
+  ASSERT_EQ(replay.size(), seen.size());
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(replay[i].iteration, seen[i].iteration);
+    EXPECT_EQ(replay[i].residual, seen[i].residual);
+  }
+}
+
+TEST(ServeEngine, DrainRejectsNewSubmissionsAndWaitsForCompletion) {
+  JobEngine engine(one_worker());
+  const std::string id = engine.submit(spec_from(kSmallJob));
+  engine.drain();
+  EXPECT_EQ(engine.status(id)->state, JobState::kSucceeded);
+  EXPECT_THROW(engine.submit(spec_from(kSmallJob)), AdmissionError);
+}
+
+TEST(ServeEngine, RepeatSubmissionsHitTheArtifactCache) {
+  JobEngine engine(one_worker());
+  const std::string first = engine.submit(spec_from(kSmallJob));
+  engine.wait_idle();
+  const std::string second = engine.submit(spec_from(kSmallJob));
+  engine.wait_idle();
+  EXPECT_FALSE(engine.status(first)->cache_hit);
+  EXPECT_TRUE(engine.status(second)->cache_hit);
+  EXPECT_EQ(engine.cache().stats().hits, 1u);
+  EXPECT_EQ(engine.cache().stats().misses, 1u);
+}
+
+TEST(ServeEngine, EndToEndOverTheSocketMatchesDirectRun) {
+  const JobSpec spec = spec_from(kSmallJob);
+
+  SolveServer server(0, one_worker());
+  std::thread accept_thread([&server] { server.serve_forever(); });
+  const Client client(server.port());
+
+  const std::string id = client.submit(kSmallJob);
+  const obs::JsonValue done = client.wait(id);
+  EXPECT_EQ(done.at("state").as_string(), "succeeded");
+
+  // At least one progress event must have streamed over the wire.
+  std::size_t events = 0;
+  const std::string final_state = client.stream_events(
+      id, [&events](const std::string&) { ++events; });
+  EXPECT_EQ(final_state, "succeeded");
+  EXPECT_GT(events, 0u);
+
+  // The report that crossed the socket equals the direct run's, field
+  // for field, after one JSON parse of each (bitwise numeric identity:
+  // both sides print with shortest-round-trip doubles).
+  sparse::Csr matrix = build_matrix(spec);
+  const auto workload = harness::Workload::create(
+      std::move(matrix), spec.config.processes, spec.matrix);
+  const harness::FfBaseline ff =
+      harness::run_fault_free(workload, spec.config);
+  const harness::SchemeRun direct =
+      harness::run_scheme(workload, spec.scheme, spec.config, ff);
+  ASSERT_NE(direct.run_report, nullptr);
+  std::ostringstream direct_text;
+  obs::write_run_report(direct_text, *direct.run_report);
+
+  const obs::JsonValue wire_report = done.at("report");
+  const obs::JsonValue direct_parsed = obs::parse_json(direct_text.str());
+  EXPECT_EQ(obs::to_string(wire_report), obs::to_string(direct_parsed));
+
+  server.shutdown();
+  accept_thread.join();
+}
+
+}  // namespace
+}  // namespace rsls::serve

@@ -1,0 +1,174 @@
+// Satellite contract of the serve layer: for EVERY knob the server
+// accepts, an explicit job-config field beats the daemon's RSLS_*
+// environment, and the environment beats the built-in default. The
+// table below exercises each knob three ways (default / env-only /
+// env + explicit) through the real parse path, and the last test proves
+// the resolved config can never be re-overlaid downstream.
+
+#include "serve/job.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/env.hpp"
+#include "simrt/net/network_config.hpp"
+
+namespace rsls::serve {
+namespace {
+
+/// Set an environment variable for one scope; restores on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(std::string name, const std::string& value)
+      : name_(std::move(name)) {
+    const char* old = std::getenv(name_.c_str());
+    if (old != nullptr) {
+      saved_ = old;
+    }
+    ::setenv(name_.c_str(), value.c_str(), 1);
+  }
+  ~ScopedEnv() {
+    if (saved_.has_value()) {
+      ::setenv(name_.c_str(), saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::string name_;
+  std::optional<std::string> saved_;
+};
+
+JobSpec parse(const std::string& json) {
+  return parse_job_spec(obs::parse_json(json));
+}
+
+/// One row: a server knob, the env var that supplies its default, an
+/// env value, the job field that overrides it, and extractors proving
+/// which one won.
+struct Row {
+  std::string knob;
+  std::string env_name;
+  std::string env_value;
+  std::string explicit_json;  // {"field": explicit-value}
+  std::function<std::string(const JobSpec&)> read;
+  std::string default_expected;
+  std::string env_expected;
+  std::string explicit_expected;
+};
+
+std::vector<Row> rows() {
+  using simrt::net::to_string;
+  return {
+      {"scheme", "RSLS_SERVE_SCHEME", "LSI", "{\"scheme\":\"ESR\"}",
+       [](const JobSpec& s) { return s.scheme; }, "CR-M", "LSI", "ESR"},
+      {"net_topology", "RSLS_NET_TOPOLOGY", "fat-tree",
+       "{\"net_topology\":\"torus3d\"}",
+       [](const JobSpec& s) {
+         return std::string(to_string(s.config.network->topology));
+       },
+       "flat", "fat-tree", "torus3d"},
+      {"net_collective", "RSLS_NET_COLLECTIVE", "ring",
+       "{\"net_collective\":\"binomial-tree\"}",
+       [](const JobSpec& s) {
+         return std::string(to_string(s.config.network->collective));
+       },
+       "recursive-doubling", "ring", "binomial-tree"},
+      {"series", "RSLS_SERIES", "1", "{\"series\":false}",
+       [](const JobSpec& s) {
+         return s.config.observability.series ? "on" : "off";
+       },
+       "off", "on", "off"},
+      {"fault_domains", "RSLS_FAULT_DOMAINS", "4", "{\"fault_domains\":2}",
+       [](const JobSpec& s) { return std::to_string(s.config.fault_domains); },
+       "0", "4", "2"},
+      {"spare_ranks", "RSLS_SPARE_RANKS", "3", "{\"spare_ranks\":1}",
+       [](const JobSpec& s) {
+         return std::to_string(s.config.recovery.spare_ranks);
+       },
+       "0", "3", "1"},
+      {"recovery_retries", "RSLS_RECOVERY_RETRIES", "2",
+       "{\"recovery_retries\":5}",
+       [](const JobSpec& s) {
+         return std::to_string(s.config.recovery.max_retries);
+       },
+       "0", "2", "5"},
+      {"weibull_shape", "RSLS_WEIBULL_SHAPE", "1.5", "{\"weibull_shape\":0.7}",
+       [](const JobSpec& s) {
+         return obs::JsonWriter::number(s.config.weibull_shape);
+       },
+       "0", "1.5", "0.7"},
+  };
+}
+
+TEST(ServeEnv, ExplicitJobFieldsBeatEnvironmentForEveryServerKnob) {
+  for (const Row& row : rows()) {
+    SCOPED_TRACE(row.knob);
+    // Built-in default (no env, no field).
+    EXPECT_EQ(row.read(parse("{}")), row.default_expected);
+    // Environment supplies the default when the field is omitted...
+    {
+      const ScopedEnv env(row.env_name, row.env_value);
+      EXPECT_EQ(row.read(parse("{}")), row.env_expected);
+      // ...and the explicit field beats the environment.
+      EXPECT_EQ(row.read(parse(row.explicit_json)), row.explicit_expected);
+    }
+    // Without the env the explicit field still lands (sanity).
+    EXPECT_EQ(row.read(parse(row.explicit_json)), row.explicit_expected);
+  }
+}
+
+TEST(ServeEnv, ResolvedConfigCannotBeReOverlaidDownstream) {
+  // A resolved spec pins the environment out: run_scheme's overlay is
+  // disabled and observability resolution is marked done, so a daemon
+  // env change between parse and dispatch cannot leak into the job.
+  const JobSpec spec = parse("{}");
+  EXPECT_FALSE(spec.config.env_overlay);
+  EXPECT_TRUE(spec.config.observability.env_resolved);
+  EXPECT_TRUE(spec.config.observability.keep_report);
+  EXPECT_TRUE(spec.config.network.has_value());
+  EXPECT_EQ(spec.config.observability.source, "serve");
+
+  // resolve_from_env is a no-op on a resolved block even under env.
+  const ScopedEnv series("RSLS_SERIES", "1");
+  const obs::ObservabilityOptions again =
+      obs::resolve_from_env(spec.config.observability);
+  EXPECT_FALSE(again.series);
+}
+
+TEST(ServeEnv, SpareRanksImplySparePolicyFromEitherSource) {
+  {
+    const ScopedEnv env("RSLS_SPARE_RANKS", "2");
+    const JobSpec spec = parse("{}");
+    EXPECT_EQ(spec.config.recovery.policy,
+              resilience::RecoveryPolicy::kSpare);
+  }
+  const JobSpec spec = parse("{\"spare_ranks\":2}");
+  EXPECT_EQ(spec.config.recovery.policy, resilience::RecoveryPolicy::kSpare);
+  const JobSpec none = parse("{}");
+  EXPECT_EQ(none.config.recovery.policy,
+            resilience::RecoveryPolicy::kInPlace);
+}
+
+TEST(ServeEnv, RejectsUnknownFieldsAndBadValues) {
+  EXPECT_THROW(parse("{\"typo_field\":1}"), Error);
+  EXPECT_THROW(parse("{\"scheme\":\"NOPE\"}"), Error);
+  EXPECT_THROW(parse("{\"matrix\":\"not-a-matrix\"}"), Error);
+  EXPECT_THROW(parse("{\"ordering\":\"sideways\"}"), Error);
+  EXPECT_THROW(parse("{\"n\":1}"), Error);
+  EXPECT_THROW(parse("{\"n\":\"many\"}"), Error);
+  EXPECT_THROW(parse("{\"deadline_s\":-1}"), Error);
+  EXPECT_THROW(parse("{\"net_topology\":\"mesh\"}"), Error);
+  EXPECT_THROW(parse("[1,2,3]"), Error);
+}
+
+}  // namespace
+}  // namespace rsls::serve

@@ -1,0 +1,82 @@
+// rsls_client — CLI for the solve daemon.
+//
+//   rsls_client --port N submit '<job json>'   → prints the job id
+//   rsls_client --port N status <id>           → prints the status JSON
+//   rsls_client --port N wait <id>             → blocks, prints final JSON
+//   rsls_client --port N events <id>           → streams NDJSON lines
+//   rsls_client --port N cancel <id>
+//   rsls_client --port N metrics
+//   rsls_client --port N health
+//
+// Exit code 0 on success; 1 on transport errors or rejected requests.
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/env.hpp"
+#include "serve/client.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rsls;
+  int port = env::serve_port();
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  if (args.empty()) {
+    std::cerr << "usage: rsls_client [--port N] "
+                 "submit|status|wait|events|cancel|metrics|health ..."
+              << std::endl;
+    return 1;
+  }
+
+  const serve::Client client(port);
+  const std::string& command = args[0];
+  try {
+    if (command == "submit") {
+      std::cout << client.submit(args.size() > 1 ? args[1] : "{}")
+                << std::endl;
+      return 0;
+    }
+    if (command == "status" && args.size() > 1) {
+      std::cout << obs::to_string(client.status(args[1])) << std::endl;
+      return 0;
+    }
+    if (command == "wait" && args.size() > 1) {
+      std::cout << obs::to_string(client.wait(args[1])) << std::endl;
+      return 0;
+    }
+    if (command == "events" && args.size() > 1) {
+      const std::string final_state = client.stream_events(
+          args[1], [](const std::string& line) { std::cout << line << "\n"; });
+      std::cout << "{\"state\":\"" << final_state << "\"}" << std::endl;
+      return 0;
+    }
+    if (command == "cancel" && args.size() > 1) {
+      const bool accepted = client.cancel(args[1]);
+      std::cout << (accepted ? "cancelling" : "already terminal") << std::endl;
+      return accepted ? 0 : 1;
+    }
+    if (command == "metrics") {
+      std::cout << obs::to_string(client.metrics()) << std::endl;
+      return 0;
+    }
+    if (command == "health") {
+      const bool ok = client.healthy();
+      std::cout << (ok ? "ok" : "unreachable") << std::endl;
+      return ok ? 0 : 1;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "rsls_client: " << e.what() << std::endl;
+    return 1;
+  }
+  std::cerr << "rsls_client: unknown command '" << command << "'" << std::endl;
+  return 1;
+}

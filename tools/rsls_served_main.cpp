@@ -1,0 +1,84 @@
+// rsls_served — the RSLS solve daemon.
+//
+//   rsls_served [--port N] [--queue-depth N] [--workers N]
+//               [--cache-entries N]
+//
+// Flags override the RSLS_SERVE_* environment, which overrides the
+// built-in defaults (same precedence story as job fields vs env).
+// SIGTERM/SIGINT trigger a graceful drain: admission stops, queued and
+// running jobs finish, then the listener closes and the process exits 0.
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "core/env.hpp"
+#include "core/log.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void on_signal(int) { g_shutdown = 1; }
+
+long long flag_value(int argc, char** argv, const char* name,
+                     long long fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      return std::atoll(argv[i + 1]);
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rsls;
+  env::warn_unknown_once();
+
+  const int port = static_cast<int>(
+      flag_value(argc, argv, "--port", env::serve_port()));
+  serve::JobEngine::Options options;
+  options.workers = static_cast<Index>(
+      flag_value(argc, argv, "--workers", env::serve_jobs()));
+  options.queue_depth = static_cast<Index>(
+      flag_value(argc, argv, "--queue-depth", env::serve_queue_depth()));
+  options.cache_entries = static_cast<std::size_t>(flag_value(
+      argc, argv, "--cache-entries",
+      static_cast<long long>(env::serve_cache_entries())));
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+
+  try {
+    serve::SolveServer server(port, options);
+    // Line-buffered, machine-readable startup banner: the CI smoke job
+    // and the bench read the resolved port from here.
+    std::cout << "rsls_served listening on 127.0.0.1:" << server.port()
+              << " workers=" << options.workers
+              << " queue_depth=" << options.queue_depth
+              << " cache_entries=" << options.cache_entries << std::endl;
+
+    // The accept loop blocks, so watch the signal flag from a sidecar
+    // thread and drive the graceful drain from there.
+    std::thread watcher([&server] {
+      while (g_shutdown == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      std::cout << "rsls_served draining" << std::endl;
+      server.shutdown();
+    });
+    server.serve_forever();
+    watcher.join();
+    std::cout << "rsls_served stopped" << std::endl;
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "rsls_served: " << e.what() << std::endl;
+    return 1;
+  }
+}
