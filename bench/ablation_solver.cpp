@@ -36,14 +36,12 @@ int main(int argc, char** argv) {
   Shape shapes[2];
   int shape_idx = 0;
 
-  for (const auto kind :
-       {solver::SolverKind::kCg, solver::SolverKind::kJacobiPcg}) {
+  for (const std::string precond : {"identity", "jacobi"}) {
     harness::ExperimentConfig config;
     config.processes = options.get_index("processes", quick ? 24 : 48);
     config.faults = 10;
-    config.solver_kind = kind;
-    const char* solver_name =
-        kind == solver::SolverKind::kCg ? "CG" : "Jacobi-PCG";
+    config.preconditioner = precond;
+    const char* solver_name = precond == "identity" ? "CG" : "Jacobi-PCG";
 
     const auto workload = harness::Workload::create(a, config.processes);
     const auto ff = harness::run_fault_free(workload, config);

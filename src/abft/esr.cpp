@@ -34,6 +34,14 @@ void EsrScheme::on_iteration(RecoveryContext& ctx, Index iteration,
     parity_p_ = encoding_->encode(ctx.p);
     ++vectors;
   }
+  parity_extra_.resize(ctx.extra.size());
+  for (std::size_t v = 0; v < ctx.extra.size(); ++v) {
+    if (ctx.extra[v].empty()) {
+      continue;
+    }
+    parity_extra_[v] = encoding_->encode(ctx.extra[v]);
+    ++vectors;
+  }
   encoding_->charge_encode(ctx.cluster, vectors, PhaseTag::kEncode);
   encode_seconds_ += ctx.cluster.elapsed() - start;
   encoded_iteration_ = iteration;
@@ -74,8 +82,11 @@ HookAction EsrScheme::recover_multi(RecoveryContext& ctx, Index iteration,
   const Seconds start = ctx.cluster.elapsed();
   encoding_->decode(x, failed_ranks, parity_x_);
   Index vectors = 1;
-  // Reconstruct the recurrence state too — exactness of the continued
-  // trajectory needs all of (x, r, p), not just the iterate.
+  // Exact continuation needs the failed blocks of *every* live
+  // recurrence vector back — x, r, p, and the pipelined extras — not
+  // just the iterate. Count how many the solver exposed vs how many we
+  // could decode.
+  Index exposed = 1 + (ctx.r.empty() ? 0 : 1) + (ctx.p.empty() ? 0 : 1);
   if (!ctx.r.empty() && !parity_r_.empty()) {
     encoding_->decode(ctx.r, failed_ranks, parity_r_);
     ++vectors;
@@ -84,15 +95,27 @@ HookAction EsrScheme::recover_multi(RecoveryContext& ctx, Index iteration,
     encoding_->decode(ctx.p, failed_ranks, parity_p_);
     ++vectors;
   }
+  for (std::size_t v = 0; v < ctx.extra.size(); ++v) {
+    if (ctx.extra[v].empty()) {
+      continue;
+    }
+    ++exposed;
+    if (v < parity_extra_.size() && !parity_extra_[v].empty()) {
+      encoding_->decode(ctx.extra[v], failed_ranks, parity_extra_[v]);
+      ++vectors;
+    }
+  }
   encoding_->charge_decode(ctx.cluster, failed_ranks, vectors,
                            PhaseTag::kReconstruct);
   decode_seconds_ += ctx.cluster.elapsed() - start;
   ++decodes_;
   obs::count(ctx.recorder, "abft_decodes");
-  // With x, r and p all reconstructed the solver continues on the
-  // fault-free trajectory; if the recurrence vectors were not exposed
-  // (direct unit-test calls), the caller must rebuild them from x.
-  return vectors == 3 ? HookAction::kContinue : HookAction::kRestart;
+  // With every exposed vector reconstructed the solver continues on the
+  // fault-free trajectory. If the recurrence state was not exposed at
+  // all (direct unit-test calls) or some vector lacked parity, the
+  // caller must rebuild from x.
+  const bool exact = !ctx.r.empty() && !ctx.p.empty() && vectors == exposed;
+  return exact ? HookAction::kContinue : HookAction::kRestart;
 }
 
 }  // namespace rsls::abft

@@ -22,6 +22,7 @@
 
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "abft/encoding.hpp"
 #include "resilience/scheme.hpp"
@@ -72,6 +73,9 @@ class EsrScheme final : public resilience::RecoveryScheme {
   Parity parity_x_;
   Parity parity_r_;
   Parity parity_p_;
+  /// Parity of the solver's extra recurrence vectors (pipelined CG's
+  /// u, w, s, q, z), index-aligned with RecoveryContext::extra.
+  std::vector<Parity> parity_extra_;
   Index encoded_iteration_ = -1;
   Index encodes_ = 0;
   Index decodes_ = 0;

@@ -92,6 +92,15 @@ const std::vector<VarSpec>& registry() {
       {"RSLS_SERVE_SCHEME", "string", "CR-M",
        "Default recovery scheme for jobs that do not name one "
        "explicitly; an explicit job field always wins."},
+      {"RSLS_SOLVER", "string", "cg",
+       "Solver variant for harness-built solves: cg|pipelined-cg. "
+       "Applied only when the config leaves the solver at its default; "
+       "unknown names warn once and keep the default."},
+      {"RSLS_PRECONDITIONER", "string", "identity",
+       "Preconditioner for harness-built solves: "
+       "identity|jacobi|block-jacobi|ic0. Applied only when the config "
+       "leaves the preconditioner at its default; unknown names warn "
+       "once and keep the default."},
   };
   return vars;
 }
@@ -242,6 +251,12 @@ Index serve_jobs() {
 }
 
 std::string serve_scheme() { return get_string("RSLS_SERVE_SCHEME", "CR-M"); }
+
+std::optional<std::string> solver_name() { return env_string("RSLS_SOLVER"); }
+
+std::optional<std::string> preconditioner_name() {
+  return env_string("RSLS_PRECONDITIONER");
+}
 
 std::vector<std::string> unknown_rsls_vars() {
   std::vector<std::string> unknown;

@@ -127,6 +127,16 @@ Index serve_jobs();
 /// RSLS_SERVE_SCHEME: default recovery scheme for jobs that omit one.
 std::string serve_scheme();
 
+/// RSLS_SOLVER: solver variant for harness-built solves
+/// (cg|pipelined-cg); applied only when the config leaves the solver at
+/// its default.
+std::optional<std::string> solver_name();
+
+/// RSLS_PRECONDITIONER: preconditioner for harness-built solves
+/// (identity|jacobi|block-jacobi|ic0); applied only when the config
+/// leaves the preconditioner at its default.
+std::optional<std::string> preconditioner_name();
+
 /// RSLS_-prefixed variables set in the process environment that no
 /// registry entry declares — typo'd knobs that would otherwise be
 /// silently ignored.

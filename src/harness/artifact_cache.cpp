@@ -62,8 +62,8 @@ std::string ArtifactCache::key_for(const Workload& workload,
       << fingerprint_vector(workload.x0) << std::dec << "|p"
       << config.processes << "|ord:" << ordering
       << "|tol:" << obs::JsonWriter::number(config.tolerance)
-      << "|maxit:" << config.max_iterations << "|solver:"
-      << (config.solver_kind == solver::SolverKind::kCg ? "cg" : "jacobi-pcg")
+      << "|maxit:" << config.max_iterations << "|solver:" << config.solver
+      << "|precond:" << config.preconditioner
       << "|net:" << simrt::net::to_string(net.topology) << '/'
       << simrt::net::to_string(net.collective);
   return key.str();

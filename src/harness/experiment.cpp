@@ -41,7 +41,7 @@ solver::CgOptions cg_options_for(const ExperimentConfig& config,
   options.max_iterations = config.max_iterations;
   options.record_residual_history = config.record_residuals;
   options.ff_iterations = ff_iterations;
-  options.kind = config.solver_kind;
+  options.variant = solver::solver_variant_or_throw(config.solver);
   return options;
 }
 
@@ -83,8 +83,8 @@ obs::RunReport make_run_report(const obs::ObservabilityOptions& opts,
        obs::JsonWriter::number(config.scheme.fw_cg_tolerance)},
       {"cr_interval_iterations",
        std::to_string(config.scheme.cr_interval_iterations)},
-      {"solver_kind",
-       config.solver_kind == solver::SolverKind::kCg ? "cg" : "jacobi-pcg"},
+      {"solver", config.solver},
+      {"preconditioner", config.preconditioner},
       {"sdc_faults", config.sdc_faults ? "true" : "false"},
       {"detection", config.detection ? "true" : "false"},
       {"replica_factor", std::to_string(cluster.replica_factor())},
@@ -215,6 +215,37 @@ ExperimentConfig with_resilience_env(const ExperimentConfig& in) {
   if (!config.env_overlay) {
     return config;  // caller resolved the environment already
   }
+  // Solver knobs overlay onto fields still at their registry defaults;
+  // unparsable values warn once and keep the default (the apply_net_env
+  // contract — env garbage must never abort a run that did not opt in).
+  if (config.solver == "cg") {
+    if (const auto name = env::solver_name()) {
+      if (solver::solver_variant_from_name(*name).has_value()) {
+        config.solver = *name;
+      } else {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true)) {
+          RSLS_WARN << "RSLS_SOLVER=" << *name
+                    << " is not cg|pipelined-cg; keeping cg";
+        }
+      }
+    }
+  }
+  if (config.preconditioner == "identity") {
+    if (const auto name = env::preconditioner_name()) {
+      const auto& roster = solver::preconditioner_names();
+      if (std::find(roster.begin(), roster.end(), *name) != roster.end()) {
+        config.preconditioner = *name;
+      } else {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true)) {
+          RSLS_WARN << "RSLS_PRECONDITIONER=" << *name
+                    << " is not identity|jacobi|block-jacobi|ic0; "
+                       "keeping identity";
+        }
+      }
+    }
+  }
   if (config.fault_domains == 0) {
     config.fault_domains = env::fault_domains();
   }
@@ -259,7 +290,10 @@ Workload Workload::create(sparse::Csr matrix, Index processes,
 }
 
 FfBaseline run_fault_free(const Workload& workload,
-                          const ExperimentConfig& config) {
+                          const ExperimentConfig& config_in) {
+  // Resolve the environment exactly as run_scheme does, so the baseline
+  // and every scheme run agree on solver variant and preconditioner.
+  const ExperimentConfig config = with_resilience_env(config_in);
   simrt::MachineConfig machine = machine_for(config.processes);
   if (config.network.has_value()) {
     machine.net = *config.network;
@@ -268,9 +302,12 @@ FfBaseline run_fault_free(const Workload& workload,
   NoRecovery scheme;
   auto injector = resilience::FaultInjector::none();
   RealVec x = workload.x0;
+  const auto preconditioner =
+      solver::make_preconditioner(config.preconditioner);
+  solver::CgOptions solve_options = cg_options_for(config, 0);
+  solve_options.preconditioner = preconditioner.get();
   const auto report = resilience::resilient_solve(
-      workload.a, cluster, workload.b, x, scheme, injector,
-      cg_options_for(config, 0));
+      workload.a, cluster, workload.b, x, scheme, injector, solve_options);
   RSLS_CHECK_MSG(report.cg.converged, "fault-free CG did not converge");
   FfBaseline ff;
   ff.iterations = report.cg.iterations;
@@ -418,8 +455,14 @@ SchemeRun run_scheme(const Workload& workload, const std::string& scheme_name,
     recorder.attach(cluster);
   }
 
+  // The preconditioner instance is owned here and borrowed by the
+  // solver; it must outlive resilient_solve (which also calls its
+  // rebuild_local after process losses).
+  const auto preconditioner =
+      solver::make_preconditioner(config.preconditioner);
   solver::CgOptions solve_options = cg_options_for(config, ff.iterations);
-  solve_options.residual_observer = hooks.residual_observer;
+  solve_options.preconditioner = preconditioner.get();
+  solve_options.observer = hooks.observer;
   run.report = resilience::resilient_solve(
       workload.a, cluster, workload.b, x, scheme, injector, solve_options,
       detectors, config.hardening, rec, config.recovery);
@@ -471,6 +514,12 @@ SchemeRun run_scheme(const Workload& workload, const std::string& scheme_name,
     recorder.metrics()
         .counter("comm.replica_fetches")
         .add(comm.replica_fetches);
+    recorder.metrics()
+        .counter("comm.allreduce_exposed_s")
+        .add(comm.allreduce_exposed_seconds);
+    recorder.metrics()
+        .counter("comm.allreduce_hidden_s")
+        .add(comm.allreduce_hidden_seconds);
     recorder.metrics().gauge("comm.max_contention").set(comm.max_contention);
     if (cluster.event_log_enabled()) {
       // Silent ring-buffer eviction made visible: a nonzero counter says

@@ -41,8 +41,15 @@ struct ExperimentConfig {
   /// scheme.cr_interval_iterations.
   bool use_young_interval = false;
   bool record_residuals = false;
-  /// Solver variant; schemes work unchanged under either.
-  solver::SolverKind solver_kind = solver::SolverKind::kCg;
+  /// Solver variant by registry name ("cg" | "pipelined-cg") and
+  /// preconditioner by registry name ("identity" | "jacobi" |
+  /// "block-jacobi" | "ic0"). Schemes work unchanged under any
+  /// combination; the defaults reproduce the seed solver bit-for-bit.
+  /// The environment overlays these (RSLS_SOLVER, RSLS_PRECONDITIONER)
+  /// when still at defaults and env_overlay is on; unknown names throw
+  /// rsls::Error naming the valid roster.
+  std::string solver = "cg";
+  std::string preconditioner = "identity";
   /// Reclassify every injected fault as *silent* data corruption: the
   /// harness is not told which rank was hit, so only the detector suite
   /// (when `detection` is on) can notice and localize it. Off keeps the
@@ -163,10 +170,11 @@ struct RunHooks {
   resilience::FaultInjector* injector = nullptr;
   simrt::VirtualCluster* cluster = nullptr;
   /// Called at every residual-history record site (each CG iteration,
-  /// plus recovery re-entries). Runs on the solving thread; the serve
-  /// engine uses it to stream live progress and to abort cancelled jobs
-  /// by throwing. Composes with the flight recorder's own sampling.
-  solver::ResidualObserver residual_observer = nullptr;
+  /// plus recovery re-entries, with `amended` set on the latter). Runs
+  /// on the solving thread; the serve engine uses it to stream live
+  /// progress and to abort cancelled jobs by throwing. Composes with
+  /// the flight recorder's own sampling.
+  solver::IterationCallback observer = nullptr;
 };
 
 /// Run one named scheme against the baseline. The single entry point

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/error.hpp"
+#include "sparse/csr.hpp"
 
 namespace rsls::la {
 
@@ -128,6 +129,102 @@ void solve_lower_transpose(const sparse::Dense& l, std::span<Real> x) {
       sum -= l(j, i) * x[static_cast<std::size_t>(j)];
     }
     x[static_cast<std::size_t>(i)] = sum / l(i, i);
+  }
+}
+
+IncompleteCholesky0::IncompleteCholesky0(const sparse::Csr& a) {
+  RSLS_CHECK_MSG(a.rows == a.cols, "IC(0) needs a square matrix");
+  n_ = a.rows;
+  // Lower-triangular pattern of A, columns ascending (so the diagonal is
+  // each row's last stored entry).
+  row_ptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (Index i = 0; i < n_; ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    bool has_diagonal = false;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] > i) {
+        break;
+      }
+      col_idx_.push_back(cols[k]);
+      values_.push_back(vals[k]);
+      has_diagonal = has_diagonal || cols[k] == i;
+    }
+    RSLS_CHECK_MSG(has_diagonal, "IC(0) needs a stored diagonal");
+    row_ptr_[static_cast<std::size_t>(i) + 1] =
+        static_cast<Index>(col_idx_.size());
+  }
+  // Up-looking IC(0): for row i and each stored k < i,
+  //   l_ik = (a_ik − Σ_j l_ij l_kj) / l_kk   over the shared prefix j < k,
+  //   l_ii = sqrt(a_ii − Σ_j l_ij²).
+  for (Index i = 0; i < n_; ++i) {
+    const Index begin = row_ptr_[static_cast<std::size_t>(i)];
+    const Index end = row_ptr_[static_cast<std::size_t>(i) + 1];
+    for (Index ik = begin; ik < end; ++ik) {
+      const Index k = col_idx_[static_cast<std::size_t>(ik)];
+      Real sum = values_[static_cast<std::size_t>(ik)];
+      const Index k_begin = row_ptr_[static_cast<std::size_t>(k)];
+      const Index k_end = row_ptr_[static_cast<std::size_t>(k) + 1];
+      // Sparse dot of row i's and row k's prefixes (columns < k).
+      Index pi = begin;
+      Index pk = k_begin;
+      while (pi < ik && pk < k_end - 1) {
+        const Index ci = col_idx_[static_cast<std::size_t>(pi)];
+        const Index ck = col_idx_[static_cast<std::size_t>(pk)];
+        if (ci == ck) {
+          sum -= values_[static_cast<std::size_t>(pi)] *
+                 values_[static_cast<std::size_t>(pk)];
+          factor_flops_ += 2.0;
+          ++pi;
+          ++pk;
+        } else if (ci < ck) {
+          ++pi;
+        } else {
+          ++pk;
+        }
+      }
+      if (k == i) {
+        RSLS_CHECK_MSG(sum > 0.0,
+                       "IC(0) breakdown: non-positive pivot (matrix not SPD "
+                       "enough for zero fill)");
+        values_[static_cast<std::size_t>(ik)] = std::sqrt(sum);
+      } else {
+        const Real l_kk = values_[static_cast<std::size_t>(k_end) - 1];
+        values_[static_cast<std::size_t>(ik)] = sum / l_kk;
+        factor_flops_ += 1.0;
+      }
+    }
+  }
+}
+
+void IncompleteCholesky0::solve(std::span<const Real> r,
+                                std::span<Real> z) const {
+  RSLS_CHECK(r.size() == static_cast<std::size_t>(n_) &&
+             z.size() == static_cast<std::size_t>(n_));
+  // Forward sweep: L y = r (y stored in z).
+  for (Index i = 0; i < n_; ++i) {
+    Real sum = r[static_cast<std::size_t>(i)];
+    const Index begin = row_ptr_[static_cast<std::size_t>(i)];
+    const Index end = row_ptr_[static_cast<std::size_t>(i) + 1];
+    for (Index k = begin; k < end - 1; ++k) {
+      sum -= values_[static_cast<std::size_t>(k)] *
+             z[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+    }
+    z[static_cast<std::size_t>(i)] =
+        sum / values_[static_cast<std::size_t>(end) - 1];
+  }
+  // Backward sweep: Lᵀ z = y, traversing L's rows in reverse and
+  // scattering into the columns they touch.
+  for (Index i = n_ - 1; i >= 0; --i) {
+    const Index begin = row_ptr_[static_cast<std::size_t>(i)];
+    const Index end = row_ptr_[static_cast<std::size_t>(i) + 1];
+    const Real zi = z[static_cast<std::size_t>(i)] /
+                    values_[static_cast<std::size_t>(end) - 1];
+    z[static_cast<std::size_t>(i)] = zi;
+    for (Index k = begin; k < end - 1; ++k) {
+      z[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])] -=
+          values_[static_cast<std::size_t>(k)] * zi;
+    }
   }
 }
 

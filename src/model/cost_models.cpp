@@ -175,4 +175,17 @@ SchemeCosts abft(const BaseCase& base, const AbftModelParams& params) {
   return costs;
 }
 
+BaseCase preconditioned(const BaseCase& base, const PrecondParams& params) {
+  RSLS_CHECK(base.t_base > 0.0);
+  RSLS_CHECK(params.t_setup >= 0.0);
+  RSLS_CHECK(params.apply_fraction >= 0.0);
+  RSLS_CHECK(params.iteration_factor > 0.0);
+
+  BaseCase out = base;
+  out.t_base = params.t_setup +
+               params.iteration_factor * (1.0 + params.apply_fraction) *
+                   base.t_base;
+  return out;
+}
+
 }  // namespace rsls::model

@@ -118,4 +118,30 @@ struct AbftModelParams {
 /// partial-sum reduction). Halts when λ·t_decode ≥ 1.
 SchemeCosts abft(const BaseCase& base, const AbftModelParams& params);
 
+struct PrecondParams {
+  /// One-time factorization/setup cost (IC(0) numeric factor, Jacobi
+  /// diagonal extraction), charged before the first iteration.
+  Seconds t_setup = 0.0;
+  /// Per-iteration M⁻¹-apply time relative to the unpreconditioned
+  /// iteration time (e.g. two triangular sweeps ≈ one SpMV → ≈0.5–1.0
+  /// for IC(0); ≈0 for Jacobi).
+  double apply_fraction = 0.0;
+  /// Iteration-count ratio vs unpreconditioned CG (κ(M⁻¹A) < κ(A) pays
+  /// for the apply work): iters_precond / iters_plain, in (0, 1] for an
+  /// effective preconditioner.
+  double iteration_factor = 1.0;
+};
+
+/// §3 extension for the PR's preconditioned variants: the base case's
+/// T_base covers the *unpreconditioned* iteration stream, and a
+/// preconditioner reshapes it as
+///   T'_base = t_setup + f_iter · (1 + f_apply) · T_base,
+/// i.e. fewer iterations, each carrying the extra M⁻¹ apply, after a
+/// one-time setup. Setup and apply run at normal power N·P₁ (both are
+/// compute/memory-bound local kernels), so E scales with T. The returned
+/// BaseCase can then feed any of the per-scheme refinements above —
+/// resilience overheads multiply on top of the preconditioned operating
+/// point exactly as they do on the plain one.
+BaseCase preconditioned(const BaseCase& base, const PrecondParams& params);
+
 }  // namespace rsls::model

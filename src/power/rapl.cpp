@@ -26,6 +26,8 @@ const char* to_string(PhaseTag tag) {
       return "encode";
     case PhaseTag::kRecover:
       return "recover";
+    case PhaseTag::kPrecond:
+      return "precond";
     case PhaseTag::kCount:
       break;
   }

@@ -31,6 +31,9 @@ enum class PhaseTag {
                  // updates and encoded-checkpoint construction)
   kRecover,      // recovery runtime: spare promotion state transfer,
                  // shrink repartitioning, and retry/backoff waits
+  kPrecond,      // preconditioner setup: factoring/inverting the local
+                 // operator before the first iteration (applies are
+                 // charged to the iteration's own solve phase)
   kCount
 };
 
@@ -54,7 +57,8 @@ class EnergyAccount {
   /// Package-style total: cores + uncore + DRAM.
   Joules total() const;
 
-  /// Energy charged to resilience phases (everything except kSolve/kComm).
+  /// Energy charged to resilience phases (everything except the solver's
+  /// own kSolve/kComm/kPrecond work).
   Joules resilience_energy() const;
 
   void merge(const EnergyAccount& other);

@@ -32,7 +32,12 @@ void CheckpointRestart::on_iteration(RecoveryContext& ctx, Index iteration,
                        obs::kClusterTrack, name());
   obs::count(ctx.recorder, "checkpoints_taken");
   const Seconds before = ctx.cluster.elapsed();
-  const Bytes bytes = ctx.a.vector_bytes();
+  // A pipelined solver's checkpoint covers the whole recurrence bundle
+  // (x, r, p, extras); classic CG keeps the seed's x-only snapshot.
+  const bool pipeline = !ctx.extra.empty();
+  const Bytes bytes =
+      ctx.a.vector_bytes() *
+      (pipeline ? static_cast<Bytes>(3 + ctx.extra.size()) : Bytes{1});
   if (options_.target == CheckpointTarget::kDisk) {
     ctx.cluster.write_disk(bytes, PhaseTag::kCheckpoint);
   } else {
@@ -40,6 +45,14 @@ void CheckpointRestart::on_iteration(RecoveryContext& ctx, Index iteration,
   }
   Snapshot snap;
   snap.x.assign(x.begin(), x.end());
+  if (pipeline) {
+    snap.r.assign(ctx.r.begin(), ctx.r.end());
+    snap.p.assign(ctx.p.begin(), ctx.p.end());
+    snap.extra.resize(ctx.extra.size());
+    for (std::size_t v = 0; v < ctx.extra.size(); ++v) {
+      snap.extra[v].assign(ctx.extra[v].begin(), ctx.extra[v].end());
+    }
+  }
   snap.iteration = iteration;
   snap.crc = fnv1a64(snap.x);
   history_.push_back(std::move(snap));
@@ -76,7 +89,10 @@ void CheckpointRestart::restore_verified(RecoveryContext& ctx,
                                          Index iteration, std::span<Real> x) {
   obs::ScopedSpan span(ctx.recorder, "rollback", PhaseTag::kRollback,
                        obs::kClusterTrack, name());
-  const Bytes bytes = ctx.a.vector_bytes();
+  const Bytes bytes =
+      ctx.a.vector_bytes() *
+      (ctx.extra.empty() ? Bytes{1}
+                         : static_cast<Bytes>(3 + ctx.extra.size()));
   for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
     // Each attempt re-reads a full snapshot from the checkpoint store.
     if (options_.target == CheckpointTarget::kDisk) {
@@ -91,6 +107,23 @@ void CheckpointRestart::restore_verified(RecoveryContext& ctx,
     }
     RSLS_CHECK(it->x.size() == x.size());
     std::copy(it->x.begin(), it->x.end(), x.begin());
+    // Reinstate the checkpointed recurrence bundle too, when present;
+    // the requested restart then renews it from x, so this only needs
+    // to leave no corrupted block behind.
+    if (it->r.size() == ctx.r.size() && !ctx.r.empty()) {
+      std::copy(it->r.begin(), it->r.end(), ctx.r.begin());
+    }
+    if (it->p.size() == ctx.p.size() && !ctx.p.empty()) {
+      std::copy(it->p.begin(), it->p.end(), ctx.p.begin());
+    }
+    for (std::size_t v = 0;
+         v < ctx.extra.size() && v < it->extra.size(); ++v) {
+      if (it->extra[v].size() == ctx.extra[v].size() &&
+          !ctx.extra[v].empty()) {
+        std::copy(it->extra[v].begin(), it->extra[v].end(),
+                  ctx.extra[v].begin());
+      }
+    }
     iterations_rolled_back_ += iteration - it->iteration;
     return;
   }

@@ -87,7 +87,18 @@ class CheckpointRestart final : public RecoveryScheme {
  private:
   struct Snapshot {
     RealVec x;
+    /// Pipelined-solver state (r, p, and the extra recurrence vectors),
+    /// captured only when the solver exposes extras — the classic-CG
+    /// checkpoint stays an x-only snapshot, byte-identical to always.
+    /// A restart renews these from x anyway; storing them keeps the
+    /// snapshot a complete image of the state it claims to preserve and
+    /// prices the checkpoint at its true footprint.
+    RealVec r;
+    RealVec p;
+    std::vector<RealVec> extra;
     Index iteration = 0;
+    /// Integrity word over x (the vector a rollback actually reinstates
+    /// into the continuing solve).
     std::uint64_t crc = 0;
   };
 

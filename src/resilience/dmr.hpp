@@ -30,12 +30,14 @@ class Dmr final : public RecoveryScheme {
                 std::span<Real> x) override;
 
  private:
-  /// The replica's copy of the solver state (x, r, p). Maintained for
+  /// The replica's copy of the solver state (x, r, p, and any extra
+  /// recurrence vectors a pipelined solver exposes). Maintained for
   /// free: the replica genuinely computes it, so no extra time/energy is
   /// charged here beyond what replica_factor already doubles.
   RealVec replica_x_;
   RealVec replica_r_;
   RealVec replica_p_;
+  std::vector<RealVec> replica_extra_;
 };
 
 }  // namespace rsls::resilience

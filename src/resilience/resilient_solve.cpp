@@ -144,6 +144,21 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
     return sparse::norm2(r) / (b_norm > 0.0 ? b_norm : 1.0);
   };
 
+  // A replacement process re-derives its block of the preconditioner
+  // state (inverse diagonal, diagonal block, IC(0) factor) from the
+  // surviving matrix — local work charged under kPrecond by
+  // Preconditioner::rebuild_local. The matrix itself is never lost in
+  // the paper's fault model, so this needs no communication.
+  solver::Preconditioner* const precond = options.preconditioner;
+  const auto rebuild_preconditioner = [&](const IndexVec& ranks) {
+    if (precond == nullptr || precond->is_identity()) {
+      return;
+    }
+    for (const Index rank : ranks) {
+      precond->rebuild_local(a, cluster, rank);
+    }
+  };
+
   // Detection-triggered recovery ladder. The detectors only *suspect*
   // blocks; every rung is validated against the true residual before the
   // solve is allowed to continue.
@@ -221,9 +236,11 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
       previous_residual = view.relative_residual;
     }
     // Expose the recurrence state to the scheme: exact-recovery schemes
-    // (RD/TMR/ESR) must protect and restore r and p along with x.
+    // (RD/TMR/ESR) must protect and restore r and p — and any extra
+    // pipelined recurrence vectors — along with x.
     ctx.r = view.r;
     ctx.p = view.p;
+    ctx.extra = view.extra;
     scheme.on_iteration(ctx, view.iteration, view.x);
     detectors.observe(dctx, view.iteration, view.x);
 
@@ -254,9 +271,13 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
         FaultInjector::apply_corruption(*event, part, view.x);
         FaultInjector::apply_corruption(*event, part, view.r);
         FaultInjector::apply_corruption(*event, part, view.p);
+        for (const std::span<Real> extra : view.extra) {
+          FaultInjector::apply_corruption(*event, part, extra);
+        }
         // Machine-level consequence first: substitute a spare for the
         // dead slot or shrink onto the survivors (no-op under in-place).
         runtime.on_process_loss(ctx, event->ranks);
+        rebuild_preconditioner(event->ranks);
         if (!recovery.fallible()) {
           action = merge(action,
                          dispatch_recovery(scheme, ctx, view.iteration,
@@ -303,7 +324,11 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
                 FaultInjector::apply_corruption(*nested, part, view.x);
                 FaultInjector::apply_corruption(*nested, part, view.r);
                 FaultInjector::apply_corruption(*nested, part, view.p);
+                for (const std::span<Real> extra : view.extra) {
+                  FaultInjector::apply_corruption(*nested, part, extra);
+                }
                 runtime.on_process_loss(ctx, nested->ranks);
+                rebuild_preconditioner(nested->ranks);
                 const bool overlaps = std::any_of(
                     nested->ranks.begin(), nested->ranks.end(),
                     [&](Index rank) {
@@ -455,6 +480,10 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
             FaultInjector::apply_corruption(*event, part, view.x);
             FaultInjector::apply_corruption(*event, part, view.r);
             FaultInjector::apply_corruption(*event, part, view.p);
+            for (const std::span<Real> extra : view.extra) {
+              FaultInjector::apply_corruption(*event, part, extra);
+            }
+            rebuild_preconditioner(event->ranks);
             action = merge(action,
                            dispatch_recovery(scheme, ctx, view.iteration,
                                              event->ranks, view.x,
@@ -473,12 +502,13 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
   // update points, so the series reproduces the history point-for-point.
   solver::CgOptions solve_options = options;
   if (recorder != nullptr && recorder->series_enabled()) {
-    solver::ResidualObserver chained = std::move(solve_options.residual_observer);
-    solve_options.residual_observer = [recorder, chained](Index iteration,
-                                                          Real rel) {
-      recorder->sample_iteration(iteration, rel);
-      if (chained) chained(iteration, rel);
-    };
+    solver::IterationCallback chained = std::move(solve_options.observer);
+    solve_options.observer =
+        [recorder, chained](const solver::IterationEvent& event) {
+          recorder->sample_iteration(event.iteration,
+                                     event.relative_residual);
+          if (chained) chained(event);
+        };
   }
 
   {

@@ -10,6 +10,7 @@
 
 #include <span>
 #include <string>
+#include <vector>
 
 #include "core/types.hpp"
 #include "dist/dist_matrix.hpp"
@@ -37,6 +38,13 @@ struct RecoveryContext {
   /// restore these blocks too, not just x.
   std::span<Real> r{};
   std::span<Real> p{};
+  /// Additional live recurrence vectors in solver-defined order (the
+  /// pipelined variant exposes {u, w, s, q, z}; empty for classic CG —
+  /// see CgIterationView::extra). Exact-recovery schemes must protect
+  /// and restore these blocks exactly like r and p; restart-based
+  /// schemes can ignore them, since the solver's rebuild renews them
+  /// from x.
+  std::vector<std::span<Real>> extra{};
 };
 
 class RecoveryScheme {

@@ -12,6 +12,10 @@ void Tmr::on_iteration(RecoveryContext& ctx, Index /*iteration*/,
   replica_x_.assign(x.begin(), x.end());
   replica_r_.assign(ctx.r.begin(), ctx.r.end());
   replica_p_.assign(ctx.p.begin(), ctx.p.end());
+  replica_extra_.resize(ctx.extra.size());
+  for (std::size_t v = 0; v < ctx.extra.size(); ++v) {
+    replica_extra_[v].assign(ctx.extra[v].begin(), ctx.extra[v].end());
+  }
 }
 
 solver::HookAction Tmr::recover(RecoveryContext& ctx, Index /*iteration*/,
@@ -40,6 +44,19 @@ solver::HookAction Tmr::recover(RecoveryContext& ctx, Index /*iteration*/,
     for (Index i = begin; i < end; ++i) {
       ctx.p[static_cast<std::size_t>(i)] =
           replica_p_[static_cast<std::size_t>(i)];
+    }
+    voted_bytes += ctx.a.block_bytes(failed_rank);
+  }
+  // Pipelined recurrence vectors are voted alongside x, r, and p.
+  for (std::size_t v = 0;
+       v < ctx.extra.size() && v < replica_extra_.size(); ++v) {
+    if (replica_extra_[v].size() != ctx.extra[v].size() ||
+        ctx.extra[v].empty()) {
+      continue;
+    }
+    for (Index i = begin; i < end; ++i) {
+      ctx.extra[v][static_cast<std::size_t>(i)] =
+          replica_extra_[v][static_cast<std::size_t>(i)];
     }
     voted_bytes += ctx.a.block_bytes(failed_rank);
   }

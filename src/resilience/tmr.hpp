@@ -35,6 +35,7 @@ class Tmr final : public RecoveryScheme {
   RealVec replica_x_;
   RealVec replica_r_;
   RealVec replica_p_;
+  std::vector<RealVec> replica_extra_;
   Index votes_ = 0;
 };
 

@@ -146,14 +146,15 @@ void JobEngine::execute(const std::shared_ptr<JobRecord>& record) {
     record->cache_hit = !built_here;
 
     harness::RunHooks hooks;
-    hooks.residual_observer = [this, &record](Index iteration, Real residual) {
+    hooks.observer = [this, &record](const solver::IterationEvent& event) {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (record->cancel_requested) {
         throw JobCancelledSignal{};
       }
       if (record->events.size() <
           static_cast<std::size_t>(options_.max_events_per_job)) {
-        record->events.push_back(JobEvent{iteration, residual});
+        record->events.push_back(
+            JobEvent{event.iteration, event.relative_residual});
       } else {
         ++record->events_dropped;
       }

@@ -71,7 +71,8 @@ const std::set<std::string>& known_fields() {
       "recovery_retries",
       "net_topology",  "net_collective",
       "series",        "use_young_interval",
-      "cr_interval",
+      "cr_interval",   "solver",
+      "preconditioner",
   };
   return fields;
 }
@@ -121,6 +122,16 @@ JobSpec parse_job_spec(const obs::JsonValue& body) {
   harness::make_scheme(spec.scheme, {}, RealVec(4, 0.0));  // validate name
 
   harness::ExperimentConfig& config = spec.config;
+  // Solver knobs: daemon env supplies the default, explicit job fields
+  // override; both are validated here so an unknown name turns into a
+  // structured 400 naming the roster, like the scheme field above.
+  config.solver = string_field(object, "solver",
+                               env::solver_name().value_or(config.solver));
+  solver::solver_variant_or_throw(config.solver);  // validate name
+  config.preconditioner = string_field(
+      object, "preconditioner",
+      env::preconditioner_name().value_or(config.preconditioner));
+  solver::make_preconditioner(config.preconditioner);  // validate name
   config.processes = int_field(object, "processes", config.processes);
   if (config.processes < 1 || config.processes > 65536) {
     throw Error("job field 'processes' out of range [1, 65536]");
@@ -246,6 +257,9 @@ obs::JsonValue job_spec_json(const JobSpec& spec) {
   object["faults"] =
       obs::JsonValue::make_number(static_cast<double>(spec.config.faults));
   object["tolerance"] = obs::JsonValue::make_number(spec.config.tolerance);
+  object["solver"] = obs::JsonValue::make_string(spec.config.solver);
+  object["preconditioner"] =
+      obs::JsonValue::make_string(spec.config.preconditioner);
   return obs::JsonValue::make_object(std::move(object));
 }
 

@@ -140,6 +140,52 @@ void VirtualCluster::allreduce(Bytes bytes, PhaseTag tag) {
       net_->collective().allreduce_wire_bytes(num_ranks_, bytes);
   comm_stats_.max_contention =
       std::max(comm_stats_.max_contention, net_->full_contention());
+  for (Index r = 0; r < num_ranks_; ++r) {
+    comm_stats_.allreduce_exposed_seconds +=
+        costs[static_cast<std::size_t>(r)];
+  }
+}
+
+VirtualCluster::PendingAllreduce VirtualCluster::allreduce_start(
+    Bytes bytes, PhaseTag /*tag*/) {
+  // Nothing is charged at post time: the exchange cannot complete before
+  // the slowest rank has contributed, so the completion base is the
+  // current makespan; everything a rank computes past this point runs
+  // behind the in-flight collective.
+  PendingAllreduce pending;
+  pending.posted = elapsed();
+  pending.costs = net_->allreduce_costs(bytes);
+  pending.active = true;
+  comm_stats_.allreduces += 1.0;
+  comm_stats_.messages += net_->collective().allreduce_messages(num_ranks_);
+  comm_stats_.wire_bytes +=
+      net_->collective().allreduce_wire_bytes(num_ranks_, bytes);
+  comm_stats_.max_contention =
+      std::max(comm_stats_.max_contention, net_->full_contention());
+  return pending;
+}
+
+void VirtualCluster::allreduce_finish(PendingAllreduce& pending,
+                                      PhaseTag tag) {
+  RSLS_CHECK_MSG(pending.active, "allreduce_finish without a matching start");
+  RSLS_CHECK(static_cast<Index>(pending.costs.size()) == num_ranks_);
+  for (Index r = 0; r < num_ranks_; ++r) {
+    const Seconds cost = pending.costs[static_cast<std::size_t>(r)];
+    const Seconds completion = pending.posted + cost;
+    const Seconds now_r = now(r);
+    const Seconds wait = completion - now_r;
+    if (wait > 0.0) {
+      charge_interval(r, wait, Activity::kWaiting, tag);
+    }
+    // Attribute only the algorithmic cost to the exposure split; any
+    // extra wait beyond `cost` is the same posting skew a blocking
+    // collective's barrier would have absorbed.
+    const Seconds overlapped =
+        std::min(std::max(now_r - pending.posted, 0.0), cost);
+    comm_stats_.allreduce_exposed_seconds += cost - overlapped;
+    comm_stats_.allreduce_hidden_seconds += overlapped;
+  }
+  pending.active = false;
 }
 
 void VirtualCluster::broadcast(Index root, Bytes bytes, PhaseTag tag) {

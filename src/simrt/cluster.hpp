@@ -101,6 +101,25 @@ class VirtualCluster {
   /// per-stage finish time (uniform on the default flat network).
   void allreduce(Bytes bytes, power::PhaseTag tag);
 
+  /// In-flight non-blocking allreduce issued by allreduce_start: the
+  /// per-rank algorithmic costs plus the virtual time at which the
+  /// exchange could begin (when the last rank posted its contribution).
+  struct PendingAllreduce {
+    Seconds posted = 0.0;
+    std::vector<Seconds> costs;
+    bool active = false;
+  };
+
+  /// Non-blocking allreduce seam (MPI_Iallreduce + MPI_Wait): start
+  /// posts the collective at each rank's current clock without charging
+  /// anything; compute charged between start and finish overlaps the
+  /// exchange. finish charges every rank only the *exposed* remainder —
+  /// max(0, posted_max + cost_r − now_r) — as waiting time, so a
+  /// communication-hiding solver genuinely pays less than the blocking
+  /// call. The hidden/exposed split is accumulated in comm_stats().
+  PendingAllreduce allreduce_start(Bytes bytes, power::PhaseTag tag);
+  void allreduce_finish(PendingAllreduce& pending, power::PhaseTag tag);
+
   /// Collective broadcast from / reduction onto `root`; asymmetric
   /// per-rank charges from the collective strategy.
   void broadcast(Index root, Bytes bytes, power::PhaseTag tag);

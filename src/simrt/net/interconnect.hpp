@@ -37,6 +37,12 @@ struct CommStats {
   double gather_messages = 0.0;
   double replica_fetches = 0.0;
   double max_contention = 1.0;  // worst bisection multiplier observed
+  /// Allreduce cost split by visibility: `exposed` is the part ranks
+  /// actually waited out, `hidden` the part overlapped behind compute
+  /// posted between allreduce_start and allreduce_finish. Blocking
+  /// allreduces are fully exposed; the split is summed over ranks.
+  Seconds allreduce_exposed_seconds = 0.0;
+  Seconds allreduce_hidden_seconds = 0.0;
 };
 
 /// Per-run view of a long-lived cluster's running totals: `end` minus a
@@ -55,6 +61,10 @@ inline CommStats diff(const CommStats& end, const CommStats& begin) {
   d.gather_messages = end.gather_messages - begin.gather_messages;
   d.replica_fetches = end.replica_fetches - begin.replica_fetches;
   d.max_contention = end.max_contention;
+  d.allreduce_exposed_seconds =
+      end.allreduce_exposed_seconds - begin.allreduce_exposed_seconds;
+  d.allreduce_hidden_seconds =
+      end.allreduce_hidden_seconds - begin.allreduce_hidden_seconds;
   return d;
 }
 

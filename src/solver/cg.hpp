@@ -1,37 +1,79 @@
 #pragma once
 // Distributed conjugate gradient with resilience hooks.
 //
-// This is the paper's benchmark solver: CG over a block-row distributed
-// SPD system, executed with exact arithmetic while every rank's costs are
-// charged to the virtual cluster. A per-iteration hook lets the resilience
-// layer inject faults, take checkpoints, and perform recoveries; a hook
-// that modified x requests a restart, after which CG rebuilds its internal
-// vectors (r, p) from the recovered iterate — the "reconstructing x forces
-// renewal of other variables" behaviour the paper describes in §5.2.
+// This is the paper's benchmark solver family: CG over a block-row
+// distributed SPD system, executed with exact arithmetic while every
+// rank's costs are charged to the virtual cluster. Two registry-selected
+// variants share one hook and observer seam:
+//
+//   classic    the seed's textbook (P)CG loop — two synchronizing
+//              reductions per iteration.
+//   pipelined  Chronopoulos/Gear-style communication-hiding PCG
+//              (Ghysels & Vanroose): the recurrence dot products ride
+//              one fused non-blocking allreduce that overlaps the
+//              preconditioner apply and the SpMV of the same iteration
+//              (VirtualCluster::allreduce_start/finish), at the price of
+//              more vector work and extra recurrence state.
+//
+// A per-iteration hook lets the resilience layer inject faults, take
+// checkpoints, and perform recoveries; a hook that modified x requests a
+// restart, after which the solver rebuilds its internal vectors (r, p —
+// and u, w, s, q, z for the pipelined variant) from the recovered
+// iterate — the "reconstructing x forces renewal of other variables"
+// behaviour the paper describes in §5.2.
 
 #include <functional>
+#include <optional>
 #include <span>
+#include <string>
+#include <vector>
 
 #include "core/types.hpp"
 #include "dist/dist_matrix.hpp"
 #include "simrt/cluster.hpp"
+#include "solver/preconditioner.hpp"
 
 namespace rsls::solver {
 
-/// Solver variant. The paper evaluates plain CG; Jacobi-preconditioned
-/// CG is provided to substantiate its claim that "our results are
-/// applicable to other iterative solvers" — every recovery scheme and
-/// hook works unchanged (see bench/ablation_solver).
-enum class SolverKind { kCg, kJacobiPcg };
+/// Solver variant, selected by registry name ("cg" | "pipelined-cg").
+/// Every recovery scheme and hook works unchanged under either (see
+/// bench/ablation_pcg).
+enum class SolverVariant { kClassic, kPipelined };
 
-/// Streaming observer of the residual trajectory: called with
-/// (iteration, ‖r‖/‖b‖) at exactly the points residual_history records —
-/// the initial residual (iteration 0), each completed iteration, and
-/// *again* with the same iteration number when a restart rebuilt the
-/// solver state (the post-recovery residual that overwrites the history
-/// entry). Works with record_residual_history off, so long runs can
-/// stream without the solver retaining the full history.
-using ResidualObserver = std::function<void(Index, Real)>;
+const char* to_string(SolverVariant variant);
+
+/// Registry lookup; nullopt on unknown names (callers produce the
+/// structured error so HTTP and CLI surfaces can word it their way).
+std::optional<SolverVariant> solver_variant_from_name(
+    const std::string& name);
+
+/// Valid roster for solver_variant_from_name, in registry order.
+std::vector<std::string> solver_variant_names();
+
+/// As solver_variant_from_name, but throws rsls::Error naming the valid
+/// roster on an unknown name (mirroring the scheme factory's contract).
+SolverVariant solver_variant_or_throw(const std::string& name);
+
+/// One residual observation, streamed at exactly the points
+/// residual_history records — the initial residual (iteration 0), each
+/// completed iteration, and *again* with the same iteration number and
+/// `amended` set when a restart rebuilt the solver state (the
+/// post-recovery residual that overwrites the history entry). Works with
+/// record_residual_history off, so long runs can stream without the
+/// solver retaining the full history. This is the single per-iteration
+/// callback seam: the flight recorder's series sampling and the serve
+/// engine's progress/cancellation both ride it.
+struct IterationEvent {
+  Index iteration = 0;
+  /// ‖r‖ / ‖b‖ at this observation point.
+  Real relative_residual = 0.0;
+  /// True when this event re-reports `iteration` after a restart; the
+  /// value amends (replaces) the previous record for that iteration.
+  bool amended = false;
+};
+
+/// Purely observational: never charged, never consulted by the solver.
+using IterationCallback = std::function<void(const IterationEvent&)>;
 
 struct CgOptions {
   /// Convergence: ‖r‖₂ / ‖b‖₂ ≤ tolerance (paper uses 1e-12).
@@ -42,10 +84,13 @@ struct CgOptions {
   /// this count are charged to the kExtraIter phase so E_res splits out
   /// directly; 0 means unknown (everything is kSolve).
   Index ff_iterations = 0;
-  SolverKind kind = SolverKind::kCg;
-  /// Optional residual stream (see ResidualObserver). Purely
-  /// observational: never charged, never consulted.
-  ResidualObserver residual_observer;
+  SolverVariant variant = SolverVariant::kClassic;
+  /// Borrowed preconditioner instance; null means identity (plain CG,
+  /// uncharged). Setup is charged under PhaseTag::kPrecond on first use;
+  /// the instance must outlive the solve.
+  Preconditioner* preconditioner = nullptr;
+  /// Optional observer of the residual trajectory (see IterationEvent).
+  IterationCallback observer;
 };
 
 struct CgResult {
@@ -78,6 +123,13 @@ struct CgIterationView {
   /// rebuilds both from x.
   std::span<Real> r;
   std::span<Real> p;
+  /// Additional live recurrence vectors beyond r and p, in solver-defined
+  /// order — the pipelined variant exposes {u = M⁻¹r, w = Au, s, q, z};
+  /// empty for the classic variant. A process loss destroys the failed
+  /// rank's block of *all* of these; exact-recovery schemes (kContinue)
+  /// must protect and restore every one, and kRestart rebuilds them all
+  /// from x.
+  std::vector<std::span<Real>> extra;
 };
 
 using IterationHook = std::function<HookAction(const CgIterationView&)>;

@@ -1,0 +1,280 @@
+#include "solver/preconditioner.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/error.hpp"
+#include "la/factor.hpp"
+#include "la/flops.hpp"
+#include "la/local_cg.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace rsls::solver {
+
+using power::PhaseTag;
+
+namespace {
+
+/// Inner-solve tolerance of the block-Jacobi apply: tight enough that
+/// the inexact block solve behaves as a fixed linear operator for the
+/// outer CG (flexible-CG drift stays below the outer tolerance).
+constexpr Real kBlockJacobiInnerTolerance = 1e-10;
+
+class IdentityPreconditioner final : public Preconditioner {
+ public:
+  std::string name() const override { return "identity"; }
+  bool is_identity() const override { return true; }
+
+  void setup(const dist::DistMatrix&, simrt::VirtualCluster&) override {}
+
+  void apply(const dist::DistMatrix&, simrt::VirtualCluster&,
+             std::span<const Real> r, std::span<Real> z,
+             PhaseTag) override {
+    // The seed solver's uncharged alias copy.
+    sparse::copy(r, z);
+  }
+};
+
+class JacobiPreconditioner final : public Preconditioner {
+ public:
+  std::string name() const override { return "jacobi"; }
+
+  void setup(const dist::DistMatrix& a,
+             simrt::VirtualCluster& cluster) override {
+    if (!inv_diag_.empty()) {
+      return;
+    }
+    inv_diag_ = sparse::diagonal(a.global());
+    for (Real& v : inv_diag_) {
+      RSLS_CHECK_MSG(v > 0.0, "Jacobi PCG requires a positive diagonal");
+      v = 1.0 / v;
+    }
+    const auto& part = a.partition();
+    for (Index rank = 0; rank < part.parts(); ++rank) {
+      cluster.charge_compute(
+          rank, static_cast<double>(part.block_rows(rank)),
+          PhaseTag::kPrecond);
+    }
+  }
+
+  void apply(const dist::DistMatrix& a, simrt::VirtualCluster& cluster,
+             std::span<const Real> r, std::span<Real> z,
+             PhaseTag tag) override {
+    RSLS_CHECK_MSG(!inv_diag_.empty(), "preconditioner applied before setup");
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      z[i] = inv_diag_[i] * r[i];
+    }
+    const auto& part = a.partition();
+    for (Index rank = 0; rank < part.parts(); ++rank) {
+      cluster.charge_compute(
+          rank, static_cast<double>(part.block_rows(rank)), tag);
+    }
+  }
+
+  void rebuild_local(const dist::DistMatrix& a,
+                     simrt::VirtualCluster& cluster, Index rank) override {
+    if (inv_diag_.empty()) {
+      return;
+    }
+    const auto& part = a.partition();
+    const RealVec diag = sparse::diagonal(a.global());
+    for (Index i = part.begin(rank); i < part.end(rank); ++i) {
+      inv_diag_[static_cast<std::size_t>(i)] =
+          1.0 / diag[static_cast<std::size_t>(i)];
+    }
+    cluster.charge_compute(rank,
+                           static_cast<double>(part.block_rows(rank)),
+                           PhaseTag::kPrecond);
+  }
+
+  double apply_flops(Index) const override {
+    return inv_diag_.empty() ? 0.0 : 1.0;
+  }
+
+ private:
+  RealVec inv_diag_;
+};
+
+/// z_p = A_{p,p}⁻¹ r_p solved inexactly per rank with la/local_cg (the
+/// §4.1 LI machinery reused as a preconditioner).
+class BlockJacobiPreconditioner final : public Preconditioner {
+ public:
+  std::string name() const override { return "block-jacobi"; }
+
+  void setup(const dist::DistMatrix& a,
+             simrt::VirtualCluster& cluster) override {
+    if (!blocks_.empty()) {
+      return;
+    }
+    const auto& part = a.partition();
+    blocks_.resize(static_cast<std::size_t>(part.parts()));
+    inner_diag_.resize(static_cast<std::size_t>(part.parts()));
+    apply_flops_.assign(static_cast<std::size_t>(part.parts()), 0.0);
+    for (Index rank = 0; rank < part.parts(); ++rank) {
+      build_block(a, rank);
+      // Extraction + diagonal pass: one sweep over the block's entries.
+      cluster.charge_compute(
+          rank,
+          la::spmv_flops(blocks_[static_cast<std::size_t>(rank)].nnz()),
+          PhaseTag::kPrecond);
+    }
+  }
+
+  void apply(const dist::DistMatrix& a, simrt::VirtualCluster& cluster,
+             std::span<const Real> r, std::span<Real> z,
+             PhaseTag tag) override {
+    RSLS_CHECK_MSG(!blocks_.empty(), "preconditioner applied before setup");
+    const auto& part = a.partition();
+    for (Index rank = 0; rank < part.parts(); ++rank) {
+      const auto& block = blocks_[static_cast<std::size_t>(rank)];
+      const Index begin = part.begin(rank);
+      const Index rows = part.block_rows(rank);
+      const la::SpdOperator op = [&block](std::span<const Real> in,
+                                          std::span<Real> out) {
+        sparse::spmv(block, in, out);
+      };
+      la::LocalCgOptions inner;
+      inner.tolerance = kBlockJacobiInnerTolerance;
+      inner.max_iterations = std::max<Index>(64, 4 * rows);
+      RealVec z_local(static_cast<std::size_t>(rows), 0.0);
+      const auto result = la::local_pcg(
+          op, inner_diag_[static_cast<std::size_t>(rank)],
+          r.subspan(static_cast<std::size_t>(begin),
+                    static_cast<std::size_t>(rows)),
+          z_local, inner);
+      for (Index i = 0; i < rows; ++i) {
+        z[static_cast<std::size_t>(begin + i)] =
+            z_local[static_cast<std::size_t>(i)];
+      }
+      const double flops =
+          static_cast<double>(result.operator_applications) *
+              la::spmv_flops(block.nnz()) +
+          static_cast<double>(result.iterations) * 10.0 *
+              static_cast<double>(rows);
+      apply_flops_[static_cast<std::size_t>(rank)] = flops;
+      cluster.charge_compute(rank, flops, tag);
+    }
+  }
+
+  void rebuild_local(const dist::DistMatrix& a,
+                     simrt::VirtualCluster& cluster, Index rank) override {
+    if (blocks_.empty()) {
+      return;
+    }
+    build_block(a, rank);
+    cluster.charge_compute(
+        rank, la::spmv_flops(blocks_[static_cast<std::size_t>(rank)].nnz()),
+        PhaseTag::kPrecond);
+  }
+
+  double apply_flops(Index rank) const override {
+    return apply_flops_.empty()
+               ? 0.0
+               : apply_flops_[static_cast<std::size_t>(rank)];
+  }
+
+ private:
+  void build_block(const dist::DistMatrix& a, Index rank) {
+    auto& block = blocks_[static_cast<std::size_t>(rank)];
+    block = a.diagonal_block(rank);
+    RealVec diag = sparse::diagonal(block);
+    for (Real& v : diag) {
+      RSLS_CHECK_MSG(v > 0.0,
+                     "block-Jacobi requires positive diagonal blocks");
+      v = 1.0 / v;
+    }
+    inner_diag_[static_cast<std::size_t>(rank)] = std::move(diag);
+  }
+
+  std::vector<sparse::Csr> blocks_;
+  std::vector<RealVec> inner_diag_;
+  std::vector<double> apply_flops_;
+};
+
+class Ic0Preconditioner final : public Preconditioner {
+ public:
+  std::string name() const override { return "ic0"; }
+
+  void setup(const dist::DistMatrix& a,
+             simrt::VirtualCluster& cluster) override {
+    if (!factors_.empty()) {
+      return;
+    }
+    const auto& part = a.partition();
+    factors_.reserve(static_cast<std::size_t>(part.parts()));
+    for (Index rank = 0; rank < part.parts(); ++rank) {
+      factors_.emplace_back(a.diagonal_block(rank));
+      cluster.charge_compute(rank, factors_.back().factor_flops(),
+                             PhaseTag::kPrecond);
+    }
+  }
+
+  void apply(const dist::DistMatrix& a, simrt::VirtualCluster& cluster,
+             std::span<const Real> r, std::span<Real> z,
+             PhaseTag tag) override {
+    RSLS_CHECK_MSG(!factors_.empty(), "preconditioner applied before setup");
+    const auto& part = a.partition();
+    for (Index rank = 0; rank < part.parts(); ++rank) {
+      const auto& factor = factors_[static_cast<std::size_t>(rank)];
+      const Index begin = part.begin(rank);
+      const Index rows = part.block_rows(rank);
+      factor.solve(r.subspan(static_cast<std::size_t>(begin),
+                             static_cast<std::size_t>(rows)),
+                   z.subspan(static_cast<std::size_t>(begin),
+                             static_cast<std::size_t>(rows)));
+      cluster.charge_compute(rank, factor.solve_flops(), tag);
+    }
+  }
+
+  void rebuild_local(const dist::DistMatrix& a,
+                     simrt::VirtualCluster& cluster, Index rank) override {
+    if (factors_.empty()) {
+      return;
+    }
+    factors_[static_cast<std::size_t>(rank)] =
+        la::IncompleteCholesky0(a.diagonal_block(rank));
+    cluster.charge_compute(
+        rank, factors_[static_cast<std::size_t>(rank)].factor_flops(),
+        PhaseTag::kPrecond);
+  }
+
+  double apply_flops(Index rank) const override {
+    return factors_.empty()
+               ? 0.0
+               : factors_[static_cast<std::size_t>(rank)].solve_flops();
+  }
+
+ private:
+  std::vector<la::IncompleteCholesky0> factors_;
+};
+
+}  // namespace
+
+std::vector<std::string> preconditioner_names() {
+  return {"identity", "jacobi", "block-jacobi", "ic0"};
+}
+
+std::unique_ptr<Preconditioner> make_preconditioner(const std::string& name) {
+  if (name == "identity") {
+    return std::make_unique<IdentityPreconditioner>();
+  }
+  if (name == "jacobi") {
+    return std::make_unique<JacobiPreconditioner>();
+  }
+  if (name == "block-jacobi") {
+    return std::make_unique<BlockJacobiPreconditioner>();
+  }
+  if (name == "ic0") {
+    return std::make_unique<Ic0Preconditioner>();
+  }
+  std::string roster;
+  for (const std::string& valid : preconditioner_names()) {
+    if (!roster.empty()) {
+      roster += '|';
+    }
+    roster += valid;
+  }
+  throw Error("unknown preconditioner: " + name + " (valid: " + roster + ")");
+}
+
+}  // namespace rsls::solver

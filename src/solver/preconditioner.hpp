@@ -1,0 +1,83 @@
+#pragma once
+// Preconditioner interface for the CG solver family.
+//
+// A Preconditioner owns the local operators M_p⁻¹ each rank applies to
+// its block of the residual. All four implementations are block-local
+// (z_p depends only on r_p), so one apply costs each rank its own flops
+// and no communication — the structure the paper's per-process recovery
+// model assumes. Setup (factoring/inverting the local operator) is
+// charged once under PhaseTag::kPrecond; applies are charged to the
+// calling iteration's own phase tag.
+//
+// Roster (make_preconditioner):
+//   identity     z = r. No state, no charges — the seed solver exactly.
+//   jacobi       z = diag(A)⁻¹ r (the former SolverKind::kJacobiPcg).
+//   block-jacobi z_p = A_{p,p}⁻¹ r_p, solved inexactly per rank with
+//                la/local_cg to a fixed inner tolerance.
+//   ic0          z_p = (L_p L_pᵀ)⁻¹ r_p with L_p the zero-fill
+//                incomplete Cholesky factor of A_{p,p} (la/factor).
+//
+// After a process loss the failed rank's operator state (inverse
+// diagonal, diagonal block, IC(0) factor) is rebuilt locally from A —
+// A itself is never lost in the paper's fault model — via
+// rebuild_local(), charged under kPrecond like setup.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "dist/dist_matrix.hpp"
+#include "simrt/cluster.hpp"
+
+namespace rsls::solver {
+
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+
+  /// Registry name ("identity", "jacobi", "block-jacobi", "ic0").
+  virtual std::string name() const = 0;
+
+  /// Build the per-rank operator state from A. Charged once under
+  /// PhaseTag::kPrecond before the first iteration. Must be called
+  /// before apply(); idempotent.
+  virtual void setup(const dist::DistMatrix& a,
+                     simrt::VirtualCluster& cluster) = 0;
+
+  /// z = M⁻¹ r on the global vectors; each rank is charged its local
+  /// apply flops under `tag` (no communication — M is block-diagonal).
+  virtual void apply(const dist::DistMatrix& a,
+                     simrt::VirtualCluster& cluster, std::span<const Real> r,
+                     std::span<Real> z, power::PhaseTag tag) = 0;
+
+  /// Rebuild one rank's operator state after a process loss (recovery
+  /// schemes call this; the matrix survives, so the rebuild is local).
+  /// Charged under PhaseTag::kPrecond. Default: nothing to rebuild.
+  virtual void rebuild_local(const dist::DistMatrix& /*a*/,
+                             simrt::VirtualCluster& /*cluster*/,
+                             Index /*rank*/) {}
+
+  /// Per-rank flops of one apply (0 before setup). Input for the
+  /// model::preconditioned cost term and for rebuild charging.
+  virtual double apply_flops(Index rank) const {
+    (void)rank;
+    return 0.0;
+  }
+
+  /// The identity applies as an uncharged copy; the solver also skips
+  /// the separate true-residual reduction for it, which is what keeps
+  /// the default configuration bit-identical to the seed solver.
+  virtual bool is_identity() const { return false; }
+};
+
+/// Valid roster for make_preconditioner, in registry order.
+std::vector<std::string> preconditioner_names();
+
+/// Construct a preconditioner by registry name. Throws rsls::Error
+/// naming the valid roster on an unknown name (mirroring the scheme
+/// factory's unknown-name contract).
+std::unique_ptr<Preconditioner> make_preconditioner(const std::string& name);
+
+}  // namespace rsls::solver

@@ -134,7 +134,10 @@ TEST(ArtifactCacheTest, KeySeparatesEveryBaselineRelevantKnob) {
   other.max_iterations = 100;
   EXPECT_NE(ArtifactCache::key_for(workload, other), reference);
   other = base;
-  other.solver_kind = solver::SolverKind::kJacobiPcg;
+  other.solver = "pipelined-cg";
+  EXPECT_NE(ArtifactCache::key_for(workload, other), reference);
+  other = base;
+  other.preconditioner = "jacobi";
   EXPECT_NE(ArtifactCache::key_for(workload, other), reference);
   other = base;
   other.network.emplace();

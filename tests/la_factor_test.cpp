@@ -7,6 +7,8 @@
 #include "core/error.hpp"
 #include "core/rng.hpp"
 #include "la/factor.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
 #include "sparse/dense.hpp"
 #include "sparse/generators.hpp"
 #include "sparse/vector_ops.hpp"
@@ -177,6 +179,63 @@ TEST(TriangularTest, LowerTransposeSolve) {
   solve_lower_transpose(l, x);
   EXPECT_DOUBLE_EQ(x[1], 2.0);
   EXPECT_DOUBLE_EQ(x[0], 1.5);
+}
+
+TEST(IncompleteCholesky0Test, ExactWhereSparsityAllowsNoFill) {
+  // A tridiagonal SPD matrix suffers zero fill-in, so IC(0) IS the exact
+  // Cholesky factorization: its solve must match the dense solve.
+  const sparse::Csr a = sparse::laplacian_1d(24);
+  const IncompleteCholesky0 ic(a);
+  EXPECT_EQ(ic.size(), 24);
+  const sparse::Dense dense = sparse::to_dense(a);
+  const Cholesky chol(dense);
+  RealVec r(24);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    r[i] = 1.0 + 0.1 * static_cast<double>(i);
+  }
+  RealVec z_ic(24);
+  ic.solve(r, z_ic);
+  RealVec z_dense = r;
+  chol.solve(z_dense);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    EXPECT_NEAR(z_ic[i], z_dense[i], 1e-10);
+  }
+}
+
+TEST(IncompleteCholesky0Test, ApproximatesInverseOnBandedSpd) {
+  // With dropped fill the factorization is inexact, but on a diagonally
+  // dominant matrix z = (L Lᵀ)⁻¹ r must still beat the identity as an
+  // approximation of A⁻¹ r: ‖r − A z‖ ≪ ‖r‖.
+  const sparse::Csr a = sparse::banded_spd({64, 5, 1.0, 0.3, 0.0, 11});
+  const IncompleteCholesky0 ic(a);
+  RealVec r(64, 1.0);
+  RealVec z(64);
+  ic.solve(r, z);
+  RealVec az(64);
+  sparse::spmv(a, z, az);
+  RealVec residual(64);
+  for (std::size_t i = 0; i < residual.size(); ++i) {
+    residual[i] = r[i] - az[i];
+  }
+  EXPECT_LT(sparse::norm2(residual), 0.5 * sparse::norm2(r));
+}
+
+TEST(IncompleteCholesky0Test, CountsFactorAndSolveFlops) {
+  const sparse::Csr a = sparse::laplacian_1d(16);
+  const IncompleteCholesky0 ic(a);
+  EXPECT_GT(ic.nnz(), 0);
+  EXPECT_GT(ic.factor_flops(), 0.0);
+  EXPECT_DOUBLE_EQ(ic.solve_flops(), 4.0 * static_cast<double>(ic.nnz()));
+}
+
+TEST(IncompleteCholesky0Test, ThrowsOnNonPositivePivot) {
+  // A symmetric indefinite matrix (eigenvalues 3 and −1): the second
+  // pivot goes non-positive and the factorization must break down loudly.
+  sparse::CooBuilder builder(2, 2);
+  builder.add(0, 0, 1.0);
+  builder.add(1, 1, 1.0);
+  builder.add_symmetric(0, 1, 2.0);
+  EXPECT_THROW(IncompleteCholesky0(builder.to_csr()), Error);
 }
 
 }  // namespace

@@ -280,5 +280,42 @@ TEST(CostModelTest, RejectsInvalidInputs) {
   EXPECT_THROW(fault_free(bad), Error);
 }
 
+TEST(PrecondModelTest, ReshapesBaseCaseBySetupApplyAndIterationTerms) {
+  BaseCase base;
+  base.t_base = 100.0;
+  base.n_cores = 64;
+  base.p1 = 8.0;
+
+  // T' = t_setup + f_iter·(1 + f_apply)·T_base.
+  PrecondParams params;
+  params.t_setup = 5.0;
+  params.apply_fraction = 0.5;
+  params.iteration_factor = 0.4;
+  const BaseCase shaped = preconditioned(base, params);
+  EXPECT_NEAR(shaped.t_base, 5.0 + 0.4 * 1.5 * 100.0, 1e-12);
+  EXPECT_EQ(shaped.n_cores, base.n_cores);
+  EXPECT_EQ(shaped.p1, base.p1);
+
+  // The identity preconditioner is the no-op of the model.
+  const BaseCase same = preconditioned(base, PrecondParams{});
+  EXPECT_NEAR(same.t_base, base.t_base, 1e-12);
+
+  // The reshaped operating point composes with the per-scheme
+  // refinements: an effective preconditioner lowers CR's modeled total
+  // because every overhead multiplies on a shorter base run.
+  CrModelParams cr;
+  cr.t_c = 0.5;
+  cr.interval = 10.0;
+  cr.lambda = 0.01;
+  const SchemeCosts plain = checkpoint_restart(base, cr);
+  const SchemeCosts pcg = checkpoint_restart(shaped, cr);
+  EXPECT_LT(pcg.total_time, plain.total_time);
+  EXPECT_LT(pcg.total_energy, plain.total_energy);
+
+  PrecondParams bad;
+  bad.iteration_factor = 0.0;
+  EXPECT_THROW(preconditioned(base, bad), Error);
+}
+
 }  // namespace
 }  // namespace rsls::model

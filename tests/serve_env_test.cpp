@@ -82,6 +82,13 @@ std::vector<Row> rows() {
          return std::string(to_string(s.config.network->collective));
        },
        "recursive-doubling", "ring", "binomial-tree"},
+      {"solver", "RSLS_SOLVER", "pipelined-cg", "{\"solver\":\"cg\"}",
+       [](const JobSpec& s) { return s.config.solver; }, "cg", "pipelined-cg",
+       "cg"},
+      {"preconditioner", "RSLS_PRECONDITIONER", "jacobi",
+       "{\"preconditioner\":\"ic0\"}",
+       [](const JobSpec& s) { return s.config.preconditioner; }, "identity",
+       "jacobi", "ic0"},
       {"series", "RSLS_SERIES", "1", "{\"series\":false}",
        [](const JobSpec& s) {
          return s.config.observability.series ? "on" : "off";
@@ -168,6 +175,29 @@ TEST(ServeEnv, RejectsUnknownFieldsAndBadValues) {
   EXPECT_THROW(parse("{\"deadline_s\":-1}"), Error);
   EXPECT_THROW(parse("{\"net_topology\":\"mesh\"}"), Error);
   EXPECT_THROW(parse("[1,2,3]"), Error);
+}
+
+TEST(ServeEnv, UnknownSolverNamesRejectedWithRosterInMessage) {
+  // The structured 400 names the valid roster, like the scheme factory.
+  try {
+    parse("{\"solver\":\"gmres\"}");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("pipelined-cg"), std::string::npos) << what;
+  }
+  try {
+    parse("{\"preconditioner\":\"ilu\"}");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("block-jacobi"), std::string::npos) << what;
+  }
+  // Garbage daemon env is rejected at parse time too: the job inherits
+  // a validated name or the submission fails loudly, never silently.
+  const ScopedEnv env("RSLS_SOLVER", "gmres");
+  EXPECT_THROW(parse("{}"), Error);
+  EXPECT_EQ(parse("{\"solver\":\"cg\"}").config.solver, "cg");
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "core/error.hpp"
 #include "dist/dist_matrix.hpp"
@@ -18,9 +19,9 @@
 namespace rsls::solver {
 namespace {
 
-CgOptions pcg_options() {
+CgOptions pcg_options(Preconditioner& precond) {
   CgOptions options;
-  options.kind = SolverKind::kJacobiPcg;
+  options.preconditioner = &precond;
   return options;
 }
 
@@ -29,7 +30,8 @@ TEST(PcgTest, SolvesToSameTolerance) {
   simrt::VirtualCluster cluster(simrt::paper_node(), 4);
   const RealVec b = sparse::make_rhs(a.global());
   RealVec x(100, 0.0);
-  const auto result = cg_solve(a, cluster, b, x, pcg_options());
+  const auto jacobi = make_preconditioner("jacobi");
+  const auto result = cg_solve(a, cluster, b, x, pcg_options(*jacobi));
   EXPECT_TRUE(result.converged);
   EXPECT_LE(result.relative_residual, 1e-12);
   for (const Real v : x) {
@@ -50,7 +52,9 @@ TEST(PcgTest, FewerIterationsOnScaledMatrix) {
 
   simrt::VirtualCluster pcg_cluster(simrt::paper_node(), 8);
   RealVec x_pcg(512, 0.0);
-  const auto pcg = cg_solve(dist_a, pcg_cluster, b, x_pcg, pcg_options());
+  const auto jacobi = make_preconditioner("jacobi");
+  const auto pcg = cg_solve(dist_a, pcg_cluster, b, x_pcg,
+                            pcg_options(*jacobi));
 
   EXPECT_TRUE(cg.converged);
   EXPECT_TRUE(pcg.converged);
@@ -69,7 +73,8 @@ TEST(PcgTest, CostsChargedForPreconditionerAndNormCheck) {
   const auto cg = cg_solve(a, cg_cluster, b, x1, {});
   simrt::VirtualCluster pcg_cluster(simrt::paper_node(), 4);
   RealVec x2(64, 0.0);
-  const auto pcg = cg_solve(a, pcg_cluster, b, x2, pcg_options());
+  const auto jacobi = make_preconditioner("jacobi");
+  const auto pcg = cg_solve(a, pcg_cluster, b, x2, pcg_options(*jacobi));
   EXPECT_EQ(pcg.iterations, cg.iterations);
   EXPECT_GT(pcg_cluster.elapsed(), cg_cluster.elapsed());
 }
@@ -84,7 +89,8 @@ TEST(PcgTest, RejectsNonPositiveDiagonal) {
   simrt::VirtualCluster cluster(simrt::paper_node(), 2);
   const RealVec b = {1.0, 1.0};
   RealVec x(2, 0.0);
-  EXPECT_THROW(cg_solve(a, cluster, b, x, pcg_options()), Error);
+  const auto jacobi = make_preconditioner("jacobi");
+  EXPECT_THROW(cg_solve(a, cluster, b, x, pcg_options(*jacobi)), Error);
 }
 
 TEST(PcgTest, ResidualHistoryTracksTrueResidual) {
@@ -92,7 +98,8 @@ TEST(PcgTest, ResidualHistoryTracksTrueResidual) {
   simrt::VirtualCluster cluster(simrt::paper_node(), 4);
   const RealVec b = sparse::make_rhs(a.global());
   RealVec x(36, 0.0);
-  CgOptions options = pcg_options();
+  const auto jacobi = make_preconditioner("jacobi");
+  CgOptions options = pcg_options(*jacobi);
   options.record_residual_history = true;
   const auto result = cg_solve(a, cluster, b, x, options);
   EXPECT_EQ(result.residual_history.size(),
@@ -109,7 +116,7 @@ TEST(PcgTest, RecoverySchemesWorkUnchanged) {
   config.processes = 8;
   config.faults = 5;
   config.scheme.cr_interval_iterations = 20;
-  config.solver_kind = SolverKind::kJacobiPcg;
+  config.preconditioner = "jacobi";
   const auto ff = harness::run_fault_free(workload, config);
   for (const std::string scheme : {"RD", "F0", "LI", "LSI", "CR-D"}) {
     const auto run = harness::run_scheme(workload, scheme, config, ff);
@@ -124,7 +131,7 @@ TEST(PcgTest, SchemeOrderingHoldsUnderPcg) {
   harness::ExperimentConfig config;
   config.processes = 8;
   config.faults = 8;
-  config.solver_kind = SolverKind::kJacobiPcg;
+  config.preconditioner = "jacobi";
   const auto ff = harness::run_fault_free(workload, config);
   const auto rd = harness::run_scheme(workload, "RD", config, ff);
   const auto li = harness::run_scheme(workload, "LI", config, ff);

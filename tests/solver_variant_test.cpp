@@ -1,0 +1,430 @@
+// Tier-1 tests: the SolverVariant / Preconditioner registry (DESIGN.md
+// §16). The pipelined communication-hiding PCG must track classic CG's
+// residual trajectory, hide allreduce time behind local work, expose its
+// recurrence state to the recovery schemes, and reconstruct
+// preconditioner + pipeline state under injected multi-rank loss for
+// every scheme in the roster — all while the default configuration
+// (classic CG, identity preconditioner) stays bit-identical to the seed.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "dist/dist_matrix.hpp"
+#include "harness/experiment.hpp"
+#include "harness/runner.hpp"
+#include "harness/scheme_factory.hpp"
+#include "resilience/fault.hpp"
+#include "resilience/resilient_solve.hpp"
+#include "solver/cg.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/roster.hpp"
+
+namespace rsls {
+namespace {
+
+using solver::CgOptions;
+using solver::SolverVariant;
+
+TEST(SolverVariantRegistryTest, NamesRoundTrip) {
+  EXPECT_STREQ(solver::to_string(SolverVariant::kClassic), "cg");
+  EXPECT_STREQ(solver::to_string(SolverVariant::kPipelined), "pipelined-cg");
+  EXPECT_EQ(solver::solver_variant_from_name("cg"), SolverVariant::kClassic);
+  EXPECT_EQ(solver::solver_variant_from_name("pipelined-cg"),
+            SolverVariant::kPipelined);
+  EXPECT_FALSE(solver::solver_variant_from_name("gmres").has_value());
+  for (const std::string& name : solver::solver_variant_names()) {
+    EXPECT_EQ(solver::to_string(solver::solver_variant_or_throw(name)), name);
+  }
+  EXPECT_EQ(CgOptions{}.variant, SolverVariant::kClassic);  // seed default
+}
+
+TEST(SolverVariantRegistryTest, UnknownNamesThrowWithRoster) {
+  try {
+    solver::solver_variant_or_throw("gmres");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("gmres"), std::string::npos) << what;
+    EXPECT_NE(what.find("cg|pipelined-cg"), std::string::npos) << what;
+  }
+  try {
+    solver::make_preconditioner("ilu");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("identity|jacobi|block-jacobi|ic0"),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(SolverVariantRegistryTest, EveryPreconditionerNameConstructs) {
+  for (const std::string& name : solver::preconditioner_names()) {
+    const auto precond = solver::make_preconditioner(name);
+    ASSERT_NE(precond, nullptr) << name;
+    EXPECT_EQ(precond->name(), name);
+    EXPECT_EQ(precond->is_identity(), name == "identity");
+  }
+}
+
+struct VariantRun {
+  solver::CgResult result;
+  RealVec x;
+  Seconds elapsed = 0.0;
+  simrt::net::CommStats comm;
+};
+
+VariantRun run_variant(const sparse::Csr& a, SolverVariant variant,
+                       const std::string& precond_name = "identity",
+                       Index parts = 8) {
+  const dist::DistMatrix dist_a(a, parts);
+  simrt::VirtualCluster cluster(simrt::paper_node(), parts);
+  const RealVec b = sparse::make_rhs(a);
+  VariantRun run;
+  run.x.assign(static_cast<std::size_t>(a.rows), 0.0);
+  const auto precond = solver::make_preconditioner(precond_name);
+  CgOptions options;
+  options.variant = variant;
+  options.preconditioner = precond.get();
+  options.record_residual_history = true;
+  run.result = solver::cg_solve(dist_a, cluster, b, run.x, options);
+  run.elapsed = cluster.elapsed();
+  run.comm = cluster.comm_stats();
+  return run;
+}
+
+// In exact arithmetic the Chronopoulos/Gear recurrences ARE classic CG;
+// in floating point the trajectories drift apart only slowly. Both must
+// converge to the same solution on the SPD fixtures, in comparable
+// iteration counts, through residual trajectories that agree closely in
+// the early (well-conditioned) phase.
+TEST(PipelinedCgTest, MatchesClassicTrajectoryOnSpdFixtures) {
+  const std::vector<sparse::Csr> fixtures = {
+      sparse::laplacian_2d(12, 12),
+      sparse::banded_spd({256, 4, 1.0, 0.02, 1.0, 31}),
+  };
+  for (const sparse::Csr& a : fixtures) {
+    SCOPED_TRACE(a.rows);
+    const VariantRun classic = run_variant(a, SolverVariant::kClassic);
+    const VariantRun pipelined = run_variant(a, SolverVariant::kPipelined);
+    ASSERT_TRUE(classic.result.converged);
+    ASSERT_TRUE(pipelined.result.converged);
+    EXPECT_LE(pipelined.result.relative_residual, 1e-12);
+    // Same solution (both solve to ‖r‖/‖b‖ ≤ 1e-12).
+    for (std::size_t i = 0; i < classic.x.size(); ++i) {
+      EXPECT_NEAR(pipelined.x[i], classic.x[i], 1e-8);
+    }
+    // Comparable convergence speed: rounding may shift a few iterations.
+    EXPECT_NEAR(static_cast<double>(pipelined.result.iterations),
+                static_cast<double>(classic.result.iterations),
+                0.1 * static_cast<double>(classic.result.iterations) + 3.0);
+    // Early-phase trajectories agree point for point: rounding drift
+    // grows with the iteration count, so compare on a log scale (within
+    // half a decade over the first half of the run).
+    const std::size_t prefix =
+        std::min(classic.result.residual_history.size(),
+                 pipelined.result.residual_history.size()) /
+        2;
+    for (std::size_t i = 0; i < prefix; ++i) {
+      const Real c = classic.result.residual_history[i];
+      const Real p = pipelined.result.residual_history[i];
+      EXPECT_NEAR(std::log10(p), std::log10(c), 0.5) << "iteration " << i;
+    }
+  }
+}
+
+TEST(PipelinedCgTest, ConvergesUnderEveryPreconditioner) {
+  const sparse::Csr a = sparse::banded_spd({256, 4, 1.0, 0.02, 2.0, 13});
+  const VariantRun plain = run_variant(a, SolverVariant::kPipelined);
+  ASSERT_TRUE(plain.result.converged);
+  for (const std::string name : {"jacobi", "block-jacobi", "ic0"}) {
+    SCOPED_TRACE(name);
+    const VariantRun run = run_variant(a, SolverVariant::kPipelined, name);
+    EXPECT_TRUE(run.result.converged);
+    EXPECT_LE(run.result.relative_residual, 1e-12);
+    // A real preconditioner on the diagonally-scaled fixture cuts the
+    // iteration count, just as it does for the classic variant.
+    EXPECT_LT(run.result.iterations, plain.result.iterations);
+  }
+}
+
+TEST(PipelinedCgTest, HidesAllreduceTimeBehindLocalWork) {
+  const sparse::Csr a = sparse::banded_spd({512, 6, 1.0, 0.02, 1.0, 5});
+  const VariantRun classic = run_variant(a, SolverVariant::kClassic);
+  const VariantRun pipelined = run_variant(a, SolverVariant::kPipelined);
+  // The classic variant's reductions are all blocking: nothing hidden.
+  EXPECT_EQ(classic.comm.allreduce_hidden_seconds, 0.0);
+  EXPECT_GT(classic.comm.allreduce_exposed_seconds, 0.0);
+  // The pipelined variant overlaps its fused reduction with the
+  // preconditioner apply + SpMV: some of the collective must vanish
+  // from the critical path.
+  EXPECT_GT(pipelined.comm.allreduce_hidden_seconds, 0.0);
+}
+
+TEST(PipelinedCgTest, ExposesRecurrenceStateToHooks) {
+  const sparse::Csr a = sparse::laplacian_2d(8, 8);
+  const dist::DistMatrix dist_a(a, 4);
+  simrt::VirtualCluster cluster(simrt::paper_node(), 4);
+  const RealVec b = sparse::make_rhs(a);
+  for (const auto variant :
+       {SolverVariant::kClassic, SolverVariant::kPipelined}) {
+    RealVec x(64, 0.0);
+    CgOptions options;
+    options.variant = variant;
+    std::size_t extras_seen = 0;
+    bool saw_hook = false;
+    solver::cg_solve(dist_a, cluster, b, x, options,
+                     [&](const solver::CgIterationView& view) {
+                       saw_hook = true;
+                       extras_seen = view.extra.size();
+                       EXPECT_EQ(view.x.size(), 64u);
+                       return solver::HookAction::kContinue;
+                     });
+    ASSERT_TRUE(saw_hook);
+    // {u, w, s, q, z} for pipelined, none for classic.
+    EXPECT_EQ(extras_seen,
+              variant == SolverVariant::kPipelined ? 5u : 0u);
+  }
+}
+
+// A hook-driven restart must rebuild the pipeline bundle from x: corrupt
+// every exposed vector (but not x), request kRestart, and the solve must
+// still converge to the true solution.
+TEST(PipelinedCgTest, RestartRebuildsPipelineStateFromX) {
+  const sparse::Csr a = sparse::laplacian_2d(10, 10);
+  const dist::DistMatrix dist_a(a, 4);
+  simrt::VirtualCluster cluster(simrt::paper_node(), 4);
+  const RealVec b = sparse::make_rhs(a);
+  RealVec x(100, 0.0);
+  CgOptions options;
+  options.variant = SolverVariant::kPipelined;
+  bool corrupted = false;
+  const auto result = solver::cg_solve(
+      dist_a, cluster, b, x, options,
+      [&](const solver::CgIterationView& view) {
+        if (!corrupted && view.iteration == 5) {
+          corrupted = true;
+          for (Real& v : view.r) v = 1e9;
+          for (Real& v : view.p) v = -1e9;
+          for (const std::span<Real> extra : view.extra) {
+            for (Real& v : extra) v = 7e8;
+          }
+          return solver::HookAction::kRestart;
+        }
+        return solver::HookAction::kContinue;
+      });
+  ASSERT_TRUE(corrupted);
+  EXPECT_TRUE(result.converged);
+  for (const Real v : x) {
+    EXPECT_NEAR(v, 1.0, 1e-8);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Recovery: every scheme in the roster must reconstruct preconditioner
+// and pipeline state under injected loss, through the real harness path.
+
+class PipelinedRecoveryTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PipelinedRecoveryTest, SchemeRecoversPipelineAndPrecondState) {
+  const sparse::Csr a = sparse::banded_spd({192, 4, 1.0, 0.02, 1.0, 77});
+  const auto workload = harness::Workload::create(a, 8);
+  harness::ExperimentConfig config;
+  config.processes = 8;
+  config.faults = 4;
+  config.scheme.cr_interval_iterations = 25;
+  config.solver = "pipelined-cg";
+  config.preconditioner = "jacobi";
+  const auto ff = harness::run_fault_free(workload, config);
+  const auto run = harness::run_scheme(workload, GetParam(), config, ff);
+  EXPECT_TRUE(run.report.cg.converged);
+  EXPECT_EQ(run.report.recoveries, 4);
+  EXPECT_LE(run.report.cg.relative_residual, config.tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, PipelinedRecoveryTest,
+                         ::testing::ValuesIn(harness::all_scheme_names()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(
+                                     static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// Multi-rank LNF events (2 ranks at once) against the exact-recovery and
+// rollback schemes: ESR must decode parity for every exposed pipeline
+// vector, CR must reinstate its deep snapshot, LI must rebuild locally —
+// each followed by a preconditioner rebuild on the failed ranks.
+class PipelinedLnfTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PipelinedLnfTest, TwoRankLossRecoversUnderPcg) {
+  const sparse::Csr a = sparse::banded_spd({192, 4, 1.0, 0.02, 1.0, 21});
+  const dist::DistMatrix dist_a(a, 8);
+  const RealVec b = sparse::make_rhs(a);
+  const RealVec x0(192, 0.0);
+
+  harness::SchemeFactoryConfig factory;
+  factory.cr_interval_iterations = 15;
+  const auto precond = solver::make_preconditioner("jacobi");
+  CgOptions options;
+  options.variant = SolverVariant::kPipelined;
+  options.preconditioner = precond.get();
+
+  // Probe the fault-free iteration count to place the fault events.
+  Index ff_iterations = 0;
+  {
+    const auto probe = harness::make_scheme("F0", factory, x0);
+    simrt::VirtualCluster probe_cluster(simrt::paper_node(), 8);
+    auto none = resilience::FaultInjector::none();
+    RealVec x = x0;
+    const auto report = resilience::resilient_solve(
+        dist_a, probe_cluster, b, x, *probe, none, options);
+    ff_iterations = report.cg.iterations;
+  }
+
+  const auto scheme = harness::make_scheme(GetParam(), factory, x0);
+  simrt::VirtualCluster cluster(simrt::paper_node(), 8,
+                                scheme->replica_factor());
+  auto injector = resilience::FaultInjector::evenly_spaced_multi(
+      3, ff_iterations, /*ranks_per_fault=*/2, 8, 13);
+  RealVec x = x0;
+  const auto report = resilience::resilient_solve(dist_a, cluster, b, x,
+                                                  *scheme, injector, options);
+  EXPECT_TRUE(report.cg.converged);
+  EXPECT_EQ(report.faults, 6);  // 3 events × 2 ranks
+  EXPECT_TRUE(std::isfinite(report.cg.relative_residual));
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, PipelinedLnfTest,
+                         ::testing::Values("ESR", "CR-D", "CR-M", "LI", "LSI",
+                                           "RD", "TMR", "F0"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(
+                                     static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------
+// Determinism and seed equivalence.
+
+TEST(SolverVariantDeterminismTest, ExplicitDefaultsMatchDefaultConfig) {
+  // Pinning {"cg", "identity"} explicitly must charge bit-for-bit what
+  // the untouched default config charges, across schemes.
+  const sparse::Csr a = sparse::banded_spd({192, 4, 1.0, 0.02, 1.0, 77});
+  const auto workload = harness::Workload::create(a, 8);
+  for (const std::string scheme : {"RD", "LI", "ESR", "CR-D"}) {
+    SCOPED_TRACE(scheme);
+    harness::ExperimentConfig plain;
+    plain.processes = 8;
+    plain.faults = 4;
+    harness::ExperimentConfig pinned = plain;
+    pinned.solver = "cg";
+    pinned.preconditioner = "identity";
+    const auto ff_plain = harness::run_fault_free(workload, plain);
+    const auto ff_pinned = harness::run_fault_free(workload, pinned);
+    EXPECT_EQ(ff_plain.time, ff_pinned.time);
+    EXPECT_EQ(ff_plain.energy, ff_pinned.energy);
+    const auto run_plain =
+        harness::run_scheme(workload, scheme, plain, ff_plain);
+    const auto run_pinned =
+        harness::run_scheme(workload, scheme, pinned, ff_pinned);
+    EXPECT_EQ(run_plain.report.cg.iterations, run_pinned.report.cg.iterations);
+    EXPECT_EQ(run_plain.report.cg.relative_residual,
+              run_pinned.report.cg.relative_residual);  // bitwise
+    EXPECT_EQ(run_plain.report.time, run_pinned.report.time);
+    EXPECT_EQ(run_plain.report.energy, run_pinned.report.energy);
+  }
+}
+
+TEST(SolverVariantDeterminismTest, PipelinedPcgBitIdenticalAcrossJobCounts) {
+  // The Runner at 4 workers must reproduce the serial pipelined-PCG
+  // sweep bit for bit — recovery included.
+  harness::GroupSpec group;
+  group.label = "pcg";
+  group.config.processes = 8;
+  group.config.faults = 3;
+  group.config.scheme.cr_interval_iterations = 25;
+  group.config.solver = "pipelined-cg";
+  group.config.preconditioner = "jacobi";
+  group.make_workload = [] {
+    const sparse::Csr a = sparse::banded_spd({192, 4, 1.0, 0.02, 1.0, 42});
+    return harness::Workload::create(a, 8, "banded");
+  };
+  for (const std::string scheme : {"RD", "LI", "ESR", "CR-D", "LSI"}) {
+    group.cells.push_back({scheme, std::nullopt, nullptr});
+  }
+  harness::Runner serial(1);
+  harness::Runner parallel(4);
+  const auto a = serial.run_group(group);
+  const auto b = parallel.run_group(group);
+  EXPECT_EQ(a.ff.time, b.ff.time);
+  EXPECT_EQ(a.ff.energy, b.ff.energy);
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    EXPECT_EQ(a.runs[i].report.cg.iterations, b.runs[i].report.cg.iterations);
+    EXPECT_EQ(a.runs[i].report.cg.relative_residual,
+              b.runs[i].report.cg.relative_residual);  // bitwise
+    EXPECT_EQ(a.runs[i].report.time, b.runs[i].report.time);
+    EXPECT_EQ(a.runs[i].report.energy, b.runs[i].report.energy);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Observability: the kPrecond phase must attribute exactly.
+
+TEST(PrecondAttributionTest, PerRankPrecondEnergySumsToPhaseTotal) {
+  const sparse::Csr a = sparse::banded_spd({192, 4, 1.0, 0.02, 1.5, 9});
+  const auto workload = harness::Workload::create(a, 8);
+  harness::ExperimentConfig config;
+  config.processes = 8;
+  config.faults = 2;
+  config.preconditioner = "ic0";
+  config.observability.enabled = true;
+  config.observability.per_rank = true;
+  config.observability.keep_report = true;
+  const auto ff = harness::run_fault_free(workload, config);
+  const auto run = harness::run_scheme(workload, "LI", config, ff);
+  ASSERT_TRUE(run.report.cg.converged);
+
+  const Joules total =
+      run.report.account.core_energy(power::PhaseTag::kPrecond);
+  ASSERT_GT(total, 0.0);  // setup + per-loss rebuilds are charged
+  Joules sum = 0.0;
+  ASSERT_NE(run.run_report, nullptr);
+  ASSERT_FALSE(run.run_report->per_rank.empty());
+  for (const obs::RankEnergy& rank : run.run_report->per_rank) {
+    for (const auto& [phase, joules] : rank.phase_core_energy) {
+      if (phase == power::to_string(power::PhaseTag::kPrecond)) {
+        sum += joules;
+      }
+    }
+  }
+  EXPECT_NEAR(sum / total, 1.0, 1e-9);
+
+  // And the identity path charges nothing to kPrecond (seed invariant).
+  harness::ExperimentConfig plain;
+  plain.processes = 8;
+  plain.faults = 2;
+  const auto ff_plain = harness::run_fault_free(workload, plain);
+  const auto run_plain = harness::run_scheme(workload, "LI", plain, ff_plain);
+  EXPECT_EQ(run_plain.report.account.core_energy(power::PhaseTag::kPrecond),
+            0.0);
+}
+
+}  // namespace
+}  // namespace rsls

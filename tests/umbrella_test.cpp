@@ -32,7 +32,8 @@ TEST(UmbrellaTest, EveryLayerReachable) {
             1.0);
   EXPECT_EQ(simrt::paper_node().total_cores(), 24);        // simrt
   EXPECT_EQ(dist::Partition(8, 2).block_rows(0), 4);       // dist
-  EXPECT_EQ(solver::SolverKind::kCg, solver::CgOptions{}.kind);  // solver
+  EXPECT_EQ(solver::SolverVariant::kClassic,                     // solver
+            solver::CgOptions{}.variant);
   EXPECT_EQ(resilience::Dmr().replica_factor(), 2);        // resilience
   EXPECT_EQ(abft::Encoding(dist::Partition(8, 2), 2)       // abft
                 .parity_blocks(),
