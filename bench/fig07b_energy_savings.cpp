@@ -14,6 +14,7 @@
 #include "core/options.hpp"
 #include "core/table.hpp"
 #include "harness/sweep.hpp"
+#include "solver/cg.hpp"
 
 int main(int argc, char** argv) {
   using namespace rsls;
@@ -29,61 +30,79 @@ int main(int argc, char** argv) {
 
   const std::vector<std::string> schemes = {"LI", "LI-DVFS", "LSI",
                                             "LSI-DVFS"};
-  const auto results = harness::sweep_roster(schemes, config, quick);
-  const auto averages = harness::average_over_matrices(results);
 
   std::cout << "Figure 7(b): roster-average normalized time/power/energy, "
                "LI/LSI with and without DVFS ("
             << config.processes << " processes, " << config.faults
-            << " faults)\n\n";
+            << " faults), swept along the solver-variant axis\n\n";
+
+  // The 14-matrix roster sweep repeats per solver variant (classic and
+  // pipelined PCG) — every ratio is against that variant's own
+  // fault-free baseline, so the DVFS story must hold on both.
   TablePrinter table(
-      {"scheme", "T x FF", "P x FF", "E x FF", "E_res/E_solve"});
-  for (const auto& avg : averages) {
-    table.add_row({avg.scheme, TablePrinter::num(avg.time_ratio),
-                   TablePrinter::num(avg.power_ratio),
-                   TablePrinter::num(avg.energy_ratio),
-                   TablePrinter::num(avg.e_res_over_e_solve)});
+      {"solver", "scheme", "T x FF", "P x FF", "E x FF", "E_res/E_solve"});
+  std::vector<std::vector<std::string>> csv_rows;
+  bool all_pass = true;
+  std::string summary;
+  for (const auto& variant : solver::solver_variant_names()) {
+    harness::ExperimentConfig vconfig = config;
+    vconfig.solver = variant;
+    const auto results = harness::sweep_roster(schemes, vconfig, quick);
+    const auto averages = harness::average_over_matrices(results);
+    for (const auto& avg : averages) {
+      table.add_row({variant, avg.scheme, TablePrinter::num(avg.time_ratio),
+                     TablePrinter::num(avg.power_ratio),
+                     TablePrinter::num(avg.energy_ratio),
+                     TablePrinter::num(avg.e_res_over_e_solve)});
+    }
+    for (const auto& r : results) {
+      for (const auto& run : r.runs) {
+        csv_rows.push_back({variant, r.matrix, run.scheme,
+                            TablePrinter::num(run.time_ratio, 4),
+                            TablePrinter::num(run.power_ratio, 4),
+                            TablePrinter::num(run.energy_ratio, 4)});
+      }
+    }
+
+    const auto find =
+        [&](const std::string& name) -> const harness::SchemeAverages& {
+      for (const auto& avg : averages) {
+        if (avg.scheme == name) {
+          return avg;
+        }
+      }
+      throw Error("missing scheme " + name);
+    };
+    const auto& li = find("LI");
+    const auto& li_dvfs = find("LI-DVFS");
+    const auto& lsi = find("LSI");
+    const auto& lsi_dvfs = find("LSI-DVFS");
+
+    const double li_saving =
+        100.0 * (li.energy_ratio - li_dvfs.energy_ratio) / li.energy_ratio;
+    const double lsi_saving =
+        100.0 * (lsi.energy_ratio - lsi_dvfs.energy_ratio) / lsi.energy_ratio;
+    const bool same_time = li_dvfs.time_ratio < li.time_ratio * 1.03 &&
+                           lsi_dvfs.time_ratio < lsi.time_ratio * 1.03;
+    const bool saves_energy = li_saving > 2.0 && lsi_saving > 2.0;
+    const bool lsi_saves_more = lsi_saving >= li_saving;
+    all_pass = all_pass && same_time && saves_energy;
+    summary += "shape-check[" + variant + "]: DVFS keeps time " +
+               (same_time ? "PASS" : "FAIL") + "; saves energy " +
+               (saves_energy ? "PASS" : "FAIL") + " (LI " +
+               TablePrinter::num(li_saving, 1) + "%, LSI " +
+               TablePrinter::num(lsi_saving, 1) + "%); LSI saves >= LI " +
+               (lsi_saves_more ? "PASS" : "FAIL") + "\n";
   }
   table.print(std::cout);
 
   std::cout << "\nCSV (per-matrix detail):\n";
-  CsvWriter csv(std::cout, {"matrix", "scheme", "time_ratio", "power_ratio",
-                            "energy_ratio"});
-  for (const auto& r : results) {
-    for (const auto& run : r.runs) {
-      csv.add_row({r.matrix, run.scheme, TablePrinter::num(run.time_ratio, 4),
-                   TablePrinter::num(run.power_ratio, 4),
-                   TablePrinter::num(run.energy_ratio, 4)});
-    }
+  CsvWriter csv(std::cout, {"solver", "matrix", "scheme", "time_ratio",
+                            "power_ratio", "energy_ratio"});
+  for (const auto& row : csv_rows) {
+    csv.add_row(row);
   }
 
-  const auto find = [&](const std::string& name) -> const harness::SchemeAverages& {
-    for (const auto& avg : averages) {
-      if (avg.scheme == name) {
-        return avg;
-      }
-    }
-    throw Error("missing scheme " + name);
-  };
-  const auto& li = find("LI");
-  const auto& li_dvfs = find("LI-DVFS");
-  const auto& lsi = find("LSI");
-  const auto& lsi_dvfs = find("LSI-DVFS");
-
-  const double li_saving =
-      100.0 * (li.energy_ratio - li_dvfs.energy_ratio) / li.energy_ratio;
-  const double lsi_saving =
-      100.0 * (lsi.energy_ratio - lsi_dvfs.energy_ratio) / lsi.energy_ratio;
-  const bool same_time = li_dvfs.time_ratio < li.time_ratio * 1.03 &&
-                         lsi_dvfs.time_ratio < lsi.time_ratio * 1.03;
-  const bool saves_energy = li_saving > 2.0 && lsi_saving > 2.0;
-  const bool lsi_saves_more = lsi_saving >= li_saving;
-  std::cout << "\nshape-check: DVFS keeps time "
-            << (same_time ? "PASS" : "FAIL") << "; saves energy "
-            << (saves_energy ? "PASS" : "FAIL") << " (LI "
-            << TablePrinter::num(li_saving, 1) << "%, LSI "
-            << TablePrinter::num(lsi_saving, 1)
-            << "%); LSI saves >= LI " << (lsi_saves_more ? "PASS" : "FAIL")
-            << "\n";
-  return same_time && saves_energy ? 0 : 1;
+  std::cout << "\n" << summary;
+  return all_pass ? 0 : 1;
 }

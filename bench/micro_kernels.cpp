@@ -26,6 +26,7 @@
 #include "sparse/dense.hpp"
 #include "sparse/generators.hpp"
 #include "sparse/ordering.hpp"
+#include "sparse/spmv_kernel.hpp"
 #include "sparse/vector_ops.hpp"
 
 namespace {
@@ -53,6 +54,35 @@ void BM_Spmv(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * a.nnz());
 }
 BENCHMARK(BM_Spmv)->Arg(1024)->Arg(8192)->Arg(65536);
+
+/// One registered SpMV kernel from the registry (DESIGN.md §17): same
+/// matrix and sizes as BM_Spmv so the variants read side by side. The
+/// csr-scalar row should track BM_Spmv; sell-c-sigma pays a prepare()
+/// (outside the timed loop, as in the harness) and wins on long rows.
+void BM_SpmvKernel(benchmark::State& state, const std::string& kernel) {
+  const Index n = state.range(0);
+  const sparse::Csr a = make_matrix(n, 11);
+  const auto plan = sparse::spmv_kernel_or_throw(kernel).prepare(a);
+  RealVec x(static_cast<std::size_t>(n), 1.0);
+  RealVec y(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    plan->spmv(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK_CAPTURE(BM_SpmvKernel, csr_scalar, "csr-scalar")
+    ->Arg(1024)
+    ->Arg(8192)
+    ->Arg(65536);
+BENCHMARK_CAPTURE(BM_SpmvKernel, csr_simd, "csr-simd")
+    ->Arg(1024)
+    ->Arg(8192)
+    ->Arg(65536);
+BENCHMARK_CAPTURE(BM_SpmvKernel, sell_c_sigma, "sell-c-sigma")
+    ->Arg(1024)
+    ->Arg(8192)
+    ->Arg(65536);
 
 void BM_SpmvTranspose(benchmark::State& state) {
   const Index n = state.range(0);

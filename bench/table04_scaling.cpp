@@ -6,15 +6,72 @@
 // essentially constant in the process count, with the ordering
 // RD (1) < LI ≈ LSI < CR < F0 ≈ FI.
 
+#include <algorithm>
+#include <chrono>
+#include <fstream>
 #include <iostream>
+#include <thread>
+#include <utility>
 
 #include "core/csv.hpp"
 #include "core/env.hpp"
 #include "core/options.hpp"
 #include "core/table.hpp"
+#include "core/version.hpp"
+#include "dist/rank_executor.hpp"
 #include "harness/runner.hpp"
 #include "harness/scheme_factory.hpp"
+#include "obs/json.hpp"
 #include "sparse/roster.hpp"
+
+namespace {
+
+/// Standardized bench artifact (same schema_version 1 as micro_kernels):
+/// one result row with the serial vs rank-parallel wall clock of the
+/// full sweep and the realized speedup. Always written to
+/// BENCH_table04_scaling.json in the working directory. The hardware
+/// thread count rides along so a reader can tell an implementation
+/// regression (speedup « effective jobs on a wide machine) from a
+/// hardware-bound run (1-core container: speedup can never exceed 1).
+void write_speedup_json(rsls::Index jobs_requested, rsls::Index jobs_effective,
+                        rsls::Index hardware_threads, double serial_s,
+                        double parallel_s, double speedup) {
+  std::ofstream os("BENCH_table04_scaling.json");
+  if (!os.good()) {
+    std::cerr << "table04_scaling: cannot open BENCH_table04_scaling.json\n";
+    return;
+  }
+  rsls::obs::JsonWriter json(os);
+  json.begin_object();
+  json.field("schema_version", 1);
+  json.field("source", "table04_scaling");
+  json.field("git_describe", rsls::build::git_describe());
+  json.begin_array("results");
+  json.begin_object();
+  json.field("name", "table04_sweep_wall_clock");
+  json.field("iterations", static_cast<std::int64_t>(1));
+  json.field("real_time_s", parallel_s);
+  json.field("cpu_time_s", parallel_s);
+  json.begin_object("counters");
+  json.field("jobs", static_cast<double>(jobs_requested));
+  json.field("jobs_effective", static_cast<double>(jobs_effective));
+  json.field("hardware_threads", static_cast<double>(hardware_threads));
+  json.field("serial_wall_s", serial_s);
+  json.field("parallel_wall_s", parallel_s);
+  json.field("speedup", speedup);
+  json.end_object();
+  json.end_object();
+  json.end_array();
+  json.end_object();
+  os << '\n';
+  std::cerr << "table04_scaling: jobs=" << jobs_requested << " (effective "
+            << jobs_effective << " on " << hardware_threads
+            << " hardware threads) serial=" << serial_s
+            << "s parallel=" << parallel_s << "s speedup=" << speedup
+            << " -> BENCH_table04_scaling.json\n";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace rsls;
@@ -60,8 +117,38 @@ int main(int argc, char** argv) {
     groups.push_back(std::move(group));
   }
 
-  harness::Runner runner;
-  const auto results = runner.run(groups);
+  // Serial-vs-parallel wall clock of the whole sweep, in one process:
+  // the rank executor's set_jobs override pins the data-plane fan-out
+  // width alongside the Runner's cell-level worker count. Results are
+  // bit-identical at any width (the §17 determinism gate); only the
+  // wall clock may differ.
+  // Threads beyond the physical core count only add context-switch
+  // overhead to a compute-bound sweep, so the measured width is clamped
+  // to the hardware (the requested RSLS_JOBS is still recorded).
+  const Index jobs = env::jobs();
+  const auto hardware = static_cast<Index>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  const Index effective = std::min(jobs, hardware);
+  const auto timed_run = [&groups](Index width) {
+    harness::Runner runner(width);
+    dist::RankExecutor::instance().set_jobs(width);
+    const auto start = std::chrono::steady_clock::now();
+    auto results = runner.run(groups);
+    const auto stop = std::chrono::steady_clock::now();
+    dist::RankExecutor::instance().set_jobs(0);
+    return std::make_pair(std::move(results),
+                          std::chrono::duration<double>(stop - start).count());
+  };
+  double serial_seconds = 0.0;
+  if (effective > 1) {
+    serial_seconds = timed_run(1).second;
+  }
+  auto [results, parallel_seconds] = timed_run(effective);
+  if (effective <= 1) {
+    serial_seconds = parallel_seconds;
+  }
+  const double speedup =
+      parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 1.0;
 
   for (std::size_t pi = 0; pi < process_counts.size(); ++pi) {
     const auto& result = results[pi];
@@ -98,6 +185,9 @@ int main(int argc, char** argv) {
                 << TablePrinter::num(max_ratio[s]) << "\n";
     }
   }
+  write_speedup_json(jobs, effective, hardware, serial_seconds,
+                     parallel_seconds, speedup);
+
   std::cout << "\nshape-check: iteration ratios ~constant in #p "
             << (invariant ? "PASS" : "FAIL") << "\n";
   return invariant ? 0 : 1;

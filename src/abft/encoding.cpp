@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/error.hpp"
+#include "dist/rank_executor.hpp"
 
 namespace rsls::abft {
 
@@ -92,18 +93,29 @@ Parity Encoding::encode(std::span<const Real> v) const {
   RSLS_CHECK(static_cast<Index>(v.size()) == part_.size());
   Parity parity(static_cast<std::size_t>(m_),
                 RealVec(static_cast<std::size_t>(width_), 0.0));
-  for (Index i = 0; i < part_.parts(); ++i) {
-    const Index begin = part_.begin(i);
-    const Index rows = part_.block_rows(i);
-    for (Index j = 0; j < m_; ++j) {
-      const Real c = coefficient(j, i);
-      RealVec& row = parity[static_cast<std::size_t>(j)];
-      for (Index t = 0; t < rows; ++t) {
-        row[static_cast<std::size_t>(t)] +=
-            c * v[static_cast<std::size_t>(begin + t)];
-      }
-    }
-  }
+  // Loop interchange over the rank-outer serial accumulation: each chunk
+  // of parity slots folds in rank contributions in ascending rank order,
+  // which is the exact per-element addition chain of the serial loop —
+  // chunks write disjoint slots, so the fan-out is bitwise identical to
+  // serial at any RSLS_JOBS.
+  dist::RankExecutor::instance().for_each_chunk(
+      width_,
+      [&](Index t_begin, Index t_end) {
+        for (Index i = 0; i < part_.parts(); ++i) {
+          const Index begin = part_.begin(i);
+          const Index rows = part_.block_rows(i);
+          const Index t_stop = std::min(t_end, rows);
+          for (Index j = 0; j < m_; ++j) {
+            const Real c = coefficient(j, i);
+            RealVec& row = parity[static_cast<std::size_t>(j)];
+            for (Index t = t_begin; t < t_stop; ++t) {
+              row[static_cast<std::size_t>(t)] +=
+                  c * v[static_cast<std::size_t>(begin + t)];
+            }
+          }
+        }
+      },
+      /*work=*/width_ * m_);
   return parity;
 }
 

@@ -101,6 +101,11 @@ const std::vector<VarSpec>& registry() {
        "identity|jacobi|block-jacobi|ic0. Applied only when the config "
        "leaves the preconditioner at its default; unknown names warn "
        "once and keep the default."},
+      {"RSLS_SPMV_KERNEL", "string", "csr-scalar",
+       "SpMV kernel for harness-built solves: "
+       "csr-scalar|csr-simd|sell-c-sigma. Applied only when the config "
+       "leaves the kernel at its default; unknown names warn once and "
+       "keep the default."},
   };
   return vars;
 }
@@ -256,6 +261,10 @@ std::optional<std::string> solver_name() { return env_string("RSLS_SOLVER"); }
 
 std::optional<std::string> preconditioner_name() {
   return env_string("RSLS_PRECONDITIONER");
+}
+
+std::optional<std::string> spmv_kernel_name() {
+  return env_string("RSLS_SPMV_KERNEL");
 }
 
 std::vector<std::string> unknown_rsls_vars() {

@@ -137,6 +137,11 @@ std::optional<std::string> solver_name();
 /// leaves the preconditioner at its default.
 std::optional<std::string> preconditioner_name();
 
+/// RSLS_SPMV_KERNEL: SpMV kernel for harness-built solves
+/// (csr-scalar|csr-simd|sell-c-sigma); applied only when the config
+/// leaves the kernel at its default.
+std::optional<std::string> spmv_kernel_name();
+
 /// RSLS_-prefixed variables set in the process environment that no
 /// registry entry declares — typo'd knobs that would otherwise be
 /// silently ignored.

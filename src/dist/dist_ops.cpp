@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/error.hpp"
+#include "dist/rank_executor.hpp"
 #include "la/flops.hpp"
 #include "sparse/vector_ops.hpp"
 
@@ -10,15 +11,31 @@ namespace rsls::dist {
 
 using power::PhaseTag;
 
+// The charge loops below stay on the calling thread, in rank order —
+// the VirtualCluster is not thread-safe and the ChargeSink stream must
+// match serial execution exactly. Only the arithmetic fans out: each
+// rank body touches its own disjoint row range of the global vectors,
+// so results are bitwise identical at any RSLS_JOBS.
+
 void dist_spmv(const DistMatrix& a, simrt::VirtualCluster& cluster,
                std::span<const Real> x, std::span<Real> y,
-               PhaseTag compute_tag) {
+               PhaseTag compute_tag, const sparse::SpmvPlan* plan) {
   RSLS_CHECK(cluster.num_ranks() == a.parts());
   cluster.halo_exchange(a.halo_bytes(), a.halo_messages(), PhaseTag::kComm);
   for (Index r = 0; r < a.parts(); ++r) {
     cluster.charge_compute(r, la::spmv_flops(a.local_nnz(r)), compute_tag);
   }
-  sparse::spmv(a.global(), x, y);
+  const Partition& part = a.partition();
+  RankExecutor::instance().for_each_rank(
+      part.parts(),
+      [&](Index r) {
+        if (plan != nullptr) {
+          plan->spmv_rows(part.begin(r), part.end(r), x, y);
+        } else {
+          sparse::spmv_rows(a.global(), part.begin(r), part.end(r), x, y);
+        }
+      },
+      /*work=*/a.global().nnz());
 }
 
 Real dist_dot(const Partition& part, simrt::VirtualCluster& cluster,
@@ -30,6 +47,8 @@ Real dist_dot(const Partition& part, simrt::VirtualCluster& cluster,
                            compute_tag);
   }
   cluster.allreduce(sizeof(Real), PhaseTag::kComm);
+  // The flat left-to-right sum is order-dependent: it stays serial so
+  // the reduction value is bitwise stable at any RSLS_JOBS.
   return sparse::dot(x, y);
 }
 
@@ -46,7 +65,14 @@ void dist_axpy(const Partition& part, simrt::VirtualCluster& cluster,
     cluster.charge_compute(r, 2.0 * static_cast<double>(part.block_rows(r)),
                            compute_tag);
   }
-  sparse::axpy(alpha, x, y);
+  RankExecutor::instance().for_each_rank(
+      part.parts(),
+      [&](Index r) {
+        const auto begin = static_cast<std::size_t>(part.begin(r));
+        const auto rows = static_cast<std::size_t>(part.block_rows(r));
+        sparse::axpy(alpha, x.subspan(begin, rows), y.subspan(begin, rows));
+      },
+      /*work=*/part.size());
 }
 
 void dist_xpby(const Partition& part, simrt::VirtualCluster& cluster,
@@ -57,7 +83,14 @@ void dist_xpby(const Partition& part, simrt::VirtualCluster& cluster,
     cluster.charge_compute(r, 2.0 * static_cast<double>(part.block_rows(r)),
                            compute_tag);
   }
-  sparse::xpby(x, beta, y);
+  RankExecutor::instance().for_each_rank(
+      part.parts(),
+      [&](Index r) {
+        const auto begin = static_cast<std::size_t>(part.begin(r));
+        const auto rows = static_cast<std::size_t>(part.block_rows(r));
+        sparse::xpby(x.subspan(begin, rows), beta, y.subspan(begin, rows));
+      },
+      /*work=*/part.size());
 }
 
 }  // namespace rsls::dist

@@ -9,14 +9,19 @@
 #include "dist/dist_matrix.hpp"
 #include "power/rapl.hpp"
 #include "simrt/cluster.hpp"
+#include "sparse/spmv_kernel.hpp"
 
 namespace rsls::dist {
 
 /// y = A x. Charges the SpMV halo exchange (kComm) plus per-rank local
-/// multiply flops (compute_tag).
+/// multiply flops (compute_tag). When `plan` is set the arithmetic runs
+/// through that prepared kernel (it must be a plan over a.global());
+/// null means the csr-scalar free function, the seed path. Flop charges
+/// are format-invariant either way.
 void dist_spmv(const DistMatrix& a, simrt::VirtualCluster& cluster,
                std::span<const Real> x, std::span<Real> y,
-               power::PhaseTag compute_tag);
+               power::PhaseTag compute_tag,
+               const sparse::SpmvPlan* plan = nullptr);
 
 /// Global dot product: per-rank partial dot (compute_tag) + an 8-byte
 /// allreduce (kComm, synchronizing).

@@ -1,0 +1,167 @@
+#include "dist/rank_executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <latch>
+#include <memory>
+#include <mutex>
+
+#include "core/env.hpp"
+#include "core/thread_pool.hpp"
+
+namespace rsls::dist {
+
+namespace {
+
+// True while this thread is executing a fan-out body: nested fan-outs
+// (a parallelized preconditioner apply whose inner solve hits a
+// parallelized SpMV) degrade to inline-serial instead of re-entering
+// the pool.
+thread_local bool t_in_fan_out = false;
+
+}  // namespace
+
+// Below this many touched elements a fan-out runs inline: waking pool
+// workers costs tens of microseconds, which only a few tens of
+// thousands of flops can amortize. Callers that do heavy per-rank work
+// (inner solves) pass work = -1 to bypass the gate.
+constexpr Index kDefaultMinWork = 16384;
+
+struct RankExecutor::Impl {
+  std::atomic<Index> jobs{-1};  // -1 = read RSLS_JOBS on next use
+  std::atomic<Index> min_work{kDefaultMinWork};
+  std::mutex pool_mutex;
+  std::unique_ptr<ThreadPool> pool;  // created on first parallel call
+
+  Index effective_jobs() {
+    Index value = jobs.load(std::memory_order_relaxed);
+    if (value < 0) {
+      value = env::jobs();
+      jobs.store(value, std::memory_order_relaxed);
+    }
+    return value;
+  }
+
+  ThreadPool& ensure_pool(Index width) {
+    const std::lock_guard<std::mutex> lock(pool_mutex);
+    if (!pool) {
+      // The caller participates in every fan-out, so the pool carries
+      // one fewer worker than the requested width. The width is fixed
+      // at first creation; later set_jobs calls only change how many
+      // groups a fan-out splits into.
+      pool = std::make_unique<ThreadPool>(std::max<Index>(width - 1, 1));
+    }
+    return *pool;
+  }
+
+  /// Run fn(g) for g in [0, groups) — groups 1.. on the pool, group 0
+  /// on the calling thread — and rethrow the first body exception.
+  void run_groups(Index groups, const std::function<void(Index)>& fn) {
+    ThreadPool& workers = ensure_pool(effective_jobs());
+    std::latch done(groups - 1);
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    for (Index g = 1; g < groups; ++g) {
+      workers.submit([&fn, &done, &error_mutex, &first_error, g] {
+        t_in_fan_out = true;
+        try {
+          fn(g);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) {
+            first_error = std::current_exception();
+          }
+        }
+        t_in_fan_out = false;
+        done.count_down();
+      });
+    }
+    t_in_fan_out = true;
+    try {
+      fn(0);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) {
+        first_error = std::current_exception();
+      }
+    }
+    t_in_fan_out = false;
+    done.wait();
+    if (first_error) {
+      std::rethrow_exception(first_error);
+    }
+  }
+};
+
+RankExecutor& RankExecutor::instance() {
+  static RankExecutor executor;
+  return executor;
+}
+
+RankExecutor::Impl& RankExecutor::impl() {
+  static Impl the_impl;
+  return the_impl;
+}
+
+Index RankExecutor::jobs() const {
+  return const_cast<RankExecutor*>(this)->impl().effective_jobs();
+}
+
+void RankExecutor::set_jobs(Index jobs) {
+  impl().jobs.store(jobs > 0 ? jobs : Index{-1}, std::memory_order_relaxed);
+}
+
+void RankExecutor::set_min_work(Index work) {
+  impl().min_work.store(work >= 0 ? work : kDefaultMinWork,
+                        std::memory_order_relaxed);
+}
+
+Index RankExecutor::min_work() const {
+  return const_cast<RankExecutor*>(this)->impl().min_work.load(
+      std::memory_order_relaxed);
+}
+
+void RankExecutor::for_each_rank(Index parts,
+                                 const std::function<void(Index)>& body,
+                                 Index work) {
+  const Index width = impl().effective_jobs();
+  if (width <= 1 || parts <= 1 || t_in_fan_out ||
+      (work >= 0 && work < min_work())) {
+    for (Index r = 0; r < parts; ++r) {
+      body(r);
+    }
+    return;
+  }
+  const Index groups = std::min(width, parts);
+  impl().run_groups(groups, [parts, groups, &body](Index g) {
+    const Index begin = g * parts / groups;
+    const Index end = (g + 1) * parts / groups;
+    for (Index r = begin; r < end; ++r) {
+      body(r);
+    }
+  });
+}
+
+void RankExecutor::for_each_chunk(
+    Index total, const std::function<void(Index, Index)>& body, Index work) {
+  if (total <= 0) {
+    return;
+  }
+  const Index width = impl().effective_jobs();
+  if (width <= 1 || total <= 1 || t_in_fan_out ||
+      (work >= 0 && work < min_work())) {
+    body(0, total);
+    return;
+  }
+  const Index groups = std::min(width, total);
+  impl().run_groups(groups, [total, groups, &body](Index g) {
+    const Index begin = g * total / groups;
+    const Index end = (g + 1) * total / groups;
+    if (begin < end) {
+      body(begin, end);
+    }
+  });
+}
+
+}  // namespace rsls::dist

@@ -1,0 +1,76 @@
+#pragma once
+// Rank-parallel execution seam for virtual-cluster hot loops
+// (DESIGN.md §17).
+//
+// The data plane is full of `for (r = 0; r < parts; ++r)` loops whose
+// bodies touch disjoint state: a rank's row range of a global vector,
+// a rank's diagonal block, a rank's slot in a pre-sized result array.
+// RankExecutor runs those bodies on a process-wide work-stealing pool
+// (width RSLS_JOBS) while the *charging* loops — the VirtualCluster is
+// deliberately not thread-safe — stay on the calling thread, in rank
+// order. The determinism argument:
+//
+//  * Parallelized bodies write only pre-sized disjoint output slots
+//    (row ranges, per-rank result cells), so their values are
+//    independent of scheduling.
+//  * Cluster charges are issued by the calling thread either before
+//    the fan-out (shape-only charges) or after it, in ascending rank
+//    order, from per-rank buffers the bodies filled. The ChargeSink
+//    therefore sees the exact serial record stream at any RSLS_JOBS.
+//
+// Calls nested inside an already-executing rank body run inline and
+// serial (a thread_local guard), so recursive fan-out cannot deadlock
+// the pool; so do calls with parts == 1 or jobs() == 1.
+
+#include <functional>
+
+#include "core/types.hpp"
+
+namespace rsls::dist {
+
+class RankExecutor {
+ public:
+  /// The process-wide executor. Workers are created lazily on the
+  /// first parallel fan-out.
+  static RankExecutor& instance();
+
+  /// Effective fan-out width. Initialized from RSLS_JOBS on first use.
+  Index jobs() const;
+
+  /// Override the width (0 re-reads RSLS_JOBS on next use; 1 forces
+  /// the serial path). Benches use this to measure serial vs parallel
+  /// in one process; not intended to race with in-flight fan-outs.
+  void set_jobs(Index jobs);
+
+  /// Fan-out grain gate: calls whose `work` hint is non-negative and
+  /// below this many elements run inline — pool wake latency dwarfs a
+  /// few thousand flops of per-rank arithmetic. 0 forces every call
+  /// parallel (determinism tests use this to exercise the fan-out on
+  /// small matrices); negative restores the built-in default.
+  void set_min_work(Index work);
+  Index min_work() const;
+
+  /// Run body(rank) for every rank in [0, parts). Bodies may run
+  /// concurrently and in any order: they must write only disjoint
+  /// slots and must not touch the VirtualCluster. `work` is the total
+  /// element count the loop touches (vector rows, parity slots);
+  /// leave it -1 — unknown, always fan out — only for bodies that are
+  /// expensive regardless of size (inner solves, factorizations).
+  void for_each_rank(Index parts, const std::function<void(Index)>& body,
+                     Index work = -1);
+
+  /// Run body(begin, end) over disjoint chunks covering [0, total).
+  /// Chunk boundaries are schedule-independent (fixed block split), so
+  /// even order-sensitive per-chunk work is deterministic. `work` as
+  /// in for_each_rank: total touched elements, or -1 for always-fan-out.
+  void for_each_chunk(Index total,
+                      const std::function<void(Index, Index)>& body,
+                      Index work = -1);
+
+ private:
+  RankExecutor() = default;
+  struct Impl;
+  Impl& impl();
+};
+
+}  // namespace rsls::dist

@@ -19,6 +19,7 @@
 #include "resilience/checkpoint.hpp"
 #include "resilience/forward.hpp"
 #include "sparse/roster.hpp"
+#include "sparse/spmv_kernel.hpp"
 
 namespace rsls::harness {
 
@@ -85,6 +86,7 @@ obs::RunReport make_run_report(const obs::ObservabilityOptions& opts,
        std::to_string(config.scheme.cr_interval_iterations)},
       {"solver", config.solver},
       {"preconditioner", config.preconditioner},
+      {"spmv_kernel", config.spmv_kernel},
       {"sdc_faults", config.sdc_faults ? "true" : "false"},
       {"detection", config.detection ? "true" : "false"},
       {"replica_factor", std::to_string(cluster.replica_factor())},
@@ -246,6 +248,20 @@ ExperimentConfig with_resilience_env(const ExperimentConfig& in) {
       }
     }
   }
+  if (config.spmv_kernel == "csr-scalar") {
+    if (const auto name = env::spmv_kernel_name()) {
+      if (sparse::spmv_kernel_from_name(*name) != nullptr) {
+        config.spmv_kernel = *name;
+      } else {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true)) {
+          RSLS_WARN << "RSLS_SPMV_KERNEL=" << *name
+                    << " is not csr-scalar|csr-simd|sell-c-sigma; keeping "
+                       "csr-scalar";
+        }
+      }
+    }
+  }
   if (config.fault_domains == 0) {
     config.fault_domains = env::fault_domains();
   }
@@ -304,8 +320,14 @@ FfBaseline run_fault_free(const Workload& workload,
   RealVec x = workload.x0;
   const auto preconditioner =
       solver::make_preconditioner(config.preconditioner);
+  const sparse::SpmvKernel* spmv_kernel =
+      &sparse::spmv_kernel_or_throw(config.spmv_kernel);
+  const auto spmv_plan = spmv_kernel->prepare(workload.a.global());
+  preconditioner->set_spmv_kernel(spmv_kernel);
   solver::CgOptions solve_options = cg_options_for(config, 0);
   solve_options.preconditioner = preconditioner.get();
+  solve_options.spmv_plan = spmv_plan.get();
+  solve_options.spmv_kernel = spmv_kernel;
   const auto report = resilience::resilient_solve(
       workload.a, cluster, workload.b, x, scheme, injector, solve_options);
   RSLS_CHECK_MSG(report.cg.converged, "fault-free CG did not converge");
@@ -460,8 +482,14 @@ SchemeRun run_scheme(const Workload& workload, const std::string& scheme_name,
   // rebuild_local after process losses).
   const auto preconditioner =
       solver::make_preconditioner(config.preconditioner);
+  const sparse::SpmvKernel* spmv_kernel =
+      &sparse::spmv_kernel_or_throw(config.spmv_kernel);
+  const auto spmv_plan = spmv_kernel->prepare(workload.a.global());
+  preconditioner->set_spmv_kernel(spmv_kernel);
   solver::CgOptions solve_options = cg_options_for(config, ff.iterations);
   solve_options.preconditioner = preconditioner.get();
+  solve_options.spmv_plan = spmv_plan.get();
+  solve_options.spmv_kernel = spmv_kernel;
   solve_options.observer = hooks.observer;
   run.report = resilience::resilient_solve(
       workload.a, cluster, workload.b, x, scheme, injector, solve_options,

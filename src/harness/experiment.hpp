@@ -50,6 +50,14 @@ struct ExperimentConfig {
   /// rsls::Error naming the valid roster.
   std::string solver = "cg";
   std::string preconditioner = "identity";
+  /// SpMV kernel by registry name ("csr-scalar" | "csr-simd" |
+  /// "sell-c-sigma") for every product the harness issues — the solver's
+  /// global SpMV, preconditioner blocks, detection residuals, and
+  /// forward-recovery local systems. The default reproduces the seed
+  /// bit-for-bit; the environment overlays it (RSLS_SPMV_KERNEL) when
+  /// still at the default and env_overlay is on; unknown explicit names
+  /// throw rsls::Error naming the valid roster.
+  std::string spmv_kernel = "csr-scalar";
   /// Reclassify every injected fault as *silent* data corruption: the
   /// harness is not told which rank was hit, so only the detector suite
   /// (when `detection` is on) can notice and localize it. Off keeps the

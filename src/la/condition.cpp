@@ -42,21 +42,23 @@ Real power_iteration(const ApplyFn& op, Index n, Index iterations, Rng& rng) {
 }  // namespace
 
 SpectrumEstimate estimate_spectrum(const sparse::Csr& a, Index iterations,
-                                   std::uint64_t seed) {
+                                   std::uint64_t seed,
+                                   const sparse::SpmvKernel* kernel) {
   RSLS_CHECK(a.rows == a.cols);
   RSLS_CHECK(a.rows > 0);
   Rng rng(seed);
+  const auto plan = sparse::kernel_or_default(kernel).prepare(a);
   SpectrumEstimate est;
   est.lambda_max = power_iteration(
-      [&a](std::span<const Real> x, std::span<Real> y) {
-        sparse::spmv(a, x, y);
+      [&plan](std::span<const Real> x, std::span<Real> y) {
+        plan->spmv(x, y);
       },
       a.rows, iterations, rng);
   // λ_min(A) = λ_max(σI - A) shifted back, with σ slightly above λ_max.
   const Real sigma = est.lambda_max * 1.01;
   const Real shifted_max = power_iteration(
-      [&a, sigma](std::span<const Real> x, std::span<Real> y) {
-        sparse::spmv(a, x, y);
+      [&plan, sigma](std::span<const Real> x, std::span<Real> y) {
+        plan->spmv(x, y);
         for (std::size_t i = 0; i < y.size(); ++i) {
           y[i] = sigma * x[i] - y[i];
         }

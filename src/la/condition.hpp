@@ -6,6 +6,7 @@
 
 #include "core/types.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/spmv_kernel.hpp"
 
 namespace rsls::la {
 
@@ -20,9 +21,11 @@ struct SpectrumEstimate {
 /// Power iteration for λ_max and shifted power iteration (on λ_max·I - A)
 /// for λ_min. `iterations` trades accuracy for cost; both estimates
 /// converge from below/above respectively so the condition estimate is a
-/// (slight) underestimate.
+/// (slight) underestimate. `kernel` selects the SpMV implementation for
+/// the power steps; null means csr-scalar.
 SpectrumEstimate estimate_spectrum(const sparse::Csr& a,
                                    Index iterations = 200,
-                                   std::uint64_t seed = 7);
+                                   std::uint64_t seed = 7,
+                                   const sparse::SpmvKernel* kernel = nullptr);
 
 }  // namespace rsls::la

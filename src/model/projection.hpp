@@ -76,10 +76,21 @@ struct ProjectionInputs {
   bool use_analytic_comm = false;
   TopologyCommModel analytic_comm;
 
-  /// The active per-iteration overhead term (table or analytic).
+  /// Fraction of the per-iteration reduction overhead hidden by the
+  /// solver variant (DESIGN.md §16): 0 models classic PCG's two exposed
+  /// dependent allreduces; pipelined PCG fuses them into one launched
+  /// before the SpMV, so at least half the exposed latency overlaps
+  /// with compute — 0.5 is its conservative setting (full overlap
+  /// would approach 1).
+  double comm_hiding = 0.0;
+
+  /// The active per-iteration overhead term (table or analytic),
+  /// scaled by the solver variant's communication hiding.
   Seconds iteration_overhead(Index processes) const {
-    return use_analytic_comm ? analytic_comm.cg_iteration_overhead(processes)
-                             : comm.cg_iteration_overhead(processes);
+    const Seconds exposed =
+        use_analytic_comm ? analytic_comm.cg_iteration_overhead(processes)
+                          : comm.cg_iteration_overhead(processes);
+    return (1.0 - comm_hiding) * exposed;
   }
 };
 

@@ -48,7 +48,8 @@ BlockResidual charged_block_residual(DetectionContext& ctx,
   const auto n = static_cast<std::size_t>(ctx.a.rows());
   RSLS_CHECK(x.size() == n);
   RealVec ax(n);
-  dist::dist_spmv(ctx.a, ctx.cluster, x, ax, PhaseTag::kDetect);
+  dist::dist_spmv(ctx.a, ctx.cluster, x, ax, PhaseTag::kDetect,
+                  ctx.spmv_plan);
   BlockResidual out;
   out.block_sqnorm.assign(static_cast<std::size_t>(part.parts()), 0.0);
   for (Index rank = 0; rank < part.parts(); ++rank) {

@@ -40,6 +40,7 @@
 #include "core/types.hpp"
 #include "dist/dist_matrix.hpp"
 #include "simrt/cluster.hpp"
+#include "sparse/spmv_kernel.hpp"
 
 namespace rsls::resilience {
 
@@ -47,6 +48,9 @@ struct DetectionContext {
   const dist::DistMatrix& a;
   std::span<const Real> b;
   simrt::VirtualCluster& cluster;
+  /// Prepared plan over a.global() for the true-residual SpMV; null
+  /// means the csr-scalar free function.
+  const sparse::SpmvPlan* spmv_plan = nullptr;
 };
 
 struct DetectionVerdict {

@@ -154,7 +154,9 @@ void ForwardRecovery::recover_linear(RecoveryContext& ctx, Index failed_rank,
   const sparse::Csr row_block = ctx.a.row_block(failed_rank);
   const RealVec masked = mask_failed_block(part, failed_rank, x);
   RealVec y(static_cast<std::size_t>(m));
-  sparse::spmv(row_block, masked, y);
+  sparse::kernel_or_default(ctx.spmv_kernel)
+      .prepare(row_block)
+      ->spmv(masked, y);
   for (Index i = 0; i < m; ++i) {
     y[static_cast<std::size_t>(i)] =
         ctx.b[static_cast<std::size_t>(begin + i)] -
@@ -183,9 +185,11 @@ void ForwardRecovery::recover_linear(RecoveryContext& ctx, Index failed_rank,
     // construction cost is bounded by the block dimension.
     cg_options.max_iterations =
         std::min(options_.cg_max_iterations, 3 * m);
+    const auto diag_plan =
+        sparse::kernel_or_default(ctx.spmv_kernel).prepare(diag_block);
     const la::LocalCgResult result = la::local_cg(
-        [&diag_block](std::span<const Real> in, std::span<Real> out) {
-          sparse::spmv(diag_block, in, out);
+        [&diag_plan](std::span<const Real> in, std::span<Real> out) {
+          diag_plan->spmv(in, out);
         },
         y, z, cg_options);
     cluster.charge_compute(
@@ -224,7 +228,11 @@ void ForwardRecovery::recover_least_squares(RecoveryContext& ctx,
   // computes its own rows of β.
   const RealVec masked = mask_failed_block(part, failed_rank, x);
   RealVec beta(static_cast<std::size_t>(n));
-  sparse::spmv(ctx.a.global(), masked, beta);
+  if (ctx.spmv_plan != nullptr) {
+    ctx.spmv_plan->spmv(masked, beta);
+  } else {
+    sparse::spmv(ctx.a.global(), masked, beta);
+  }
   for (Index i = 0; i < n; ++i) {
     beta[static_cast<std::size_t>(i)] =
         ctx.b[static_cast<std::size_t>(i)] - beta[static_cast<std::size_t>(i)];
@@ -291,8 +299,10 @@ void ForwardRecovery::recover_least_squares(RecoveryContext& ctx,
     beta_local[static_cast<std::size_t>(j)] =
         beta[static_cast<std::size_t>(local.support[static_cast<std::size_t>(j)])];
   }
+  const auto local_plan =
+      sparse::kernel_or_default(ctx.spmv_kernel).prepare(local.matrix);
   RealVec rhs(static_cast<std::size_t>(m));
-  sparse::spmv(local.matrix, beta_local, rhs);
+  local_plan->spmv(beta_local, rhs);
   cluster.charge_compute(failed_rank, la::spmv_flops(local.matrix.nnz()),
                          PhaseTag::kReconstruct);
 
@@ -318,9 +328,9 @@ void ForwardRecovery::recover_least_squares(RecoveryContext& ctx,
   // m-dimensional, so stop once rounding dominates.
   cg_options.max_iterations = std::min(options_.cg_max_iterations, 3 * m);
   const la::LocalCgResult result = la::local_pcg(
-      [&local, &t](std::span<const Real> in, std::span<Real> out) {
-        sparse::spmv_transpose(local.matrix, in, t);
-        sparse::spmv(local.matrix, t, out);
+      [&local_plan, &t](std::span<const Real> in, std::span<Real> out) {
+        local_plan->spmv_transpose(in, t);
+        local_plan->spmv(t, out);
       },
       inv_diag, rhs, z, cg_options);
   cluster.charge_compute(

@@ -5,6 +5,7 @@
 
 #include "core/error.hpp"
 #include "dist/partition.hpp"
+#include "dist/rank_executor.hpp"
 #include "obs/recorder.hpp"
 
 namespace rsls::resilience {
@@ -114,12 +115,23 @@ void RecoveryRuntime::price_shrink(RecoveryContext& ctx, Index lost_rank) {
                    static_cast<double>(lost_rows) * 12.0;
     const Index takers = std::min<Index>(survivors, lost_rows);
     const dist::Partition shares(lost_rows, takers);
+    // Size each taker's pull in parallel (disjoint slots), then replay
+    // the cluster charges serially in ascending taker order — the
+    // VirtualCluster is not thread-safe and the charge stream must stay
+    // bitwise identical to the serial loop.
+    std::vector<double> gather_bytes(static_cast<std::size_t>(takers), 0.0);
+    dist::RankExecutor::instance().for_each_rank(
+        takers,
+        [&](Index s) {
+          gather_bytes[static_cast<std::size_t>(s)] =
+              static_cast<double>(shares.block_rows(s)) * row_bytes;
+        },
+        /*work=*/takers);
     for (Index s = 0; s < takers; ++s) {
       const Index survivor = s < lost_rank ? s : s + 1;
-      ctx.cluster.neighbor_gather(
-          survivor, 1.0,
-          static_cast<double>(shares.block_rows(s)) * row_bytes,
-          PhaseTag::kRecover);
+      ctx.cluster.neighbor_gather(survivor, 1.0,
+                                  gather_bytes[static_cast<std::size_t>(s)],
+                                  PhaseTag::kRecover);
     }
   }
   // The new ownership map has to settle everywhere before the solve

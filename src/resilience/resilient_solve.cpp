@@ -122,7 +122,10 @@ ResilientSolveReport resilient_solve(const dist::DistMatrix& a,
     cluster.set_spare_ranks(recovery.spare_ranks);
   }
   RecoveryContext ctx{a, b, cluster, recorder};
+  ctx.spmv_kernel = options.spmv_kernel;
+  ctx.spmv_plan = options.spmv_plan;
   DetectionContext dctx{a, b, cluster};
+  dctx.spmv_plan = options.spmv_plan;
   const auto& part = a.partition();
   const Real b_norm = sparse::norm2(b);
   // Rung 2 of the escalation ladder restarts from the initial guess, so

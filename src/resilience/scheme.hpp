@@ -16,6 +16,7 @@
 #include "dist/dist_matrix.hpp"
 #include "simrt/cluster.hpp"
 #include "solver/cg.hpp"
+#include "sparse/spmv_kernel.hpp"
 
 namespace rsls::obs {
 class Recorder;
@@ -45,6 +46,12 @@ struct RecoveryContext {
   /// schemes can ignore them, since the solver's rebuild renews them
   /// from x.
   std::vector<std::span<Real>> extra{};
+  /// SpMV kernel for local matrices recovery builds mid-flight (row
+  /// blocks, normal-equation operators), and a prepared plan over
+  /// a.global() for full-size products. Null means csr-scalar — the
+  /// seed path. Borrowed from CgOptions by the orchestrator.
+  const sparse::SpmvKernel* spmv_kernel = nullptr;
+  const sparse::SpmvPlan* spmv_plan = nullptr;
 };
 
 class RecoveryScheme {

@@ -9,6 +9,7 @@
 #include "simrt/net/network_config.hpp"
 #include "sparse/generators.hpp"
 #include "sparse/roster.hpp"
+#include "sparse/spmv_kernel.hpp"
 
 namespace rsls::serve {
 
@@ -72,7 +73,7 @@ const std::set<std::string>& known_fields() {
       "net_topology",  "net_collective",
       "series",        "use_young_interval",
       "cr_interval",   "solver",
-      "preconditioner",
+      "preconditioner", "spmv_kernel",
   };
   return fields;
 }
@@ -132,6 +133,10 @@ JobSpec parse_job_spec(const obs::JsonValue& body) {
       object, "preconditioner",
       env::preconditioner_name().value_or(config.preconditioner));
   solver::make_preconditioner(config.preconditioner);  // validate name
+  config.spmv_kernel =
+      string_field(object, "spmv_kernel",
+                   env::spmv_kernel_name().value_or(config.spmv_kernel));
+  sparse::spmv_kernel_or_throw(config.spmv_kernel);  // validate name
   config.processes = int_field(object, "processes", config.processes);
   if (config.processes < 1 || config.processes > 65536) {
     throw Error("job field 'processes' out of range [1, 65536]");
@@ -260,6 +265,8 @@ obs::JsonValue job_spec_json(const JobSpec& spec) {
   object["solver"] = obs::JsonValue::make_string(spec.config.solver);
   object["preconditioner"] =
       obs::JsonValue::make_string(spec.config.preconditioner);
+  object["spmv_kernel"] =
+      obs::JsonValue::make_string(spec.config.spmv_kernel);
   return obs::JsonValue::make_object(std::move(object));
 }
 

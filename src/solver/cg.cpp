@@ -4,6 +4,7 @@
 
 #include "core/error.hpp"
 #include "dist/dist_ops.hpp"
+#include "dist/rank_executor.hpp"
 #include "sparse/vector_ops.hpp"
 
 namespace rsls::solver {
@@ -111,10 +112,16 @@ CgResult classic_solve(const dist::DistMatrix& a,
   // r = b - A x ; z = M⁻¹ r ; p = z ; returns (r, z).
   const auto rebuild_from_x = [&](Index iteration) {
     const PhaseTag tag = tag_for(iteration);
-    dist_spmv(a, cluster, x, ap, tag);
-    for (std::size_t i = 0; i < n; ++i) {
-      r[i] = b[i] - ap[i];
-    }
+    dist_spmv(a, cluster, x, ap, tag, options.spmv_plan);
+    dist::RankExecutor::instance().for_each_rank(
+        part.parts(), [&](Index rank) {
+          const auto lo = static_cast<std::size_t>(part.begin(rank));
+          const auto hi = static_cast<std::size_t>(part.end(rank));
+          for (std::size_t i = lo; i < hi; ++i) {
+            r[i] = b[i] - ap[i];
+          }
+        },
+        /*work=*/part.size());
     for (Index rank = 0; rank < part.parts(); ++rank) {
       cluster.charge_compute(
           rank, static_cast<double>(part.block_rows(rank)), tag);
@@ -162,7 +169,7 @@ CgResult classic_solve(const dist::DistMatrix& a,
     const Index k = result.iterations;
     const PhaseTag tag = tag_for(k);
 
-    dist_spmv(a, cluster, p, ap, tag);
+    dist_spmv(a, cluster, p, ap, tag, options.spmv_plan);
     const Real p_ap = dist_dot(part, cluster, p, ap, tag);
     RSLS_CHECK_MSG(p_ap > 0.0, "matrix is not positive definite in CG");
     const Real alpha = rz / p_ap;
@@ -258,16 +265,22 @@ CgResult pipelined_solve(const dist::DistMatrix& a,
   // in stale (possibly corrupted) state.
   const auto rebuild_from_x = [&](Index iteration) {
     const PhaseTag tag = tag_for(iteration);
-    dist_spmv(a, cluster, x, ap, tag);
-    for (std::size_t i = 0; i < n; ++i) {
-      r[i] = b[i] - ap[i];
-    }
+    dist_spmv(a, cluster, x, ap, tag, options.spmv_plan);
+    dist::RankExecutor::instance().for_each_rank(
+        part.parts(), [&](Index rank) {
+          const auto lo = static_cast<std::size_t>(part.begin(rank));
+          const auto hi = static_cast<std::size_t>(part.end(rank));
+          for (std::size_t i = lo; i < hi; ++i) {
+            r[i] = b[i] - ap[i];
+          }
+        },
+        /*work=*/part.size());
     for (Index rank = 0; rank < part.parts(); ++rank) {
       cluster.charge_compute(
           rank, static_cast<double>(part.block_rows(rank)), tag);
     }
     apply_preconditioner(r, u, tag);
-    dist_spmv(a, cluster, u, w, tag);
+    dist_spmv(a, cluster, u, w, tag, options.spmv_plan);
     return dist::dist_norm2(part, cluster, r, tag);
   };
 
@@ -314,7 +327,7 @@ CgResult pipelined_solve(const dist::DistMatrix& a,
     auto pending =
         cluster.allreduce_start(2 * sizeof(Real), PhaseTag::kComm);
     apply_preconditioner(w, m, tag);  // m = M⁻¹ w
-    dist_spmv(a, cluster, m, nn, tag);  // n = A m
+    dist_spmv(a, cluster, m, nn, tag, options.spmv_plan);  // n = A m
     cluster.allreduce_finish(pending, PhaseTag::kComm);
 
     Real alpha = 0.0;
@@ -350,19 +363,31 @@ CgResult pipelined_solve(const dist::DistMatrix& a,
       sparse::copy(w, s);
       sparse::copy(u, p);
     } else {
-      for (std::size_t i = 0; i < n; ++i) {
-        z[i] = nn[i] + beta * z[i];
-        q[i] = m[i] + beta * q[i];
-        s[i] = w[i] + beta * s[i];
-        p[i] = u[i] + beta * p[i];
-      }
+      dist::RankExecutor::instance().for_each_rank(
+          part.parts(), [&](Index rank) {
+            const auto lo = static_cast<std::size_t>(part.begin(rank));
+            const auto hi = static_cast<std::size_t>(part.end(rank));
+            for (std::size_t i = lo; i < hi; ++i) {
+              z[i] = nn[i] + beta * z[i];
+              q[i] = m[i] + beta * q[i];
+              s[i] = w[i] + beta * s[i];
+              p[i] = u[i] + beta * p[i];
+            }
+          },
+          /*work=*/part.size());
     }
-    for (std::size_t i = 0; i < n; ++i) {
-      x[i] += alpha * p[i];
-      r[i] -= alpha * s[i];
-      u[i] -= alpha * q[i];
-      w[i] -= alpha * z[i];
-    }
+    dist::RankExecutor::instance().for_each_rank(
+        part.parts(), [&](Index rank) {
+          const auto lo = static_cast<std::size_t>(part.begin(rank));
+          const auto hi = static_cast<std::size_t>(part.end(rank));
+          for (std::size_t i = lo; i < hi; ++i) {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * s[i];
+            u[i] -= alpha * q[i];
+            w[i] -= alpha * z[i];
+          }
+        },
+        /*work=*/part.size());
     for (Index rank = 0; rank < part.parts(); ++rank) {
       // Eight fused vector updates, 2 flops per element each.
       cluster.charge_compute(

@@ -89,6 +89,14 @@ struct CgOptions {
   /// uncharged). Setup is charged under PhaseTag::kPrecond on first use;
   /// the instance must outlive the solve.
   Preconditioner* preconditioner = nullptr;
+  /// Borrowed SpMV plan over a.global() (sparse::SpmvKernel::prepare);
+  /// null runs the seed's csr-scalar free functions. Must outlive the
+  /// solve. Flop charges are format-invariant.
+  const sparse::SpmvPlan* spmv_plan = nullptr;
+  /// Kernel used for auxiliary local matrices the resilience layer
+  /// builds mid-solve (recovery blocks, preconditioner blocks); null
+  /// means csr-scalar.
+  const sparse::SpmvKernel* spmv_kernel = nullptr;
   /// Optional observer of the residual trajectory (see IterationEvent).
   IterationCallback observer;
 };

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/error.hpp"
+#include "dist/rank_executor.hpp"
 #include "la/factor.hpp"
 #include "la/flops.hpp"
 #include "la/local_cg.hpp"
@@ -61,10 +62,16 @@ class JacobiPreconditioner final : public Preconditioner {
              std::span<const Real> r, std::span<Real> z,
              PhaseTag tag) override {
     RSLS_CHECK_MSG(!inv_diag_.empty(), "preconditioner applied before setup");
-    for (std::size_t i = 0; i < r.size(); ++i) {
-      z[i] = inv_diag_[i] * r[i];
-    }
     const auto& part = a.partition();
+    dist::RankExecutor::instance().for_each_rank(
+        part.parts(), [&](Index rank) {
+          const auto lo = static_cast<std::size_t>(part.begin(rank));
+          const auto hi = static_cast<std::size_t>(part.end(rank));
+          for (std::size_t i = lo; i < hi; ++i) {
+            z[i] = inv_diag_[i] * r[i];
+          }
+        },
+        /*work=*/part.size());
     for (Index rank = 0; rank < part.parts(); ++rank) {
       cluster.charge_compute(
           rank, static_cast<double>(part.block_rows(rank)), tag);
@@ -108,6 +115,7 @@ class BlockJacobiPreconditioner final : public Preconditioner {
     }
     const auto& part = a.partition();
     blocks_.resize(static_cast<std::size_t>(part.parts()));
+    plans_.resize(static_cast<std::size_t>(part.parts()));
     inner_diag_.resize(static_cast<std::size_t>(part.parts()));
     apply_flops_.assign(static_cast<std::size_t>(part.parts()), 0.0);
     for (Index rank = 0; rank < part.parts(); ++rank) {
@@ -125,34 +133,49 @@ class BlockJacobiPreconditioner final : public Preconditioner {
              PhaseTag tag) override {
     RSLS_CHECK_MSG(!blocks_.empty(), "preconditioner applied before setup");
     const auto& part = a.partition();
+    // The charge of each rank's apply depends on its inner-solve
+    // iteration count, so the bodies run first — in parallel, writing
+    // only their own z block and apply_flops_ slot — and the cluster
+    // charges are issued afterwards, serially, in ascending rank order
+    // (the ordered charge-merge contract from DESIGN.md §17).
+    dist::RankExecutor::instance().for_each_rank(
+        part.parts(), [&](Index rank) {
+          const auto& block = blocks_[static_cast<std::size_t>(rank)];
+          const sparse::SpmvPlan* plan =
+              plans_[static_cast<std::size_t>(rank)].get();
+          const Index begin = part.begin(rank);
+          const Index rows = part.block_rows(rank);
+          const la::SpdOperator op = [&block, plan](std::span<const Real> in,
+                                                    std::span<Real> out) {
+            if (plan != nullptr) {
+              plan->spmv(in, out);
+            } else {
+              sparse::spmv(block, in, out);
+            }
+          };
+          la::LocalCgOptions inner;
+          inner.tolerance = kBlockJacobiInnerTolerance;
+          inner.max_iterations = std::max<Index>(64, 4 * rows);
+          RealVec z_local(static_cast<std::size_t>(rows), 0.0);
+          const auto result = la::local_pcg(
+              op, inner_diag_[static_cast<std::size_t>(rank)],
+              r.subspan(static_cast<std::size_t>(begin),
+                        static_cast<std::size_t>(rows)),
+              z_local, inner);
+          for (Index i = 0; i < rows; ++i) {
+            z[static_cast<std::size_t>(begin + i)] =
+                z_local[static_cast<std::size_t>(i)];
+          }
+          apply_flops_[static_cast<std::size_t>(rank)] =
+              static_cast<double>(result.operator_applications) *
+                  la::spmv_flops(block.nnz()) +
+              static_cast<double>(result.iterations) * 10.0 *
+                  static_cast<double>(rows);
+        });
     for (Index rank = 0; rank < part.parts(); ++rank) {
-      const auto& block = blocks_[static_cast<std::size_t>(rank)];
-      const Index begin = part.begin(rank);
-      const Index rows = part.block_rows(rank);
-      const la::SpdOperator op = [&block](std::span<const Real> in,
-                                          std::span<Real> out) {
-        sparse::spmv(block, in, out);
-      };
-      la::LocalCgOptions inner;
-      inner.tolerance = kBlockJacobiInnerTolerance;
-      inner.max_iterations = std::max<Index>(64, 4 * rows);
-      RealVec z_local(static_cast<std::size_t>(rows), 0.0);
-      const auto result = la::local_pcg(
-          op, inner_diag_[static_cast<std::size_t>(rank)],
-          r.subspan(static_cast<std::size_t>(begin),
-                    static_cast<std::size_t>(rows)),
-          z_local, inner);
-      for (Index i = 0; i < rows; ++i) {
-        z[static_cast<std::size_t>(begin + i)] =
-            z_local[static_cast<std::size_t>(i)];
-      }
-      const double flops =
-          static_cast<double>(result.operator_applications) *
-              la::spmv_flops(block.nnz()) +
-          static_cast<double>(result.iterations) * 10.0 *
-              static_cast<double>(rows);
-      apply_flops_[static_cast<std::size_t>(rank)] = flops;
-      cluster.charge_compute(rank, flops, tag);
+      cluster.charge_compute(rank,
+                             apply_flops_[static_cast<std::size_t>(rank)],
+                             tag);
     }
   }
 
@@ -184,9 +207,14 @@ class BlockJacobiPreconditioner final : public Preconditioner {
       v = 1.0 / v;
     }
     inner_diag_[static_cast<std::size_t>(rank)] = std::move(diag);
+    plans_[static_cast<std::size_t>(rank)] =
+        spmv_kernel_ != nullptr ? spmv_kernel_->prepare(block) : nullptr;
   }
 
   std::vector<sparse::Csr> blocks_;
+  /// Per-block kernel plans (null = csr-scalar free function). Rebuilt
+  /// with the block: a plan references its block's storage.
+  std::vector<std::unique_ptr<sparse::SpmvPlan>> plans_;
   std::vector<RealVec> inner_diag_;
   std::vector<double> apply_flops_;
 };
@@ -214,15 +242,19 @@ class Ic0Preconditioner final : public Preconditioner {
              PhaseTag tag) override {
     RSLS_CHECK_MSG(!factors_.empty(), "preconditioner applied before setup");
     const auto& part = a.partition();
+    dist::RankExecutor::instance().for_each_rank(
+        part.parts(), [&](Index rank) {
+          const auto& factor = factors_[static_cast<std::size_t>(rank)];
+          const Index begin = part.begin(rank);
+          const Index rows = part.block_rows(rank);
+          factor.solve(r.subspan(static_cast<std::size_t>(begin),
+                                 static_cast<std::size_t>(rows)),
+                       z.subspan(static_cast<std::size_t>(begin),
+                                 static_cast<std::size_t>(rows)));
+        });
     for (Index rank = 0; rank < part.parts(); ++rank) {
-      const auto& factor = factors_[static_cast<std::size_t>(rank)];
-      const Index begin = part.begin(rank);
-      const Index rows = part.block_rows(rank);
-      factor.solve(r.subspan(static_cast<std::size_t>(begin),
-                             static_cast<std::size_t>(rows)),
-                   z.subspan(static_cast<std::size_t>(begin),
-                             static_cast<std::size_t>(rows)));
-      cluster.charge_compute(rank, factor.solve_flops(), tag);
+      cluster.charge_compute(
+          rank, factors_[static_cast<std::size_t>(rank)].solve_flops(), tag);
     }
   }
 

@@ -30,12 +30,20 @@
 #include "core/types.hpp"
 #include "dist/dist_matrix.hpp"
 #include "simrt/cluster.hpp"
+#include "sparse/spmv_kernel.hpp"
 
 namespace rsls::solver {
 
 class Preconditioner {
  public:
   virtual ~Preconditioner() = default;
+
+  /// SpMV kernel for the per-rank diagonal blocks (the block-Jacobi
+  /// inner solves); null means csr-scalar. Set before setup() — blocks
+  /// prepare their plans during setup/rebuild.
+  void set_spmv_kernel(const sparse::SpmvKernel* kernel) {
+    spmv_kernel_ = kernel;
+  }
 
   /// Registry name ("identity", "jacobi", "block-jacobi", "ic0").
   virtual std::string name() const = 0;
@@ -70,6 +78,9 @@ class Preconditioner {
   /// the separate true-residual reduction for it, which is what keeps
   /// the default configuration bit-identical to the seed solver.
   virtual bool is_identity() const { return false; }
+
+ protected:
+  const sparse::SpmvKernel* spmv_kernel_ = nullptr;
 };
 
 /// Valid roster for make_preconditioner, in registry order.

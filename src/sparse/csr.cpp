@@ -55,9 +55,20 @@ void validate(const Csr& a) {
 }
 
 void spmv(const Csr& a, std::span<const Real> x, std::span<Real> y) {
+  spmv_rows(a, 0, a.rows, x, y);
+}
+
+void spmv_add(const Csr& a, Real alpha, std::span<const Real> x,
+              std::span<Real> y) {
+  spmv_add_rows(a, 0, a.rows, alpha, x, y);
+}
+
+void spmv_rows(const Csr& a, Index row_begin, Index row_end,
+               std::span<const Real> x, std::span<Real> y) {
   RSLS_CHECK(x.size() == static_cast<std::size_t>(a.cols));
   RSLS_CHECK(y.size() == static_cast<std::size_t>(a.rows));
-  for (Index r = 0; r < a.rows; ++r) {
+  RSLS_CHECK(0 <= row_begin && row_begin <= row_end && row_end <= a.rows);
+  for (Index r = row_begin; r < row_end; ++r) {
     const auto lo = static_cast<std::size_t>(a.row_ptr[static_cast<std::size_t>(r)]);
     const auto hi = static_cast<std::size_t>(a.row_ptr[static_cast<std::size_t>(r) + 1]);
     Real sum = 0.0;
@@ -68,11 +79,12 @@ void spmv(const Csr& a, std::span<const Real> x, std::span<Real> y) {
   }
 }
 
-void spmv_add(const Csr& a, Real alpha, std::span<const Real> x,
-              std::span<Real> y) {
+void spmv_add_rows(const Csr& a, Index row_begin, Index row_end, Real alpha,
+                   std::span<const Real> x, std::span<Real> y) {
   RSLS_CHECK(x.size() == static_cast<std::size_t>(a.cols));
   RSLS_CHECK(y.size() == static_cast<std::size_t>(a.rows));
-  for (Index r = 0; r < a.rows; ++r) {
+  RSLS_CHECK(0 <= row_begin && row_begin <= row_end && row_end <= a.rows);
+  for (Index r = row_begin; r < row_end; ++r) {
     const auto lo = static_cast<std::size_t>(a.row_ptr[static_cast<std::size_t>(r)]);
     const auto hi = static_cast<std::size_t>(a.row_ptr[static_cast<std::size_t>(r) + 1]);
     Real sum = 0.0;

@@ -39,6 +39,16 @@ void spmv(const Csr& a, std::span<const Real> x, std::span<Real> y);
 void spmv_add(const Csr& a, Real alpha, std::span<const Real> x,
               std::span<Real> y);
 
+/// y[row_begin, row_end) = (A x)[row_begin, row_end); rows outside the
+/// range are untouched. The row-range seam the rank-parallel executor
+/// drives: disjoint ranges write disjoint output slots.
+void spmv_rows(const Csr& a, Index row_begin, Index row_end,
+               std::span<const Real> x, std::span<Real> y);
+
+/// y[row_begin, row_end) += alpha * (A x)[row_begin, row_end).
+void spmv_add_rows(const Csr& a, Index row_begin, Index row_end, Real alpha,
+                   std::span<const Real> x, std::span<Real> y);
+
 /// y = Aᵀ x (x has a.rows entries, y has a.cols entries).
 void spmv_transpose(const Csr& a, std::span<const Real> x, std::span<Real> y);
 

@@ -1,0 +1,364 @@
+#include "sparse/spmv_kernel.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/error.hpp"
+
+namespace rsls::sparse {
+
+void SpmvPlan::spmv_transpose(std::span<const Real> x,
+                              std::span<Real> y) const {
+  sparse::spmv_transpose(matrix(), x, y);
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// csr-scalar: the seed kernel, row-major scalar accumulation.
+
+class CsrScalarPlan final : public SpmvPlan {
+ public:
+  CsrScalarPlan(const Csr& a, const std::string& name)
+      : SpmvPlan(a), name_(name) {}
+
+  const std::string& kernel_name() const override { return name_; }
+
+  void spmv_rows(Index row_begin, Index row_end, std::span<const Real> x,
+                 std::span<Real> y) const override {
+    sparse::spmv_rows(matrix(), row_begin, row_end, x, y);
+  }
+
+  void spmv_add_rows(Index row_begin, Index row_end, Real alpha,
+                     std::span<const Real> x,
+                     std::span<Real> y) const override {
+    sparse::spmv_add_rows(matrix(), row_begin, row_end, alpha, x, y);
+  }
+
+ private:
+  const std::string& name_;
+};
+
+class CsrScalarKernel final : public SpmvKernel {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "csr-scalar";
+    return kName;
+  }
+  std::unique_ptr<SpmvPlan> prepare(const Csr& a) const override {
+    return std::make_unique<CsrScalarPlan>(a, name());
+  }
+};
+
+// ---------------------------------------------------------------------------
+// csr-simd: CSR walk with a fixed-width blocked accumulation. Each row's
+// entries are folded into kLanes independent partial sums under
+// `#pragma omp simd` (vectorized when built with -fopenmp-simd, a plain
+// loop otherwise — same arithmetic either way), then reduced with a
+// fixed tree. Summation order differs from csr-scalar, so results are
+// deterministic but not bitwise-comparable to the scalar kernel on
+// general data.
+
+constexpr std::size_t kSimdLanes = 4;
+
+inline Real simd_row_sum(const Csr& a, std::size_t lo, std::size_t hi,
+                         std::span<const Real> x) {
+  const Real* vals = a.values.data();
+  const Index* cols = a.col_idx.data();
+  Real lane[kSimdLanes] = {0.0, 0.0, 0.0, 0.0};
+  const std::size_t body = lo + ((hi - lo) / kSimdLanes) * kSimdLanes;
+  for (std::size_t k = lo; k < body; k += kSimdLanes) {
+#pragma omp simd
+    for (std::size_t l = 0; l < kSimdLanes; ++l) {
+      lane[l] += vals[k + l] * x[static_cast<std::size_t>(cols[k + l])];
+    }
+  }
+  Real sum = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+  for (std::size_t k = body; k < hi; ++k) {
+    sum += vals[k] * x[static_cast<std::size_t>(cols[k])];
+  }
+  return sum;
+}
+
+class CsrSimdPlan final : public SpmvPlan {
+ public:
+  CsrSimdPlan(const Csr& a, const std::string& name)
+      : SpmvPlan(a), name_(name) {}
+
+  const std::string& kernel_name() const override { return name_; }
+
+  void spmv_rows(Index row_begin, Index row_end, std::span<const Real> x,
+                 std::span<Real> y) const override {
+    const Csr& a = matrix();
+    RSLS_CHECK(x.size() == static_cast<std::size_t>(a.cols));
+    RSLS_CHECK(y.size() == static_cast<std::size_t>(a.rows));
+    RSLS_CHECK(0 <= row_begin && row_begin <= row_end && row_end <= a.rows);
+    for (Index r = row_begin; r < row_end; ++r) {
+      const auto lo =
+          static_cast<std::size_t>(a.row_ptr[static_cast<std::size_t>(r)]);
+      const auto hi =
+          static_cast<std::size_t>(a.row_ptr[static_cast<std::size_t>(r) + 1]);
+      y[static_cast<std::size_t>(r)] = simd_row_sum(a, lo, hi, x);
+    }
+  }
+
+  void spmv_add_rows(Index row_begin, Index row_end, Real alpha,
+                     std::span<const Real> x,
+                     std::span<Real> y) const override {
+    const Csr& a = matrix();
+    RSLS_CHECK(x.size() == static_cast<std::size_t>(a.cols));
+    RSLS_CHECK(y.size() == static_cast<std::size_t>(a.rows));
+    RSLS_CHECK(0 <= row_begin && row_begin <= row_end && row_end <= a.rows);
+    for (Index r = row_begin; r < row_end; ++r) {
+      const auto lo =
+          static_cast<std::size_t>(a.row_ptr[static_cast<std::size_t>(r)]);
+      const auto hi =
+          static_cast<std::size_t>(a.row_ptr[static_cast<std::size_t>(r) + 1]);
+      y[static_cast<std::size_t>(r)] += alpha * simd_row_sum(a, lo, hi, x);
+    }
+  }
+
+ private:
+  const std::string& name_;
+};
+
+class CsrSimdKernel final : public SpmvKernel {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "csr-simd";
+    return kName;
+  }
+  std::unique_ptr<SpmvPlan> prepare(const Csr& a) const override {
+    return std::make_unique<CsrSimdPlan>(a, name());
+  }
+};
+
+// ---------------------------------------------------------------------------
+// sell-c-sigma: SELL-C-σ storage (Kreutzer et al.), C = 8 rows per
+// chunk, σ = 64 row sorting window. Construction:
+//
+//   1. Within each window of σ original rows, stable-sort rows by
+//      descending entry count. The window never crosses a σ boundary,
+//      so a chunk's original rows all come from one window — each chunk
+//      records its original-row span [row_lo, row_hi) and row-range
+//      calls skip chunks that cannot intersect the range.
+//   2. perm_[s] maps sorted position → original row (the documented
+//      round-trip: gather nothing on input — column indices stay
+//      global — and scatter each lane's accumulator back to y[perm_]).
+//   3. Chunks of C sorted rows are packed column-major
+//      (entry j of lane i at chunk_base + j*C + i), padded to the
+//      longest row in the chunk with {value 0, column 0}.
+//
+// The accumulation loop walks entry positions j column-major but masks
+// each lane with `j < len`, so only real entries — in their original
+// ascending-column CSR order — ever enter a lane's sum. Padding is
+// carried for layout only and never touches the arithmetic, which is
+// what makes this kernel bitwise identical to csr-scalar (same
+// per-row addition chain, including signed zeros and non-finite data).
+
+constexpr Index kSellC = 8;
+constexpr Index kSellSigma = 64;  // multiple of kSellC
+
+class SellCSigmaPlan final : public SpmvPlan {
+ public:
+  SellCSigmaPlan(const Csr& a, const std::string& name)
+      : SpmvPlan(a), name_(name) {
+    build();
+  }
+
+  const std::string& kernel_name() const override { return name_; }
+
+  void spmv_rows(Index row_begin, Index row_end, std::span<const Real> x,
+                 std::span<Real> y) const override {
+    run_rows</*kAdd=*/false>(row_begin, row_end, 1.0, x, y);
+  }
+
+  void spmv_add_rows(Index row_begin, Index row_end, Real alpha,
+                     std::span<const Real> x,
+                     std::span<Real> y) const override {
+    run_rows</*kAdd=*/true>(row_begin, row_end, alpha, x, y);
+  }
+
+  /// Sorted position → original row, for tests of the round-trip.
+  const IndexVec& permutation() const { return perm_; }
+
+ private:
+  void build() {
+    const Csr& a = matrix();
+    const Index rows = a.rows;
+    perm_.resize(static_cast<std::size_t>(rows));
+    std::iota(perm_.begin(), perm_.end(), Index{0});
+    const auto row_len = [&a](Index r) {
+      return a.row_ptr[static_cast<std::size_t>(r) + 1] -
+             a.row_ptr[static_cast<std::size_t>(r)];
+    };
+    for (Index w = 0; w < rows; w += kSellSigma) {
+      const Index w_end = std::min(rows, w + kSellSigma);
+      std::stable_sort(perm_.begin() + w, perm_.begin() + w_end,
+                       [&row_len](Index lhs, Index rhs) {
+                         return row_len(lhs) > row_len(rhs);
+                       });
+    }
+    const Index chunks = (rows + kSellC - 1) / kSellC;
+    chunk_ptr_.assign(static_cast<std::size_t>(chunks) + 1, 0);
+    chunk_row_lo_.assign(static_cast<std::size_t>(chunks), 0);
+    chunk_row_hi_.assign(static_cast<std::size_t>(chunks), 0);
+    len_.assign(static_cast<std::size_t>(chunks) * static_cast<std::size_t>(kSellC), 0);
+    for (Index c = 0; c < chunks; ++c) {
+      Index width = 0;
+      Index lo = rows;
+      Index hi = 0;
+      for (Index i = 0; i < kSellC; ++i) {
+        const Index s = c * kSellC + i;
+        if (s >= rows) {
+          break;
+        }
+        const Index orig = perm_[static_cast<std::size_t>(s)];
+        const Index len = row_len(orig);
+        len_[static_cast<std::size_t>(s)] = len;
+        width = std::max(width, len);
+        lo = std::min(lo, orig);
+        hi = std::max(hi, orig + 1);
+      }
+      chunk_row_lo_[static_cast<std::size_t>(c)] = std::min(lo, hi);
+      chunk_row_hi_[static_cast<std::size_t>(c)] = hi;
+      chunk_ptr_[static_cast<std::size_t>(c) + 1] =
+          chunk_ptr_[static_cast<std::size_t>(c)] + width * kSellC;
+    }
+    const auto storage = static_cast<std::size_t>(chunk_ptr_.back());
+    cols_.assign(storage, 0);
+    vals_.assign(storage, 0.0);
+    for (Index c = 0; c < chunks; ++c) {
+      const Index base = chunk_ptr_[static_cast<std::size_t>(c)];
+      for (Index i = 0; i < kSellC; ++i) {
+        const Index s = c * kSellC + i;
+        if (s >= rows) {
+          break;
+        }
+        const Index orig = perm_[static_cast<std::size_t>(s)];
+        const auto row_lo = a.row_ptr[static_cast<std::size_t>(orig)];
+        const Index len = len_[static_cast<std::size_t>(s)];
+        for (Index j = 0; j < len; ++j) {
+          const auto src = static_cast<std::size_t>(row_lo + j);
+          const auto dst = static_cast<std::size_t>(base + j * kSellC + i);
+          cols_[dst] = a.col_idx[src];
+          vals_[dst] = a.values[src];
+        }
+      }
+    }
+  }
+
+  template <bool kAdd>
+  void run_rows(Index row_begin, Index row_end, Real alpha,
+                std::span<const Real> x, std::span<Real> y) const {
+    const Csr& a = matrix();
+    RSLS_CHECK(x.size() == static_cast<std::size_t>(a.cols));
+    RSLS_CHECK(y.size() == static_cast<std::size_t>(a.rows));
+    RSLS_CHECK(0 <= row_begin && row_begin <= row_end && row_end <= a.rows);
+    const Index rows = a.rows;
+    const Index chunks = static_cast<Index>(chunk_row_lo_.size());
+    for (Index c = 0; c < chunks; ++c) {
+      // σ windows never straddle chunk boundaries, so chunks wholly
+      // outside the requested row range are skipped without a scan.
+      if (chunk_row_hi_[static_cast<std::size_t>(c)] <= row_begin ||
+          chunk_row_lo_[static_cast<std::size_t>(c)] >= row_end) {
+        continue;
+      }
+      const Index base = chunk_ptr_[static_cast<std::size_t>(c)];
+      const Index width =
+          (chunk_ptr_[static_cast<std::size_t>(c) + 1] - base) / kSellC;
+      Real acc[kSellC] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+      const Index* lens = len_.data() + static_cast<std::size_t>(c * kSellC);
+      for (Index j = 0; j < width; ++j) {
+        const Index* col = cols_.data() + static_cast<std::size_t>(base + j * kSellC);
+        const Real* val = vals_.data() + static_cast<std::size_t>(base + j * kSellC);
+#pragma omp simd
+        for (Index i = 0; i < kSellC; ++i) {
+          if (j < lens[i]) {
+            acc[i] += val[i] * x[static_cast<std::size_t>(col[i])];
+          }
+        }
+      }
+      for (Index i = 0; i < kSellC; ++i) {
+        const Index s = c * kSellC + i;
+        if (s >= rows) {
+          break;
+        }
+        const Index orig = perm_[static_cast<std::size_t>(s)];
+        if (orig < row_begin || orig >= row_end) {
+          continue;
+        }
+        if constexpr (kAdd) {
+          y[static_cast<std::size_t>(orig)] += alpha * acc[i];
+        } else {
+          y[static_cast<std::size_t>(orig)] = acc[i];
+        }
+      }
+    }
+  }
+
+  const std::string& name_;
+  IndexVec perm_;          // sorted position → original row
+  IndexVec len_;           // per sorted position, real entry count
+  IndexVec chunk_ptr_;     // chunk → offset into cols_/vals_
+  IndexVec chunk_row_lo_;  // chunk → min original row (inclusive)
+  IndexVec chunk_row_hi_;  // chunk → max original row (exclusive)
+  IndexVec cols_;          // column-major within chunk, padded with 0
+  RealVec vals_;           // column-major within chunk, padded with 0.0
+};
+
+class SellCSigmaKernel final : public SpmvKernel {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "sell-c-sigma";
+    return kName;
+  }
+  std::unique_ptr<SpmvPlan> prepare(const Csr& a) const override {
+    return std::make_unique<SellCSigmaPlan>(a, name());
+  }
+};
+
+}  // namespace
+
+const std::vector<std::string>& spmv_kernel_names() {
+  static const std::vector<std::string> names = {"csr-scalar", "csr-simd",
+                                                 "sell-c-sigma"};
+  return names;
+}
+
+const SpmvKernel* spmv_kernel_from_name(const std::string& name) {
+  static const CsrScalarKernel scalar;
+  static const CsrSimdKernel simd;
+  static const SellCSigmaKernel sell;
+  if (name == scalar.name()) {
+    return &scalar;
+  }
+  if (name == simd.name()) {
+    return &simd;
+  }
+  if (name == sell.name()) {
+    return &sell;
+  }
+  return nullptr;
+}
+
+const SpmvKernel& spmv_kernel_or_throw(const std::string& name) {
+  const SpmvKernel* kernel = spmv_kernel_from_name(name);
+  if (kernel == nullptr) {
+    std::string valid;
+    for (const std::string& known : spmv_kernel_names()) {
+      if (!valid.empty()) {
+        valid += "|";
+      }
+      valid += known;
+    }
+    throw Error("unknown SpMV kernel '" + name + "' (valid: " + valid + ")");
+  }
+  return *kernel;
+}
+
+const SpmvKernel& default_spmv_kernel() {
+  return *spmv_kernel_from_name("csr-scalar");
+}
+
+}  // namespace rsls::sparse

@@ -1,0 +1,124 @@
+#pragma once
+// Pluggable SpMV kernel registry (DESIGN.md §17).
+//
+// A SpmvKernel names a storage format + kernel implementation; its
+// prepare() builds a SpmvPlan — a format-specific view over one Csr
+// matrix — and every hot-path SpMV consumer (dist_ops, solver/cg,
+// solver/preconditioner, resilience, la/condition) executes through the
+// plan instead of calling the free functions directly. Three kernels
+// are registered:
+//
+//  * csr-scalar   — the seed's row-major scalar loop, the default and
+//                   the bitwise reference every other kernel is tested
+//                   against.
+//  * csr-simd     — the same CSR walk with a fixed-width (4-lane)
+//                   blocked accumulation under `#pragma omp simd`. The
+//                   lane assignment and final reduction tree are fixed,
+//                   so results are deterministic for a given matrix but
+//                   the summation *order* differs from csr-scalar.
+//  * sell-c-sigma — SELL-C-σ storage (C = 8, σ = 64) built from CSR.
+//                   Rows are sorted by descending length inside σ-row
+//                   windows and packed column-major into chunks of C
+//                   rows; the permutation is kept and outputs scatter
+//                   straight back to original row slots (the row
+//                   round-trip never reorders x or y). Per row, only
+//                   the `length` real entries are accumulated, in CSR
+//                   (ascending-column) order — padding never enters the
+//                   arithmetic — so sell-c-sigma is bitwise identical
+//                   to csr-scalar on any data.
+//
+// Selection mirrors the PR 9 preconditioner registry: by name through
+// `RSLS_SPMV_KERNEL`, `ExperimentConfig::spmv_kernel`, or the serve
+// JobSpec, validated against spmv_kernel_names().
+//
+// Cost accounting is format-invariant: callers keep charging
+// la::spmv_flops(nnz) regardless of kernel, because the kernels all
+// perform the same multiply-adds — only their schedule differs.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace rsls::sparse {
+
+/// A prepared, format-specific execution plan over one matrix. The Csr
+/// passed to SpmvKernel::prepare must outlive the plan (plans hold a
+/// reference, plus any repacked storage of their own).
+class SpmvPlan {
+ public:
+  virtual ~SpmvPlan() = default;
+
+  /// Registry name of the kernel that built this plan.
+  virtual const std::string& kernel_name() const = 0;
+
+  /// y[begin, end) = (A x)[begin, end); rows outside the range are not
+  /// written. This is the seam the rank-parallel executor drives: each
+  /// rank owns a disjoint row range, so concurrent calls never touch
+  /// the same output slot.
+  virtual void spmv_rows(Index row_begin, Index row_end,
+                         std::span<const Real> x,
+                         std::span<Real> y) const = 0;
+
+  /// y[begin, end) += alpha * (A x)[begin, end).
+  virtual void spmv_add_rows(Index row_begin, Index row_end, Real alpha,
+                             std::span<const Real> x,
+                             std::span<Real> y) const = 0;
+
+  /// y = Aᵀ x. The transpose is a cold path (LSI normal equations
+  /// only); the default routes through the scalar scatter kernel so
+  /// every format produces the bitwise-identical result.
+  virtual void spmv_transpose(std::span<const Real> x,
+                              std::span<Real> y) const;
+
+  /// Full-range conveniences.
+  void spmv(std::span<const Real> x, std::span<Real> y) const {
+    spmv_rows(0, matrix().rows, x, y);
+  }
+  void spmv_add(Real alpha, std::span<const Real> x,
+                std::span<Real> y) const {
+    spmv_add_rows(0, matrix().rows, alpha, x, y);
+  }
+
+  const Csr& matrix() const { return *matrix_; }
+
+ protected:
+  explicit SpmvPlan(const Csr& a) : matrix_(&a) {}
+
+ private:
+  const Csr* matrix_;
+};
+
+/// A named kernel: a factory for plans. Kernel objects are stateless
+/// registry singletons; plans carry all per-matrix state.
+class SpmvKernel {
+ public:
+  virtual ~SpmvKernel() = default;
+  virtual const std::string& name() const = 0;
+  /// Build a plan over `a`. The matrix must outlive the plan.
+  virtual std::unique_ptr<SpmvPlan> prepare(const Csr& a) const = 0;
+};
+
+/// Registered kernel names, in roster order (csr-scalar first).
+const std::vector<std::string>& spmv_kernel_names();
+
+/// Lookup by name; nullptr when unknown.
+const SpmvKernel* spmv_kernel_from_name(const std::string& name);
+
+/// Lookup by name; throws rsls::Error naming the valid roster when
+/// unknown (same contract as solver_variant_or_throw).
+const SpmvKernel& spmv_kernel_or_throw(const std::string& name);
+
+/// The csr-scalar kernel — what `kernel == nullptr` means at every
+/// routing seam.
+const SpmvKernel& default_spmv_kernel();
+
+/// `kernel` if non-null, else the csr-scalar default. Convenience for
+/// call sites that thread an optional kernel pointer.
+inline const SpmvKernel& kernel_or_default(const SpmvKernel* kernel) {
+  return kernel != nullptr ? *kernel : default_spmv_kernel();
+}
+
+}  // namespace rsls::sparse

@@ -1,0 +1,266 @@
+// RankExecutor: the rank-parallel execution seam (DESIGN.md §17).
+// Coverage and ordering properties of the fan-out itself, plus the
+// load-bearing guarantee: harness runs are bitwise identical — numerics,
+// virtual time, energy — at any fan-out width, across the scheme roster
+// and kernel variants.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/dist_matrix.hpp"
+#include "dist/dist_ops.hpp"
+#include "dist/partition.hpp"
+#include "dist/rank_executor.hpp"
+#include "harness/experiment.hpp"
+#include "harness/scheme_factory.hpp"
+#include "simrt/cluster.hpp"
+#include "simrt/machine.hpp"
+#include "sparse/generators.hpp"
+
+namespace rsls {
+namespace {
+
+/// Pin the executor width for one scope — and zero the fan-out grain
+/// gate so the small matrices these tests use actually reach the pool —
+/// restoring env-driven sizing (RSLS_JOBS) and the default grain on
+/// exit so tests do not leak their overrides.
+class ScopedJobs {
+ public:
+  explicit ScopedJobs(Index jobs) {
+    dist::RankExecutor::instance().set_jobs(jobs);
+    dist::RankExecutor::instance().set_min_work(0);
+  }
+  ~ScopedJobs() {
+    dist::RankExecutor::instance().set_jobs(0);
+    dist::RankExecutor::instance().set_min_work(-1);
+  }
+};
+
+TEST(RankExecutorTest, SetJobsOverridesWidth) {
+  auto& exec = dist::RankExecutor::instance();
+  exec.set_jobs(4);
+  EXPECT_EQ(exec.jobs(), 4);
+  exec.set_jobs(1);
+  EXPECT_EQ(exec.jobs(), 1);
+  exec.set_jobs(0);  // back to RSLS_JOBS
+}
+
+TEST(RankExecutorTest, ForEachRankCoversEveryRankOnce) {
+  ScopedJobs jobs(3);
+  const Index parts = 7;  // more ranks than workers, uneven split
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(parts));
+  dist::RankExecutor::instance().for_each_rank(parts, [&](Index rank) {
+    ASSERT_GE(rank, 0);
+    ASSERT_LT(rank, parts);
+    hits[static_cast<std::size_t>(rank)].fetch_add(1);
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(RankExecutorTest, ForEachChunkCoversRangeWithLastChunkSmaller) {
+  ScopedJobs jobs(4);
+  const Index total = 10;  // 4 workers → chunks of 3,3,2,2
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(total));
+  std::atomic<Index> max_chunk{0};
+  std::atomic<Index> min_chunk{total};
+  dist::RankExecutor::instance().for_each_chunk(
+      total, [&](Index begin, Index end) {
+        ASSERT_LT(begin, end);
+        const Index size = end - begin;
+        Index seen = max_chunk.load();
+        while (size > seen && !max_chunk.compare_exchange_weak(seen, size)) {
+        }
+        seen = min_chunk.load();
+        while (size < seen && !min_chunk.compare_exchange_weak(seen, size)) {
+        }
+        for (Index i = begin; i < end; ++i) {
+          hits[static_cast<std::size_t>(i)].fetch_add(1);
+        }
+      });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+  // 10 slots over 4 groups cannot split evenly: the trailing chunks
+  // must be smaller than the leading ones.
+  EXPECT_GT(max_chunk.load(), min_chunk.load());
+}
+
+TEST(RankExecutorTest, NestedFanOutRunsInlineWithoutDeadlock) {
+  ScopedJobs jobs(4);
+  const Index parts = 4;
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(parts * parts));
+  dist::RankExecutor::instance().for_each_rank(parts, [&](Index outer) {
+    dist::RankExecutor::instance().for_each_rank(parts, [&](Index inner) {
+      hits[static_cast<std::size_t>(outer * parts + inner)].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+// The grain gate: work hints below min_work() run inline on the calling
+// thread (pool wake latency dwarfs small arithmetic); -1 and hints at or
+// above the threshold fan out. ScopedJobs zeroes the gate, so this test
+// manages the override itself.
+TEST(RankExecutorTest, MinWorkGateRunsSmallCallsInline) {
+  auto& exec = dist::RankExecutor::instance();
+  exec.set_jobs(4);
+  exec.set_min_work(-1);  // built-in default
+  EXPECT_GT(exec.min_work(), 0);
+  exec.set_min_work(100);
+  EXPECT_EQ(exec.min_work(), 100);
+
+  const auto ran_inline = [&exec](Index work) {
+    const std::thread::id caller = std::this_thread::get_id();
+    std::atomic<bool> all_on_caller{true};
+    exec.for_each_rank(
+        8,
+        [&](Index) {
+          if (std::this_thread::get_id() != caller) {
+            all_on_caller.store(false);
+          }
+        },
+        work);
+    return all_on_caller.load();
+  };
+  EXPECT_TRUE(ran_inline(99));    // below the gate → inline
+  EXPECT_FALSE(ran_inline(100));  // at the gate → fans out
+  EXPECT_FALSE(ran_inline(-1));   // unknown work → always fans out
+
+  exec.set_min_work(0);  // 0 forces every call parallel
+  EXPECT_FALSE(ran_inline(1));
+
+  exec.set_min_work(-1);
+  exec.set_jobs(0);
+}
+
+TEST(RankExecutorTest, BodyExceptionPropagatesToCaller) {
+  ScopedJobs jobs(4);
+  EXPECT_THROW(
+      dist::RankExecutor::instance().for_each_rank(6,
+                                                   [&](Index rank) {
+                                                     if (rank == 5) {
+                                                       throw std::runtime_error(
+                                                           "rank 5 failed");
+                                                     }
+                                                   }),
+      std::runtime_error);
+  // The executor survives a throwing fan-out.
+  std::atomic<int> count{0};
+  dist::RankExecutor::instance().for_each_rank(
+      3, [&](Index) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 3);
+}
+
+// Uneven block rows — the last rank owns fewer rows than the rest —
+// through the real dist_spmv consumer: serial and parallel widths must
+// agree bitwise with each other and with the plain global kernel.
+TEST(RankExecutorTest, DistSpmvBitwiseAtAnyWidthWithUnevenLastRank) {
+  const sparse::Csr a = sparse::banded_spd({19, 3, 1.0, 0.05, 0.0, 21});
+  const dist::DistMatrix dist_a(a, 4);  // blocks 5,5,5,4
+  ASSERT_LT(dist_a.partition().block_rows(3),
+            dist_a.partition().block_rows(0));
+  RealVec x(19);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 0.1 * static_cast<double>(i) - 0.7;
+  }
+  RealVec y_global(19, 0.0);
+  sparse::spmv(a, x, y_global);
+
+  RealVec y_serial(19, 0.0);
+  {
+    ScopedJobs jobs(1);
+    simrt::VirtualCluster cluster(simrt::paper_node(), 4);
+    dist::dist_spmv(dist_a, cluster, x, y_serial, power::PhaseTag::kSolve);
+  }
+  RealVec y_parallel(19, 0.0);
+  {
+    ScopedJobs jobs(4);
+    simrt::VirtualCluster cluster(simrt::paper_node(), 4);
+    dist::dist_spmv(dist_a, cluster, x, y_parallel, power::PhaseTag::kSolve);
+  }
+  for (std::size_t i = 0; i < y_global.size(); ++i) {
+    EXPECT_EQ(y_serial[i], y_global[i]) << i;
+    EXPECT_EQ(y_parallel[i], y_global[i]) << i;
+  }
+}
+
+harness::SchemeRun run_scheme_once(const std::string& scheme,
+                                   const std::string& spmv_kernel) {
+  const sparse::Csr a = sparse::banded_spd({192, 4, 1.0, 0.02, 1.0, 77});
+  const auto workload = harness::Workload::create(a, 8);
+  harness::ExperimentConfig config;
+  config.processes = 8;
+  config.faults = 6;
+  config.scheme.cr_interval_iterations = 25;
+  config.spmv_kernel = spmv_kernel;
+  const auto ff = harness::run_fault_free(workload, config);
+  return harness::run_scheme(workload, scheme, config, ff);
+}
+
+// The tentpole determinism gate: every scheme in the roster must
+// produce the same numerics, virtual time, and energy — bitwise — at
+// fan-out widths 1 and 4. Charges stay on the calling thread in rank
+// order, so any divergence here means a parallel body leaked
+// schedule-dependence into the charge stream.
+TEST(RankExecutorDeterminismTest, SchemeRosterBitwiseAcrossWidths) {
+  for (const auto& scheme : harness::all_scheme_names()) {
+    SCOPED_TRACE(scheme);
+    const auto serial = [&] {
+      ScopedJobs jobs(1);
+      return run_scheme_once(scheme, "csr-scalar");
+    }();
+    const auto parallel = [&] {
+      ScopedJobs jobs(4);
+      return run_scheme_once(scheme, "csr-scalar");
+    }();
+    EXPECT_EQ(serial.report.cg.iterations, parallel.report.cg.iterations);
+    EXPECT_EQ(serial.report.cg.relative_residual,
+              parallel.report.cg.relative_residual);  // bitwise
+    EXPECT_EQ(serial.report.time, parallel.report.time);
+    EXPECT_EQ(serial.report.energy, parallel.report.energy);
+    EXPECT_EQ(serial.report.faults, parallel.report.faults);
+    EXPECT_EQ(serial.report.recoveries, parallel.report.recoveries);
+  }
+}
+
+// The same gate along the kernel axis: a non-default SpMV kernel keeps
+// the width-independence property (and sell-c-sigma additionally keeps
+// the csr-scalar numbers themselves, by its bitwise-equality design).
+TEST(RankExecutorDeterminismTest, KernelVariantsBitwiseAcrossWidths) {
+  const auto scalar_serial = run_scheme_once("LI", "csr-scalar");
+  for (const std::string kernel : {"csr-simd", "sell-c-sigma"}) {
+    SCOPED_TRACE(kernel);
+    const auto serial = [&] {
+      ScopedJobs jobs(1);
+      return run_scheme_once("LI", kernel);
+    }();
+    const auto parallel = [&] {
+      ScopedJobs jobs(4);
+      return run_scheme_once("LI", kernel);
+    }();
+    EXPECT_EQ(serial.report.cg.iterations, parallel.report.cg.iterations);
+    EXPECT_EQ(serial.report.cg.relative_residual,
+              parallel.report.cg.relative_residual);  // bitwise
+    EXPECT_EQ(serial.report.time, parallel.report.time);
+    EXPECT_EQ(serial.report.energy, parallel.report.energy);
+    if (kernel == "sell-c-sigma") {
+      EXPECT_EQ(serial.report.cg.iterations,
+                scalar_serial.report.cg.iterations);
+      EXPECT_EQ(serial.report.cg.relative_residual,
+                scalar_serial.report.cg.relative_residual);  // bitwise
+      EXPECT_EQ(serial.report.energy, scalar_serial.report.energy);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rsls

@@ -1,0 +1,261 @@
+// SpMV kernel registry: every registered kernel must agree with the
+// csr-scalar seed kernel. csr-simd reorders the per-row summation, so
+// its golden cross-check uses exactly-representable integer data (every
+// summation order is exact there); sell-c-sigma preserves the scalar
+// per-row addition chain and must match bitwise on *any* data, signed
+// zeros included. The permutation round-trip (sorted lane → original
+// row) is exercised by basis-vector probes and row-range calls that
+// cross chunk boundaries.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/spmv_kernel.hpp"
+
+namespace rsls {
+namespace {
+
+/// A matrix with a nonsymmetric, irregular pattern: varying row lengths
+/// (including empty rows), rectangular shape, pseudo-random columns.
+/// `integer_values` draws small integers so any summation order is
+/// exact in double precision.
+sparse::Csr make_pattern(Index rows, Index cols, std::uint64_t seed,
+                         bool integer_values) {
+  Rng rng(seed);
+  sparse::Csr a;
+  a.rows = rows;
+  a.cols = cols;
+  a.row_ptr.assign(static_cast<std::size_t>(rows) + 1, 0);
+  for (Index r = 0; r < rows; ++r) {
+    const auto len = static_cast<Index>(rng.uniform(0.0, 9.0));  // 0..8
+    std::vector<Index> row_cols;
+    for (Index k = 0; k < len; ++k) {
+      row_cols.push_back(
+          static_cast<Index>(rng.uniform(0.0, static_cast<double>(cols))) %
+          cols);
+    }
+    std::sort(row_cols.begin(), row_cols.end());
+    row_cols.erase(std::unique(row_cols.begin(), row_cols.end()),
+                   row_cols.end());
+    for (const Index c : row_cols) {
+      a.col_idx.push_back(c);
+      const double v = integer_values
+                           ? std::floor(rng.uniform(-8.0, 9.0))
+                           : rng.uniform(-1.0, 1.0);
+      a.values.push_back(v);
+    }
+    a.row_ptr[static_cast<std::size_t>(r) + 1] =
+        static_cast<Index>(a.col_idx.size());
+  }
+  sparse::validate(a);
+  return a;
+}
+
+RealVec make_x(Index n, std::uint64_t seed, bool integer_values) {
+  Rng rng(seed);
+  RealVec x(static_cast<std::size_t>(n));
+  for (Real& v : x) {
+    v = integer_values ? std::floor(rng.uniform(-4.0, 5.0))
+                       : rng.uniform(-1.0, 1.0);
+  }
+  if (!x.empty()) {
+    x[0] = -0.0;  // signed zero must survive every kernel bit-for-bit
+  }
+  return x;
+}
+
+/// Bitwise equality, distinguishing -0.0 from +0.0 (EXPECT_EQ on
+/// doubles would not).
+void expect_bitwise_eq(const RealVec& expected, const RealVec& actual,
+                       const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    std::uint64_t eb = 0;
+    std::uint64_t ab = 0;
+    std::memcpy(&eb, &expected[i], sizeof(eb));
+    std::memcpy(&ab, &actual[i], sizeof(ab));
+    EXPECT_EQ(eb, ab) << label << " diverges at element " << i << " ("
+                      << expected[i] << " vs " << actual[i] << ")";
+  }
+}
+
+TEST(SpmvKernelRegistryTest, RosterNamesResolve) {
+  const auto& names = sparse::spmv_kernel_names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "csr-scalar");
+  EXPECT_EQ(names[1], "csr-simd");
+  EXPECT_EQ(names[2], "sell-c-sigma");
+  for (const std::string& name : names) {
+    const sparse::SpmvKernel* kernel = sparse::spmv_kernel_from_name(name);
+    ASSERT_NE(kernel, nullptr) << name;
+    EXPECT_EQ(kernel->name(), name);
+    EXPECT_EQ(&sparse::spmv_kernel_or_throw(name), kernel);
+  }
+  EXPECT_EQ(sparse::spmv_kernel_from_name("csc-scalar"), nullptr);
+  EXPECT_EQ(&sparse::kernel_or_default(nullptr),
+            &sparse::default_spmv_kernel());
+  EXPECT_EQ(sparse::default_spmv_kernel().name(), "csr-scalar");
+}
+
+TEST(SpmvKernelRegistryTest, UnknownNameThrowsNamingRoster) {
+  try {
+    sparse::spmv_kernel_or_throw("ellpack");
+    FAIL() << "expected rsls::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ellpack"), std::string::npos);
+    EXPECT_NE(what.find("csr-scalar|csr-simd|sell-c-sigma"),
+              std::string::npos);
+  }
+}
+
+// Golden cross-check on a nonsymmetric pattern with integer data: every
+// kernel must reproduce csr-scalar exactly for spmv, spmv_add, the
+// row-range variants, and spmv_transpose. Integer data makes every
+// summation order exact, so csr-simd's blocked reduction has no excuse.
+TEST(SpmvKernelGoldenTest, AllKernelsMatchScalarExactlyOnIntegerData) {
+  const sparse::Csr a =
+      make_pattern(/*rows=*/83, /*cols=*/61, /*seed=*/42,
+                   /*integer_values=*/true);
+  const RealVec x = make_x(a.cols, 7, /*integer_values=*/true);
+  const RealVec xt = make_x(a.rows, 11, /*integer_values=*/true);
+  const auto n = static_cast<std::size_t>(a.rows);
+
+  const auto scalar = sparse::default_spmv_kernel().prepare(a);
+  RealVec y_ref(n, 0.0);
+  scalar->spmv(x, y_ref);
+  RealVec yadd_ref(n, 1.0);
+  scalar->spmv_add(3.0, x, yadd_ref);
+  RealVec yt_ref(static_cast<std::size_t>(a.cols), 0.0);
+  scalar->spmv_transpose(xt, yt_ref);
+  const Index range_begin = 5;
+  const Index range_end = 71;
+  RealVec yr_ref(n, -99.0);
+  scalar->spmv_rows(range_begin, range_end, x, yr_ref);
+  RealVec yra_ref(n, 2.0);
+  scalar->spmv_add_rows(range_begin, range_end, -2.0, x, yra_ref);
+
+  for (const std::string& name : sparse::spmv_kernel_names()) {
+    SCOPED_TRACE(name);
+    const auto plan = sparse::spmv_kernel_or_throw(name).prepare(a);
+    EXPECT_EQ(plan->kernel_name(), name);
+    RealVec y(n, 0.0);
+    plan->spmv(x, y);
+    expect_bitwise_eq(y_ref, y, name + " spmv");
+    RealVec yadd(n, 1.0);
+    plan->spmv_add(3.0, x, yadd);
+    expect_bitwise_eq(yadd_ref, yadd, name + " spmv_add");
+    RealVec yt(static_cast<std::size_t>(a.cols), 0.0);
+    plan->spmv_transpose(xt, yt);
+    expect_bitwise_eq(yt_ref, yt, name + " spmv_transpose");
+    RealVec yr(n, -99.0);
+    plan->spmv_rows(range_begin, range_end, x, yr);
+    expect_bitwise_eq(yr_ref, yr, name + " spmv_rows");
+    RealVec yra(n, 2.0);
+    plan->spmv_add_rows(range_begin, range_end, -2.0, x, yra);
+    expect_bitwise_eq(yra_ref, yra, name + " spmv_add_rows");
+  }
+}
+
+// sell-c-sigma keeps the scalar per-row addition chain (masked lanes
+// walk only real entries in CSR order), so unlike csr-simd it must be
+// bitwise identical on arbitrary real data — multiple σ windows and
+// chunks, irregular row lengths, signed zeros.
+TEST(SpmvKernelGoldenTest, SellCSigmaBitwiseOnGeneralRealData) {
+  const sparse::Csr a =
+      make_pattern(/*rows=*/211, /*cols=*/211, /*seed=*/5,
+                   /*integer_values=*/false);
+  const RealVec x = make_x(a.cols, 13, /*integer_values=*/false);
+  const auto n = static_cast<std::size_t>(a.rows);
+
+  const auto scalar = sparse::default_spmv_kernel().prepare(a);
+  const auto sell = sparse::spmv_kernel_or_throw("sell-c-sigma").prepare(a);
+
+  RealVec y_ref(n, 0.0);
+  scalar->spmv(x, y_ref);
+  RealVec y(n, 0.0);
+  sell->spmv(x, y);
+  expect_bitwise_eq(y_ref, y, "sell-c-sigma spmv");
+
+  RealVec yadd_ref(n, 0.5);
+  scalar->spmv_add(1.25, x, yadd_ref);
+  RealVec yadd(n, 0.5);
+  sell->spmv_add(1.25, x, yadd);
+  expect_bitwise_eq(yadd_ref, yadd, "sell-c-sigma spmv_add");
+}
+
+// Permutation round-trip: the SELL-C-σ build sorts rows within σ
+// windows, computes per-lane sums, and must scatter each lane back to
+// its *original* row. Basis-vector products make a misrouted scatter
+// visible as a wrong row, and row ranges that cross chunk boundaries
+// verify the per-chunk original-row span bookkeeping.
+TEST(SpmvKernelGoldenTest, SellCSigmaPermutationRoundTrip) {
+  const sparse::Csr a =
+      make_pattern(/*rows=*/97, /*cols=*/97, /*seed=*/29,
+                   /*integer_values=*/true);
+  const auto n = static_cast<std::size_t>(a.rows);
+  const auto scalar = sparse::default_spmv_kernel().prepare(a);
+  const auto sell = sparse::spmv_kernel_or_throw("sell-c-sigma").prepare(a);
+
+  for (Index j = 0; j < a.cols; ++j) {
+    RealVec e(static_cast<std::size_t>(a.cols), 0.0);
+    e[static_cast<std::size_t>(j)] = 1.0;
+    RealVec y_ref(n, 0.0);
+    scalar->spmv(e, y_ref);
+    RealVec y(n, 0.0);
+    sell->spmv(e, y);
+    expect_bitwise_eq(y_ref, y, "basis column " + std::to_string(j));
+  }
+
+  // Row ranges that start/end mid-chunk (C = 8) and mid-window (σ = 64).
+  const RealVec x = make_x(a.cols, 17, /*integer_values=*/true);
+  for (const auto& [begin, end] :
+       std::vector<std::pair<Index, Index>>{
+           {0, 97}, {3, 13}, {8, 64}, {60, 70}, {64, 97}, {90, 97},
+           {11, 11}}) {
+    SCOPED_TRACE("rows [" + std::to_string(begin) + ", " +
+                 std::to_string(end) + ")");
+    RealVec y_ref(n, -7.0);
+    scalar->spmv_rows(begin, end, x, y_ref);
+    RealVec y(n, -7.0);
+    sell->spmv_rows(begin, end, x, y);
+    expect_bitwise_eq(y_ref, y, "row range");
+    // Rows outside the range keep the sentinel.
+    for (Index r = 0; r < a.rows; ++r) {
+      if (r < begin || r >= end) {
+        EXPECT_EQ(y[static_cast<std::size_t>(r)], -7.0) << r;
+      }
+    }
+  }
+}
+
+// The row-range seam the rank executor drives: every kernel must leave
+// rows outside [begin, end) untouched.
+TEST(SpmvKernelGoldenTest, RowRangeWritesOnlyRequestedRows) {
+  const sparse::Csr a =
+      make_pattern(/*rows=*/30, /*cols=*/30, /*seed=*/3,
+                   /*integer_values=*/true);
+  const RealVec x = make_x(a.cols, 23, /*integer_values=*/true);
+  for (const std::string& name : sparse::spmv_kernel_names()) {
+    SCOPED_TRACE(name);
+    const auto plan = sparse::spmv_kernel_or_throw(name).prepare(a);
+    RealVec y(static_cast<std::size_t>(a.rows), 41.0);
+    plan->spmv_rows(10, 20, x, y);
+    for (Index r = 0; r < 10; ++r) {
+      EXPECT_EQ(y[static_cast<std::size_t>(r)], 41.0);
+    }
+    for (Index r = 20; r < 30; ++r) {
+      EXPECT_EQ(y[static_cast<std::size_t>(r)], 41.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rsls
